@@ -1,0 +1,60 @@
+// Ablation: collection-infrastructure reliability vs measured availability.
+//
+// Section 3.3 concedes the study cannot always tell a home outage from a
+// problem "along the network path between the BISmark router and Georgia
+// Tech". This bench injects collector outages at increasing rates and
+// shows (a) how badly raw downtime counts inflate, and (b) how much the
+// simultaneous-gap detector (analysis/collection_artifacts) recovers.
+#include "analysis/collection_artifacts.h"
+#include "common.h"
+#include "home/deployment.h"
+
+using namespace bismark;
+
+int main() {
+  PrintBanner("Ablation: collector outages vs measured home downtime");
+
+  TextTable table({"collector outages/mo", "true collector downtime", "raw downtimes",
+                   "corrected downtimes", "detector recall"});
+
+  long long baseline = -1;
+  for (double rate : {0.0, 0.5, 2.0, 6.0}) {
+    home::DeploymentOptions options;
+    options.seed = bench::kStudySeed;
+    options.windows = collect::DatasetWindows::Compressed(MakeTime({2012, 10, 1}), 8);
+    options.run_traffic = false;
+    options.collector_outages_per_month = rate;
+    options.collector_outage_mean = Hours(3);
+    const auto study = home::Deployment::RunStudy(options);
+    const auto& repo = study->repository();
+
+    const auto raw = analysis::AnalyzeAvailability(repo, {Minutes(10), 10.0});
+    const auto report = analysis::DetectCollectionOutages(repo);
+    const auto corrected =
+        analysis::AnalyzeAvailabilityCorrected(repo, report, {Minutes(10), 10.0});
+
+    long long raw_total = 0, corrected_total = 0;
+    for (const auto& h : raw) raw_total += h.downtimes;
+    for (const auto& h : corrected) corrected_total += h.downtimes;
+    if (baseline < 0) baseline = raw_total;
+
+    const IntervalSet truth = study->collector_outages().clipped(
+        repo.windows().heartbeats.start, repo.windows().heartbeats.end);
+    double recall = 0.0;
+    if (truth.total().ms > 0) {
+      recall = static_cast<double>(report.outages.intersect(truth).total().ms) /
+               static_cast<double>(truth.total().ms);
+    }
+
+    table.add_row({TextTable::Num(rate, 1), FormatDuration(truth.total()),
+                   TextTable::Int(raw_total), TextTable::Int(corrected_total),
+                   truth.total().ms > 0 ? TextTable::Pct(recall) : std::string("n/a")});
+  }
+  table.print();
+
+  bench::PrintComparison("raw counts inflate with collector failures", "the §3.3 worry",
+                         "see table");
+  bench::PrintComparison("simultaneous-gap correction restores the baseline",
+                         "(not attempted in the paper)", "corrected ~= rate-0 row");
+  return 0;
+}

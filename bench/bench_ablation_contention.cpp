@@ -1,0 +1,62 @@
+// Ablation: 2.4 GHz crowding vs usable wireless throughput.
+//
+// Section 5.3's warning: "many devices talking to many access points in
+// the vicinity causes contention and interference problems, which in turn
+// reduces the available bandwidth of the wireless channel... which could
+// create bottlenecks as access link throughputs continue to increase."
+// This bench quantifies that: for the neighbourhood densities the study
+// observed (developed median ~20 visible APs, developing ~2), how much of
+// a nominal 802.11n channel — and therefore of a fast access link — can a
+// home actually use?
+#include "analysis/infrastructure.h"
+#include "common.h"
+#include "wireless/airtime.h"
+#include "wireless/neighbor.h"
+
+using namespace bismark;
+
+int main() {
+  PrintBanner("Ablation: neighbour-AP density vs usable wireless capacity");
+
+  // Nominal effective MAC throughput of a 2.4 GHz 802.11n 20 MHz channel.
+  const double nominal_mbps = 60.0;
+
+  TextTable table({"visible APs", "airtime share", "usable channel (Mbps)",
+                   "per-client (4 clients)", "caps a 50 Mbps link?"});
+  for (std::size_t aps : {0u, 2u, 5u, 10u, 20u, 30u, 40u}) {
+    wireless::ContentionInput input;
+    input.overlapping_neighbor_aps = aps;
+    input.neighbor_duty_cycle = 0.10;
+    const double share = wireless::EffectiveAirtimeShare(input);
+    input.own_clients = 4;
+    const double per_client = wireless::PerClientShare(input) * nominal_mbps;
+    const double usable = share * nominal_mbps;
+    table.add_row({TextTable::Int(static_cast<long long>(aps)), TextTable::Pct(share),
+                   TextTable::Num(usable, 1), TextTable::Num(per_client, 1),
+                   usable < 50.0 ? "YES" : "no"});
+  }
+  table.print();
+
+  // The same, at the *measured* neighbourhood medians of Fig. 11.
+  const auto& repo = bench::SharedStudy().repository();
+  const auto cdfs = analysis::NeighborAps(repo);
+  wireless::ContentionInput developed;
+  developed.overlapping_neighbor_aps =
+      static_cast<std::size_t>(cdfs.developed.median());
+  wireless::ContentionInput developing;
+  developing.overlapping_neighbor_aps =
+      static_cast<std::size_t>(cdfs.developing.median());
+
+  bench::PrintComparison(
+      "usable 2.4 GHz channel at the developed median neighbourhood",
+      "a bottleneck for fast links",
+      TextTable::Num(wireless::EffectiveAirtimeShare(developed) * nominal_mbps, 1) + " Mbps");
+  bench::PrintComparison(
+      "usable 2.4 GHz channel at the developing median neighbourhood", "nearly full channel",
+      TextTable::Num(wireless::EffectiveAirtimeShare(developing) * nominal_mbps, 1) + " Mbps");
+  bench::PrintComparison("5 GHz alternative (median ~1 neighbour)", "uncongested (for now)",
+                         TextTable::Num(
+                             wireless::EffectiveAirtimeShare(
+                                 {1, 0.10, 0}) * nominal_mbps, 1) + " Mbps");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Supplementary: the Capacity data set (Section 3.2's publicly released,
+// continuously updated measurement) summarised per country — the broadband
+// view regulators would read off the deployment. Not a numbered figure in
+// the paper, but the data set it highlights.
+#include "analysis/capacity_stats.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+
+  PrintBanner("Capacity data set: per-country access-link estimates");
+
+  const auto rows = analysis::CapacityByCountry(repo, 2);
+  TextTable table({"country", "region", "homes", "median down (Mbps)", "median up (Mbps)",
+                   "down:up"});
+  for (const auto& row : rows) {
+    table.add_row({row.country_code, row.developed ? "developed" : "developing",
+                   TextTable::Int(row.homes), TextTable::Num(row.median_down_mbps, 1),
+                   TextTable::Num(row.median_up_mbps, 2),
+                   TextTable::Num(row.median_down_mbps / std::max(0.01, row.median_up_mbps), 1) +
+                       ":1"});
+  }
+  table.print();
+
+  const auto cdfs = analysis::CapacityDistributions(repo);
+  bench::PrintComparison("developed vs developing median downstream", "(developed faster)",
+                         TextTable::Num(cdfs.developed_down.median(), 1) + " vs " +
+                             TextTable::Num(cdfs.developing_down.median(), 1) + " Mbps");
+
+  // Probe stability backs Fig. 14's flat capacity line.
+  const auto homes = analysis::SummarizeCapacity(repo);
+  Cdf cv;
+  for (const auto& h : homes) cv.add(h.down_cv);
+  bench::PrintComparison("median probe coefficient-of-variation",
+                         "capacity 'fairly constant' (Fig 14)",
+                         TextTable::Pct(cv.median()));
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Figure 10: CDF of unique devices seen on each wireless band per home.
+#include "analysis/infrastructure.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto cdfs = analysis::UniqueDevicesPerBand(repo);
+
+  PrintBanner("Figure 10: Unique devices per wireless band");
+
+  TextTable table({"devices (<=)", "2.4 GHz homes", "5 GHz homes"});
+  for (int d = 0; d <= 14; ++d) {
+    table.add_row({TextTable::Int(d), TextTable::Pct(cdfs.band24.at(d)),
+                   TextTable::Pct(cdfs.band5.at(d))});
+  }
+  table.print();
+
+  bench::PrintComparison("median unique devices on 2.4 GHz", "5",
+                         TextTable::Num(cdfs.band24.median(), 1));
+  bench::PrintComparison("median unique devices on 5 GHz", "2",
+                         TextTable::Num(cdfs.band5.median(), 1));
+  return 0;
+}

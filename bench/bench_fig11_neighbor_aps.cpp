@@ -1,0 +1,40 @@
+// Figure 11: CDF of neighbour access points visible on the 2.4 GHz scan
+// channel, developed vs developing (note the bimodal shape).
+#include "analysis/infrastructure.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto cdfs = analysis::NeighborAps(repo);
+  const auto cdfs5 = analysis::NeighborAps5(repo);
+
+  PrintBanner("Figure 11: Neighbour APs on the 2.4 GHz scan channel");
+
+  TextTable table({"APs (<=)", "developed homes", "developing homes"});
+  for (int aps : {0, 1, 2, 3, 5, 8, 10, 15, 20, 25, 30, 40, 60}) {
+    table.add_row({TextTable::Int(aps), TextTable::Pct(cdfs.developed.at(aps)),
+                   TextTable::Pct(cdfs.developing.at(aps))});
+  }
+  table.print();
+
+  bench::PrintComparison("median neighbour APs (developed)", "~20",
+                         TextTable::Num(cdfs.developed.median(), 1));
+  bench::PrintComparison("median neighbour APs (developing)", "~2",
+                         TextTable::Num(cdfs.developing.median(), 1));
+  // Bimodality: mass near zero and mass past 10 with little between.
+  const double low_dev = cdfs.developed.at(3.0);
+  const double mid_dev = cdfs.developed.at(10.0) - low_dev;
+  const double high_dev = 1.0 - cdfs.developed.at(10.0);
+  bench::PrintComparison("developed modes (<=3 / 4-10 / >10 APs)",
+                         "bimodal: few or a lot (>10)",
+                         TextTable::Pct(low_dev) + " / " + TextTable::Pct(mid_dev) + " / " +
+                             TextTable::Pct(high_dev));
+  const double high_dvg = 1.0 - cdfs.developing.at(3.0);
+  bench::PrintComparison("developing homes with >3 APs", "(the dense mode)",
+                         TextTable::Pct(high_dvg));
+  bench::PrintComparison("median neighbour APs on 5 GHz (developed)", "~1",
+                         TextTable::Num(cdfs5.developed.median(), 1));
+  return 0;
+}

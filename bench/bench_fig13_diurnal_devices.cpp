@@ -1,0 +1,40 @@
+// Figure 13: diurnal pattern of wireless device counts — weekday vs
+// weekend, by local hour of day.
+#include "analysis/diurnal.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto profile = analysis::WirelessDiurnalProfile(repo);
+
+  PrintBanner("Figure 13: Mean wireless devices online by local hour");
+
+  TextTable table({"hour", "weekday", "weekend"});
+  for (int h = 0; h < 24; ++h) {
+    table.add_row({TextTable::Int(h), TextTable::Num(profile.weekday[h]),
+                   TextTable::Num(profile.weekend[h])});
+  }
+  table.print();
+
+  std::size_t peak_hour = 0;
+  for (std::size_t h = 1; h < 24; ++h) {
+    if (profile.weekday[h] > profile.weekday[peak_hour]) peak_hour = h;
+  }
+  bench::PrintComparison("weekday peak hour", "evening (19-22)",
+                         TextTable::Int(static_cast<long long>(peak_hour)) + ":00");
+  bench::PrintComparison("weekday peak / trough",
+                         "~2.7 / ~1.4 devices",
+                         TextTable::Num(profile.weekday_peak()) + " / " +
+                             TextTable::Num(profile.weekday_trough()));
+  bench::PrintComparison("weekday swing vs weekend swing", "weekday clearly larger",
+                         TextTable::Num(profile.weekday_swing()) + "x vs " +
+                             TextTable::Num(profile.weekend_swing()) + "x");
+
+  // Cross-check with the hourly Devices census.
+  const auto census = analysis::CensusDiurnalProfile(repo);
+  bench::PrintComparison("census cross-check: weekday swing (Devices data)", "(same shape)",
+                         TextTable::Num(census.weekday_swing()) + "x");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 15: 95th-percentile link utilisation vs measured capacity, for
+// uplink and downlink, one point per Traffic home.
+#include "analysis/utilization.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto points = analysis::LinkSaturation(repo);
+
+  PrintBanner("Figure 15: 95th-percentile utilisation vs measured capacity");
+
+  TextTable table({"home", "down cap (Mbps)", "down util p95", "up cap (Mbps)", "up util p95",
+                   "traffic minutes"});
+  for (const auto& p : points) {
+    table.add_row({TextTable::Int(p.home.value), TextTable::Num(p.capacity_down_mbps, 1),
+                   TextTable::Num(p.utilization_down_p95), TextTable::Num(p.capacity_up_mbps, 1),
+                   TextTable::Num(p.utilization_up_p95),
+                   TextTable::Int(p.minutes_observed)});
+  }
+  table.print();
+
+  int down_saturated = 0, under_half = 0, up_low = 0;
+  for (const auto& p : points) {
+    if (p.utilization_down_p95 >= 0.95) ++down_saturated;
+    if (p.utilization_down_p95 < 0.5) ++under_half;
+    if (p.utilization_up_p95 < 0.5) ++up_low;
+  }
+  const auto over = analysis::OversaturatedUplinks(points);
+
+  bench::PrintComparison("homes saturating downlink at p95", "only 2",
+                         TextTable::Int(down_saturated));
+  bench::PrintComparison("homes using < 50% of downlink at p95", "most homes",
+                         TextTable::Int(under_half) + " of " +
+                             TextTable::Int(static_cast<long long>(points.size())));
+  bench::PrintComparison("homes with uplink p95 under 0.5", "most (all but ~3)",
+                         TextTable::Int(up_low));
+  bench::PrintComparison("homes over-utilising the uplink (>1.0)", "2 (bufferbloat)",
+                         TextTable::Int(static_cast<long long>(over.size())));
+  return 0;
+}

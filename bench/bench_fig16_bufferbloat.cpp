@@ -1,0 +1,54 @@
+// Figure 16: uplink utilisation exceeding the capacity estimate in the two
+// bufferbloat case-study homes — (a) the constant scientific-data
+// uploader, (b) diurnal bursts past capacity.
+#include "analysis/utilization.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto points = analysis::LinkSaturation(repo);
+  const auto over = analysis::OversaturatedUplinks(points);
+
+  PrintBanner("Figure 16: Uplink utilisation exceeding measured capacity");
+
+  if (over.empty()) {
+    std::printf("no over-saturating homes found (expected 2)\n");
+    return 1;
+  }
+
+  for (std::size_t i = 0; i < over.size() && i < 2; ++i) {
+    const auto series = analysis::UtilizationTimeseries(repo, over[i], Hours(6));
+    std::printf("\n(%c) home %d — measured uplink capacity %.2f Mbps\n",
+                static_cast<char>('a' + i), over[i].value, series.capacity_up_mbps);
+    std::printf("  %-11s  %9s  %s\n", "bucket", "max Mbps", "vs capacity");
+    for (std::size_t k = 0; k < series.buckets.size(); k += 4) {  // daily rows
+      const auto& b = series.buckets[k];
+      const double ratio =
+          series.capacity_up_mbps > 0 ? b.max_up_mbps / series.capacity_up_mbps : 0.0;
+      std::printf("  %-11s  %9.2f  %5.2fx %s\n", FormatTime(b.start).substr(5, 11).c_str(),
+                  b.max_up_mbps, ratio, ratio > 1.0 ? "<-- exceeds estimate" : "");
+    }
+    int exceeded = 0, active = 0;
+    for (const auto& b : series.buckets) {
+      if (b.max_up_mbps > 0) ++active;
+      if (b.max_up_mbps > series.capacity_up_mbps) ++exceeded;
+    }
+    bench::PrintComparison("  buckets exceeding capacity", "(most, for the uploader)",
+                           TextTable::Int(exceeded) + " of " + TextTable::Int(active));
+  }
+
+  bench::PrintComparison("over-saturating homes found", "2",
+                         TextTable::Int(static_cast<long long>(over.size())));
+  for (const auto& p : points) {
+    for (const auto& id : over) {
+      if (p.home == id) {
+        bench::PrintComparison(
+            "  home " + std::to_string(id.value) + " uplink p95 ratio",
+            "> 1 (queueing in the modem)", TextTable::Num(p.utilization_up_p95));
+      }
+    }
+  }
+  return 0;
+}

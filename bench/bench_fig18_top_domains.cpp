@@ -1,0 +1,33 @@
+// Figure 18: the number of homes for which each domain ranks in the
+// top-five or top-ten by traffic volume.
+#include "analysis/usage.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto prevalence = analysis::TopDomainPrevalence(repo);
+
+  PrintBanner("Figure 18: Homes where a domain is top-5 / top-10 by volume");
+
+  TextTable table({"domain", "homes top-5", "homes top-10"});
+  for (std::size_t i = 0; i < prevalence.size() && i < 25; ++i) {
+    table.add_row({prevalence[i].domain, TextTable::Int(prevalence[i].homes_top5),
+                   TextTable::Int(prevalence[i].homes_top10)});
+  }
+  table.print();
+
+  // The "usual suspects" should lead; the tail should be long.
+  int tail_one_or_two = 0;
+  for (const auto& p : prevalence) {
+    if (p.homes_top10 <= 2) ++tail_one_or_two;
+  }
+  bench::PrintComparison("most prevalent domain", "google/youtube/facebook class",
+                         prevalence.empty() ? "(none)" : prevalence[0].domain);
+  bench::PrintComparison("distinct domains in some home's top-10", "(long tail)",
+                         TextTable::Int(static_cast<long long>(prevalence.size())));
+  bench::PrintComparison("domains popular in only 1-2 homes", "quite long tail",
+                         TextTable::Int(tail_one_or_two));
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Figure 19: breakdown of traffic by domain rank — (a) volume share by
+// volume rank, (b) connection share by connection rank, (c) connection
+// share by volume rank — plus the whitelist "Total" coverage.
+#include "analysis/usage.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto conc = analysis::DomainUsageShares(repo, 10);
+
+  PrintBanner("Figure 19: Traffic share by whitelisted-domain rank");
+
+  TextTable table({"rank", "(a) volume share", "(b) conns by conn-rank",
+                   "(c) conns by vol-rank"});
+  for (std::size_t r = 0; r < conc.by_rank.size(); ++r) {
+    table.add_row({TextTable::Int(static_cast<long long>(r + 1)),
+                   TextTable::Pct(conc.by_rank[r].volume_share),
+                   TextTable::Pct(conc.by_rank[r].conns_by_conn_rank),
+                   TextTable::Pct(conc.by_rank[r].conns_by_vol_rank)});
+  }
+  table.print();
+
+  bench::PrintComparison("top domain's share of total volume", "~38%",
+                         TextTable::Pct(conc.by_rank[0].volume_share));
+  bench::PrintComparison("top domain's share of connections (by volume rank)", "< 14%",
+                         TextTable::Pct(conc.by_rank[0].conns_by_vol_rank));
+  bench::PrintComparison("2nd domain volume / connections", "~11% / ~7%",
+                         TextTable::Pct(conc.by_rank[1].volume_share) + " / " +
+                             TextTable::Pct(conc.by_rank[1].conns_by_vol_rank));
+  bench::PrintComparison("top connection-rank domain's share of connections", "~19%",
+                         TextTable::Pct(conc.by_rank[0].conns_by_conn_rank));
+  bench::PrintComparison("whitelisted (\"Total\") share of volume", "~65%",
+                         TextTable::Pct(conc.whitelisted_volume_share));
+  return 0;
+}

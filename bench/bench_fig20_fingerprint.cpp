@@ -1,0 +1,54 @@
+// Figure 20: per-device domain distributions — a desktop spreads its
+// traffic (with cloud-sync prominent) while a streaming player sends
+// nearly everything to streaming services. The contrast is the basis for
+// the device-fingerprinting future work of Section 7.
+#include "analysis/usage.h"
+#include "common.h"
+
+using namespace bismark;
+
+namespace {
+void PrintProfile(const collect::DataRepository& repo, net::MacAddress mac,
+                  const char* caption) {
+  std::printf("\n%s (%s...)\n", caption, mac.to_string().substr(0, 8).c_str());
+  const auto profile = analysis::DeviceDomainProfile(repo, mac, 8);
+  TextTable table({"domain", "share of device traffic"});
+  for (const auto& d : profile) {
+    table.add_row({d.domain, TextTable::Pct(d.share)});
+  }
+  table.print();
+}
+}  // namespace
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+
+  PrintBanner("Figure 20: Per-device traffic distribution (fingerprinting)");
+
+  const auto desktop = analysis::FindDeviceByVendor(repo, net::VendorClass::kIntel);
+  const auto streamer = analysis::FindDeviceByVendor(repo, net::VendorClass::kInternetTv);
+  const auto apple = analysis::FindDeviceByVendor(repo, net::VendorClass::kApple);
+
+  if (desktop != net::MacAddress{}) {
+    PrintProfile(repo, desktop, "(a) Desktop-class device (Intel NIC)");
+  } else if (apple != net::MacAddress{}) {
+    PrintProfile(repo, apple, "(a) Desktop-class device (Apple)");
+  }
+  if (streamer != net::MacAddress{}) {
+    PrintProfile(repo, streamer, "(b) Streaming player (Roku-class)");
+  }
+
+  const auto pick_general = desktop != net::MacAddress{} ? desktop : apple;
+  const double general_index = analysis::DomainConcentrationIndex(repo, pick_general);
+  const double streamer_index = analysis::DomainConcentrationIndex(repo, streamer);
+  bench::PrintComparison("\nstreamer traffic to top streaming domains",
+                         "dominated by pandora/hulu/netflix",
+                         TextTable::Pct(streamer_index) + " to its top domain");
+  bench::PrintComparison("concentration: streamer vs general-purpose",
+                         "streamer far more concentrated",
+                         TextTable::Pct(streamer_index) + " vs " +
+                             TextTable::Pct(general_index));
+  bench::PrintComparison("usable as a device fingerprint", "yes (Section 7)",
+                         streamer_index > general_index ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 3: CDF of the average number of downtimes per day (>= 10 min),
+// developed vs developing countries.
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& homes = bench::SharedAvailability();
+  const auto cdfs = analysis::DowntimeFrequencyCdfs(homes);
+
+  PrintBanner("Figure 3: Average number of downtimes per day (>= 10 min)");
+
+  TextTable table({"region", "percentile", "downtimes/day"});
+  bench::PrintCdfRows(table, "developed", cdfs.developed);
+  bench::PrintCdfRows(table, "developing", cdfs.developing);
+  table.print();
+
+  const auto summary = analysis::SummarizeRegions(homes);
+  bench::PrintComparison("median days between downtimes (developed)", "> 30 (a month)",
+                         TextTable::Num(summary.median_days_between_downtimes_developed, 1));
+  bench::PrintComparison("median days between downtimes (developing)", "< 1 (a day)",
+                         TextTable::Num(summary.median_days_between_downtimes_developing, 2));
+  bench::PrintComparison(
+      "homes > 1 downtime / 10 days (developed)", "~10%",
+      TextTable::Pct(1.0 - cdfs.developed.at(0.1)));
+  bench::PrintComparison(
+      "homes > 1 downtime / 3 days (developing)", "~50%",
+      TextTable::Pct(1.0 - cdfs.developing.at(1.0 / 3.0)));
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 4: CDF of downtime durations, developed vs developing countries.
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& homes = bench::SharedAvailability();
+  const auto cdfs = analysis::DowntimeDurationCdfs(homes);
+
+  PrintBanner("Figure 4: Downtime duration (seconds)");
+
+  TextTable table({"region", "percentile", "duration (s)"});
+  bench::PrintCdfRows(table, "developed", cdfs.developed, true);
+  bench::PrintCdfRows(table, "developing", cdfs.developing, true);
+  table.print();
+
+  bench::PrintComparison("median downtime duration (developed)", "~30 min",
+                         FormatDuration(Seconds(cdfs.developed.median())));
+  bench::PrintComparison("median downtime duration (developing)", "~30 min, heavier tail",
+                         FormatDuration(Seconds(cdfs.developing.median())));
+  bench::PrintComparison("p90 duration developed", "(hours)",
+                         FormatDuration(Seconds(cdfs.developed.quantile(0.9))));
+  bench::PrintComparison("p90 duration developing", "(up to days)",
+                         FormatDuration(Seconds(cdfs.developing.quantile(0.9))));
+  bench::PrintComparison(
+      "longest downtime observed", "several days",
+      FormatDuration(Seconds(std::max(cdfs.developed.quantile(1.0),
+                                      cdfs.developing.quantile(1.0)))));
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 5: median number of downtimes per home in each country vs that
+// country's GDP (PPP) per capita; marker size in the paper is the median
+// downtime duration. Countries with fewer than three routers are dropped.
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& homes = bench::SharedAvailability();
+  std::vector<std::pair<std::string, double>> gdp;
+  for (const auto& c : home::StandardRoster()) gdp.emplace_back(c.code, c.gdp_ppp_per_capita);
+  const auto rows = analysis::CountryDowntimeScatter(homes, gdp, 3);
+
+  PrintBanner("Figure 5: Median downtimes per country vs GDP (PPP) per capita");
+
+  TextTable table({"country", "region", "homes", "GDP PPP ($)", "median downtimes",
+                   "median duration", "median online %"});
+  for (const auto& row : rows) {
+    table.add_row({row.country_code, row.developed ? "developed" : "developing",
+                   TextTable::Int(row.homes),
+                   TextTable::Int(static_cast<long long>(row.gdp_ppp)),
+                   TextTable::Num(row.median_downtimes, 1),
+                   FormatDuration(Seconds(row.median_duration_s)),
+                   TextTable::Pct(row.median_online_fraction)});
+  }
+  table.print();
+
+  double worst_downtimes = 0.0;
+  std::string worst_country;
+  for (const auto& row : rows) {
+    if (row.median_downtimes > worst_downtimes) {
+      worst_downtimes = row.median_downtimes;
+      worst_country = row.country_code;
+    }
+  }
+  bench::PrintComparison("worst country (most median downtimes)", "PK (then IN)",
+                         worst_country);
+  for (const auto& row : rows) {
+    if (row.country_code == "PK") {
+      bench::PrintComparison("PK downtimes/day", "~2 (nearly two every day)",
+                             TextTable::Num(row.median_downtimes / 196.0, 2));
+    }
+    if (row.country_code == "US") {
+      bench::PrintComparison("US median router-on fraction", "98.25%",
+                             TextTable::Pct(row.median_online_fraction, 2));
+    }
+    if (row.country_code == "IN") {
+      bench::PrintComparison("IN median router-on fraction", "76.01%",
+                             TextTable::Pct(row.median_online_fraction, 2));
+    }
+    if (row.country_code == "ZA") {
+      bench::PrintComparison("ZA median router-on fraction", "85.57%",
+                             TextTable::Pct(row.median_online_fraction, 2));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Figure 7: CDF of the number of unique devices in each home network.
+#include "analysis/infrastructure.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto cdf = analysis::UniqueDevicesCdf(repo);
+
+  PrintBanner("Figure 7: Number of devices in each home network");
+
+  TextTable table({"devices (<=)", "fraction of homes"});
+  for (int d = 1; d <= 16; ++d) {
+    table.add_row({TextTable::Int(d), TextTable::Pct(cdf.at(d))});
+  }
+  table.print();
+
+  bench::PrintComparison("homes with >= 2 devices", "(nearly all)",
+                         TextTable::Pct(1.0 - cdf.at(1.0)));
+  bench::PrintComparison("homes with >= 5 devices", "more than half",
+                         TextTable::Pct(1.0 - cdf.at(4.0)));
+  bench::PrintComparison("median devices per home", ">= 5",
+                         TextTable::Num(cdf.median(), 1));
+  bench::PrintComparison("mean devices per home", "~7",
+                         TextTable::Num(analysis::MeanUniqueDevices(repo), 1));
+  return 0;
+}

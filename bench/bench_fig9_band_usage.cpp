@@ -1,0 +1,32 @@
+// Figure 9: average number of wireless devices connected at any given time
+// per spectrum band (with stddev bars).
+#include "analysis/infrastructure.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto dev = analysis::ConnectedWireless(repo, true);
+  const auto dvg = analysis::ConnectedWireless(repo, false);
+
+  PrintBanner("Figure 9: Average wireless devices connected per band");
+
+  TextTable table({"region", "band", "mean connected", "stddev"});
+  table.add_row({"developed", "2.4 GHz", TextTable::Num(dev.band24.mean),
+                 TextTable::Num(dev.band24.stddev)});
+  table.add_row({"developed", "5 GHz", TextTable::Num(dev.band5.mean),
+                 TextTable::Num(dev.band5.stddev)});
+  table.add_row({"developing", "2.4 GHz", TextTable::Num(dvg.band24.mean),
+                 TextTable::Num(dvg.band24.stddev)});
+  table.add_row({"developing", "5 GHz", TextTable::Num(dvg.band5.mean),
+                 TextTable::Num(dvg.band5.stddev)});
+  table.print();
+
+  bench::PrintComparison("2.4 GHz carries significantly more devices", "yes",
+                         dev.band24.mean > dev.band5.mean * 1.5 ? "yes" : "NO");
+  bench::PrintComparison(
+      "2.4:5 GHz concurrent-device ratio (developed)", "(several-fold)",
+      TextTable::Num(dev.band24.mean / std::max(0.01, dev.band5.mean), 1) + "x");
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Micro-benchmarks (google-benchmark) for the hot substrate paths: NAT
+// translation, DNS resolution, interval arithmetic, throughput metering,
+// the event engine, and the statistics kernels.
+#include <benchmark/benchmark.h>
+
+#include "bismark/meter.h"
+#include "core/cdf.h"
+#include "core/intervals.h"
+#include "core/rng.h"
+#include "net/dns.h"
+#include "net/nat.h"
+#include "sim/engine.h"
+#include "traffic/domains.h"
+
+namespace bismark {
+namespace {
+
+const TimePoint t0 = MakeTime({2013, 4, 1});
+
+void BM_NatOutboundNewFlow(benchmark::State& state) {
+  net::NatTable nat(net::NatConfig{});
+  std::uint16_t port = 1;
+  std::uint32_t host = 1;
+  for (auto _ : state) {
+    net::Packet p;
+    p.timestamp = t0;
+    p.tuple = {net::Ipv4Address(10, 0, static_cast<std::uint8_t>(host >> 8 & 0xff),
+                                static_cast<std::uint8_t>(host & 0xff)),
+               net::Ipv4Address(93, 184, 216, 34), port, 443, net::Protocol::kTcp};
+    p.lan_mac = net::MacAddress::FromParts(0x001EC2, host);
+    benchmark::DoNotOptimize(nat.translate_outbound(p));
+    if (++port == 0) port = 1;
+    ++host;
+    if (nat.active_mappings() > 50000) {
+      state.PauseTiming();
+      nat.expire_idle(t0 + Days(365));
+      state.ResumeTiming();
+    }
+  }
+}
+BENCHMARK(BM_NatOutboundNewFlow);
+
+void BM_NatOutboundExistingFlow(benchmark::State& state) {
+  net::NatTable nat(net::NatConfig{});
+  net::Packet p;
+  p.timestamp = t0;
+  p.tuple = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(93, 184, 216, 34), 1234, 443,
+             net::Protocol::kTcp};
+  p.lan_mac = net::MacAddress::FromParts(0x001EC2, 1);
+  nat.translate_outbound(p);
+  for (auto _ : state) {
+    net::Packet q;
+    q.timestamp = t0;
+    q.tuple = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(93, 184, 216, 34), 1234, 443,
+               net::Protocol::kTcp};
+    q.lan_mac = p.lan_mac;
+    benchmark::DoNotOptimize(nat.translate_outbound(q));
+  }
+}
+BENCHMARK(BM_NatOutboundExistingFlow);
+
+void BM_NatInbound(benchmark::State& state) {
+  net::NatTable nat(net::NatConfig{});
+  net::Packet out;
+  out.timestamp = t0;
+  out.tuple = {net::Ipv4Address(10, 0, 0, 1), net::Ipv4Address(93, 184, 216, 34), 1234, 443,
+               net::Protocol::kTcp};
+  out.lan_mac = net::MacAddress::FromParts(0x001EC2, 1);
+  nat.translate_outbound(out);
+  const net::FiveTuple reply = out.tuple.reversed();
+  for (auto _ : state) {
+    net::Packet in;
+    in.timestamp = t0;
+    in.tuple = reply;
+    in.direction = net::Direction::kDownstream;
+    benchmark::DoNotOptimize(nat.translate_inbound(in));
+  }
+}
+BENCHMARK(BM_NatInbound);
+
+void BM_DnsResolveCacheHit(benchmark::State& state) {
+  net::ZoneCatalog zones;
+  const auto catalog = traffic::DomainCatalog::BuildStandard();
+  catalog.install_zones(zones);
+  net::DnsResolver resolver(zones);
+  resolver.resolve("google.com", t0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver.resolve("google.com", t0 + Seconds(1)));
+  }
+}
+BENCHMARK(BM_DnsResolveCacheHit);
+
+void BM_DnsResolveCacheMiss(benchmark::State& state) {
+  net::ZoneCatalog zones;
+  const auto catalog = traffic::DomainCatalog::BuildStandard();
+  catalog.install_zones(zones);
+  net::DnsResolver resolver(zones);
+  for (auto _ : state) {
+    state.PauseTiming();
+    resolver.flush();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(resolver.resolve("netflix.com", t0));
+  }
+}
+BENCHMARK(BM_DnsResolveCacheMiss);
+
+void BM_IntervalSetAdd(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    IntervalSet set;
+    state.ResumeTiming();
+    for (int i = 0; i < 200; ++i) {
+      const double start = rng.uniform(0.0, 1000.0);
+      set.add(t0 + Hours(start), t0 + Hours(start + rng.uniform(0.1, 5.0)));
+    }
+    benchmark::DoNotOptimize(set.total());
+  }
+}
+BENCHMARK(BM_IntervalSetAdd);
+
+void BM_IntervalSetIntersect(benchmark::State& state) {
+  Rng rng(2);
+  IntervalSet a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double s1 = rng.uniform(0.0, 5000.0);
+    a.add(t0 + Hours(s1), t0 + Hours(s1 + 2.0));
+    const double s2 = rng.uniform(0.0, 5000.0);
+    b.add(t0 + Hours(s2), t0 + Hours(s2 + 3.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.intersect(b));
+  }
+}
+BENCHMARK(BM_IntervalSetIntersect);
+
+void BM_MeterRateChanges(benchmark::State& state) {
+  gateway::ThroughputMeter meter(collect::HomeId{1}, nullptr);
+  TimePoint t = t0;
+  for (auto _ : state) {
+    meter.add_rate(net::Direction::kDownstream, 4e6, t);
+    t += Seconds(4);
+    meter.remove_rate(net::Direction::kDownstream, 4e6, t);
+    t += Seconds(4);
+  }
+}
+BENCHMARK(BM_MeterRateChanges);
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine(t0);
+    for (int i = 0; i < 1000; ++i) {
+      engine.schedule_after(Seconds(i % 97), [] {});
+    }
+    engine.run_until(t0 + Hours(1));
+    benchmark::DoNotOptimize(engine.executed());
+  }
+}
+BENCHMARK(BM_EngineScheduleRun);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfDistribution zipf(200, 0.9);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample);
+
+void BM_CdfQuantile(benchmark::State& state) {
+  Cdf cdf;
+  Rng rng(4);
+  for (int i = 0; i < 100000; ++i) cdf.add(rng.uniform(0.0, 1000.0));
+  (void)cdf.median();  // force the sort outside the loop
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdf.quantile(0.95));
+  }
+}
+BENCHMARK(BM_CdfQuantile);
+
+void BM_MacAnonymize(benchmark::State& state) {
+  const auto mac = net::MacAddress::FromParts(0x001EC2, 0x123456);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mac.anonymized(0x5EC));
+  }
+}
+BENCHMARK(BM_MacAnonymize);
+
+}  // namespace
+}  // namespace bismark
+
+BENCHMARK_MAIN();

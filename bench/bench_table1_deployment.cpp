@@ -1,0 +1,35 @@
+// Table 1: classification of countries based on GDP per capita, with the
+// deployment's router counts per country.
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& study = bench::SharedStudy();
+  const auto& repo = study.repository();
+
+  PrintBanner("Table 1: Classification of countries based on GDP per capita");
+
+  TextTable table({"group", "country", "routers", "GDP PPP ($)", "homes registered"});
+  int developed_total = 0, developing_total = 0;
+  for (const auto& country : home::StandardRoster()) {
+    int registered = 0;
+    for (const auto& info : repo.homes()) {
+      if (info.country_code == country.code) ++registered;
+    }
+    table.add_row({country.developed ? "developed" : "developing", country.name,
+                   TextTable::Int(country.router_count),
+                   TextTable::Int(static_cast<long long>(country.gdp_ppp_per_capita)),
+                   TextTable::Int(registered)});
+    (country.developed ? developed_total : developing_total) += country.router_count;
+  }
+  table.print();
+
+  bench::PrintComparison("total developed routers", "90", TextTable::Int(developed_total));
+  bench::PrintComparison("total developing routers", "36", TextTable::Int(developing_total));
+  bench::PrintComparison("total routers", "126",
+                         TextTable::Int(developed_total + developing_total));
+  bench::PrintComparison("countries", "19",
+                         TextTable::Int(static_cast<long long>(home::StandardRoster().size())));
+  return 0;
+}

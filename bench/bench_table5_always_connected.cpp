@@ -1,0 +1,42 @@
+// Table 5: number of households with one or more wired or wireless devices
+// that never disconnect from the gateway for over five weeks.
+#include "analysis/infrastructure.h"
+#include "common.h"
+
+using namespace bismark;
+
+int main() {
+  const auto& repo = bench::SharedStudy().repository();
+  const auto table5 = analysis::AlwaysConnected(repo);
+
+  PrintBanner("Table 5: Households with always-connected devices (5+ weeks)");
+
+  TextTable table({"group", "total houses", "w/ always-connected wired",
+                   "w/ always-connected wireless"});
+  auto row = [&](const char* name, const analysis::AlwaysConnectedRow& r) {
+    table.add_row({name, TextTable::Int(r.total_homes),
+                   TextTable::Int(r.with_wired) + " (" + TextTable::Pct(r.wired_fraction(), 0) +
+                       ")",
+                   TextTable::Int(r.with_wireless) + " (" +
+                       TextTable::Pct(r.wireless_fraction(), 0) + ")"});
+  };
+  row("developed", table5.developed);
+  row("developing", table5.developing);
+  table.print();
+
+  bench::PrintComparison("developed homes w/ always-on wired device", "34/79 (43%)",
+                         TextTable::Pct(table5.developed.wired_fraction(), 0));
+  bench::PrintComparison("developed homes w/ always-on wireless device", "16/79 (20%)",
+                         TextTable::Pct(table5.developed.wireless_fraction(), 0));
+  bench::PrintComparison("developing homes w/ always-on wired device", "4/34 (12%)",
+                         TextTable::Pct(table5.developing.wired_fraction(), 0));
+  bench::PrintComparison("developing homes w/ always-on wireless device", "4/34 (12%)",
+                         TextTable::Pct(table5.developing.wireless_fraction(), 0));
+
+  // Section 5.2 side-stat: few households use all four Ethernet ports.
+  bench::PrintComparison("homes using all 4 ports (developed)", "9%",
+                         TextTable::Pct(analysis::AllPortsUsedFraction(repo, true), 0));
+  bench::PrintComparison("homes using all 4 ports (developing)", "9%",
+                         TextTable::Pct(analysis::AllPortsUsedFraction(repo, false), 0));
+  return 0;
+}

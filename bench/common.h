@@ -1,0 +1,37 @@
+// Shared plumbing for the figure/table reproduction benches.
+//
+// Every bench binary regenerates one artefact of the paper's evaluation
+// from a full simulated study (Table 1 roster, Table 2 windows) and prints
+// the same rows/series the paper reports, alongside the paper's published
+// value where one exists.
+#pragma once
+
+#include <string>
+
+#include "analysis/downtime.h"
+#include "collect/repository.h"
+#include "core/cdf.h"
+#include "core/table.h"
+#include "home/deployment.h"
+
+namespace bismark::bench {
+
+/// Seed used by every reproduction bench (change to check robustness).
+inline constexpr std::uint64_t kStudySeed = 20131023;
+
+/// Run (once per process) the full study over the paper's Table 2 windows
+/// and return it. Subsequent calls return the cached deployment.
+const home::Deployment& SharedStudy();
+
+/// Availability stats with the paper's filters, cached alongside the study.
+const std::vector<analysis::HomeAvailability>& SharedAvailability();
+
+/// Print a CDF as fixed sample rows: value at selected percentiles.
+void PrintCdfRows(TextTable& table, const std::string& label, const Cdf& cdf,
+                  bool log_scale_hint = false);
+
+/// Print a "paper vs measured" comparison row to stdout.
+void PrintComparison(const std::string& metric, const std::string& paper,
+                     const std::string& measured);
+
+}  // namespace bismark::bench

@@ -1,0 +1,75 @@
+// Device fingerprinting from traffic patterns (Section 7 future work).
+//
+// Runs a small consented deployment, then classifies each device as
+// "streaming box" vs "general purpose" using only anonymised flow records
+// — the MAC's OUI narrows the manufacturer, and the domain-concentration
+// index separates single-purpose streamers from laptops. Ground truth from
+// the simulator scores the classifier.
+//
+//   ./examples/device_fingerprint [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "analysis/fingerprint.h"
+#include "analysis/usage.h"
+#include "core/table.h"
+#include "home/deployment.h"
+
+using namespace bismark;
+
+int main(int argc, char** argv) {
+  home::DeploymentOptions options;
+  options.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 99;
+  options.windows =
+      collect::DatasetWindows::Compressed(MakeTime({2013, 4, 1}), 2);
+  options.traffic_homes = 12;
+  options.bufferbloat_homes = 0;
+
+  std::printf("Running a 12-home consented deployment for two weeks...\n");
+  const auto study = home::Deployment::RunStudy(options);
+  const auto& repo = study->repository();
+
+  // Ground truth: anonymised MAC -> is the device a streamer/TV?
+  const auto catalog = traffic::DomainCatalog::BuildStandard();
+  gateway::Anonymizer anonymizer(catalog,
+                                 gateway::AnonymizerConfig{options.seed ^ 0xA17Full, "anon-"});
+  std::map<std::uint64_t, bool> truth;
+  for (const auto& home : study->households()) {
+    for (const auto& device : home->devices()) {
+      const bool streamer = device.spec().type == traffic::DeviceType::kMediaStreamer ||
+                            device.spec().type == traffic::DeviceType::kSmartTv;
+      truth[anonymizer.anonymize_mac(device.spec().mac).as_u64()] = streamer;
+    }
+  }
+
+  // The classifier sees only what the Traffic data set contains: it runs
+  // on anonymised flow features via analysis::fingerprint.
+  const auto features =
+      analysis::ExtractAllDeviceFeatures(repo, study->catalog(), MB(50));
+  TextTable table({"device (anon MAC)", "vendor", "GB", "streaming share",
+                   "top-domain share", "verdict", "truth"});
+  int correct = 0, total = 0, streamers_found = 0;
+  for (const auto& f : features) {
+    const auto verdict = analysis::ClassifyDevice(f);
+    const bool is_streamer = verdict == analysis::DeviceClassGuess::kStreamingBox;
+    const auto it = truth.find(f.device.as_u64());
+    const bool actual = it != truth.end() && it->second;
+    ++total;
+    if (is_streamer == actual) ++correct;
+    if (is_streamer) ++streamers_found;
+    table.add_row({f.device.to_string(), std::string(net::VendorClassName(f.vendor)),
+                   TextTable::Num(f.total_bytes.gb()), TextTable::Pct(f.streaming_share),
+                   TextTable::Pct(f.top_domain_share),
+                   std::string(analysis::DeviceClassGuessName(verdict)),
+                   actual ? "streamer" : "general"});
+  }
+  table.print();
+
+  std::printf("\nClassifier accuracy on %d devices with >= 50 MB: %d correct (%.0f%%), "
+              "%d flagged as streamers\n",
+              total, correct, total ? 100.0 * correct / total : 0.0, streamers_found);
+  std::printf("The paper's use case: ISPs could attach security alerts to *devices*, not "
+              "just households (Section 7).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "analysis/capacity_stats.h"
+
+#include <algorithm>
+
+#include "core/stats.h"
+
+namespace bismark::analysis {
+
+std::vector<HomeCapacitySummary> SummarizeCapacity(const collect::DataRepository& repo) {
+  std::map<int, std::pair<std::vector<double>, std::vector<double>>> samples;
+  for (const auto& rec : repo.capacity()) {
+    samples[rec.home.value].first.push_back(rec.downstream.mbps());
+    samples[rec.home.value].second.push_back(rec.upstream.mbps());
+  }
+
+  std::vector<HomeCapacitySummary> out;
+  for (const auto& [home, pair] : samples) {
+    HomeCapacitySummary s;
+    s.home = collect::HomeId{home};
+    if (const auto* info = repo.find_home(s.home)) {
+      s.country_code = info->country_code;
+      s.developed = info->developed;
+    }
+    s.probes = static_cast<int>(pair.first.size());
+    s.median_down_mbps = Median(pair.first);
+    s.median_up_mbps = Median(pair.second);
+    RunningStats down;
+    for (double v : pair.first) down.add(v);
+    s.down_cv = down.mean() > 0.0 ? down.stddev() / down.mean() : 0.0;
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const HomeCapacitySummary& a,
+                                       const HomeCapacitySummary& b) {
+    return a.home.value < b.home.value;
+  });
+  return out;
+}
+
+std::vector<CountryCapacityRow> CapacityByCountry(const collect::DataRepository& repo,
+                                                  int min_homes) {
+  const auto homes = SummarizeCapacity(repo);
+  std::map<std::string, std::vector<const HomeCapacitySummary*>> by_country;
+  for (const auto& h : homes) by_country[h.country_code].push_back(&h);
+
+  std::vector<CountryCapacityRow> rows;
+  for (const auto& [code, list] : by_country) {
+    if (static_cast<int>(list.size()) < min_homes) continue;
+    CountryCapacityRow row;
+    row.country_code = code;
+    row.developed = list.front()->developed;
+    row.homes = static_cast<int>(list.size());
+    std::vector<double> down, up;
+    for (const auto* h : list) {
+      down.push_back(h->median_down_mbps);
+      up.push_back(h->median_up_mbps);
+    }
+    row.median_down_mbps = Median(down);
+    row.median_up_mbps = Median(up);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const CountryCapacityRow& a,
+                                         const CountryCapacityRow& b) {
+    return a.median_down_mbps > b.median_down_mbps;
+  });
+  return rows;
+}
+
+CapacityCdfs CapacityDistributions(const collect::DataRepository& repo) {
+  CapacityCdfs cdfs;
+  for (const auto& h : SummarizeCapacity(repo)) {
+    (h.developed ? cdfs.developed_down : cdfs.developing_down).add(h.median_down_mbps);
+  }
+  return cdfs;
+}
+
+}  // namespace bismark::analysis

@@ -1,0 +1,58 @@
+// Capacity data set analysis.
+//
+// The Capacity data is the one data set the paper releases publicly *and
+// keeps updating* (Section 3.2) — it underpins the authors' broadband
+// policy work. This module summarises it: per-home medians, per-country
+// distributions, downstream/upstream asymmetry, and probe stability —
+// which also backs the regulators' "are ISPs delivering what they promise"
+// question from the introduction.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collect/repository.h"
+#include "core/cdf.h"
+
+namespace bismark::analysis {
+
+/// Per-home capacity summary over the Capacity window.
+struct HomeCapacitySummary {
+  collect::HomeId home;
+  std::string country_code;
+  bool developed{true};
+  int probes{0};
+  double median_down_mbps{0.0};
+  double median_up_mbps{0.0};
+  /// Coefficient of variation of the downstream probes — how stable the
+  /// estimate is (Fig. 14's "capacity remains fairly constant").
+  double down_cv{0.0};
+
+  [[nodiscard]] double asymmetry() const {
+    return median_up_mbps > 0.0 ? median_down_mbps / median_up_mbps : 0.0;
+  }
+};
+
+[[nodiscard]] std::vector<HomeCapacitySummary> SummarizeCapacity(
+    const collect::DataRepository& repo);
+
+/// Per-country aggregation (median of home medians).
+struct CountryCapacityRow {
+  std::string country_code;
+  bool developed{true};
+  int homes{0};
+  double median_down_mbps{0.0};
+  double median_up_mbps{0.0};
+};
+[[nodiscard]] std::vector<CountryCapacityRow> CapacityByCountry(
+    const collect::DataRepository& repo, int min_homes = 3);
+
+/// Regional downstream-capacity CDFs (developed vs developing).
+struct CapacityCdfs {
+  Cdf developed_down;
+  Cdf developing_down;
+};
+[[nodiscard]] CapacityCdfs CapacityDistributions(const collect::DataRepository& repo);
+
+}  // namespace bismark::analysis

@@ -1,0 +1,66 @@
+#include "analysis/diurnal.h"
+
+#include <algorithm>
+
+#include "core/histogram.h"
+
+namespace bismark::analysis {
+
+namespace {
+double MaxOf(const std::array<double, 24>& a) { return *std::max_element(a.begin(), a.end()); }
+double MinOf(const std::array<double, 24>& a) { return *std::min_element(a.begin(), a.end()); }
+}  // namespace
+
+double DiurnalProfile::weekday_peak() const { return MaxOf(weekday); }
+double DiurnalProfile::weekday_trough() const { return MinOf(weekday); }
+double DiurnalProfile::weekend_peak() const { return MaxOf(weekend); }
+double DiurnalProfile::weekend_trough() const { return MinOf(weekend); }
+double DiurnalProfile::weekday_swing() const {
+  return weekday_trough() > 0.0 ? weekday_peak() / weekday_trough() : 0.0;
+}
+double DiurnalProfile::weekend_swing() const {
+  return weekend_trough() > 0.0 ? weekend_peak() / weekend_trough() : 0.0;
+}
+
+DiurnalProfile WirelessDiurnalProfile(const collect::DataRepository& repo) {
+  // Scans of the two bands run on separate cadences, so sum per-band hourly
+  // means rather than matching individual scans: for each (band, hour,
+  // day-class) we average the client counts, then add the bands.
+  BinnedMean wd24(24), wd5(24), we24(24), we5(24);
+  for (const auto& scan : repo.wifi_scans()) {
+    const auto* info = repo.find_home(scan.home);
+    if (!info) continue;
+    const TimeZone tz{info->utc_offset};
+    const int hour = tz.local_hour(scan.scanned);
+    const bool weekend = IsWeekend(tz.local_weekday(scan.scanned));
+    BinnedMean& bins = scan.band == wireless::Band::k2_4GHz ? (weekend ? we24 : wd24)
+                                                            : (weekend ? we5 : wd5);
+    bins.add(static_cast<std::size_t>(hour), scan.associated_clients);
+  }
+  DiurnalProfile profile;
+  for (std::size_t h = 0; h < 24; ++h) {
+    profile.weekday[h] = wd24.mean(h) + wd5.mean(h);
+    profile.weekend[h] = we24.mean(h) + we5.mean(h);
+  }
+  return profile;
+}
+
+DiurnalProfile CensusDiurnalProfile(const collect::DataRepository& repo) {
+  BinnedMean wd(24), we(24);
+  for (const auto& rec : repo.device_counts()) {
+    const auto* info = repo.find_home(rec.home);
+    if (!info) continue;
+    const TimeZone tz{info->utc_offset};
+    const int hour = tz.local_hour(rec.sampled);
+    const bool weekend = IsWeekend(tz.local_weekday(rec.sampled));
+    (weekend ? we : wd).add(static_cast<std::size_t>(hour), rec.wireless_total());
+  }
+  DiurnalProfile profile;
+  for (std::size_t h = 0; h < 24; ++h) {
+    profile.weekday[h] = wd.mean(h);
+    profile.weekend[h] = we.mean(h);
+  }
+  return profile;
+}
+
+}  // namespace bismark::analysis

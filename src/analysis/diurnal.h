@@ -1,0 +1,35 @@
+// Diurnal usage analysis (Fig. 13): mean wireless clients by local hour of
+// day, weekday vs weekend, from the WiFi data set's per-scan association
+// counts.
+#pragma once
+
+#include <array>
+
+#include "collect/repository.h"
+#include "core/time.h"
+
+namespace bismark::analysis {
+
+struct DiurnalProfile {
+  std::array<double, 24> weekday{};
+  std::array<double, 24> weekend{};
+
+  [[nodiscard]] double weekday_peak() const;
+  [[nodiscard]] double weekday_trough() const;
+  [[nodiscard]] double weekend_peak() const;
+  [[nodiscard]] double weekend_trough() const;
+  /// Peak-to-trough swing ratio; Fig. 13's claim is that this is clearly
+  /// larger on weekdays.
+  [[nodiscard]] double weekday_swing() const;
+  [[nodiscard]] double weekend_swing() const;
+};
+
+/// Mean wireless clients (both bands summed) by local hour. Hours are
+/// interpreted in each home's timezone via its HomeInfo utc_offset.
+[[nodiscard]] DiurnalProfile WirelessDiurnalProfile(const collect::DataRepository& repo);
+
+/// Same profile from the hourly Devices census (a robustness cross-check —
+/// the shape should agree with the WiFi-derived one).
+[[nodiscard]] DiurnalProfile CensusDiurnalProfile(const collect::DataRepository& repo);
+
+}  // namespace bismark::analysis

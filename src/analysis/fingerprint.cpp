@@ -1,0 +1,94 @@
+#include "analysis/fingerprint.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bismark::analysis {
+
+namespace {
+bool IsStreamingDomain(const traffic::DomainCatalog& catalog, const std::string& name) {
+  for (const auto& d : catalog.domains()) {
+    if (d.name == name) {
+      return d.category == traffic::DomainCategory::kVideoStreaming ||
+             d.category == traffic::DomainCategory::kAudioStreaming ||
+             d.category == traffic::DomainCategory::kCdn;
+    }
+  }
+  return false;
+}
+}  // namespace
+
+DeviceFeatures ExtractDeviceFeatures(const collect::DataRepository& repo,
+                                     const traffic::DomainCatalog& catalog,
+                                     net::MacAddress anonymized_mac) {
+  DeviceFeatures features;
+  features.device = anonymized_mac;
+  features.vendor = net::OuiRegistry::Instance().classify(anonymized_mac);
+
+  std::map<std::string, double> by_domain;
+  double total = 0.0;
+  double streaming = 0.0;
+  for (const auto& flow : repo.flows()) {
+    if (flow.device_mac != anonymized_mac) continue;
+    const double bytes = static_cast<double>(flow.total_bytes().count);
+    ++features.flows;
+    total += bytes;
+    by_domain[flow.domain] += bytes;
+  }
+  for (const auto& [domain, bytes] : by_domain) {
+    if (IsStreamingDomain(catalog, domain)) streaming += bytes;
+  }
+
+  features.total_bytes = Bytes{static_cast<std::int64_t>(total)};
+  features.distinct_domains = static_cast<int>(by_domain.size());
+  if (total > 0.0) {
+    double top = 0.0;
+    for (const auto& [domain, bytes] : by_domain) top = std::max(top, bytes);
+    features.top_domain_share = top / total;
+    features.streaming_share = streaming / total;
+  }
+  if (features.flows > 0) {
+    features.bytes_per_flow = total / static_cast<double>(features.flows);
+  }
+  return features;
+}
+
+std::vector<DeviceFeatures> ExtractAllDeviceFeatures(const collect::DataRepository& repo,
+                                                     const traffic::DomainCatalog& catalog,
+                                                     Bytes min_bytes) {
+  std::vector<DeviceFeatures> out;
+  for (const auto& rec : repo.device_traffic()) {
+    if (rec.bytes_total < min_bytes) continue;
+    out.push_back(ExtractDeviceFeatures(repo, catalog, rec.device_mac));
+  }
+  std::sort(out.begin(), out.end(), [](const DeviceFeatures& a, const DeviceFeatures& b) {
+    return a.total_bytes > b.total_bytes;
+  });
+  return out;
+}
+
+std::string_view DeviceClassGuessName(DeviceClassGuess g) {
+  switch (g) {
+    case DeviceClassGuess::kStreamingBox: return "streaming-box";
+    case DeviceClassGuess::kGeneralPurpose: return "general-purpose";
+    case DeviceClassGuess::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+DeviceClassGuess ClassifyDevice(const DeviceFeatures& features,
+                                const FingerprintThresholds& thresholds) {
+  if (features.flows == 0 || features.total_bytes.count <= 0) {
+    return DeviceClassGuess::kUnknown;
+  }
+  const bool streaming_dominated = features.streaming_share >= thresholds.min_streaming_share;
+  const bool concentrated = features.top_domain_share >= thresholds.min_top_domain_share;
+  const bool fat_flows = features.bytes_per_flow >= thresholds.min_bytes_per_flow;
+  const bool narrow = features.distinct_domains <= thresholds.max_distinct_domains;
+  if (streaming_dominated && concentrated && fat_flows && narrow) {
+    return DeviceClassGuess::kStreamingBox;
+  }
+  return DeviceClassGuess::kGeneralPurpose;
+}
+
+}  // namespace bismark::analysis

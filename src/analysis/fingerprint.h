@@ -1,0 +1,68 @@
+// Traffic-pattern device fingerprinting (Section 7 future work, grounded
+// in the Fig. 20 observation).
+//
+// The MAC OUI narrows a device to its manufacturer but cannot separate a
+// MacBook from an Apple TV; the *shape* of a device's traffic can. This
+// module extracts per-device features from the anonymised Traffic data set
+// and classifies devices as streaming boxes vs general-purpose — the
+// fine-grained attribution the paper proposes for ISP security alerts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collect/repository.h"
+#include "net/oui.h"
+#include "traffic/domains.h"
+
+namespace bismark::analysis {
+
+/// Features computable from anonymised flow records alone.
+struct DeviceFeatures {
+  net::MacAddress device;            // anonymised
+  net::VendorClass vendor{net::VendorClass::kUnknown};
+  Bytes total_bytes;
+  std::uint64_t flows{0};
+  int distinct_domains{0};
+  /// Share of the device's bytes going to its single top domain.
+  double top_domain_share{0.0};
+  /// Share of bytes to known streaming domains (video/audio categories of
+  /// the whitelist; anonymised domains cannot contribute).
+  double streaming_share{0.0};
+  /// Mean bytes per flow — streams are few and fat.
+  double bytes_per_flow{0.0};
+};
+
+/// Extract features for one device (by anonymised MAC).
+[[nodiscard]] DeviceFeatures ExtractDeviceFeatures(const collect::DataRepository& repo,
+                                                   const traffic::DomainCatalog& catalog,
+                                                   net::MacAddress anonymized_mac);
+
+/// Extract features for every device in the Traffic data set with at least
+/// `min_bytes` of traffic.
+[[nodiscard]] std::vector<DeviceFeatures> ExtractAllDeviceFeatures(
+    const collect::DataRepository& repo, const traffic::DomainCatalog& catalog,
+    Bytes min_bytes = MB(50));
+
+enum class DeviceClassGuess : int { kStreamingBox = 0, kGeneralPurpose, kUnknown };
+
+[[nodiscard]] std::string_view DeviceClassGuessName(DeviceClassGuess g);
+
+struct FingerprintThresholds {
+  /// Streaming share alone does NOT separate devices: a laptop's bytes are
+  /// video-dominated too. The discriminating signals are flow fatness (a
+  /// streamer's mean flow is hundreds of MB; browsing drags a laptop's
+  /// mean down) and domain diversity (people wander, boxes don't).
+  double min_streaming_share{0.60};
+  double min_top_domain_share{0.45};
+  double min_bytes_per_flow{5e7};  // 50 MB/flow
+  int max_distinct_domains{20};
+};
+
+/// Rule-based classifier over the features. A device is a streaming box
+/// when its traffic is streaming-dominated, concentrated, and fat-flowed
+/// (vendor class corroborates but is not required — that is the point).
+[[nodiscard]] DeviceClassGuess ClassifyDevice(const DeviceFeatures& features,
+                                              const FingerprintThresholds& thresholds = {});
+
+}  // namespace bismark::analysis

@@ -1,0 +1,81 @@
+// Infrastructure analysis (Section 5): device counts, media, spectrum
+// occupancy and neighbourhood crowding — Figs 7–11 and Table 5, all
+// computed from the Devices and WiFi data sets.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collect/repository.h"
+#include "core/cdf.h"
+
+namespace bismark::analysis {
+
+/// Fig. 7: unique devices per home (final running-unique count of the
+/// Devices window).
+[[nodiscard]] Cdf UniqueDevicesCdf(const collect::DataRepository& repo);
+/// Mean unique devices across homes (the "seven devices on average").
+[[nodiscard]] double MeanUniqueDevices(const collect::DataRepository& repo);
+
+/// Fig. 8 / Fig. 9: average concurrently-connected devices per home,
+/// aggregated over census samples, with the across-homes stddev.
+struct MeanWithSpread {
+  double mean{0.0};
+  double stddev{0.0};
+  int homes{0};
+};
+struct ConnectedByMedium {
+  MeanWithSpread wired;
+  MeanWithSpread wireless;
+};
+/// Per region (Fig. 8).
+[[nodiscard]] ConnectedByMedium ConnectedDevices(const collect::DataRepository& repo,
+                                                 bool developed);
+struct ConnectedByBand {
+  MeanWithSpread band24;
+  MeanWithSpread band5;
+};
+/// Per region (Fig. 9 groups by band; we expose both splits).
+[[nodiscard]] ConnectedByBand ConnectedWireless(const collect::DataRepository& repo,
+                                                bool developed);
+
+/// Fig. 10: unique devices per band per home (whole deployment).
+struct BandCdfs {
+  Cdf band24;
+  Cdf band5;
+};
+[[nodiscard]] BandCdfs UniqueDevicesPerBand(const collect::DataRepository& repo);
+
+/// Fig. 11: visible neighbour APs on the 2.4 GHz scan channel, one value
+/// per home (median across its scans), split by region.
+struct NeighborApCdfs {
+  Cdf developed;
+  Cdf developing;
+};
+[[nodiscard]] NeighborApCdfs NeighborAps(const collect::DataRepository& repo);
+/// Same for the 5 GHz radio (Section 5.3's "about one AP" remark).
+[[nodiscard]] NeighborApCdfs NeighborAps5(const collect::DataRepository& repo);
+
+/// Table 5: homes with at least one always-connected device.
+struct AlwaysConnectedRow {
+  int total_homes{0};
+  int with_wired{0};
+  int with_wireless{0};
+  [[nodiscard]] double wired_fraction() const {
+    return total_homes ? static_cast<double>(with_wired) / total_homes : 0.0;
+  }
+  [[nodiscard]] double wireless_fraction() const {
+    return total_homes ? static_cast<double>(with_wireless) / total_homes : 0.0;
+  }
+};
+struct AlwaysConnectedTable {
+  AlwaysConnectedRow developed;
+  AlwaysConnectedRow developing;
+};
+[[nodiscard]] AlwaysConnectedTable AlwaysConnected(const collect::DataRepository& repo);
+
+/// §5.2: fraction of homes using all four Ethernet ports, per region.
+[[nodiscard]] double AllPortsUsedFraction(const collect::DataRepository& repo, bool developed);
+
+}  // namespace bismark::analysis

@@ -1,0 +1,78 @@
+#include "analysis/timeline_view.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bismark::analysis {
+
+std::vector<TimelineDay> RenderTimeline(const std::vector<collect::HeartbeatRun>& runs,
+                                        TimeZone tz, TimePoint from, int days,
+                                        const TimelineViewOptions& options) {
+  IntervalSet online;
+  for (const auto& r : runs) online.add(r.start, r.end);
+
+  std::vector<TimelineDay> out;
+  TimePoint midnight = tz.local_midnight(from);
+  for (int d = 0; d < days; ++d) {
+    TimelineDay day;
+    day.midnight = midnight;
+    day.cells.reserve(static_cast<std::size_t>(options.columns_per_day));
+    const Duration cell = Duration{Days(1).ms / options.columns_per_day};
+    for (int c = 0; c < options.columns_per_day; ++c) {
+      const TimePoint lo = midnight + cell * c;
+      const TimePoint hi = lo + cell;
+      const double frac = online.coverage_fraction(lo, hi);
+      day.cells.push_back(frac >= 0.5 ? options.online_char : options.offline_char);
+    }
+    day.online_fraction = online.coverage_fraction(midnight, midnight + Days(1));
+    out.push_back(std::move(day));
+    midnight += Days(1);
+  }
+  return out;
+}
+
+collect::HomeId FindArchetype(const collect::DataRepository& repo,
+                              AvailabilityArchetype archetype) {
+  const Interval window = repo.windows().heartbeats;
+  const double window_days = (window.end - window.start).days();
+
+  std::map<int, IntervalSet> online_by_home;
+  for (const auto& run : repo.heartbeat_runs()) {
+    online_by_home[run.home.value].add(run.start, run.end);
+  }
+
+  collect::HomeId best{0};
+  double best_score = -1.0;
+  for (const auto& info : repo.homes()) {
+    const auto it = online_by_home.find(info.id.value);
+    if (it == online_by_home.end()) continue;
+    const IntervalSet& online = it->second;
+    const double coverage = online.coverage_fraction(window.start, window.end);
+    const double segments_per_day = static_cast<double>(online.size()) / window_days;
+
+    double score = 0.0;
+    switch (archetype) {
+      case AvailabilityArchetype::kAlwaysOn:
+        // Near-complete coverage, few interruptions.
+        score = coverage - segments_per_day;
+        break;
+      case AvailabilityArchetype::kAppliance:
+        // Low coverage but regular daily use: ~1 segment per day.
+        if (coverage > 0.05 && coverage < 0.5) {
+          score = 1.0 - std::abs(segments_per_day - 1.2);
+        }
+        break;
+      case AvailabilityArchetype::kFlaky:
+        // Mostly up yet frequently interrupted.
+        if (coverage > 0.6) score = segments_per_day;
+        break;
+    }
+    if (score > best_score) {
+      best_score = score;
+      best = info.id;
+    }
+  }
+  return best;
+}
+
+}  // namespace bismark::analysis

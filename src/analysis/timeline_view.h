@@ -1,0 +1,41 @@
+// Fig. 6 rendering: per-day availability bars for one home, derived from
+// the measured heartbeat runs (green line segments in the paper become
+// '#' runs here; '.' marks downtime).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collect/repository.h"
+#include "core/intervals.h"
+#include "core/time.h"
+
+namespace bismark::analysis {
+
+struct TimelineViewOptions {
+  int columns_per_day{48};  // 30-minute cells
+  char online_char{'#'};
+  char offline_char{'.'};
+};
+
+/// One rendered day.
+struct TimelineDay {
+  TimePoint midnight;      // local midnight (UTC instant)
+  std::string cells;       // columns_per_day chars
+  double online_fraction{0.0};
+};
+
+/// Render `days` days of one home's availability starting at `from`
+/// (clamped to local midnight). Times are interpreted in the home's zone.
+[[nodiscard]] std::vector<TimelineDay> RenderTimeline(
+    const std::vector<collect::HeartbeatRun>& runs, TimeZone tz, TimePoint from, int days,
+    const TimelineViewOptions& options = {});
+
+/// Pick the home in `repo` whose measured behaviour best matches a Fig. 6
+/// archetype: "always-on", "appliance" (low online fraction, evening
+/// concentrated) or "flaky" (many short downtimes while powered).
+enum class AvailabilityArchetype { kAlwaysOn, kAppliance, kFlaky };
+[[nodiscard]] collect::HomeId FindArchetype(const collect::DataRepository& repo,
+                                            AvailabilityArchetype archetype);
+
+}  // namespace bismark::analysis

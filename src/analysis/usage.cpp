@@ -1,0 +1,220 @@
+#include "analysis/usage.h"
+
+#include <algorithm>
+#include <map>
+
+namespace bismark::analysis {
+
+std::vector<VendorCount> VendorHistogram(const collect::DataRepository& repo, Bytes min_bytes,
+                                         bool exclude_gateways) {
+  std::map<int, int> counts;  // vendor class -> devices
+  for (const auto& rec : repo.device_traffic()) {
+    if (rec.bytes_total < min_bytes) continue;
+    if (exclude_gateways && rec.vendor == net::VendorClass::kGateway) continue;
+    ++counts[static_cast<int>(rec.vendor)];
+  }
+  std::vector<VendorCount> out;
+  for (const auto& [vendor, devices] : counts) {
+    out.push_back(VendorCount{static_cast<net::VendorClass>(vendor), devices});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const VendorCount& a, const VendorCount& b) { return a.devices > b.devices; });
+  return out;
+}
+
+DeviceConcentration DeviceUsageShares(const collect::DataRepository& repo,
+                                      std::size_t max_rank) {
+  // Per home: bytes per device, descending; accumulate share-by-rank.
+  std::map<int, std::map<std::uint64_t, double>> per_home;  // home -> mac -> bytes
+  for (const auto& rec : repo.device_traffic()) {
+    per_home[rec.home.value][rec.device_mac.as_u64()] +=
+        static_cast<double>(rec.bytes_total.count);
+  }
+
+  DeviceConcentration result;
+  result.share_by_rank.assign(max_rank, 0.0);
+  std::vector<int> homes_at_rank(max_rank, 0);
+  for (const auto& [home, devices] : per_home) {
+    std::vector<double> bytes;
+    double total = 0.0;
+    for (const auto& [mac, b] : devices) {
+      bytes.push_back(b);
+      total += b;
+    }
+    if (total <= 0.0) continue;
+    std::sort(bytes.rbegin(), bytes.rend());
+    ++result.homes;
+    for (std::size_t r = 0; r < std::min(max_rank, bytes.size()); ++r) {
+      result.share_by_rank[r] += bytes[r] / total;
+      ++homes_at_rank[r];
+    }
+  }
+  for (std::size_t r = 0; r < max_rank; ++r) {
+    if (homes_at_rank[r] > 0) result.share_by_rank[r] /= homes_at_rank[r];
+  }
+  return result;
+}
+
+namespace {
+struct DomainTotals {
+  double bytes{0.0};
+  double conns{0.0};
+};
+
+/// Per home: domain -> totals, plus home-wide totals.
+struct HomeDomains {
+  std::map<std::string, DomainTotals> domains;
+  double total_bytes{0.0};
+  double total_conns{0.0};
+};
+
+std::map<int, HomeDomains> CollectDomains(const collect::DataRepository& repo) {
+  std::map<int, HomeDomains> out;
+  for (const auto& flow : repo.flows()) {
+    HomeDomains& h = out[flow.home.value];
+    const double bytes = static_cast<double>(flow.total_bytes().count);
+    h.total_bytes += bytes;
+    h.total_conns += 1.0;
+    auto& d = h.domains[flow.domain];
+    d.bytes += bytes;
+    d.conns += 1.0;
+  }
+  return out;
+}
+
+bool IsWhitelistedName(const std::string& domain) { return domain.rfind("anon-", 0) != 0; }
+}  // namespace
+
+std::vector<DomainPrevalence> TopDomainPrevalence(const collect::DataRepository& repo) {
+  std::map<std::string, DomainPrevalence> prevalence;
+  for (const auto& [home, data] : CollectDomains(repo)) {
+    // Rank this home's *whitelisted* domains by volume.
+    std::vector<std::pair<std::string, double>> ranked;
+    for (const auto& [domain, totals] : data.domains) {
+      if (IsWhitelistedName(domain)) ranked.emplace_back(domain, totals.bytes);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    for (std::size_t i = 0; i < std::min<std::size_t>(10, ranked.size()); ++i) {
+      auto& p = prevalence[ranked[i].first];
+      p.domain = ranked[i].first;
+      if (i < 5) ++p.homes_top5;
+      ++p.homes_top10;
+    }
+  }
+  std::vector<DomainPrevalence> out;
+  for (auto& [domain, p] : prevalence) out.push_back(std::move(p));
+  std::sort(out.begin(), out.end(), [](const DomainPrevalence& a, const DomainPrevalence& b) {
+    if (a.homes_top5 != b.homes_top5) return a.homes_top5 > b.homes_top5;
+    if (a.homes_top10 != b.homes_top10) return a.homes_top10 > b.homes_top10;
+    return a.domain < b.domain;
+  });
+  return out;
+}
+
+DomainConcentration DomainUsageShares(const collect::DataRepository& repo,
+                                      std::size_t max_rank) {
+  DomainConcentration result;
+  result.by_rank.assign(max_rank, DomainShare{});
+  std::vector<int> homes_at_rank(max_rank, 0);
+  double whitelisted_bytes_sum = 0.0;
+  double whitelisted_conns_sum = 0.0;
+
+  for (const auto& [home, data] : CollectDomains(repo)) {
+    if (data.total_bytes <= 0.0) continue;
+    ++result.homes;
+
+    std::vector<const std::pair<const std::string, DomainTotals>*> whitelisted;
+    double wl_bytes = 0.0, wl_conns = 0.0;
+    for (const auto& entry : data.domains) {
+      if (IsWhitelistedName(entry.first)) {
+        whitelisted.push_back(&entry);
+        wl_bytes += entry.second.bytes;
+        wl_conns += entry.second.conns;
+      }
+    }
+    whitelisted_bytes_sum += wl_bytes / data.total_bytes;
+    whitelisted_conns_sum += data.total_conns > 0.0 ? wl_conns / data.total_conns : 0.0;
+
+    // (a)+(c): ranked by volume.
+    std::sort(whitelisted.begin(), whitelisted.end(), [](const auto* a, const auto* b) {
+      return a->second.bytes > b->second.bytes;
+    });
+    for (std::size_t r = 0; r < std::min(max_rank, whitelisted.size()); ++r) {
+      result.by_rank[r].volume_share += whitelisted[r]->second.bytes / data.total_bytes;
+      if (data.total_conns > 0.0) {
+        result.by_rank[r].conns_by_vol_rank +=
+            whitelisted[r]->second.conns / data.total_conns;
+      }
+      ++homes_at_rank[r];
+    }
+    // (b): ranked by connection count.
+    std::sort(whitelisted.begin(), whitelisted.end(), [](const auto* a, const auto* b) {
+      return a->second.conns > b->second.conns;
+    });
+    for (std::size_t r = 0; r < std::min(max_rank, whitelisted.size()); ++r) {
+      if (data.total_conns > 0.0) {
+        result.by_rank[r].conns_by_conn_rank +=
+            whitelisted[r]->second.conns / data.total_conns;
+      }
+    }
+  }
+
+  for (std::size_t r = 0; r < max_rank; ++r) {
+    if (homes_at_rank[r] > 0) {
+      result.by_rank[r].volume_share /= homes_at_rank[r];
+      result.by_rank[r].conns_by_vol_rank /= homes_at_rank[r];
+      result.by_rank[r].conns_by_conn_rank /= homes_at_rank[r];
+    }
+  }
+  if (result.homes > 0) {
+    result.whitelisted_volume_share = whitelisted_bytes_sum / result.homes;
+    result.whitelisted_conn_share = whitelisted_conns_sum / result.homes;
+  }
+  return result;
+}
+
+std::vector<DeviceDomainShare> DeviceDomainProfile(const collect::DataRepository& repo,
+                                                   net::MacAddress anonymized_mac,
+                                                   std::size_t max_domains) {
+  std::map<std::string, double> bytes_by_domain;
+  double total = 0.0;
+  for (const auto& flow : repo.flows()) {
+    if (flow.device_mac != anonymized_mac) continue;
+    const double b = static_cast<double>(flow.total_bytes().count);
+    bytes_by_domain[flow.domain] += b;
+    total += b;
+  }
+  std::vector<DeviceDomainShare> out;
+  if (total <= 0.0) return out;
+  for (const auto& [domain, b] : bytes_by_domain) {
+    out.push_back(DeviceDomainShare{domain, b / total});
+  }
+  std::sort(out.begin(), out.end(), [](const DeviceDomainShare& a, const DeviceDomainShare& b) {
+    return a.share > b.share;
+  });
+  if (out.size() > max_domains) out.resize(max_domains);
+  return out;
+}
+
+net::MacAddress FindDeviceByVendor(const collect::DataRepository& repo,
+                                   net::VendorClass vendor) {
+  net::MacAddress best;
+  Bytes best_bytes{0};
+  for (const auto& rec : repo.device_traffic()) {
+    if (rec.vendor != vendor) continue;
+    if (rec.bytes_total > best_bytes) {
+      best_bytes = rec.bytes_total;
+      best = rec.device_mac;
+    }
+  }
+  return best;
+}
+
+double DomainConcentrationIndex(const collect::DataRepository& repo,
+                                net::MacAddress anonymized_mac) {
+  const auto profile = DeviceDomainProfile(repo, anonymized_mac, 1);
+  return profile.empty() ? 0.0 : profile.front().share;
+}
+
+}  // namespace bismark::analysis

@@ -1,0 +1,84 @@
+// Usage analysis (Sections 5.4 and 6.3–6.4): device vendors, per-device
+// traffic concentration, domain popularity and device fingerprinting —
+// Figs 12 and 17–20, all from the (anonymised) Traffic data set.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "collect/repository.h"
+#include "net/oui.h"
+
+namespace bismark::analysis {
+
+/// Fig. 12: devices seen across the Traffic homes by manufacturer class,
+/// counting only devices above `min_bytes` (paper: 100 KB) and excluding
+/// gateway-class hardware when `exclude_gateways` (the paper removes its
+/// own Netgear units).
+struct VendorCount {
+  net::VendorClass vendor{net::VendorClass::kUnknown};
+  int devices{0};
+};
+[[nodiscard]] std::vector<VendorCount> VendorHistogram(const collect::DataRepository& repo,
+                                                       Bytes min_bytes = KB(100),
+                                                       bool exclude_gateways = true);
+
+/// Fig. 17: average share of home traffic carried by the rank-k device.
+/// share_by_rank[0] is the dominant device (~60–65 % in the paper).
+struct DeviceConcentration {
+  std::vector<double> share_by_rank;
+  int homes{0};
+};
+[[nodiscard]] DeviceConcentration DeviceUsageShares(const collect::DataRepository& repo,
+                                                    std::size_t max_rank = 8);
+
+/// Fig. 18: how many homes have a given domain among their top-5 / top-10
+/// whitelisted domains by volume.
+struct DomainPrevalence {
+  std::string domain;
+  int homes_top5{0};
+  int homes_top10{0};
+};
+[[nodiscard]] std::vector<DomainPrevalence> TopDomainPrevalence(
+    const collect::DataRepository& repo);
+
+/// Fig. 19: average per-home share of traffic volume and connections by
+/// domain rank. Shares are fractions of the home's *total* traffic
+/// (whitelisted + anonymised), as in the paper where the whitelisted
+/// portion sums to ~65 %.
+struct DomainShare {
+  double volume_share{0.0};       // Fig. 19a: ranked by volume
+  double conns_by_conn_rank{0.0}; // Fig. 19b: ranked by #connections
+  double conns_by_vol_rank{0.0};  // Fig. 19c: connection share of the volume-ranked domain
+};
+struct DomainConcentration {
+  std::vector<DomainShare> by_rank;
+  double whitelisted_volume_share{0.0};  // the ~65 % "Total"
+  double whitelisted_conn_share{0.0};
+  int homes{0};
+};
+[[nodiscard]] DomainConcentration DomainUsageShares(const collect::DataRepository& repo,
+                                                    std::size_t max_rank = 10);
+
+/// Fig. 20: one device's domain mix (share of the device's bytes per
+/// domain, descending). Identified by its anonymised MAC.
+struct DeviceDomainShare {
+  std::string domain;
+  double share{0.0};
+};
+[[nodiscard]] std::vector<DeviceDomainShare> DeviceDomainProfile(
+    const collect::DataRepository& repo, net::MacAddress anonymized_mac,
+    std::size_t max_domains = 8);
+
+/// Find a labelled example device for Fig. 20 by vendor class, choosing
+/// the one with the most traffic. Returns zero MAC if none exists.
+[[nodiscard]] net::MacAddress FindDeviceByVendor(const collect::DataRepository& repo,
+                                                 net::VendorClass vendor);
+
+/// Device fingerprinting (Section 7): classify a device as streaming-box
+/// vs general-purpose from its domain mix alone. Returns the fraction of
+/// its traffic going to its single top domain — streamers concentrate.
+[[nodiscard]] double DomainConcentrationIndex(const collect::DataRepository& repo,
+                                              net::MacAddress anonymized_mac);
+
+}  // namespace bismark::analysis

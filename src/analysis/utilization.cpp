@@ -1,0 +1,123 @@
+#include "analysis/utilization.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/stats.h"
+
+namespace bismark::analysis {
+
+namespace {
+struct HomeCapacity {
+  double down_mbps{0.0};
+  double up_mbps{0.0};
+  bool valid{false};
+};
+
+std::map<int, HomeCapacity> MedianCapacities(const collect::DataRepository& repo) {
+  std::map<int, std::pair<std::vector<double>, std::vector<double>>> samples;
+  for (const auto& rec : repo.capacity()) {
+    samples[rec.home.value].first.push_back(rec.downstream.mbps());
+    samples[rec.home.value].second.push_back(rec.upstream.mbps());
+  }
+  std::map<int, HomeCapacity> out;
+  for (auto& [home, pair] : samples) {
+    HomeCapacity cap;
+    cap.down_mbps = Median(pair.first);
+    cap.up_mbps = Median(pair.second);
+    cap.valid = cap.down_mbps > 0.0 && cap.up_mbps > 0.0;
+    out[home] = cap;
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<SaturationPoint> LinkSaturation(const collect::DataRepository& repo,
+                                            const SaturationOptions& options) {
+  const auto capacities = MedianCapacities(repo);
+  std::map<int, std::pair<std::vector<double>, std::vector<double>>> peaks;
+  for (const auto& minute : repo.throughput()) {
+    peaks[minute.home.value].first.push_back(minute.peak_down_bps / 1e6);
+    peaks[minute.home.value].second.push_back(minute.peak_up_bps / 1e6);
+  }
+
+  std::vector<SaturationPoint> out;
+  for (const auto& [home, pair] : peaks) {
+    if (static_cast<int>(pair.first.size()) < options.min_minutes) continue;
+    const auto cap_it = capacities.find(home);
+    if (cap_it == capacities.end() || !cap_it->second.valid) continue;
+
+    SaturationPoint p;
+    p.home = collect::HomeId{home};
+    p.capacity_down_mbps = cap_it->second.down_mbps;
+    p.capacity_up_mbps = cap_it->second.up_mbps;
+    p.utilization_down_p95 =
+        Quantile(pair.first, options.quantile) / cap_it->second.down_mbps;
+    p.utilization_up_p95 = Quantile(pair.second, options.quantile) / cap_it->second.up_mbps;
+    p.minutes_observed = static_cast<int>(pair.first.size());
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end(), [](const SaturationPoint& a, const SaturationPoint& b) {
+    return a.home.value < b.home.value;
+  });
+  return out;
+}
+
+UtilizationSeries UtilizationTimeseries(const collect::DataRepository& repo,
+                                        collect::HomeId home, Duration bucket) {
+  UtilizationSeries series;
+  series.home = home;
+
+  const auto capacities = MedianCapacities(repo);
+  if (const auto it = capacities.find(home.value); it != capacities.end()) {
+    series.capacity_down_mbps = it->second.down_mbps;
+    series.capacity_up_mbps = it->second.up_mbps;
+  }
+
+  const Interval window = repo.windows().traffic;
+  const std::int64_t n_buckets =
+      std::max<std::int64_t>(1, (window.end - window.start).ms / bucket.ms);
+  series.buckets.resize(static_cast<std::size_t>(n_buckets));
+  for (std::int64_t i = 0; i < n_buckets; ++i) {
+    series.buckets[static_cast<std::size_t>(i)].start = window.start + bucket * i;
+  }
+
+  for (const auto& minute : repo.throughput()) {
+    if (minute.home != home) continue;
+    const std::int64_t idx =
+        std::clamp<std::int64_t>((minute.minute_start - window.start).ms / bucket.ms, 0,
+                                 n_buckets - 1);
+    auto& b = series.buckets[static_cast<std::size_t>(idx)];
+    b.max_up_mbps = std::max(b.max_up_mbps, minute.peak_up_bps / 1e6);
+    b.max_down_mbps = std::max(b.max_down_mbps, minute.peak_down_bps / 1e6);
+    b.bytes_up_mb += minute.bytes_up.mb();
+    b.bytes_down_mb += minute.bytes_down.mb();
+  }
+  return series;
+}
+
+collect::HomeId BusiestHome(const std::vector<SaturationPoint>& points) {
+  collect::HomeId best{0};
+  double best_score = -1.0;
+  for (const auto& p : points) {
+    // Busy but not bufferbloat-pathological.
+    if (p.utilization_up_p95 > 1.0) continue;
+    const double score = p.utilization_down_p95 * p.minutes_observed;
+    if (score > best_score) {
+      best_score = score;
+      best = p.home;
+    }
+  }
+  return best;
+}
+
+std::vector<collect::HomeId> OversaturatedUplinks(const std::vector<SaturationPoint>& points,
+                                                  double threshold) {
+  std::vector<collect::HomeId> out;
+  for (const auto& p : points) {
+    if (p.utilization_up_p95 > threshold) out.push_back(p.home);
+  }
+  return out;
+}
+
+}  // namespace bismark::analysis

@@ -1,0 +1,64 @@
+// Link-utilisation analysis (Section 6.2, Figs 14–16).
+//
+// Utilisation is the gateway's per-minute peak throughput divided by the
+// home's ShaperProbe capacity estimate. The 95th-percentile ratio per home
+// produces the Fig. 15 scatter; ratios above 1.0 on the uplink are the
+// bufferbloat signature of Fig. 16.
+#pragma once
+
+#include <vector>
+
+#include "collect/repository.h"
+#include "core/time.h"
+
+namespace bismark::analysis {
+
+/// One home's point in the Fig. 15 scatter.
+struct SaturationPoint {
+  collect::HomeId home;
+  double capacity_down_mbps{0.0};
+  double capacity_up_mbps{0.0};
+  double utilization_down_p95{0.0};  // peak-minute rate / capacity
+  double utilization_up_p95{0.0};
+  int minutes_observed{0};
+};
+
+struct SaturationOptions {
+  double quantile{0.95};
+  /// Homes with fewer traffic minutes than this are dropped.
+  int min_minutes{30};
+};
+
+[[nodiscard]] std::vector<SaturationPoint> LinkSaturation(
+    const collect::DataRepository& repo, const SaturationOptions& options = {});
+
+/// Fig. 14 / Fig. 16 timeseries: per-bucket max throughput plus the
+/// capacity estimate over the traffic window.
+struct UtilizationBucket {
+  TimePoint start;
+  double max_up_mbps{0.0};
+  double max_down_mbps{0.0};
+  double bytes_up_mb{0.0};
+  double bytes_down_mb{0.0};
+};
+struct UtilizationSeries {
+  collect::HomeId home;
+  double capacity_down_mbps{0.0};
+  double capacity_up_mbps{0.0};
+  std::vector<UtilizationBucket> buckets;
+};
+[[nodiscard]] UtilizationSeries UtilizationTimeseries(const collect::DataRepository& repo,
+                                                      collect::HomeId home,
+                                                      Duration bucket = Hours(4));
+
+/// Pick homes for the case-study figures from the measured data:
+///  * the busiest well-behaved home (Fig. 14),
+///  * homes whose uplink p95 utilisation exceeds 1.0 (Fig. 16).
+[[nodiscard]] collect::HomeId BusiestHome(const std::vector<SaturationPoint>& points);
+/// Homes whose uplink p95 utilisation exceeds `threshold`. The default sits
+/// slightly above 1.0 so probe noise on a merely-saturated link does not
+/// masquerade as bufferbloat.
+[[nodiscard]] std::vector<collect::HomeId> OversaturatedUplinks(
+    const std::vector<SaturationPoint>& points, double threshold = 1.05);
+
+}  // namespace bismark::analysis

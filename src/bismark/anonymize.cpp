@@ -1,0 +1,56 @@
+#include "bismark/anonymize.h"
+
+#include <cstdio>
+
+namespace bismark::gateway {
+
+namespace {
+std::uint64_t HashMix(std::uint64_t key, std::uint64_t v) {
+  std::uint64_t z = key ^ (v + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashString(std::uint64_t key, const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ key;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return HashMix(key, h);
+}
+}  // namespace
+
+Anonymizer::Anonymizer(const traffic::DomainCatalog& catalog, AnonymizerConfig config)
+    : config_(config) {
+  for (std::size_t i = 0; i < catalog.whitelist_size(); ++i) {
+    whitelist_.insert(catalog.domain(i).name);
+  }
+}
+
+void Anonymizer::whitelist_add(const std::string& domain) { whitelist_.insert(domain); }
+
+void Anonymizer::whitelist_remove(const std::string& domain) { whitelist_.erase(domain); }
+
+bool Anonymizer::is_whitelisted(const std::string& domain) const {
+  return whitelist_.contains(domain);
+}
+
+std::string Anonymizer::anonymize_domain(const std::string& domain) const {
+  if (is_whitelisted(domain)) return domain;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%016llx", config_.anon_prefix.c_str(),
+                static_cast<unsigned long long>(HashString(config_.key, domain)));
+  return buf;
+}
+
+bool Anonymizer::IsAnonToken(const std::string& domain) {
+  return domain.rfind("anon-", 0) == 0;
+}
+
+net::MacAddress Anonymizer::anonymize_mac(net::MacAddress mac) const {
+  return mac.anonymized(config_.key);
+}
+
+}  // namespace bismark::gateway

@@ -1,0 +1,56 @@
+// Anonymisation, as the firmware applies it before anything leaves the home
+// (Section 3.2.2):
+//   * domain names are obfuscated unless on the whitelist (Alexa top 200
+//     plus user additions; the user can also remove entries — the paper
+//     explicitly strips pornographic domains),
+//   * the lower 24 bits of every MAC address are hashed (vendor OUI kept),
+//   * entire data sets are gated on the household's consent level.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "net/addr.h"
+#include "traffic/domains.h"
+
+namespace bismark::gateway {
+
+/// What the household agreed to (Section 3.2's IRB consent tiers).
+enum class ConsentLevel : int {
+  kBasic = 0,   // active measurements + device counts only (no PII)
+  kFullTraffic, // + packet/flow/DNS/MAC collection, anonymised
+};
+
+struct AnonymizerConfig {
+  /// Per-deployment secret key for the keyed hashes.
+  std::uint64_t key{0x5157434bULL};
+  std::string anon_prefix{"anon-"};
+};
+
+class Anonymizer {
+ public:
+  /// Whitelist seeded from the catalog's whitelisted domains.
+  Anonymizer(const traffic::DomainCatalog& catalog, AnonymizerConfig config);
+
+  /// User-driven whitelist edits (the router's Web interface).
+  void whitelist_add(const std::string& domain);
+  void whitelist_remove(const std::string& domain);
+  [[nodiscard]] bool is_whitelisted(const std::string& domain) const;
+  [[nodiscard]] std::size_t whitelist_size() const { return whitelist_.size(); }
+
+  /// Returns the domain unchanged if whitelisted, else "anon-<hash>".
+  /// Deterministic: the same domain always maps to the same token, so
+  /// per-domain aggregation still works on anonymised data.
+  [[nodiscard]] std::string anonymize_domain(const std::string& domain) const;
+  [[nodiscard]] static bool IsAnonToken(const std::string& domain);
+
+  /// OUI-preserving MAC anonymisation (lower 24 bits keyed-hashed).
+  [[nodiscard]] net::MacAddress anonymize_mac(net::MacAddress mac) const;
+
+ private:
+  std::set<std::string> whitelist_;
+  AnonymizerConfig config_;
+};
+
+}  // namespace bismark::gateway

@@ -1,0 +1,159 @@
+#include "bismark/gateway.h"
+
+#include <algorithm>
+
+namespace bismark::gateway {
+
+Gateway::Gateway(GatewayConfig config, net::AccessLink& link, const Anonymizer& anonymizer,
+                 collect::DataRepository* repo)
+    : config_(config),
+      link_(link),
+      anonymizer_(anonymizer),
+      repo_(repo),
+      nat_(config.nat),
+      dhcp_(config.lan_prefix, config.lan_prefix.host(1)),
+      ethernet_(4),
+      radio24_(wireless::RadioConfig{wireless::Band::k2_4GHz,
+                                     wireless::DefaultChannel(wireless::Band::k2_4GHz), true}),
+      radio5_(wireless::RadioConfig{wireless::Band::k5GHz,
+                                    wireless::DefaultChannel(wireless::Band::k5GHz), true}),
+      meter_(config.home, [this](const collect::ThroughputMinute& m) {
+        if (repo_ && traffic_consented()) repo_->add_throughput_minute(m);
+      }) {}
+
+wireless::AssociationTable& Gateway::radio(wireless::Band band) {
+  return band == wireless::Band::k2_4GHz ? radio24_ : radio5_;
+}
+
+void Gateway::on_dns(const net::DnsResponse& response, net::MacAddress device, TimePoint now) {
+  if (!repo_ || !traffic_consented()) return;
+  collect::DnsLogRecord rec;
+  rec.home = config_.home;
+  rec.when = now;
+  rec.device_mac = anonymizer_.anonymize_mac(device);
+  rec.query = anonymizer_.anonymize_domain(response.query);
+  rec.anonymized = Anonymizer::IsAnonToken(rec.query);
+  for (const auto& r : response.records) {
+    if (r.type == net::DnsRecordType::kA) {
+      ++rec.a_records;
+    } else {
+      ++rec.cname_records;
+    }
+  }
+  repo_->add_dns(std::move(rec));
+}
+
+void Gateway::on_flow_open(const traffic::FlowOpen& open) {
+  // Push the first packet of the flow through the NAT so a WAN mapping
+  // exists for the whole transfer — the same path a real SYN takes.
+  net::Packet syn;
+  syn.timestamp = open.opened;
+  syn.tuple = open.lan_tuple;
+  syn.size = B(64);
+  syn.direction = net::Direction::kUpstream;
+  syn.lan_mac = open.device_mac;
+  nat_.translate_outbound(syn);
+  open_flows_[open.id] = open.lan_tuple;
+  maybe_gc_nat(open.opened);
+
+  // Let the LAN-side learning tables see the device.
+  ethernet_.observe_frame(open.device_mac, open.opened);
+  radio24_.touch(open.device_mac, open.opened);
+  radio5_.touch(open.device_mac, open.opened);
+}
+
+void Gateway::on_chunk(const traffic::FlowChunk& chunk) {
+  // Keep the conntrack entry warm, as continuing packets would.
+  const auto it = open_flows_.find(chunk.id);
+  if (it != open_flows_.end()) {
+    net::Packet pkt;
+    pkt.timestamp = chunk.start;
+    pkt.tuple = it->second;
+    pkt.size = B(1500);
+    pkt.direction = net::Direction::kUpstream;
+    nat_.translate_outbound(pkt);
+  }
+}
+
+void Gateway::on_flow_close(const net::FlowRecord& record) {
+  open_flows_.erase(record.id);
+
+  // Per-device accounting feeds Figs 12/17/20 regardless of consent; it
+  // leaves the home only in anonymised, aggregate form.
+  auto& usage = usage_[record.device_mac];
+  usage.mac = record.device_mac;
+  usage.bytes_total += record.total_bytes();
+  ++usage.flows;
+  if (caps_) caps_->record(record.device_mac, record.total_bytes(), record.last_packet);
+
+  if (!repo_ || !traffic_consented()) return;
+  collect::TrafficFlowRecord rec;
+  rec.home = config_.home;
+  rec.flow = record.id;
+  rec.first_packet = record.first_packet;
+  rec.last_packet = record.last_packet;
+  rec.protocol = record.tuple.protocol;
+  rec.dst_port = record.tuple.dst_port;
+  rec.device_mac = anonymizer_.anonymize_mac(record.device_mac);
+  rec.bytes_up = record.bytes_up;
+  rec.bytes_down = record.bytes_down;
+  rec.packets_up = record.packets_up;
+  rec.packets_down = record.packets_down;
+  rec.domain = anonymizer_.anonymize_domain(record.domain);
+  rec.domain_anonymized = Anonymizer::IsAnonToken(rec.domain);
+  repo_->add_flow(std::move(rec));
+}
+
+double Gateway::admit_rate(net::Direction dir, double demand_bps) {
+  return link_.admit(dir, demand_bps);
+}
+
+void Gateway::sync_meter(net::Direction dir, TimePoint now) {
+  const double raw = link_.active_rate(dir);
+  double cap = link_.capacity(dir).bps;
+  if (dir == net::Direction::kUpstream && link_.config().allow_uplink_overdrive) {
+    cap *= 1.0 + link_.config().overdrive_headroom;
+  }
+  const double clamped = std::min(raw, cap);
+  double& view = dir == net::Direction::kUpstream ? meter_view_up_ : meter_view_down_;
+  const double delta = clamped - view;
+  if (delta > 0.0) {
+    meter_.add_rate(dir, delta, now);
+  } else if (delta < 0.0) {
+    meter_.remove_rate(dir, -delta, now);
+  }
+  view = clamped;
+}
+
+void Gateway::add_rate(net::Direction dir, double bps, TimePoint now) {
+  link_.add_rate(dir, bps, now);
+  sync_meter(dir, now);
+}
+
+void Gateway::remove_rate(net::Direction dir, double bps, TimePoint now) {
+  link_.remove_rate(dir, bps, now);
+  sync_meter(dir, now);
+}
+
+void Gateway::maybe_gc_nat(TimePoint now) {
+  if ((now - last_nat_gc_) >= config_.nat_gc_interval) {
+    nat_.expire_idle(now);
+    last_nat_gc_ = now;
+  }
+}
+
+void Gateway::finalize(TimePoint now) {
+  meter_.advance_to(now);
+  if (!repo_) return;
+  for (const auto& [mac, usage] : usage_) {
+    collect::DeviceTrafficRecord rec;
+    rec.home = config_.home;
+    rec.device_mac = anonymizer_.anonymize_mac(mac);
+    rec.vendor = net::OuiRegistry::Instance().classify(mac);
+    rec.bytes_total = usage.bytes_total;
+    rec.flows = usage.flows;
+    repo_->add_device_traffic(rec);
+  }
+}
+
+}  // namespace bismark::gateway

@@ -1,0 +1,108 @@
+// The BISmark gateway: the router firmware's data path and passive monitor.
+//
+// Sits where the paper's WNDR3800 sits — between the access link and the
+// home LAN — and is therefore the one vantage point that sees per-device
+// traffic *before* the NAT collapses it onto a single address. Implements
+// traffic::TrafficSink: every generated DNS answer, flow and burst passes
+// through here, gets NAT-translated, metered and (under consent)
+// anonymised into the Traffic data set.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "bismark/anonymize.h"
+#include "bismark/meter.h"
+#include "bismark/usage_cap.h"
+#include "collect/repository.h"
+#include "net/access_link.h"
+#include "net/dhcp.h"
+#include "net/ethernet.h"
+#include "net/nat.h"
+#include "traffic/generator.h"
+#include "wireless/association.h"
+
+namespace bismark::gateway {
+
+struct GatewayConfig {
+  collect::HomeId home;
+  ConsentLevel consent{ConsentLevel::kBasic};
+  net::NatConfig nat;
+  net::Ipv4Cidr lan_prefix{net::Ipv4Address(192, 168, 1, 0), 24};
+  /// NAT conntrack GC cadence.
+  Duration nat_gc_interval{Minutes(10).ms};
+};
+
+/// Per-device traffic totals the gateway accumulates (Figs 12/17/20).
+struct DeviceUsage {
+  net::MacAddress mac;  // original; anonymised on export
+  Bytes bytes_total;
+  std::uint64_t flows{0};
+};
+
+class Gateway final : public traffic::TrafficSink {
+ public:
+  Gateway(GatewayConfig config, net::AccessLink& link, const Anonymizer& anonymizer,
+          collect::DataRepository* repo);
+
+  // --- LAN-side plumbing ---
+  net::DhcpPool& dhcp() { return dhcp_; }
+  net::EthernetSwitch& ethernet() { return ethernet_; }
+  net::NatTable& nat() { return nat_; }
+  wireless::AssociationTable& radio(wireless::Band band);
+  [[nodiscard]] const net::AccessLink& link() const { return link_; }
+
+  // --- traffic::TrafficSink ---
+  void on_dns(const net::DnsResponse& response, net::MacAddress device,
+              TimePoint now) override;
+  void on_flow_open(const traffic::FlowOpen& open) override;
+  void on_chunk(const traffic::FlowChunk& chunk) override;
+  void on_flow_close(const net::FlowRecord& record) override;
+  double admit_rate(net::Direction dir, double demand_bps) override;
+  void add_rate(net::Direction dir, double bps, TimePoint now) override;
+  void remove_rate(net::Direction dir, double bps, TimePoint now) override;
+
+  /// Flush meters and per-device usage into the repository (end of study).
+  void finalize(TimePoint now);
+
+  /// Attach the uCap usage manager (Section 3.2.2's cap-management Web
+  /// interface). Once attached, every closed flow is charged to its device.
+  /// The gateway does not own the manager.
+  void attach_usage_caps(UsageCapManager* caps) { caps_ = caps; }
+  [[nodiscard]] UsageCapManager* usage_caps() const { return caps_; }
+
+  [[nodiscard]] const std::map<net::MacAddress, DeviceUsage>& device_usage() const {
+    return usage_;
+  }
+  [[nodiscard]] const GatewayConfig& config() const { return config_; }
+
+ private:
+  GatewayConfig config_;
+  net::AccessLink& link_;
+  const Anonymizer& anonymizer_;
+  collect::DataRepository* repo_;  // may be null (standalone examples)
+
+  net::NatTable nat_;
+  net::DhcpPool dhcp_;
+  net::EthernetSwitch ethernet_;
+  wireless::AssociationTable radio24_;
+  wireless::AssociationTable radio5_;
+  ThroughputMeter meter_;
+  UsageCapManager* caps_{nullptr};
+  std::map<net::MacAddress, DeviceUsage> usage_;
+  std::map<net::FlowId, net::FiveTuple> open_flows_;
+  TimePoint last_nat_gc_{};
+  // The meter sees *shaped* rates: downstream is policed by the ISP before
+  // it reaches the gateway; upstream demand beyond capacity only shows up
+  // at the gateway when a deep modem buffer absorbs it (bufferbloat homes).
+  double meter_view_up_{0.0};
+  double meter_view_down_{0.0};
+  void sync_meter(net::Direction dir, TimePoint now);
+
+  [[nodiscard]] bool traffic_consented() const {
+    return config_.consent == ConsentLevel::kFullTraffic;
+  }
+  void maybe_gc_nat(TimePoint now);
+};
+
+}  // namespace bismark::gateway

@@ -1,0 +1,58 @@
+// Per-minute throughput metering at the gateway.
+//
+// Section 6.2: "We measure utilization by computing the maximum per-second
+// throughput every minute." The generator reports piecewise-constant
+// aggregate rates (add_rate/remove_rate bracketing each burst), so the
+// meter can integrate bytes exactly and track the true per-minute peak
+// rate without per-packet sampling.
+#pragma once
+
+#include <functional>
+
+#include "collect/records.h"
+#include "core/time.h"
+#include "net/packet.h"
+
+namespace bismark::gateway {
+
+class ThroughputMeter {
+ public:
+  using MinuteCallback = std::function<void(const collect::ThroughputMinute&)>;
+
+  /// Completed minutes with nonzero traffic are handed to `cb` (the paper
+  /// "only consider[s] instances when there is some device exchanging
+  /// traffic", so silent minutes are not emitted).
+  ThroughputMeter(collect::HomeId home, MinuteCallback cb);
+
+  void add_rate(net::Direction dir, double bps, TimePoint now);
+  void remove_rate(net::Direction dir, double bps, TimePoint now);
+
+  /// Advance time without a rate change (e.g. end of window), flushing any
+  /// completed minutes.
+  void advance_to(TimePoint now);
+
+  [[nodiscard]] double current_rate(net::Direction dir) const {
+    return dir == net::Direction::kUpstream ? rate_up_ : rate_down_;
+  }
+
+ private:
+  collect::HomeId home_;
+  MinuteCallback cb_;
+  double rate_up_{0.0};
+  double rate_down_{0.0};
+  TimePoint last_update_{};
+  bool started_{false};
+  collect::ThroughputMinute bucket_{};
+  std::int64_t bucket_minute_{-1};
+  // Per-second byte accumulators for the peak computation.
+  std::int64_t current_second_{-1};
+  double sec_bytes_up_{0.0};
+  double sec_bytes_down_{0.0};
+
+  void integrate(TimePoint now);
+  void roll_to_minute(std::int64_t minute_index, TimePoint minute_start);
+  void flush_bucket();
+  void finalize_second();
+};
+
+}  // namespace bismark::gateway

@@ -1,0 +1,156 @@
+#include "bismark/usage_cap.h"
+
+#include <algorithm>
+
+namespace bismark::gateway {
+
+UsageCapManager::UsageCapManager(UsageCapConfig config, AlertCallback on_alert)
+    : config_(config), on_alert_(std::move(on_alert)) {
+  config_.reset_day = std::clamp(config_.reset_day, 1, 28);
+  std::sort(config_.alert_fractions.begin(), config_.alert_fractions.end());
+}
+
+TimePoint UsageCapManager::period_start(TimePoint now) const {
+  CivilDate date = CivilFromDays(now.utc_day());
+  if (date.day < config_.reset_day) {
+    // Previous month's reset day.
+    date.month -= 1;
+    if (date.month == 0) {
+      date.month = 12;
+      date.year -= 1;
+    }
+  }
+  date.day = config_.reset_day;
+  return MakeTime(date);
+}
+
+void UsageCapManager::maybe_roll_period(TimePoint now) {
+  const TimePoint start = period_start(now);
+  if (current_period_ && *current_period_ == start) return;
+  current_period_ = start;
+  household_used_ = Bytes{0};
+  household_alerts_fired_ = 0;
+  household_exceeded_fired_ = false;
+  for (auto& [mac, state] : devices_) {
+    state.used = Bytes{0};
+    state.alerts_fired = 0;
+    state.exceeded_fired = false;
+  }
+}
+
+void UsageCapManager::set_device_quota(net::MacAddress device, Bytes quota) {
+  devices_[device].quota = quota;
+}
+
+std::optional<Bytes> UsageCapManager::device_quota(net::MacAddress device) const {
+  const auto it = devices_.find(device);
+  if (it == devices_.end() || it->second.quota.count <= 0) return std::nullopt;
+  return it->second.quota;
+}
+
+void UsageCapManager::fire(CapAlertKind kind, TimePoint now, net::MacAddress device,
+                           Bytes used, Bytes limit) {
+  CapAlert alert;
+  alert.kind = kind;
+  alert.when = now;
+  alert.device = device;
+  alert.used = used;
+  alert.limit = limit;
+  alert.fraction = limit.count > 0
+                       ? static_cast<double>(used.count) / static_cast<double>(limit.count)
+                       : 0.0;
+  alerts_.push_back(alert);
+  if (on_alert_) on_alert_(alert);
+}
+
+void UsageCapManager::record(net::MacAddress device, Bytes bytes, TimePoint now) {
+  maybe_roll_period(now);
+  if (bytes.count <= 0) return;
+
+  household_used_ += bytes;
+  DeviceState& state = devices_[device];
+  state.used += bytes;
+
+  // Household thresholds, each at most once per period, in order.
+  if (config_.household_cap.count > 0) {
+    const double frac = household_fraction();
+    while (household_alerts_fired_ < config_.alert_fractions.size() &&
+           frac >= config_.alert_fractions[household_alerts_fired_]) {
+      fire(CapAlertKind::kHouseholdThreshold, now, net::MacAddress{}, household_used_,
+           config_.household_cap);
+      ++household_alerts_fired_;
+    }
+    if (!household_exceeded_fired_ && household_used_ > config_.household_cap) {
+      fire(CapAlertKind::kHouseholdExceeded, now, net::MacAddress{}, household_used_,
+           config_.household_cap);
+      household_exceeded_fired_ = true;
+    }
+  }
+
+  // Per-device quota thresholds.
+  if (state.quota.count > 0) {
+    const double frac =
+        static_cast<double>(state.used.count) / static_cast<double>(state.quota.count);
+    while (state.alerts_fired < config_.alert_fractions.size() &&
+           frac >= config_.alert_fractions[state.alerts_fired]) {
+      fire(CapAlertKind::kDeviceThreshold, now, device, state.used, state.quota);
+      ++state.alerts_fired;
+    }
+    if (!state.exceeded_fired && state.used > state.quota) {
+      fire(CapAlertKind::kDeviceExceeded, now, device, state.used, state.quota);
+      state.exceeded_fired = true;
+    }
+  }
+}
+
+Bytes UsageCapManager::device_used(net::MacAddress device) const {
+  const auto it = devices_.find(device);
+  return it == devices_.end() ? Bytes{0} : it->second.used;
+}
+
+double UsageCapManager::household_fraction() const {
+  if (config_.household_cap.count <= 0) return 0.0;
+  return static_cast<double>(household_used_.count) /
+         static_cast<double>(config_.household_cap.count);
+}
+
+double UsageCapManager::days_until_reset(TimePoint now) const {
+  CivilDate date = CivilFromDays(period_start(now).utc_day());
+  date.month += 1;
+  if (date.month == 13) {
+    date.month = 1;
+    date.year += 1;
+  }
+  return (MakeTime(date) - now).days();
+}
+
+std::optional<BitRate> UsageCapManager::throttle_for(net::MacAddress device) const {
+  if (!config_.enforce) return std::nullopt;
+  const auto it = devices_.find(device);
+  if (it == devices_.end()) return std::nullopt;
+  const DeviceState& state = it->second;
+  if (state.quota.count > 0 && state.used > state.quota) return config_.throttle_rate;
+  if (config_.household_cap.count > 0 && household_used_ > config_.household_cap) {
+    return config_.throttle_rate;
+  }
+  return std::nullopt;
+}
+
+std::vector<UsageCapManager::DeviceUsageRow> UsageCapManager::usage_table() const {
+  std::vector<DeviceUsageRow> rows;
+  for (const auto& [mac, state] : devices_) {
+    DeviceUsageRow row;
+    row.device = mac;
+    row.used = state.used;
+    if (state.quota.count > 0) {
+      row.quota = state.quota;
+      row.over_quota = state.used > state.quota;
+    }
+    rows.push_back(row);
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const DeviceUsageRow& a, const DeviceUsageRow& b) { return a.used > b.used; });
+  return rows;
+}
+
+}  // namespace bismark::gateway

@@ -1,0 +1,120 @@
+// Usage-cap management — the "uCap" feature of the BISmark firmware.
+//
+// Section 3.2.2: "we gave them access to a Web interface that allowed them
+// to observe and manage their usage over time and across devices; this
+// feature turns out to be quite useful for users who have Internet service
+// plans with low data caps", building on the authors' earlier uCap work
+// (reference [24]). This module implements that feature's logic: a monthly
+// household cap, per-device quotas, consumption tracking from the
+// gateway's per-device accounting, threshold alerts, and optional
+// enforcement (throttling a device that blew its quota).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/addr.h"
+
+namespace bismark::gateway {
+
+/// Why an alert fired.
+enum class CapAlertKind : int {
+  kHouseholdThreshold = 0,  // household usage crossed an alert threshold
+  kHouseholdExceeded,       // household cap blown
+  kDeviceThreshold,         // a device crossed its quota threshold
+  kDeviceExceeded,          // a device blew its quota
+};
+
+struct CapAlert {
+  CapAlertKind kind{CapAlertKind::kHouseholdThreshold};
+  TimePoint when;
+  /// Device the alert concerns (zero MAC for household-level alerts).
+  net::MacAddress device;
+  Bytes used;
+  Bytes limit;
+  double fraction{0.0};
+};
+
+struct UsageCapConfig {
+  /// Household monthly allowance (0 = uncapped).
+  Bytes household_cap{GB(50)};
+  /// Alert thresholds as fractions of the cap, ascending.
+  std::vector<double> alert_fractions{0.5, 0.8, 0.95};
+  /// Day of month the allowance resets (1..28).
+  int reset_day{1};
+  /// Throttle rate applied to devices over quota when enforcement is on.
+  BitRate throttle_rate{Kbps(128)};
+  bool enforce{false};
+};
+
+/// Tracks consumption against caps and emits alerts. Byte counts arrive
+/// from the gateway's per-device accounting (on_flow_close), so this sees
+/// exactly what the household's Web interface would show.
+class UsageCapManager {
+ public:
+  using AlertCallback = std::function<void(const CapAlert&)>;
+
+  UsageCapManager(UsageCapConfig config, AlertCallback on_alert = nullptr);
+
+  /// Set (or clear, with 0 bytes) a per-device quota.
+  void set_device_quota(net::MacAddress device, Bytes quota);
+  [[nodiscard]] std::optional<Bytes> device_quota(net::MacAddress device) const;
+
+  /// Record traffic attributed to `device` at time `now`. Handles the
+  /// monthly rollover and fires alerts exactly once per threshold per
+  /// billing period.
+  void record(net::MacAddress device, Bytes bytes, TimePoint now);
+
+  /// Current billing-period usage.
+  [[nodiscard]] Bytes household_used() const { return household_used_; }
+  [[nodiscard]] Bytes device_used(net::MacAddress device) const;
+  /// Fraction of the household cap consumed (0 when uncapped).
+  [[nodiscard]] double household_fraction() const;
+  /// Days (possibly fractional) until the allowance resets.
+  [[nodiscard]] double days_until_reset(TimePoint now) const;
+
+  /// Whether a device should currently be throttled, and to what rate.
+  [[nodiscard]] std::optional<BitRate> throttle_for(net::MacAddress device) const;
+
+  /// The per-device breakdown the Web UI renders, descending by usage.
+  struct DeviceUsageRow {
+    net::MacAddress device;
+    Bytes used;
+    std::optional<Bytes> quota;
+    bool over_quota{false};
+  };
+  [[nodiscard]] std::vector<DeviceUsageRow> usage_table() const;
+
+  [[nodiscard]] const UsageCapConfig& config() const { return config_; }
+  [[nodiscard]] const std::vector<CapAlert>& alerts() const { return alerts_; }
+
+  /// Start of the billing period containing `now` (UTC midnight of the
+  /// reset day; clamps reset_day into the month).
+  [[nodiscard]] TimePoint period_start(TimePoint now) const;
+
+ private:
+  struct DeviceState {
+    Bytes used;
+    Bytes quota;       // 0 = no quota
+    std::size_t alerts_fired{0};
+    bool exceeded_fired{false};
+  };
+
+  UsageCapConfig config_;
+  AlertCallback on_alert_;
+  Bytes household_used_;
+  std::size_t household_alerts_fired_{0};
+  bool household_exceeded_fired_{false};
+  std::map<net::MacAddress, DeviceState> devices_;
+  std::vector<CapAlert> alerts_;
+  std::optional<TimePoint> current_period_;
+
+  void maybe_roll_period(TimePoint now);
+  void fire(CapAlertKind kind, TimePoint now, net::MacAddress device, Bytes used, Bytes limit);
+};
+
+}  // namespace bismark::gateway

@@ -1,0 +1,31 @@
+// CSV export of the public (non-PII) data sets.
+//
+// The paper releases everything except the Traffic data set
+// (Section 3.2): Heartbeats, Uptime, Capacity, Devices and WiFi go out;
+// Traffic stays private. `ExportPublicDatasets` enforces exactly that
+// split; `ExportTrafficDataset` exists for consented internal use and
+// only ever writes the anonymised forms.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "collect/repository.h"
+
+namespace bismark::collect {
+
+/// Write one data set as CSV to a stream. Returns rows written.
+std::size_t ExportHeartbeats(const DataRepository& repo, std::ostream& out);
+std::size_t ExportUptime(const DataRepository& repo, std::ostream& out);
+std::size_t ExportCapacity(const DataRepository& repo, std::ostream& out);
+std::size_t ExportDevices(const DataRepository& repo, std::ostream& out);
+std::size_t ExportWifi(const DataRepository& repo, std::ostream& out);
+/// Anonymised traffic flows — PII-bearing, not part of the public release.
+std::size_t ExportTrafficFlows(const DataRepository& repo, std::ostream& out);
+
+/// Write the five public data sets into `directory` (created if needed) as
+/// heartbeats.csv, uptime.csv, capacity.csv, devices.csv, wifi.csv.
+/// Returns total rows written; throws std::runtime_error on I/O failure.
+std::size_t ExportPublicDatasets(const DataRepository& repo, const std::string& directory);
+
+}  // namespace bismark::collect

@@ -1,0 +1,227 @@
+#include "collect/import.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+
+namespace bismark::collect {
+
+namespace {
+constexpr std::size_t kMaxErrors = 20;
+
+void AddError(ImportReport& report, const std::string& file, std::size_t line,
+              const std::string& reason) {
+  if (report.errors.size() < kMaxErrors) {
+    report.errors.push_back(file + ":" + std::to_string(line) + ": " + reason);
+  }
+}
+
+bool ParseI64(const std::string& s, std::int64_t& out) {
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(const std::string& s, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+/// Generic line-by-line driver: checks the header then hands each data row
+/// (already split into fields) to `row_fn`, which returns false on a
+/// malformed row.
+template <typename RowFn>
+std::size_t Drive(std::istream& in, const std::string& file, const std::string& expected_header,
+                  ImportReport& report, RowFn row_fn) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    AddError(report, file, 0, "empty file");
+    return 0;
+  }
+  if (line != expected_header) {
+    AddError(report, file, 1, "unexpected header: " + line);
+    return 0;
+  }
+  std::size_t imported = 0;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (row_fn(ParseCsvLine(line))) {
+      ++imported;
+    } else {
+      AddError(report, file, line_no, "malformed row");
+    }
+  }
+  return imported;
+}
+}  // namespace
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::size_t ImportHeartbeats(DataRepository& repo, std::istream& in, ImportReport& report) {
+  const std::size_t n = Drive(
+      in, "heartbeats.csv", "home,run_start_ms,run_end_ms,heartbeats", report,
+      [&](const std::vector<std::string>& f) {
+        std::int64_t home, start, end, beats;
+        if (f.size() != 4 || !ParseI64(f[0], home) || !ParseI64(f[1], start) ||
+            !ParseI64(f[2], end) || !ParseI64(f[3], beats) || end <= start) {
+          return false;
+        }
+        repo.add_heartbeat_run(
+            HeartbeatRun{HomeId{static_cast<int>(home)}, TimePoint{start}, TimePoint{end}});
+        return true;
+      });
+  report.heartbeat_runs += n;
+  return n;
+}
+
+std::size_t ImportUptime(DataRepository& repo, std::istream& in, ImportReport& report) {
+  const std::size_t n =
+      Drive(in, "uptime.csv", "home,reported_ms,uptime_s", report,
+            [&](const std::vector<std::string>& f) {
+              std::int64_t home, reported;
+              double uptime_s;
+              if (f.size() != 3 || !ParseI64(f[0], home) || !ParseI64(f[1], reported) ||
+                  !ParseDouble(f[2], uptime_s) || uptime_s < 0) {
+                return false;
+              }
+              repo.add_uptime(UptimeRecord{HomeId{static_cast<int>(home)},
+                                           TimePoint{reported}, Seconds(uptime_s)});
+              return true;
+            });
+  report.uptime += n;
+  return n;
+}
+
+std::size_t ImportCapacity(DataRepository& repo, std::istream& in, ImportReport& report) {
+  const std::size_t n =
+      Drive(in, "capacity.csv", "home,measured_ms,down_mbps,up_mbps", report,
+            [&](const std::vector<std::string>& f) {
+              std::int64_t home, measured;
+              double down, up;
+              if (f.size() != 4 || !ParseI64(f[0], home) || !ParseI64(f[1], measured) ||
+                  !ParseDouble(f[2], down) || !ParseDouble(f[3], up)) {
+                return false;
+              }
+              repo.add_capacity(CapacityRecord{HomeId{static_cast<int>(home)},
+                                               TimePoint{measured}, Mbps(down), Mbps(up)});
+              return true;
+            });
+  report.capacity += n;
+  return n;
+}
+
+std::size_t ImportDevices(DataRepository& repo, std::istream& in, ImportReport& report) {
+  const std::size_t n = Drive(
+      in, "devices.csv",
+      "home,sampled_ms,wired,wireless_24,wireless_5,unique_total,unique_24,unique_5", report,
+      [&](const std::vector<std::string>& f) {
+        std::int64_t home, sampled, wired, w24, w5, ut, u24, u5;
+        if (f.size() != 8 || !ParseI64(f[0], home) || !ParseI64(f[1], sampled) ||
+            !ParseI64(f[2], wired) || !ParseI64(f[3], w24) || !ParseI64(f[4], w5) ||
+            !ParseI64(f[5], ut) || !ParseI64(f[6], u24) || !ParseI64(f[7], u5)) {
+          return false;
+        }
+        DeviceCountRecord rec;
+        rec.home = HomeId{static_cast<int>(home)};
+        rec.sampled = TimePoint{sampled};
+        rec.wired = static_cast<int>(wired);
+        rec.wireless_24 = static_cast<int>(w24);
+        rec.wireless_5 = static_cast<int>(w5);
+        rec.unique_total = static_cast<int>(ut);
+        rec.unique_24 = static_cast<int>(u24);
+        rec.unique_5 = static_cast<int>(u5);
+        repo.add_device_count(rec);
+        return true;
+      });
+  report.device_counts += n;
+  return n;
+}
+
+std::size_t ImportWifi(DataRepository& repo, std::istream& in, ImportReport& report) {
+  const std::size_t n = Drive(
+      in, "wifi.csv", "home,scanned_ms,band,channel,visible_aps,associated", report,
+      [&](const std::vector<std::string>& f) {
+        std::int64_t home, scanned, channel, aps, associated;
+        if (f.size() != 6 || !ParseI64(f[0], home) || !ParseI64(f[1], scanned) ||
+            !ParseI64(f[3], channel) || !ParseI64(f[4], aps) || !ParseI64(f[5], associated)) {
+          return false;
+        }
+        wireless::Band band;
+        if (f[2] == "2.4 GHz") {
+          band = wireless::Band::k2_4GHz;
+        } else if (f[2] == "5 GHz") {
+          band = wireless::Band::k5GHz;
+        } else {
+          return false;
+        }
+        WifiScanRecord rec;
+        rec.home = HomeId{static_cast<int>(home)};
+        rec.scanned = TimePoint{scanned};
+        rec.band = band;
+        rec.channel = static_cast<int>(channel);
+        rec.visible_aps = static_cast<int>(aps);
+        rec.associated_clients = static_cast<int>(associated);
+        repo.add_wifi_scan(rec);
+        return true;
+      });
+  report.wifi_scans += n;
+  return n;
+}
+
+ImportReport ImportPublicDatasets(DataRepository& repo, const std::string& directory) {
+  namespace fs = std::filesystem;
+  ImportReport report;
+  const auto import_file = [&](const char* file, auto importer) {
+    const fs::path path = fs::path(directory) / file;
+    std::ifstream in(path);
+    if (!in) {
+      AddError(report, file, 0, "cannot open " + path.string());
+      return;
+    }
+    importer(repo, in, report);
+  };
+  import_file("heartbeats.csv", ImportHeartbeats);
+  import_file("uptime.csv", ImportUptime);
+  import_file("capacity.csv", ImportCapacity);
+  import_file("devices.csv", ImportDevices);
+  import_file("wifi.csv", ImportWifi);
+  return report;
+}
+
+}  // namespace bismark::collect

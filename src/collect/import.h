@@ -1,0 +1,52 @@
+// CSV import of the public data release — the consumer side of
+// ExportPublicDatasets.
+//
+// The paper releases every non-PII data set; anyone reproducing its
+// availability/infrastructure analyses works from those CSVs, not from the
+// routers. This importer reads the five public files back into a
+// DataRepository so the entire analysis layer runs unchanged on released
+// data (and so the release round-trips losslessly — tested).
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "collect/repository.h"
+
+namespace bismark::collect {
+
+/// Outcome of an import: row counts and any malformed lines skipped.
+struct ImportReport {
+  std::size_t heartbeat_runs{0};
+  std::size_t uptime{0};
+  std::size_t capacity{0};
+  std::size_t device_counts{0};
+  std::size_t wifi_scans{0};
+  std::vector<std::string> errors;  // "file:line: reason", capped
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+  [[nodiscard]] std::size_t total_rows() const {
+    return heartbeat_runs + uptime + capacity + device_counts + wifi_scans;
+  }
+};
+
+/// Parse one CSV line into fields (RFC 4180 quoting).
+[[nodiscard]] std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Per-dataset stream importers; each expects the exporter's header row.
+std::size_t ImportHeartbeats(DataRepository& repo, std::istream& in, ImportReport& report);
+std::size_t ImportUptime(DataRepository& repo, std::istream& in, ImportReport& report);
+std::size_t ImportCapacity(DataRepository& repo, std::istream& in, ImportReport& report);
+std::size_t ImportDevices(DataRepository& repo, std::istream& in, ImportReport& report);
+std::size_t ImportWifi(DataRepository& repo, std::istream& in, ImportReport& report);
+
+/// Read the five public CSVs from `directory` (as written by
+/// ExportPublicDatasets) into `repo`. Missing files are recorded as errors;
+/// present files are imported. Home metadata (country, region) is NOT part
+/// of the public release, so callers needing regional splits must register
+/// HomeInfo rows separately — exactly the constraint real consumers of the
+/// release face.
+ImportReport ImportPublicDatasets(DataRepository& repo, const std::string& directory);
+
+}  // namespace bismark::collect

@@ -1,0 +1,4 @@
+#include "collect/records.h"
+
+// Record types are currently header-only aggregates; this TU anchors the
+// library and is the home for any future out-of-line record helpers.

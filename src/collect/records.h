@@ -1,0 +1,139 @@
+// Record types for the six data sets of Table 2.
+//
+//   Active:  Heartbeats, Capacity
+//   Passive: Uptime, Devices, WiFi, Traffic
+//
+// Heartbeats are stored run-length-compressed: the paper's routers send
+// one packet a minute for six months (126 routers × ~280k minutes); what
+// the downtime analysis consumes is the *gaps*, so we store maximal runs
+// of consecutive received heartbeats instead of tens of millions of rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/addr.h"
+#include "net/flow.h"
+#include "net/oui.h"
+#include "wireless/band.h"
+
+namespace bismark::collect {
+
+/// Identifies one home (one BISmark router).
+struct HomeId {
+  int value{0};
+  constexpr auto operator<=>(const HomeId&) const = default;
+};
+
+/// A maximal run of received heartbeats: one per minute in [start, end).
+struct HeartbeatRun {
+  HomeId home;
+  TimePoint start;
+  TimePoint end;
+
+  [[nodiscard]] std::int64_t heartbeat_count() const {
+    return std::max<std::int64_t>(0, (end - start).ms / 60000);
+  }
+};
+
+/// Router uptime report, sent every 12 hours (Section 3.2.2 "Uptime").
+/// `uptime` resets on power cycles, which is what lets the analysis
+/// distinguish powered-off from offline-but-powered.
+struct UptimeRecord {
+  HomeId home;
+  TimePoint reported;
+  Duration uptime{0};
+};
+
+/// ShaperProbe-style capacity measurement, every 12 hours.
+struct CapacityRecord {
+  HomeId home;
+  TimePoint measured;
+  BitRate downstream;
+  BitRate upstream;
+};
+
+/// Hourly device census (Section 3.2.2 "Devices"). The firmware also
+/// tracks distinct MACs seen since the start of the collection window and
+/// reports the running *counts* (no addresses leave the home), which is
+/// what Figs 7 and 10 are built from.
+struct DeviceCountRecord {
+  HomeId home;
+  TimePoint sampled;
+  int wired{0};
+  int wireless_24{0};
+  int wireless_5{0};
+  int unique_total{0};  // distinct devices seen so far this window
+  int unique_24{0};     // distinct devices ever seen on 2.4 GHz
+  int unique_5{0};      // distinct devices ever seen on 5 GHz
+
+  [[nodiscard]] int wireless_total() const { return wireless_24 + wireless_5; }
+  [[nodiscard]] int total() const { return wired + wireless_total(); }
+};
+
+/// One WiFi scan result (Section 3.2.2 "WiFi").
+struct WifiScanRecord {
+  HomeId home;
+  TimePoint scanned;
+  wireless::Band band{wireless::Band::k2_4GHz};
+  int channel{0};
+  int visible_aps{0};
+  int associated_clients{0};
+};
+
+/// A flow record in the Traffic data set: anonymised per Section 3.2.2 —
+/// MAC lower-24 hashed, domain obfuscated unless whitelisted.
+struct TrafficFlowRecord {
+  HomeId home;
+  net::FlowId flow;
+  TimePoint first_packet;
+  TimePoint last_packet;
+  net::Protocol protocol{net::Protocol::kTcp};
+  std::uint16_t dst_port{0};
+  net::MacAddress device_mac;  // anonymised
+  Bytes bytes_up;
+  Bytes bytes_down;
+  std::uint64_t packets_up{0};
+  std::uint64_t packets_down{0};
+  std::string domain;          // whitelisted name or "anon-<hash>"
+  bool domain_anonymized{false};
+
+  [[nodiscard]] Bytes total_bytes() const { return bytes_up + bytes_down; }
+};
+
+/// Per-minute throughput summary for the utilisation analysis (Section
+/// 6.2 computes "the maximum per-second throughput every minute").
+struct ThroughputMinute {
+  HomeId home;
+  TimePoint minute_start;
+  Bytes bytes_up;
+  Bytes bytes_down;
+  double peak_up_bps{0.0};
+  double peak_down_bps{0.0};
+};
+
+/// A sampled DNS response (A/CNAME records; Section 3.2.2 "DNS responses").
+struct DnsLogRecord {
+  HomeId home;
+  TimePoint when;
+  net::MacAddress device_mac;  // anonymised
+  std::string query;           // whitelisted or "anon-<hash>"
+  bool anonymized{false};
+  int a_records{0};
+  int cname_records{0};
+};
+
+/// Per-device registry entry seen in the Traffic data set (drives Fig. 12
+/// and Fig. 17): anonymised MAC, vendor classification, traffic totals.
+struct DeviceTrafficRecord {
+  HomeId home;
+  net::MacAddress device_mac;  // anonymised
+  net::VendorClass vendor{net::VendorClass::kUnknown};
+  Bytes bytes_total;
+  std::uint64_t flows{0};
+};
+
+}  // namespace bismark::collect

@@ -1,0 +1,113 @@
+#include "collect/repository.h"
+
+#include <algorithm>
+
+namespace bismark::collect {
+
+DatasetWindows DatasetWindows::Paper() {
+  DatasetWindows w;
+  w.heartbeats = {MakeTime({2012, 10, 1}), MakeTime({2013, 4, 15})};
+  w.uptime = {MakeTime({2013, 3, 6}), MakeTime({2013, 4, 15})};
+  w.capacity = {MakeTime({2013, 4, 1}), MakeTime({2013, 4, 15})};
+  w.devices = {MakeTime({2013, 3, 6}), MakeTime({2013, 4, 15})};
+  w.wifi = {MakeTime({2012, 11, 1}), MakeTime({2012, 11, 15})};
+  w.traffic = {MakeTime({2013, 4, 1}), MakeTime({2013, 4, 15})};
+  return w;
+}
+
+DatasetWindows DatasetWindows::Compressed(TimePoint start, int heartbeat_weeks) {
+  DatasetWindows w;
+  const TimePoint end = start + Days(7.0 * heartbeat_weeks);
+  w.heartbeats = {start, end};
+  // Preserve relative proportions of the paper's windows.
+  w.uptime = {end - Days(std::min(40.0, 7.0 * heartbeat_weeks)), end};
+  w.capacity = {end - Days(std::min(14.0, 7.0 * heartbeat_weeks)), end};
+  w.devices = w.uptime;
+  w.wifi = {start, start + Days(std::min(14.0, 7.0 * heartbeat_weeks))};
+  w.traffic = w.capacity;
+  return w;
+}
+
+DataRepository::DataRepository(DatasetWindows windows) : windows_(windows) {}
+
+void DataRepository::register_home(HomeInfo info) { homes_.push_back(std::move(info)); }
+
+const HomeInfo* DataRepository::find_home(HomeId id) const {
+  for (const auto& h : homes_) {
+    if (h.id == id) return &h;
+  }
+  return nullptr;
+}
+
+void DataRepository::add_heartbeat_run(HeartbeatRun run) {
+  run.start = std::max(run.start, windows_.heartbeats.start);
+  run.end = std::min(run.end, windows_.heartbeats.end);
+  if (run.end > run.start) heartbeats_.push_back(run);
+}
+
+void DataRepository::add_uptime(UptimeRecord rec) {
+  if (windows_.uptime.contains(rec.reported)) uptime_.push_back(rec);
+}
+
+void DataRepository::add_capacity(CapacityRecord rec) {
+  if (windows_.capacity.contains(rec.measured)) capacity_.push_back(rec);
+}
+
+void DataRepository::add_device_count(DeviceCountRecord rec) {
+  if (windows_.devices.contains(rec.sampled)) devices_.push_back(rec);
+}
+
+void DataRepository::add_wifi_scan(WifiScanRecord rec) {
+  if (windows_.wifi.contains(rec.scanned)) wifi_.push_back(rec);
+}
+
+void DataRepository::add_flow(TrafficFlowRecord rec) {
+  if (windows_.traffic.contains(rec.first_packet)) flows_.push_back(std::move(rec));
+}
+
+void DataRepository::add_throughput_minute(ThroughputMinute rec) {
+  if (windows_.traffic.contains(rec.minute_start)) throughput_.push_back(rec);
+}
+
+void DataRepository::add_dns(DnsLogRecord rec) {
+  if (windows_.traffic.contains(rec.when)) dns_.push_back(std::move(rec));
+}
+
+void DataRepository::add_device_traffic(DeviceTrafficRecord rec) {
+  device_traffic_.push_back(rec);
+}
+
+namespace {
+template <typename T>
+std::vector<T> FilterByHome(const std::vector<T>& rows, HomeId id) {
+  std::vector<T> out;
+  for (const auto& r : rows) {
+    if (r.home == id) out.push_back(r);
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<HeartbeatRun> DataRepository::heartbeat_runs_for(HomeId id) const {
+  return FilterByHome(heartbeats_, id);
+}
+std::vector<DeviceCountRecord> DataRepository::device_counts_for(HomeId id) const {
+  return FilterByHome(devices_, id);
+}
+std::vector<TrafficFlowRecord> DataRepository::flows_for(HomeId id) const {
+  return FilterByHome(flows_, id);
+}
+std::vector<ThroughputMinute> DataRepository::throughput_for(HomeId id) const {
+  return FilterByHome(throughput_, id);
+}
+std::vector<CapacityRecord> DataRepository::capacity_for(HomeId id) const {
+  return FilterByHome(capacity_, id);
+}
+
+DataRepository::Counts DataRepository::counts() const {
+  return Counts{heartbeats_.size(), uptime_.size(),     capacity_.size(),
+                devices_.size(),    wifi_.size(),       flows_.size(),
+                throughput_.size(), dns_.size(),        device_traffic_.size()};
+}
+
+}  // namespace bismark::collect

@@ -1,0 +1,120 @@
+// The central data repository: everything the deployment reported,
+// organised as the six data sets of Table 2.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "collect/records.h"
+#include "core/intervals.h"
+#include "core/time.h"
+
+namespace bismark::collect {
+
+/// Collection windows per data set (Table 2). Defaults reproduce the
+/// paper's dates.
+struct DatasetWindows {
+  Interval heartbeats;  // Oct 1 2012 – Apr 15 2013
+  Interval uptime;      // Mar 6 – Apr 15 2013
+  Interval capacity;    // Apr 1 – Apr 15 2013
+  Interval devices;     // Mar 6 – Apr 15 2013
+  Interval wifi;        // Nov 1 – Nov 15 2012
+  Interval traffic;     // Apr 1 – Apr 15 2013
+
+  static DatasetWindows Paper();
+  /// A compressed variant for fast tests: same relative structure over a
+  /// `scale`-week heartbeat window starting at `start`.
+  static DatasetWindows Compressed(TimePoint start, int heartbeat_weeks);
+};
+
+/// Per-home metadata the analysis layer keys on.
+struct HomeInfo {
+  HomeId id;
+  std::string country_code;
+  bool developed{true};
+  Duration utc_offset{0};
+  /// Which data sets this home contributes to (Table 2 router counts).
+  bool reports_uptime{false};
+  bool reports_devices{false};
+  bool reports_wifi{false};
+  bool consented_traffic{false};
+  /// Firmware-computed, PII-free booleans: does some device stay connected
+  /// through the whole Devices window (Table 5)?
+  bool has_always_wired{false};
+  bool has_always_wireless{false};
+  /// Ground truth kept for validation (never read by the measurement
+  /// pipeline itself): true shaped capacities and the availability the
+  /// simulator generated.
+  double true_down_mbps{0.0};
+  double true_up_mbps{0.0};
+  int power_mode{0};  // RouterPowerMode as int to avoid a home/ dependency
+};
+
+/// All collected data. Appending is single-threaded (the simulation loop);
+/// analysis reads are const.
+class DataRepository {
+ public:
+  explicit DataRepository(DatasetWindows windows);
+
+  [[nodiscard]] const DatasetWindows& windows() const { return windows_; }
+
+  // Registration.
+  void register_home(HomeInfo info);
+  [[nodiscard]] const std::vector<HomeInfo>& homes() const { return homes_; }
+  [[nodiscard]] const HomeInfo* find_home(HomeId id) const;
+
+  // Appends (window clipping is the caller's duty for runs; point records
+  // outside their window are dropped here, mirroring server-side checks).
+  void add_heartbeat_run(HeartbeatRun run);
+  void add_uptime(UptimeRecord rec);
+  void add_capacity(CapacityRecord rec);
+  void add_device_count(DeviceCountRecord rec);
+  void add_wifi_scan(WifiScanRecord rec);
+  void add_flow(TrafficFlowRecord rec);
+  void add_throughput_minute(ThroughputMinute rec);
+  void add_dns(DnsLogRecord rec);
+  void add_device_traffic(DeviceTrafficRecord rec);
+
+  // Data set accessors.
+  [[nodiscard]] const std::vector<HeartbeatRun>& heartbeat_runs() const { return heartbeats_; }
+  [[nodiscard]] const std::vector<UptimeRecord>& uptime() const { return uptime_; }
+  [[nodiscard]] const std::vector<CapacityRecord>& capacity() const { return capacity_; }
+  [[nodiscard]] const std::vector<DeviceCountRecord>& device_counts() const { return devices_; }
+  [[nodiscard]] const std::vector<WifiScanRecord>& wifi_scans() const { return wifi_; }
+  [[nodiscard]] const std::vector<TrafficFlowRecord>& flows() const { return flows_; }
+  [[nodiscard]] const std::vector<ThroughputMinute>& throughput() const { return throughput_; }
+  [[nodiscard]] const std::vector<DnsLogRecord>& dns() const { return dns_; }
+  [[nodiscard]] const std::vector<DeviceTrafficRecord>& device_traffic() const {
+    return device_traffic_;
+  }
+
+  // Filtered views (copies) used throughout the analysis layer.
+  [[nodiscard]] std::vector<HeartbeatRun> heartbeat_runs_for(HomeId id) const;
+  [[nodiscard]] std::vector<DeviceCountRecord> device_counts_for(HomeId id) const;
+  [[nodiscard]] std::vector<TrafficFlowRecord> flows_for(HomeId id) const;
+  [[nodiscard]] std::vector<ThroughputMinute> throughput_for(HomeId id) const;
+  [[nodiscard]] std::vector<CapacityRecord> capacity_for(HomeId id) const;
+
+  /// Summary row counts per data set (the Table 2 bench prints these).
+  struct Counts {
+    std::size_t heartbeat_runs, uptime, capacity, device_counts, wifi_scans, flows,
+        throughput_minutes, dns, device_traffic;
+  };
+  [[nodiscard]] Counts counts() const;
+
+ private:
+  DatasetWindows windows_;
+  std::vector<HomeInfo> homes_;
+  std::vector<HeartbeatRun> heartbeats_;
+  std::vector<UptimeRecord> uptime_;
+  std::vector<CapacityRecord> capacity_;
+  std::vector<DeviceCountRecord> devices_;
+  std::vector<WifiScanRecord> wifi_;
+  std::vector<TrafficFlowRecord> flows_;
+  std::vector<ThroughputMinute> throughput_;
+  std::vector<DnsLogRecord> dns_;
+  std::vector<DeviceTrafficRecord> device_traffic_;
+};
+
+}  // namespace bismark::collect

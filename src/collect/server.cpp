@@ -1,0 +1,70 @@
+#include "collect/server.h"
+
+#include <algorithm>
+
+namespace bismark::collect {
+
+CollectionServer::CollectionServer(DataRepository& repo, HeartbeatPathConfig config)
+    : repo_(repo), config_(config) {}
+
+namespace {
+// First heartbeat tick at or after `t`.
+TimePoint NextTick(TimePoint t, Duration period) {
+  const std::int64_t p = period.ms;
+  const std::int64_t q = (t.ms + p - 1) / p;
+  return TimePoint{q * p};
+}
+}  // namespace
+
+void CollectionServer::ingest_heartbeats(HomeId home, const IntervalSet& online, Rng rng,
+                                         bool simulate_individual_loss) {
+  for (const auto& iv : online.intervals()) {
+    if (simulate_individual_loss) {
+      ingest_exact(home, iv, rng);
+      continue;
+    }
+    const TimePoint first = NextTick(iv.start, config_.period);
+    if (first >= iv.end) continue;
+    const std::int64_t n = (iv.end - first).ms / config_.period.ms + 1;
+    const auto expected_lost =
+        static_cast<std::uint64_t>(static_cast<double>(n) * config_.loss_prob);
+    lost_ += expected_lost;
+    received_ += static_cast<std::uint64_t>(n) - std::min<std::uint64_t>(
+                                                     expected_lost, static_cast<std::uint64_t>(n));
+    repo_.add_heartbeat_run(HeartbeatRun{home, first, iv.end});
+  }
+}
+
+void CollectionServer::ingest_exact(HomeId home, const Interval& iv, Rng& rng) {
+  const std::int64_t threshold_beats = config_.downtime_threshold.ms / config_.period.ms;
+  TimePoint run_start{};
+  TimePoint last_received{};
+  bool in_run = false;
+  std::int64_t consecutive_lost = 0;
+
+  for (TimePoint t = NextTick(iv.start, config_.period); t < iv.end; t += config_.period) {
+    const bool delivered = !rng.bernoulli(config_.loss_prob);
+    if (delivered) {
+      ++received_;
+      if (!in_run) {
+        run_start = t;
+        in_run = true;
+      } else if (consecutive_lost >= threshold_beats) {
+        // The gap was long enough to read as downtime: close the previous
+        // run and open a new one.
+        repo_.add_heartbeat_run(HeartbeatRun{home, run_start, last_received + config_.period});
+        run_start = t;
+      }
+      last_received = t;
+      consecutive_lost = 0;
+    } else {
+      ++lost_;
+      if (in_run) ++consecutive_lost;
+    }
+  }
+  if (in_run) {
+    repo_.add_heartbeat_run(HeartbeatRun{home, run_start, last_received + config_.period});
+  }
+}
+
+}  // namespace bismark::collect

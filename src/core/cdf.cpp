@@ -1,0 +1,77 @@
+#include "core/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/stats.h"
+
+namespace bismark {
+
+Cdf::Cdf(std::span<const double> values) : values_(values.begin(), values.end()), dirty_(true) {}
+
+void Cdf::add(double v) {
+  values_.push_back(v);
+  dirty_ = true;
+}
+
+void Cdf::ensure_sorted() const {
+  if (dirty_) {
+    std::sort(values_.begin(), values_.end());
+    dirty_ = false;
+  }
+}
+
+double Cdf::at(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) / static_cast<double>(values_.size());
+}
+
+double Cdf::quantile(double q) const {
+  ensure_sorted();
+  return QuantileSorted(values_, q);
+}
+
+std::vector<Cdf::Point> Cdf::points() const {
+  ensure_sorted();
+  std::vector<Point> pts;
+  const auto n = static_cast<double>(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const bool last_of_run = (i + 1 == values_.size()) || (values_[i + 1] != values_[i]);
+    if (last_of_run) pts.push_back({values_[i], static_cast<double>(i + 1) / n});
+  }
+  return pts;
+}
+
+std::vector<Cdf::Point> Cdf::sampled_points(int n, bool log_spaced) const {
+  std::vector<Point> pts;
+  if (values_.empty() || n <= 0) return pts;
+  ensure_sorted();
+  const double lo = values_.front();
+  const double hi = values_.back();
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double f = n == 1 ? 1.0 : static_cast<double>(i) / (n - 1);
+    double x;
+    if (log_spaced && lo > 0.0 && hi > lo) {
+      x = std::exp(std::log(lo) + f * (std::log(hi) - std::log(lo)));
+    } else {
+      x = lo + f * (hi - lo);
+    }
+    pts.push_back({x, at(x)});
+  }
+  return pts;
+}
+
+std::string Summarize(const Cdf& cdf) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu min=%.3g p25=%.3g median=%.3g p75=%.3g p90=%.3g max=%.3g", cdf.size(),
+                cdf.quantile(0.0), cdf.quantile(0.25), cdf.quantile(0.5), cdf.quantile(0.75),
+                cdf.quantile(0.9), cdf.quantile(1.0));
+  return buf;
+}
+
+}  // namespace bismark

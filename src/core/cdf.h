@@ -1,0 +1,47 @@
+// Empirical CDFs — the paper's dominant presentation (Figs 3, 4, 7, 10, 11).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bismark {
+
+/// An empirical cumulative distribution over a sample.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::span<const double> values);
+
+  void add(double v);
+
+  /// Fraction of the sample <= x.
+  [[nodiscard]] double at(double x) const;
+  /// Inverse CDF (quantile).
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+
+  /// Evaluation points: each distinct sample value with its cumulative
+  /// fraction, suitable for printing a CDF series as the paper plots them.
+  struct Point {
+    double x;
+    double p;
+  };
+  [[nodiscard]] std::vector<Point> points() const;
+
+  /// Evaluate the CDF at n log- or linearly-spaced points covering the
+  /// sample range; handy for fixed-size bench output rows.
+  [[nodiscard]] std::vector<Point> sampled_points(int n, bool log_spaced = false) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool dirty_{false};
+  void ensure_sorted() const;
+};
+
+/// Render a one-line summary "n=… min=… p25=… median=… p75=… p90=… max=…".
+[[nodiscard]] std::string Summarize(const Cdf& cdf);
+
+}  // namespace bismark

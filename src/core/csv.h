@@ -1,0 +1,28 @@
+// Minimal CSV writer used when exporting the released datasets
+// (the paper publishes everything without PII).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bismark {
+
+/// Streams rows of a CSV file, handling quoting of commas/quotes/newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+  /// Escape a single cell per RFC 4180.
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_{0};
+};
+
+}  // namespace bismark

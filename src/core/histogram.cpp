@@ -1,0 +1,76 @@
+#include "core/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bismark {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0.0) {}
+
+void Histogram::add(double x, double weight) {
+  auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(idx)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+double Histogram::bin_hi(std::size_t i) const { return lo_ + width_ * static_cast<double>(i + 1); }
+
+double Histogram::fraction(std::size_t i) const {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+BinnedMean::BinnedMean(std::size_t bins) : sums_(bins, 0.0), sq_sums_(bins, 0.0), counts_(bins, 0) {}
+
+void BinnedMean::add(std::size_t bin, double value) {
+  if (bin >= sums_.size()) return;
+  sums_[bin] += value;
+  sq_sums_[bin] += value * value;
+  ++counts_[bin];
+}
+
+double BinnedMean::mean(std::size_t bin) const {
+  return counts_[bin] ? sums_[bin] / static_cast<double>(counts_[bin]) : 0.0;
+}
+
+double BinnedMean::stddev(std::size_t bin) const {
+  if (counts_[bin] == 0) return 0.0;
+  const double n = static_cast<double>(counts_[bin]);
+  const double m = sums_[bin] / n;
+  const double var = std::max(0.0, sq_sums_[bin] / n - m * m);
+  return std::sqrt(var);
+}
+
+void CategoryCounter::add(const std::string& key, double weight) {
+  total_ += weight;
+  for (auto& e : entries_) {
+    if (e.key == key) {
+      e.count += weight;
+      return;
+    }
+  }
+  entries_.push_back({key, weight});
+}
+
+std::vector<CategoryCounter::Entry> CategoryCounter::sorted() const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+double CategoryCounter::count_of(const std::string& key) const {
+  for (const auto& e : entries_) {
+    if (e.key == key) return e.count;
+  }
+  return 0.0;
+}
+
+std::size_t CategoryCounter::distinct() const { return entries_.size(); }
+
+}  // namespace bismark

@@ -1,0 +1,73 @@
+// Fixed-bin histograms, used for diurnal profiles (Fig. 13) and
+// per-category counts (Fig. 12, Fig. 18).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bismark {
+
+/// Histogram over [lo, hi) with uniform-width bins. Values outside the
+/// range clamp into the first/last bin so no sample is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double count(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double total() const { return total_; }
+  /// Fraction of total weight in bin i (0 if the histogram is empty).
+  [[nodiscard]] double fraction(std::size_t i) const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<double> counts_;
+  double total_{0.0};
+};
+
+/// Mean-of-values-per-bin accumulator: add (bin, value) observations and
+/// read back per-bin means — exactly what the hour-of-day device plots need.
+class BinnedMean {
+ public:
+  explicit BinnedMean(std::size_t bins);
+
+  void add(std::size_t bin, double value);
+
+  [[nodiscard]] std::size_t bins() const { return sums_.size(); }
+  [[nodiscard]] double mean(std::size_t bin) const;
+  [[nodiscard]] double stddev(std::size_t bin) const;
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_[bin]; }
+
+ private:
+  std::vector<double> sums_;
+  std::vector<double> sq_sums_;
+  std::vector<std::size_t> counts_;
+};
+
+/// Counter over string categories, sorted by descending count for output.
+class CategoryCounter {
+ public:
+  void add(const std::string& key, double weight = 1.0);
+
+  struct Entry {
+    std::string key;
+    double count;
+  };
+  /// Entries sorted by descending count (ties broken by key).
+  [[nodiscard]] std::vector<Entry> sorted() const;
+  [[nodiscard]] double total() const { return total_; }
+  [[nodiscard]] double count_of(const std::string& key) const;
+  [[nodiscard]] std::size_t distinct() const;
+
+ private:
+  std::vector<Entry> entries_;  // linear; category sets here are small
+  double total_{0.0};
+};
+
+}  // namespace bismark

@@ -1,0 +1,28 @@
+// Tiny leveled logger. Simulation components log sparingly (the interesting
+// output goes through datasets), but examples use this to narrate runs.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace bismark {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; defaults to kWarn so tests and benches stay quiet.
+void SetLogLevel(LogLevel level);
+[[nodiscard]] LogLevel GetLogLevel();
+
+/// printf-style logging. `component` is a short tag like "nat" or "heartbeat".
+void Log(LogLevel level, const char* component, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+#define BISMARK_LOG_DEBUG(component, ...) ::bismark::Log(::bismark::LogLevel::kDebug, component, __VA_ARGS__)
+#define BISMARK_LOG_INFO(component, ...) ::bismark::Log(::bismark::LogLevel::kInfo, component, __VA_ARGS__)
+#define BISMARK_LOG_WARN(component, ...) ::bismark::Log(::bismark::LogLevel::kWarn, component, __VA_ARGS__)
+#define BISMARK_LOG_ERROR(component, ...) ::bismark::Log(::bismark::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace bismark

@@ -1,0 +1,75 @@
+// Deterministic random number generation for the simulator.
+//
+// Everything in the reproduction must be reproducible from a single seed:
+// every home, device and workload derives its own stream by hierarchical
+// splitting (`Rng::fork`), so adding a device to home 37 never perturbs
+// home 38's draws.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace bismark {
+
+/// xoshiro256** with splitmix64 seeding. Small, fast, and good enough
+/// statistical quality for workload synthesis (we are not doing crypto).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit draw.
+  std::uint64_t next_u64();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// True with probability p.
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (inter-arrival times, outage gaps).
+  double exponential(double mean);
+  /// Standard-normal-based draw with given mean and stddev.
+  double normal(double mean, double stddev);
+  /// Log-normal parameterised by the mean/stddev of the *underlying* normal.
+  double lognormal(double log_mean, double log_stddev);
+  /// Pareto (heavy tail) with scale x_m > 0 and shape alpha > 0; used for
+  /// flow sizes and downtime tails.
+  double pareto(double x_m, double alpha);
+
+  /// Index draw from unnormalised non-negative weights. Returns
+  /// weights.size() == 0 ? 0 : a valid index even if all weights are zero.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Derive an independent child stream. Deterministic in (parent seed, tag).
+  [[nodiscard]] Rng fork(std::uint64_t tag) const;
+  /// Derive a child stream from a string tag (e.g. device name).
+  [[nodiscard]] Rng fork(std::string_view tag) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+/// Ranks 1..n with P(rank k) proportional to 1 / k^alpha. Precomputes the
+/// CDF; used for domain popularity (Fig. 18/19 concentration).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double alpha);
+
+  /// Draw a 0-based index in [0, n).
+  std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const { return cdf_.size(); }
+  /// Probability mass of 0-based index i.
+  [[nodiscard]] double pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace bismark

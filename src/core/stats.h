@@ -1,0 +1,68 @@
+// Summary statistics used throughout the analysis layer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace bismark {
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+/// Quantile of a sample by linear interpolation between order statistics
+/// (the common "R-7" definition). q in [0, 1]. Copies and sorts.
+[[nodiscard]] double Quantile(std::span<const double> values, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+[[nodiscard]] double QuantileSorted(std::span<const double> sorted, double q);
+
+[[nodiscard]] double Median(std::span<const double> values);
+[[nodiscard]] double Mean(std::span<const double> values);
+[[nodiscard]] double Sum(std::span<const double> values);
+
+/// Pearson correlation coefficient; 0 if either side is constant.
+[[nodiscard]] double Correlation(std::span<const double> x, std::span<const double> y);
+
+/// Convenience: collect values, then answer quantile queries repeatedly.
+class Sample {
+ public:
+  void add(double v) { values_.push_back(v); dirty_ = true; }
+  void reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] const std::vector<double>& values() const { return values_; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool dirty_{true};
+  void ensure_sorted() const;
+};
+
+}  // namespace bismark

@@ -1,0 +1,35 @@
+// Fixed-width text tables for bench output — every bench binary prints the
+// rows/series of one paper table or figure through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bismark {
+
+/// Builds and renders an aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 2);
+  static std::string Pct(double fraction, int precision = 1);  // 0.38 -> "38.0%"
+  static std::string Int(long long v);
+
+  /// Render with column alignment and a separator under the header.
+  [[nodiscard]] std::string render() const;
+  /// Render and write to stdout.
+  void print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A banner line for bench output, e.g. "== Figure 3: ... ==".
+void PrintBanner(const std::string& title);
+
+}  // namespace bismark

@@ -1,0 +1,114 @@
+#include "core/time.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bismark {
+
+namespace {
+constexpr std::int64_t kMsPerDay = 86400000;
+
+// Floor division that is correct for negative numerators.
+constexpr std::int64_t FloorDiv(std::int64_t a, std::int64_t b) {
+  std::int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+constexpr std::int64_t FloorMod(std::int64_t a, std::int64_t b) {
+  return a - FloorDiv(a, b) * b;
+}
+}  // namespace
+
+std::int64_t TimePoint::utc_day() const { return FloorDiv(ms, kMsPerDay); }
+
+std::int64_t DaysFromCivil(CivilDate d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  const int y = d.year - (d.month <= 2 ? 1 : 0);
+  const std::int64_t era = FloorDiv(y, 400);
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);                   // [0, 399]
+  const unsigned doy = (153u * static_cast<unsigned>(d.month + (d.month > 2 ? -3 : 9)) + 2u) / 5u +
+                       static_cast<unsigned>(d.day) - 1u;                      // [0, 365]
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;               // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate CivilFromDays(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = FloorDiv(z, 146097);
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);                // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);                // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                     // [0, 11]
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;                           // [1, 31]
+  const unsigned month = mp + (mp < 10 ? 3 : -9);                              // [1, 12]
+  return CivilDate{static_cast<int>(y + (month <= 2 ? 1 : 0)), static_cast<int>(month),
+                   static_cast<int>(day)};
+}
+
+TimePoint MakeTime(CivilDate d, int hour, int minute, int second) {
+  const std::int64_t days = DaysFromCivil(d);
+  return TimePoint{days * kMsPerDay +
+                   (static_cast<std::int64_t>(hour) * 3600 + minute * 60 + second) * 1000};
+}
+
+Weekday WeekdayOf(TimePoint t) {
+  // 1970-01-01 was a Thursday (index 3 with Monday = 0).
+  const std::int64_t day = t.utc_day();
+  return static_cast<Weekday>(FloorMod(day + 3, 7));
+}
+
+int TimeZone::local_hour(TimePoint utc) const {
+  const std::int64_t local_ms = (utc + utc_offset).ms;
+  return static_cast<int>(FloorMod(local_ms, kMsPerDay) / 3600000);
+}
+
+double TimeZone::local_hour_frac(TimePoint utc) const {
+  const std::int64_t local_ms = (utc + utc_offset).ms;
+  return static_cast<double>(FloorMod(local_ms, kMsPerDay)) / 3600000.0;
+}
+
+TimePoint TimeZone::local_midnight(TimePoint utc) const {
+  const std::int64_t local_ms = (utc + utc_offset).ms;
+  const std::int64_t midnight_local = FloorDiv(local_ms, kMsPerDay) * kMsPerDay;
+  return TimePoint{midnight_local} - utc_offset;
+}
+
+std::string FormatTime(TimePoint t) {
+  const CivilDate d = CivilFromDays(t.utc_day());
+  const std::int64_t in_day = FloorMod(t.ms, kMsPerDay);
+  const int hour = static_cast<int>(in_day / 3600000);
+  const int minute = static_cast<int>((in_day / 60000) % 60);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d", d.year, d.month, d.day, hour,
+                minute);
+  return buf;
+}
+
+std::string FormatMonthDay(TimePoint t) {
+  const CivilDate d = CivilFromDays(t.utc_day());
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%d-%d", d.month, d.day);
+  return buf;
+}
+
+std::string FormatDuration(Duration d) {
+  char buf[48];
+  const std::int64_t total_s = d.ms / 1000;
+  if (total_s < 60) {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(total_s));
+  } else if (total_s < 3600) {
+    std::snprintf(buf, sizeof(buf), "%lldm %llds", static_cast<long long>(total_s / 60),
+                  static_cast<long long>(total_s % 60));
+  } else if (total_s < 86400) {
+    std::snprintf(buf, sizeof(buf), "%lldh %lldm", static_cast<long long>(total_s / 3600),
+                  static_cast<long long>((total_s % 3600) / 60));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldd %lldh", static_cast<long long>(total_s / 86400),
+                  static_cast<long long>((total_s % 86400) / 3600));
+  }
+  return buf;
+}
+
+}  // namespace bismark

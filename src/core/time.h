@@ -1,0 +1,101 @@
+// Simulated time for the BISmark reproduction.
+//
+// All simulation time is carried as integer milliseconds since the Unix
+// epoch (UTC). Using real calendar time (rather than "seconds since sim
+// start") matters for this paper: the analyses split on weekday vs weekend
+// (Fig. 13) and render dated availability timelines (Fig. 6), and homes in
+// different countries observe different local times of day.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bismark {
+
+/// Millisecond-resolution duration. A plain strong type rather than
+/// std::chrono so that arithmetic with TimePoint stays trivially inlineable
+/// and serialisable.
+struct Duration {
+  std::int64_t ms{0};
+
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ms) / 1e3; }
+  [[nodiscard]] constexpr double minutes() const { return static_cast<double>(ms) / 60e3; }
+  [[nodiscard]] constexpr double hours() const { return static_cast<double>(ms) / 3600e3; }
+  [[nodiscard]] constexpr double days() const { return static_cast<double>(ms) / 86400e3; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+  constexpr Duration operator+(Duration o) const { return {ms + o.ms}; }
+  constexpr Duration operator-(Duration o) const { return {ms - o.ms}; }
+  constexpr Duration operator*(std::int64_t k) const { return {ms * k}; }
+  constexpr Duration operator/(std::int64_t k) const { return {ms / k}; }
+  constexpr Duration& operator+=(Duration o) { ms += o.ms; return *this; }
+};
+
+constexpr Duration Millis(std::int64_t v) { return {v}; }
+constexpr Duration Seconds(double v) { return {static_cast<std::int64_t>(v * 1e3)}; }
+constexpr Duration Minutes(double v) { return {static_cast<std::int64_t>(v * 60e3)}; }
+constexpr Duration Hours(double v) { return {static_cast<std::int64_t>(v * 3600e3)}; }
+constexpr Duration Days(double v) { return {static_cast<std::int64_t>(v * 86400e3)}; }
+
+enum class Weekday : int { kMonday = 0, kTuesday, kWednesday, kThursday, kFriday, kSaturday, kSunday };
+
+[[nodiscard]] constexpr bool IsWeekend(Weekday d) {
+  return d == Weekday::kSaturday || d == Weekday::kSunday;
+}
+
+/// A point in simulated time: milliseconds since 1970-01-01T00:00Z.
+struct TimePoint {
+  std::int64_t ms{0};
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+  constexpr TimePoint operator+(Duration d) const { return {ms + d.ms}; }
+  constexpr TimePoint operator-(Duration d) const { return {ms - d.ms}; }
+  constexpr Duration operator-(TimePoint o) const { return {ms - o.ms}; }
+  constexpr TimePoint& operator+=(Duration d) { ms += d.ms; return *this; }
+
+  /// Whole days since the epoch (UTC midnight boundaries).
+  [[nodiscard]] std::int64_t utc_day() const;
+};
+
+/// Civil (proleptic Gregorian) date.
+struct CivilDate {
+  int year{1970};
+  int month{1};  // 1..12
+  int day{1};    // 1..31
+};
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+[[nodiscard]] std::int64_t DaysFromCivil(CivilDate d);
+
+/// Inverse of DaysFromCivil.
+[[nodiscard]] CivilDate CivilFromDays(std::int64_t days);
+
+/// Construct a TimePoint from a civil UTC date/time.
+[[nodiscard]] TimePoint MakeTime(CivilDate d, int hour = 0, int minute = 0, int second = 0);
+
+/// Weekday of a TimePoint interpreted in UTC.
+[[nodiscard]] Weekday WeekdayOf(TimePoint t);
+
+/// A fixed offset from UTC, standing in for a home's local timezone.
+/// Diurnal behaviour (Fig. 13) is driven by *local* hours.
+struct TimeZone {
+  Duration utc_offset{0};
+
+  [[nodiscard]] TimePoint to_local(TimePoint utc) const { return utc + utc_offset; }
+  /// Local hour of day in [0, 24).
+  [[nodiscard]] int local_hour(TimePoint utc) const;
+  /// Fractional local hour of day in [0, 24).
+  [[nodiscard]] double local_hour_frac(TimePoint utc) const;
+  [[nodiscard]] Weekday local_weekday(TimePoint utc) const { return WeekdayOf(to_local(utc)); }
+  /// Local midnight at or before the given instant.
+  [[nodiscard]] TimePoint local_midnight(TimePoint utc) const;
+};
+
+/// "YYYY-MM-DD HH:MM" rendering (UTC) for logs and bench output.
+[[nodiscard]] std::string FormatTime(TimePoint t);
+/// "MM-DD" rendering (UTC), mirroring the paper's Fig. 6 axis labels.
+[[nodiscard]] std::string FormatMonthDay(TimePoint t);
+/// Compact duration rendering, e.g. "1d 4h", "23m", "45s".
+[[nodiscard]] std::string FormatDuration(Duration d);
+
+}  // namespace bismark

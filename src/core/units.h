@@ -1,0 +1,56 @@
+// Byte-count and bit-rate value types.
+//
+// The paper's evaluation mixes units constantly (KB thresholds, MB consent
+// cut-offs, Mbps capacities); carrying them as strong types keeps the
+// conversions in one place.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace bismark {
+
+/// A byte count (traffic volume).
+struct Bytes {
+  std::int64_t count{0};
+
+  [[nodiscard]] constexpr double kb() const { return static_cast<double>(count) / 1e3; }
+  [[nodiscard]] constexpr double mb() const { return static_cast<double>(count) / 1e6; }
+  [[nodiscard]] constexpr double gb() const { return static_cast<double>(count) / 1e9; }
+  [[nodiscard]] constexpr double bits() const { return static_cast<double>(count) * 8.0; }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+  constexpr Bytes operator+(Bytes o) const { return {count + o.count}; }
+  constexpr Bytes operator-(Bytes o) const { return {count - o.count}; }
+  constexpr Bytes& operator+=(Bytes o) { count += o.count; return *this; }
+};
+
+constexpr Bytes B(std::int64_t v) { return {v}; }
+constexpr Bytes KB(double v) { return {static_cast<std::int64_t>(v * 1e3)}; }
+constexpr Bytes MB(double v) { return {static_cast<std::int64_t>(v * 1e6)}; }
+constexpr Bytes GB(double v) { return {static_cast<std::int64_t>(v * 1e9)}; }
+
+/// A data rate in bits per second.
+struct BitRate {
+  double bps{0.0};
+
+  [[nodiscard]] constexpr double kbps() const { return bps / 1e3; }
+  [[nodiscard]] constexpr double mbps() const { return bps / 1e6; }
+  /// Time in seconds to transfer `b` at this rate (infinity-safe: returns a
+  /// very large value for a zero rate).
+  [[nodiscard]] constexpr double seconds_for(Bytes b) const {
+    return bps > 0.0 ? b.bits() / bps : 1e18;
+  }
+  /// Bytes transferred in `seconds` at this rate.
+  [[nodiscard]] constexpr Bytes bytes_in(double seconds) const {
+    return {static_cast<std::int64_t>(bps * seconds / 8.0)};
+  }
+
+  constexpr auto operator<=>(const BitRate&) const = default;
+};
+
+constexpr BitRate Bps(double v) { return {v}; }
+constexpr BitRate Kbps(double v) { return {v * 1e3}; }
+constexpr BitRate Mbps(double v) { return {v * 1e6}; }
+
+}  // namespace bismark

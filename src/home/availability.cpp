@@ -1,0 +1,175 @@
+#include "home/availability.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bismark::home {
+
+namespace {
+
+// Complement of an off-set within a window: the on-periods.
+IntervalSet Complement(const IntervalSet& off, TimePoint begin, TimePoint end) {
+  IntervalSet on;
+  TimePoint cursor = begin;
+  const IntervalSet clipped = off.clipped(begin, end);  // keep alive across the loop
+  for (const auto& gap : clipped.intervals()) {
+    if (gap.start > cursor) on.add(cursor, gap.start);
+    cursor = gap.end;
+  }
+  if (cursor < end) on.add(cursor, end);
+  return on;
+}
+
+// Router power: always-on homes stay up except reboots and the occasional
+// vacation (Fig. 6a).
+IntervalSet GenerateAlwaysOn(TimePoint begin, TimePoint end, Rng& rng, double vacation_prob) {
+  IntervalSet off;  // collect off-periods, then complement
+  // Reboots: roughly monthly, a few minutes each.
+  TimePoint t = begin;
+  while (true) {
+    t += Days(rng.exponential(30.0));
+    if (t >= end) break;
+    off.add(t, t + Minutes(rng.uniform(2.0, 6.0)));
+  }
+  // Vacation power-down.
+  if (rng.bernoulli(vacation_prob)) {
+    const double window_days = (end - begin).days();
+    const TimePoint start = begin + Days(rng.uniform(0.1, std::max(0.2, window_days - 8.0)));
+    off.add(start, start + Days(rng.uniform(2.0, 7.0)));
+  }
+  return Complement(off, begin, end);
+}
+
+// Night-off homes: the router is powered down overnight on many nights,
+// and occasionally during the day. Off periods may cross midnight.
+IntervalSet GenerateNightOff(TimePoint begin, TimePoint end, TimeZone tz, Rng& rng) {
+  IntervalSet off;
+  const double p_night = rng.uniform(0.35, 0.85);
+  const double p_day_off = 0.12;
+  TimePoint day = tz.local_midnight(begin);
+  while (day < end) {
+    if (rng.bernoulli(p_night)) {
+      const double off_start_h = std::clamp(rng.normal(23.3, 0.8), 20.5, 26.0);
+      const double off_len_h = std::clamp(rng.normal(7.5, 1.5), 3.0, 11.0);
+      off.add(day + Hours(off_start_h), day + Hours(off_start_h + off_len_h));
+    }
+    // Occasional daytime power-down (errands, saving electricity).
+    if (rng.bernoulli(p_day_off)) {
+      const double start_h = std::clamp(rng.normal(11.0, 2.0), 8.0, 16.0);
+      const double len_h = std::clamp(rng.normal(3.5, 1.5), 0.5, 8.0);
+      off.add(day + Hours(start_h), day + Hours(start_h + len_h));
+    }
+    // Rarely, the router stays off for days at a stretch (trips, disuse) —
+    // few downtime *events* but a large bite out of uptime, which is how
+    // the paper's India shows ~0.5 downtimes/day yet only 76 % on-time.
+    if (rng.bernoulli(0.03)) {
+      off.add(day + Hours(rng.uniform(8.0, 20.0)),
+              day + Hours(rng.uniform(8.0, 20.0)) + Days(rng.uniform(1.5, 4.0)));
+    }
+    day += Days(1);
+  }
+  return Complement(off, begin, end);
+}
+
+// Appliance homes (Fig. 6b): powered up briefly in the evening on
+// weekdays, for longer stretches on weekends.
+IntervalSet GenerateAppliance(TimePoint begin, TimePoint end, TimeZone tz, Rng& rng) {
+  IntervalSet on;
+  const double p_skip_day = rng.uniform(0.05, 0.25);  // days with no use at all
+  TimePoint day = tz.local_midnight(begin);
+  while (day < end) {
+    const Weekday wd = tz.local_weekday(day + Hours(12));
+    if (!rng.bernoulli(p_skip_day)) {
+      if (IsWeekend(wd)) {
+        // Midday block.
+        if (rng.bernoulli(0.75)) {
+          const double start_h = std::clamp(rng.normal(10.5, 1.2), 8.0, 14.0);
+          const double len_h = std::clamp(rng.normal(3.5, 1.2), 1.0, 7.0);
+          on.add(day + Hours(start_h), day + Hours(start_h + len_h));
+        }
+        // Evening block, longer than weekdays.
+        const double ev_start = std::clamp(rng.normal(18.0, 1.0), 16.0, 21.0);
+        const double ev_len = std::clamp(rng.normal(4.5, 1.2), 1.5, 7.5);
+        on.add(day + Hours(ev_start), day + Hours(ev_start + ev_len));
+      } else {
+        // Brief morning check with low probability.
+        if (rng.bernoulli(0.25)) {
+          const double start_h = std::clamp(rng.normal(7.6, 0.5), 6.0, 9.5);
+          on.add(day + Hours(start_h), day + Hours(start_h + rng.uniform(0.3, 1.0)));
+        }
+        // Evening session.
+        const double ev_start = std::clamp(rng.normal(18.6, 0.8), 16.5, 21.5);
+        const double ev_len = std::clamp(rng.normal(3.2, 0.9), 0.8, 6.0);
+        on.add(day + Hours(ev_start), day + Hours(ev_start + ev_len));
+      }
+    }
+    day += Days(1);
+  }
+  return on.clipped(begin, end);
+}
+
+// ISP availability: Poisson outages with lognormal durations, plus an
+// optional multi-day flaky episode (Fig. 6c).
+IntervalSet GenerateIspUp(const CountryProfile& country, TimePoint begin, TimePoint end,
+                          Rng& rng, double flaky_episode_prob) {
+  IntervalSet down;
+  const double log_median = std::log(country.outage_median_minutes);
+  auto draw_outage_minutes = [&] {
+    return std::clamp(rng.lognormal(log_median, country.outage_sigma), 10.0, 7.0 * 24 * 60);
+  };
+
+  TimePoint t = begin;
+  while (country.isp_outages_per_day > 0.0) {
+    t += Days(rng.exponential(1.0 / country.isp_outages_per_day));
+    if (t >= end) break;
+    down.add(t, t + Minutes(draw_outage_minutes()));
+  }
+
+  if (rng.bernoulli(flaky_episode_prob)) {
+    const double window_days = (end - begin).days();
+    const TimePoint ep_start = begin + Days(rng.uniform(0.0, std::max(0.5, window_days - 6.0)));
+    const TimePoint ep_end = ep_start + Days(rng.uniform(2.0, 5.0));
+    const double flaky_rate = std::max(4.0, country.isp_outages_per_day * 20.0);  // per day
+    TimePoint ft = ep_start;
+    while (true) {
+      ft += Days(rng.exponential(1.0 / flaky_rate));
+      if (ft >= ep_end || ft >= end) break;
+      down.add(ft, ft + Minutes(std::clamp(rng.lognormal(std::log(25.0), 0.8), 10.0, 600.0)));
+    }
+  }
+
+  return Complement(down, begin, end);
+}
+
+}  // namespace
+
+RouterPowerMode AvailabilityModel::DrawMode(const CountryProfile& country, Rng& rng) {
+  const double u = rng.uniform();
+  if (u < country.frac_always_on) return RouterPowerMode::kAlwaysOn;
+  if (u < country.frac_always_on + country.frac_appliance) return RouterPowerMode::kAppliance;
+  return RouterPowerMode::kNightOff;
+}
+
+AvailabilityTimeline AvailabilityModel::Generate(const CountryProfile& country,
+                                                 RouterPowerMode mode, TimeZone tz,
+                                                 TimePoint begin, TimePoint end, Rng rng,
+                                                 const AvailabilityOptions& options) {
+  AvailabilityTimeline timeline;
+  timeline.begin = begin;
+  timeline.end = end;
+  switch (mode) {
+    case RouterPowerMode::kAlwaysOn:
+      timeline.router_on = GenerateAlwaysOn(begin, end, rng, options.vacation_prob);
+      break;
+    case RouterPowerMode::kNightOff:
+      timeline.router_on = GenerateNightOff(begin, end, tz, rng);
+      break;
+    case RouterPowerMode::kAppliance:
+      timeline.router_on = GenerateAppliance(begin, end, tz, rng);
+      break;
+  }
+  timeline.isp_up = GenerateIspUp(country, begin, end, rng, options.flaky_episode_prob);
+  return timeline;
+}
+
+}  // namespace bismark::home

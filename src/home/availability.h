@@ -1,0 +1,58 @@
+// Availability timelines: when a home's router is powered and when its ISP
+// link is up.
+//
+// Section 4's central observation is that heartbeat gaps conflate two
+// different phenomena — network outages and users treating the router as
+// an appliance. We therefore model the two processes separately (router
+// power per household mode, ISP outages per country) and let the
+// measurement pipeline see only their intersection, exactly as the real
+// deployment did.
+#pragma once
+
+#include "core/intervals.h"
+#include "core/rng.h"
+#include "core/time.h"
+#include "home/country.h"
+
+namespace bismark::home {
+
+/// The ground truth the simulator knows but the heartbeat stream does not.
+struct AvailabilityTimeline {
+  TimePoint begin;
+  TimePoint end;
+  IntervalSet router_on;
+  IntervalSet isp_up;
+
+  /// Heartbeats flow only when both hold.
+  [[nodiscard]] IntervalSet online() const { return router_on.intersect(isp_up); }
+  [[nodiscard]] bool router_on_at(TimePoint t) const { return router_on.contains(t); }
+  [[nodiscard]] bool available_at(TimePoint t) const {
+    return router_on.contains(t) && isp_up.contains(t);
+  }
+  /// Fraction of the window with the router powered (the §4.2 statistic).
+  [[nodiscard]] double router_on_fraction() const {
+    return router_on.coverage_fraction(begin, end);
+  }
+};
+
+/// Knobs for timeline generation beyond the country profile.
+struct AvailabilityOptions {
+  /// Probability of a multi-day "flaky ISP" episode (Fig. 6c) somewhere in
+  /// the window; during the episode the outage rate multiplies ~20x.
+  double flaky_episode_prob{0.05};
+  /// Probability of a multi-day vacation power-down for always-on homes.
+  double vacation_prob{0.08};
+};
+
+class AvailabilityModel {
+ public:
+  /// Draw the household's power mode from the country mixture.
+  static RouterPowerMode DrawMode(const CountryProfile& country, Rng& rng);
+
+  /// Generate ground-truth availability over [begin, end).
+  static AvailabilityTimeline Generate(const CountryProfile& country, RouterPowerMode mode,
+                                       TimeZone tz, TimePoint begin, TimePoint end, Rng rng,
+                                       const AvailabilityOptions& options = {});
+};
+
+}  // namespace bismark::home

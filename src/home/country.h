@@ -1,0 +1,70 @@
+// Country profiles: the Table 1 deployment roster plus the per-country
+// behavioural parameters that drive availability (Section 4),
+// infrastructure (Section 5) and access-link capacity differences.
+//
+// Parameter values are calibrated so the *reported* statistics of the
+// paper emerge from simulation (see DESIGN.md §4 for the target list);
+// GDP figures are 2011–2013 IMF purchasing-power-parity values, as used
+// for the paper's developed/developing split and the Fig. 5 scatter.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+#include "wireless/neighbor.h"
+
+namespace bismark::home {
+
+/// How a household treats its router's power (Section 4.2).
+enum class RouterPowerMode : int {
+  kAlwaysOn = 0,  // Fig. 6a: on except reboots/outages
+  kNightOff,      // powered down overnight some nights
+  kAppliance,     // Fig. 6b: on only while in use (evenings / weekends)
+};
+
+struct CountryProfile {
+  std::string code;   // ISO-ish 2-letter
+  std::string name;
+  bool developed{true};
+  int router_count{1};          // Table 1
+  double gdp_ppp_per_capita{0}; // international dollars
+  Duration utc_offset{0};
+
+  // --- Availability (Section 4) ---
+  /// Router power-mode mixture; kAlwaysOn probability, kAppliance
+  /// probability (kNightOff takes the remainder).
+  double frac_always_on{0.9};
+  double frac_appliance{0.02};
+  /// ISP outage arrival rate (events of >= ~10 min per day, Poisson).
+  double isp_outages_per_day{0.03};
+  /// Outage duration: lognormal median (minutes) and sigma.
+  double outage_median_minutes{30.0};
+  double outage_sigma{1.0};
+
+  // --- Infrastructure (Section 5) ---
+  /// Mean unique devices per household (>= 1 drawn).
+  double mean_devices{7.0};
+  /// Scales each device type's always-on probability; < 1 in developing
+  /// countries where devices are powered off to save electricity/data.
+  double always_on_device_scale{1.0};
+  wireless::NeighborhoodProfile neighborhood;
+
+  // --- Access link ---
+  double down_mbps_lo{8.0};
+  double down_mbps_hi{60.0};
+  double up_fraction_lo{0.08};  // uplink as a fraction of downlink
+  double up_fraction_hi{0.35};
+};
+
+/// The full Table 1 roster: 19 countries, 126 routers, split 90/36
+/// developed/developing by 2011 GDP-per-capita rank.
+[[nodiscard]] const std::vector<CountryProfile>& StandardRoster();
+
+/// Find a roster country by code; throws std::out_of_range if unknown.
+[[nodiscard]] const CountryProfile& CountryByCode(const std::string& code);
+
+/// Total routers across the roster (126).
+[[nodiscard]] int TotalRouters();
+
+}  // namespace bismark::home

@@ -1,0 +1,252 @@
+#include "home/deployment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/logging.h"
+#include "sim/engine.h"
+#include "traffic/generator.h"
+
+namespace bismark::home {
+
+Deployment::Deployment(DeploymentOptions options)
+    : options_(options), catalog_(traffic::DomainCatalog::BuildStandard()) {
+  catalog_.install_zones(zones_);
+  anonymizer_ = std::make_unique<gateway::Anonymizer>(
+      catalog_, gateway::AnonymizerConfig{options_.seed ^ 0xA17Full, "anon-"});
+  repo_ = std::make_unique<collect::DataRepository>(options_.windows);
+}
+
+void Deployment::build() {
+  Rng root(options_.seed);
+  const auto& windows = options_.windows;
+  const Interval study = windows.heartbeats;
+  // Devices need presence wherever a passive data set samples them.
+  const std::vector<Interval> presence_windows = {windows.wifi, windows.devices};
+
+  // Roster assembly: per-country homes, ids assigned in roster order.
+  int next_id = 0;
+  struct Pending {
+    const CountryProfile* country;
+    int index_in_country;
+  };
+  std::vector<Pending> slots;
+  for (const auto& country : StandardRoster()) {
+    const int n = std::max(
+        1, static_cast<int>(std::lround(country.router_count * options_.roster_scale)));
+    for (int i = 0; i < n; ++i) slots.push_back(Pending{&country, i});
+  }
+
+  // Traffic consent: the first `traffic_homes` US homes; the first
+  // `bufferbloat_homes` of those are the Fig. 16 case studies.
+  int us_seen = 0;
+  for (const auto& slot : slots) {
+    const collect::HomeId id{next_id++};
+    HouseholdOptions opts;
+    const bool is_us = slot.country->code == "US";
+    // Consent is a property of the household regardless of whether the
+    // traffic window is actually simulated this run.
+    if (is_us && us_seen < options_.traffic_homes) {
+      opts.consent = gateway::ConsentLevel::kFullTraffic;
+      opts.min_devices = 3;  // Section 6.3: every traffic home has >= 3
+      opts.bufferbloat_case = us_seen < options_.bufferbloat_homes;
+      opts.bufferbloat_flavor = us_seen;  // 16a constant, 16b diurnal bursts
+      ++us_seen;
+    }
+    Rng home_rng = root.fork(static_cast<std::uint64_t>(id.value) + 1000);
+    auto household = std::make_unique<Household>(id, *slot.country, study, presence_windows,
+                                                 *anonymizer_, repo_.get(), home_rng, opts);
+
+    collect::HomeInfo info = household->make_info();
+    // Table 2 sub-population flags: 113 homes report uptime/devices, 93
+    // report WiFi. Spread the drops across the roster deterministically.
+    const int idx = id.value;
+    info.reports_uptime = !(idx % 10 == 9 || idx == 125);
+    info.reports_devices = info.reports_uptime;
+    info.reports_wifi = (idx % 4 != 1) && idx != 122;
+    // Firmware-side Table 5 computation (PII never leaves the home).
+    info.has_always_wired = household->has_always_connected(true, windows.devices);
+    info.has_always_wireless = household->has_always_connected(false, windows.devices);
+    repo_->register_home(info);
+    households_.push_back(std::move(household));
+  }
+
+  // Churn participants: recruited late or departed early, never reaching
+  // the 25-days-online bar. They contribute heartbeats only (no passive
+  // data sets, no consent), like the paper's briefly-reporting routers.
+  Rng churn_rng = root.fork("churn");
+  for (int i = 0; i < options_.churn_homes; ++i) {
+    const collect::HomeId id{next_id++};
+    const auto& roster = StandardRoster();
+    const auto& country = roster[static_cast<std::size_t>(
+        churn_rng.uniform_int(0, static_cast<std::int64_t>(roster.size()) - 1))];
+    Rng home_rng = root.fork(static_cast<std::uint64_t>(id.value) + 1000);
+    auto household = std::make_unique<Household>(id, country, study, presence_windows,
+                                                 *anonymizer_, repo_.get(), home_rng,
+                                                 HouseholdOptions{});
+    collect::HomeInfo info = household->make_info();
+    // Participation window: 3-20 days somewhere inside the study.
+    const double window_days = (study.end - study.start).days();
+    const double span = churn_rng.uniform(3.0, std::min(20.0, window_days * 0.8));
+    const double start_day = churn_rng.uniform(0.0, std::max(0.1, window_days - span));
+    churn_windows_[id.value] =
+        Interval{study.start + Days(start_day), study.start + Days(start_day + span)};
+    repo_->register_home(info);
+    households_.push_back(std::move(household));
+  }
+}
+
+void Deployment::run_heartbeats() {
+  Rng rng(options_.seed ^ 0xBEA7);
+  const auto& window = options_.windows.heartbeats;
+
+  // Section 3.3: the collection infrastructure itself fails sometimes,
+  // silencing every home at once. Those intervals are ground truth here;
+  // analysis::DetectCollectionOutages must rediscover them from the data.
+  collector_down_ = IntervalSet{};
+  if (options_.collector_outages_per_month > 0.0) {
+    Rng outage_rng = rng.fork("collector");
+    TimePoint t = window.start;
+    const double mean_gap_days = 30.0 / options_.collector_outages_per_month;
+    while (true) {
+      t += Days(outage_rng.exponential(mean_gap_days));
+      if (t >= window.end) break;
+      const double dur_h =
+          outage_rng.exponential(options_.collector_outage_mean.hours());
+      collector_down_.add(t, t + Hours(std::max(0.2, dur_h)));
+    }
+  }
+  IntervalSet collector_up;
+  {
+    TimePoint cursor = window.start;
+    const IntervalSet clipped = collector_down_.clipped(window.start, window.end);
+    for (const auto& gap : clipped.intervals()) {
+      if (gap.start > cursor) collector_up.add(cursor, gap.start);
+      cursor = gap.end;
+    }
+    if (cursor < window.end) collector_up.add(cursor, window.end);
+  }
+
+  collect::CollectionServer server(*repo_, options_.heartbeat);
+  for (const auto& home : households_) {
+    Interval participation = window;
+    if (const auto it = churn_windows_.find(home->id().value); it != churn_windows_.end()) {
+      participation = it->second;
+    }
+    IntervalSet online =
+        home->timeline().online().clipped(participation.start, participation.end);
+    if (!collector_down_.empty()) online = online.intersect(collector_up);
+    server.ingest_heartbeats(home->id(), online, rng.fork(home->id().value));
+  }
+}
+
+void Deployment::run_passive_services() {
+  Rng rng(options_.seed ^ 0x5E57);
+  const auto& w = options_.windows;
+  for (const auto& home : households_) {
+    // Churn participants never stayed long enough to contribute the
+    // passive data sets or scheduled capacity runs.
+    if (churn_windows_.contains(home->id().value)) continue;
+    const collect::HomeInfo* info = repo_->find_home(home->id());
+    const IntervalSet& router_on = home->timeline().router_on;
+    const IntervalSet online = home->timeline().online();
+
+    if (info && info->reports_uptime) {
+      gateway::ReportUptime(*repo_, home->id(), router_on, w.uptime);
+    }
+    gateway::ReportCapacity(*repo_, home->id(), online, home->link(),
+                            rng.fork(home->id().value * 2 + 1), w.capacity);
+    if (info && info->reports_devices) {
+      gateway::ReportDeviceCounts(*repo_, home->id(), *home, router_on, w.devices);
+    }
+    if (info && info->reports_wifi) {
+      gateway::WifiServiceConfig wifi_cfg;
+      wifi_cfg.channel_24 = home->channel_24();
+      gateway::ReportWifiScans(*repo_, home->id(), *home, home->neighborhood(), router_on,
+                               w.wifi, rng.fork(home->id().value * 2 + 2), wifi_cfg);
+    }
+  }
+}
+
+void Deployment::run_traffic_window() {
+  const Interval window = options_.windows.traffic;
+  sim::Engine engine(window.start);
+  Rng rng(options_.seed ^ 0x7AFF1C);
+
+  // Per-home resolvers and generators live for the window.
+  std::vector<std::unique_ptr<net::DnsResolver>> resolvers;
+  std::vector<std::unique_ptr<traffic::HomeTrafficGenerator>> generators;
+
+  for (const auto& home : households_) {
+    if (home->consent() != gateway::ConsentLevel::kFullTraffic) continue;
+    auto resolver = std::make_unique<net::DnsResolver>(zones_);
+    auto generator = std::make_unique<traffic::HomeTrafficGenerator>(
+        engine, catalog_, *resolver, home->router(), home->tz(),
+        rng.fork(home->id().value));
+
+    Household* hh = home.get();
+    // Households differ in how hard they use the network (the paper's
+    // Fig. 15 spread from near-idle to saturating homes).
+    Rng intensity_rng = rng.fork(hh->id().value * 977 + 5);
+    const double home_intensity = intensity_rng.lognormal(0.0, 0.45);
+    for (std::size_t i = 0; i < hh->devices().size(); ++i) {
+      const Device& device = hh->devices()[i];
+      const auto lease = hh->router().dhcp().acquire(device.spec().mac, window.start);
+      if (!lease) continue;  // LAN pool exhausted (not expected)
+
+      traffic::DeviceWorkload workload;
+      workload.mac = device.spec().mac;
+      workload.ip = lease->address;
+      workload.type = device.spec().type;
+      // Appetite ranks devices (primary selection); the session *rate* uses
+      // the per-type calibration plus a boost for the household's primary.
+      workload.hunger_scale = i == hh->primary_device() ? 6.0 : 0.7;
+      workload.sessions_per_hour_peak =
+          traffic::TraitsOf(device.spec().type).sessions_per_hour * home_intensity;
+      workload.app_mix = traffic::AppMixOf(device.spec().type);
+      // The bufferbloat case homes run an uploader: flavor 0 pushes
+      // near-continuously (Fig. 16a's scientific-data home), flavor 1 in
+      // diurnal bursts (Fig. 16b).
+      if (hh->bufferbloat_case() && device.spec().type == traffic::DeviceType::kNas) {
+        workload.app_mix = {};
+        workload.app_mix[static_cast<std::size_t>(traffic::AppType::kBulkUpload)] = 1.0;
+        workload.sessions_per_hour_peak = hh->bufferbloat_flavor() == 0 ? 0.6 : 0.14;
+        workload.hunger_scale = 1.0;
+      }
+      const Device* dev_ptr = &device;
+      workload.is_active = [hh, dev_ptr](TimePoint t) {
+        return hh->timeline().available_at(t) && dev_ptr->wants_online(t);
+      };
+      generator->add_device(std::move(workload));
+    }
+
+    generator->start(window.start, window.end);
+    resolvers.push_back(std::move(resolver));
+    generators.push_back(std::move(generator));
+  }
+
+  engine.run_until(window.end);
+
+  for (const auto& home : households_) {
+    if (home->consent() == gateway::ConsentLevel::kFullTraffic) {
+      home->router().finalize(window.end);
+    }
+  }
+  BISMARK_LOG_INFO("deployment", "traffic window complete: %llu events",
+                   static_cast<unsigned long long>(engine.executed()));
+}
+
+void Deployment::run() {
+  run_heartbeats();
+  run_passive_services();
+  if (options_.run_traffic) run_traffic_window();
+}
+
+std::unique_ptr<Deployment> Deployment::RunStudy(DeploymentOptions options) {
+  auto deployment = std::make_unique<Deployment>(options);
+  deployment->build();
+  deployment->run();
+  return deployment;
+}
+
+}  // namespace bismark::home

@@ -1,0 +1,110 @@
+// One home: router + access link + devices + radio neighbourhood.
+//
+// The household assembles every substrate around the gateway the way a
+// real BISmark deployment would: the router replaces the home AP
+// (Section 3.1), devices lease LAN addresses over DHCP, wireless clients
+// associate per band, and the household's availability timeline gates all
+// of it.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bismark/anonymize.h"
+#include "bismark/gateway.h"
+#include "bismark/services.h"
+#include "collect/records.h"
+#include "home/availability.h"
+#include "home/country.h"
+#include "home/device.h"
+#include "net/access_link.h"
+#include "wireless/neighbor.h"
+
+namespace bismark::home {
+
+/// Construction knobs beyond the country profile.
+struct HouseholdOptions {
+  /// Force a device count (0 = draw from the country distribution).
+  int forced_device_count{0};
+  /// Minimum devices (traffic-consent homes need >= 3, Section 6.3).
+  int min_devices{1};
+  /// Mark this home as a bufferbloat case study (Fig. 16): its uplink can
+  /// be overdriven and it hosts a bulk-upload workload.
+  bool bufferbloat_case{false};
+  /// Which Fig. 16 shape this case reproduces: 0 = constant saturation
+  /// (the scientific-data uploader, 16a), 1 = diurnal bursts (16b).
+  int bufferbloat_flavor{0};
+  gateway::ConsentLevel consent{gateway::ConsentLevel::kBasic};
+};
+
+/// A fully-assembled home network.
+class Household final : public gateway::ClientCensus {
+ public:
+  /// Build deterministically from (country, seed): availability timeline
+  /// over `study`, devices with presence over the union of the dataset
+  /// windows, neighbourhood, access link and gateway.
+  Household(collect::HomeId id, const CountryProfile& country, Interval study,
+            const std::vector<Interval>& presence_windows, const gateway::Anonymizer& anonymizer,
+            collect::DataRepository* repo, Rng rng, const HouseholdOptions& options = {});
+
+  // --- gateway::ClientCensus ---
+  int wired_connected(TimePoint t) const override;
+  int wireless_connected(wireless::Band band, TimePoint t) const override;
+  int unique_seen_total(TimePoint since, TimePoint until) const override;
+  int unique_seen_band(wireless::Band band, TimePoint since, TimePoint until) const override;
+
+  /// Does some wired (resp. wireless) device remain connected through
+  /// virtually all of `window`? (Table 5; `slack` tolerates reboots.)
+  [[nodiscard]] bool has_always_connected(bool wired, Interval window,
+                                          double slack = 0.005) const;
+
+  [[nodiscard]] collect::HomeId id() const { return id_; }
+  [[nodiscard]] const CountryProfile& country() const { return *country_; }
+  [[nodiscard]] TimeZone tz() const { return tz_; }
+  [[nodiscard]] RouterPowerMode power_mode() const { return mode_; }
+  [[nodiscard]] const AvailabilityTimeline& timeline() const { return timeline_; }
+  [[nodiscard]] const std::vector<Device>& devices() const { return devices_; }
+  [[nodiscard]] const wireless::Neighborhood& neighborhood() const { return neighborhood_; }
+  [[nodiscard]] net::AccessLink& link() { return *link_; }
+  [[nodiscard]] const net::AccessLink& link() const { return *link_; }
+  [[nodiscard]] gateway::Gateway& router() { return *gateway_; }
+  [[nodiscard]] bool bufferbloat_case() const { return options_.bufferbloat_case; }
+  [[nodiscard]] int bufferbloat_flavor() const { return options_.bufferbloat_flavor; }
+  [[nodiscard]] gateway::ConsentLevel consent() const { return options_.consent; }
+
+  /// The device carrying the household's primary usage (Fig. 17's
+  /// dominant device); index into devices().
+  [[nodiscard]] std::size_t primary_device() const { return primary_device_; }
+
+  /// The channel the 2.4 GHz radio is configured for: channel 11 by
+  /// default as BISmark ships, but some users reconfigure (Section 3.2.2),
+  /// which moves which neighbours their scans can hear.
+  [[nodiscard]] int channel_24() const { return channel_24_; }
+
+  /// HomeInfo row for repository registration (flags filled by Deployment).
+  [[nodiscard]] collect::HomeInfo make_info() const;
+
+ private:
+  collect::HomeId id_;
+  const CountryProfile* country_;
+  TimeZone tz_;
+  RouterPowerMode mode_;
+  AvailabilityTimeline timeline_;
+  std::vector<Device> devices_;
+  std::size_t primary_device_{0};
+  int channel_24_{11};
+  wireless::Neighborhood neighborhood_;
+  std::unique_ptr<net::AccessLink> link_;
+  std::unique_ptr<gateway::Gateway> gateway_;
+  HouseholdOptions options_;
+
+  // Lazily-built caches of presence ∩ router-on per device (census queries
+  // run hourly over six weeks; recomputing the intersections each time
+  // would dominate the run).
+  mutable std::vector<IntervalSet> connected_all_;
+  mutable std::vector<IntervalSet> connected_24_;
+  mutable std::vector<IntervalSet> connected_5_;
+  void ensure_connected_cache() const;
+};
+
+}  // namespace bismark::home

@@ -1,0 +1,84 @@
+#include "net/access_link.h"
+
+#include <algorithm>
+
+namespace bismark::net {
+
+AccessLink::AccessLink(AccessLinkConfig config) : config_(config) {}
+
+BitRate AccessLink::capacity(Direction dir) const {
+  return dir == Direction::kUpstream ? config_.up_capacity : config_.down_capacity;
+}
+
+double AccessLink::admit(Direction dir, double demand_bps) const {
+  const double cap = capacity(dir).bps;
+  const double active = state(dir).active_bps;
+  double available = cap - active;
+  if (dir == Direction::kUpstream && config_.allow_uplink_overdrive) {
+    // The modem buffer lets senders pump past the shaped rate.
+    available = cap * (1.0 + config_.overdrive_headroom) - active;
+  }
+  // Late arrivals still get a processor-sharing floor rather than zero:
+  // TCP would squeeze existing flows. 15 % of capacity approximates the
+  // fair share without a full fluid reallocation.
+  const double floor = cap * 0.15;
+  return std::clamp(demand_bps, 0.0, std::max(available, floor));
+}
+
+void AccessLink::add_rate(Direction dir, double bps, TimePoint now) {
+  integrate_queue(now);
+  DirectionState& s = state(dir);
+  s.active_bps += bps;
+  s.peak_bps = std::max(s.peak_bps, s.active_bps);
+}
+
+void AccessLink::remove_rate(Direction dir, double bps, TimePoint now) {
+  integrate_queue(now);
+  DirectionState& s = state(dir);
+  s.active_bps = std::max(0.0, s.active_bps - bps);
+}
+
+double AccessLink::active_rate(Direction dir) const { return state(dir).active_bps; }
+
+double AccessLink::utilization(Direction dir) const {
+  const double cap = capacity(dir).bps;
+  return cap > 0.0 ? state(dir).active_bps / cap : 0.0;
+}
+
+Duration AccessLink::uplink_queueing_delay() const {
+  const double cap = config_.up_capacity.bps;
+  if (cap <= 0.0) return Duration{0};
+  return Seconds(queue_depth_.bits() / cap);
+}
+
+void AccessLink::integrate_queue(TimePoint now) {
+  if (last_queue_update_.ms == 0) {
+    last_queue_update_ = now;
+    return;
+  }
+  const double dt = (now - last_queue_update_).seconds();
+  last_queue_update_ = now;
+  if (dt <= 0.0) return;
+  const double arrival = up_.active_bps;
+  const double drain = config_.up_capacity.bps;
+  const double delta_bytes = (arrival - drain) * dt / 8.0;
+  double depth = static_cast<double>(queue_depth_.count) + delta_bytes;
+  if (depth < 0.0) depth = 0.0;
+  const double max_depth = static_cast<double>(config_.uplink_buffer.count);
+  if (depth > max_depth) {
+    queue_drops_ += static_cast<std::uint64_t>((depth - max_depth) / 1500.0) + 1;
+    depth = max_depth;
+  }
+  queue_depth_ = Bytes{static_cast<std::int64_t>(depth)};
+}
+
+BitRate AccessLink::probe_capacity(Direction dir, Rng& rng) const {
+  const double cap = capacity(dir).bps;
+  // Cross-traffic during the packet train lowers the dispersion estimate.
+  const double busy = std::min(1.0, state(dir).active_bps / std::max(cap, 1.0));
+  const double cross_bias = 1.0 - 0.5 * busy;
+  const double noise = std::clamp(rng.normal(1.0, config_.probe_noise), 0.85, 1.1);
+  return Bps(cap * cross_bias * noise);
+}
+
+}  // namespace bismark::net

@@ -1,0 +1,94 @@
+// The home's ISP access link (DSL/cable).
+//
+// Section 6.2 turns on the interplay of three quantities:
+//   * the link's true shaped capacity per direction,
+//   * ShaperProbe's periodic *estimate* of that capacity, and
+//   * the per-second throughput measured LAN-side at the gateway.
+// Because the gateway sits in front of the modem, LAN-side throughput is
+// the *arrival* rate into the modem's (often very deep — "bufferbloat")
+// buffer, and can exceed the shaped rate while the queue absorbs the
+// excess. That is exactly how the paper's two over-saturating homes show
+// utilisation > 1 on the uplink (Figs 15/16). This class models the shaped
+// rates, a droptail byte queue on the uplink, processor-sharing admission,
+// and probe estimates biased by cross-traffic.
+#pragma once
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "net/packet.h"
+
+namespace bismark::net {
+
+struct AccessLinkConfig {
+  BitRate down_capacity{Mbps(20)};
+  BitRate up_capacity{Mbps(4)};
+  /// Modem buffer on the uplink. Deep buffers (hundreds of KB on a
+  /// few-Mbps uplink = seconds of queueing) are the bufferbloat regime.
+  Bytes uplink_buffer{KB(256)};
+  /// Multiplicative probe noise (1 sigma).
+  double probe_noise{0.02};
+  /// Whether senders may overdrive the shaped uplink into the buffer
+  /// (true for the bufferbloat case-study homes).
+  bool allow_uplink_overdrive{false};
+  /// Max sustained overdrive as a fraction of capacity.
+  double overdrive_headroom{0.35};
+};
+
+/// One direction's live state.
+struct DirectionState {
+  double active_bps{0.0};
+  double peak_bps{0.0};
+};
+
+class AccessLink {
+ public:
+  explicit AccessLink(AccessLinkConfig config);
+
+  [[nodiscard]] const AccessLinkConfig& config() const { return config_; }
+  [[nodiscard]] BitRate capacity(Direction dir) const;
+
+  /// Processor-sharing admission: how much of `demand_bps` a new flow can
+  /// get. Leaves a floor share so late flows are not starved; on an
+  /// overdrive-enabled uplink the grant may exceed remaining headroom
+  /// (the modem queue will absorb it).
+  [[nodiscard]] double admit(Direction dir, double demand_bps) const;
+
+  /// Bracket an active flow's contribution to the aggregate rate.
+  void add_rate(Direction dir, double bps, TimePoint now);
+  void remove_rate(Direction dir, double bps, TimePoint now);
+
+  [[nodiscard]] double active_rate(Direction dir) const;
+  /// Aggregate LAN-side utilisation relative to shaped capacity — this is
+  /// the quantity that exceeds 1.0 under bufferbloat.
+  [[nodiscard]] double utilization(Direction dir) const;
+
+  /// Current modem uplink queue depth (bytes) and the queueing delay it
+  /// implies at the shaped rate. The queue integrates
+  /// (arrival - capacity) while arrivals exceed capacity.
+  [[nodiscard]] Bytes uplink_queue_depth() const { return queue_depth_; }
+  [[nodiscard]] Duration uplink_queueing_delay() const;
+  [[nodiscard]] std::uint64_t uplink_drops() const { return queue_drops_; }
+
+  /// ShaperProbe-style capacity estimate: a packet-train dispersion
+  /// measurement. Unbiased (up to noise) on an idle link; biased low by
+  /// cross-traffic occupying the link during the train.
+  [[nodiscard]] BitRate probe_capacity(Direction dir, Rng& rng) const;
+
+ private:
+  AccessLinkConfig config_;
+  DirectionState down_;
+  DirectionState up_;
+  // Uplink queue integration.
+  Bytes queue_depth_{};
+  TimePoint last_queue_update_{};
+  std::uint64_t queue_drops_{0};
+
+  void integrate_queue(TimePoint now);
+  DirectionState& state(Direction dir) { return dir == Direction::kUpstream ? up_ : down_; }
+  [[nodiscard]] const DirectionState& state(Direction dir) const {
+    return dir == Direction::kUpstream ? up_ : down_;
+  }
+};
+
+}  // namespace bismark::net

@@ -1,0 +1,82 @@
+#include "net/addr.h"
+
+#include <cstdio>
+
+namespace bismark::net {
+
+namespace {
+// 64-bit mix for MAC anonymisation (splitmix64 finaliser).
+std::uint64_t Mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::optional<int> HexVal(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return std::nullopt;
+}
+}  // namespace
+
+std::optional<MacAddress> MacAddress::Parse(std::string_view text) {
+  if (text.size() != 17) return std::nullopt;
+  std::array<std::uint8_t, 6> octets{};
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t pos = static_cast<std::size_t>(i) * 3;
+    const auto hi = HexVal(text[pos]);
+    const auto lo = HexVal(text[pos + 1]);
+    if (!hi || !lo) return std::nullopt;
+    if (i < 5 && text[pos + 2] != ':') return std::nullopt;
+    octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((*hi << 4) | *lo);
+  }
+  return MacAddress(octets);
+}
+
+MacAddress MacAddress::anonymized(std::uint64_t key) const {
+  const std::uint32_t hashed_nic =
+      static_cast<std::uint32_t>(Mix64(key ^ as_u64())) & 0xffffffu;
+  return FromParts(oui(), hashed_nic);
+}
+
+std::string MacAddress::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", octets_[0], octets_[1],
+                octets_[2], octets_[3], octets_[4], octets_[5]);
+  return buf;
+}
+
+std::optional<Ipv4Address> Ipv4Address::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  int octets = 0;
+  std::uint32_t current = 0;
+  bool have_digit = false;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') {
+      current = current * 10 + static_cast<std::uint32_t>(c - '0');
+      if (current > 255) return std::nullopt;
+      have_digit = true;
+    } else if (c == '.') {
+      if (!have_digit || octets >= 3) return std::nullopt;
+      value = (value << 8) | current;
+      current = 0;
+      have_digit = false;
+      ++octets;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_digit || octets != 3) return std::nullopt;
+  value = (value << 8) | current;
+  return Ipv4Address(value);
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value_ >> 24) & 0xff, (value_ >> 16) & 0xff,
+                (value_ >> 8) & 0xff, value_ & 0xff);
+  return buf;
+}
+
+}  // namespace bismark::net

@@ -1,0 +1,107 @@
+// Link-layer and network-layer address types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bismark::net {
+
+/// A 48-bit MAC address. The study hashes the *lower 24 bits* of every MAC
+/// before storage (Section 3.2), keeping the OUI so vendors can still be
+/// identified (Fig. 12) — `anonymized()` implements exactly that.
+class MacAddress {
+ public:
+  constexpr MacAddress() = default;
+  explicit constexpr MacAddress(std::array<std::uint8_t, 6> octets) : octets_(octets) {}
+
+  /// Build from a 24-bit OUI and a 24-bit NIC-specific suffix.
+  static constexpr MacAddress FromParts(std::uint32_t oui, std::uint32_t nic) {
+    return MacAddress({static_cast<std::uint8_t>(oui >> 16), static_cast<std::uint8_t>(oui >> 8),
+                       static_cast<std::uint8_t>(oui), static_cast<std::uint8_t>(nic >> 16),
+                       static_cast<std::uint8_t>(nic >> 8), static_cast<std::uint8_t>(nic)});
+  }
+
+  /// Parse "aa:bb:cc:dd:ee:ff"; returns nullopt on malformed input.
+  static std::optional<MacAddress> Parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t oui() const {
+    return (static_cast<std::uint32_t>(octets_[0]) << 16) |
+           (static_cast<std::uint32_t>(octets_[1]) << 8) | octets_[2];
+  }
+  [[nodiscard]] constexpr std::uint32_t nic() const {
+    return (static_cast<std::uint32_t>(octets_[3]) << 16) |
+           (static_cast<std::uint32_t>(octets_[4]) << 8) | octets_[5];
+  }
+  [[nodiscard]] constexpr const std::array<std::uint8_t, 6>& octets() const { return octets_; }
+
+  /// The anonymised form used in the Traffic data set: OUI preserved,
+  /// lower 24 bits replaced by a keyed hash of themselves.
+  [[nodiscard]] MacAddress anonymized(std::uint64_t key) const;
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] constexpr std::uint64_t as_u64() const {
+    std::uint64_t v = 0;
+    for (auto o : octets_) v = (v << 8) | o;
+    return v;
+  }
+
+  constexpr auto operator<=>(const MacAddress&) const = default;
+
+ private:
+  std::array<std::uint8_t, 6> octets_{};
+};
+
+/// An IPv4 address as a host-order 32-bit integer.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  explicit constexpr Ipv4Address(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : value_((static_cast<std::uint32_t>(a) << 24) | (static_cast<std::uint32_t>(b) << 16) |
+               (static_cast<std::uint32_t>(c) << 8) | d) {}
+
+  static std::optional<Ipv4Address> Parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  [[nodiscard]] std::string to_string() const;
+
+  /// True for RFC 1918 private space (the home side of the NAT).
+  [[nodiscard]] constexpr bool is_private() const {
+    return (value_ >> 24) == 10 ||                       // 10/8
+           (value_ >> 20) == 0xac1 ||                    // 172.16/12
+           (value_ >> 16) == 0xc0a8;                     // 192.168/16
+  }
+
+  constexpr auto operator<=>(const Ipv4Address&) const = default;
+
+ private:
+  std::uint32_t value_{0};
+};
+
+/// An IPv4 prefix, e.g. 192.168.1.0/24.
+struct Ipv4Cidr {
+  Ipv4Address base;
+  int prefix_len{24};
+
+  [[nodiscard]] constexpr std::uint32_t mask() const {
+    return prefix_len == 0 ? 0u : ~std::uint32_t{0} << (32 - prefix_len);
+  }
+  [[nodiscard]] constexpr bool contains(Ipv4Address a) const {
+    return (a.value() & mask()) == (base.value() & mask());
+  }
+  /// Number of host addresses (excluding network/broadcast for /30 and wider).
+  [[nodiscard]] constexpr std::uint32_t host_count() const {
+    const std::uint32_t total = prefix_len >= 32 ? 1u : (1u << (32 - prefix_len));
+    return total > 2 ? total - 2 : total;
+  }
+  /// The i-th host address (1-based within the prefix).
+  [[nodiscard]] constexpr Ipv4Address host(std::uint32_t i) const {
+    return Ipv4Address((base.value() & mask()) + i);
+  }
+};
+
+}  // namespace bismark::net

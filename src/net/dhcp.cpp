@@ -1,0 +1,83 @@
+#include "net/dhcp.h"
+
+namespace bismark::net {
+
+DhcpPool::DhcpPool(Ipv4Cidr prefix, Ipv4Address gateway, Duration lease_time)
+    : prefix_(prefix), gateway_(gateway), lease_time_(lease_time) {}
+
+std::optional<Ipv4Address> DhcpPool::find_free_address() {
+  const std::uint32_t hosts = prefix_.host_count();
+  for (std::uint32_t attempts = 0; attempts < hosts; ++attempts) {
+    const std::uint32_t idx = (next_host_ - 1) % hosts + 1;
+    ++next_host_;
+    const Ipv4Address candidate = prefix_.host(idx);
+    if (candidate == gateway_) continue;
+    if (!by_addr_.contains(candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+std::optional<DhcpLease> DhcpPool::acquire(MacAddress mac, TimePoint now) {
+  if (const auto it = by_mac_.find(mac); it != by_mac_.end()) {
+    // Sticky lease: refresh and return the existing binding.
+    it->second.issued = now;
+    it->second.expires = now + lease_time_;
+    return it->second;
+  }
+  const auto addr = find_free_address();
+  if (!addr) return std::nullopt;
+  DhcpLease lease{mac, *addr, now, now + lease_time_};
+  by_mac_[mac] = lease;
+  by_addr_[*addr] = mac;
+  return lease;
+}
+
+bool DhcpPool::renew(MacAddress mac, TimePoint now) {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return false;
+  it->second.issued = now;
+  it->second.expires = now + lease_time_;
+  return true;
+}
+
+void DhcpPool::release(MacAddress mac) {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return;
+  by_addr_.erase(it->second.address);
+  by_mac_.erase(it);
+}
+
+std::size_t DhcpPool::expire(TimePoint now) {
+  std::size_t reclaimed = 0;
+  for (auto it = by_mac_.begin(); it != by_mac_.end();) {
+    if (it->second.expires <= now) {
+      by_addr_.erase(it->second.address);
+      it = by_mac_.erase(it);
+      ++reclaimed;
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+std::optional<Ipv4Address> DhcpPool::address_of(MacAddress mac) const {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return std::nullopt;
+  return it->second.address;
+}
+
+std::optional<MacAddress> DhcpPool::owner_of(Ipv4Address addr) const {
+  const auto it = by_addr_.find(addr);
+  if (it == by_addr_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<DhcpLease> DhcpPool::leases() const {
+  std::vector<DhcpLease> out;
+  out.reserve(by_mac_.size());
+  for (const auto& [mac, lease] : by_mac_) out.push_back(lease);
+  return out;
+}
+
+}  // namespace bismark::net

@@ -1,0 +1,58 @@
+// DHCP lease pool for the home LAN. Devices obtain a private address from
+// the gateway on association; the NAT later maps those addresses out.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/time.h"
+#include "net/addr.h"
+
+namespace bismark::net {
+
+struct DhcpLease {
+  MacAddress mac;
+  Ipv4Address address;
+  TimePoint issued;
+  TimePoint expires;
+};
+
+/// Simple DHCP server over one prefix. Leases are sticky per MAC (the same
+/// device gets the same address back while its lease is fresh or free),
+/// mirroring common home-router behaviour.
+class DhcpPool {
+ public:
+  DhcpPool(Ipv4Cidr prefix, Ipv4Address gateway, Duration lease_time = Hours(24));
+
+  /// Request an address for `mac` at time `now`. Returns nullopt when the
+  /// pool is exhausted.
+  std::optional<DhcpLease> acquire(MacAddress mac, TimePoint now);
+
+  /// Renew an existing lease; returns false if none exists.
+  bool renew(MacAddress mac, TimePoint now);
+
+  /// Explicit release (device leaves the network).
+  void release(MacAddress mac);
+
+  /// Drop expired leases as of `now`; returns the number reclaimed.
+  std::size_t expire(TimePoint now);
+
+  [[nodiscard]] std::optional<Ipv4Address> address_of(MacAddress mac) const;
+  [[nodiscard]] std::optional<MacAddress> owner_of(Ipv4Address addr) const;
+  [[nodiscard]] std::size_t active_leases() const { return by_mac_.size(); }
+  [[nodiscard]] std::vector<DhcpLease> leases() const;
+  [[nodiscard]] Ipv4Address gateway() const { return gateway_; }
+
+ private:
+  Ipv4Cidr prefix_;
+  Ipv4Address gateway_;
+  Duration lease_time_;
+  std::map<MacAddress, DhcpLease> by_mac_;
+  std::map<Ipv4Address, MacAddress> by_addr_;
+  std::uint32_t next_host_{1};
+
+  std::optional<Ipv4Address> find_free_address();
+};
+
+}  // namespace bismark::net

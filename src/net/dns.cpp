@@ -1,0 +1,85 @@
+#include "net/dns.h"
+
+namespace bismark::net {
+
+std::optional<Ipv4Address> DnsResponse::address() const {
+  for (const auto& r : records) {
+    if (r.type == DnsRecordType::kA) return r.address;
+  }
+  return std::nullopt;
+}
+
+std::string DnsResponse::canonical_name() const {
+  std::string name = query;
+  for (const auto& r : records) {
+    if (r.type == DnsRecordType::kCname && r.name == name) name = r.target;
+  }
+  return name;
+}
+
+void ZoneCatalog::add_domain(const std::string& domain, std::vector<Ipv4Address> addresses,
+                             Duration ttl) {
+  Zone z;
+  z.addresses = std::move(addresses);
+  z.ttl = ttl;
+  zones_[domain] = std::move(z);
+}
+
+void ZoneCatalog::add_cname(const std::string& domain, const std::string& target, Duration ttl) {
+  Zone z;
+  z.cname = target;
+  z.ttl = ttl;
+  zones_[domain] = std::move(z);
+}
+
+DnsResponse ZoneCatalog::resolve(const std::string& domain, int max_chain) const {
+  DnsResponse resp;
+  resp.query = domain;
+  std::string current = domain;
+  for (int depth = 0; depth <= max_chain; ++depth) {
+    const auto it = zones_.find(current);
+    if (it == zones_.end()) {
+      resp.nxdomain = true;
+      return resp;
+    }
+    const Zone& z = it->second;
+    if (!z.cname.empty()) {
+      resp.records.push_back(
+          DnsRecord{DnsRecordType::kCname, current, z.cname, Ipv4Address{}, z.ttl});
+      current = z.cname;
+      continue;
+    }
+    for (const auto& addr : z.addresses) {
+      resp.records.push_back(DnsRecord{DnsRecordType::kA, current, {}, addr, z.ttl});
+    }
+    return resp;
+  }
+  // CNAME chain too long — treat as resolution failure.
+  resp.nxdomain = true;
+  resp.records.clear();
+  return resp;
+}
+
+bool ZoneCatalog::contains(const std::string& domain) const { return zones_.contains(domain); }
+
+DnsResolver::DnsResolver(const ZoneCatalog& catalog) : catalog_(&catalog) {}
+
+DnsResponse DnsResolver::resolve(const std::string& domain, TimePoint now, bool* cache_hit) {
+  const auto it = cache_.find(domain);
+  if (it != cache_.end() && it->second.expires > now) {
+    ++hits_;
+    if (cache_hit) *cache_hit = true;
+    return it->second.response;
+  }
+  ++misses_;
+  if (cache_hit) *cache_hit = false;
+  DnsResponse resp = catalog_->resolve(domain);
+  if (!resp.nxdomain && !resp.records.empty()) {
+    Duration min_ttl = resp.records.front().ttl;
+    for (const auto& r : resp.records) min_ttl = std::min(min_ttl, r.ttl);
+    cache_[domain] = CacheEntry{resp, now + min_ttl};
+  }
+  return resp;
+}
+
+}  // namespace bismark::net

@@ -1,0 +1,94 @@
+// Minimal DNS substrate: an authoritative catalog, a caching stub resolver,
+// and the A/CNAME response records the firmware's passive monitor samples
+// (Section 3.2.2, "DNS responses").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "net/addr.h"
+
+namespace bismark::net {
+
+enum class DnsRecordType : std::uint8_t { kA, kCname };
+
+/// One resource record in a response.
+struct DnsRecord {
+  DnsRecordType type{DnsRecordType::kA};
+  std::string name;    // queried / owner name
+  std::string target;  // CNAME target (empty for A records)
+  Ipv4Address address; // A record address (zero for CNAMEs)
+  Duration ttl{Minutes(5).ms};
+};
+
+/// A full answer to one query: the CNAME chain (possibly empty) followed by
+/// A records, exactly the shape the gateway monitor records.
+struct DnsResponse {
+  std::string query;
+  std::vector<DnsRecord> records;
+  bool nxdomain{false};
+
+  /// First A-record address, if any.
+  [[nodiscard]] std::optional<Ipv4Address> address() const;
+  /// The canonical (post-CNAME-chain) name.
+  [[nodiscard]] std::string canonical_name() const;
+};
+
+/// Authoritative data for the simulated Internet: domains map either to a
+/// set of A records or to a CNAME (e.g. CDN-fronted sites).
+class ZoneCatalog {
+ public:
+  /// Register `domain` with one or more addresses.
+  void add_domain(const std::string& domain, std::vector<Ipv4Address> addresses,
+                  Duration ttl = Minutes(5));
+  /// Register `domain` as a CNAME to `target` (which must resolve).
+  void add_cname(const std::string& domain, const std::string& target,
+                 Duration ttl = Minutes(5));
+
+  /// Resolve a name, following at most `max_chain` CNAME links.
+  [[nodiscard]] DnsResponse resolve(const std::string& domain, int max_chain = 8) const;
+
+  [[nodiscard]] bool contains(const std::string& domain) const;
+  [[nodiscard]] std::size_t size() const { return zones_.size(); }
+
+ private:
+  struct Zone {
+    std::vector<Ipv4Address> addresses;
+    std::string cname;
+    Duration ttl{Minutes(5).ms};
+  };
+  std::map<std::string, Zone> zones_;
+};
+
+/// A caching stub resolver, one per home gateway. Cache hits do not emit
+/// new DNS traffic; misses query the catalog and cache by TTL.
+class DnsResolver {
+ public:
+  explicit DnsResolver(const ZoneCatalog& catalog);
+
+  /// Resolve at simulated time `now`. `cache_hit` (optional out) reports
+  /// whether the answer came from cache.
+  DnsResponse resolve(const std::string& domain, TimePoint now, bool* cache_hit = nullptr);
+
+  void flush() { cache_.clear(); }
+  [[nodiscard]] std::size_t cache_size() const { return cache_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct CacheEntry {
+    DnsResponse response;
+    TimePoint expires;
+  };
+  const ZoneCatalog* catalog_;
+  std::map<std::string, CacheEntry> cache_;
+  std::uint64_t hits_{0};
+  std::uint64_t misses_{0};
+};
+
+}  // namespace bismark::net

@@ -1,0 +1,60 @@
+#include "net/ethernet.h"
+
+namespace bismark::net {
+
+EthernetSwitch::EthernetSwitch(int port_count)
+    : ports_(static_cast<std::size_t>(port_count < 1 ? 1 : port_count)) {}
+
+std::optional<int> EthernetSwitch::plug_in(MacAddress mac, TimePoint now) {
+  if (const auto existing = port_of(mac)) return existing;
+  for (std::size_t i = 0; i < ports_.size(); ++i) {
+    if (!ports_[i].occupied) {
+      ports_[i] = Port{true, mac, now};
+      by_mac_[mac] = static_cast<int>(i);
+      return static_cast<int>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+void EthernetSwitch::unplug(MacAddress mac) {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return;
+  ports_[static_cast<std::size_t>(it->second)] = Port{};
+  by_mac_.erase(it);
+}
+
+void EthernetSwitch::observe_frame(MacAddress mac, TimePoint now) {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return;
+  ports_[static_cast<std::size_t>(it->second)].last_seen = now;
+}
+
+int EthernetSwitch::ports_in_use() const {
+  int used = 0;
+  for (const auto& p : ports_) used += p.occupied ? 1 : 0;
+  return used;
+}
+
+bool EthernetSwitch::is_connected(MacAddress mac) const { return by_mac_.contains(mac); }
+
+std::optional<int> EthernetSwitch::port_of(MacAddress mac) const {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<MacAddress> EthernetSwitch::connected() const {
+  std::vector<MacAddress> out;
+  out.reserve(by_mac_.size());
+  for (const auto& [mac, port] : by_mac_) out.push_back(mac);
+  return out;
+}
+
+std::optional<TimePoint> EthernetSwitch::last_seen(MacAddress mac) const {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return std::nullopt;
+  return ports_[static_cast<std::size_t>(it->second)].last_seen;
+}
+
+}  // namespace bismark::net

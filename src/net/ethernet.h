@@ -1,0 +1,52 @@
+// The gateway's wired side: a 4-port learning switch, as on the WNDR3800.
+// Section 5.2 observes that few homes use more than two of the four ports;
+// modelling the ports explicitly lets the Devices dataset count wired
+// clients the way the firmware does.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/time.h"
+#include "net/addr.h"
+
+namespace bismark::net {
+
+/// A small learning switch with a fixed number of ports.
+class EthernetSwitch {
+ public:
+  explicit EthernetSwitch(int port_count = 4);
+
+  /// Plug a device into the first free port; returns the port index or
+  /// nullopt when all ports are occupied.
+  std::optional<int> plug_in(MacAddress mac, TimePoint now);
+
+  /// Unplug whichever port `mac` occupies; no-op if absent.
+  void unplug(MacAddress mac);
+
+  /// Record a frame from `mac` (refreshes the learning-table entry).
+  void observe_frame(MacAddress mac, TimePoint now);
+
+  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+  [[nodiscard]] int ports_in_use() const;
+  [[nodiscard]] bool is_connected(MacAddress mac) const;
+  [[nodiscard]] std::optional<int> port_of(MacAddress mac) const;
+  /// MACs of all currently-connected devices.
+  [[nodiscard]] std::vector<MacAddress> connected() const;
+  /// Last time a frame was seen from `mac` (nullopt if never / unplugged).
+  [[nodiscard]] std::optional<TimePoint> last_seen(MacAddress mac) const;
+
+ private:
+  struct Port {
+    bool occupied{false};
+    MacAddress mac;
+    TimePoint last_seen;
+  };
+  std::vector<Port> ports_;
+  std::map<MacAddress, int> by_mac_;
+};
+
+}  // namespace bismark::net

@@ -1,0 +1,17 @@
+#include "net/flow.h"
+
+namespace bismark::net {
+
+void FlowRecord::add_packet(const Packet& p) {
+  if (total_packets() == 0 || p.timestamp < first_packet) first_packet = p.timestamp;
+  if (p.timestamp > last_packet) last_packet = p.timestamp;
+  if (p.direction == Direction::kUpstream) {
+    bytes_up += p.size;
+    ++packets_up;
+  } else {
+    bytes_down += p.size;
+    ++packets_down;
+  }
+}
+
+}  // namespace bismark::net

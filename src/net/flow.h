@@ -1,0 +1,44 @@
+// Flow bookkeeping shared by the NAT and the gateway's passive monitor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/addr.h"
+#include "net/packet.h"
+
+namespace bismark::net {
+
+/// Identifier assigned to each tracked flow.
+struct FlowId {
+  std::uint64_t value{0};
+  constexpr auto operator<=>(const FlowId&) const = default;
+};
+
+/// Accumulated statistics for one transport flow as observed at the
+/// gateway. This mirrors the "Flow statistics" records of Section 3.2.2:
+/// obfuscated addresses, application ports, byte/packet counts.
+struct FlowRecord {
+  FlowId id;
+  FiveTuple tuple;            // LAN-side view (pre-NAT)
+  MacAddress device_mac;      // originating device
+  TimePoint first_packet;
+  TimePoint last_packet;
+  Bytes bytes_up;
+  Bytes bytes_down;
+  std::uint64_t packets_up{0};
+  std::uint64_t packets_down{0};
+  /// Remote domain this flow was opened to, when known from a preceding
+  /// DNS lookup (empty otherwise). Anonymisation may later obfuscate it.
+  std::string domain;
+
+  [[nodiscard]] Bytes total_bytes() const { return bytes_up + bytes_down; }
+  [[nodiscard]] std::uint64_t total_packets() const { return packets_up + packets_down; }
+  [[nodiscard]] Duration duration() const { return last_packet - first_packet; }
+
+  void add_packet(const Packet& p);
+};
+
+}  // namespace bismark::net

@@ -1,0 +1,124 @@
+#include "net/nat.h"
+
+namespace bismark::net {
+
+NatTable::NatTable(NatConfig config)
+    : config_(config), next_port_(config.port_range_lo) {}
+
+Duration NatTable::timeout_for(Protocol proto) const {
+  switch (proto) {
+    case Protocol::kTcp: return config_.tcp_idle_timeout;
+    case Protocol::kUdp: return config_.udp_idle_timeout;
+    case Protocol::kIcmp: return config_.icmp_idle_timeout;
+  }
+  return config_.udp_idle_timeout;
+}
+
+std::optional<std::uint16_t> NatTable::allocate_port(Protocol proto) {
+  const std::uint32_t range = static_cast<std::uint32_t>(config_.port_range_hi) -
+                              config_.port_range_lo + 1;
+  for (std::uint32_t attempts = 0; attempts < range; ++attempts) {
+    const std::uint16_t candidate = next_port_;
+    next_port_ = next_port_ >= config_.port_range_hi ? config_.port_range_lo
+                                                     : static_cast<std::uint16_t>(next_port_ + 1);
+    if (!by_wan_.contains(WanKey{candidate, proto})) return candidate;
+  }
+  return std::nullopt;
+}
+
+bool NatTable::translate_outbound(Packet& packet) {
+  auto it = by_lan_.find(packet.tuple);
+  if (it == by_lan_.end()) {
+    const auto port = allocate_port(packet.tuple.protocol);
+    if (!port) {
+      ++stats_.port_exhaustion_drops;
+      return false;
+    }
+    NatMapping mapping;
+    mapping.lan_tuple = packet.tuple;
+    mapping.wan_port = *port;
+    mapping.device_mac = packet.lan_mac;
+    mapping.last_activity = packet.timestamp;
+    auto [inserted, ok] = by_lan_.emplace(packet.tuple, mapping);
+    (void)ok;
+    by_wan_.emplace(WanKey{*port, packet.tuple.protocol}, packet.tuple);
+    ++stats_.mappings_created;
+    it = inserted;
+  }
+
+  NatMapping& m = it->second;
+  m.last_activity = packet.timestamp;
+  ++m.packets;
+
+  packet.tuple.src_ip = config_.wan_address;
+  packet.tuple.src_port = m.wan_port;
+  ++stats_.translations_out;
+  return true;
+}
+
+bool NatTable::translate_inbound(Packet& packet) {
+  if (packet.tuple.dst_ip != config_.wan_address) {
+    ++stats_.unknown_inbound_drops;
+    return false;
+  }
+  const auto wan_it = by_wan_.find(WanKey{packet.tuple.dst_port, packet.tuple.protocol});
+  if (wan_it == by_wan_.end()) {
+    ++stats_.unknown_inbound_drops;
+    return false;
+  }
+  auto lan_it = by_lan_.find(wan_it->second);
+  if (lan_it == by_lan_.end()) {
+    ++stats_.unknown_inbound_drops;
+    return false;
+  }
+  NatMapping& m = lan_it->second;
+
+  // Port-restricted cone: only the remote endpoint the mapping was created
+  // toward may send back through it.
+  if (packet.tuple.src_ip != m.lan_tuple.dst_ip || packet.tuple.src_port != m.lan_tuple.dst_port) {
+    ++stats_.unknown_inbound_drops;
+    return false;
+  }
+
+  m.last_activity = packet.timestamp;
+  ++m.packets;
+
+  packet.tuple.dst_ip = m.lan_tuple.src_ip;
+  packet.tuple.dst_port = m.lan_tuple.src_port;
+  packet.lan_mac = m.device_mac;
+  ++stats_.translations_in;
+  return true;
+}
+
+std::size_t NatTable::expire_idle(TimePoint now) {
+  std::size_t removed = 0;
+  for (auto it = by_lan_.begin(); it != by_lan_.end();) {
+    const NatMapping& m = it->second;
+    if (now - m.last_activity > timeout_for(m.lan_tuple.protocol)) {
+      by_wan_.erase(WanKey{m.wan_port, m.lan_tuple.protocol});
+      it = by_lan_.erase(it);
+      ++removed;
+      ++stats_.mappings_expired;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::optional<MacAddress> NatTable::owner_of_port(std::uint16_t wan_port, Protocol proto) const {
+  const auto wan_it = by_wan_.find(WanKey{wan_port, proto});
+  if (wan_it == by_wan_.end()) return std::nullopt;
+  const auto lan_it = by_lan_.find(wan_it->second);
+  if (lan_it == by_lan_.end()) return std::nullopt;
+  return lan_it->second.device_mac;
+}
+
+std::vector<NatMapping> NatTable::snapshot() const {
+  std::vector<NatMapping> out;
+  out.reserve(by_lan_.size());
+  for (const auto& [tuple, mapping] : by_lan_) out.push_back(mapping);
+  return out;
+}
+
+}  // namespace bismark::net

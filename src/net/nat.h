@@ -1,0 +1,99 @@
+// NAT44 — the technology the paper "peeks behind".
+//
+// The gateway's NAT rewrites every LAN flow onto the single WAN address, so
+// the outside world sees one device where the home has many; the firmware's
+// privileged position *behind* the NAT is what makes per-device attribution
+// possible at all. We implement a full port-restricted NAT44: per-flow
+// mappings, WAN port allocation, idle expiry with protocol-specific
+// timeouts, inbound translation back to the owning device, and counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/time.h"
+#include "net/addr.h"
+#include "net/packet.h"
+
+namespace bismark::net {
+
+/// Behaviour/configuration knobs for the translator.
+struct NatConfig {
+  Ipv4Address wan_address{Ipv4Address(203, 0, 113, 1)};
+  std::uint16_t port_range_lo{1024};
+  std::uint16_t port_range_hi{65535};
+  Duration tcp_idle_timeout{Hours(2).ms};   // conservative conntrack-style default
+  Duration udp_idle_timeout{Minutes(5).ms};
+  Duration icmp_idle_timeout{Seconds(30).ms};
+};
+
+/// One active translation entry.
+struct NatMapping {
+  FiveTuple lan_tuple;        // original LAN five-tuple
+  std::uint16_t wan_port{0};  // allocated external source port
+  MacAddress device_mac;      // LAN device owning the flow
+  TimePoint last_activity;
+  std::uint64_t packets{0};
+};
+
+/// Counters exposed for tests and the NAT micro-benchmark.
+struct NatStats {
+  std::uint64_t translations_out{0};
+  std::uint64_t translations_in{0};
+  std::uint64_t mappings_created{0};
+  std::uint64_t mappings_expired{0};
+  std::uint64_t port_exhaustion_drops{0};
+  std::uint64_t unknown_inbound_drops{0};
+  [[nodiscard]] std::uint64_t active() const { return mappings_created - mappings_expired; }
+};
+
+/// Port-restricted cone NAT44.
+class NatTable {
+ public:
+  explicit NatTable(NatConfig config);
+
+  /// Translate an outbound (LAN→WAN) packet in place: the source becomes
+  /// the WAN address and an allocated port. Creates a mapping on the first
+  /// packet of a flow. Returns false (drop) on port exhaustion.
+  bool translate_outbound(Packet& packet);
+
+  /// Translate an inbound (WAN→LAN) packet in place: the destination
+  /// (WAN addr + port) is rewritten back to the owning LAN endpoint, and
+  /// `lan_mac` is restored for attribution. Returns false for packets with
+  /// no matching mapping (unsolicited inbound — dropped, as a NAT does).
+  bool translate_inbound(Packet& packet);
+
+  /// Expire idle mappings as of `now`. Returns how many were removed.
+  std::size_t expire_idle(TimePoint now);
+
+  /// Lookup the device owning an active WAN port (e.g. for diagnostics).
+  [[nodiscard]] std::optional<MacAddress> owner_of_port(std::uint16_t wan_port,
+                                                        Protocol proto) const;
+
+  [[nodiscard]] const NatStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t active_mappings() const { return by_lan_.size(); }
+  [[nodiscard]] const NatConfig& config() const { return config_; }
+
+  /// Snapshot of current mappings (for the NAT walkthrough example).
+  [[nodiscard]] std::vector<NatMapping> snapshot() const;
+
+ private:
+  struct WanKey {
+    std::uint16_t port;
+    Protocol proto;
+    auto operator<=>(const WanKey&) const = default;
+  };
+
+  NatConfig config_;
+  std::map<FiveTuple, NatMapping> by_lan_;
+  std::map<WanKey, FiveTuple> by_wan_;
+  std::uint16_t next_port_;
+  NatStats stats_;
+
+  [[nodiscard]] Duration timeout_for(Protocol proto) const;
+  std::optional<std::uint16_t> allocate_port(Protocol proto);
+};
+
+}  // namespace bismark::net

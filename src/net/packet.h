@@ -1,0 +1,57 @@
+// Packet and five-tuple types flowing through the simulated home network.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "core/time.h"
+#include "core/units.h"
+#include "net/addr.h"
+
+namespace bismark::net {
+
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17, kIcmp = 1 };
+
+[[nodiscard]] constexpr const char* ProtocolName(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kUdp: return "udp";
+    case Protocol::kIcmp: return "icmp";
+  }
+  return "?";
+}
+
+/// Direction relative to the home network the gateway serves.
+enum class Direction : std::uint8_t { kUpstream, kDownstream };
+
+/// The classic transport five-tuple.
+struct FiveTuple {
+  Ipv4Address src_ip;
+  Ipv4Address dst_ip;
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  Protocol protocol{Protocol::kTcp};
+
+  constexpr auto operator<=>(const FiveTuple&) const = default;
+
+  /// The tuple as seen from the reply direction.
+  [[nodiscard]] constexpr FiveTuple reversed() const {
+    return {dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+};
+
+/// A simulated packet at the gateway. We carry only the headers the
+/// firmware's passive monitor inspects — no payloads are synthesised,
+/// matching the paper's packet-statistics collection (size + timestamp).
+struct Packet {
+  TimePoint timestamp;
+  FiveTuple tuple;
+  Bytes size;
+  Direction direction{Direction::kUpstream};
+  /// Link-layer source on the LAN side (the device), used by the gateway
+  /// for per-device attribution; zero for downstream packets until the NAT
+  /// maps them back to a device.
+  MacAddress lan_mac;
+};
+
+}  // namespace bismark::net

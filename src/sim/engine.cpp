@@ -1,0 +1,67 @@
+#include "sim/engine.h"
+
+namespace bismark::sim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::active() const { return cancelled_ && !*cancelled_; }
+
+Engine::Engine(TimePoint start) : now_(start) {}
+
+EventHandle Engine::schedule_at(TimePoint when, std::function<void()> fn) {
+  auto cancelled = std::make_shared<bool>(false);
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+EventHandle Engine::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Engine::schedule_every(Duration period, std::function<void(TimePoint)> fn,
+                                   Duration phase) {
+  auto cancelled = std::make_shared<bool>(false);
+  // The repeating closure reschedules itself unless cancelled.
+  auto repeat = std::make_shared<std::function<void(TimePoint)>>();
+  std::weak_ptr<bool> weak_cancel = cancelled;
+  *repeat = [this, period, fn = std::move(fn), repeat, weak_cancel](TimePoint fire) {
+    fn(fire);
+    const auto cancel_flag = weak_cancel.lock();
+    if (cancel_flag && *cancel_flag) return;
+    const TimePoint next = fire + period;
+    queue_.push(Event{next, next_seq_++, [repeat, next] { (*repeat)(next); },
+                      cancel_flag ? cancel_flag : std::make_shared<bool>(false)});
+  };
+  const TimePoint first = now_ + phase;
+  queue_.push(Event{first, next_seq_++, [repeat, first] { (*repeat)(first); }, cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (ev.cancelled && *ev.cancelled) continue;
+    now_ = ev.when;
+    ev.fn();
+    ++executed_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t Engine::run_until(TimePoint end) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > end) break;
+    if (step()) ++n;
+  }
+  if (now_ < end) now_ = end;
+  return n;
+}
+
+}  // namespace bismark::sim

@@ -1,0 +1,83 @@
+// Application workload models.
+//
+// Every byte in the Traffic data set comes from an application session on
+// some device: a Netflix binge, a Dropbox sync, a VoIP call. Each
+// application type defines which domain categories it talks to and the
+// shape of the flows it opens (bytes up/down, duration, connection count).
+// The paper's concentration results — streaming domains carrying ~38 % of
+// volume over ~14 % of connections (Fig. 19) — must *emerge* from these
+// shapes, so the key invariant is: video moves many bytes over few long
+// connections, web browsing moves few bytes over many short ones.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "core/units.h"
+#include "net/packet.h"
+#include "traffic/domains.h"
+
+namespace bismark::traffic {
+
+enum class AppType : int {
+  kWebBrowsing = 0,
+  kVideoStreaming,
+  kAudioStreaming,
+  kSocialMedia,
+  kCloudSync,
+  kEmail,
+  kSoftwareUpdate,
+  kOnlineGaming,
+  kVoip,
+  kBulkUpload,   // the Fig. 16a "scientific data upload" workload
+  kIotTelemetry,
+};
+inline constexpr int kAppTypeCount = 11;
+
+[[nodiscard]] std::string_view AppTypeName(AppType t);
+
+/// The planned shape of one transport flow within a session.
+struct FlowPlan {
+  Bytes bytes_down;
+  Bytes bytes_up;
+  /// Nominal application demand while transferring. Transfer duration is
+  /// bytes / granted rate, so a constrained link stretches flows.
+  BitRate demand_down;
+  BitRate demand_up;
+  net::Protocol protocol{net::Protocol::kTcp};
+  std::uint16_t dst_port{443};
+  /// Delay after session start before this flow opens.
+  Duration start_offset{0};
+};
+
+/// One application session: the domain visited and its flows.
+struct SessionPlan {
+  AppType app{AppType::kWebBrowsing};
+  std::size_t domain_index{0};
+  std::vector<FlowPlan> flows;
+
+  [[nodiscard]] Bytes total_down() const;
+  [[nodiscard]] Bytes total_up() const;
+};
+
+/// Draws session plans for an application type against a domain catalog.
+class AppModel {
+ public:
+  /// Plan one session. Flow sizes/rates are drawn from per-app
+  /// distributions; the domain is drawn from the app's category affinity.
+  static SessionPlan PlanSession(AppType app, const DomainCatalog& catalog, Rng& rng);
+
+  /// Probability that a session of this app type goes to an *unlisted*
+  /// (tail) domain rather than a whitelisted one. Tuned so whitelisted
+  /// traffic covers ~65 % of volume overall (Section 6.4).
+  static double TailProbability(AppType app);
+
+  /// Mean session volume (both directions), used by tests to sanity-check
+  /// the calibration without running a full simulation.
+  static Bytes ApproxMeanVolume(AppType app);
+};
+
+}  // namespace bismark::traffic

@@ -1,0 +1,165 @@
+#include "traffic/device_types.h"
+
+#include <vector>
+
+namespace bismark::traffic {
+
+namespace {
+constexpr std::array<std::string_view, kDeviceTypeCount> kNames = {
+    "laptop",     "desktop",     "smart-phone", "tablet", "media-streamer", "smart-tv",
+    "game-console", "voip-phone", "printer",    "nas",    "iot-device",
+};
+
+// wired_prob, dual_band_prob, always_on_prob, hunger, sessions_per_hour.
+// Session rates are calibrated so a typical home moves a few GB/day —
+// `hunger` only ranks devices when the household picks its primary one.
+constexpr std::array<DeviceTypeTraits, kDeviceTypeCount> kTraits = {{
+    {0.08, 0.65, 0.04, 1.00, 0.70}, // laptop
+    {0.75, 0.40, 0.28, 1.10, 0.60}, // desktop
+    {0.00, 0.04, 0.10, 0.35, 1.00}, // smart-phone: 2.4 GHz only, light
+    {0.00, 0.40, 0.05, 0.55, 0.70}, // tablet
+    {0.45, 0.60, 0.70, 2.60, 0.045},// media-streamer: few sessions, huge ones
+    {0.35, 0.50, 0.25, 1.80, 0.025},// smart-tv
+    {0.55, 0.45, 0.20, 1.30, 0.03}, // game-console
+    {0.70, 0.00, 0.90, 0.05, 0.10}, // voip-phone
+    {0.60, 0.00, 0.45, 0.01, 0.02}, // printer
+    {0.95, 0.00, 0.90, 0.40, 0.05}, // nas: cloud-sync heavy
+    {0.20, 0.05, 0.60, 0.02, 0.30}, // iot
+}};
+}  // namespace
+
+std::string_view DeviceTypeName(DeviceType t) {
+  return kNames[static_cast<std::size_t>(t)];
+}
+
+const DeviceTypeTraits& TraitsOf(DeviceType t) {
+  return kTraits[static_cast<std::size_t>(t)];
+}
+
+std::array<double, kAppTypeCount> AppMixOf(DeviceType t) {
+  // Weights index AppType order: web, video, audio, social, cloud, email,
+  // update, gaming, voip, bulk-upload, iot.
+  switch (t) {
+    case DeviceType::kLaptop:
+      return {30, 10, 6, 14, 8, 10, 2, 1, 1, 0, 0};
+    case DeviceType::kDesktop:
+      return {28, 9, 6, 10, 12, 12, 3, 2, 1, 0, 0};
+    case DeviceType::kSmartPhone:
+      return {22, 6, 8, 30, 6, 14, 1, 1, 2, 0, 0};
+    case DeviceType::kTablet:
+      return {24, 16, 6, 24, 4, 8, 1, 1, 0, 0, 0};
+    case DeviceType::kMediaStreamer:
+      return {1, 85, 12, 0, 0, 0, 1, 0, 0, 0, 0};  // the Fig. 20b Roku shape
+    case DeviceType::kSmartTv:
+      return {2, 88, 6, 1, 0, 0, 2, 0, 0, 0, 0};
+    case DeviceType::kGameConsole:
+      return {2, 25, 2, 1, 0, 0, 8, 60, 0, 0, 0};
+    case DeviceType::kVoipPhone:
+      return {0, 0, 0, 0, 0, 0, 1, 0, 98, 0, 0};
+    case DeviceType::kPrinter:
+      return {10, 0, 0, 0, 10, 0, 30, 0, 0, 0, 50};
+    case DeviceType::kNas:
+      return {2, 2, 0, 0, 70, 0, 5, 0, 0, 15, 5};
+    case DeviceType::kIotDevice:
+      return {1, 0, 0, 0, 2, 0, 3, 0, 0, 0, 94};
+  }
+  return {};
+}
+
+net::VendorClass DrawVendorClass(DeviceType t, Rng& rng) {
+  using VC = net::VendorClass;
+  struct Weighted {
+    VC vc;
+    double w;
+  };
+  std::vector<Weighted> mix;
+  switch (t) {
+    case DeviceType::kLaptop:
+      mix = {{VC::kApple, 42}, {VC::kIntel, 28}, {VC::kOdm, 16}, {VC::kAsus, 6},
+             {VC::kHewlettPackard, 5}, {VC::kWirelessCard, 3}};
+      break;
+    case DeviceType::kDesktop:
+      mix = {{VC::kIntel, 34}, {VC::kApple, 26}, {VC::kOdm, 14}, {VC::kHardware, 10},
+             {VC::kHewlettPackard, 8}, {VC::kAsus, 5}, {VC::kVmware, 3}};
+      break;
+    case DeviceType::kSmartPhone:
+      mix = {{VC::kApple, 45}, {VC::kSamsung, 25}, {VC::kSmartPhone, 28}, {VC::kMisc, 2}};
+      break;
+    case DeviceType::kTablet:
+      mix = {{VC::kApple, 55}, {VC::kSamsung, 25}, {VC::kOdm, 15}, {VC::kMisc, 5}};
+      break;
+    case DeviceType::kMediaStreamer:
+      mix = {{VC::kInternetTv, 62}, {VC::kApple, 30}, {VC::kRaspberryPi, 8}};
+      break;
+    case DeviceType::kSmartTv:
+      mix = {{VC::kSamsung, 45}, {VC::kInternetTv, 35}, {VC::kOdm, 20}};
+      break;
+    case DeviceType::kGameConsole:
+      mix = {{VC::kMicrosoft, 40}, {VC::kGaming, 50}, {VC::kOdm, 10}};
+      break;
+    case DeviceType::kVoipPhone:
+      mix = {{VC::kVoip, 70}, {VC::kMisc, 30}};
+      break;
+    case DeviceType::kPrinter:
+      mix = {{VC::kPrinter, 60}, {VC::kHewlettPackard, 40}};
+      break;
+    case DeviceType::kNas:
+      mix = {{VC::kHardware, 40}, {VC::kOdm, 30}, {VC::kIntel, 20}, {VC::kRaspberryPi, 10}};
+      break;
+    case DeviceType::kIotDevice:
+      mix = {{VC::kMisc, 35}, {VC::kRaspberryPi, 25}, {VC::kWirelessCard, 25},
+             {VC::kHardware, 15}};
+      break;
+  }
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& m : mix) weights.push_back(m.w);
+  return mix[rng.weighted_index(weights)].vc;
+}
+
+net::MacAddress MintMac(net::VendorClass vendor, Rng& rng) {
+  const auto ouis = net::OuiRegistry::Instance().ouis_for(vendor);
+  std::uint32_t oui;
+  if (ouis.empty()) {
+    // Locally-administered fallback (should not happen for known classes).
+    oui = 0x020000 | static_cast<std::uint32_t>(rng.uniform_int(0, 0xffff));
+  } else {
+    oui = ouis[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(ouis.size()) - 1))];
+  }
+  const auto nic = static_cast<std::uint32_t>(rng.uniform_int(1, 0xfffffe));
+  return net::MacAddress::FromParts(oui, nic);
+}
+
+DeviceType DrawDeviceType(bool developed, Rng& rng) {
+  // Regional device-slot mixes. Developed homes hold more entertainment
+  // hardware (consoles, streamers, NAS); developing homes skew toward
+  // laptops and phones (Section 5.1's explanation of the gap).
+  struct Weighted {
+    DeviceType t;
+    double w;
+  };
+  static const std::vector<Weighted> kDeveloped = {
+      {DeviceType::kLaptop, 24},      {DeviceType::kSmartPhone, 22},
+      {DeviceType::kDesktop, 10},     {DeviceType::kTablet, 12},
+      {DeviceType::kMediaStreamer, 9}, {DeviceType::kSmartTv, 6},
+      {DeviceType::kGameConsole, 8},  {DeviceType::kVoipPhone, 2},
+      {DeviceType::kPrinter, 3},      {DeviceType::kNas, 2},
+      {DeviceType::kIotDevice, 2},
+  };
+  static const std::vector<Weighted> kDeveloping = {
+      {DeviceType::kLaptop, 34},      {DeviceType::kSmartPhone, 34},
+      {DeviceType::kDesktop, 12},     {DeviceType::kTablet, 8},
+      {DeviceType::kMediaStreamer, 2}, {DeviceType::kSmartTv, 3},
+      {DeviceType::kGameConsole, 3},  {DeviceType::kVoipPhone, 1},
+      {DeviceType::kPrinter, 2},      {DeviceType::kNas, 0.5},
+      {DeviceType::kIotDevice, 0.5},
+  };
+  const auto& mix = developed ? kDeveloped : kDeveloping;
+  std::vector<double> weights;
+  weights.reserve(mix.size());
+  for (const auto& m : mix) weights.push_back(m.w);
+  return mix[rng.weighted_index(weights)].t;
+}
+
+}  // namespace bismark::traffic

@@ -1,0 +1,73 @@
+// The device taxonomy of a home network.
+//
+// Section 5 ("Infrastructure") and Fig. 12 classify home devices by medium
+// (wired/wireless), band capability, manufacturer and behaviour. Each
+// DeviceType here bundles those attributes: which vendor classes
+// manufacture it, whether it is usually wired, whether it is dual-band,
+// how likely it is to stay connected around the clock, and which
+// applications it runs (its traffic "fingerprint", Fig. 20).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "core/rng.h"
+#include "net/addr.h"
+#include "net/oui.h"
+#include "traffic/apps.h"
+
+namespace bismark::traffic {
+
+enum class DeviceType : int {
+  kLaptop = 0,
+  kDesktop,
+  kSmartPhone,
+  kTablet,
+  kMediaStreamer,  // Roku / TiVo / Apple TV class
+  kSmartTv,
+  kGameConsole,
+  kVoipPhone,
+  kPrinter,
+  kNas,
+  kIotDevice,      // thermostat / Pi / telemetry gadgets
+};
+inline constexpr int kDeviceTypeCount = 11;
+
+[[nodiscard]] std::string_view DeviceTypeName(DeviceType t);
+
+/// Static behavioural attributes of a device type.
+struct DeviceTypeTraits {
+  /// Probability the device is attached by Ethernet rather than WiFi.
+  double wired_prob;
+  /// If wireless: probability it is dual-band capable (otherwise 2.4 only).
+  /// Phones in the study era were almost exclusively 2.4 GHz (Section 5.3).
+  double dual_band_prob;
+  /// Probability the device stays connected 24/7 while the router is up
+  /// (media boxes, VoIP phones, NAS — the Table 5 population).
+  double always_on_prob;
+  /// Relative appetite: scales session arrival rate (drives Fig. 17's
+  /// dominant-device concentration).
+  double hunger;
+  /// Mean application sessions per active hour at peak.
+  double sessions_per_hour;
+};
+
+[[nodiscard]] const DeviceTypeTraits& TraitsOf(DeviceType t);
+
+/// Application mix: unnormalised weights per AppType for this device type.
+[[nodiscard]] std::array<double, kAppTypeCount> AppMixOf(DeviceType t);
+
+/// Draw a manufacturer class for a device type (US market mix of the
+/// study period — Apple-heavy, per Fig. 12).
+[[nodiscard]] net::VendorClass DrawVendorClass(DeviceType t, Rng& rng);
+
+/// Mint a realistic MAC for the device: a real OUI of the drawn vendor
+/// class and a random NIC suffix.
+[[nodiscard]] net::MacAddress MintMac(net::VendorClass vendor, Rng& rng);
+
+/// Draw a device type for a household slot. `developed` selects the
+/// regional mix (developed homes own more media/entertainment devices,
+/// Section 5.1).
+[[nodiscard]] DeviceType DrawDeviceType(bool developed, Rng& rng);
+
+}  // namespace bismark::traffic

@@ -1,0 +1,287 @@
+#include "traffic/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bismark::traffic {
+
+namespace {
+constexpr double kMtuPayload = 1400.0;  // bytes of payload per data packet
+
+std::uint32_t PacketsFor(Bytes data) {
+  if (data.count <= 0) return 0;
+  return static_cast<std::uint32_t>(
+      std::max<std::int64_t>(1, data.count / static_cast<std::int64_t>(kMtuPayload)));
+}
+}  // namespace
+
+ActivityCurve ActivityCurve::Residential() {
+  ActivityCurve c;
+  // Weekday: deep night trough, small morning bump, work-hours dip,
+  // pronounced evening peak (Fig. 13a).
+  constexpr std::array<double, 24> wd = {
+      0.30, 0.20, 0.14, 0.12, 0.12, 0.15, 0.28, 0.45,  // 0-7
+      0.50, 0.42, 0.38, 0.36, 0.38, 0.36, 0.35, 0.38,  // 8-15
+      0.48, 0.62, 0.80, 0.95, 1.00, 0.98, 0.82, 0.55,  // 16-23
+  };
+  // Weekend: flatter, consistently active through the day (Fig. 13b).
+  constexpr std::array<double, 24> we = {
+      0.38, 0.26, 0.18, 0.14, 0.13, 0.15, 0.25, 0.40,
+      0.55, 0.68, 0.75, 0.78, 0.80, 0.78, 0.76, 0.78,
+      0.80, 0.84, 0.90, 0.95, 0.96, 0.92, 0.78, 0.55,
+  };
+  c.weekday = wd;
+  c.weekend = we;
+  return c;
+}
+
+double ActivityCurve::weight(Weekday day, int hour) const {
+  const auto h = static_cast<std::size_t>(std::clamp(hour, 0, 23));
+  return IsWeekend(day) ? weekend[h] : weekday[h];
+}
+
+double ActivityCurve::max_weight() const {
+  double m = 0.0;
+  for (double w : weekday) m = std::max(m, w);
+  for (double w : weekend) m = std::max(m, w);
+  return m;
+}
+
+HomeTrafficGenerator::HomeTrafficGenerator(sim::Engine& engine, const DomainCatalog& catalog,
+                                           net::DnsResolver& resolver, TrafficSink& sink,
+                                           TimeZone tz, Rng rng)
+    : engine_(engine), catalog_(catalog), resolver_(resolver), sink_(sink), tz_(tz), rng_(rng),
+      activity_(ActivityCurve::Residential()) {}
+
+void HomeTrafficGenerator::add_device(DeviceWorkload workload) {
+  auto state = std::make_unique<DeviceState>();
+  state->rng = rng_.fork(workload.mac.as_u64());
+  state->next_ephemeral_port =
+      static_cast<std::uint16_t>(20000 + state->rng.uniform_int(0, 20000));
+  state->workload = std::move(workload);
+  devices_.push_back(std::move(state));
+}
+
+void HomeTrafficGenerator::set_burst_params(Duration burst_len, double duty_cycle) {
+  burst_len_ = burst_len;
+  duty_cycle_ = std::clamp(duty_cycle, 0.05, 1.0);
+}
+
+void HomeTrafficGenerator::start(TimePoint begin, TimePoint end) {
+  window_end_ = end;
+  for (auto& dev : devices_) {
+    DeviceState* d = dev.get();
+    // Stagger first draws so homes don't phase-lock.
+    const Duration phase = Seconds(d->rng.uniform(0.0, 600.0));
+    engine_.schedule_at(begin + phase, [this, d] { schedule_next_session(*d); });
+  }
+}
+
+void HomeTrafficGenerator::schedule_next_session(DeviceState& dev) {
+  // Non-homogeneous Poisson via thinning against the peak rate.
+  const double peak_rate =
+      dev.workload.sessions_per_hour_peak * dev.workload.hunger_scale * activity_.max_weight();
+  if (peak_rate <= 0.0) return;
+  const double gap_hours = dev.rng.exponential(1.0 / peak_rate);
+  const TimePoint candidate = engine_.now() + Hours(gap_hours);
+  if (candidate >= window_end_) return;
+  engine_.schedule_at(candidate, [this, &dev] {
+    const TimePoint now = engine_.now();
+    const double w = activity_.weight(tz_.local_weekday(now), tz_.local_hour(now));
+    const double accept = w / activity_.max_weight();
+    const bool active = !dev.workload.is_active || dev.workload.is_active(now);
+    if (!active) {
+      ++stats_.suppressed_inactive;
+    } else if (dev.rng.bernoulli(accept)) {
+      run_session(dev);
+    }
+    schedule_next_session(dev);
+  });
+}
+
+std::size_t HomeTrafficGenerator::apply_favorites(DeviceState& dev, std::size_t domain_index) {
+  const DomainInfo& chosen = catalog_.domain(domain_index);
+  if (!chosen.whitelisted) return domain_index;  // tail visits stay random
+  switch (chosen.category) {
+    case DomainCategory::kVideoStreaming:
+    case DomainCategory::kAudioStreaming:
+    case DomainCategory::kSocial:
+    case DomainCategory::kCloudSync:
+    case DomainCategory::kEmail:
+    case DomainCategory::kGaming:
+      break;  // sticky categories: people subscribe to services
+    default:
+      return domain_index;
+  }
+  auto& favorites = dev.favorites[static_cast<int>(chosen.category)];
+  if (favorites.empty()) {
+    // One strong favourite per category (a household subscribes to *one*
+    // primary streaming service — the Fig. 19 concentration); sometimes a
+    // secondary one.
+    const std::size_t want = dev.rng.bernoulli(0.35) ? 2 : 1;
+    for (int attempts = 0; attempts < 12 && favorites.size() < want; ++attempts) {
+      const std::size_t candidate = catalog_.sample_in_category(chosen.category, dev.rng);
+      if (catalog_.domain(candidate).whitelisted) favorites.push_back(candidate);
+    }
+    if (favorites.empty()) favorites.push_back(domain_index);
+  }
+  if (dev.rng.bernoulli(0.90)) {
+    // The first favourite dominates even when a second exists.
+    if (favorites.size() == 1 || dev.rng.bernoulli(0.80)) return favorites.front();
+    return favorites[1];
+  }
+  return domain_index;
+}
+
+void HomeTrafficGenerator::run_session(DeviceState& dev) {
+  const AppType app = static_cast<AppType>(dev.rng.weighted_index(dev.workload.app_mix));
+  SessionPlan plan = AppModel::PlanSession(app, catalog_, dev.rng);
+  plan.domain_index = apply_favorites(dev, plan.domain_index);
+  ++stats_.sessions;
+
+  for (const FlowPlan& fp : plan.flows) {
+    engine_.schedule_after(fp.start_offset, [this, &dev, plan, fp] {
+      if (dev.workload.is_active && !dev.workload.is_active(engine_.now())) {
+        ++stats_.suppressed_inactive;
+        return;
+      }
+      open_flow(dev, plan, fp);
+    });
+  }
+}
+
+void HomeTrafficGenerator::open_flow(DeviceState& dev, const SessionPlan& plan,
+                                     const FlowPlan& fp) {
+  const TimePoint now = engine_.now();
+  const DomainInfo& domain = catalog_.domain(plan.domain_index);
+
+  // DNS lookup through the home's caching resolver; the gateway's passive
+  // monitor samples the response.
+  bool cache_hit = false;
+  const net::DnsResponse response = resolver_.resolve(domain.name, now, &cache_hit);
+  ++stats_.dns_queries;
+  if (!cache_hit) sink_.on_dns(response, dev.workload.mac, now);
+  const auto dst = response.address();
+  if (!dst) return;  // NXDOMAIN — nothing to connect to
+
+  FlowOpen open;
+  open.id = net::FlowId{next_flow_id_++};
+  open.lan_tuple = net::FiveTuple{dev.workload.ip, *dst, dev.next_ephemeral_port, fp.dst_port,
+                                  fp.protocol};
+  dev.next_ephemeral_port = dev.next_ephemeral_port >= 64000
+                                ? static_cast<std::uint16_t>(20000)
+                                : static_cast<std::uint16_t>(dev.next_ephemeral_port + 1);
+  open.device_mac = dev.workload.mac;
+  open.domain = domain.name;
+  open.app = plan.app;
+  open.opened = now;
+  sink_.on_flow_open(open);
+  ++stats_.flows;
+
+  auto record = std::make_shared<net::FlowRecord>();
+  record->id = open.id;
+  record->tuple = open.lan_tuple;
+  record->device_mac = open.device_mac;
+  record->first_packet = now;
+  record->last_packet = now;
+  record->domain = domain.name;
+
+  // Admit the dominant direction's demand; the grant scales both.
+  const bool down_dominant = fp.bytes_down >= fp.bytes_up;
+  const double demand =
+      down_dominant ? fp.demand_down.bps : fp.demand_up.bps;
+  const double granted = std::max(
+      1e3, sink_.admit_rate(down_dominant ? net::Direction::kDownstream : net::Direction::kUpstream,
+                            demand));
+  const double scale = demand > 0.0 ? granted / demand : 1.0;
+  const BitRate rate_down = Bps(std::max(1e3, fp.demand_down.bps * scale));
+  const BitRate rate_up = Bps(std::max(1e3, fp.demand_up.bps * scale));
+
+  // Long flows are transferred in on/off bursts; short ones in one burst.
+  const double transfer_s =
+      std::max(rate_down.seconds_for(fp.bytes_down), rate_up.seconds_for(fp.bytes_up));
+  const bool bursty = transfer_s > 30.0;
+  transfer(dev, std::move(record), fp.bytes_up, fp.bytes_down, rate_up, rate_down, bursty);
+}
+
+void HomeTrafficGenerator::transfer(DeviceState& dev, std::shared_ptr<net::FlowRecord> record,
+                                    Bytes remaining_up, Bytes remaining_down, BitRate rate_up,
+                                    BitRate rate_down, bool bursty) {
+  const TimePoint now = engine_.now();
+  if (remaining_up.count <= 0 && remaining_down.count <= 0) {
+    record->last_packet = now;
+    sink_.on_flow_close(*record);
+    return;
+  }
+  // When a home goes dark mid-flow (router powered off), the flow ends.
+  if (dev.workload.is_active && !dev.workload.is_active(now)) {
+    record->last_packet = now;
+    sink_.on_flow_close(*record);
+    return;
+  }
+
+  // Burst rates: long flows fetch at the granted rate during ON bursts and
+  // go quiet between them, so the average transfer rate is duty_cycle *
+  // rate while the per-second peak the gateway meters is the full rate —
+  // the streaming fetch pattern behind Fig. 14's spiky utilisation.
+  const BitRate burst_up = rate_up;
+  const BitRate burst_down = rate_down;
+
+  // How long this burst runs: bounded by burst length and remaining bytes.
+  double burst_s = bursty ? burst_len_.seconds() : 1e18;
+  if (remaining_down.count > 0) {
+    burst_s = std::min(burst_s, burst_down.seconds_for(remaining_down));
+  }
+  if (remaining_up.count > 0) {
+    burst_s = std::min(burst_s, std::max(burst_up.seconds_for(remaining_up),
+                                         remaining_down.count > 0 ? 0.0 : 0.0));
+  }
+  burst_s = std::clamp(burst_s, 0.02, 3600.0);
+
+  FlowChunk chunk;
+  chunk.id = record->id;
+  chunk.start = now;
+  chunk.duration = Seconds(burst_s);
+  chunk.bytes_down =
+      Bytes{std::min(remaining_down.count, burst_down.bytes_in(burst_s).count)};
+  chunk.bytes_up = Bytes{std::min(remaining_up.count, burst_up.bytes_in(burst_s).count)};
+  chunk.packets_down = PacketsFor(chunk.bytes_down);
+  chunk.packets_up = PacketsFor(chunk.bytes_up);
+
+  const double used_down = chunk.bytes_down.bits() / burst_s;
+  const double used_up = chunk.bytes_up.bits() / burst_s;
+  sink_.add_rate(net::Direction::kDownstream, used_down, now);
+  sink_.add_rate(net::Direction::kUpstream, used_up, now);
+
+  record->bytes_down += chunk.bytes_down;
+  record->bytes_up += chunk.bytes_up;
+  record->packets_down += chunk.packets_down;
+  record->packets_up += chunk.packets_up;
+  record->last_packet = now + chunk.duration;
+  sink_.on_chunk(chunk);
+  ++stats_.chunks;
+
+  remaining_down = remaining_down - chunk.bytes_down;
+  remaining_up = remaining_up - chunk.bytes_up;
+
+  engine_.schedule_after(chunk.duration, [this, &dev, record, remaining_up, remaining_down,
+                                          rate_up, rate_down, bursty, used_down, used_up] {
+    const TimePoint t = engine_.now();
+    sink_.remove_rate(net::Direction::kDownstream, used_down, t);
+    sink_.remove_rate(net::Direction::kUpstream, used_up, t);
+    if (remaining_up.count <= 0 && remaining_down.count <= 0) {
+      record->last_packet = t;
+      sink_.on_flow_close(*record);
+      return;
+    }
+    // Off period between bursts keeps the average at the nominal demand.
+    const double off_s =
+        bursty ? burst_len_.seconds() * (1.0 - duty_cycle_) / duty_cycle_ : 0.0;
+    engine_.schedule_after(Seconds(off_s), [this, &dev, record, remaining_up, remaining_down,
+                                            rate_up, rate_down, bursty] {
+      transfer(dev, record, remaining_up, remaining_down, rate_up, rate_down, bursty);
+    });
+  });
+}
+
+}  // namespace bismark::traffic

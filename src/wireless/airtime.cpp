@@ -1,0 +1,26 @@
+#include "wireless/airtime.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bismark::wireless {
+
+double EffectiveAirtimeShare(const ContentionInput& input) {
+  // Each overlapping neighbour BSS independently occupies the channel for
+  // its duty cycle; the medium is free with probability (1-d)^n. CSMA/CA
+  // lets us use the free fraction, with a small per-neighbour management
+  // overhead (beacons, probe traffic) even from idle BSSes.
+  const double free_air = std::pow(1.0 - input.neighbor_duty_cycle,
+                                   static_cast<double>(input.overlapping_neighbor_aps));
+  const double beacon_overhead =
+      0.005 * static_cast<double>(std::min<std::size_t>(input.overlapping_neighbor_aps, 40));
+  return std::clamp(free_air - beacon_overhead, 0.01, 1.0);
+}
+
+double PerClientShare(const ContentionInput& input) {
+  const double bss_share = EffectiveAirtimeShare(input);
+  const double clients = static_cast<double>(std::max<std::size_t>(input.own_clients, 1));
+  return bss_share / clients;
+}
+
+}  // namespace bismark::wireless

@@ -1,0 +1,30 @@
+// Airtime-contention estimate for a radio channel.
+//
+// Section 5.3 frames the crowding of 2.4 GHz as a contention problem:
+// "many devices talking to many access points in the vicinity causes
+// contention and interference problems, which in turn reduces the
+// available bandwidth of the wireless channel." This model turns the
+// observable quantities (neighbour APs on overlapping channels, associated
+// clients) into an effective-throughput multiplier, used by the ablation
+// bench to show how neighbourhood density erodes usable wireless capacity.
+#pragma once
+
+#include <cstddef>
+
+namespace bismark::wireless {
+
+struct ContentionInput {
+  std::size_t overlapping_neighbor_aps{0};
+  /// Assumed mean activity duty-cycle of each neighbour AP's BSS.
+  double neighbor_duty_cycle{0.10};
+  std::size_t own_clients{0};
+};
+
+/// Fraction of nominal channel capacity left to this BSS after CSMA/CA
+/// sharing with overlapping neighbours, in (0, 1].
+[[nodiscard]] double EffectiveAirtimeShare(const ContentionInput& input);
+
+/// Expected per-client share when `own_clients` contend within the BSS.
+[[nodiscard]] double PerClientShare(const ContentionInput& input);
+
+}  // namespace bismark::wireless

@@ -1,0 +1,39 @@
+#include "wireless/association.h"
+
+namespace bismark::wireless {
+
+bool AssociationTable::associate(net::MacAddress mac, TimePoint now) {
+  if (!config_.enabled) return false;
+  auto it = clients_.find(mac);
+  if (it == clients_.end()) {
+    clients_.emplace(mac, Association{mac, now, now});
+  } else {
+    it->second.last_activity = now;
+  }
+  return true;
+}
+
+void AssociationTable::disassociate(net::MacAddress mac) { clients_.erase(mac); }
+
+void AssociationTable::clear() { clients_.clear(); }
+
+void AssociationTable::touch(net::MacAddress mac, TimePoint now) {
+  const auto it = clients_.find(mac);
+  if (it != clients_.end()) it->second.last_activity = now;
+}
+
+bool AssociationTable::is_associated(net::MacAddress mac) const { return clients_.contains(mac); }
+
+std::vector<Association> AssociationTable::clients() const {
+  std::vector<Association> out;
+  out.reserve(clients_.size());
+  for (const auto& [mac, assoc] : clients_) out.push_back(assoc);
+  return out;
+}
+
+void AssociationTable::set_enabled(bool enabled) {
+  config_.enabled = enabled;
+  if (!enabled) clients_.clear();
+}
+
+}  // namespace bismark::wireless

@@ -1,0 +1,48 @@
+// Client association state for one radio of the home AP.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/time.h"
+#include "net/addr.h"
+#include "wireless/band.h"
+
+namespace bismark::wireless {
+
+/// One associated client.
+struct Association {
+  net::MacAddress mac;
+  TimePoint associated_at;
+  TimePoint last_activity;
+};
+
+/// Tracks which client MACs are associated with a radio. The Devices
+/// dataset's hourly "associated clients per frequency" counts (Section
+/// 3.2.2) are read directly from two of these.
+class AssociationTable {
+ public:
+  explicit AssociationTable(RadioConfig config) : config_(config) {}
+
+  /// Associate a client; refreshes activity if already present.
+  /// Returns false if the radio is disabled.
+  bool associate(net::MacAddress mac, TimePoint now);
+  /// Remove a client; no-op if absent.
+  void disassociate(net::MacAddress mac);
+  /// Disassociate everyone (radio reset / router power-off).
+  void clear();
+  /// Record traffic from an associated client.
+  void touch(net::MacAddress mac, TimePoint now);
+
+  [[nodiscard]] bool is_associated(net::MacAddress mac) const;
+  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] std::vector<Association> clients() const;
+  [[nodiscard]] const RadioConfig& config() const { return config_; }
+  void set_enabled(bool enabled);
+
+ private:
+  RadioConfig config_;
+  std::map<net::MacAddress, Association> clients_;
+};
+
+}  // namespace bismark::wireless

@@ -1,0 +1,22 @@
+#include "wireless/band.h"
+
+#include <cstdlib>
+
+namespace bismark::wireless {
+
+std::string_view BandName(Band b) { return b == Band::k2_4GHz ? "2.4 GHz" : "5 GHz"; }
+
+const std::vector<int>& ChannelsFor(Band b) {
+  static const std::vector<int> k24 = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11};
+  static const std::vector<int> k5 = {36, 40, 44, 48, 149, 153, 157, 161, 165};
+  return b == Band::k2_4GHz ? k24 : k5;
+}
+
+int DefaultChannel(Band b) { return b == Band::k2_4GHz ? 11 : 36; }
+
+bool ChannelsOverlap(Band band, int a, int b) {
+  if (band == Band::k2_4GHz) return std::abs(a - b) < 5;
+  return a == b;
+}
+
+}  // namespace bismark::wireless

@@ -1,0 +1,99 @@
+#include "wireless/neighbor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bismark::wireless {
+
+namespace {
+std::string MakeBssid(Rng& rng) {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>(rng.uniform_int(0, 255)) & 0xfe,  // unicast
+                static_cast<unsigned>(rng.uniform_int(0, 255)),
+                static_cast<unsigned>(rng.uniform_int(0, 255)),
+                static_cast<unsigned>(rng.uniform_int(0, 255)),
+                static_cast<unsigned>(rng.uniform_int(0, 255)),
+                static_cast<unsigned>(rng.uniform_int(0, 255)));
+  return buf;
+}
+
+int DrawChannel24(const NeighborhoodProfile& profile, Rng& rng) {
+  if (rng.bernoulli(profile.popular_channel_frac)) {
+    static const int popular[] = {1, 6, 11};
+    return popular[rng.uniform_int(0, 2)];
+  }
+  const auto& channels = ChannelsFor(Band::k2_4GHz);
+  return channels[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(channels.size()) - 1))];
+}
+
+int DrawChannel5(Rng& rng) {
+  const auto& channels = ChannelsFor(Band::k5GHz);
+  return channels[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(channels.size()) - 1))];
+}
+
+std::size_t DrawCount(double mean, Rng& rng) {
+  // Approximately Poisson via exponential gaps; clamp to a sane ceiling.
+  if (mean <= 0.0) return 0;
+  double t = 0.0;
+  std::size_t n = 0;
+  while (n < 120) {
+    t += rng.exponential(1.0);
+    if (t > mean) break;
+    ++n;
+  }
+  return n;
+}
+}  // namespace
+
+Neighborhood Neighborhood::Generate(const NeighborhoodProfile& profile, Rng rng) {
+  Neighborhood hood;
+  const bool dense = rng.bernoulli(profile.dense_prob);
+  const double mean24 = dense ? profile.dense_mean_24 : profile.sparse_mean_24;
+  const double mean5 = dense ? profile.dense_mean_5 : profile.sparse_mean_5;
+
+  const std::size_t n24 = DrawCount(mean24, rng);
+  for (std::size_t i = 0; i < n24; ++i) {
+    NeighborAp ap;
+    ap.bssid = MakeBssid(rng);
+    ap.band = Band::k2_4GHz;
+    ap.channel = DrawChannel24(profile, rng);
+    // Dense mode skews nearer/stronger.
+    ap.rssi_dbm = rng.normal(dense ? -72.0 : -82.0, 8.0);
+    hood.aps_.push_back(std::move(ap));
+  }
+
+  const std::size_t n5 = DrawCount(mean5, rng);
+  for (std::size_t i = 0; i < n5; ++i) {
+    NeighborAp ap;
+    ap.bssid = MakeBssid(rng);
+    ap.band = Band::k5GHz;
+    ap.channel = DrawChannel5(rng);
+    // 5 GHz attenuates faster through walls.
+    ap.rssi_dbm = rng.normal(dense ? -78.0 : -86.0, 7.0);
+    hood.aps_.push_back(std::move(ap));
+  }
+  return hood;
+}
+
+std::vector<NeighborAp> Neighborhood::audible_on(Band band, int channel,
+                                                 double sensitivity_dbm) const {
+  std::vector<NeighborAp> out;
+  for (const auto& ap : aps_) {
+    if (ap.band != band) continue;
+    if (!ChannelsOverlap(band, ap.channel, channel)) continue;
+    if (ap.rssi_dbm < sensitivity_dbm) continue;
+    out.push_back(ap);
+  }
+  return out;
+}
+
+std::size_t Neighborhood::count_on_band(Band band) const {
+  return static_cast<std::size_t>(
+      std::count_if(aps_.begin(), aps_.end(),
+                    [band](const NeighborAp& ap) { return ap.band == band; }));
+}
+
+}  // namespace bismark::wireless

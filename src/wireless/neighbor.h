@@ -1,0 +1,61 @@
+// The radio neighbourhood of one home: other people's access points.
+//
+// Figure 11 reports the number of neighbour APs visible on the scan channel
+// — median ~20 in developed countries, ~2 in developing, with a bimodal
+// shape (dense apartment blocks vs detached houses). We model a home's
+// neighbourhood as a static population of APs with band/channel/RSSI, from
+// which the scanner observes the subset that is audible on its channel.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "wireless/band.h"
+
+namespace bismark::wireless {
+
+/// One neighbouring access point as visible over the air.
+struct NeighborAp {
+  std::string bssid;   // rendered MAC-like id
+  Band band{Band::k2_4GHz};
+  int channel{1};
+  double rssi_dbm{-70.0};
+};
+
+/// Parameters describing how dense a home's radio neighbourhood is.
+/// The bimodal mixture: with probability `dense_prob` the home draws from
+/// the dense mode (apartments), otherwise from the sparse mode.
+struct NeighborhoodProfile {
+  double dense_prob{0.5};
+  double dense_mean_24{22.0};   // mean APs on 2.4 GHz in the dense mode
+  double sparse_mean_24{2.5};
+  double dense_mean_5{3.0};     // 5 GHz adoption was thin in 2012/13
+  double sparse_mean_5{0.6};
+  /// Fraction of 2.4 GHz neighbour APs sitting on the popular channels
+  /// 1/6/11 (the rest scatter uniformly).
+  double popular_channel_frac{0.8};
+};
+
+/// The generated neighbourhood for one home.
+class Neighborhood {
+ public:
+  /// Deterministically generate a neighbourhood from the profile.
+  static Neighborhood Generate(const NeighborhoodProfile& profile, Rng rng);
+
+  /// All APs in the air, regardless of channel.
+  [[nodiscard]] const std::vector<NeighborAp>& aps() const { return aps_; }
+
+  /// APs that a scan on (band, channel) can hear: same band, overlapping
+  /// channel, and RSSI above the scanner's sensitivity floor.
+  [[nodiscard]] std::vector<NeighborAp> audible_on(Band band, int channel,
+                                                   double sensitivity_dbm = -92.0) const;
+
+  /// Count of APs per band (any channel).
+  [[nodiscard]] std::size_t count_on_band(Band band) const;
+
+ private:
+  std::vector<NeighborAp> aps_;
+};
+
+}  // namespace bismark::wireless

@@ -1,0 +1,34 @@
+#include "wireless/scanner.h"
+
+namespace bismark::wireless {
+
+WifiScanner::WifiScanner(ScannerConfig config, Rng rng) : config_(config), rng_(rng) {}
+
+ScanResult WifiScanner::scan(const Neighborhood& neighborhood, AssociationTable& associations,
+                             TimePoint now) {
+  ScanResult result;
+  result.timestamp = now;
+  result.band = associations.config().band;
+  result.channel = associations.config().channel;
+
+  const auto audible =
+      neighborhood.audible_on(result.band, result.channel, config_.sensitivity_dbm);
+  result.visible_aps = audible.size();
+
+  // Off-channel dwell can drop associated clients.
+  for (const auto& client : associations.clients()) {
+    if (rng_.bernoulli(config_.disassociation_prob)) {
+      associations.disassociate(client.mac);
+      ++result.clients_disassociated;
+    }
+  }
+  result.associated_clients = associations.client_count();
+  return result;
+}
+
+Duration WifiScanner::next_interval(std::size_t associated_clients) const {
+  if (associated_clients == 0) return config_.base_interval;
+  return config_.base_interval * config_.backoff_factor;
+}
+
+}  // namespace bismark::wireless

@@ -1,0 +1,57 @@
+// The firmware's WiFi scanner.
+//
+// Section 3.2.2: "Each router attempts to scan for clients and access
+// points every 10 minutes; unfortunately, the scanning process can
+// sometimes cause wireless clients to disassociate from the router, so we
+// reduce the scanning frequency if the router has associated clients."
+// Both quirks are modelled: scans can knock clients off, and the scan
+// scheduler backs off when clients are present.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/time.h"
+#include "wireless/association.h"
+#include "wireless/band.h"
+#include "wireless/neighbor.h"
+
+namespace bismark::wireless {
+
+/// Result of one scan on one radio.
+struct ScanResult {
+  TimePoint timestamp;
+  Band band{Band::k2_4GHz};
+  int channel{0};
+  std::size_t visible_aps{0};
+  std::size_t associated_clients{0};
+  std::size_t clients_disassociated{0};  // collateral damage of the scan
+};
+
+struct ScannerConfig {
+  Duration base_interval{Minutes(10).ms};
+  /// Multiplier applied when clients are associated (reduced frequency).
+  int backoff_factor{3};
+  /// Per-client probability that the off-channel dwell drops it.
+  double disassociation_prob{0.02};
+  double sensitivity_dbm{-92.0};
+};
+
+/// Scans one radio's channel against the home's neighbourhood.
+class WifiScanner {
+ public:
+  WifiScanner(ScannerConfig config, Rng rng);
+
+  /// Perform a scan now. May disassociate clients from `associations`.
+  ScanResult scan(const Neighborhood& neighborhood, AssociationTable& associations,
+                  TimePoint now);
+
+  /// When the next scan should run, given the current client count.
+  [[nodiscard]] Duration next_interval(std::size_t associated_clients) const;
+
+ private:
+  ScannerConfig config_;
+  Rng rng_;
+};
+
+}  // namespace bismark::wireless

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "analysis/capacity_stats.h"
+
+namespace bismark::analysis {
+namespace {
+
+using collect::HomeId;
+
+class CapacityStatsTest : public ::testing::Test {
+ protected:
+  CapacityStatsTest() : repo_(collect::DatasetWindows::Paper()) {}
+
+  void RegisterHome(int id, const std::string& country, bool developed) {
+    collect::HomeInfo info;
+    info.id = HomeId{id};
+    info.country_code = country;
+    info.developed = developed;
+    repo_.register_home(info);
+  }
+
+  void AddProbes(int id, std::initializer_list<double> down_mbps, double up_mbps) {
+    int i = 0;
+    for (double d : down_mbps) {
+      collect::CapacityRecord rec;
+      rec.home = HomeId{id};
+      rec.measured = repo_.windows().capacity.start + Hours(12 * i++);
+      rec.downstream = Mbps(d);
+      rec.upstream = Mbps(up_mbps);
+      repo_.add_capacity(rec);
+    }
+  }
+
+  collect::DataRepository repo_;
+};
+
+TEST_F(CapacityStatsTest, PerHomeMediansAndStability) {
+  RegisterHome(1, "US", true);
+  AddProbes(1, {19.0, 20.0, 21.0, 20.0, 20.0}, 4.0);
+  const auto homes = SummarizeCapacity(repo_);
+  ASSERT_EQ(homes.size(), 1u);
+  EXPECT_EQ(homes[0].probes, 5);
+  EXPECT_DOUBLE_EQ(homes[0].median_down_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(homes[0].median_up_mbps, 4.0);
+  EXPECT_DOUBLE_EQ(homes[0].asymmetry(), 5.0);
+  EXPECT_LT(homes[0].down_cv, 0.05);  // stable probes
+  EXPECT_EQ(homes[0].country_code, "US");
+}
+
+TEST_F(CapacityStatsTest, UnstableProbesShowHighCv) {
+  RegisterHome(1, "US", true);
+  AddProbes(1, {20.0, 5.0, 20.0, 5.0}, 4.0);
+  const auto homes = SummarizeCapacity(repo_);
+  ASSERT_EQ(homes.size(), 1u);
+  EXPECT_GT(homes[0].down_cv, 0.4);
+}
+
+TEST_F(CapacityStatsTest, CountryAggregationWithMinHomes) {
+  RegisterHome(1, "US", true);
+  RegisterHome(2, "US", true);
+  RegisterHome(3, "US", true);
+  RegisterHome(4, "IN", false);  // only one IN home: dropped by min_homes
+  AddProbes(1, {10.0}, 1.0);
+  AddProbes(2, {20.0}, 2.0);
+  AddProbes(3, {30.0}, 3.0);
+  AddProbes(4, {4.0}, 0.5);
+  const auto rows = CapacityByCountry(repo_, 3);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].country_code, "US");
+  EXPECT_EQ(rows[0].homes, 3);
+  EXPECT_DOUBLE_EQ(rows[0].median_down_mbps, 20.0);
+  EXPECT_DOUBLE_EQ(rows[0].median_up_mbps, 2.0);
+}
+
+TEST_F(CapacityStatsTest, RegionalDistributions) {
+  RegisterHome(1, "US", true);
+  RegisterHome(2, "IN", false);
+  AddProbes(1, {40.0}, 8.0);
+  AddProbes(2, {4.0}, 0.5);
+  const auto cdfs = CapacityDistributions(repo_);
+  EXPECT_EQ(cdfs.developed_down.size(), 1u);
+  EXPECT_EQ(cdfs.developing_down.size(), 1u);
+  EXPECT_GT(cdfs.developed_down.median(), cdfs.developing_down.median());
+}
+
+TEST_F(CapacityStatsTest, EmptyRepositorySafe) {
+  EXPECT_TRUE(SummarizeCapacity(repo_).empty());
+  EXPECT_TRUE(CapacityByCountry(repo_).empty());
+  EXPECT_TRUE(CapacityDistributions(repo_).developed_down.empty());
+}
+
+}  // namespace
+}  // namespace bismark::analysis

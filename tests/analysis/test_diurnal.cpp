@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "analysis/diurnal.h"
+
+namespace bismark::analysis {
+namespace {
+
+using collect::HomeId;
+
+// Nov 1 2012 (the WiFi window start) was a Thursday.
+const TimePoint t0 = MakeTime({2012, 11, 1});
+
+class DiurnalTest : public ::testing::Test {
+ protected:
+  DiurnalTest() : repo_(collect::DatasetWindows::Paper()) {}
+
+  void RegisterHome(int id, Duration utc_offset) {
+    collect::HomeInfo info;
+    info.id = HomeId{id};
+    info.developed = true;
+    info.utc_offset = utc_offset;
+    info.reports_wifi = true;
+    repo_.register_home(info);
+  }
+
+  void AddScan(int home, TimePoint when, int clients,
+               wireless::Band band = wireless::Band::k2_4GHz) {
+    collect::WifiScanRecord scan;
+    scan.home = HomeId{home};
+    scan.scanned = when;
+    scan.band = band;
+    scan.associated_clients = clients;
+    repo_.add_wifi_scan(scan);
+  }
+
+  collect::DataRepository repo_;
+};
+
+TEST_F(DiurnalTest, EveningPeakAppearsAtLocalHour) {
+  RegisterHome(1, Hours(0));
+  // Two weekdays: 3 clients at 20:00, 1 client at 04:00.
+  for (int d = 0; d < 2; ++d) {
+    AddScan(1, t0 + Days(d) + Hours(20), 3);
+    AddScan(1, t0 + Days(d) + Hours(4), 1);
+  }
+  const auto profile = WirelessDiurnalProfile(repo_);
+  EXPECT_DOUBLE_EQ(profile.weekday[20], 3.0);
+  EXPECT_DOUBLE_EQ(profile.weekday[4], 1.0);
+  EXPECT_DOUBLE_EQ(profile.weekday[12], 0.0);  // no samples
+}
+
+TEST_F(DiurnalTest, TimezoneMapsUtcToLocalHours) {
+  RegisterHome(1, Hours(8));  // China
+  AddScan(1, t0 + Hours(12), 5);  // 12:00 UTC = 20:00 local
+  const auto profile = WirelessDiurnalProfile(repo_);
+  EXPECT_DOUBLE_EQ(profile.weekday[20], 5.0);
+  EXPECT_DOUBLE_EQ(profile.weekday[12], 0.0);
+}
+
+TEST_F(DiurnalTest, WeekendSplit) {
+  RegisterHome(1, Hours(0));
+  // Nov 3 2012 was a Saturday.
+  const TimePoint saturday = MakeTime({2012, 11, 3});
+  AddScan(1, saturday + Hours(14), 4);
+  AddScan(1, t0 + Hours(14), 2);  // Thursday
+  const auto profile = WirelessDiurnalProfile(repo_);
+  EXPECT_DOUBLE_EQ(profile.weekend[14], 4.0);
+  EXPECT_DOUBLE_EQ(profile.weekday[14], 2.0);
+}
+
+TEST_F(DiurnalTest, BandsSumIntoProfile) {
+  RegisterHome(1, Hours(0));
+  AddScan(1, t0 + Hours(20), 3, wireless::Band::k2_4GHz);
+  AddScan(1, t0 + Hours(20), 2, wireless::Band::k5GHz);
+  const auto profile = WirelessDiurnalProfile(repo_);
+  EXPECT_DOUBLE_EQ(profile.weekday[20], 5.0);
+}
+
+TEST_F(DiurnalTest, SwingMetrics) {
+  DiurnalProfile profile;
+  profile.weekday.fill(1.0);
+  profile.weekday[20] = 3.0;
+  profile.weekend.fill(2.0);
+  profile.weekend[20] = 2.4;
+  EXPECT_DOUBLE_EQ(profile.weekday_peak(), 3.0);
+  EXPECT_DOUBLE_EQ(profile.weekday_trough(), 1.0);
+  EXPECT_DOUBLE_EQ(profile.weekday_swing(), 3.0);
+  EXPECT_DOUBLE_EQ(profile.weekend_swing(), 1.2);
+}
+
+TEST_F(DiurnalTest, CensusProfileFromDeviceCounts) {
+  RegisterHome(1, Hours(0));
+  collect::DeviceCountRecord rec;
+  rec.home = HomeId{1};
+  rec.sampled = MakeTime({2013, 3, 7}, 20, 0, 0);  // Thursday 20:00
+  rec.wireless_24 = 2;
+  rec.wireless_5 = 1;
+  repo_.add_device_count(rec);
+  const auto profile = CensusDiurnalProfile(repo_);
+  EXPECT_DOUBLE_EQ(profile.weekday[20], 3.0);
+}
+
+TEST_F(DiurnalTest, UnknownHomeScansIgnored) {
+  AddScan(99, t0 + Hours(20), 7);  // never registered
+  const auto profile = WirelessDiurnalProfile(repo_);
+  EXPECT_DOUBLE_EQ(profile.weekday[20], 0.0);
+}
+
+}  // namespace
+}  // namespace bismark::analysis

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "analysis/downtime.h"
+
+namespace bismark::analysis {
+namespace {
+
+using collect::HeartbeatRun;
+using collect::HomeId;
+
+const TimePoint t0 = MakeTime({2012, 10, 1});
+const Interval kWindow{t0, t0 + Days(56)};
+
+TEST(ExtractDowntimesTest, GapBelowThresholdIgnored) {
+  std::vector<HeartbeatRun> runs = {
+      {HomeId{1}, t0, t0 + Hours(1)},
+      {HomeId{1}, t0 + Hours(1) + Minutes(5), t0 + Hours(2)},  // 5-min gap
+  };
+  EXPECT_TRUE(ExtractDowntimes(runs, kWindow, Minutes(10)).empty());
+}
+
+TEST(ExtractDowntimesTest, GapAtThresholdCounts) {
+  std::vector<HeartbeatRun> runs = {
+      {HomeId{1}, t0, t0 + Hours(1)},
+      {HomeId{1}, t0 + Hours(1) + Minutes(10), t0 + Hours(2)},
+  };
+  const auto downtimes = ExtractDowntimes(runs, kWindow, Minutes(10));
+  ASSERT_EQ(downtimes.size(), 1u);
+  EXPECT_EQ(downtimes[0].gap.length(), Minutes(10));
+  EXPECT_EQ(downtimes[0].gap.start, t0 + Hours(1));
+}
+
+TEST(ExtractDowntimesTest, MultipleGapsAndUnsortedInput) {
+  std::vector<HeartbeatRun> runs = {
+      {HomeId{1}, t0 + Hours(5), t0 + Hours(6)},
+      {HomeId{1}, t0, t0 + Hours(1)},
+      {HomeId{1}, t0 + Hours(2), t0 + Hours(4)},
+  };
+  const auto downtimes = ExtractDowntimes(runs, kWindow, Minutes(10));
+  ASSERT_EQ(downtimes.size(), 2u);
+  EXPECT_EQ(downtimes[0].gap.length(), Hours(1));
+  EXPECT_EQ(downtimes[1].gap.length(), Hours(1));
+}
+
+TEST(ExtractDowntimesTest, WindowEdgesNotCounted) {
+  // Leading/trailing "gaps" to the window edges are not downtime.
+  std::vector<HeartbeatRun> runs = {
+      {HomeId{1}, t0 + Days(10), t0 + Days(20)},
+  };
+  EXPECT_TRUE(ExtractDowntimes(runs, kWindow, Minutes(10)).empty());
+}
+
+TEST(ExtractDowntimesTest, EmptyRuns) {
+  EXPECT_TRUE(ExtractDowntimes({}, kWindow, Minutes(10)).empty());
+}
+
+class AvailabilityAnalysisTest : public ::testing::Test {
+ protected:
+  AvailabilityAnalysisTest() : repo_(collect::DatasetWindows::Compressed(t0, 8)) {}
+
+  void AddHome(int id, const std::string& country, bool developed,
+               const std::vector<Interval>& online) {
+    collect::HomeInfo info;
+    info.id = HomeId{id};
+    info.country_code = country;
+    info.developed = developed;
+    repo_.register_home(info);
+    for (const auto& iv : online) {
+      repo_.add_heartbeat_run(HeartbeatRun{HomeId{id}, iv.start, iv.end});
+    }
+  }
+
+  collect::DataRepository repo_;
+};
+
+TEST_F(AvailabilityAnalysisTest, PerHomeStats) {
+  // Home 1: up the whole window except one 30-minute outage.
+  AddHome(1, "US", true,
+          {{t0, t0 + Days(28)}, {t0 + Days(28) + Minutes(30), t0 + Days(56)}});
+  const auto homes = AnalyzeAvailability(repo_, {Minutes(10), 25.0});
+  ASSERT_EQ(homes.size(), 1u);
+  EXPECT_EQ(homes[0].downtimes, 1);
+  EXPECT_NEAR(homes[0].online_fraction(), 1.0, 0.001);
+  EXPECT_NEAR(homes[0].durations_s[0], 1800.0, 1.0);
+  EXPECT_NEAR(homes[0].downtimes_per_day(), 1.0 / 56.0, 1e-6);
+}
+
+TEST_F(AvailabilityAnalysisTest, MinOnlineDaysFilter) {
+  AddHome(1, "US", true, {{t0, t0 + Days(10)}});   // only 10 days online
+  AddHome(2, "US", true, {{t0, t0 + Days(30)}});
+  const auto homes = AnalyzeAvailability(repo_, {Minutes(10), 25.0});
+  ASSERT_EQ(homes.size(), 1u);
+  EXPECT_EQ(homes[0].home.value, 2);
+}
+
+TEST_F(AvailabilityAnalysisTest, RegionalCdfsSplitByDevelopment) {
+  AddHome(1, "US", true, {{t0, t0 + Days(56)}});
+  AddHome(2, "IN", false,
+          {{t0, t0 + Days(20)}, {t0 + Days(21), t0 + Days(56)}});
+  const auto homes = AnalyzeAvailability(repo_, {Minutes(10), 10.0});
+  const auto freq = DowntimeFrequencyCdfs(homes);
+  EXPECT_EQ(freq.developed.size(), 1u);
+  EXPECT_EQ(freq.developing.size(), 1u);
+  EXPECT_DOUBLE_EQ(freq.developed.median(), 0.0);
+  EXPECT_GT(freq.developing.median(), 0.0);
+
+  const auto dur = DowntimeDurationCdfs(homes);
+  EXPECT_EQ(dur.developed.size(), 0u);
+  EXPECT_EQ(dur.developing.size(), 1u);
+  EXPECT_NEAR(dur.developing.median(), 86400.0, 1.0);
+}
+
+TEST_F(AvailabilityAnalysisTest, CountryScatterAggregates) {
+  for (int i = 0; i < 4; ++i) {
+    // Each US home has i downtimes of 30 min.
+    std::vector<Interval> online;
+    TimePoint cursor = t0;
+    for (int d = 0; d < i; ++d) {
+      online.push_back({cursor, t0 + Days(10 * (d + 1))});
+      cursor = t0 + Days(10 * (d + 1)) + Minutes(30);
+    }
+    online.push_back({cursor, t0 + Days(56)});
+    AddHome(i, "US", true, online);
+  }
+  AddHome(10, "PK", false, {{t0, t0 + Days(56)}});  // below min_homes
+
+  const auto homes = AnalyzeAvailability(repo_, {Minutes(10), 10.0});
+  const auto rows = CountryDowntimeScatter(homes, {{"US", 51700.0}, {"PK", 4450.0}}, 3);
+  ASSERT_EQ(rows.size(), 1u);  // PK dropped: fewer than 3 homes
+  EXPECT_EQ(rows[0].country_code, "US");
+  EXPECT_EQ(rows[0].homes, 4);
+  EXPECT_DOUBLE_EQ(rows[0].gdp_ppp, 51700.0);
+  EXPECT_NEAR(rows[0].median_downtimes, 1.5, 1e-9);
+  EXPECT_NEAR(rows[0].median_duration_s, 1800.0, 1.0);
+}
+
+TEST_F(AvailabilityAnalysisTest, RegionSummaryDaysBetween) {
+  AddHome(1, "US", true, {{t0, t0 + Days(56)}});  // zero downtimes
+  AddHome(2, "IN", false,
+          {{t0, t0 + Days(1)},
+           {t0 + Days(1) + Hours(1), t0 + Days(2)},
+           {t0 + Days(2) + Hours(1), t0 + Days(56)}});
+  const auto homes = AnalyzeAvailability(repo_, {Minutes(10), 10.0});
+  const auto summary = SummarizeRegions(homes);
+  // US home: no downtime => full window as the gap.
+  EXPECT_NEAR(summary.median_days_between_downtimes_developed, 56.0, 1e-9);
+  EXPECT_NEAR(summary.median_days_between_downtimes_developing, 28.0, 1e-9);
+  EXPECT_NEAR(summary.median_duration_s_developing, 3600.0, 1.0);
+}
+
+}  // namespace
+}  // namespace bismark::analysis

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "analysis/fingerprint.h"
+
+namespace bismark::analysis {
+namespace {
+
+using collect::HomeId;
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  FingerprintTest()
+      : repo_(collect::DatasetWindows::Paper()),
+        catalog_(traffic::DomainCatalog::BuildStandard()) {}
+
+  void AddFlow(net::MacAddress mac, const std::string& domain, Bytes down, int count = 1) {
+    for (int i = 0; i < count; ++i) {
+      collect::TrafficFlowRecord rec;
+      rec.home = HomeId{1};
+      rec.flow = net::FlowId{next_flow_++};
+      rec.first_packet = repo_.windows().traffic.start + Minutes(next_flow_);
+      rec.last_packet = rec.first_packet + Minutes(1);
+      rec.device_mac = mac;
+      rec.bytes_down = down;
+      rec.domain = domain;
+      repo_.add_flow(std::move(rec));
+    }
+  }
+
+  void RegisterDeviceTraffic(net::MacAddress mac, net::VendorClass vendor, Bytes total) {
+    collect::DeviceTrafficRecord rec;
+    rec.home = HomeId{1};
+    rec.device_mac = mac;
+    rec.vendor = vendor;
+    rec.bytes_total = total;
+    repo_.add_device_traffic(rec);
+  }
+
+  std::uint64_t next_flow_{1};
+  collect::DataRepository repo_;
+  traffic::DomainCatalog catalog_;
+};
+
+TEST_F(FingerprintTest, FeatureExtractionBasics) {
+  const auto roku = net::MacAddress::FromParts(0x000D4B, 1);
+  AddFlow(roku, "netflix.com", MB(700));
+  AddFlow(roku, "hulu.com", MB(200));
+  AddFlow(roku, "google.com", MB(100), 2);  // two small-ish flows
+
+  const auto features = ExtractDeviceFeatures(repo_, catalog_, roku);
+  EXPECT_EQ(features.vendor, net::VendorClass::kInternetTv);
+  EXPECT_EQ(features.flows, 4u);
+  EXPECT_EQ(features.distinct_domains, 3);
+  EXPECT_NEAR(features.total_bytes.mb(), 1100.0, 1.0);
+  EXPECT_NEAR(features.top_domain_share, 700.0 / 1100.0, 1e-6);
+  // netflix + hulu are streaming; google is not.
+  EXPECT_NEAR(features.streaming_share, 900.0 / 1100.0, 1e-6);
+  EXPECT_NEAR(features.bytes_per_flow, 1100e6 / 4.0, 1e3);
+}
+
+TEST_F(FingerprintTest, AnonymizedDomainsNotStreaming) {
+  const auto mac = net::MacAddress::FromParts(0x001EC2, 1);
+  AddFlow(mac, "anon-123456", MB(500));
+  const auto features = ExtractDeviceFeatures(repo_, catalog_, mac);
+  EXPECT_DOUBLE_EQ(features.streaming_share, 0.0);
+  EXPECT_DOUBLE_EQ(features.top_domain_share, 1.0);
+}
+
+TEST_F(FingerprintTest, ClassifierSeparatesStreamerFromLaptop) {
+  // A Roku-shaped device.
+  DeviceFeatures roku;
+  roku.flows = 20;
+  roku.total_bytes = GB(10);
+  roku.top_domain_share = 0.7;
+  roku.streaming_share = 0.9;
+  roku.bytes_per_flow = 500e6;
+  EXPECT_EQ(ClassifyDevice(roku), DeviceClassGuess::kStreamingBox);
+
+  // A laptop: spread, mixed, thin flows.
+  DeviceFeatures laptop;
+  laptop.flows = 2000;
+  laptop.total_bytes = GB(3);
+  laptop.top_domain_share = 0.2;
+  laptop.streaming_share = 0.3;
+  laptop.bytes_per_flow = 1.5e6;
+  EXPECT_EQ(ClassifyDevice(laptop), DeviceClassGuess::kGeneralPurpose);
+}
+
+TEST_F(FingerprintTest, ClassifierRequiresAllThreeSignals) {
+  DeviceFeatures f;
+  f.flows = 10;
+  f.total_bytes = GB(1);
+  f.top_domain_share = 0.9;
+  f.streaming_share = 0.9;
+  f.bytes_per_flow = 100e6;
+  EXPECT_EQ(ClassifyDevice(f), DeviceClassGuess::kStreamingBox);
+  // Kill each signal in turn.
+  DeviceFeatures a = f;
+  a.streaming_share = 0.1;  // concentrated downloads, not streaming
+  EXPECT_EQ(ClassifyDevice(a), DeviceClassGuess::kGeneralPurpose);
+  DeviceFeatures b = f;
+  b.top_domain_share = 0.1;  // streaming but spread across services
+  EXPECT_EQ(ClassifyDevice(b), DeviceClassGuess::kGeneralPurpose);
+  DeviceFeatures c = f;
+  c.bytes_per_flow = 1e4;  // thin flows
+  EXPECT_EQ(ClassifyDevice(c), DeviceClassGuess::kGeneralPurpose);
+}
+
+TEST_F(FingerprintTest, EmptyDeviceIsUnknown) {
+  const auto mac = net::MacAddress::FromParts(0x001EC2, 9);
+  const auto features = ExtractDeviceFeatures(repo_, catalog_, mac);
+  EXPECT_EQ(ClassifyDevice(features), DeviceClassGuess::kUnknown);
+}
+
+TEST_F(FingerprintTest, ExtractAllFiltersAndSorts) {
+  const auto big = net::MacAddress::FromParts(0x000D4B, 1);
+  const auto small = net::MacAddress::FromParts(0x001EC2, 2);
+  AddFlow(big, "netflix.com", GB(2));
+  AddFlow(small, "google.com", MB(1));
+  RegisterDeviceTraffic(big, net::VendorClass::kInternetTv, GB(2));
+  RegisterDeviceTraffic(small, net::VendorClass::kApple, MB(1));
+  const auto all = ExtractAllDeviceFeatures(repo_, catalog_, MB(50));
+  ASSERT_EQ(all.size(), 1u);  // small filtered out
+  EXPECT_EQ(all[0].device, big);
+}
+
+TEST_F(FingerprintTest, GuessNames) {
+  EXPECT_EQ(DeviceClassGuessName(DeviceClassGuess::kStreamingBox), "streaming-box");
+  EXPECT_EQ(DeviceClassGuessName(DeviceClassGuess::kGeneralPurpose), "general-purpose");
+  EXPECT_EQ(DeviceClassGuessName(DeviceClassGuess::kUnknown), "unknown");
+}
+
+}  // namespace
+}  // namespace bismark::analysis

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "analysis/timeline_view.h"
+
+namespace bismark::analysis {
+namespace {
+
+using collect::HeartbeatRun;
+using collect::HomeId;
+
+const TimePoint t0 = MakeTime({2013, 4, 1});  // a Monday
+
+TEST(TimelineViewTest, FullyOnlineDayAllHashes) {
+  std::vector<HeartbeatRun> runs = {{HomeId{1}, t0, t0 + Days(3)}};
+  const auto days = RenderTimeline(runs, TimeZone{Hours(0)}, t0, 3);
+  ASSERT_EQ(days.size(), 3u);
+  for (const auto& day : days) {
+    EXPECT_EQ(day.cells, std::string(48, '#'));
+    EXPECT_NEAR(day.online_fraction, 1.0, 1e-9);
+  }
+}
+
+TEST(TimelineViewTest, OfflineDayAllDots) {
+  std::vector<HeartbeatRun> runs = {{HomeId{1}, t0, t0 + Days(1)}};
+  const auto days = RenderTimeline(runs, TimeZone{Hours(0)}, t0, 2);
+  ASSERT_EQ(days.size(), 2u);
+  EXPECT_EQ(days[1].cells, std::string(48, '.'));
+  EXPECT_DOUBLE_EQ(days[1].online_fraction, 0.0);
+}
+
+TEST(TimelineViewTest, EveningOnlyPattern) {
+  // Fig. 6b shape: online 18:00-22:00 only.
+  std::vector<HeartbeatRun> runs;
+  for (int d = 0; d < 2; ++d) {
+    runs.push_back({HomeId{1}, t0 + Days(d) + Hours(18), t0 + Days(d) + Hours(22)});
+  }
+  const auto days = RenderTimeline(runs, TimeZone{Hours(0)}, t0, 2);
+  for (const auto& day : days) {
+    // 30-minute cells: 18:00 = cell 36, 22:00 = cell 44.
+    for (int c = 0; c < 48; ++c) {
+      const bool expected_on = c >= 36 && c < 44;
+      EXPECT_EQ(day.cells[static_cast<std::size_t>(c)], expected_on ? '#' : '.')
+          << "cell " << c;
+    }
+    EXPECT_NEAR(day.online_fraction, 4.0 / 24.0, 0.01);
+  }
+}
+
+TEST(TimelineViewTest, TimezoneShiftsCells) {
+  // Online 18:00-22:00 UTC == 2:00-6:00 in UTC+8 (the Fig. 6b China home
+  // would look wrong without local-time rendering).
+  std::vector<HeartbeatRun> runs = {{HomeId{1}, t0 + Hours(18), t0 + Hours(22)}};
+  const auto days = RenderTimeline(runs, TimeZone{Hours(8)}, t0 + Hours(18), 1);
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0].cells[4], '#');   // 02:00 local
+  EXPECT_EQ(days[0].cells[40], '.');  // 20:00 local
+}
+
+TEST(TimelineViewTest, CustomResolution) {
+  TimelineViewOptions options;
+  options.columns_per_day = 24;
+  options.online_char = 'O';
+  options.offline_char = '_';
+  std::vector<HeartbeatRun> runs = {{HomeId{1}, t0, t0 + Hours(12)}};
+  const auto days = RenderTimeline(runs, TimeZone{Hours(0)}, t0, 1, options);
+  ASSERT_EQ(days.size(), 1u);
+  EXPECT_EQ(days[0].cells, std::string(12, 'O') + std::string(12, '_'));
+}
+
+class ArchetypeTest : public ::testing::Test {
+ protected:
+  ArchetypeTest() : repo_(collect::DatasetWindows::Compressed(t0, 4)) {
+    const Interval w = repo_.windows().heartbeats;
+    // Home 1: always on.
+    Register(1);
+    repo_.add_heartbeat_run({HomeId{1}, w.start, w.end});
+    // Home 2: appliance — evenings only.
+    Register(2);
+    for (int d = 0; d < 28; ++d) {
+      repo_.add_heartbeat_run(
+          {HomeId{2}, w.start + Days(d) + Hours(18), w.start + Days(d) + Hours(21)});
+    }
+    // Home 3: flaky — up but interrupted several times a day.
+    Register(3);
+    TimePoint cursor = w.start;
+    while (cursor < w.end) {
+      repo_.add_heartbeat_run({HomeId{3}, cursor, cursor + Hours(5)});
+      cursor += Hours(5) + Minutes(20);
+    }
+  }
+  void Register(int id) {
+    collect::HomeInfo info;
+    info.id = HomeId{id};
+    info.country_code = "US";
+    repo_.register_home(info);
+  }
+  collect::DataRepository repo_;
+};
+
+TEST_F(ArchetypeTest, FindsAlwaysOn) {
+  EXPECT_EQ(FindArchetype(repo_, AvailabilityArchetype::kAlwaysOn).value, 1);
+}
+
+TEST_F(ArchetypeTest, FindsAppliance) {
+  EXPECT_EQ(FindArchetype(repo_, AvailabilityArchetype::kAppliance).value, 2);
+}
+
+TEST_F(ArchetypeTest, FindsFlaky) {
+  EXPECT_EQ(FindArchetype(repo_, AvailabilityArchetype::kFlaky).value, 3);
+}
+
+}  // namespace
+}  // namespace bismark::analysis

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "analysis/usage.h"
+
+namespace bismark::analysis {
+namespace {
+
+using collect::HomeId;
+
+class UsageTest : public ::testing::Test {
+ protected:
+  UsageTest() : repo_(collect::DatasetWindows::Paper()) {}
+
+  net::MacAddress Mac(std::uint32_t oui, std::uint32_t nic) {
+    return net::MacAddress::FromParts(oui, nic);
+  }
+
+  void AddDeviceTraffic(int home, net::MacAddress mac, net::VendorClass vendor, Bytes bytes) {
+    collect::DeviceTrafficRecord rec;
+    rec.home = HomeId{home};
+    rec.device_mac = mac;
+    rec.vendor = vendor;
+    rec.bytes_total = bytes;
+    rec.flows = 10;
+    repo_.add_device_traffic(rec);
+  }
+
+  void AddFlow(int home, net::MacAddress mac, const std::string& domain, Bytes down,
+               int count = 1) {
+    for (int i = 0; i < count; ++i) {
+      collect::TrafficFlowRecord rec;
+      rec.home = HomeId{home};
+      rec.flow = net::FlowId{next_flow_++};
+      rec.first_packet = repo_.windows().traffic.start + Minutes(next_flow_);
+      rec.last_packet = rec.first_packet + Minutes(1);
+      rec.device_mac = mac;
+      rec.bytes_down = down;
+      rec.domain = domain;
+      rec.domain_anonymized = domain.rfind("anon-", 0) == 0;
+      repo_.add_flow(std::move(rec));
+    }
+  }
+
+  std::uint64_t next_flow_{1};
+  collect::DataRepository repo_;
+};
+
+TEST_F(UsageTest, VendorHistogramFiltersAndSorts) {
+  AddDeviceTraffic(1, Mac(0x001EC2, 1), net::VendorClass::kApple, MB(100));
+  AddDeviceTraffic(1, Mac(0x001EC2, 2), net::VendorClass::kApple, MB(50));
+  AddDeviceTraffic(1, Mac(0x0024D7, 3), net::VendorClass::kIntel, MB(80));
+  AddDeviceTraffic(1, Mac(0x000D4B, 4), net::VendorClass::kInternetTv, KB(50));  // under 100 KB
+  AddDeviceTraffic(1, Mac(0x14144B, 5), net::VendorClass::kGateway, MB(10));     // filtered
+  const auto histogram = VendorHistogram(repo_);
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_EQ(histogram[0].vendor, net::VendorClass::kApple);
+  EXPECT_EQ(histogram[0].devices, 2);
+  EXPECT_EQ(histogram[1].vendor, net::VendorClass::kIntel);
+}
+
+TEST_F(UsageTest, VendorHistogramCanKeepGateways) {
+  AddDeviceTraffic(1, Mac(0x14144B, 5), net::VendorClass::kGateway, MB(10));
+  EXPECT_TRUE(VendorHistogram(repo_, KB(100), true).empty());
+  EXPECT_EQ(VendorHistogram(repo_, KB(100), false).size(), 1u);
+}
+
+TEST_F(UsageTest, DeviceSharesRankedAndAveraged) {
+  // Home 1: dominant device 60 %, second 30 %, third 10 %.
+  AddDeviceTraffic(1, Mac(0x001EC2, 1), net::VendorClass::kApple, MB(600));
+  AddDeviceTraffic(1, Mac(0x001EC2, 2), net::VendorClass::kApple, MB(300));
+  AddDeviceTraffic(1, Mac(0x001EC2, 3), net::VendorClass::kApple, MB(100));
+  // Home 2: 80/20.
+  AddDeviceTraffic(2, Mac(0x001EC2, 4), net::VendorClass::kApple, MB(800));
+  AddDeviceTraffic(2, Mac(0x001EC2, 5), net::VendorClass::kApple, MB(200));
+  const auto conc = DeviceUsageShares(repo_, 4);
+  EXPECT_EQ(conc.homes, 2);
+  EXPECT_NEAR(conc.share_by_rank[0], 0.7, 1e-9);   // (0.6 + 0.8) / 2
+  EXPECT_NEAR(conc.share_by_rank[1], 0.25, 1e-9);  // (0.3 + 0.2) / 2
+  EXPECT_NEAR(conc.share_by_rank[2], 0.1, 1e-9);   // only home 1 has rank 3
+}
+
+TEST_F(UsageTest, TopDomainPrevalenceCountsMembership) {
+  const auto mac = Mac(0x001EC2, 1);
+  // google is top-1 in both homes; espn only in home 2's top-10.
+  AddFlow(1, mac, "google.com", MB(100));
+  AddFlow(1, mac, "netflix.com", MB(50));
+  AddFlow(2, mac, "google.com", MB(100));
+  for (int i = 0; i < 6; ++i) {
+    AddFlow(2, mac, "filler-" + std::to_string(i) + ".com", MB(20 - i));
+  }
+  AddFlow(2, mac, "espn.com", MB(1));
+  const auto prevalence = TopDomainPrevalence(repo_);
+  ASSERT_FALSE(prevalence.empty());
+  EXPECT_EQ(prevalence[0].domain, "google.com");
+  EXPECT_EQ(prevalence[0].homes_top5, 2);
+  EXPECT_EQ(prevalence[0].homes_top10, 2);
+  for (const auto& p : prevalence) {
+    if (p.domain == "espn.com") {
+      EXPECT_EQ(p.homes_top5, 0);
+      EXPECT_EQ(p.homes_top10, 1);
+    }
+    EXPECT_GE(p.homes_top10, p.homes_top5);
+  }
+}
+
+TEST_F(UsageTest, DomainSharesVolumeVsConnections) {
+  const auto mac = Mac(0x001EC2, 1);
+  // netflix: 1 connection, 380 MB. google: 19 connections, 5 MB each.
+  AddFlow(1, mac, "netflix.com", MB(380));
+  AddFlow(1, mac, "google.com", MB(5), 19);
+  // Anonymized tail: 20 connections, 300 MB total.
+  AddFlow(1, mac, "anon-1234", MB(15), 20);
+  const auto conc = DomainUsageShares(repo_, 5);
+  ASSERT_EQ(conc.homes, 1);
+  const double total_mb = 380.0 + 95.0 + 300.0;
+  // 19a: volume rank 1 = netflix.
+  EXPECT_NEAR(conc.by_rank[0].volume_share, 380.0 / total_mb, 1e-6);
+  // 19c: netflix's connection share is tiny (1 of 40).
+  EXPECT_NEAR(conc.by_rank[0].conns_by_vol_rank, 1.0 / 40.0, 1e-6);
+  // 19b: the connection-rank-1 whitelisted domain is google (19 of 40).
+  EXPECT_NEAR(conc.by_rank[0].conns_by_conn_rank, 19.0 / 40.0, 1e-6);
+  // Whitelist coverage ~61 % of volume here.
+  EXPECT_NEAR(conc.whitelisted_volume_share, 475.0 / total_mb, 1e-6);
+  EXPECT_NEAR(conc.whitelisted_conn_share, 20.0 / 40.0, 1e-6);
+}
+
+TEST_F(UsageTest, DeviceDomainProfileSharesSumToOne) {
+  const auto roku = Mac(0x000D4B, 7);
+  AddFlow(1, roku, "netflix.com", MB(700));
+  AddFlow(1, roku, "hulu.com", MB(200));
+  AddFlow(1, roku, "pandora.com", MB(100));
+  const auto profile = DeviceDomainProfile(repo_, roku);
+  ASSERT_EQ(profile.size(), 3u);
+  EXPECT_EQ(profile[0].domain, "netflix.com");
+  EXPECT_NEAR(profile[0].share, 0.7, 1e-9);
+  double total = 0.0;
+  for (const auto& d : profile) total += d.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_F(UsageTest, DeviceDomainProfileCapsDomains) {
+  const auto mac = Mac(0x001EC2, 1);
+  for (int i = 0; i < 20; ++i) {
+    AddFlow(1, mac, "site-" + std::to_string(i) + ".com", MB(10 + i));
+  }
+  EXPECT_EQ(DeviceDomainProfile(repo_, mac, 8).size(), 8u);
+}
+
+TEST_F(UsageTest, FindDeviceByVendorPicksBiggest) {
+  AddDeviceTraffic(1, Mac(0x000D4B, 1), net::VendorClass::kInternetTv, MB(100));
+  AddDeviceTraffic(2, Mac(0x000D4B, 2), net::VendorClass::kInternetTv, MB(500));
+  const auto mac = FindDeviceByVendor(repo_, net::VendorClass::kInternetTv);
+  EXPECT_EQ(mac, Mac(0x000D4B, 2));
+  EXPECT_EQ(FindDeviceByVendor(repo_, net::VendorClass::kVmware), net::MacAddress{});
+}
+
+TEST_F(UsageTest, ConcentrationIndexDistinguishesDeviceKinds) {
+  const auto roku = Mac(0x000D4B, 1);
+  AddFlow(1, roku, "netflix.com", MB(900));
+  AddFlow(1, roku, "pandora.com", MB(100));
+  const auto laptop = Mac(0x001EC2, 2);
+  for (int i = 0; i < 10; ++i) {
+    AddFlow(1, laptop, "site-" + std::to_string(i) + ".com", MB(100));
+  }
+  // Fig. 20 / Section 7: streamers concentrate, laptops spread — the basis
+  // for traffic-pattern device fingerprinting.
+  EXPECT_GT(DomainConcentrationIndex(repo_, roku), 0.8);
+  EXPECT_LT(DomainConcentrationIndex(repo_, laptop), 0.2);
+}
+
+TEST_F(UsageTest, EmptyRepositorySafe) {
+  EXPECT_TRUE(VendorHistogram(repo_).empty());
+  EXPECT_EQ(DeviceUsageShares(repo_).homes, 0);
+  EXPECT_TRUE(TopDomainPrevalence(repo_).empty());
+  EXPECT_EQ(DomainUsageShares(repo_).homes, 0);
+  EXPECT_TRUE(DeviceDomainProfile(repo_, Mac(1, 1)).empty());
+  EXPECT_DOUBLE_EQ(DomainConcentrationIndex(repo_, Mac(1, 1)), 0.0);
+}
+
+}  // namespace
+}  // namespace bismark::analysis

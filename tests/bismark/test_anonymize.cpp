@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "bismark/anonymize.h"
+
+namespace bismark::gateway {
+namespace {
+
+class AnonymizerTest : public ::testing::Test {
+ protected:
+  traffic::DomainCatalog catalog_ = traffic::DomainCatalog::BuildStandard();
+  Anonymizer anonymizer_{catalog_, AnonymizerConfig{1234, "anon-"}};
+};
+
+TEST_F(AnonymizerTest, WhitelistSeededFromCatalog) {
+  EXPECT_EQ(anonymizer_.whitelist_size(), catalog_.whitelist_size());
+  EXPECT_TRUE(anonymizer_.is_whitelisted("google.com"));
+  EXPECT_FALSE(anonymizer_.is_whitelisted("tail-site-0001.net"));
+}
+
+TEST_F(AnonymizerTest, WhitelistedDomainsPassThrough) {
+  EXPECT_EQ(anonymizer_.anonymize_domain("google.com"), "google.com");
+  EXPECT_EQ(anonymizer_.anonymize_domain("netflix.com"), "netflix.com");
+}
+
+TEST_F(AnonymizerTest, UnlistedDomainsObfuscated) {
+  const std::string token = anonymizer_.anonymize_domain("secret-site.net");
+  EXPECT_NE(token, "secret-site.net");
+  EXPECT_TRUE(Anonymizer::IsAnonToken(token));
+  EXPECT_EQ(token.rfind("anon-", 0), 0u);
+}
+
+TEST_F(AnonymizerTest, ObfuscationDeterministicPerDomain) {
+  // Per-domain aggregation must still work on anonymised data, so the same
+  // domain always maps to the same token.
+  EXPECT_EQ(anonymizer_.anonymize_domain("a.net"), anonymizer_.anonymize_domain("a.net"));
+  EXPECT_NE(anonymizer_.anonymize_domain("a.net"), anonymizer_.anonymize_domain("b.net"));
+}
+
+TEST_F(AnonymizerTest, DifferentKeysDifferentTokens) {
+  Anonymizer other(catalog_, AnonymizerConfig{9999, "anon-"});
+  EXPECT_NE(anonymizer_.anonymize_domain("a.net"), other.anonymize_domain("a.net"));
+}
+
+TEST_F(AnonymizerTest, UserWhitelistEdits) {
+  // Section 3.2.2: users can add domains via the router's Web interface;
+  // the paper also removes pornographic domains from the default list.
+  anonymizer_.whitelist_add("my-favorite-site.org");
+  EXPECT_EQ(anonymizer_.anonymize_domain("my-favorite-site.org"), "my-favorite-site.org");
+  anonymizer_.whitelist_remove("google.com");
+  EXPECT_TRUE(Anonymizer::IsAnonToken(anonymizer_.anonymize_domain("google.com")));
+}
+
+TEST_F(AnonymizerTest, MacAnonymizationPreservesOui) {
+  const auto mac = net::MacAddress::FromParts(0x001EC2, 0x123456);
+  const auto anon = anonymizer_.anonymize_mac(mac);
+  EXPECT_EQ(anon.oui(), mac.oui());
+  EXPECT_NE(anon.nic(), mac.nic());
+  EXPECT_EQ(anonymizer_.anonymize_mac(mac), anon);  // stable
+}
+
+TEST_F(AnonymizerTest, IsAnonTokenDetection) {
+  EXPECT_TRUE(Anonymizer::IsAnonToken("anon-0123456789abcdef"));
+  EXPECT_FALSE(Anonymizer::IsAnonToken("google.com"));
+  EXPECT_FALSE(Anonymizer::IsAnonToken("not-anon-thing"));
+}
+
+}  // namespace
+}  // namespace bismark::gateway

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bismark/meter.h"
+#include "core/rng.h"
+
+namespace bismark::gateway {
+namespace {
+
+const TimePoint t0 = MakeTime({2013, 4, 1});  // minute-aligned
+
+class MeterTest : public ::testing::Test {
+ protected:
+  MeterTest()
+      : meter_(collect::HomeId{1},
+               [this](const collect::ThroughputMinute& m) { minutes_.push_back(m); }) {}
+  ThroughputMeter meter_;
+  std::vector<collect::ThroughputMinute> minutes_;
+};
+
+TEST_F(MeterTest, ConstantRateIntegratesBytes) {
+  meter_.add_rate(net::Direction::kDownstream, 8e6, t0);  // 8 Mbps = 1 MB/s
+  meter_.remove_rate(net::Direction::kDownstream, 8e6, t0 + Minutes(1));
+  meter_.advance_to(t0 + Minutes(2));
+  ASSERT_EQ(minutes_.size(), 1u);
+  EXPECT_NEAR(minutes_[0].bytes_down.mb(), 60.0, 0.5);
+  EXPECT_NEAR(minutes_[0].peak_down_bps, 8e6, 1e4);
+  EXPECT_EQ(minutes_[0].minute_start, t0);
+}
+
+TEST_F(MeterTest, SilentMinutesNotEmitted) {
+  meter_.add_rate(net::Direction::kUpstream, 1e6, t0);
+  meter_.remove_rate(net::Direction::kUpstream, 1e6, t0 + Seconds(30));
+  meter_.advance_to(t0 + Minutes(30));
+  // Only the single active minute appears despite the long advance.
+  ASSERT_EQ(minutes_.size(), 1u);
+  EXPECT_GT(minutes_[0].bytes_up.count, 0);
+}
+
+TEST_F(MeterTest, PeakIsMaxPerSecondThroughputNotInstantaneousRate) {
+  // A 100 ms burst at 80 Mbps moves 1 MB; smeared over its second that is
+  // 8 Mbps — the paper's "maximum per-second throughput" (Section 6.2).
+  meter_.add_rate(net::Direction::kDownstream, 80e6, t0);
+  meter_.remove_rate(net::Direction::kDownstream, 80e6, t0 + Millis(100));
+  meter_.advance_to(t0 + Minutes(1));
+  ASSERT_EQ(minutes_.size(), 1u);
+  EXPECT_NEAR(minutes_[0].peak_down_bps, 8e6, 1e5);
+}
+
+TEST_F(MeterTest, OverlappingRatesSum) {
+  meter_.add_rate(net::Direction::kDownstream, 2e6, t0);
+  meter_.add_rate(net::Direction::kDownstream, 3e6, t0 + Seconds(10));
+  meter_.remove_rate(net::Direction::kDownstream, 2e6, t0 + Seconds(20));
+  meter_.remove_rate(net::Direction::kDownstream, 3e6, t0 + Seconds(30));
+  meter_.advance_to(t0 + Minutes(1));
+  ASSERT_EQ(minutes_.size(), 1u);
+  EXPECT_NEAR(minutes_[0].peak_down_bps, 5e6, 1e4);
+  // 2 Mbps x 20 s + 3 Mbps x 20 s = 100 Mbit = 12.5 MB.
+  EXPECT_NEAR(minutes_[0].bytes_down.mb(), 12.5, 0.2);
+}
+
+TEST_F(MeterTest, MinuteBoundariesSplitCorrectly) {
+  meter_.add_rate(net::Direction::kUpstream, 8e6, t0 + Seconds(30));
+  meter_.remove_rate(net::Direction::kUpstream, 8e6, t0 + Seconds(90));
+  meter_.advance_to(t0 + Minutes(3));
+  ASSERT_EQ(minutes_.size(), 2u);
+  EXPECT_NEAR(minutes_[0].bytes_up.mb(), 30.0, 0.5);
+  EXPECT_NEAR(minutes_[1].bytes_up.mb(), 30.0, 0.5);
+  EXPECT_EQ(minutes_[1].minute_start, t0 + Minutes(1));
+}
+
+TEST_F(MeterTest, UpAndDownIndependent) {
+  meter_.add_rate(net::Direction::kUpstream, 1e6, t0);
+  meter_.add_rate(net::Direction::kDownstream, 4e6, t0);
+  meter_.remove_rate(net::Direction::kUpstream, 1e6, t0 + Seconds(60));
+  meter_.remove_rate(net::Direction::kDownstream, 4e6, t0 + Seconds(60));
+  meter_.advance_to(t0 + Minutes(2));
+  ASSERT_EQ(minutes_.size(), 1u);
+  EXPECT_NEAR(minutes_[0].peak_up_bps, 1e6, 1e4);
+  EXPECT_NEAR(minutes_[0].peak_down_bps, 4e6, 1e4);
+  EXPECT_NEAR(minutes_[0].bytes_down.count / static_cast<double>(minutes_[0].bytes_up.count),
+              4.0, 0.1);
+}
+
+TEST_F(MeterTest, RemoveBelowZeroClamps) {
+  meter_.add_rate(net::Direction::kUpstream, 1e6, t0);
+  meter_.remove_rate(net::Direction::kUpstream, 5e6, t0 + Seconds(1));
+  EXPECT_DOUBLE_EQ(meter_.current_rate(net::Direction::kUpstream), 0.0);
+}
+
+TEST_F(MeterTest, LongIdleGapThenTraffic) {
+  meter_.add_rate(net::Direction::kDownstream, 1e6, t0);
+  meter_.remove_rate(net::Direction::kDownstream, 1e6, t0 + Seconds(10));
+  // Two days later, more traffic.
+  const TimePoint later = t0 + Days(2);
+  meter_.add_rate(net::Direction::kDownstream, 1e6, later);
+  meter_.remove_rate(net::Direction::kDownstream, 1e6, later + Seconds(10));
+  meter_.advance_to(later + Minutes(1));
+  ASSERT_EQ(minutes_.size(), 2u);
+  EXPECT_EQ(minutes_[1].minute_start, later);
+}
+
+TEST_F(MeterTest, SubSecondBurstsAccumulateWithinSecond) {
+  // Two 100 ms bursts inside the same second add into one per-second sample.
+  meter_.add_rate(net::Direction::kDownstream, 40e6, t0);
+  meter_.remove_rate(net::Direction::kDownstream, 40e6, t0 + Millis(100));
+  meter_.add_rate(net::Direction::kDownstream, 40e6, t0 + Millis(500));
+  meter_.remove_rate(net::Direction::kDownstream, 40e6, t0 + Millis(600));
+  meter_.advance_to(t0 + Minutes(1));
+  ASSERT_EQ(minutes_.size(), 1u);
+  EXPECT_NEAR(minutes_[0].peak_down_bps, 8e6, 2e5);  // 2 x 0.5 MB in 1 s
+}
+
+
+TEST_F(MeterTest, PropertyRandomRateSequenceConservesBytes) {
+  // Whatever the add/remove sequence, the bytes binned into minutes must
+  // equal the integral of the instantaneous rate.
+  Rng rng(99);
+  TimePoint t = t0;
+  double active = 0.0;
+  double max_active = 0.0;
+  double expected_bytes = 0.0;
+  std::vector<double> live_rates;
+  for (int i = 0; i < 400; ++i) {
+    const double dt = rng.uniform(0.05, 30.0);
+    expected_bytes += active * dt / 8.0;
+    t += Seconds(dt);
+    if (!live_rates.empty() && rng.bernoulli(0.45)) {
+      const std::size_t pick = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live_rates.size()) - 1));
+      meter_.remove_rate(net::Direction::kDownstream, live_rates[pick], t);
+      active -= live_rates[pick];
+      live_rates.erase(live_rates.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else {
+      const double rate = rng.uniform(1e5, 2e7);
+      meter_.add_rate(net::Direction::kDownstream, rate, t);
+      active += rate;
+      max_active = std::max(max_active, active);
+      live_rates.push_back(rate);
+    }
+  }
+  // Drain whatever is still active and flush.
+  const double dt = 5.0;
+  expected_bytes += active * dt / 8.0;
+  t += Seconds(dt);
+  for (double rate : live_rates) meter_.remove_rate(net::Direction::kDownstream, rate, t);
+  meter_.advance_to(t + Minutes(2));
+
+  double binned = 0.0;
+  double max_peak = 0.0;
+  for (const auto& m : minutes_) {
+    binned += static_cast<double>(m.bytes_down.count);
+    max_peak = std::max(max_peak, m.peak_down_bps);
+  }
+  EXPECT_NEAR(binned, expected_bytes, expected_bytes * 0.001 + minutes_.size());
+  // Peaks never exceed the largest concurrent aggregate rate.
+  EXPECT_LE(max_peak, max_active + 1.0);
+}
+
+}  // namespace
+}  // namespace bismark::gateway

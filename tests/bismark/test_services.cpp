@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include "bismark/services.h"
+#include "core/stats.h"
+
+namespace bismark::gateway {
+namespace {
+
+const TimePoint t0 = MakeTime({2013, 3, 6});
+
+/// Census with fixed counts, optionally time-varying wireless.
+class FakeCensus : public ClientCensus {
+ public:
+  int wired_connected(TimePoint) const override { return wired; }
+  int wireless_connected(wireless::Band band, TimePoint t) const override {
+    if (band == wireless::Band::k5GHz) return wireless5;
+    if (evening_only) {
+      const int hour = TimeZone{Hours(0)}.local_hour(t);
+      return (hour >= 18 && hour <= 22) ? wireless24 : 0;
+    }
+    return wireless24;
+  }
+  int unique_seen_total(TimePoint, TimePoint) const override { return unique_total; }
+  int unique_seen_band(wireless::Band band, TimePoint, TimePoint) const override {
+    return band == wireless::Band::k2_4GHz ? unique24 : unique5;
+  }
+
+  int wired{1};
+  int wireless24{3};
+  int wireless5{1};
+  int unique_total{7};
+  int unique24{5};
+  int unique5{2};
+  bool evening_only{false};
+};
+
+class ServicesTest : public ::testing::Test {
+ protected:
+  ServicesTest() : repo_(MakeWindows()) {}
+
+  static collect::DatasetWindows MakeWindows() {
+    return collect::DatasetWindows::Compressed(t0, 2);  // 2-week study
+  }
+
+  IntervalSet FullWindow() {
+    IntervalSet s;
+    s.add(repo_.windows().heartbeats.start, repo_.windows().heartbeats.end);
+    return s;
+  }
+
+  collect::DataRepository repo_;
+  FakeCensus census_;
+};
+
+TEST_F(ServicesTest, UptimeReportsEveryTwelveHours) {
+  IntervalSet on = FullWindow();
+  ReportUptime(repo_, collect::HomeId{1}, on, repo_.windows().uptime);
+  const auto window = repo_.windows().uptime;
+  const auto expected = static_cast<std::size_t>((window.end - window.start).hours() / 12.0);
+  EXPECT_EQ(repo_.uptime().size(), expected);
+  // Uptime counts from the power-on (window start here), increasing.
+  for (std::size_t i = 1; i < repo_.uptime().size(); ++i) {
+    EXPECT_GT(repo_.uptime()[i].uptime.ms, repo_.uptime()[i - 1].uptime.ms);
+  }
+}
+
+TEST_F(ServicesTest, UptimeResetsAfterPowerCycle) {
+  // Two on-intervals: the counter must restart after the gap — this is
+  // what lets the analysis tell powered-off from offline (Section 3.2.2).
+  IntervalSet on;
+  const auto w = repo_.windows().uptime;
+  on.add(w.start, w.start + Days(3));
+  on.add(w.start + Days(4), w.end);
+  ReportUptime(repo_, collect::HomeId{1}, on, w);
+  ASSERT_GT(repo_.uptime().size(), 8u);
+  bool saw_reset = false;
+  for (std::size_t i = 1; i < repo_.uptime().size(); ++i) {
+    if (repo_.uptime()[i].uptime < repo_.uptime()[i - 1].uptime) saw_reset = true;
+  }
+  EXPECT_TRUE(saw_reset);
+}
+
+TEST_F(ServicesTest, UptimeSilentWhilePoweredOff) {
+  IntervalSet on;  // never on
+  ReportUptime(repo_, collect::HomeId{1}, on, repo_.windows().uptime);
+  EXPECT_TRUE(repo_.uptime().empty());
+}
+
+TEST_F(ServicesTest, CapacityProbesOnlyWhileOnline) {
+  net::AccessLink link(net::AccessLinkConfig{Mbps(16), Mbps(2)});
+  IntervalSet online;
+  const auto w = repo_.windows().capacity;
+  online.add(w.start, w.start + Days(7));  // online for half the window
+  ReportCapacity(repo_, collect::HomeId{1}, online, link, Rng(1), w);
+  ASSERT_FALSE(repo_.capacity().empty());
+  for (const auto& rec : repo_.capacity()) {
+    EXPECT_LT(rec.measured, w.start + Days(7));
+    EXPECT_NEAR(rec.downstream.mbps(), 16.0, 2.5);
+    EXPECT_NEAR(rec.upstream.mbps(), 2.0, 0.4);
+  }
+}
+
+TEST_F(ServicesTest, DeviceCountsHourlyWithUniqueTracking) {
+  IntervalSet on = FullWindow();
+  ReportDeviceCounts(repo_, collect::HomeId{1}, census_, on, repo_.windows().devices);
+  ASSERT_FALSE(repo_.device_counts().empty());
+  const auto& rec = repo_.device_counts().front();
+  EXPECT_EQ(rec.wired, 1);
+  EXPECT_EQ(rec.wireless_24, 3);
+  EXPECT_EQ(rec.wireless_5, 1);
+  EXPECT_EQ(rec.wireless_total(), 4);
+  EXPECT_EQ(rec.total(), 5);
+  EXPECT_EQ(rec.unique_total, 7);
+  EXPECT_EQ(rec.unique_24, 5);
+  EXPECT_EQ(rec.unique_5, 2);
+  // Hourly cadence over the devices window.
+  const auto w = repo_.windows().devices;
+  const auto expected = static_cast<std::size_t>((w.end - w.start).hours());
+  EXPECT_EQ(repo_.device_counts().size(), expected);
+}
+
+TEST_F(ServicesTest, DeviceCountsSkipPoweredOffHours) {
+  IntervalSet on;
+  const auto w = repo_.windows().devices;
+  on.add(w.start, w.start + Days(1));
+  ReportDeviceCounts(repo_, collect::HomeId{1}, census_, on, w);
+  EXPECT_EQ(repo_.device_counts().size(), 24u);
+}
+
+TEST_F(ServicesTest, WifiScansBothBands) {
+  wireless::NeighborhoodProfile profile;
+  profile.dense_prob = 1.0;
+  profile.dense_mean_24 = 10;
+  profile.dense_mean_5 = 2;
+  const auto hood = wireless::Neighborhood::Generate(profile, Rng(3));
+  IntervalSet on = FullWindow();
+  ReportWifiScans(repo_, collect::HomeId{1}, census_, hood, on, repo_.windows().wifi, Rng(4));
+  int scans24 = 0, scans5 = 0;
+  for (const auto& scan : repo_.wifi_scans()) {
+    if (scan.band == wireless::Band::k2_4GHz) {
+      ++scans24;
+      EXPECT_EQ(scan.channel, 11);
+    } else {
+      ++scans5;
+      EXPECT_EQ(scan.channel, 36);
+    }
+    EXPECT_GE(scan.visible_aps, 0);
+  }
+  EXPECT_GT(scans24, 100);
+  EXPECT_GT(scans5, 100);
+}
+
+TEST_F(ServicesTest, WifiScanBackoffWithClients) {
+  // With clients associated, scans run 3x less often (Section 3.2.2).
+  wireless::NeighborhoodProfile profile;
+  const auto hood = wireless::Neighborhood::Generate(profile, Rng(3));
+  IntervalSet on = FullWindow();
+
+  FakeCensus busy;
+  busy.wireless24 = 4;
+  collect::DataRepository busy_repo(MakeWindows());
+  ReportWifiScans(busy_repo, collect::HomeId{1}, busy, hood, on, busy_repo.windows().wifi,
+                  Rng(4));
+
+  FakeCensus idle;
+  idle.wireless24 = 0;
+  idle.wireless5 = 0;
+  collect::DataRepository idle_repo(MakeWindows());
+  ReportWifiScans(idle_repo, collect::HomeId{1}, idle, hood, on, idle_repo.windows().wifi,
+                  Rng(4));
+
+  int busy24 = 0, idle24 = 0;
+  for (const auto& s : busy_repo.wifi_scans()) busy24 += s.band == wireless::Band::k2_4GHz;
+  for (const auto& s : idle_repo.wifi_scans()) idle24 += s.band == wireless::Band::k2_4GHz;
+  EXPECT_NEAR(static_cast<double>(idle24) / busy24, 3.0, 0.3);
+}
+
+TEST_F(ServicesTest, WifiScanDetectionProbabilityThinsAps) {
+  wireless::NeighborhoodProfile profile;
+  profile.dense_prob = 1.0;
+  profile.dense_mean_24 = 30;
+  profile.popular_channel_frac = 1.0;
+  const auto hood = wireless::Neighborhood::Generate(profile, Rng(5));
+  const auto full = hood.audible_on(wireless::Band::k2_4GHz, 11);
+  IntervalSet on = FullWindow();
+
+  WifiServiceConfig cfg;
+  cfg.detection_prob = 0.5;
+  ReportWifiScans(repo_, collect::HomeId{1}, census_, hood, on, repo_.windows().wifi, Rng(6),
+                  cfg);
+  RunningStats seen;
+  for (const auto& scan : repo_.wifi_scans()) {
+    if (scan.band == wireless::Band::k2_4GHz) seen.add(scan.visible_aps);
+  }
+  EXPECT_NEAR(seen.mean(), full.size() * 0.5, full.size() * 0.1);
+}
+
+
+TEST_F(ServicesTest, WifiScanRespectsConfiguredChannel) {
+  // A user who moved the radio to channel 1 hears channel-1 neighbours,
+  // not channel-11 ones (Section 3.2.2: the channel is configurable).
+  wireless::NeighborhoodProfile profile;
+  profile.dense_prob = 1.0;
+  profile.dense_mean_24 = 30;
+  profile.popular_channel_frac = 1.0;  // neighbours all on 1/6/11
+  const auto hood = wireless::Neighborhood::Generate(profile, Rng(8));
+  IntervalSet on = FullWindow();
+
+  WifiServiceConfig cfg;
+  cfg.detection_prob = 1.0;
+  cfg.channel_24 = 1;
+  ReportWifiScans(repo_, collect::HomeId{1}, census_, hood, on, repo_.windows().wifi, Rng(9),
+                  cfg);
+  const auto expect = hood.audible_on(wireless::Band::k2_4GHz, 1).size();
+  bool found = false;
+  for (const auto& scan : repo_.wifi_scans()) {
+    if (scan.band != wireless::Band::k2_4GHz) continue;
+    EXPECT_EQ(scan.channel, 1);
+    EXPECT_EQ(scan.visible_aps, static_cast<int>(expect));
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace bismark::gateway

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "bismark/usage_cap.h"
+
+namespace bismark::gateway {
+namespace {
+
+const TimePoint kApr5 = MakeTime({2013, 4, 5});
+net::MacAddress Mac(std::uint32_t nic) { return net::MacAddress::FromParts(0x001EC2, nic); }
+
+UsageCapConfig SmallCap() {
+  UsageCapConfig cfg;
+  cfg.household_cap = GB(10);
+  cfg.alert_fractions = {0.5, 0.8, 0.95};
+  cfg.reset_day = 1;
+  return cfg;
+}
+
+TEST(UsageCapTest, AccumulatesPerDeviceAndHousehold) {
+  UsageCapManager caps(SmallCap());
+  caps.record(Mac(1), GB(2), kApr5);
+  caps.record(Mac(2), GB(1), kApr5);
+  caps.record(Mac(1), GB(1), kApr5);
+  EXPECT_EQ(caps.household_used(), GB(4));
+  EXPECT_EQ(caps.device_used(Mac(1)), GB(3));
+  EXPECT_EQ(caps.device_used(Mac(2)), GB(1));
+  EXPECT_EQ(caps.device_used(Mac(9)), Bytes{0});
+  EXPECT_NEAR(caps.household_fraction(), 0.4, 1e-9);
+}
+
+TEST(UsageCapTest, HouseholdThresholdAlertsFireOnceEachInOrder) {
+  UsageCapManager caps(SmallCap());
+  caps.record(Mac(1), GB(4.9), kApr5);
+  EXPECT_TRUE(caps.alerts().empty());
+  caps.record(Mac(1), GB(0.2), kApr5);  // crosses 50 %
+  ASSERT_EQ(caps.alerts().size(), 1u);
+  EXPECT_EQ(caps.alerts()[0].kind, CapAlertKind::kHouseholdThreshold);
+  EXPECT_NEAR(caps.alerts()[0].fraction, 0.51, 0.01);
+  // A large jump crosses 80 % and 95 % at once: both fire, once each.
+  caps.record(Mac(1), GB(4.5), kApr5);
+  EXPECT_EQ(caps.alerts().size(), 3u);
+  // No re-firing on further traffic below the cap.
+  caps.record(Mac(1), GB(0.1), kApr5);
+  EXPECT_EQ(caps.alerts().size(), 3u);
+}
+
+TEST(UsageCapTest, HouseholdExceededFiresOnce) {
+  UsageCapManager caps(SmallCap());
+  caps.record(Mac(1), GB(11), kApr5);
+  // 50/80/95 thresholds + exceeded.
+  ASSERT_EQ(caps.alerts().size(), 4u);
+  EXPECT_EQ(caps.alerts()[3].kind, CapAlertKind::kHouseholdExceeded);
+  caps.record(Mac(1), GB(1), kApr5);
+  EXPECT_EQ(caps.alerts().size(), 4u);
+}
+
+TEST(UsageCapTest, DeviceQuotaAlerts) {
+  UsageCapManager caps(SmallCap());
+  caps.set_device_quota(Mac(1), GB(1));
+  caps.record(Mac(1), MB(600), kApr5);  // 60 % of quota -> one device alert
+  ASSERT_EQ(caps.alerts().size(), 1u);
+  EXPECT_EQ(caps.alerts()[0].kind, CapAlertKind::kDeviceThreshold);
+  EXPECT_EQ(caps.alerts()[0].device, Mac(1));
+  caps.record(Mac(1), MB(500), kApr5);  // 1.1 GB: 80 %, 95 %, exceeded
+  EXPECT_EQ(caps.alerts().size(), 4u);
+  EXPECT_EQ(caps.alerts().back().kind, CapAlertKind::kDeviceExceeded);
+  EXPECT_TRUE(caps.device_quota(Mac(1)).has_value());
+  EXPECT_FALSE(caps.device_quota(Mac(2)).has_value());
+}
+
+TEST(UsageCapTest, MonthlyRolloverResetsCounters) {
+  UsageCapManager caps(SmallCap());
+  caps.record(Mac(1), GB(9), kApr5);
+  const std::size_t april_alerts = caps.alerts().size();
+  EXPECT_GT(april_alerts, 0u);
+  // May traffic starts a fresh period.
+  caps.record(Mac(1), GB(1), MakeTime({2013, 5, 2}));
+  EXPECT_EQ(caps.household_used(), GB(1));
+  EXPECT_EQ(caps.device_used(Mac(1)), GB(1));
+  EXPECT_EQ(caps.alerts().size(), april_alerts);  // thresholds re-armed, not refired
+  caps.record(Mac(1), GB(5), MakeTime({2013, 5, 3}));
+  EXPECT_GT(caps.alerts().size(), april_alerts);  // 50 % fires again in May
+}
+
+TEST(UsageCapTest, PeriodStartRespectsResetDay) {
+  UsageCapConfig cfg = SmallCap();
+  cfg.reset_day = 15;
+  UsageCapManager caps(cfg);
+  EXPECT_EQ(caps.period_start(MakeTime({2013, 4, 20})), MakeTime({2013, 4, 15}));
+  EXPECT_EQ(caps.period_start(MakeTime({2013, 4, 10})), MakeTime({2013, 3, 15}));
+  // January wraps to December of the prior year.
+  EXPECT_EQ(caps.period_start(MakeTime({2013, 1, 3})), MakeTime({2012, 12, 15}));
+}
+
+TEST(UsageCapTest, DaysUntilReset) {
+  UsageCapManager caps(SmallCap());
+  EXPECT_NEAR(caps.days_until_reset(MakeTime({2013, 4, 30})), 1.0, 1e-9);
+  EXPECT_NEAR(caps.days_until_reset(MakeTime({2013, 4, 1})), 30.0, 1e-9);
+}
+
+TEST(UsageCapTest, ThrottlingOnlyWhenEnforcing) {
+  UsageCapConfig cfg = SmallCap();
+  cfg.enforce = false;
+  UsageCapManager lax(cfg);
+  lax.set_device_quota(Mac(1), GB(1));
+  lax.record(Mac(1), GB(2), kApr5);
+  EXPECT_FALSE(lax.throttle_for(Mac(1)).has_value());
+
+  cfg.enforce = true;
+  cfg.throttle_rate = Kbps(128);
+  UsageCapManager strict(cfg);
+  strict.set_device_quota(Mac(1), GB(1));
+  strict.record(Mac(1), GB(2), kApr5);
+  const auto throttle = strict.throttle_for(Mac(1));
+  ASSERT_TRUE(throttle.has_value());
+  EXPECT_DOUBLE_EQ(throttle->kbps(), 128.0);
+  // A device under quota is unthrottled until the household cap blows.
+  strict.record(Mac(2), GB(1), kApr5);
+  EXPECT_FALSE(strict.throttle_for(Mac(2)).has_value());
+  strict.record(Mac(2), GB(9), kApr5);  // household now over 10 GB
+  EXPECT_TRUE(strict.throttle_for(Mac(2)).has_value());
+}
+
+TEST(UsageCapTest, UsageTableSortedDescending) {
+  UsageCapManager caps(SmallCap());
+  caps.set_device_quota(Mac(2), MB(100));
+  caps.record(Mac(1), GB(1), kApr5);
+  caps.record(Mac(2), MB(200), kApr5);
+  caps.record(Mac(3), MB(50), kApr5);
+  const auto table = caps.usage_table();
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_EQ(table[0].device, Mac(1));
+  EXPECT_FALSE(table[0].quota.has_value());
+  EXPECT_EQ(table[1].device, Mac(2));
+  EXPECT_TRUE(table[1].over_quota);
+  EXPECT_EQ(table[2].device, Mac(3));
+}
+
+TEST(UsageCapTest, UncappedHouseholdNeverAlerts) {
+  UsageCapConfig cfg = SmallCap();
+  cfg.household_cap = Bytes{0};
+  UsageCapManager caps(cfg);
+  caps.record(Mac(1), GB(500), kApr5);
+  EXPECT_TRUE(caps.alerts().empty());
+  EXPECT_DOUBLE_EQ(caps.household_fraction(), 0.0);
+}
+
+TEST(UsageCapTest, AlertCallbackInvoked) {
+  int fired = 0;
+  UsageCapManager caps(SmallCap(), [&](const CapAlert&) { ++fired; });
+  caps.record(Mac(1), GB(6), kApr5);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(UsageCapTest, ResetDayClamped) {
+  UsageCapConfig cfg = SmallCap();
+  cfg.reset_day = 31;  // not valid for all months; clamps to 28
+  UsageCapManager caps(cfg);
+  EXPECT_EQ(caps.config().reset_day, 28);
+}
+
+}  // namespace
+}  // namespace bismark::gateway

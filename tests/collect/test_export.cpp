@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "collect/export.h"
+
+namespace bismark::collect {
+namespace {
+
+class ExportTest : public ::testing::Test {
+ protected:
+  ExportTest() : repo_(DatasetWindows::Paper()) {
+    const auto& w = repo_.windows();
+    repo_.add_heartbeat_run(
+        HeartbeatRun{HomeId{1}, w.heartbeats.start, w.heartbeats.start + Hours(1)});
+    repo_.add_uptime(UptimeRecord{HomeId{1}, w.uptime.start + Hours(1), Hours(1)});
+    repo_.add_capacity(
+        CapacityRecord{HomeId{1}, w.capacity.start + Hours(1), Mbps(20), Mbps(4)});
+    DeviceCountRecord dc;
+    dc.home = HomeId{1};
+    dc.sampled = w.devices.start + Hours(1);
+    dc.wired = 1;
+    dc.wireless_24 = 3;
+    repo_.add_device_count(dc);
+    WifiScanRecord scan;
+    scan.home = HomeId{1};
+    scan.scanned = w.wifi.start + Hours(1);
+    scan.band = wireless::Band::k2_4GHz;
+    scan.channel = 11;
+    scan.visible_aps = 12;
+    repo_.add_wifi_scan(scan);
+    TrafficFlowRecord flow;
+    flow.home = HomeId{1};
+    flow.first_packet = w.traffic.start + Hours(1);
+    flow.last_packet = flow.first_packet + Minutes(5);
+    flow.domain = "netflix.com";
+    flow.bytes_down = MB(100);
+    repo_.add_flow(std::move(flow));
+  }
+  DataRepository repo_;
+};
+
+TEST_F(ExportTest, EachExporterWritesHeaderAndRows) {
+  std::ostringstream out;
+  EXPECT_EQ(ExportHeartbeats(repo_, out), 1u);
+  EXPECT_NE(out.str().find("run_start_ms"), std::string::npos);
+
+  out.str("");
+  EXPECT_EQ(ExportUptime(repo_, out), 1u);
+  out.str("");
+  EXPECT_EQ(ExportCapacity(repo_, out), 1u);
+  EXPECT_NE(out.str().find("20.000"), std::string::npos);
+  out.str("");
+  EXPECT_EQ(ExportDevices(repo_, out), 1u);
+  out.str("");
+  EXPECT_EQ(ExportWifi(repo_, out), 1u);
+  EXPECT_NE(out.str().find("2.4 GHz"), std::string::npos);
+}
+
+TEST_F(ExportTest, TrafficExportIsSeparateFromPublicSet) {
+  std::ostringstream out;
+  EXPECT_EQ(ExportTrafficFlows(repo_, out), 1u);
+  EXPECT_NE(out.str().find("netflix.com"), std::string::npos);
+}
+
+TEST_F(ExportTest, PublicDatasetExcludesTraffic) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bismark_export_test").string();
+  std::filesystem::remove_all(dir);
+  const std::size_t rows = ExportPublicDatasets(repo_, dir);
+  EXPECT_EQ(rows, 5u);  // one row per public data set above
+  // The five public files exist; no traffic file is written (Section 3.2:
+  // everything but Traffic is released).
+  EXPECT_TRUE(std::filesystem::exists(dir + "/heartbeats.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/uptime.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/capacity.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/devices.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/wifi.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/traffic.csv"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(ExportTest, EmptyRepositoryExportsHeadersOnly) {
+  DataRepository empty(DatasetWindows::Paper());
+  std::ostringstream out;
+  EXPECT_EQ(ExportHeartbeats(empty, out), 0u);
+  EXPECT_FALSE(out.str().empty());  // header still present
+}
+
+}  // namespace
+}  // namespace bismark::collect

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "collect/server.h"
+
+namespace bismark::collect {
+namespace {
+
+const TimePoint t0 = MakeTime({2012, 10, 1});
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : repo_(DatasetWindows::Compressed(t0, 8)) {}
+  DataRepository repo_;
+};
+
+TEST_F(ServerTest, LosslessIngestMapsIntervalsToRuns) {
+  CollectionServer server(repo_, HeartbeatPathConfig{Minutes(1), 0.0, Minutes(10)});
+  IntervalSet online;
+  online.add(t0, t0 + Days(1));
+  online.add(t0 + Days(2), t0 + Days(3));
+  server.ingest_heartbeats(HomeId{1}, online, Rng(1));
+  ASSERT_EQ(repo_.heartbeat_runs().size(), 2u);
+  EXPECT_GT(server.heartbeats_received(), 2800u);  // ~2 days of minutes
+  EXPECT_EQ(server.heartbeats_lost(), 0u);
+}
+
+TEST_F(ServerTest, RunsAlignToHeartbeatTicks) {
+  CollectionServer server(repo_, HeartbeatPathConfig{Minutes(1), 0.0, Minutes(10)});
+  IntervalSet online;
+  online.add(t0 + Seconds(30), t0 + Minutes(10));  // starts mid-minute
+  server.ingest_heartbeats(HomeId{1}, online, Rng(1));
+  ASSERT_EQ(repo_.heartbeat_runs().size(), 1u);
+  // First heartbeat at the next minute boundary.
+  EXPECT_EQ(repo_.heartbeat_runs()[0].start, t0 + Minutes(1));
+}
+
+TEST_F(ServerTest, TooShortIntervalYieldsNoRun) {
+  CollectionServer server(repo_, HeartbeatPathConfig{Minutes(1), 0.0, Minutes(10)});
+  IntervalSet online;
+  online.add(t0 + Seconds(10), t0 + Seconds(50));  // no tick inside
+  server.ingest_heartbeats(HomeId{1}, online, Rng(1));
+  EXPECT_TRUE(repo_.heartbeat_runs().empty());
+}
+
+TEST_F(ServerTest, ExactSimulationWithZeroLossMatchesFast) {
+  CollectionServer fast(repo_, HeartbeatPathConfig{Minutes(1), 0.0, Minutes(10)});
+  IntervalSet online;
+  online.add(t0, t0 + Days(2));
+  fast.ingest_heartbeats(HomeId{1}, online, Rng(1), false);
+
+  DataRepository repo2(DatasetWindows::Compressed(t0, 8));
+  CollectionServer exact(repo2, HeartbeatPathConfig{Minutes(1), 0.0, Minutes(10)});
+  exact.ingest_heartbeats(HomeId{1}, online, Rng(1), true);
+
+  ASSERT_EQ(repo_.heartbeat_runs().size(), 1u);
+  ASSERT_EQ(repo2.heartbeat_runs().size(), 1u);
+  EXPECT_EQ(repo_.heartbeat_runs()[0].start, repo2.heartbeat_runs()[0].start);
+  // The exact path's run ends one period after the last received beat.
+  EXPECT_NEAR(static_cast<double>(repo_.heartbeat_runs()[0].end.ms),
+              static_cast<double>(repo2.heartbeat_runs()[0].end.ms), 60001.0);
+}
+
+TEST_F(ServerTest, ModerateLossDoesNotSplitRuns) {
+  // At 5 % loss, a >= 10-minute all-lost gap is p^10 ~ 1e-13: runs survive.
+  CollectionServer server(repo_, HeartbeatPathConfig{Minutes(1), 0.05, Minutes(10)});
+  IntervalSet online;
+  online.add(t0, t0 + Days(7));
+  server.ingest_heartbeats(HomeId{1}, online, Rng(2), true);
+  EXPECT_EQ(repo_.heartbeat_runs().size(), 1u);
+  EXPECT_GT(server.heartbeats_lost(), 300u);  // ~5 % of 10k
+}
+
+TEST_F(ServerTest, ExtremeLossCreatesFalseDowntime) {
+  // The ablation case: heartbeat loss masquerading as downtime.
+  CollectionServer server(repo_, HeartbeatPathConfig{Minutes(1), 0.55, Minutes(10)});
+  IntervalSet online;
+  online.add(t0, t0 + Days(14));
+  server.ingest_heartbeats(HomeId{1}, online, Rng(3), true);
+  EXPECT_GT(repo_.heartbeat_runs().size(), 1u);
+}
+
+TEST_F(ServerTest, FastPathAccountsExpectedLoss) {
+  CollectionServer server(repo_, HeartbeatPathConfig{Minutes(1), 0.10, Minutes(10)});
+  IntervalSet online;
+  online.add(t0, t0 + Days(1));
+  server.ingest_heartbeats(HomeId{1}, online, Rng(4), false);
+  const double loss_rate = static_cast<double>(server.heartbeats_lost()) /
+                           (server.heartbeats_lost() + server.heartbeats_received());
+  EXPECT_NEAR(loss_rate, 0.10, 0.01);
+}
+
+}  // namespace
+}  // namespace bismark::collect

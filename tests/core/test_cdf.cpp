@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "core/cdf.h"
+
+namespace bismark {
+namespace {
+
+TEST(CdfTest, EmptyCdf) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.empty());
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 0.0);
+  EXPECT_TRUE(cdf.points().empty());
+}
+
+TEST(CdfTest, AtIsFractionAtOrBelow) {
+  Cdf cdf;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) cdf.add(v);
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(CdfTest, DuplicateValuesCollapseIntoOnePoint) {
+  Cdf cdf(std::vector<double>{1.0, 2.0, 2.0, 3.0});
+  const auto pts = cdf.points();
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(pts[0].p, 0.25);
+  EXPECT_DOUBLE_EQ(pts[1].x, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].p, 0.75);
+  EXPECT_DOUBLE_EQ(pts[2].x, 3.0);
+  EXPECT_DOUBLE_EQ(pts[2].p, 1.0);
+}
+
+TEST(CdfTest, QuantileInverse) {
+  Cdf cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(i);
+  EXPECT_NEAR(cdf.median(), 50.5, 1e-9);
+  EXPECT_NEAR(cdf.quantile(0.95), 95.05, 1e-6);
+}
+
+TEST(CdfTest, SampledPointsLinearAndLog) {
+  Cdf cdf;
+  for (int i = 1; i <= 1000; ++i) cdf.add(i);
+  const auto lin = cdf.sampled_points(11, false);
+  ASSERT_EQ(lin.size(), 11u);
+  EXPECT_DOUBLE_EQ(lin.front().x, 1.0);
+  EXPECT_DOUBLE_EQ(lin.back().x, 1000.0);
+  EXPECT_NEAR(lin.back().p, 1.0, 1e-9);
+  // Log-spaced points should bunch at the low end.
+  const auto log = cdf.sampled_points(4, true);
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_NEAR(log[1].x, 10.0, 0.5);
+  EXPECT_NEAR(log[2].x, 100.0, 5.0);
+}
+
+TEST(CdfTest, SampledPointsDegenerate) {
+  Cdf cdf;
+  EXPECT_TRUE(cdf.sampled_points(5).empty());
+  cdf.add(3.0);
+  const auto pts = cdf.sampled_points(3);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts.front().x, 3.0);
+}
+
+TEST(CdfTest, AddAfterQueryResorts) {
+  Cdf cdf;
+  cdf.add(5.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 5.0);
+  cdf.add(1.0);
+  cdf.add(9.0);
+  EXPECT_DOUBLE_EQ(cdf.median(), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 1.0 / 3.0);
+}
+
+TEST(CdfTest, SummaryStringContainsStats) {
+  Cdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.add(i);
+  const std::string s = Summarize(cdf);
+  EXPECT_NE(s.find("n=10"), std::string::npos);
+  EXPECT_NE(s.find("median=5.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bismark

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "core/histogram.h"
+
+namespace bismark {
+namespace {
+
+TEST(HistogramTest, BinsAndBoundaries) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(HistogramTest, AddPlacesInCorrectBin) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);
+  h.add(1.999);
+  h.add(2.0);
+  h.add(9.999);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(HistogramTest, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(HistogramTest, WeightsAndFractions) {
+  Histogram h(0.0, 4.0, 2);
+  h.add(1.0, 3.0);
+  h.add(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(HistogramTest, ZeroBinsSurvives) {
+  Histogram h(0.0, 1.0, 0);
+  h.add(0.5);
+  EXPECT_EQ(h.bins(), 1u);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+}
+
+TEST(BinnedMeanTest, MeansPerBin) {
+  BinnedMean b(24);
+  b.add(3, 10.0);
+  b.add(3, 20.0);
+  b.add(5, 7.0);
+  EXPECT_DOUBLE_EQ(b.mean(3), 15.0);
+  EXPECT_DOUBLE_EQ(b.mean(5), 7.0);
+  EXPECT_DOUBLE_EQ(b.mean(0), 0.0);
+  EXPECT_EQ(b.count(3), 2u);
+}
+
+TEST(BinnedMeanTest, StddevPerBin) {
+  BinnedMean b(4);
+  b.add(0, 2.0);
+  b.add(0, 4.0);
+  b.add(0, 4.0);
+  b.add(0, 4.0);
+  b.add(0, 5.0);
+  b.add(0, 5.0);
+  b.add(0, 7.0);
+  b.add(0, 9.0);
+  EXPECT_NEAR(b.stddev(0), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(b.stddev(1), 0.0);
+}
+
+TEST(BinnedMeanTest, OutOfRangeBinIgnored) {
+  BinnedMean b(2);
+  b.add(5, 100.0);
+  EXPECT_EQ(b.count(0), 0u);
+  EXPECT_EQ(b.count(1), 0u);
+}
+
+TEST(CategoryCounterTest, SortsByDescendingCount) {
+  CategoryCounter c;
+  c.add("apple");
+  c.add("banana");
+  c.add("apple");
+  c.add("cherry", 5.0);
+  const auto sorted = c.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].key, "cherry");
+  EXPECT_EQ(sorted[1].key, "apple");
+  EXPECT_DOUBLE_EQ(sorted[1].count, 2.0);
+  EXPECT_DOUBLE_EQ(c.total(), 8.0);
+  EXPECT_EQ(c.distinct(), 3u);
+}
+
+TEST(CategoryCounterTest, TieBreaksByKey) {
+  CategoryCounter c;
+  c.add("b");
+  c.add("a");
+  const auto sorted = c.sorted();
+  EXPECT_EQ(sorted[0].key, "a");
+  EXPECT_EQ(sorted[1].key, "b");
+}
+
+TEST(CategoryCounterTest, CountOfMissingIsZero) {
+  CategoryCounter c;
+  c.add("x");
+  EXPECT_DOUBLE_EQ(c.count_of("x"), 1.0);
+  EXPECT_DOUBLE_EQ(c.count_of("y"), 0.0);
+}
+
+}  // namespace
+}  // namespace bismark

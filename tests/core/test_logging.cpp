@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "core/logging.h"
+
+namespace bismark {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetLogLevel(LogLevel::kWarn); }  // restore default
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kOff);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
+TEST_F(LoggingTest, EmitBelowAndAboveThresholdDoesNotCrash) {
+  SetLogLevel(LogLevel::kWarn);
+  // Suppressed (below threshold) and emitted (at/above threshold) paths,
+  // including printf-style formatting.
+  BISMARK_LOG_DEBUG("test", "suppressed %d", 1);
+  BISMARK_LOG_INFO("test", "suppressed %s", "too");
+  SetLogLevel(LogLevel::kOff);
+  BISMARK_LOG_ERROR("test", "also suppressed at kOff %f", 1.5);
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, LongMessagesTruncateSafely) {
+  SetLogLevel(LogLevel::kOff);  // keep test output clean
+  std::string big(5000, 'x');
+  Log(LogLevel::kError, "test", "%s", big.c_str());
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace bismark

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace bismark {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanNearHalf) {
+  Rng rng(11);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.01);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= v == 3;
+    saw_hi |= v == 7;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(5, 4), 5);  // degenerate range clamps to lo
+}
+
+TEST(RngTest, BernoulliRespectsProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(Rng(1).bernoulli(0.0));
+  EXPECT_TRUE(Rng(1).bernoulli(1.0));
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.exponential(30.0));
+  EXPECT_NEAR(stats.mean(), 30.0, 1.0);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(23);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, LognormalMedian) {
+  Rng rng(29);
+  std::vector<double> values;
+  for (int i = 0; i < 20001; ++i) values.push_back(rng.lognormal(std::log(5.0), 0.8));
+  EXPECT_NEAR(Median(values), 5.0, 0.3);
+}
+
+TEST(RngTest, ParetoTailHeavierThanExponential) {
+  Rng rng(31);
+  double pareto_max = 0.0;
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.pareto(1.0, 1.5);
+    EXPECT_GE(v, 1.0);
+    pareto_max = std::max(pareto_max, v);
+    stats.add(v);
+  }
+  EXPECT_GT(pareto_max, 50.0);  // heavy tail reaches far
+  EXPECT_NEAR(stats.mean(), 3.0, 0.8);  // alpha/(alpha-1) = 3
+}
+
+TEST(RngTest, WeightedIndexFollowsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 40000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.25);
+}
+
+TEST(RngTest, WeightedIndexDegenerateInputs) {
+  Rng rng(41);
+  EXPECT_EQ(rng.weighted_index({}), 0u);
+  const std::vector<double> zeros = {0.0, 0.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.weighted_index(zeros), 3u);
+}
+
+TEST(RngTest, ForkIsDeterministicAndIndependent) {
+  Rng parent(99);
+  Rng child1 = parent.fork(1);
+  Rng child1_again = Rng(99).fork(1);
+  Rng child2 = parent.fork(2);
+  EXPECT_EQ(child1.next_u64(), child1_again.next_u64());
+  EXPECT_NE(child1.next_u64(), child2.next_u64());
+}
+
+TEST(RngTest, ForkByStringTag) {
+  Rng parent(99);
+  Rng a = parent.fork("availability");
+  Rng b = parent.fork("devices");
+  Rng a2 = parent.fork("availability");
+  EXPECT_EQ(a.next_u64(), a2.next_u64());
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, ForkDoesNotPerturbParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.fork(123);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ZipfTest, RankOneIsMostLikely) {
+  ZipfDistribution zipf(100, 1.0);
+  Rng rng(43);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+  EXPECT_GT(counts[0], 15000);  // 1/H(100) ~ 0.19
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(50, 1.2);
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(zipf.pmf(999), 0.0);
+}
+
+}  // namespace
+}  // namespace bismark

@@ -1,0 +1,92 @@
+// Property sweep: distribution moments hold across seeds (not just one
+// lucky stream), and hierarchical forking never correlates siblings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace bismark {
+namespace {
+
+class RngSeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngSeedSweepTest, UniformMoments) {
+  Rng rng(GetParam());
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.02);
+  EXPECT_NEAR(stats.stddev(), std::sqrt(1.0 / 12.0), 0.02);
+  EXPECT_GE(stats.min(), 0.0);
+  EXPECT_LT(stats.max(), 1.0);
+}
+
+TEST_P(RngSeedSweepTest, ExponentialMeanAndPositivity) {
+  Rng rng(GetParam());
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.exponential(7.0));
+  EXPECT_NEAR(stats.mean(), 7.0, 0.5);
+  EXPECT_GT(stats.min(), 0.0);
+}
+
+TEST_P(RngSeedSweepTest, NormalSymmetry) {
+  Rng rng(GetParam());
+  int above = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) above += rng.normal(0.0, 1.0) > 0.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(above) / n, 0.5, 0.02);
+}
+
+TEST_P(RngSeedSweepTest, SiblingForksUncorrelated) {
+  Rng parent(GetParam());
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  // Correlation of paired uniforms across sibling streams ~ 0.
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(a.uniform());
+    ys.push_back(b.uniform());
+  }
+  EXPECT_LT(std::abs(Correlation(xs, ys)), 0.05);
+}
+
+TEST_P(RngSeedSweepTest, BernoulliUnbiasedAtHalf) {
+  Rng rng(GetParam());
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) heads += rng.bernoulli(0.5) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweepTest,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 20131023ULL,
+                                           0xDEADBEEFULL, 0xFFFFFFFFFFFFFFFFULL));
+
+class ZipfAlphaSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfAlphaSweepTest, MonotoneDecreasingPmfAndNormalised) {
+  ZipfDistribution zipf(150, GetParam());
+  double total = 0.0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) {
+    total += zipf.pmf(i);
+    if (i > 0) {
+      EXPECT_LE(zipf.pmf(i), zipf.pmf(i - 1) + 1e-12);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST_P(ZipfAlphaSweepTest, HigherAlphaConcentratesMore) {
+  ZipfDistribution zipf(150, GetParam());
+  ZipfDistribution flatter(150, GetParam() * 0.5);
+  EXPECT_GE(zipf.pmf(0), flatter.pmf(0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, ZipfAlphaSweepTest, ::testing::Values(0.6, 0.9, 1.2, 2.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "alpha_" + std::to_string(static_cast<int>(info.param * 10));
+                         });
+
+}  // namespace
+}  // namespace bismark

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/time.h"
+
+namespace bismark {
+namespace {
+
+TEST(DurationTest, ConversionsRoundTrip) {
+  EXPECT_DOUBLE_EQ(Seconds(90).minutes(), 1.5);
+  EXPECT_DOUBLE_EQ(Minutes(90).hours(), 1.5);
+  EXPECT_DOUBLE_EQ(Hours(36).days(), 1.5);
+  EXPECT_EQ(Millis(1500).ms, 1500);
+  EXPECT_DOUBLE_EQ(Days(2).hours(), 48.0);
+}
+
+TEST(DurationTest, Arithmetic) {
+  EXPECT_EQ((Minutes(2) + Seconds(30)).ms, 150000);
+  EXPECT_EQ((Minutes(2) - Seconds(30)).ms, 90000);
+  EXPECT_EQ((Minutes(1) * 3).ms, 180000);
+  EXPECT_EQ((Minutes(3) / 3).ms, 60000);
+  Duration d = Minutes(1);
+  d += Seconds(30);
+  EXPECT_EQ(d.ms, 90000);
+}
+
+TEST(DurationTest, Comparisons) {
+  EXPECT_LT(Seconds(59), Minutes(1));
+  EXPECT_EQ(Seconds(60), Minutes(1));
+  EXPECT_GT(Hours(1), Minutes(59));
+}
+
+TEST(CivilDateTest, KnownEpochDays) {
+  EXPECT_EQ(DaysFromCivil({1970, 1, 1}), 0);
+  EXPECT_EQ(DaysFromCivil({1970, 1, 2}), 1);
+  EXPECT_EQ(DaysFromCivil({1969, 12, 31}), -1);
+  EXPECT_EQ(DaysFromCivil({2000, 3, 1}), 11017);
+  // The paper's study start: October 1, 2012.
+  EXPECT_EQ(DaysFromCivil({2012, 10, 1}), 15614);
+}
+
+TEST(CivilDateTest, RoundTripAcrossLeapYears) {
+  for (std::int64_t day = -200000; day <= 200000; day += 37) {
+    const CivilDate d = CivilFromDays(day);
+    EXPECT_EQ(DaysFromCivil(d), day);
+  }
+}
+
+TEST(CivilDateTest, LeapDayHandled) {
+  const CivilDate leap = CivilFromDays(DaysFromCivil({2012, 2, 29}));
+  EXPECT_EQ(leap.year, 2012);
+  EXPECT_EQ(leap.month, 2);
+  EXPECT_EQ(leap.day, 29);
+}
+
+TEST(WeekdayTest, KnownDates) {
+  // Oct 1 2012 was a Monday; Oct 23 2013 (IMC'13 start) a Wednesday.
+  EXPECT_EQ(WeekdayOf(MakeTime({2012, 10, 1})), Weekday::kMonday);
+  EXPECT_EQ(WeekdayOf(MakeTime({2013, 10, 23})), Weekday::kWednesday);
+  EXPECT_EQ(WeekdayOf(MakeTime({1970, 1, 1})), Weekday::kThursday);
+  EXPECT_TRUE(IsWeekend(WeekdayOf(MakeTime({2013, 4, 13}))));   // Saturday
+  EXPECT_TRUE(IsWeekend(WeekdayOf(MakeTime({2013, 4, 14}))));   // Sunday
+  EXPECT_FALSE(IsWeekend(WeekdayOf(MakeTime({2013, 4, 15}))));  // Monday
+}
+
+TEST(WeekdayTest, NegativeTimesBeforeEpoch) {
+  // Dec 31 1969 was a Wednesday.
+  EXPECT_EQ(WeekdayOf(MakeTime({1969, 12, 31})), Weekday::kWednesday);
+}
+
+TEST(TimeZoneTest, LocalHourWithOffsets) {
+  const TimePoint noon_utc = MakeTime({2013, 4, 1}, 12, 0, 0);
+  EXPECT_EQ(TimeZone{Hours(0)}.local_hour(noon_utc), 12);
+  EXPECT_EQ(TimeZone{Hours(-5)}.local_hour(noon_utc), 7);    // US East
+  EXPECT_EQ(TimeZone{Hours(8)}.local_hour(noon_utc), 20);    // China
+  EXPECT_EQ(TimeZone{Hours(5.5)}.local_hour(noon_utc), 17);  // India half-hour zone
+}
+
+TEST(TimeZoneTest, LocalHourFracAndMidnight) {
+  const TimePoint t = MakeTime({2013, 4, 1}, 18, 30, 0);
+  EXPECT_NEAR(TimeZone{Hours(0)}.local_hour_frac(t), 18.5, 1e-9);
+  const TimePoint midnight = TimeZone{Hours(0)}.local_midnight(t);
+  EXPECT_EQ(midnight, MakeTime({2013, 4, 1}));
+  // In UTC+8 the same instant is already April 2.
+  const TimePoint midnight_cn = TimeZone{Hours(8)}.local_midnight(t);
+  EXPECT_EQ(midnight_cn, MakeTime({2013, 4, 1}, 16, 0, 0));
+}
+
+TEST(TimeZoneTest, WeekdayShiftsAcrossDateLine) {
+  // 20:00 UTC Sunday is already Monday in Japan (UTC+9).
+  const TimePoint t = MakeTime({2013, 4, 14}, 20, 0, 0);
+  EXPECT_EQ(TimeZone{Hours(0)}.local_weekday(t), Weekday::kSunday);
+  EXPECT_EQ(TimeZone{Hours(9)}.local_weekday(t), Weekday::kMonday);
+}
+
+TEST(FormatTest, RendersTimeAndDuration) {
+  EXPECT_EQ(FormatTime(MakeTime({2012, 10, 1}, 9, 5, 0)), "2012-10-01 09:05");
+  EXPECT_EQ(FormatMonthDay(MakeTime({2013, 4, 2})), "4-2");
+  EXPECT_EQ(FormatDuration(Seconds(45)), "45s");
+  EXPECT_EQ(FormatDuration(Minutes(10)), "10m 0s");
+  EXPECT_EQ(FormatDuration(Hours(25)), "1d 1h");
+}
+
+TEST(TimePointTest, UtcDayFloorsNegative) {
+  EXPECT_EQ(TimePoint{-1}.utc_day(), -1);
+  EXPECT_EQ(TimePoint{0}.utc_day(), 0);
+  EXPECT_EQ((MakeTime({1970, 1, 2}) - Millis(1)).utc_day(), 0);
+}
+
+}  // namespace
+}  // namespace bismark

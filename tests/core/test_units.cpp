@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "core/units.h"
+
+namespace bismark {
+namespace {
+
+TEST(BytesTest, Conversions) {
+  EXPECT_DOUBLE_EQ(KB(1).kb(), 1.0);
+  EXPECT_DOUBLE_EQ(MB(2.5).mb(), 2.5);
+  EXPECT_DOUBLE_EQ(GB(1).mb(), 1000.0);
+  EXPECT_DOUBLE_EQ(B(1).bits(), 8.0);
+  EXPECT_EQ(MB(1).count, 1000000);
+}
+
+TEST(BytesTest, Arithmetic) {
+  EXPECT_EQ((MB(1) + KB(500)).count, 1500000);
+  EXPECT_EQ((MB(1) - KB(250)).count, 750000);
+  Bytes b = KB(1);
+  b += KB(2);
+  EXPECT_EQ(b.count, 3000);
+}
+
+TEST(BytesTest, Comparisons) {
+  EXPECT_LT(KB(999), MB(1));
+  EXPECT_EQ(KB(1000), MB(1));
+  EXPECT_GT(GB(1), MB(999));
+}
+
+TEST(BitRateTest, Conversions) {
+  EXPECT_DOUBLE_EQ(Mbps(10).bps, 10e6);
+  EXPECT_DOUBLE_EQ(Kbps(500).mbps(), 0.5);
+  EXPECT_DOUBLE_EQ(Bps(1e6).kbps(), 1000.0);
+}
+
+TEST(BitRateTest, TransferTimes) {
+  // 1 MB at 8 Mbps = 1 second.
+  EXPECT_DOUBLE_EQ(Mbps(8).seconds_for(MB(1)), 1.0);
+  EXPECT_DOUBLE_EQ(Mbps(4).seconds_for(MB(1)), 2.0);
+  // Zero rate yields an effectively infinite time rather than dividing by 0.
+  EXPECT_GT(Bps(0).seconds_for(MB(1)), 1e12);
+}
+
+TEST(BitRateTest, BytesInDuration) {
+  EXPECT_EQ(Mbps(8).bytes_in(1.0).count, 1000000);
+  EXPECT_EQ(Mbps(8).bytes_in(0.5).count, 500000);
+  EXPECT_EQ(Bps(0).bytes_in(100.0).count, 0);
+}
+
+}  // namespace
+}  // namespace bismark

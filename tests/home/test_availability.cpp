@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "home/availability.h"
+
+namespace bismark::home {
+namespace {
+
+const TimePoint kBegin = MakeTime({2012, 10, 1});
+const TimePoint kEnd = kBegin + Days(56);
+
+AvailabilityTimeline Gen(const std::string& code, RouterPowerMode mode, std::uint64_t seed,
+                         AvailabilityOptions options = {}) {
+  const auto& country = CountryByCode(code);
+  return AvailabilityModel::Generate(country, mode, TimeZone{country.utc_offset}, kBegin, kEnd,
+                                     Rng(seed), options);
+}
+
+TEST(AvailabilityTest, AlwaysOnNearFullCoverage) {
+  AvailabilityOptions no_vacation;
+  no_vacation.vacation_prob = 0.0;
+  RunningStats fractions;
+  for (int seed = 0; seed < 50; ++seed) {
+    fractions.add(Gen("US", RouterPowerMode::kAlwaysOn, seed, no_vacation)
+                      .router_on_fraction());
+  }
+  EXPECT_GT(fractions.min(), 0.995);  // only minute-scale reboots
+}
+
+TEST(AvailabilityTest, AlwaysOnWithVacationStillHigh) {
+  AvailabilityOptions always_vacation;
+  always_vacation.vacation_prob = 1.0;
+  const auto tl = Gen("US", RouterPowerMode::kAlwaysOn, 3, always_vacation);
+  EXPECT_LT(tl.router_on_fraction(), 0.99);
+  EXPECT_GT(tl.router_on_fraction(), 0.8);  // at most ~7 of 56 days gone
+}
+
+TEST(AvailabilityTest, NightOffFractionRange) {
+  RunningStats fractions;
+  for (int seed = 0; seed < 50; ++seed) {
+    fractions.add(Gen("IN", RouterPowerMode::kNightOff, seed).router_on_fraction());
+  }
+  // Nightly 3-10h power-downs most nights: ~60-90 % uptime (paper's India
+  // median is 76 %).
+  EXPECT_GT(fractions.mean(), 0.6);
+  EXPECT_LT(fractions.mean(), 0.9);
+}
+
+TEST(AvailabilityTest, ApplianceFractionLow) {
+  RunningStats fractions;
+  for (int seed = 0; seed < 50; ++seed) {
+    fractions.add(Gen("CN", RouterPowerMode::kAppliance, seed).router_on_fraction());
+  }
+  EXPECT_LT(fractions.mean(), 0.4);
+  EXPECT_GT(fractions.mean(), 0.05);
+}
+
+TEST(AvailabilityTest, ApplianceEveningConcentrated) {
+  // Fig. 6b: the router is available briefly in the evenings.
+  const auto& cn = CountryByCode("CN");
+  const TimeZone tz{cn.utc_offset};
+  const auto tl = Gen("CN", RouterPowerMode::kAppliance, 7);
+  Duration evening_on{0}, morning_on{0};
+  for (const auto& iv : tl.router_on.intervals()) {
+    const int hour = tz.local_hour(iv.start);
+    if (hour >= 16 && hour <= 21) evening_on += iv.length();
+    if (hour >= 0 && hour <= 5) morning_on += iv.length();
+  }
+  EXPECT_GT(evening_on.hours(), morning_on.hours() * 3);
+}
+
+TEST(AvailabilityTest, ApplianceWeekendsLonger) {
+  const auto& cn = CountryByCode("CN");
+  const TimeZone tz{cn.utc_offset};
+  RunningStats weekday_h, weekend_h;
+  for (int seed = 0; seed < 30; ++seed) {
+    const auto tl = Gen("CN", RouterPowerMode::kAppliance, 100 + seed);
+    TimePoint day = tz.local_midnight(kBegin);
+    while (day + Days(1) <= kEnd) {
+      const double on_h = tl.router_on.covered_within(day, day + Days(1)).hours();
+      (IsWeekend(tz.local_weekday(day + Hours(12))) ? weekend_h : weekday_h).add(on_h);
+      day += Days(1);
+    }
+  }
+  EXPECT_GT(weekend_h.mean(), weekday_h.mean() * 1.3);
+}
+
+TEST(AvailabilityTest, IspOutageRateTracksCountry) {
+  RunningStats us_outages, pk_outages;
+  for (int seed = 0; seed < 40; ++seed) {
+    us_outages.add(static_cast<double>(
+        Gen("US", RouterPowerMode::kAlwaysOn, seed).isp_up.size()));
+    pk_outages.add(static_cast<double>(
+        Gen("PK", RouterPowerMode::kAlwaysOn, seed).isp_up.size()));
+  }
+  // Segments = outages + 1; Pakistan is configured ~30x worse than the US.
+  EXPECT_GT(pk_outages.mean(), us_outages.mean() * 8);
+}
+
+TEST(AvailabilityTest, OnlineIsIntersection) {
+  const auto tl = Gen("IN", RouterPowerMode::kNightOff, 11);
+  const IntervalSet online = tl.online();
+  // Online fraction can never exceed either component.
+  const double on_frac = tl.router_on.coverage_fraction(kBegin, kEnd);
+  const double isp_frac = tl.isp_up.coverage_fraction(kBegin, kEnd);
+  const double online_frac = online.coverage_fraction(kBegin, kEnd);
+  EXPECT_LE(online_frac, on_frac + 1e-12);
+  EXPECT_LE(online_frac, isp_frac + 1e-12);
+  // Spot-check pointwise consistency.
+  for (int h = 0; h < 56 * 24; h += 7) {
+    const TimePoint t = kBegin + Hours(h);
+    EXPECT_EQ(tl.available_at(t), tl.router_on.contains(t) && tl.isp_up.contains(t));
+  }
+}
+
+TEST(AvailabilityTest, FlakyEpisodeAddsClusteredOutages) {
+  AvailabilityOptions flaky;
+  flaky.flaky_episode_prob = 1.0;
+  AvailabilityOptions calm;
+  calm.flaky_episode_prob = 0.0;
+  RunningStats flaky_outages, calm_outages;
+  for (int seed = 0; seed < 30; ++seed) {
+    flaky_outages.add(static_cast<double>(
+        Gen("US", RouterPowerMode::kAlwaysOn, seed, flaky).isp_up.size()));
+    calm_outages.add(static_cast<double>(
+        Gen("US", RouterPowerMode::kAlwaysOn, seed, calm).isp_up.size()));
+  }
+  // Fig. 6c: several days of sporadic outages on an otherwise-healthy link.
+  EXPECT_GT(flaky_outages.mean(), calm_outages.mean() + 5.0);
+}
+
+TEST(AvailabilityTest, DrawModeFollowsMixture) {
+  const auto& us = CountryByCode("US");
+  Rng rng(13);
+  int always = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (AvailabilityModel::DrawMode(us, rng) == RouterPowerMode::kAlwaysOn) ++always;
+  }
+  EXPECT_NEAR(static_cast<double>(always) / n, us.frac_always_on, 0.02);
+}
+
+TEST(AvailabilityTest, DeterministicForSeed) {
+  const auto a = Gen("IN", RouterPowerMode::kNightOff, 21);
+  const auto b = Gen("IN", RouterPowerMode::kNightOff, 21);
+  ASSERT_EQ(a.router_on.size(), b.router_on.size());
+  for (std::size_t i = 0; i < a.router_on.size(); ++i) {
+    EXPECT_EQ(a.router_on.intervals()[i].start, b.router_on.intervals()[i].start);
+  }
+}
+
+TEST(AvailabilityTest, TimelinesStayInWindow) {
+  for (auto mode : {RouterPowerMode::kAlwaysOn, RouterPowerMode::kNightOff,
+                    RouterPowerMode::kAppliance}) {
+    const auto tl = Gen("IN", mode, 31);
+    for (const auto& iv : tl.router_on.intervals()) {
+      EXPECT_GE(iv.start, kBegin);
+      EXPECT_LE(iv.end, kEnd);
+    }
+    for (const auto& iv : tl.isp_up.intervals()) {
+      EXPECT_GE(iv.start, kBegin);
+      EXPECT_LE(iv.end, kEnd);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bismark::home

@@ -1,0 +1,87 @@
+// Property sweep: availability-timeline invariants must hold for every
+// country in the roster, every power mode, across seeds.
+#include <gtest/gtest.h>
+
+#include "home/availability.h"
+
+namespace bismark::home {
+namespace {
+
+const TimePoint kBegin = MakeTime({2012, 10, 1});
+const TimePoint kEnd = kBegin + Days(42);
+
+class AvailabilityPerCountryTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  const CountryProfile& country() const { return CountryByCode(GetParam()); }
+};
+
+TEST_P(AvailabilityPerCountryTest, TimelineInvariantsAcrossModesAndSeeds) {
+  const auto& c = country();
+  const TimeZone tz{c.utc_offset};
+  for (auto mode : {RouterPowerMode::kAlwaysOn, RouterPowerMode::kNightOff,
+                    RouterPowerMode::kAppliance}) {
+    for (std::uint64_t seed = 0; seed < 5; ++seed) {
+      const auto tl = AvailabilityModel::Generate(c, mode, tz, kBegin, kEnd, Rng(seed));
+      // Window containment.
+      for (const auto& iv : tl.router_on.intervals()) {
+        ASSERT_GE(iv.start, kBegin);
+        ASSERT_LE(iv.end, kEnd);
+        ASSERT_LT(iv.start, iv.end);
+      }
+      // The home is never *online* with the router off.
+      const IntervalSet online = tl.online();
+      ASSERT_LE(online.total().ms, tl.router_on.total().ms);
+      ASSERT_LE(online.total().ms, tl.isp_up.total().ms);
+      // Some availability exists in every mode (no degenerate all-off home).
+      ASSERT_GT(online.total().hours(), 1.0)
+          << c.code << " mode " << static_cast<int>(mode) << " seed " << seed;
+      // Fractions are sane.
+      const double frac = tl.router_on_fraction();
+      ASSERT_GE(frac, 0.0);
+      ASSERT_LE(frac, 1.0);
+    }
+  }
+}
+
+TEST_P(AvailabilityPerCountryTest, PowerModeOrderingHolds) {
+  const auto& c = country();
+  const TimeZone tz{c.utc_offset};
+  double always = 0.0, night = 0.0, appliance = 0.0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    always += AvailabilityModel::Generate(c, RouterPowerMode::kAlwaysOn, tz, kBegin, kEnd,
+                                          Rng(seed))
+                  .router_on_fraction();
+    night += AvailabilityModel::Generate(c, RouterPowerMode::kNightOff, tz, kBegin, kEnd,
+                                         Rng(seed))
+                 .router_on_fraction();
+    appliance += AvailabilityModel::Generate(c, RouterPowerMode::kAppliance, tz, kBegin,
+                                             kEnd, Rng(seed))
+                     .router_on_fraction();
+  }
+  // Always-on > night-off > appliance, for every country.
+  EXPECT_GT(always, night);
+  EXPECT_GT(night, appliance);
+}
+
+TEST_P(AvailabilityPerCountryTest, ModeMixtureMatchesProfile) {
+  const auto& c = country();
+  Rng rng(17);
+  int counts[3] = {0, 0, 0};
+  const int n = 6000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<int>(AvailabilityModel::DrawMode(c, rng))];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, c.frac_always_on, 0.03);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, c.frac_appliance, 0.03);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCountries, AvailabilityPerCountryTest,
+                         ::testing::Values("CA", "DE", "FR", "GB", "IE", "IT", "JP", "NL",
+                                           "SG", "US", "IN", "PK", "MY", "ZA", "MX", "CN",
+                                           "BR", "ID", "TH"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace bismark::home

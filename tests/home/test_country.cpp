@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "home/country.h"
+
+namespace bismark::home {
+namespace {
+
+TEST(CountryTest, RosterMatchesTable1) {
+  const auto& roster = StandardRoster();
+  EXPECT_EQ(roster.size(), 19u);  // 19 countries
+  EXPECT_EQ(TotalRouters(), 126);
+
+  int developed = 0, developing = 0;
+  int developed_routers = 0, developing_routers = 0;
+  for (const auto& c : roster) {
+    (c.developed ? developed : developing)++;
+    (c.developed ? developed_routers : developing_routers) += c.router_count;
+  }
+  EXPECT_EQ(developed, 10);
+  EXPECT_EQ(developing, 9);
+  EXPECT_EQ(developed_routers, 90);
+  EXPECT_EQ(developing_routers, 36);
+}
+
+TEST(CountryTest, Table1RouterCounts) {
+  EXPECT_EQ(CountryByCode("US").router_count, 63);
+  EXPECT_EQ(CountryByCode("GB").router_count, 12);
+  EXPECT_EQ(CountryByCode("IN").router_count, 12);
+  EXPECT_EQ(CountryByCode("ZA").router_count, 10);
+  EXPECT_EQ(CountryByCode("PK").router_count, 5);
+  EXPECT_EQ(CountryByCode("NL").router_count, 3);
+  EXPECT_EQ(CountryByCode("MY").router_count, 1);
+}
+
+TEST(CountryTest, GdpSplitMatchesDevelopedFlag) {
+  // The paper splits on GDP-per-capita rank; in our roster every developed
+  // country out-earns every developing one.
+  double min_developed = 1e12, max_developing = 0;
+  for (const auto& c : StandardRoster()) {
+    if (c.developed) {
+      min_developed = std::min(min_developed, c.gdp_ppp_per_capita);
+    } else {
+      max_developing = std::max(max_developing, c.gdp_ppp_per_capita);
+    }
+  }
+  EXPECT_GT(min_developed, max_developing);
+}
+
+TEST(CountryTest, IndiaAndPakistanPoorest) {
+  double min_gdp = 1e12;
+  std::string poorest;
+  for (const auto& c : StandardRoster()) {
+    if (c.gdp_ppp_per_capita < min_gdp) {
+      min_gdp = c.gdp_ppp_per_capita;
+      poorest = c.code;
+    }
+  }
+  EXPECT_EQ(poorest, "PK");
+  EXPECT_LT(CountryByCode("IN").gdp_ppp_per_capita, 6000);
+}
+
+TEST(CountryTest, AvailabilityParamsOrdered) {
+  // Developing countries must be configured for worse availability.
+  const auto& us = CountryByCode("US");
+  const auto& in = CountryByCode("IN");
+  const auto& pk = CountryByCode("PK");
+  EXPECT_GT(us.frac_always_on, in.frac_always_on);
+  EXPECT_GT(in.isp_outages_per_day, us.isp_outages_per_day * 5);
+  EXPECT_GT(pk.isp_outages_per_day, in.isp_outages_per_day);
+}
+
+TEST(CountryTest, MixtureProbabilitiesValid) {
+  for (const auto& c : StandardRoster()) {
+    EXPECT_GE(c.frac_always_on, 0.0) << c.code;
+    EXPECT_GE(c.frac_appliance, 0.0) << c.code;
+    EXPECT_LE(c.frac_always_on + c.frac_appliance, 1.0) << c.code;
+    EXPECT_GT(c.isp_outages_per_day, 0.0) << c.code;
+    EXPECT_GT(c.mean_devices, 1.0) << c.code;
+    EXPECT_GT(c.down_mbps_hi, c.down_mbps_lo) << c.code;
+    EXPECT_GT(c.up_fraction_hi, c.up_fraction_lo) << c.code;
+  }
+}
+
+TEST(CountryTest, TimezonesRoughlyRight) {
+  EXPECT_EQ(CountryByCode("US").utc_offset, Hours(-5));
+  EXPECT_EQ(CountryByCode("IN").utc_offset, Hours(5.5));
+  EXPECT_EQ(CountryByCode("CN").utc_offset, Hours(8));
+  EXPECT_EQ(CountryByCode("GB").utc_offset, Hours(0));
+}
+
+TEST(CountryTest, UnknownCodeThrows) {
+  EXPECT_THROW((void)CountryByCode("XX"), std::out_of_range);
+}
+
+TEST(CountryTest, CodesUnique) {
+  std::set<std::string> codes;
+  for (const auto& c : StandardRoster()) codes.insert(c.code);
+  EXPECT_EQ(codes.size(), StandardRoster().size());
+}
+
+TEST(CountryTest, DevelopedNeighborhoodsDenser) {
+  const auto& us = CountryByCode("US");
+  const auto& in = CountryByCode("IN");
+  EXPECT_GT(us.neighborhood.dense_mean_24, in.neighborhood.dense_mean_24);
+  EXPECT_GT(us.neighborhood.dense_prob, in.neighborhood.dense_prob);
+}
+
+}  // namespace
+}  // namespace bismark::home

@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "home/device.h"
+
+namespace bismark::home {
+namespace {
+
+const TimePoint kBegin = MakeTime({2013, 3, 6});
+const TimePoint kEnd = kBegin + Days(14);
+const TimeZone kTz{Hours(-5)};
+
+DeviceSpec WirelessSpec(bool always_on = false, bool dual_band = false) {
+  DeviceSpec spec;
+  spec.type = traffic::DeviceType::kLaptop;
+  spec.mac = net::MacAddress::FromParts(0x001EC2, 1);
+  spec.wired = false;
+  spec.dual_band = dual_band;
+  spec.always_on = always_on;
+  return spec;
+}
+
+TEST(DeviceFactoryTest, AlwaysOnPresenceCoversWindow) {
+  Rng rng(1);
+  const auto presence =
+      DeviceFactory::GeneratePresence(WirelessSpec(true), kTz, kBegin, kEnd, rng);
+  ASSERT_EQ(presence.size(), 1u);
+  EXPECT_EQ(presence[0].when.start, kBegin);
+  EXPECT_EQ(presence[0].when.end, kEnd);
+}
+
+TEST(DeviceFactoryTest, IntermittentPresenceWithinWindow) {
+  Rng rng(2);
+  const auto presence =
+      DeviceFactory::GeneratePresence(WirelessSpec(), kTz, kBegin, kEnd, rng);
+  EXPECT_GT(presence.size(), 5u);
+  for (const auto& p : presence) {
+    EXPECT_GE(p.when.start, kBegin);
+    EXPECT_LE(p.when.end, kEnd);
+    EXPECT_FALSE(p.when.empty());
+  }
+}
+
+TEST(DeviceFactoryTest, PresenceSortedByStart) {
+  Rng rng(3);
+  const auto presence =
+      DeviceFactory::GeneratePresence(WirelessSpec(), kTz, kBegin, kEnd, rng);
+  for (std::size_t i = 1; i < presence.size(); ++i) {
+    EXPECT_GE(presence[i].when.start, presence[i - 1].when.start);
+  }
+}
+
+TEST(DeviceFactoryTest, SingleBandDevicesStayOn24) {
+  Rng rng(4);
+  DeviceSpec spec = WirelessSpec(false, false);
+  const auto presence = DeviceFactory::GeneratePresence(spec, kTz, kBegin, kEnd, rng);
+  for (const auto& p : presence) EXPECT_EQ(p.band, wireless::Band::k2_4GHz);
+}
+
+TEST(DeviceFactoryTest, DualBandDevicesPrefer5GHz) {
+  int on5 = 0, total = 0;
+  for (int seed = 0; seed < 30; ++seed) {
+    Rng rng(seed);
+    const auto presence =
+        DeviceFactory::GeneratePresence(WirelessSpec(false, true), kTz, kBegin, kEnd, rng);
+    for (const auto& p : presence) {
+      ++total;
+      if (p.band == wireless::Band::k5GHz) ++on5;
+    }
+  }
+  ASSERT_GT(total, 100);
+  const double frac5 = static_cast<double>(on5) / total;
+  EXPECT_GT(frac5, 0.5);
+  EXPECT_LT(frac5, 0.9);  // still falls back to 2.4 sometimes
+}
+
+TEST(DeviceFactoryTest, EveningPresenceDominates) {
+  RunningStats evening, predawn;
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    Device device(WirelessSpec(),
+                  DeviceFactory::GeneratePresence(WirelessSpec(), kTz, kBegin, kEnd, rng));
+    int ev = 0, pd = 0;
+    for (int day = 0; day < 14; ++day) {
+      const TimePoint midnight = kTz.local_midnight(kBegin + Days(day) + Hours(12));
+      if (device.wants_online(midnight + Hours(20))) ++ev;
+      if (device.wants_online(midnight + Hours(4.5))) ++pd;
+    }
+    evening.add(ev);
+    predawn.add(pd);
+  }
+  EXPECT_GT(evening.mean(), predawn.mean() * 2);
+}
+
+TEST(DeviceFactoryTest, PhonesOftenPresentOvernight) {
+  DeviceSpec phone = WirelessSpec();
+  phone.type = traffic::DeviceType::kSmartPhone;
+  DeviceSpec printer = WirelessSpec();
+  printer.type = traffic::DeviceType::kPrinter;
+  RunningStats phone_night, printer_night;
+  for (int seed = 0; seed < 20; ++seed) {
+    Rng rng1(seed), rng2(seed + 1000);
+    Device p(phone, DeviceFactory::GeneratePresence(phone, kTz, kBegin, kEnd, rng1));
+    Device q(printer, DeviceFactory::GeneratePresence(printer, kTz, kBegin, kEnd, rng2));
+    int pn = 0, qn = 0;
+    for (int day = 1; day < 14; ++day) {
+      const TimePoint night = kTz.local_midnight(kBegin + Days(day) + Hours(12)) + Hours(3);
+      if (p.wants_online(night)) ++pn;
+      if (q.wants_online(night)) ++qn;
+    }
+    phone_night.add(pn);
+    printer_night.add(qn);
+  }
+  // Fig. 13: the shallow night dip comes from phones charging overnight.
+  EXPECT_GT(phone_night.mean(), printer_night.mean() * 1.5);
+}
+
+TEST(DeviceTest, BandQueries) {
+  std::vector<PresenceInterval> presence = {
+      {{kBegin + Hours(1), kBegin + Hours(2)}, wireless::Band::k2_4GHz},
+      {{kBegin + Hours(3), kBegin + Hours(4)}, wireless::Band::k5GHz},
+  };
+  Device device(WirelessSpec(false, true), presence);
+  EXPECT_EQ(device.band_at(kBegin + Hours(1.5)), wireless::Band::k2_4GHz);
+  EXPECT_EQ(device.band_at(kBegin + Hours(3.5)), wireless::Band::k5GHz);
+  EXPECT_EQ(device.band_at(kBegin + Hours(2.5)), std::nullopt);
+  EXPECT_TRUE(device.ever_on_band(wireless::Band::k2_4GHz));
+  EXPECT_TRUE(device.ever_on_band(wireless::Band::k5GHz));
+}
+
+TEST(DeviceTest, WiredDevicesHaveNoBand) {
+  DeviceSpec spec = WirelessSpec();
+  spec.wired = true;
+  std::vector<PresenceInterval> presence = {
+      {{kBegin, kEnd}, wireless::Band::k2_4GHz},
+  };
+  Device device(spec, presence);
+  EXPECT_EQ(device.band_at(kBegin + Hours(1)), std::nullopt);
+  EXPECT_FALSE(device.ever_on_band(wireless::Band::k2_4GHz));
+  EXPECT_TRUE(device.wants_online(kBegin + Hours(1)));
+}
+
+TEST(DeviceTest, PresenceFraction) {
+  std::vector<PresenceInterval> presence = {
+      {{kBegin, kBegin + Days(7)}, wireless::Band::k2_4GHz},
+  };
+  Device device(WirelessSpec(), presence);
+  EXPECT_NEAR(device.presence_fraction(kBegin, kEnd), 0.5, 1e-9);
+  EXPECT_NEAR(device.presence_fraction(kBegin, kBegin + Days(7)), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(device.presence_fraction(kEnd, kBegin), 0.0);
+}
+
+TEST(DeviceFactoryTest, DrawSpecAlwaysOnScaling) {
+  int always_full = 0, always_scaled = 0;
+  const int n = 4000;
+  Rng rng1(5), rng2(6);
+  for (int i = 0; i < n; ++i) {
+    if (DeviceFactory::DrawSpec(true, 1.0, rng1).always_on) ++always_full;
+    if (DeviceFactory::DrawSpec(true, 0.3, rng2).always_on) ++always_scaled;
+  }
+  // Developing-country scaling (Table 5's asymmetry) cuts always-on odds.
+  EXPECT_GT(always_full, always_scaled * 2);
+}
+
+TEST(DeviceFactoryTest, DrawSpecMintsClassifiableMacs) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const auto spec = DeviceFactory::DrawSpec(true, 1.0, rng);
+    EXPECT_EQ(net::OuiRegistry::Instance().classify(spec.mac), spec.vendor);
+  }
+}
+
+}  // namespace
+}  // namespace bismark::home

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "home/household.h"
+#include "traffic/domains.h"
+
+namespace bismark::home {
+namespace {
+
+class HouseholdTest : public ::testing::Test {
+ protected:
+  HouseholdTest()
+      : catalog_(traffic::DomainCatalog::BuildStandard()),
+        anonymizer_(catalog_, {}) {}
+
+  std::unique_ptr<Household> MakeHome(const std::string& country, std::uint64_t seed,
+                                      HouseholdOptions options = {}) {
+    return std::make_unique<Household>(collect::HomeId{1}, CountryByCode(country), study_,
+                                       presence_windows_, anonymizer_, nullptr, Rng(seed),
+                                       options);
+  }
+
+  Interval study_{MakeTime({2012, 10, 1}), MakeTime({2012, 10, 1}) + Days(56)};
+  std::vector<Interval> presence_windows_{
+      {MakeTime({2012, 10, 1}), MakeTime({2012, 10, 1}) + Days(56)}};
+  traffic::DomainCatalog catalog_;
+  gateway::Anonymizer anonymizer_;
+};
+
+TEST_F(HouseholdTest, BuildsDevicesAndInfrastructure) {
+  const auto home = MakeHome("US", 1);
+  EXPECT_GE(home->devices().size(), 1u);
+  EXPECT_GT(home->link().config().down_capacity.mbps(), 0.0);
+  EXPECT_GT(home->link().config().up_capacity.mbps(), 0.0);
+  EXPECT_LT(home->link().config().up_capacity.bps, home->link().config().down_capacity.bps);
+}
+
+TEST_F(HouseholdTest, DeterministicForSeed) {
+  const auto a = MakeHome("US", 7);
+  const auto b = MakeHome("US", 7);
+  ASSERT_EQ(a->devices().size(), b->devices().size());
+  for (std::size_t i = 0; i < a->devices().size(); ++i) {
+    EXPECT_EQ(a->devices()[i].spec().mac, b->devices()[i].spec().mac);
+    EXPECT_EQ(a->devices()[i].spec().type, b->devices()[i].spec().type);
+  }
+  EXPECT_EQ(a->power_mode(), b->power_mode());
+}
+
+TEST_F(HouseholdTest, MinDevicesEnforced) {
+  HouseholdOptions options;
+  options.min_devices = 3;
+  for (int seed = 0; seed < 20; ++seed) {
+    const auto home = std::make_unique<Household>(
+        collect::HomeId{seed}, CountryByCode("US"), study_, presence_windows_, anonymizer_,
+        nullptr, Rng(seed), options);
+    EXPECT_GE(home->devices().size(), 3u);
+  }
+}
+
+TEST_F(HouseholdTest, ForcedDeviceCount) {
+  HouseholdOptions options;
+  options.forced_device_count = 6;
+  const auto home = MakeHome("US", 3, options);
+  EXPECT_EQ(home->devices().size(), 6u);
+}
+
+TEST_F(HouseholdTest, CensusCountsRespectRouterPower) {
+  HouseholdOptions options;
+  options.forced_device_count = 8;
+  const auto home = MakeHome("CN", 5, options);
+  // Find a time the router is off; all counts must be zero there.
+  bool found_off = false;
+  for (int h = 0; h < 56 * 24 && !found_off; ++h) {
+    const TimePoint t = study_.start + Hours(h);
+    if (!home->timeline().router_on_at(t)) {
+      found_off = true;
+      EXPECT_EQ(home->wired_connected(t), 0);
+      EXPECT_EQ(home->wireless_connected(wireless::Band::k2_4GHz, t), 0);
+      EXPECT_EQ(home->wireless_connected(wireless::Band::k5GHz, t), 0);
+    }
+  }
+  EXPECT_TRUE(found_off);
+}
+
+TEST_F(HouseholdTest, WiredCountCappedAtFourPorts) {
+  HouseholdOptions options;
+  options.forced_device_count = 30;  // force many wired devices
+  const auto home = MakeHome("US", 11, options);
+  for (int h = 0; h < 56 * 24; h += 3) {
+    EXPECT_LE(home->wired_connected(study_.start + Hours(h)), 4);
+  }
+}
+
+TEST_F(HouseholdTest, UniqueSeenGrowsMonotonically) {
+  const auto home = MakeHome("US", 13);
+  int prev = 0;
+  for (int d = 1; d <= 56; d += 7) {
+    const int seen = home->unique_seen_total(study_.start, study_.start + Days(d));
+    EXPECT_GE(seen, prev);
+    prev = seen;
+  }
+  EXPECT_LE(prev, static_cast<int>(home->devices().size()));
+}
+
+TEST_F(HouseholdTest, UniqueSeenBandsPartitionWireless) {
+  const auto home = MakeHome("US", 17);
+  const int on24 =
+      home->unique_seen_band(wireless::Band::k2_4GHz, study_.start, study_.end);
+  const int on5 = home->unique_seen_band(wireless::Band::k5GHz, study_.start, study_.end);
+  int wireless_devices = 0;
+  for (const auto& d : home->devices()) {
+    if (!d.spec().wired) ++wireless_devices;
+  }
+  // A dual-band device can appear on both bands, so the sum may exceed the
+  // device count but each side is bounded by it.
+  EXPECT_LE(on24, wireless_devices);
+  EXPECT_LE(on5, wireless_devices);
+}
+
+TEST_F(HouseholdTest, BufferbloatCaseConfiguration) {
+  HouseholdOptions options;
+  options.bufferbloat_case = true;
+  options.consent = gateway::ConsentLevel::kFullTraffic;
+  const auto home = MakeHome("US", 19, options);
+  EXPECT_TRUE(home->bufferbloat_case());
+  EXPECT_TRUE(home->link().config().allow_uplink_overdrive);
+  EXPECT_EQ(home->power_mode(), RouterPowerMode::kAlwaysOn);
+  // The dedicated uploader NAS exists and is always on.
+  bool has_nas = false;
+  for (const auto& d : home->devices()) {
+    if (d.spec().type == traffic::DeviceType::kNas && d.spec().always_on) has_nas = true;
+  }
+  EXPECT_TRUE(has_nas);
+}
+
+TEST_F(HouseholdTest, AlwaysConnectedRequiresAlwaysOnRouter) {
+  // An appliance-mode home cannot have always-connected devices no matter
+  // what hardware it owns — the Table 5 mechanism.
+  HouseholdOptions options;
+  options.forced_device_count = 10;
+  for (int seed = 0; seed < 10; ++seed) {
+    auto home = std::make_unique<Household>(collect::HomeId{seed}, CountryByCode("CN"), study_,
+                                            presence_windows_, anonymizer_, nullptr, Rng(seed),
+                                            options);
+    if (home->power_mode() == RouterPowerMode::kAppliance) {
+      EXPECT_FALSE(home->has_always_connected(true, Interval{study_.start, study_.end}));
+      EXPECT_FALSE(home->has_always_connected(false, Interval{study_.start, study_.end}));
+    }
+  }
+}
+
+TEST_F(HouseholdTest, MakeInfoReflectsGroundTruth) {
+  const auto home = MakeHome("GB", 23);
+  const auto info = home->make_info();
+  EXPECT_EQ(info.country_code, "GB");
+  EXPECT_TRUE(info.developed);
+  EXPECT_EQ(info.utc_offset, Hours(0));
+  EXPECT_FALSE(info.consented_traffic);
+  EXPECT_NEAR(info.true_down_mbps, home->link().config().down_capacity.mbps(), 1e-9);
+}
+
+TEST_F(HouseholdTest, PrimaryDeviceIsHungryAndPresent) {
+  HouseholdOptions options;
+  options.forced_device_count = 8;
+  const auto home = MakeHome("US", 29, options);
+  const auto& primary = home->devices()[home->primary_device()];
+  // The primary must be at least as attractive as any other device under
+  // the same scoring.
+  const double primary_score =
+      primary.spec().hunger_scale *
+      (0.25 + primary.presence_fraction(study_.start, study_.end));
+  for (const auto& d : home->devices()) {
+    const double score =
+        d.spec().hunger_scale * (0.25 + d.presence_fraction(study_.start, study_.end));
+    EXPECT_LE(score, primary_score + 1e-9);
+  }
+}
+
+TEST_F(HouseholdTest, DistinctWanAddressesPerHome) {
+  Household a(collect::HomeId{1}, CountryByCode("US"), study_, presence_windows_, anonymizer_,
+              nullptr, Rng(1));
+  Household b(collect::HomeId{2}, CountryByCode("US"), study_, presence_windows_, anonymizer_,
+              nullptr, Rng(1));
+  EXPECT_NE(a.router().nat().config().wan_address, b.router().nat().config().wan_address);
+}
+
+}  // namespace
+}  // namespace bismark::home

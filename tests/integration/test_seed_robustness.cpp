@@ -1,0 +1,64 @@
+// The paper's qualitative claims should not hinge on one lucky seed. Run
+// the compressed study at several seeds and check that the core regional
+// orderings hold in every world.
+#include <gtest/gtest.h>
+
+#include "analysis/downtime.h"
+#include "analysis/infrastructure.h"
+#include "analysis/usage.h"
+#include "analysis/utilization.h"
+#include "home/deployment.h"
+
+namespace bismark {
+namespace {
+
+class SeedRobustnessTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static home::DeploymentOptions Options(std::uint64_t seed) {
+    home::DeploymentOptions options;
+    options.seed = seed;
+    options.windows = collect::DatasetWindows::Compressed(MakeTime({2012, 10, 1}), 6);
+    return options;
+  }
+};
+
+TEST_P(SeedRobustnessTest, CoreOrderingsHoldInEveryWorld) {
+  const auto study = home::Deployment::RunStudy(Options(GetParam()));
+  const auto& repo = study->repository();
+
+  // Availability: developing downtimes an order of magnitude more frequent.
+  const auto homes = analysis::AnalyzeAvailability(repo, {Minutes(10), 10.0});
+  const auto freq = analysis::DowntimeFrequencyCdfs(homes);
+  EXPECT_GT(freq.developing.median(), freq.developed.median() * 5.0);
+
+  // Infrastructure: 2.4 GHz busier than 5 GHz; developed denser airspace.
+  const auto bands = analysis::UniqueDevicesPerBand(repo);
+  EXPECT_GT(bands.band24.median(), bands.band5.median());
+  const auto neighbors = analysis::NeighborAps(repo);
+  EXPECT_GT(neighbors.developed.median(), neighbors.developing.median());
+
+  // Table 5 ordering: developed homes keep more always-connected hardware.
+  const auto table5 = analysis::AlwaysConnected(repo);
+  EXPECT_GE(table5.developed.wired_fraction(), table5.developing.wired_fraction());
+
+  // Usage: a dominant device exists and bufferbloat homes surface.
+  const auto devices = analysis::DeviceUsageShares(repo);
+  ASSERT_GE(devices.share_by_rank.size(), 2u);
+  EXPECT_GT(devices.share_by_rank[0], devices.share_by_rank[1] * 1.6);
+  const auto saturation = analysis::LinkSaturation(repo);
+  const auto over = analysis::OversaturatedUplinks(saturation);
+  EXPECT_GE(over.size(), 1u);
+  EXPECT_LE(over.size(), 4u);
+
+  // Domains: volume concentrates harder than connections.
+  const auto domains = analysis::DomainUsageShares(repo);
+  EXPECT_GT(domains.by_rank[0].volume_share, 0.15);
+  EXPECT_LT(domains.by_rank[0].conns_by_vol_rank, domains.by_rank[0].volume_share);
+  EXPECT_GT(domains.whitelisted_volume_share, 0.45);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedRobustnessTest,
+                         ::testing::Values(1ULL, 777ULL, 20131023ULL));
+
+}  // namespace
+}  // namespace bismark

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "net/access_link.h"
+
+namespace bismark::net {
+namespace {
+
+const TimePoint t0 = MakeTime({2013, 4, 1});
+
+AccessLinkConfig BasicConfig() {
+  AccessLinkConfig cfg;
+  cfg.down_capacity = Mbps(20);
+  cfg.up_capacity = Mbps(4);
+  return cfg;
+}
+
+TEST(AccessLinkTest, AdmitGrantsFullDemandWhenIdle) {
+  AccessLink link(BasicConfig());
+  EXPECT_DOUBLE_EQ(link.admit(Direction::kDownstream, 5e6), 5e6);
+  EXPECT_DOUBLE_EQ(link.admit(Direction::kUpstream, 1e6), 1e6);
+}
+
+TEST(AccessLinkTest, AdmitSharesUnderLoad) {
+  AccessLink link(BasicConfig());
+  link.add_rate(Direction::kDownstream, 18e6, t0);
+  // Only 2 Mbps headroom left; a 10 Mbps demand gets the larger of the
+  // headroom and the 15 % processor-sharing floor (3 Mbps).
+  const double grant = link.admit(Direction::kDownstream, 10e6);
+  EXPECT_NEAR(grant, 3e6, 1e3);
+}
+
+TEST(AccessLinkTest, AdmitNeverExceedsDemand) {
+  AccessLink link(BasicConfig());
+  EXPECT_DOUBLE_EQ(link.admit(Direction::kDownstream, 1e3), 1e3);
+}
+
+TEST(AccessLinkTest, RatesAccumulateAndRelease) {
+  AccessLink link(BasicConfig());
+  link.add_rate(Direction::kDownstream, 4e6, t0);
+  link.add_rate(Direction::kDownstream, 6e6, t0 + Seconds(1));
+  EXPECT_DOUBLE_EQ(link.active_rate(Direction::kDownstream), 10e6);
+  EXPECT_DOUBLE_EQ(link.utilization(Direction::kDownstream), 0.5);
+  link.remove_rate(Direction::kDownstream, 4e6, t0 + Seconds(2));
+  EXPECT_DOUBLE_EQ(link.active_rate(Direction::kDownstream), 6e6);
+  // Removing more than present clamps at zero.
+  link.remove_rate(Direction::kDownstream, 100e6, t0 + Seconds(3));
+  EXPECT_DOUBLE_EQ(link.active_rate(Direction::kDownstream), 0.0);
+}
+
+TEST(AccessLinkTest, UplinkQueueGrowsWhenOverdriven) {
+  AccessLinkConfig cfg = BasicConfig();
+  cfg.allow_uplink_overdrive = true;
+  cfg.uplink_buffer = KB(512);
+  AccessLink link(cfg);
+  // Pump 6 Mbps into a 4 Mbps uplink for 1 second: 2 Mbit = 250 KB queued.
+  link.add_rate(Direction::kUpstream, 6e6, t0);
+  link.remove_rate(Direction::kUpstream, 0.0, t0 + Seconds(1));
+  EXPECT_NEAR(link.uplink_queue_depth().kb(), 250.0, 5.0);
+  EXPECT_NEAR(link.uplink_queueing_delay().seconds(), 0.5, 0.05);
+  EXPECT_EQ(link.uplink_drops(), 0u);
+}
+
+TEST(AccessLinkTest, UplinkQueueDrainsWhenIdle) {
+  AccessLinkConfig cfg = BasicConfig();
+  cfg.allow_uplink_overdrive = true;
+  AccessLink link(cfg);
+  link.add_rate(Direction::kUpstream, 6e6, t0);
+  link.remove_rate(Direction::kUpstream, 6e6, t0 + Seconds(1));
+  // One more second with no arrivals drains 4 Mbit > queued 2 Mbit.
+  link.add_rate(Direction::kUpstream, 0.0, t0 + Seconds(2));
+  EXPECT_EQ(link.uplink_queue_depth().count, 0);
+}
+
+TEST(AccessLinkTest, BufferOverflowCountsDrops) {
+  AccessLinkConfig cfg = BasicConfig();
+  cfg.allow_uplink_overdrive = true;
+  cfg.uplink_buffer = KB(100);
+  AccessLink link(cfg);
+  link.add_rate(Direction::kUpstream, 8e6, t0);
+  link.remove_rate(Direction::kUpstream, 0.0, t0 + Seconds(2));  // 1 Mbit/s excess x 2s
+  EXPECT_EQ(link.uplink_queue_depth().kb(), 100.0);
+  EXPECT_GT(link.uplink_drops(), 0u);
+}
+
+TEST(AccessLinkTest, OverdriveAdmitExceedsCapacity) {
+  AccessLinkConfig cfg = BasicConfig();
+  cfg.allow_uplink_overdrive = true;
+  cfg.overdrive_headroom = 0.35;
+  AccessLink link(cfg);
+  const double grant = link.admit(Direction::kUpstream, 10e6);
+  EXPECT_NEAR(grant, 4e6 * 1.35, 1e3);
+  // Without overdrive the grant caps at capacity.
+  AccessLink plain(BasicConfig());
+  EXPECT_NEAR(plain.admit(Direction::kUpstream, 10e6), 4e6, 1e3);
+}
+
+TEST(AccessLinkTest, ProbeAccurateOnIdleLink) {
+  AccessLink link(BasicConfig());
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats.add(link.probe_capacity(Direction::kDownstream, rng).mbps());
+  }
+  EXPECT_NEAR(stats.mean(), 20.0, 0.5);
+  EXPECT_LT(stats.stddev(), 1.0);
+}
+
+TEST(AccessLinkTest, ProbeBiasedLowUnderCrossTraffic) {
+  AccessLink link(BasicConfig());
+  link.add_rate(Direction::kDownstream, 16e6, t0);  // 80 % busy
+  Rng rng(5);
+  RunningStats stats;
+  for (int i = 0; i < 200; ++i) {
+    stats.add(link.probe_capacity(Direction::kDownstream, rng).mbps());
+  }
+  // Expected bias factor 1 - 0.5*0.8 = 0.6.
+  EXPECT_NEAR(stats.mean(), 12.0, 1.0);
+}
+
+}  // namespace
+}  // namespace bismark::net

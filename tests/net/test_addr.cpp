@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "net/addr.h"
+
+namespace bismark::net {
+namespace {
+
+TEST(MacAddressTest, PartsRoundTrip) {
+  const MacAddress mac = MacAddress::FromParts(0x001EC2, 0xABCDEF);
+  EXPECT_EQ(mac.oui(), 0x001EC2u);
+  EXPECT_EQ(mac.nic(), 0xABCDEFu);
+  EXPECT_EQ(mac.to_string(), "00:1e:c2:ab:cd:ef");
+}
+
+TEST(MacAddressTest, ParseValid) {
+  const auto mac = MacAddress::Parse("00:1e:c2:ab:cd:ef");
+  ASSERT_TRUE(mac.has_value());
+  EXPECT_EQ(mac->oui(), 0x001EC2u);
+  const auto upper = MacAddress::Parse("AA:BB:CC:DD:EE:FF");
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(upper->oui(), 0xAABBCCu);
+}
+
+TEST(MacAddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(MacAddress::Parse("").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00:1e:c2:ab:cd").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00:1e:c2:ab:cd:e").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00-1e-c2-ab-cd-ef").has_value());
+  EXPECT_FALSE(MacAddress::Parse("zz:1e:c2:ab:cd:ef").has_value());
+  EXPECT_FALSE(MacAddress::Parse("00:1e:c2:ab:cd:eff").has_value());
+}
+
+TEST(MacAddressTest, AnonymizationPreservesOui) {
+  const MacAddress mac = MacAddress::FromParts(0x001EC2, 0x123456);
+  const MacAddress anon = mac.anonymized(0x5EC42ULL);
+  EXPECT_EQ(anon.oui(), mac.oui());
+  EXPECT_NE(anon.nic(), mac.nic());
+}
+
+TEST(MacAddressTest, AnonymizationDeterministicPerKey) {
+  const MacAddress mac = MacAddress::FromParts(0x001EC2, 0x123456);
+  EXPECT_EQ(mac.anonymized(7), mac.anonymized(7));
+  EXPECT_NE(mac.anonymized(7), mac.anonymized(8));
+}
+
+TEST(MacAddressTest, AsU64Ordering) {
+  const MacAddress a = MacAddress::FromParts(0x000001, 0x000001);
+  const MacAddress b = MacAddress::FromParts(0x000001, 0x000002);
+  EXPECT_LT(a.as_u64(), b.as_u64());
+  EXPECT_LT(a, b);
+}
+
+TEST(Ipv4AddressTest, OctetsAndString) {
+  const Ipv4Address addr(192, 168, 1, 42);
+  EXPECT_EQ(addr.to_string(), "192.168.1.42");
+  EXPECT_EQ(addr.value(), 0xC0A8012Au);
+}
+
+TEST(Ipv4AddressTest, ParseValid) {
+  const auto addr = Ipv4Address::Parse("10.0.0.1");
+  ASSERT_TRUE(addr.has_value());
+  EXPECT_EQ(*addr, Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(Ipv4Address::Parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4AddressTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4Address::Parse("").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.256").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1..3.4").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Address::Parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4AddressTest, PrivateRanges) {
+  EXPECT_TRUE(Ipv4Address(10, 1, 2, 3).is_private());
+  EXPECT_TRUE(Ipv4Address(192, 168, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 16, 0, 1).is_private());
+  EXPECT_TRUE(Ipv4Address(172, 31, 255, 255).is_private());
+  EXPECT_FALSE(Ipv4Address(172, 32, 0, 1).is_private());
+  EXPECT_FALSE(Ipv4Address(8, 8, 8, 8).is_private());
+  EXPECT_FALSE(Ipv4Address(203, 0, 113, 1).is_private());
+}
+
+TEST(Ipv4CidrTest, ContainsAndMask) {
+  const Ipv4Cidr lan{Ipv4Address(192, 168, 1, 0), 24};
+  EXPECT_EQ(lan.mask(), 0xFFFFFF00u);
+  EXPECT_TRUE(lan.contains(Ipv4Address(192, 168, 1, 200)));
+  EXPECT_FALSE(lan.contains(Ipv4Address(192, 168, 2, 1)));
+  EXPECT_EQ(lan.host_count(), 254u);
+  EXPECT_EQ(lan.host(1), Ipv4Address(192, 168, 1, 1));
+  EXPECT_EQ(lan.host(254), Ipv4Address(192, 168, 1, 254));
+}
+
+TEST(Ipv4CidrTest, EdgePrefixes) {
+  const Ipv4Cidr all{Ipv4Address(0, 0, 0, 0), 0};
+  EXPECT_EQ(all.mask(), 0u);
+  EXPECT_TRUE(all.contains(Ipv4Address(1, 2, 3, 4)));
+  const Ipv4Cidr host{Ipv4Address(10, 0, 0, 1), 32};
+  EXPECT_TRUE(host.contains(Ipv4Address(10, 0, 0, 1)));
+  EXPECT_FALSE(host.contains(Ipv4Address(10, 0, 0, 2)));
+  EXPECT_EQ(host.host_count(), 1u);
+}
+
+}  // namespace
+}  // namespace bismark::net

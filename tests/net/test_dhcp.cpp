@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "net/dhcp.h"
+
+namespace bismark::net {
+namespace {
+
+const Ipv4Cidr kLan{Ipv4Address(192, 168, 1, 0), 24};
+const Ipv4Address kGw(192, 168, 1, 1);
+
+MacAddress Mac(std::uint32_t nic) { return MacAddress::FromParts(0x001EC2, nic); }
+
+TEST(DhcpTest, AcquireAssignsInPrefix) {
+  DhcpPool pool(kLan, kGw);
+  const auto lease = pool.acquire(Mac(1), MakeTime({2013, 4, 1}));
+  ASSERT_TRUE(lease.has_value());
+  EXPECT_TRUE(kLan.contains(lease->address));
+  EXPECT_NE(lease->address, kGw);
+  EXPECT_EQ(pool.active_leases(), 1u);
+}
+
+TEST(DhcpTest, StickyLeasePerMac) {
+  DhcpPool pool(kLan, kGw);
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  const auto first = pool.acquire(Mac(1), t0);
+  const auto second = pool.acquire(Mac(1), t0 + Hours(1));
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->address, second->address);
+  EXPECT_EQ(pool.active_leases(), 1u);
+  EXPECT_GT(second->expires, first->expires);  // refreshed
+}
+
+TEST(DhcpTest, DistinctMacsDistinctAddresses) {
+  DhcpPool pool(kLan, kGw);
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  const auto a = pool.acquire(Mac(1), t0);
+  const auto b = pool.acquire(Mac(2), t0);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->address, b->address);
+}
+
+TEST(DhcpTest, GatewayAddressNeverLeased) {
+  DhcpPool pool(Ipv4Cidr{Ipv4Address(10, 0, 0, 0), 29}, Ipv4Address(10, 0, 0, 1));
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  for (int i = 0; i < 5; ++i) {
+    const auto lease = pool.acquire(Mac(static_cast<std::uint32_t>(i + 1)), t0);
+    if (lease) {
+      EXPECT_NE(lease->address, Ipv4Address(10, 0, 0, 1));
+    }
+  }
+}
+
+TEST(DhcpTest, PoolExhaustion) {
+  // /29 = 6 hosts, one is the gateway -> 5 leases.
+  DhcpPool pool(Ipv4Cidr{Ipv4Address(10, 0, 0, 0), 29}, Ipv4Address(10, 0, 0, 1));
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  int granted = 0;
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    if (pool.acquire(Mac(i), t0)) ++granted;
+  }
+  EXPECT_EQ(granted, 5);
+}
+
+TEST(DhcpTest, ReleaseFreesAddress) {
+  DhcpPool pool(Ipv4Cidr{Ipv4Address(10, 0, 0, 0), 29}, Ipv4Address(10, 0, 0, 1));
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  for (std::uint32_t i = 1; i <= 5; ++i) ASSERT_TRUE(pool.acquire(Mac(i), t0));
+  EXPECT_FALSE(pool.acquire(Mac(99), t0));
+  pool.release(Mac(3));
+  EXPECT_TRUE(pool.acquire(Mac(99), t0));
+}
+
+TEST(DhcpTest, ExpiryReclaimsStale) {
+  DhcpPool pool(kLan, kGw, Hours(24));
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  pool.acquire(Mac(1), t0);
+  pool.acquire(Mac(2), t0 + Hours(20));
+  EXPECT_EQ(pool.expire(t0 + Hours(25)), 1u);  // only Mac(1) stale
+  EXPECT_EQ(pool.active_leases(), 1u);
+  EXPECT_FALSE(pool.address_of(Mac(1)).has_value());
+  EXPECT_TRUE(pool.address_of(Mac(2)).has_value());
+}
+
+TEST(DhcpTest, RenewExtendsLease) {
+  DhcpPool pool(kLan, kGw, Hours(24));
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  pool.acquire(Mac(1), t0);
+  EXPECT_TRUE(pool.renew(Mac(1), t0 + Hours(20)));
+  EXPECT_EQ(pool.expire(t0 + Hours(30)), 0u);
+  EXPECT_FALSE(pool.renew(Mac(42), t0));
+}
+
+TEST(DhcpTest, ReverseLookup) {
+  DhcpPool pool(kLan, kGw);
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  const auto lease = pool.acquire(Mac(7), t0);
+  ASSERT_TRUE(lease);
+  const auto owner = pool.owner_of(lease->address);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(*owner, Mac(7));
+  EXPECT_FALSE(pool.owner_of(Ipv4Address(192, 168, 1, 250)).has_value());
+}
+
+TEST(DhcpTest, LeasesSnapshot) {
+  DhcpPool pool(kLan, kGw);
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  pool.acquire(Mac(1), t0);
+  pool.acquire(Mac(2), t0);
+  EXPECT_EQ(pool.leases().size(), 2u);
+  EXPECT_EQ(pool.gateway(), kGw);
+}
+
+}  // namespace
+}  // namespace bismark::net

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "net/dns.h"
+
+namespace bismark::net {
+namespace {
+
+class DnsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    zones_.add_domain("example.com", {Ipv4Address(93, 184, 216, 34)});
+    zones_.add_domain("multi.com",
+                      {Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2)});
+    zones_.add_cname("www.example.com", "example.com");
+    zones_.add_cname("video.com", "edge.cdn.net");
+    zones_.add_domain("edge.cdn.net", {Ipv4Address(151, 101, 1, 1)}, Minutes(1));
+    // A CNAME loop for the chain-limit test.
+    zones_.add_cname("loop-a.com", "loop-b.com");
+    zones_.add_cname("loop-b.com", "loop-a.com");
+  }
+  ZoneCatalog zones_;
+  TimePoint t0_ = MakeTime({2013, 4, 1});
+};
+
+TEST_F(DnsTest, ResolveARecord) {
+  const DnsResponse r = zones_.resolve("example.com");
+  EXPECT_FALSE(r.nxdomain);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].type, DnsRecordType::kA);
+  EXPECT_EQ(*r.address(), Ipv4Address(93, 184, 216, 34));
+  EXPECT_EQ(r.canonical_name(), "example.com");
+}
+
+TEST_F(DnsTest, ResolveMultipleARecords) {
+  const DnsResponse r = zones_.resolve("multi.com");
+  EXPECT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(*r.address(), Ipv4Address(1, 1, 1, 1));  // first A record
+}
+
+TEST_F(DnsTest, CnameChainFollowed) {
+  const DnsResponse r = zones_.resolve("www.example.com");
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].type, DnsRecordType::kCname);
+  EXPECT_EQ(r.records[0].name, "www.example.com");
+  EXPECT_EQ(r.records[0].target, "example.com");
+  EXPECT_EQ(r.records[1].type, DnsRecordType::kA);
+  EXPECT_EQ(r.canonical_name(), "example.com");
+  EXPECT_TRUE(r.address().has_value());
+}
+
+TEST_F(DnsTest, NxDomain) {
+  const DnsResponse r = zones_.resolve("no-such-domain.net");
+  EXPECT_TRUE(r.nxdomain);
+  EXPECT_FALSE(r.address().has_value());
+}
+
+TEST_F(DnsTest, CnameLoopTerminates) {
+  const DnsResponse r = zones_.resolve("loop-a.com");
+  EXPECT_TRUE(r.nxdomain);
+}
+
+TEST_F(DnsTest, DanglingCnameIsNxDomain) {
+  zones_.add_cname("dangling.com", "missing.example");
+  EXPECT_TRUE(zones_.resolve("dangling.com").nxdomain);
+}
+
+TEST_F(DnsTest, ResolverCachesByTtl) {
+  DnsResolver resolver(zones_);
+  bool hit = true;
+  resolver.resolve("example.com", t0_, &hit);
+  EXPECT_FALSE(hit);
+  resolver.resolve("example.com", t0_ + Minutes(1), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(resolver.hits(), 1u);
+  EXPECT_EQ(resolver.misses(), 1u);
+  // After the 5-minute TTL the entry must be refetched.
+  resolver.resolve("example.com", t0_ + Minutes(6), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(DnsTest, ResolverUsesMinTtlOfChain) {
+  DnsResolver resolver(zones_);
+  bool hit = false;
+  resolver.resolve("video.com", t0_, &hit);  // edge has 1-minute TTL
+  resolver.resolve("video.com", t0_ + Seconds(50), &hit);
+  EXPECT_TRUE(hit);
+  resolver.resolve("video.com", t0_ + Seconds(70), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(DnsTest, ResolverDoesNotCacheNxDomain) {
+  DnsResolver resolver(zones_);
+  bool hit = true;
+  resolver.resolve("missing.net", t0_, &hit);
+  EXPECT_FALSE(hit);
+  resolver.resolve("missing.net", t0_ + Seconds(1), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(resolver.cache_size(), 0u);
+}
+
+TEST_F(DnsTest, ResolverFlush) {
+  DnsResolver resolver(zones_);
+  resolver.resolve("example.com", t0_);
+  EXPECT_EQ(resolver.cache_size(), 1u);
+  resolver.flush();
+  EXPECT_EQ(resolver.cache_size(), 0u);
+  bool hit = true;
+  resolver.resolve("example.com", t0_ + Seconds(1), &hit);
+  EXPECT_FALSE(hit);
+}
+
+TEST_F(DnsTest, CatalogContainsAndSize) {
+  EXPECT_TRUE(zones_.contains("example.com"));
+  EXPECT_FALSE(zones_.contains("nope.com"));
+  EXPECT_EQ(zones_.size(), 7u);
+}
+
+}  // namespace
+}  // namespace bismark::net

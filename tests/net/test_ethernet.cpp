@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "net/ethernet.h"
+
+namespace bismark::net {
+namespace {
+
+MacAddress Mac(std::uint32_t nic) { return MacAddress::FromParts(0x0024D7, nic); }
+const TimePoint t0 = MakeTime({2013, 4, 1});
+
+TEST(EthernetSwitchTest, PlugInAssignsPorts) {
+  EthernetSwitch sw(4);
+  EXPECT_EQ(sw.port_count(), 4);
+  const auto p1 = sw.plug_in(Mac(1), t0);
+  const auto p2 = sw.plug_in(Mac(2), t0);
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_NE(*p1, *p2);
+  EXPECT_EQ(sw.ports_in_use(), 2);
+}
+
+TEST(EthernetSwitchTest, FourPortLimitLikeWndr3800) {
+  EthernetSwitch sw(4);
+  for (std::uint32_t i = 1; i <= 4; ++i) EXPECT_TRUE(sw.plug_in(Mac(i), t0).has_value());
+  EXPECT_FALSE(sw.plug_in(Mac(5), t0).has_value());
+  EXPECT_EQ(sw.ports_in_use(), 4);
+}
+
+TEST(EthernetSwitchTest, ReplugSamePortIdempotent) {
+  EthernetSwitch sw(4);
+  const auto p1 = sw.plug_in(Mac(1), t0);
+  const auto p2 = sw.plug_in(Mac(1), t0 + Hours(1));
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(*p1, *p2);
+  EXPECT_EQ(sw.ports_in_use(), 1);
+}
+
+TEST(EthernetSwitchTest, UnplugFreesPort) {
+  EthernetSwitch sw(4);
+  for (std::uint32_t i = 1; i <= 4; ++i) sw.plug_in(Mac(i), t0);
+  sw.unplug(Mac(2));
+  EXPECT_EQ(sw.ports_in_use(), 3);
+  EXPECT_FALSE(sw.is_connected(Mac(2)));
+  EXPECT_TRUE(sw.plug_in(Mac(9), t0).has_value());
+  sw.unplug(Mac(42));  // no-op for unknown mac
+}
+
+TEST(EthernetSwitchTest, LearningTableTracksLastSeen) {
+  EthernetSwitch sw(4);
+  sw.plug_in(Mac(1), t0);
+  sw.observe_frame(Mac(1), t0 + Minutes(5));
+  const auto seen = sw.last_seen(Mac(1));
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, t0 + Minutes(5));
+  sw.observe_frame(Mac(99), t0);  // unknown: ignored
+  EXPECT_FALSE(sw.last_seen(Mac(99)).has_value());
+}
+
+TEST(EthernetSwitchTest, ConnectedListing) {
+  EthernetSwitch sw(4);
+  sw.plug_in(Mac(1), t0);
+  sw.plug_in(Mac(2), t0);
+  const auto macs = sw.connected();
+  EXPECT_EQ(macs.size(), 2u);
+  const auto port = sw.port_of(Mac(1));
+  ASSERT_TRUE(port.has_value());
+  EXPECT_FALSE(sw.port_of(Mac(9)).has_value());
+}
+
+TEST(EthernetSwitchTest, MinimumOnePort) {
+  EthernetSwitch sw(0);
+  EXPECT_EQ(sw.port_count(), 1);
+}
+
+}  // namespace
+}  // namespace bismark::net

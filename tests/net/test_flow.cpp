@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "net/flow.h"
+
+namespace bismark::net {
+namespace {
+
+const TimePoint t0 = MakeTime({2013, 4, 1});
+
+Packet MakePacket(TimePoint at, Direction dir, Bytes size) {
+  Packet p;
+  p.timestamp = at;
+  p.tuple = {Ipv4Address(192, 168, 1, 10), Ipv4Address(1, 2, 3, 4), 30000, 443,
+             Protocol::kTcp};
+  p.size = size;
+  p.direction = dir;
+  return p;
+}
+
+TEST(FlowRecordTest, AccumulatesDirectionalCounters) {
+  FlowRecord record;
+  record.add_packet(MakePacket(t0, Direction::kUpstream, B(100)));
+  record.add_packet(MakePacket(t0 + Seconds(1), Direction::kDownstream, B(1400)));
+  record.add_packet(MakePacket(t0 + Seconds(2), Direction::kDownstream, B(1400)));
+  EXPECT_EQ(record.bytes_up, B(100));
+  EXPECT_EQ(record.bytes_down, B(2800));
+  EXPECT_EQ(record.packets_up, 1u);
+  EXPECT_EQ(record.packets_down, 2u);
+  EXPECT_EQ(record.total_bytes(), B(2900));
+  EXPECT_EQ(record.total_packets(), 3u);
+}
+
+TEST(FlowRecordTest, TracksFirstAndLastPacketTimes) {
+  FlowRecord record;
+  record.add_packet(MakePacket(t0 + Seconds(5), Direction::kUpstream, B(100)));
+  record.add_packet(MakePacket(t0 + Seconds(1), Direction::kUpstream, B(100)));  // reordered
+  record.add_packet(MakePacket(t0 + Seconds(9), Direction::kDownstream, B(100)));
+  EXPECT_EQ(record.first_packet, t0 + Seconds(1));
+  EXPECT_EQ(record.last_packet, t0 + Seconds(9));
+  EXPECT_EQ(record.duration(), Seconds(8));
+}
+
+TEST(FiveTupleTest, ReversedSwapsEndpoints) {
+  const FiveTuple tuple{Ipv4Address(10, 0, 0, 1), Ipv4Address(1, 1, 1, 1), 1234, 443,
+                        Protocol::kUdp};
+  const FiveTuple reply = tuple.reversed();
+  EXPECT_EQ(reply.src_ip, tuple.dst_ip);
+  EXPECT_EQ(reply.dst_ip, tuple.src_ip);
+  EXPECT_EQ(reply.src_port, tuple.dst_port);
+  EXPECT_EQ(reply.dst_port, tuple.src_port);
+  EXPECT_EQ(reply.protocol, tuple.protocol);
+  EXPECT_EQ(reply.reversed(), tuple);
+}
+
+TEST(FiveTupleTest, OrderingIsTotal) {
+  const FiveTuple a{Ipv4Address(1, 0, 0, 1), Ipv4Address(2, 0, 0, 1), 1, 2, Protocol::kTcp};
+  FiveTuple b = a;
+  b.src_port = 3;
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a);
+}
+
+TEST(ProtocolTest, Names) {
+  EXPECT_STREQ(ProtocolName(Protocol::kTcp), "tcp");
+  EXPECT_STREQ(ProtocolName(Protocol::kUdp), "udp");
+  EXPECT_STREQ(ProtocolName(Protocol::kIcmp), "icmp");
+}
+
+}  // namespace
+}  // namespace bismark::net

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "net/nat.h"
+
+namespace bismark::net {
+namespace {
+
+constexpr Ipv4Address kWan(203, 0, 113, 1);
+constexpr Ipv4Address kLanA(192, 168, 1, 10);
+constexpr Ipv4Address kLanB(192, 168, 1, 11);
+constexpr Ipv4Address kRemote(93, 184, 216, 34);
+
+Packet MakeOutbound(Ipv4Address src, std::uint16_t sport, Ipv4Address dst,
+                    std::uint16_t dport, MacAddress mac, TimePoint t,
+                    Protocol proto = Protocol::kTcp) {
+  Packet p;
+  p.timestamp = t;
+  p.tuple = {src, dst, sport, dport, proto};
+  p.size = B(1400);
+  p.direction = Direction::kUpstream;
+  p.lan_mac = mac;
+  return p;
+}
+
+class NatTest : public ::testing::Test {
+ protected:
+  NatConfig MakeConfig() {
+    NatConfig cfg;
+    cfg.wan_address = kWan;
+    return cfg;
+  }
+  MacAddress mac_a_ = MacAddress::FromParts(0x001EC2, 1);
+  MacAddress mac_b_ = MacAddress::FromParts(0x002399, 2);
+  TimePoint t0_ = MakeTime({2013, 4, 1});
+};
+
+TEST_F(NatTest, OutboundRewritesSource) {
+  NatTable nat(MakeConfig());
+  Packet p = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  ASSERT_TRUE(nat.translate_outbound(p));
+  EXPECT_EQ(p.tuple.src_ip, kWan);
+  EXPECT_NE(p.tuple.src_port, 30000);  // port range starts at 1024, rewritten
+  EXPECT_EQ(p.tuple.dst_ip, kRemote);
+  EXPECT_EQ(p.tuple.dst_port, 443);
+  EXPECT_EQ(nat.active_mappings(), 1u);
+}
+
+TEST_F(NatTest, SameFlowReusesMapping) {
+  NatTable nat(MakeConfig());
+  Packet p1 = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  Packet p2 = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_ + Seconds(1));
+  nat.translate_outbound(p1);
+  nat.translate_outbound(p2);
+  EXPECT_EQ(p1.tuple.src_port, p2.tuple.src_port);
+  EXPECT_EQ(nat.active_mappings(), 1u);
+  EXPECT_EQ(nat.stats().mappings_created, 1u);
+  EXPECT_EQ(nat.stats().translations_out, 2u);
+}
+
+TEST_F(NatTest, DistinctFlowsGetDistinctPorts) {
+  NatTable nat(MakeConfig());
+  Packet p1 = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  Packet p2 = MakeOutbound(kLanB, 30000, kRemote, 443, mac_b_, t0_);
+  nat.translate_outbound(p1);
+  nat.translate_outbound(p2);
+  EXPECT_NE(p1.tuple.src_port, p2.tuple.src_port);
+  EXPECT_EQ(nat.active_mappings(), 2u);
+}
+
+TEST_F(NatTest, InboundReturnsToOwningDevice) {
+  NatTable nat(MakeConfig());
+  Packet out = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  nat.translate_outbound(out);
+
+  Packet in;
+  in.timestamp = t0_ + Seconds(1);
+  in.tuple = out.tuple.reversed();
+  in.direction = Direction::kDownstream;
+  ASSERT_TRUE(nat.translate_inbound(in));
+  EXPECT_EQ(in.tuple.dst_ip, kLanA);
+  EXPECT_EQ(in.tuple.dst_port, 30000);
+  EXPECT_EQ(in.lan_mac, mac_a_);  // attribution restored behind the NAT
+}
+
+TEST_F(NatTest, UnsolicitedInboundDropped) {
+  NatTable nat(MakeConfig());
+  Packet in;
+  in.timestamp = t0_;
+  in.tuple = {kRemote, kWan, 443, 5555, Protocol::kTcp};
+  EXPECT_FALSE(nat.translate_inbound(in));
+  EXPECT_EQ(nat.stats().unknown_inbound_drops, 1u);
+}
+
+TEST_F(NatTest, InboundToWrongWanAddressDropped) {
+  NatTable nat(MakeConfig());
+  Packet in;
+  in.timestamp = t0_;
+  in.tuple = {kRemote, Ipv4Address(203, 0, 113, 99), 443, 1024, Protocol::kTcp};
+  EXPECT_FALSE(nat.translate_inbound(in));
+}
+
+TEST_F(NatTest, PortRestrictedConeRejectsOtherRemotes) {
+  NatTable nat(MakeConfig());
+  Packet out = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  nat.translate_outbound(out);
+
+  // A different remote host hitting the same WAN port must be dropped.
+  Packet stranger;
+  stranger.timestamp = t0_ + Seconds(1);
+  stranger.tuple = {Ipv4Address(1, 2, 3, 4), kWan, 443, out.tuple.src_port, Protocol::kTcp};
+  EXPECT_FALSE(nat.translate_inbound(stranger));
+
+  // Same host, different source port: also dropped (port-restricted).
+  Packet wrong_port;
+  wrong_port.timestamp = t0_ + Seconds(1);
+  wrong_port.tuple = {kRemote, kWan, 8443, out.tuple.src_port, Protocol::kTcp};
+  EXPECT_FALSE(nat.translate_inbound(wrong_port));
+}
+
+TEST_F(NatTest, IdleMappingsExpireByProtocol) {
+  NatConfig cfg = MakeConfig();
+  cfg.tcp_idle_timeout = Minutes(10);
+  cfg.udp_idle_timeout = Minutes(1);
+  NatTable nat(cfg);
+
+  Packet tcp = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_, Protocol::kTcp);
+  Packet udp = MakeOutbound(kLanA, 30001, kRemote, 53, mac_a_, t0_, Protocol::kUdp);
+  nat.translate_outbound(tcp);
+  nat.translate_outbound(udp);
+  EXPECT_EQ(nat.active_mappings(), 2u);
+
+  EXPECT_EQ(nat.expire_idle(t0_ + Minutes(5)), 1u);  // UDP gone
+  EXPECT_EQ(nat.active_mappings(), 1u);
+  EXPECT_EQ(nat.expire_idle(t0_ + Minutes(11)), 1u);  // TCP gone
+  EXPECT_EQ(nat.active_mappings(), 0u);
+  EXPECT_EQ(nat.stats().mappings_expired, 2u);
+}
+
+TEST_F(NatTest, ActivityRefreshesIdleTimer) {
+  NatConfig cfg = MakeConfig();
+  cfg.udp_idle_timeout = Minutes(1);
+  NatTable nat(cfg);
+  Packet p = MakeOutbound(kLanA, 30000, kRemote, 53, mac_a_, t0_, Protocol::kUdp);
+  nat.translate_outbound(p);
+  // Keep refreshing just under the timeout.
+  for (int i = 1; i <= 5; ++i) {
+    Packet again = MakeOutbound(kLanA, 30000, kRemote, 53, mac_a_, t0_ + Seconds(50.0 * i),
+                                Protocol::kUdp);
+    nat.translate_outbound(again);
+  }
+  EXPECT_EQ(nat.expire_idle(t0_ + Seconds(250 + 55)), 0u);
+  EXPECT_EQ(nat.active_mappings(), 1u);
+}
+
+TEST_F(NatTest, ExpiredInboundIsDropped) {
+  NatConfig cfg = MakeConfig();
+  cfg.tcp_idle_timeout = Minutes(1);
+  NatTable nat(cfg);
+  Packet out = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  nat.translate_outbound(out);
+  nat.expire_idle(t0_ + Minutes(2));
+
+  Packet in;
+  in.timestamp = t0_ + Minutes(3);
+  in.tuple = out.tuple.reversed();
+  EXPECT_FALSE(nat.translate_inbound(in));
+}
+
+TEST_F(NatTest, PortExhaustionDropsNewFlows) {
+  NatConfig cfg = MakeConfig();
+  cfg.port_range_lo = 1024;
+  cfg.port_range_hi = 1027;  // only 4 ports
+  NatTable nat(cfg);
+  for (int i = 0; i < 4; ++i) {
+    Packet p = MakeOutbound(kLanA, static_cast<std::uint16_t>(30000 + i), kRemote, 443, mac_a_,
+                            t0_);
+    EXPECT_TRUE(nat.translate_outbound(p));
+  }
+  Packet fifth = MakeOutbound(kLanA, 30010, kRemote, 443, mac_a_, t0_);
+  EXPECT_FALSE(nat.translate_outbound(fifth));
+  EXPECT_EQ(nat.stats().port_exhaustion_drops, 1u);
+}
+
+TEST_F(NatTest, PortsReusableAfterExpiry) {
+  NatConfig cfg = MakeConfig();
+  cfg.port_range_lo = 1024;
+  cfg.port_range_hi = 1025;
+  cfg.tcp_idle_timeout = Minutes(1);
+  NatTable nat(cfg);
+  Packet p1 = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  Packet p2 = MakeOutbound(kLanA, 30001, kRemote, 443, mac_a_, t0_);
+  nat.translate_outbound(p1);
+  nat.translate_outbound(p2);
+  nat.expire_idle(t0_ + Minutes(2));
+  Packet p3 = MakeOutbound(kLanA, 30002, kRemote, 443, mac_a_, t0_ + Minutes(2));
+  EXPECT_TRUE(nat.translate_outbound(p3));
+}
+
+TEST_F(NatTest, SamePortDifferentProtocolCoexist) {
+  NatTable nat(MakeConfig());
+  Packet tcp = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_, Protocol::kTcp);
+  Packet udp = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_, Protocol::kUdp);
+  nat.translate_outbound(tcp);
+  nat.translate_outbound(udp);
+  EXPECT_EQ(nat.active_mappings(), 2u);
+}
+
+TEST_F(NatTest, OwnerOfPortLookup) {
+  NatTable nat(MakeConfig());
+  Packet p = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  nat.translate_outbound(p);
+  const auto owner = nat.owner_of_port(p.tuple.src_port, Protocol::kTcp);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(*owner, mac_a_);
+  EXPECT_FALSE(nat.owner_of_port(1, Protocol::kTcp).has_value());
+}
+
+TEST_F(NatTest, SnapshotReflectsMappings) {
+  NatTable nat(MakeConfig());
+  Packet p1 = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  Packet p2 = MakeOutbound(kLanB, 31000, kRemote, 80, mac_b_, t0_);
+  nat.translate_outbound(p1);
+  nat.translate_outbound(p2);
+  const auto snapshot = nat.snapshot();
+  ASSERT_EQ(snapshot.size(), 2u);
+}
+
+TEST_F(NatTest, ManyDevicesCollapseOntoOneAddress) {
+  // The paper's premise: from outside, a whole home is one IP.
+  NatTable nat(MakeConfig());
+  for (int d = 0; d < 20; ++d) {
+    Packet p = MakeOutbound(Ipv4Address(192, 168, 1, static_cast<std::uint8_t>(10 + d)), 30000,
+                            kRemote, 443, MacAddress::FromParts(0x001EC2, 100u + d), t0_);
+    ASSERT_TRUE(nat.translate_outbound(p));
+    EXPECT_EQ(p.tuple.src_ip, kWan);
+  }
+  EXPECT_EQ(nat.active_mappings(), 20u);
+}
+
+}  // namespace
+}  // namespace bismark::net

@@ -1,0 +1,127 @@
+// Property sweep: NAT invariants across protocols and port-range sizes.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/rng.h"
+#include "net/nat.h"
+
+namespace bismark::net {
+namespace {
+
+const TimePoint t0 = MakeTime({2013, 4, 1});
+
+using NatParam = std::tuple<Protocol, int /*port range size*/>;
+
+class NatPropertyTest : public ::testing::TestWithParam<NatParam> {
+ protected:
+  Protocol proto() const { return std::get<0>(GetParam()); }
+  int range() const { return std::get<1>(GetParam()); }
+
+  NatTable MakeNat() {
+    NatConfig cfg;
+    cfg.wan_address = Ipv4Address(203, 0, 113, 1);
+    cfg.port_range_lo = 40000;
+    cfg.port_range_hi = static_cast<std::uint16_t>(40000 + range() - 1);
+    return NatTable(cfg);
+  }
+
+  Packet Outbound(std::uint32_t device, std::uint16_t sport) {
+    Packet p;
+    p.timestamp = t0;
+    p.tuple = {Ipv4Address(192, 168, 1, static_cast<std::uint8_t>(2 + device % 250)),
+               Ipv4Address(93, 184, 216, 34), sport, 443, proto()};
+    p.size = B(1400);
+    p.lan_mac = MacAddress::FromParts(0x001EC2, device);
+    return p;
+  }
+};
+
+TEST_P(NatPropertyTest, AllocatedPortsUniqueAndInRange) {
+  NatTable nat = MakeNat();
+  std::set<std::uint16_t> ports;
+  const int flows = std::min(range(), 64);
+  for (int i = 0; i < flows; ++i) {
+    Packet p = Outbound(static_cast<std::uint32_t>(i), static_cast<std::uint16_t>(20000 + i));
+    ASSERT_TRUE(nat.translate_outbound(p));
+    ASSERT_GE(p.tuple.src_port, 40000);
+    ASSERT_LT(p.tuple.src_port, 40000 + range());
+    ASSERT_TRUE(ports.insert(p.tuple.src_port).second) << "duplicate WAN port";
+  }
+  EXPECT_EQ(nat.active_mappings(), static_cast<std::size_t>(flows));
+}
+
+TEST_P(NatPropertyTest, RoundTripRestoresEndpointAndOwner) {
+  NatTable nat = MakeNat();
+  const int flows = std::min(range(), 32);
+  std::vector<Packet> outs;
+  for (int i = 0; i < flows; ++i) {
+    Packet p = Outbound(static_cast<std::uint32_t>(i), static_cast<std::uint16_t>(20000 + i));
+    const FiveTuple original = p.tuple;
+    ASSERT_TRUE(nat.translate_outbound(p));
+    outs.push_back(p);
+
+    Packet reply;
+    reply.timestamp = t0 + Seconds(1);
+    reply.tuple = p.tuple.reversed();
+    reply.direction = Direction::kDownstream;
+    ASSERT_TRUE(nat.translate_inbound(reply));
+    ASSERT_EQ(reply.tuple.dst_ip, original.src_ip);
+    ASSERT_EQ(reply.tuple.dst_port, original.src_port);
+    ASSERT_EQ(reply.lan_mac, MacAddress::FromParts(0x001EC2, static_cast<std::uint32_t>(i)));
+  }
+}
+
+TEST_P(NatPropertyTest, ExhaustionIsExactlyAtRangeSize) {
+  NatTable nat = MakeNat();
+  if (range() > 128) GTEST_SKIP() << "only meaningful for small ranges";
+  for (int i = 0; i < range(); ++i) {
+    Packet p = Outbound(1, static_cast<std::uint16_t>(20000 + i));
+    ASSERT_TRUE(nat.translate_outbound(p)) << "flow " << i << " of " << range();
+  }
+  Packet extra = Outbound(1, 33333);
+  EXPECT_FALSE(nat.translate_outbound(extra));
+  EXPECT_EQ(nat.stats().port_exhaustion_drops, 1u);
+}
+
+TEST_P(NatPropertyTest, ChurnConservesMappingAccounting) {
+  NatConfig cfg;
+  cfg.port_range_lo = 40000;
+  cfg.port_range_hi = static_cast<std::uint16_t>(40000 + range() - 1);
+  cfg.tcp_idle_timeout = Minutes(5);
+  cfg.udp_idle_timeout = Minutes(5);
+  cfg.icmp_idle_timeout = Minutes(5);
+  NatTable nat(cfg);
+  Rng rng(11);
+  TimePoint now = t0;
+  for (int round = 0; round < 60; ++round) {
+    const int burst = static_cast<int>(rng.uniform_int(1, std::min(range(), 16)));
+    for (int i = 0; i < burst; ++i) {
+      Packet p = Outbound(static_cast<std::uint32_t>(rng.uniform_int(0, 6)),
+                          static_cast<std::uint16_t>(rng.uniform_int(20000, 29999)));
+      p.timestamp = now;
+      nat.translate_outbound(p);
+    }
+    now += Minutes(2);
+    nat.expire_idle(now);
+    // Accounting invariant: created == expired + active.
+    ASSERT_EQ(nat.stats().mappings_created,
+              nat.stats().mappings_expired + nat.active_mappings());
+    ASSERT_LE(nat.active_mappings(), static_cast<std::size_t>(range()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProtocolsAndRanges, NatPropertyTest,
+    ::testing::Combine(::testing::Values(Protocol::kTcp, Protocol::kUdp, Protocol::kIcmp),
+                       ::testing::Values(4, 64, 4096)),
+    [](const ::testing::TestParamInfo<NatParam>& info) {
+      std::string name = ProtocolName(std::get<0>(info.param));
+      name += "_range";
+      name += std::to_string(std::get<1>(info.param));
+      return name;
+    });
+
+}  // namespace
+}  // namespace bismark::net

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "net/oui.h"
+
+namespace bismark::net {
+namespace {
+
+TEST(OuiRegistryTest, KnownVendorsResolve) {
+  const auto& reg = OuiRegistry::Instance();
+  const MacAddress apple = MacAddress::FromParts(0x001EC2, 0x000001);
+  ASSERT_TRUE(reg.manufacturer(apple).has_value());
+  EXPECT_EQ(*reg.manufacturer(apple), "Apple");
+  EXPECT_EQ(reg.classify(apple), VendorClass::kApple);
+
+  const MacAddress roku = MacAddress::FromParts(0x000D4B, 0x123456);
+  EXPECT_EQ(reg.classify(roku), VendorClass::kInternetTv);
+
+  const MacAddress pi = MacAddress::FromParts(0xB827EB, 0x000042);
+  EXPECT_EQ(reg.classify(pi), VendorClass::kRaspberryPi);
+}
+
+TEST(OuiRegistryTest, UnknownOuiIsUnknown) {
+  const auto& reg = OuiRegistry::Instance();
+  const MacAddress unknown = MacAddress::FromParts(0xFFFFFF, 0x000001);
+  EXPECT_FALSE(reg.manufacturer(unknown).has_value());
+  EXPECT_EQ(reg.classify(unknown), VendorClass::kUnknown);
+}
+
+TEST(OuiRegistryTest, ClassificationSurvivesAnonymization) {
+  // The whole point of hashing only the low 24 bits (Section 3.2.2):
+  // vendors stay identifiable on anonymised MACs.
+  const auto& reg = OuiRegistry::Instance();
+  const MacAddress samsung = MacAddress::FromParts(0x002399, 0xABCDEF);
+  const MacAddress anon = samsung.anonymized(1234);
+  EXPECT_EQ(reg.classify(anon), VendorClass::kSamsung);
+}
+
+TEST(OuiRegistryTest, OuisForClassNonEmptyForPaperClasses) {
+  const auto& reg = OuiRegistry::Instance();
+  // Every Fig. 12 class must have at least one registered OUI so the
+  // simulator can mint realistic devices.
+  for (int c = 0; c < static_cast<int>(VendorClass::kUnknown); ++c) {
+    const auto ouis = reg.ouis_for(static_cast<VendorClass>(c));
+    EXPECT_FALSE(ouis.empty()) << "no OUI for class " << VendorClassName(static_cast<VendorClass>(c));
+  }
+  EXPECT_TRUE(reg.ouis_for(VendorClass::kUnknown).empty());
+}
+
+TEST(OuiRegistryTest, MultipleOuisPerVendorAllClassify) {
+  const auto& reg = OuiRegistry::Instance();
+  for (const std::uint32_t oui : reg.ouis_for(VendorClass::kApple)) {
+    EXPECT_EQ(reg.classify(MacAddress::FromParts(oui, 1)), VendorClass::kApple);
+  }
+  EXPECT_GE(reg.ouis_for(VendorClass::kApple).size(), 5u);
+}
+
+TEST(OuiRegistryTest, ClassNamesMatchPaperFigure12) {
+  EXPECT_EQ(VendorClassName(VendorClass::kApple), "Apple");
+  EXPECT_EQ(VendorClassName(VendorClass::kOdm), "ODM");
+  EXPECT_EQ(VendorClassName(VendorClass::kSmartPhone), "Smart Phone");
+  EXPECT_EQ(VendorClassName(VendorClass::kInternetTv), "Internet TV");
+  EXPECT_EQ(VendorClassName(VendorClass::kHewlettPackard), "Hewlett-Packard");
+  EXPECT_EQ(VendorClassName(VendorClass::kRaspberryPi), "Raspberry-Pi");
+  EXPECT_EQ(VendorClassCount(), 19u);
+}
+
+TEST(OuiRegistryTest, NetgearClassifiedAsGateway) {
+  // BISmark routers themselves are Netgear; Fig. 12 filters them out via
+  // the gateway class.
+  const auto& reg = OuiRegistry::Instance();
+  EXPECT_EQ(reg.classify(MacAddress::FromParts(0x204E7F, 1)), VendorClass::kGateway);
+}
+
+}  // namespace
+}  // namespace bismark::net

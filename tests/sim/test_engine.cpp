@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.h"
+#include "sim/engine.h"
+
+namespace bismark::sim {
+namespace {
+
+const TimePoint t0 = MakeTime({2013, 4, 1});
+
+TEST(EngineTest, RunsEventsInTimeOrder) {
+  Engine engine(t0);
+  std::vector<int> order;
+  engine.schedule_at(t0 + Seconds(3), [&] { order.push_back(3); });
+  engine.schedule_at(t0 + Seconds(1), [&] { order.push_back(1); });
+  engine.schedule_at(t0 + Seconds(2), [&] { order.push_back(2); });
+  engine.run_until(t0 + Seconds(10));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), t0 + Seconds(10));
+}
+
+TEST(EngineTest, SimultaneousEventsFifo) {
+  Engine engine(t0);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(t0 + Seconds(1), [&order, i] { order.push_back(i); });
+  }
+  engine.run_until(t0 + Seconds(2));
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, NowAdvancesDuringCallbacks) {
+  Engine engine(t0);
+  TimePoint observed{};
+  engine.schedule_after(Minutes(5), [&] { observed = engine.now(); });
+  engine.run_until(t0 + Hours(1));
+  EXPECT_EQ(observed, t0 + Minutes(5));
+}
+
+TEST(EngineTest, EventsCanScheduleEvents) {
+  Engine engine(t0);
+  int fired = 0;
+  engine.schedule_at(t0 + Seconds(1), [&] {
+    ++fired;
+    engine.schedule_after(Seconds(1), [&] { ++fired; });
+  });
+  engine.run_until(t0 + Seconds(10));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, RunUntilStopsAtBoundary) {
+  Engine engine(t0);
+  int fired = 0;
+  engine.schedule_at(t0 + Seconds(5), [&] { ++fired; });
+  engine.schedule_at(t0 + Seconds(15), [&] { ++fired; });
+  engine.run_until(t0 + Seconds(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(t0 + Seconds(20));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, EventAtExactBoundaryFires) {
+  Engine engine(t0);
+  int fired = 0;
+  engine.schedule_at(t0 + Seconds(10), [&] { ++fired; });
+  engine.run_until(t0 + Seconds(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, PastEventsClampToNow) {
+  Engine engine(t0);
+  int fired = 0;
+  engine.run_until(t0 + Seconds(100));
+  engine.schedule_at(t0 + Seconds(1), [&] { ++fired; });  // in the past
+  engine.run_until(t0 + Seconds(200));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine engine(t0);
+  int fired = 0;
+  EventHandle handle = engine.schedule_at(t0 + Seconds(5), [&] { ++fired; });
+  EXPECT_TRUE(handle.active());
+  handle.cancel();
+  EXPECT_FALSE(handle.active());
+  engine.run_until(t0 + Seconds(10));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EngineTest, RepeatingEventsFireAtPeriod) {
+  Engine engine(t0);
+  std::vector<TimePoint> fires;
+  engine.schedule_every(Minutes(10), [&](TimePoint t) { fires.push_back(t); });
+  engine.run_until(t0 + Minutes(35));
+  ASSERT_EQ(fires.size(), 4u);  // 0, 10, 20, 30
+  EXPECT_EQ(fires[0], t0);
+  EXPECT_EQ(fires[3], t0 + Minutes(30));
+}
+
+TEST(EngineTest, RepeatingWithPhaseOffset) {
+  Engine engine(t0);
+  std::vector<TimePoint> fires;
+  engine.schedule_every(Minutes(10), [&](TimePoint t) { fires.push_back(t); }, Minutes(3));
+  engine.run_until(t0 + Minutes(25));
+  ASSERT_EQ(fires.size(), 3u);  // 3, 13, 23
+  EXPECT_EQ(fires[0], t0 + Minutes(3));
+}
+
+TEST(EngineTest, CancellingRepeatingStopsFutureFires) {
+  Engine engine(t0);
+  int fired = 0;
+  EventHandle handle = engine.schedule_every(Minutes(1), [&](TimePoint) { ++fired; });
+  engine.run_until(t0 + Minutes(3) + Seconds(30));
+  EXPECT_EQ(fired, 4);
+  handle.cancel();
+  engine.run_until(t0 + Minutes(30));
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(EngineTest, CancelFromWithinCallback) {
+  Engine engine(t0);
+  int fired = 0;
+  EventHandle handle;
+  handle = engine.schedule_every(Minutes(1), [&](TimePoint) {
+    ++fired;
+    if (fired == 2) handle.cancel();
+  });
+  engine.run_until(t0 + Hours(1));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, StepExecutesOneEvent) {
+  Engine engine(t0);
+  int fired = 0;
+  engine.schedule_at(t0 + Seconds(1), [&] { ++fired; });
+  engine.schedule_at(t0 + Seconds(2), [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(EngineTest, ExecutedCounter) {
+  Engine engine(t0);
+  for (int i = 0; i < 7; ++i) engine.schedule_after(Seconds(i), [] {});
+  engine.run_until(t0 + Minutes(1));
+  EXPECT_EQ(engine.executed(), 7u);
+  EXPECT_EQ(engine.pending(), 0u);
+}
+
+TEST(EngineTest, HeavyLoadStaysOrdered) {
+  Engine engine(t0);
+  TimePoint last{};
+  bool ordered = true;
+  Rng rng(3);
+  for (int i = 0; i < 20000; ++i) {
+    engine.schedule_at(t0 + Seconds(rng.uniform(0, 10000)), [&] {
+      if (engine.now() < last) ordered = false;
+      last = engine.now();
+    });
+  }
+  engine.run_until(t0 + Hours(3));
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(engine.executed(), 20000u);
+}
+
+}  // namespace
+}  // namespace bismark::sim

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "traffic/apps.h"
+
+namespace bismark::traffic {
+namespace {
+
+class AppModelTest : public ::testing::Test {
+ protected:
+  DomainCatalog catalog_ = DomainCatalog::BuildStandard();
+};
+
+TEST_F(AppModelTest, VideoMovesManyBytesOverFewConnections) {
+  Rng rng(1);
+  RunningStats video_bytes, video_flows, web_bytes, web_flows;
+  for (int i = 0; i < 300; ++i) {
+    const auto video = AppModel::PlanSession(AppType::kVideoStreaming, catalog_, rng);
+    const auto web = AppModel::PlanSession(AppType::kWebBrowsing, catalog_, rng);
+    video_bytes.add(video.total_down().mb());
+    video_flows.add(static_cast<double>(video.flows.size()));
+    web_bytes.add(web.total_down().mb());
+    web_flows.add(static_cast<double>(web.flows.size()));
+  }
+  // The Fig. 19 invariant: video = few long fat flows; web = many small.
+  EXPECT_LT(video_flows.mean(), 3.0);
+  EXPECT_GT(web_flows.mean(), 5.0);
+  EXPECT_GT(video_bytes.mean(), web_bytes.mean() * 50.0);
+}
+
+TEST_F(AppModelTest, CloudSyncIsUploadDominated) {
+  Rng rng(2);
+  RunningStats up, down;
+  for (int i = 0; i < 300; ++i) {
+    const auto plan = AppModel::PlanSession(AppType::kCloudSync, catalog_, rng);
+    up.add(plan.total_up().mb());
+    down.add(plan.total_down().mb());
+  }
+  EXPECT_GT(up.mean(), down.mean() * 5.0);
+}
+
+TEST_F(AppModelTest, VoipIsSymmetricUdp) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto plan = AppModel::PlanSession(AppType::kVoip, catalog_, rng);
+    ASSERT_EQ(plan.flows.size(), 1u);
+    EXPECT_EQ(plan.flows[0].protocol, net::Protocol::kUdp);
+    EXPECT_EQ(plan.flows[0].bytes_up, plan.flows[0].bytes_down);
+  }
+}
+
+TEST_F(AppModelTest, GamingUsesUdpGamePort) {
+  Rng rng(4);
+  const auto plan = AppModel::PlanSession(AppType::kOnlineGaming, catalog_, rng);
+  ASSERT_GE(plan.flows.size(), 1u);
+  EXPECT_EQ(plan.flows[0].protocol, net::Protocol::kUdp);
+  EXPECT_EQ(plan.flows[0].dst_port, 3074);
+}
+
+TEST_F(AppModelTest, BulkUploadDemandIsUploadOnly) {
+  Rng rng(5);
+  const auto plan = AppModel::PlanSession(AppType::kBulkUpload, catalog_, rng);
+  ASSERT_EQ(plan.flows.size(), 1u);
+  EXPECT_GT(plan.flows[0].demand_up.mbps(), 1.0);
+  EXPECT_GT(plan.flows[0].bytes_up.mb(), 100.0);
+  EXPECT_LT(plan.flows[0].bytes_down.count, plan.flows[0].bytes_up.count / 10);
+}
+
+TEST_F(AppModelTest, DomainsMatchAppCategory) {
+  Rng rng(6);
+  int streaming_domains = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto plan = AppModel::PlanSession(AppType::kVideoStreaming, catalog_, rng);
+    const auto cat = catalog_.domain(plan.domain_index).category;
+    if (cat == DomainCategory::kVideoStreaming || cat == DomainCategory::kCdn) {
+      ++streaming_domains;
+    }
+  }
+  EXPECT_GT(streaming_domains, 190);
+}
+
+TEST_F(AppModelTest, TailProbabilityRoughlyObserved) {
+  Rng rng(7);
+  int tail = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    const auto plan = AppModel::PlanSession(AppType::kWebBrowsing, catalog_, rng);
+    if (!catalog_.domain(plan.domain_index).whitelisted) ++tail;
+  }
+  EXPECT_NEAR(static_cast<double>(tail) / n, AppModel::TailProbability(AppType::kWebBrowsing),
+              0.05);
+}
+
+TEST_F(AppModelTest, FlowOffsetsAreStaggeredForWeb) {
+  Rng rng(8);
+  const auto plan = AppModel::PlanSession(AppType::kWebBrowsing, catalog_, rng);
+  ASSERT_GE(plan.flows.size(), 4u);
+  // First flow at offset zero, later flows strictly ordered.
+  EXPECT_EQ(plan.flows.front().start_offset.ms, 0);
+  for (std::size_t i = 1; i < plan.flows.size(); ++i) {
+    EXPECT_GE(plan.flows[i].start_offset.ms, plan.flows[i - 1].start_offset.ms);
+  }
+}
+
+TEST_F(AppModelTest, ApproxMeanVolumeOrdersAppsSensibly) {
+  EXPECT_GT(AppModel::ApproxMeanVolume(AppType::kVideoStreaming).count,
+            AppModel::ApproxMeanVolume(AppType::kWebBrowsing).count);
+  EXPECT_GT(AppModel::ApproxMeanVolume(AppType::kWebBrowsing).count,
+            AppModel::ApproxMeanVolume(AppType::kIotTelemetry).count);
+}
+
+TEST_F(AppModelTest, AllAppTypesProduceValidPlans) {
+  Rng rng(9);
+  for (int t = 0; t < kAppTypeCount; ++t) {
+    const auto plan = AppModel::PlanSession(static_cast<AppType>(t), catalog_, rng);
+    EXPECT_FALSE(plan.flows.empty()) << AppTypeName(static_cast<AppType>(t));
+    EXPECT_LT(plan.domain_index, catalog_.domains().size());
+    for (const auto& f : plan.flows) {
+      EXPECT_GE(f.bytes_down.count, 0);
+      EXPECT_GE(f.bytes_up.count, 0);
+      EXPECT_GT(f.bytes_down.count + f.bytes_up.count, 0);
+      EXPECT_GT(f.dst_port, 0);
+    }
+  }
+}
+
+TEST_F(AppModelTest, AppTypeNames) {
+  EXPECT_EQ(AppTypeName(AppType::kVideoStreaming), "video-streaming");
+  EXPECT_EQ(AppTypeName(AppType::kBulkUpload), "bulk-upload");
+}
+
+}  // namespace
+}  // namespace bismark::traffic

@@ -1,0 +1,95 @@
+// Property sweep: session-plan invariants for every application type.
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "traffic/apps.h"
+
+namespace bismark::traffic {
+namespace {
+
+class AppPlanPropertyTest : public ::testing::TestWithParam<AppType> {
+ protected:
+  static const DomainCatalog& catalog() {
+    static const DomainCatalog c = DomainCatalog::BuildStandard();
+    return c;
+  }
+};
+
+TEST_P(AppPlanPropertyTest, PlansAreWellFormedAcrossSeeds) {
+  const AppType app = GetParam();
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Rng rng(seed);
+    const SessionPlan plan = AppModel::PlanSession(app, catalog(), rng);
+    ASSERT_EQ(plan.app, app);
+    ASSERT_FALSE(plan.flows.empty());
+    ASSERT_LT(plan.domain_index, catalog().domains().size());
+    for (const auto& f : plan.flows) {
+      // Every flow moves data somewhere and has sane parameters.
+      ASSERT_GE(f.bytes_down.count, 0);
+      ASSERT_GE(f.bytes_up.count, 0);
+      ASSERT_GT(f.bytes_down.count + f.bytes_up.count, 0);
+      ASSERT_GT(f.dst_port, 0u);
+      ASSERT_GE(f.start_offset.ms, 0);
+      ASSERT_GE(f.demand_down.bps, 0.0);
+      ASSERT_GE(f.demand_up.bps, 0.0);
+      // The dominant direction always has a usable demand rate.
+      if (f.bytes_down >= f.bytes_up) {
+        ASSERT_GT(f.demand_down.bps, 0.0);
+      } else {
+        ASSERT_GT(f.demand_up.bps, 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(AppPlanPropertyTest, MeanVolumeWithinOrderOfMagnitudeOfCalibration) {
+  const AppType app = GetParam();
+  Rng rng(99);
+  RunningStats volume;
+  for (int i = 0; i < 400; ++i) {
+    const SessionPlan plan = AppModel::PlanSession(app, catalog(), rng);
+    volume.add(static_cast<double>(plan.total_down().count + plan.total_up().count));
+  }
+  const double approx = static_cast<double>(AppModel::ApproxMeanVolume(app).count);
+  EXPECT_GT(volume.mean(), approx / 10.0) << AppTypeName(app);
+  EXPECT_LT(volume.mean(), approx * 10.0) << AppTypeName(app);
+}
+
+TEST_P(AppPlanPropertyTest, TailProbabilityIsAProbability) {
+  const double p = AppModel::TailProbability(GetParam());
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST_P(AppPlanPropertyTest, TransferTimesAreBounded) {
+  // No session plan should imply a multi-week transfer at its own demand
+  // rate — that would wedge the generator's flow queue.
+  const AppType app = GetParam();
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const SessionPlan plan = AppModel::PlanSession(app, catalog(), rng);
+    for (const auto& f : plan.flows) {
+      const double down_s =
+          f.demand_down.bps > 0 ? f.bytes_down.bits() / f.demand_down.bps : 0.0;
+      const double up_s = f.demand_up.bps > 0 ? f.bytes_up.bits() / f.demand_up.bps : 0.0;
+      EXPECT_LT(std::max(down_s, up_s), 48.0 * 3600.0) << AppTypeName(app);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAppTypes, AppPlanPropertyTest,
+    ::testing::Values(AppType::kWebBrowsing, AppType::kVideoStreaming,
+                      AppType::kAudioStreaming, AppType::kSocialMedia, AppType::kCloudSync,
+                      AppType::kEmail, AppType::kSoftwareUpdate, AppType::kOnlineGaming,
+                      AppType::kVoip, AppType::kBulkUpload, AppType::kIotTelemetry),
+    [](const ::testing::TestParamInfo<AppType>& info) {
+      std::string name(AppTypeName(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace bismark::traffic

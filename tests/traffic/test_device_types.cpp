@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "traffic/device_types.h"
+
+namespace bismark::traffic {
+namespace {
+
+TEST(DeviceTypesTest, TraitsAreSane) {
+  for (int t = 0; t < kDeviceTypeCount; ++t) {
+    const auto& traits = TraitsOf(static_cast<DeviceType>(t));
+    EXPECT_GE(traits.wired_prob, 0.0);
+    EXPECT_LE(traits.wired_prob, 1.0);
+    EXPECT_GE(traits.always_on_prob, 0.0);
+    EXPECT_LE(traits.always_on_prob, 1.0);
+    EXPECT_GT(traits.hunger, 0.0);
+    EXPECT_GT(traits.sessions_per_hour, 0.0);
+  }
+}
+
+TEST(DeviceTypesTest, PhonesAreWirelessAnd24GHzOnly) {
+  // Section 5.3: "Phones are equipped almost exclusively with only
+  // 2.4 GHz radios."
+  const auto& traits = TraitsOf(DeviceType::kSmartPhone);
+  EXPECT_DOUBLE_EQ(traits.wired_prob, 0.0);
+  EXPECT_LT(traits.dual_band_prob, 0.1);
+}
+
+TEST(DeviceTypesTest, MediaStreamerIsTheHungriest) {
+  double max_hunger = 0.0;
+  DeviceType hungriest = DeviceType::kLaptop;
+  for (int t = 0; t < kDeviceTypeCount; ++t) {
+    if (TraitsOf(static_cast<DeviceType>(t)).hunger > max_hunger) {
+      max_hunger = TraitsOf(static_cast<DeviceType>(t)).hunger;
+      hungriest = static_cast<DeviceType>(t);
+    }
+  }
+  EXPECT_EQ(hungriest, DeviceType::kMediaStreamer);
+}
+
+TEST(DeviceTypesTest, AppMixMatchesDeviceRole) {
+  const auto streamer = AppMixOf(DeviceType::kMediaStreamer);
+  const auto phone = AppMixOf(DeviceType::kSmartPhone);
+  const auto voip = AppMixOf(DeviceType::kVoipPhone);
+  // Streamers are nearly all video (the Fig. 20b Roku shape).
+  EXPECT_GT(streamer[static_cast<int>(AppType::kVideoStreaming)], 80.0);
+  // Phones skew social.
+  EXPECT_GT(phone[static_cast<int>(AppType::kSocialMedia)],
+            phone[static_cast<int>(AppType::kVideoStreaming)]);
+  // VoIP phones do VoIP.
+  EXPECT_GT(voip[static_cast<int>(AppType::kVoip)], 90.0);
+}
+
+TEST(DeviceTypesTest, DrawVendorClassMatchesMarket) {
+  Rng rng(11);
+  int apple = 0, samsungish = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const auto vc = DrawVendorClass(DeviceType::kSmartPhone, rng);
+    if (vc == net::VendorClass::kApple) ++apple;
+    if (vc == net::VendorClass::kSamsung) ++samsungish;
+  }
+  EXPECT_NEAR(static_cast<double>(apple) / n, 0.45, 0.05);
+  EXPECT_NEAR(static_cast<double>(samsungish) / n, 0.25, 0.05);
+}
+
+TEST(DeviceTypesTest, MintMacUsesRealOuiOfClass) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    const auto vc = DrawVendorClass(DeviceType::kLaptop, rng);
+    const auto mac = MintMac(vc, rng);
+    EXPECT_EQ(net::OuiRegistry::Instance().classify(mac), vc);
+    EXPECT_NE(mac.nic(), 0u);
+  }
+}
+
+TEST(DeviceTypesTest, DrawDeviceTypeRegionalMix) {
+  Rng rng(17);
+  int dev_entertainment = 0, dvg_entertainment = 0;
+  const int n = 10000;
+  auto is_entertainment = [](DeviceType t) {
+    return t == DeviceType::kMediaStreamer || t == DeviceType::kSmartTv ||
+           t == DeviceType::kGameConsole || t == DeviceType::kNas;
+  };
+  for (int i = 0; i < n; ++i) {
+    if (is_entertainment(DrawDeviceType(true, rng))) ++dev_entertainment;
+    if (is_entertainment(DrawDeviceType(false, rng))) ++dvg_entertainment;
+  }
+  // Section 5.1: consoles/entertainment devices are a developed-world thing.
+  EXPECT_GT(dev_entertainment, dvg_entertainment * 2);
+}
+
+TEST(DeviceTypesTest, Names) {
+  EXPECT_EQ(DeviceTypeName(DeviceType::kMediaStreamer), "media-streamer");
+  EXPECT_EQ(DeviceTypeName(DeviceType::kSmartPhone), "smart-phone");
+}
+
+}  // namespace
+}  // namespace bismark::traffic

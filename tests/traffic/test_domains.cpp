@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "traffic/domains.h"
+
+namespace bismark::traffic {
+namespace {
+
+TEST(DomainCatalogTest, StandardCatalogShape) {
+  const auto catalog = DomainCatalog::BuildStandard();
+  // Alexa-style whitelist of exactly 200 domains plus an unlisted tail.
+  EXPECT_EQ(catalog.whitelist_size(), 200u);
+  EXPECT_GT(catalog.domains().size(), 400u);
+}
+
+TEST(DomainCatalogTest, DeterministicForSeed) {
+  const auto a = DomainCatalog::BuildStandard(100, 9);
+  const auto b = DomainCatalog::BuildStandard(100, 9);
+  ASSERT_EQ(a.domains().size(), b.domains().size());
+  for (std::size_t i = 0; i < a.domains().size(); ++i) {
+    EXPECT_EQ(a.domain(i).name, b.domain(i).name);
+    EXPECT_EQ(a.domain(i).category, b.domain(i).category);
+  }
+}
+
+TEST(DomainCatalogTest, PaperHeadlinersPresentAndWhitelisted) {
+  const auto catalog = DomainCatalog::BuildStandard();
+  // Fig. 18's consistently-popular domains.
+  for (const char* name : {"google.com", "youtube.com", "facebook.com", "amazon.com",
+                           "apple.com", "twitter.com", "netflix.com", "hulu.com",
+                           "pandora.com", "dropbox.com"}) {
+    EXPECT_TRUE(catalog.is_whitelisted(name)) << name;
+  }
+  EXPECT_FALSE(catalog.is_whitelisted("tail-site-0001.net"));
+  EXPECT_FALSE(catalog.is_whitelisted("no-such-site.org"));
+}
+
+TEST(DomainCatalogTest, PopularityDecreasesWithRank) {
+  const auto catalog = DomainCatalog::BuildStandard();
+  for (std::size_t i = 1; i < catalog.whitelist_size(); ++i) {
+    EXPECT_GE(catalog.domain(i - 1).popularity, catalog.domain(i).popularity);
+  }
+}
+
+TEST(DomainCatalogTest, CategoriesNonEmpty) {
+  const auto catalog = DomainCatalog::BuildStandard();
+  for (auto cat : {DomainCategory::kSearch, DomainCategory::kVideoStreaming,
+                   DomainCategory::kSocial, DomainCategory::kCloudSync,
+                   DomainCategory::kEmail, DomainCategory::kGaming, DomainCategory::kVoip,
+                   DomainCategory::kTail}) {
+    EXPECT_FALSE(catalog.in_category(cat).empty())
+        << DomainCategoryName(cat);
+  }
+}
+
+TEST(DomainCatalogTest, SampleInCategoryReturnsThatCategory) {
+  const auto catalog = DomainCatalog::BuildStandard();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::size_t idx = catalog.sample_in_category(DomainCategory::kVideoStreaming, rng);
+    EXPECT_EQ(catalog.domain(idx).category, DomainCategory::kVideoStreaming);
+  }
+}
+
+TEST(DomainCatalogTest, SampleFavorsPopularDomains) {
+  const auto catalog = DomainCatalog::BuildStandard();
+  Rng rng(6);
+  int youtube = 0, total = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::size_t idx = catalog.sample_in_category(DomainCategory::kVideoStreaming, rng);
+    ++total;
+    if (catalog.domain(idx).name == "youtube.com") ++youtube;
+  }
+  // youtube is rank 2 overall; it must dominate its category.
+  EXPECT_GT(static_cast<double>(youtube) / total, 0.2);
+}
+
+TEST(DomainCatalogTest, InstallZonesMakesEverythingResolvable) {
+  const auto catalog = DomainCatalog::BuildStandard(50);
+  net::ZoneCatalog zones;
+  catalog.install_zones(zones);
+  for (const auto& d : catalog.domains()) {
+    const auto response = zones.resolve(d.name);
+    EXPECT_FALSE(response.nxdomain) << d.name;
+    EXPECT_TRUE(response.address().has_value()) << d.name;
+  }
+}
+
+TEST(DomainCatalogTest, VideoDomainsAreCdnFronted) {
+  const auto catalog = DomainCatalog::BuildStandard(50);
+  net::ZoneCatalog zones;
+  catalog.install_zones(zones);
+  const auto response = zones.resolve("netflix.com");
+  ASSERT_FALSE(response.nxdomain);
+  // CNAME chain through an edge name, then A records.
+  EXPECT_EQ(response.records.front().type, net::DnsRecordType::kCname);
+  EXPECT_EQ(response.canonical_name(), "edge-netflix.com");
+}
+
+TEST(DomainCatalogTest, CategoryNames) {
+  EXPECT_EQ(DomainCategoryName(DomainCategory::kVideoStreaming), "video");
+  EXPECT_EQ(DomainCategoryName(DomainCategory::kTail), "tail");
+}
+
+}  // namespace
+}  // namespace bismark::traffic

@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "wireless/airtime.h"
+
+namespace bismark::wireless {
+namespace {
+
+TEST(AirtimeTest, NoNeighborsFullShare) {
+  ContentionInput input;
+  input.overlapping_neighbor_aps = 0;
+  EXPECT_DOUBLE_EQ(EffectiveAirtimeShare(input), 1.0);
+}
+
+TEST(AirtimeTest, ShareDecreasesWithNeighbors) {
+  ContentionInput few;
+  few.overlapping_neighbor_aps = 2;
+  ContentionInput many;
+  many.overlapping_neighbor_aps = 20;
+  EXPECT_GT(EffectiveAirtimeShare(few), EffectiveAirtimeShare(many));
+  EXPECT_GT(EffectiveAirtimeShare(many), 0.0);
+}
+
+TEST(AirtimeTest, ShareBoundedBelow) {
+  ContentionInput crowded;
+  crowded.overlapping_neighbor_aps = 500;
+  crowded.neighbor_duty_cycle = 0.5;
+  EXPECT_GE(EffectiveAirtimeShare(crowded), 0.01);
+}
+
+TEST(AirtimeTest, DutyCycleMatters) {
+  ContentionInput idle;
+  idle.overlapping_neighbor_aps = 10;
+  idle.neighbor_duty_cycle = 0.02;
+  ContentionInput busy = idle;
+  busy.neighbor_duty_cycle = 0.4;
+  EXPECT_GT(EffectiveAirtimeShare(idle), EffectiveAirtimeShare(busy));
+}
+
+TEST(AirtimeTest, PerClientShareSplitsBss) {
+  ContentionInput input;
+  input.overlapping_neighbor_aps = 0;
+  input.own_clients = 4;
+  EXPECT_DOUBLE_EQ(PerClientShare(input), 0.25);
+  input.own_clients = 0;  // treated as one client
+  EXPECT_DOUBLE_EQ(PerClientShare(input), 1.0);
+}
+
+TEST(AirtimeTest, CrowdedChannelErodesPerClientThroughput) {
+  // The Section 5.3 story: 2.4 GHz crowding becomes a bottleneck as access
+  // link speeds grow.
+  ContentionInput quiet;
+  quiet.overlapping_neighbor_aps = 1;
+  quiet.own_clients = 2;
+  ContentionInput crowded;
+  crowded.overlapping_neighbor_aps = 25;
+  crowded.own_clients = 2;
+  EXPECT_LT(PerClientShare(crowded), PerClientShare(quiet) * 0.5);
+}
+
+}  // namespace
+}  // namespace bismark::wireless

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "wireless/association.h"
+
+namespace bismark::wireless {
+namespace {
+
+net::MacAddress Mac(std::uint32_t nic) { return net::MacAddress::FromParts(0x38AA3C, nic); }
+const TimePoint t0 = MakeTime({2013, 4, 1});
+
+RadioConfig Radio24() { return {Band::k2_4GHz, 11, true}; }
+
+TEST(AssociationTest, AssociateAndCount) {
+  AssociationTable table(Radio24());
+  EXPECT_TRUE(table.associate(Mac(1), t0));
+  EXPECT_TRUE(table.associate(Mac(2), t0));
+  EXPECT_EQ(table.client_count(), 2u);
+  EXPECT_TRUE(table.is_associated(Mac(1)));
+  EXPECT_FALSE(table.is_associated(Mac(3)));
+}
+
+TEST(AssociationTest, ReassociationRefreshesActivity) {
+  AssociationTable table(Radio24());
+  table.associate(Mac(1), t0);
+  table.associate(Mac(1), t0 + Minutes(5));
+  EXPECT_EQ(table.client_count(), 1u);
+  const auto clients = table.clients();
+  ASSERT_EQ(clients.size(), 1u);
+  EXPECT_EQ(clients[0].associated_at, t0);            // original join time kept
+  EXPECT_EQ(clients[0].last_activity, t0 + Minutes(5));
+}
+
+TEST(AssociationTest, TouchUpdatesLastActivity) {
+  AssociationTable table(Radio24());
+  table.associate(Mac(1), t0);
+  table.touch(Mac(1), t0 + Minutes(1));
+  EXPECT_EQ(table.clients()[0].last_activity, t0 + Minutes(1));
+  table.touch(Mac(9), t0);  // unknown mac: no-op
+  EXPECT_EQ(table.client_count(), 1u);
+}
+
+TEST(AssociationTest, DisassociateAndClear) {
+  AssociationTable table(Radio24());
+  table.associate(Mac(1), t0);
+  table.associate(Mac(2), t0);
+  table.disassociate(Mac(1));
+  EXPECT_EQ(table.client_count(), 1u);
+  table.clear();
+  EXPECT_EQ(table.client_count(), 0u);
+}
+
+TEST(AssociationTest, DisabledRadioRejectsClients) {
+  AssociationTable table({Band::k5GHz, 36, false});
+  EXPECT_FALSE(table.associate(Mac(1), t0));
+  EXPECT_EQ(table.client_count(), 0u);
+}
+
+TEST(AssociationTest, DisablingRadioDropsEveryone) {
+  AssociationTable table(Radio24());
+  table.associate(Mac(1), t0);
+  table.associate(Mac(2), t0);
+  table.set_enabled(false);
+  EXPECT_EQ(table.client_count(), 0u);
+  EXPECT_FALSE(table.associate(Mac(3), t0));
+  table.set_enabled(true);
+  EXPECT_TRUE(table.associate(Mac(3), t0));
+}
+
+}  // namespace
+}  // namespace bismark::wireless

@@ -1,0 +1,41 @@
+#include <gtest/gtest.h>
+
+#include "wireless/band.h"
+
+namespace bismark::wireless {
+namespace {
+
+TEST(BandTest, Names) {
+  EXPECT_EQ(BandName(Band::k2_4GHz), "2.4 GHz");
+  EXPECT_EQ(BandName(Band::k5GHz), "5 GHz");
+}
+
+TEST(BandTest, ChannelSets) {
+  EXPECT_EQ(ChannelsFor(Band::k2_4GHz).size(), 11u);
+  EXPECT_EQ(ChannelsFor(Band::k2_4GHz).front(), 1);
+  EXPECT_EQ(ChannelsFor(Band::k2_4GHz).back(), 11);
+  EXPECT_EQ(ChannelsFor(Band::k5GHz).front(), 36);
+}
+
+TEST(BandTest, DefaultChannelsMatchBismark) {
+  // Section 3.2.2: 2.4 GHz on channel 11, 5 GHz on channel 36.
+  EXPECT_EQ(DefaultChannel(Band::k2_4GHz), 11);
+  EXPECT_EQ(DefaultChannel(Band::k5GHz), 36);
+}
+
+TEST(BandTest, TwoPointFourOverlapRule) {
+  // 20 MHz channels overlap unless >= 5 apart: the 1/6/11 plan.
+  EXPECT_TRUE(ChannelsOverlap(Band::k2_4GHz, 1, 4));
+  EXPECT_TRUE(ChannelsOverlap(Band::k2_4GHz, 6, 6));
+  EXPECT_FALSE(ChannelsOverlap(Band::k2_4GHz, 1, 6));
+  EXPECT_FALSE(ChannelsOverlap(Band::k2_4GHz, 6, 11));
+  EXPECT_TRUE(ChannelsOverlap(Band::k2_4GHz, 11, 8));
+}
+
+TEST(BandTest, FiveGhzChannelsDoNotOverlap) {
+  EXPECT_TRUE(ChannelsOverlap(Band::k5GHz, 36, 36));
+  EXPECT_FALSE(ChannelsOverlap(Band::k5GHz, 36, 40));
+}
+
+}  // namespace
+}  // namespace bismark::wireless

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "wireless/neighbor.h"
+
+namespace bismark::wireless {
+namespace {
+
+NeighborhoodProfile DenseProfile() {
+  NeighborhoodProfile p;
+  p.dense_prob = 1.0;
+  p.dense_mean_24 = 20.0;
+  p.dense_mean_5 = 4.0;
+  return p;
+}
+
+TEST(NeighborhoodTest, DeterministicFromRng) {
+  const auto a = Neighborhood::Generate(DenseProfile(), Rng(42));
+  const auto b = Neighborhood::Generate(DenseProfile(), Rng(42));
+  ASSERT_EQ(a.aps().size(), b.aps().size());
+  for (std::size_t i = 0; i < a.aps().size(); ++i) {
+    EXPECT_EQ(a.aps()[i].bssid, b.aps()[i].bssid);
+    EXPECT_EQ(a.aps()[i].channel, b.aps()[i].channel);
+  }
+}
+
+TEST(NeighborhoodTest, CountsTrackMeans) {
+  RunningStats count24, count5;
+  for (int seed = 0; seed < 200; ++seed) {
+    const auto hood = Neighborhood::Generate(DenseProfile(), Rng(seed));
+    count24.add(static_cast<double>(hood.count_on_band(Band::k2_4GHz)));
+    count5.add(static_cast<double>(hood.count_on_band(Band::k5GHz)));
+  }
+  EXPECT_NEAR(count24.mean(), 20.0, 2.0);
+  EXPECT_NEAR(count5.mean(), 4.0, 1.0);
+}
+
+TEST(NeighborhoodTest, SparseModeSmaller) {
+  NeighborhoodProfile sparse;
+  sparse.dense_prob = 0.0;
+  sparse.sparse_mean_24 = 2.0;
+  sparse.sparse_mean_5 = 0.3;
+  RunningStats count;
+  for (int seed = 0; seed < 200; ++seed) {
+    count.add(static_cast<double>(
+        Neighborhood::Generate(sparse, Rng(seed)).count_on_band(Band::k2_4GHz)));
+  }
+  EXPECT_LT(count.mean(), 4.0);
+}
+
+TEST(NeighborhoodTest, AudibleFiltersBandChannelAndRssi) {
+  const auto hood = Neighborhood::Generate(DenseProfile(), Rng(7));
+  const auto audible = hood.audible_on(Band::k2_4GHz, 11, -92.0);
+  for (const auto& ap : audible) {
+    EXPECT_EQ(ap.band, Band::k2_4GHz);
+    EXPECT_TRUE(ChannelsOverlap(Band::k2_4GHz, ap.channel, 11));
+    EXPECT_GE(ap.rssi_dbm, -92.0);
+  }
+  // A stricter sensitivity floor hears no more APs.
+  EXPECT_LE(hood.audible_on(Band::k2_4GHz, 11, -70.0).size(), audible.size());
+}
+
+TEST(NeighborhoodTest, AudibleOnWrongBandEmptyForBandlessHood) {
+  NeighborhoodProfile only24;
+  only24.dense_prob = 1.0;
+  only24.dense_mean_24 = 10.0;
+  only24.dense_mean_5 = 0.0;
+  only24.sparse_mean_5 = 0.0;
+  const auto hood = Neighborhood::Generate(only24, Rng(3));
+  EXPECT_TRUE(hood.audible_on(Band::k5GHz, 36).empty());
+}
+
+TEST(NeighborhoodTest, PopularChannelsDominate24) {
+  NeighborhoodProfile p = DenseProfile();
+  p.popular_channel_frac = 0.8;
+  int popular = 0, total = 0;
+  for (int seed = 0; seed < 50; ++seed) {
+    const Neighborhood hood = Neighborhood::Generate(p, Rng(seed));
+    for (const auto& ap : hood.aps()) {
+      if (ap.band != Band::k2_4GHz) continue;
+      ++total;
+      if (ap.channel == 1 || ap.channel == 6 || ap.channel == 11) ++popular;
+    }
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(popular) / total, 0.7);
+}
+
+TEST(NeighborhoodTest, BssidsAreUnicastAndWellFormed) {
+  const auto hood = Neighborhood::Generate(DenseProfile(), Rng(11));
+  for (const auto& ap : hood.aps()) {
+    ASSERT_EQ(ap.bssid.size(), 17u);
+    // Low bit of the first octet clear => unicast.
+    const int first = std::stoi(ap.bssid.substr(0, 2), nullptr, 16);
+    EXPECT_EQ(first & 1, 0);
+  }
+}
+
+}  // namespace
+}  // namespace bismark::wireless

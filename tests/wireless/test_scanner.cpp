@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "wireless/scanner.h"
+
+namespace bismark::wireless {
+namespace {
+
+net::MacAddress Mac(std::uint32_t nic) { return net::MacAddress::FromParts(0x38AA3C, nic); }
+const TimePoint t0 = MakeTime({2012, 11, 1});
+
+Neighborhood MakeHood() {
+  NeighborhoodProfile p;
+  p.dense_prob = 1.0;
+  p.dense_mean_24 = 15.0;
+  p.dense_mean_5 = 3.0;
+  p.popular_channel_frac = 1.0;  // all on 1/6/11
+  return Neighborhood::Generate(p, Rng(5));
+}
+
+TEST(ScannerTest, ScanReportsVisibleApsOnOwnChannel) {
+  const Neighborhood hood = MakeHood();
+  AssociationTable radio({Band::k2_4GHz, 11, true});
+  WifiScanner scanner({}, Rng(9));
+  const ScanResult result = scanner.scan(hood, radio, t0);
+  EXPECT_EQ(result.band, Band::k2_4GHz);
+  EXPECT_EQ(result.channel, 11);
+  EXPECT_EQ(result.visible_aps, hood.audible_on(Band::k2_4GHz, 11).size());
+}
+
+TEST(ScannerTest, ScanCanDisassociateClients) {
+  // Section 3.2.2: "the scanning process can sometimes cause wireless
+  // clients to disassociate from the router".
+  const Neighborhood hood = MakeHood();
+  ScannerConfig cfg;
+  cfg.disassociation_prob = 1.0;  // force the failure mode
+  AssociationTable radio({Band::k2_4GHz, 11, true});
+  radio.associate(Mac(1), t0);
+  radio.associate(Mac(2), t0);
+  WifiScanner scanner(cfg, Rng(9));
+  const ScanResult result = scanner.scan(hood, radio, t0);
+  EXPECT_EQ(result.clients_disassociated, 2u);
+  EXPECT_EQ(radio.client_count(), 0u);
+  EXPECT_EQ(result.associated_clients, 0u);
+}
+
+TEST(ScannerTest, ZeroDisassociationProbIsHarmless) {
+  const Neighborhood hood = MakeHood();
+  ScannerConfig cfg;
+  cfg.disassociation_prob = 0.0;
+  AssociationTable radio({Band::k2_4GHz, 11, true});
+  radio.associate(Mac(1), t0);
+  WifiScanner scanner(cfg, Rng(9));
+  const ScanResult result = scanner.scan(hood, radio, t0);
+  EXPECT_EQ(result.clients_disassociated, 0u);
+  EXPECT_EQ(radio.client_count(), 1u);
+}
+
+TEST(ScannerTest, BacksOffWhenClientsPresent) {
+  // "...so we reduce the scanning frequency if the router has associated
+  // clients."
+  ScannerConfig cfg;
+  cfg.base_interval = Minutes(10);
+  cfg.backoff_factor = 3;
+  WifiScanner scanner(cfg, Rng(9));
+  EXPECT_EQ(scanner.next_interval(0), Minutes(10));
+  EXPECT_EQ(scanner.next_interval(1), Minutes(30));
+  EXPECT_EQ(scanner.next_interval(5), Minutes(30));
+}
+
+TEST(ScannerTest, FiveGhzScanSeesOnlyFiveGhzAps) {
+  const Neighborhood hood = MakeHood();
+  AssociationTable radio({Band::k5GHz, 36, true});
+  WifiScanner scanner({}, Rng(9));
+  const ScanResult result = scanner.scan(hood, radio, t0);
+  EXPECT_EQ(result.band, Band::k5GHz);
+  EXPECT_EQ(result.visible_aps, hood.audible_on(Band::k5GHz, 36).size());
+  EXPECT_LE(result.visible_aps, hood.count_on_band(Band::k5GHz));
+}
+
+}  // namespace
+}  // namespace bismark::wireless

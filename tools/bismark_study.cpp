@@ -1,0 +1,187 @@
+// bismark-study: the command-line front door to the reproduction.
+//
+//   bismark_study run      --seed 42 --weeks 8 [--no-traffic] [--export DIR]
+//   bismark_study report   --seed 42 [--weeks N]     # paper-style digest
+//   bismark_study analyze  <release-dir>             # from released CSVs
+//   bismark_study --help
+//
+// `run` simulates a deployment and prints dataset volumes; `report` adds
+// the Section 4-6 headline numbers; `analyze` consumes a directory written
+// by `run --export` (or examples/world_deployment) using only the public
+// CSVs.
+#include <cstdio>
+#include <set>
+
+#include "analysis/diurnal.h"
+#include "analysis/downtime.h"
+#include "analysis/infrastructure.h"
+#include "analysis/usage.h"
+#include "analysis/utilization.h"
+#include "collect/export.h"
+#include "collect/import.h"
+#include "core/args.h"
+#include "core/table.h"
+#include "home/deployment.h"
+
+using namespace bismark;
+
+namespace {
+
+home::DeploymentOptions OptionsFrom(const ArgParser& args) {
+  home::DeploymentOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 20131023));
+  const auto weeks = args.get_int("weeks", 0);
+  if (weeks > 0) {
+    options.windows = collect::DatasetWindows::Compressed(MakeTime({2012, 10, 1}),
+                                                          static_cast<int>(weeks));
+  } else {
+    options.windows = collect::DatasetWindows::Paper();
+  }
+  options.run_traffic = !args.has("no-traffic");
+  options.roster_scale = args.get_double("scale", 1.0);
+  return options;
+}
+
+int CmdRun(const ArgParser& args) {
+  const auto options = OptionsFrom(args);
+  std::printf("simulating %d-home deployment (seed %llu)...\n", home::TotalRouters(),
+              static_cast<unsigned long long>(options.seed));
+  const auto study = home::Deployment::RunStudy(options);
+  const auto counts = study->repository().counts();
+
+  TextTable table({"dataset", "rows"});
+  table.add_row({"heartbeat runs", TextTable::Int(static_cast<long long>(counts.heartbeat_runs))});
+  table.add_row({"uptime reports", TextTable::Int(static_cast<long long>(counts.uptime))});
+  table.add_row({"capacity probes", TextTable::Int(static_cast<long long>(counts.capacity))});
+  table.add_row({"device censuses", TextTable::Int(static_cast<long long>(counts.device_counts))});
+  table.add_row({"wifi scans", TextTable::Int(static_cast<long long>(counts.wifi_scans))});
+  table.add_row({"traffic flows", TextTable::Int(static_cast<long long>(counts.flows))});
+  table.add_row({"busy minutes", TextTable::Int(static_cast<long long>(counts.throughput_minutes))});
+  table.add_row({"dns samples", TextTable::Int(static_cast<long long>(counts.dns))});
+  table.print();
+
+  if (const auto dir = args.get("export")) {
+    const std::size_t rows = collect::ExportPublicDatasets(study->repository(), *dir);
+    std::printf("exported %zu public rows to %s (Traffic withheld, as in the paper)\n", rows,
+                dir->c_str());
+  }
+  return 0;
+}
+
+int CmdReport(const ArgParser& args) {
+  const auto options = OptionsFrom(args);
+  const auto study = home::Deployment::RunStudy(options);
+  const auto& repo = study->repository();
+
+  PrintBanner("Availability (Section 4)");
+  const auto homes = analysis::AnalyzeAvailability(repo, {Minutes(10), 25.0});
+  const auto summary = analysis::SummarizeRegions(homes);
+  std::printf("median days between downtimes: developed %.1f, developing %.2f\n",
+              summary.median_days_between_downtimes_developed,
+              summary.median_days_between_downtimes_developing);
+  std::printf("median downtime duration: developed %s, developing %s\n",
+              FormatDuration(Seconds(summary.median_duration_s_developed)).c_str(),
+              FormatDuration(Seconds(summary.median_duration_s_developing)).c_str());
+
+  PrintBanner("Infrastructure (Section 5)");
+  std::printf("devices/home: median %.1f, mean %.1f\n",
+              analysis::UniqueDevicesCdf(repo).median(), analysis::MeanUniqueDevices(repo));
+  const auto bands = analysis::UniqueDevicesPerBand(repo);
+  std::printf("per band: 2.4 GHz median %.0f, 5 GHz median %.0f\n", bands.band24.median(),
+              bands.band5.median());
+  const auto neighbors = analysis::NeighborAps(repo);
+  std::printf("neighbour APs: developed median %.0f, developing median %.0f\n",
+              neighbors.developed.median(), neighbors.developing.median());
+  const auto table5 = analysis::AlwaysConnected(repo);
+  std::printf("always-connected homes: developed %.0f%%/%.0f%% (wired/wireless), "
+              "developing %.0f%%/%.0f%%\n",
+              table5.developed.wired_fraction() * 100,
+              table5.developed.wireless_fraction() * 100,
+              table5.developing.wired_fraction() * 100,
+              table5.developing.wireless_fraction() * 100);
+
+  PrintBanner("Usage (Section 6)");
+  const auto diurnal = analysis::WirelessDiurnalProfile(repo);
+  std::printf("diurnal wireless devices: weekday %.2f-%.2f, weekend %.2f-%.2f\n",
+              diurnal.weekday_trough(), diurnal.weekday_peak(), diurnal.weekend_trough(),
+              diurnal.weekend_peak());
+  const auto saturation = analysis::LinkSaturation(repo);
+  int under_half = 0, saturated = 0;
+  for (const auto& p : saturation) {
+    under_half += p.utilization_down_p95 < 0.5;
+    saturated += p.utilization_down_p95 >= 0.95;
+  }
+  std::printf("downlink p95: %d/%zu homes under 50%%, %d saturating\n", under_half,
+              saturation.size(), saturated);
+  std::printf("bufferbloat homes (uplink > 1.05x capacity): %zu\n",
+              analysis::OversaturatedUplinks(saturation).size());
+  const auto devices = analysis::DeviceUsageShares(repo);
+  const auto domains = analysis::DomainUsageShares(repo);
+  std::printf("dominant device %.0f%% of home traffic; top domain %.0f%% of volume over "
+              "%.0f%% of connections; whitelist covers %.0f%%\n",
+              (devices.share_by_rank.empty() ? 0.0 : devices.share_by_rank[0]) * 100,
+              domains.by_rank[0].volume_share * 100,
+              domains.by_rank[0].conns_by_vol_rank * 100,
+              domains.whitelisted_volume_share * 100);
+  return 0;
+}
+
+int CmdAnalyze(const ArgParser& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "usage: bismark_study analyze <release-dir>\n");
+    return 2;
+  }
+  const std::string dir = args.positional()[1];
+  collect::DataRepository repo(collect::DatasetWindows::Paper());
+  const auto report = collect::ImportPublicDatasets(repo, dir);
+  std::printf("imported %zu rows from %s\n", report.total_rows(), dir.c_str());
+  for (const auto& e : report.errors) std::fprintf(stderr, "warning: %s\n", e.c_str());
+  if (report.total_rows() == 0) return 1;
+
+  std::set<int> ids;
+  for (const auto& run : repo.heartbeat_runs()) ids.insert(run.home.value);
+  for (const auto& rec : repo.device_counts()) ids.insert(rec.home.value);
+  for (int id : ids) {
+    collect::HomeInfo info;
+    info.id = collect::HomeId{id};
+    info.country_code = "??";
+    info.reports_devices = true;
+    repo.register_home(info);
+  }
+
+  const auto homes = analysis::AnalyzeAvailability(repo, {Minutes(10), 25.0});
+  Cdf downtimes;
+  for (const auto& h : homes) downtimes.add(h.downtimes_per_day());
+  std::printf("homes: %zu qualifying\n", homes.size());
+  std::printf("downtimes/day: %s\n", Summarize(downtimes).c_str());
+  std::printf("devices/home: %s\n", Summarize(analysis::UniqueDevicesCdf(repo)).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(
+      "bismark_study: simulate, export and analyze the IMC'13 home-network study");
+  args.add_option("seed", "deployment seed", "20131023");
+  args.add_option("weeks", "compress the study to N weeks (0 = the paper's real windows)",
+                  "0");
+  args.add_option("scale", "scale the per-country roster (1.0 = 126 homes)", "1.0");
+  args.add_option("export", "write the public CSVs to this directory");
+  args.add_flag("no-traffic", "skip the Traffic window simulation");
+  args.add_flag("help", "show this help");
+
+  if (!args.parse(argc, argv) || args.has("help") || args.positional().empty()) {
+    if (!args.error().empty()) std::fprintf(stderr, "error: %s\n\n", args.error().c_str());
+    std::fputs(args.help("bismark_study <run|report|analyze>").c_str(), stderr);
+    return args.has("help") ? 0 : 2;
+  }
+
+  const std::string& command = args.positional()[0];
+  if (command == "run") return CmdRun(args);
+  if (command == "report") return CmdReport(args);
+  if (command == "analyze") return CmdAnalyze(args);
+  std::fprintf(stderr, "unknown command '%s' (expected run, report or analyze)\n",
+               command.c_str());
+  return 2;
+}

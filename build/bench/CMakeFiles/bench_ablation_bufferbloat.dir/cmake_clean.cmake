@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bufferbloat.dir/bench_ablation_bufferbloat.cpp.o"
+  "CMakeFiles/bench_ablation_bufferbloat.dir/bench_ablation_bufferbloat.cpp.o.d"
+  "bench_ablation_bufferbloat"
+  "bench_ablation_bufferbloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bufferbloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_whitelist.dir/bench_ablation_whitelist.cpp.o"
+  "CMakeFiles/bench_ablation_whitelist.dir/bench_ablation_whitelist.cpp.o.d"
+  "bench_ablation_whitelist"
+  "bench_ablation_whitelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_whitelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

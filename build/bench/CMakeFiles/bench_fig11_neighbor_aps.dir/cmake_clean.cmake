@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_neighbor_aps.dir/bench_fig11_neighbor_aps.cpp.o"
+  "CMakeFiles/bench_fig11_neighbor_aps.dir/bench_fig11_neighbor_aps.cpp.o.d"
+  "bench_fig11_neighbor_aps"
+  "bench_fig11_neighbor_aps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_neighbor_aps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_vendors.dir/bench_fig12_vendors.cpp.o"
+  "CMakeFiles/bench_fig12_vendors.dir/bench_fig12_vendors.cpp.o.d"
+  "bench_fig12_vendors"
+  "bench_fig12_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_bufferbloat.dir/bench_fig16_bufferbloat.cpp.o"
+  "CMakeFiles/bench_fig16_bufferbloat.dir/bench_fig16_bufferbloat.cpp.o.d"
+  "bench_fig16_bufferbloat"
+  "bench_fig16_bufferbloat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_bufferbloat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

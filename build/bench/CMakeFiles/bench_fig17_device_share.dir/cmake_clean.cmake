@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_device_share.dir/bench_fig17_device_share.cpp.o"
+  "CMakeFiles/bench_fig17_device_share.dir/bench_fig17_device_share.cpp.o.d"
+  "bench_fig17_device_share"
+  "bench_fig17_device_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_device_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

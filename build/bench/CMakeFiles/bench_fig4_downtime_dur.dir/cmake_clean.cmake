@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_downtime_dur.dir/bench_fig4_downtime_dur.cpp.o"
+  "CMakeFiles/bench_fig4_downtime_dur.dir/bench_fig4_downtime_dur.cpp.o.d"
+  "bench_fig4_downtime_dur"
+  "bench_fig4_downtime_dur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_downtime_dur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

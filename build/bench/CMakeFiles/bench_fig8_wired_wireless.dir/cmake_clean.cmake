@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wired_wireless.dir/bench_fig8_wired_wireless.cpp.o"
+  "CMakeFiles/bench_fig8_wired_wireless.dir/bench_fig8_wired_wireless.cpp.o.d"
+  "bench_fig8_wired_wireless"
+  "bench_fig8_wired_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wired_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

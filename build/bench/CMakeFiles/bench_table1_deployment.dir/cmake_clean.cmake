@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_deployment.dir/bench_table1_deployment.cpp.o"
+  "CMakeFiles/bench_table1_deployment.dir/bench_table1_deployment.cpp.o.d"
+  "bench_table1_deployment"
+  "bench_table1_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table5_always_connected.cpp" "bench/CMakeFiles/bench_table5_always_connected.dir/bench_table5_always_connected.cpp.o" "gcc" "bench/CMakeFiles/bench_table5_always_connected.dir/bench_table5_always_connected.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/bismark_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/bismark_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/bismark/CMakeFiles/bismark_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/bismark_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bismark_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_always_connected.dir/bench_table5_always_connected.cpp.o"
+  "CMakeFiles/bench_table5_always_connected.dir/bench_table5_always_connected.cpp.o.d"
+  "bench_table5_always_connected"
+  "bench_table5_always_connected.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_always_connected.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

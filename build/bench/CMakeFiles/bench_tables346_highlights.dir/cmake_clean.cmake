@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tables346_highlights.dir/bench_tables346_highlights.cpp.o"
+  "CMakeFiles/bench_tables346_highlights.dir/bench_tables346_highlights.cpp.o.d"
+  "bench_tables346_highlights"
+  "bench_tables346_highlights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tables346_highlights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

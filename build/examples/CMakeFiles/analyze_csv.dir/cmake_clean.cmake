@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_csv.dir/analyze_csv.cpp.o"
+  "CMakeFiles/analyze_csv.dir/analyze_csv.cpp.o.d"
+  "analyze_csv"
+  "analyze_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_probe_demo.dir/capacity_probe_demo.cpp.o"
+  "CMakeFiles/capacity_probe_demo.dir/capacity_probe_demo.cpp.o.d"
+  "capacity_probe_demo"
+  "capacity_probe_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_probe_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_fingerprint.dir/device_fingerprint.cpp.o"
+  "CMakeFiles/device_fingerprint.dir/device_fingerprint.cpp.o.d"
+  "device_fingerprint"
+  "device_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_walkthrough.dir/nat_walkthrough.cpp.o"
+  "CMakeFiles/nat_walkthrough.dir/nat_walkthrough.cpp.o.d"
+  "nat_walkthrough"
+  "nat_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usage_caps.dir/usage_caps.cpp.o"
+  "CMakeFiles/usage_caps.dir/usage_caps.cpp.o.d"
+  "usage_caps"
+  "usage_caps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usage_caps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

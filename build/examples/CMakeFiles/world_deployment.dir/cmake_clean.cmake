@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world_deployment.dir/world_deployment.cpp.o"
+  "CMakeFiles/world_deployment.dir/world_deployment.cpp.o.d"
+  "world_deployment"
+  "world_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/capacity_stats.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/capacity_stats.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/capacity_stats.cpp.o.d"
+  "/root/repo/src/analysis/collection_artifacts.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/collection_artifacts.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/collection_artifacts.cpp.o.d"
+  "/root/repo/src/analysis/diurnal.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/diurnal.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/diurnal.cpp.o.d"
+  "/root/repo/src/analysis/downtime.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/downtime.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/downtime.cpp.o.d"
+  "/root/repo/src/analysis/fingerprint.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/fingerprint.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/fingerprint.cpp.o.d"
+  "/root/repo/src/analysis/infrastructure.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/infrastructure.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/infrastructure.cpp.o.d"
+  "/root/repo/src/analysis/timeline_view.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/timeline_view.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/timeline_view.cpp.o.d"
+  "/root/repo/src/analysis/usage.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/usage.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/usage.cpp.o.d"
+  "/root/repo/src/analysis/utilization.cpp" "src/analysis/CMakeFiles/bismark_analysis.dir/utilization.cpp.o" "gcc" "src/analysis/CMakeFiles/bismark_analysis.dir/utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/bismark_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bismark_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_analysis.dir/capacity_stats.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/capacity_stats.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/collection_artifacts.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/collection_artifacts.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/diurnal.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/diurnal.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/downtime.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/downtime.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/fingerprint.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/fingerprint.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/infrastructure.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/infrastructure.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/timeline_view.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/timeline_view.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/usage.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/usage.cpp.o.d"
+  "CMakeFiles/bismark_analysis.dir/utilization.cpp.o"
+  "CMakeFiles/bismark_analysis.dir/utilization.cpp.o.d"
+  "libbismark_analysis.a"
+  "libbismark_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_gateway.dir/anonymize.cpp.o"
+  "CMakeFiles/bismark_gateway.dir/anonymize.cpp.o.d"
+  "CMakeFiles/bismark_gateway.dir/gateway.cpp.o"
+  "CMakeFiles/bismark_gateway.dir/gateway.cpp.o.d"
+  "CMakeFiles/bismark_gateway.dir/meter.cpp.o"
+  "CMakeFiles/bismark_gateway.dir/meter.cpp.o.d"
+  "CMakeFiles/bismark_gateway.dir/services.cpp.o"
+  "CMakeFiles/bismark_gateway.dir/services.cpp.o.d"
+  "CMakeFiles/bismark_gateway.dir/usage_cap.cpp.o"
+  "CMakeFiles/bismark_gateway.dir/usage_cap.cpp.o.d"
+  "libbismark_gateway.a"
+  "libbismark_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

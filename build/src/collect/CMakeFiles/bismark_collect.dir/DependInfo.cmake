@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/collect/export.cpp" "src/collect/CMakeFiles/bismark_collect.dir/export.cpp.o" "gcc" "src/collect/CMakeFiles/bismark_collect.dir/export.cpp.o.d"
+  "/root/repo/src/collect/import.cpp" "src/collect/CMakeFiles/bismark_collect.dir/import.cpp.o" "gcc" "src/collect/CMakeFiles/bismark_collect.dir/import.cpp.o.d"
+  "/root/repo/src/collect/records.cpp" "src/collect/CMakeFiles/bismark_collect.dir/records.cpp.o" "gcc" "src/collect/CMakeFiles/bismark_collect.dir/records.cpp.o.d"
+  "/root/repo/src/collect/repository.cpp" "src/collect/CMakeFiles/bismark_collect.dir/repository.cpp.o" "gcc" "src/collect/CMakeFiles/bismark_collect.dir/repository.cpp.o.d"
+  "/root/repo/src/collect/server.cpp" "src/collect/CMakeFiles/bismark_collect.dir/server.cpp.o" "gcc" "src/collect/CMakeFiles/bismark_collect.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

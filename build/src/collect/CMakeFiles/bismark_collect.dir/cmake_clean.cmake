@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_collect.dir/export.cpp.o"
+  "CMakeFiles/bismark_collect.dir/export.cpp.o.d"
+  "CMakeFiles/bismark_collect.dir/import.cpp.o"
+  "CMakeFiles/bismark_collect.dir/import.cpp.o.d"
+  "CMakeFiles/bismark_collect.dir/records.cpp.o"
+  "CMakeFiles/bismark_collect.dir/records.cpp.o.d"
+  "CMakeFiles/bismark_collect.dir/repository.cpp.o"
+  "CMakeFiles/bismark_collect.dir/repository.cpp.o.d"
+  "CMakeFiles/bismark_collect.dir/server.cpp.o"
+  "CMakeFiles/bismark_collect.dir/server.cpp.o.d"
+  "libbismark_collect.a"
+  "libbismark_collect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

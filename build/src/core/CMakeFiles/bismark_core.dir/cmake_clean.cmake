@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_core.dir/args.cpp.o"
+  "CMakeFiles/bismark_core.dir/args.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/cdf.cpp.o"
+  "CMakeFiles/bismark_core.dir/cdf.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/csv.cpp.o"
+  "CMakeFiles/bismark_core.dir/csv.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/histogram.cpp.o"
+  "CMakeFiles/bismark_core.dir/histogram.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/intervals.cpp.o"
+  "CMakeFiles/bismark_core.dir/intervals.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/logging.cpp.o"
+  "CMakeFiles/bismark_core.dir/logging.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/rng.cpp.o"
+  "CMakeFiles/bismark_core.dir/rng.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/stats.cpp.o"
+  "CMakeFiles/bismark_core.dir/stats.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/table.cpp.o"
+  "CMakeFiles/bismark_core.dir/table.cpp.o.d"
+  "CMakeFiles/bismark_core.dir/time.cpp.o"
+  "CMakeFiles/bismark_core.dir/time.cpp.o.d"
+  "libbismark_core.a"
+  "libbismark_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

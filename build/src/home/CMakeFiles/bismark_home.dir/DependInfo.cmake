@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/home/availability.cpp" "src/home/CMakeFiles/bismark_home.dir/availability.cpp.o" "gcc" "src/home/CMakeFiles/bismark_home.dir/availability.cpp.o.d"
+  "/root/repo/src/home/country.cpp" "src/home/CMakeFiles/bismark_home.dir/country.cpp.o" "gcc" "src/home/CMakeFiles/bismark_home.dir/country.cpp.o.d"
+  "/root/repo/src/home/deployment.cpp" "src/home/CMakeFiles/bismark_home.dir/deployment.cpp.o" "gcc" "src/home/CMakeFiles/bismark_home.dir/deployment.cpp.o.d"
+  "/root/repo/src/home/device.cpp" "src/home/CMakeFiles/bismark_home.dir/device.cpp.o" "gcc" "src/home/CMakeFiles/bismark_home.dir/device.cpp.o.d"
+  "/root/repo/src/home/household.cpp" "src/home/CMakeFiles/bismark_home.dir/household.cpp.o" "gcc" "src/home/CMakeFiles/bismark_home.dir/household.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bismark_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/bismark/CMakeFiles/bismark_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/bismark_collect.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_home.dir/availability.cpp.o"
+  "CMakeFiles/bismark_home.dir/availability.cpp.o.d"
+  "CMakeFiles/bismark_home.dir/country.cpp.o"
+  "CMakeFiles/bismark_home.dir/country.cpp.o.d"
+  "CMakeFiles/bismark_home.dir/deployment.cpp.o"
+  "CMakeFiles/bismark_home.dir/deployment.cpp.o.d"
+  "CMakeFiles/bismark_home.dir/device.cpp.o"
+  "CMakeFiles/bismark_home.dir/device.cpp.o.d"
+  "CMakeFiles/bismark_home.dir/household.cpp.o"
+  "CMakeFiles/bismark_home.dir/household.cpp.o.d"
+  "libbismark_home.a"
+  "libbismark_home.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbismark_home.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/access_link.cpp" "src/net/CMakeFiles/bismark_net.dir/access_link.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/access_link.cpp.o.d"
+  "/root/repo/src/net/addr.cpp" "src/net/CMakeFiles/bismark_net.dir/addr.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/addr.cpp.o.d"
+  "/root/repo/src/net/dhcp.cpp" "src/net/CMakeFiles/bismark_net.dir/dhcp.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/dhcp.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/bismark_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/ethernet.cpp" "src/net/CMakeFiles/bismark_net.dir/ethernet.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/ethernet.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/net/CMakeFiles/bismark_net.dir/flow.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/flow.cpp.o.d"
+  "/root/repo/src/net/nat.cpp" "src/net/CMakeFiles/bismark_net.dir/nat.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/nat.cpp.o.d"
+  "/root/repo/src/net/oui.cpp" "src/net/CMakeFiles/bismark_net.dir/oui.cpp.o" "gcc" "src/net/CMakeFiles/bismark_net.dir/oui.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_net.dir/access_link.cpp.o"
+  "CMakeFiles/bismark_net.dir/access_link.cpp.o.d"
+  "CMakeFiles/bismark_net.dir/addr.cpp.o"
+  "CMakeFiles/bismark_net.dir/addr.cpp.o.d"
+  "CMakeFiles/bismark_net.dir/dhcp.cpp.o"
+  "CMakeFiles/bismark_net.dir/dhcp.cpp.o.d"
+  "CMakeFiles/bismark_net.dir/dns.cpp.o"
+  "CMakeFiles/bismark_net.dir/dns.cpp.o.d"
+  "CMakeFiles/bismark_net.dir/ethernet.cpp.o"
+  "CMakeFiles/bismark_net.dir/ethernet.cpp.o.d"
+  "CMakeFiles/bismark_net.dir/flow.cpp.o"
+  "CMakeFiles/bismark_net.dir/flow.cpp.o.d"
+  "CMakeFiles/bismark_net.dir/nat.cpp.o"
+  "CMakeFiles/bismark_net.dir/nat.cpp.o.d"
+  "CMakeFiles/bismark_net.dir/oui.cpp.o"
+  "CMakeFiles/bismark_net.dir/oui.cpp.o.d"
+  "libbismark_net.a"
+  "libbismark_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_sim.dir/engine.cpp.o"
+  "CMakeFiles/bismark_sim.dir/engine.cpp.o.d"
+  "libbismark_sim.a"
+  "libbismark_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

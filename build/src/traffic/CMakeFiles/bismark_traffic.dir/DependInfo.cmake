@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/apps.cpp" "src/traffic/CMakeFiles/bismark_traffic.dir/apps.cpp.o" "gcc" "src/traffic/CMakeFiles/bismark_traffic.dir/apps.cpp.o.d"
+  "/root/repo/src/traffic/device_types.cpp" "src/traffic/CMakeFiles/bismark_traffic.dir/device_types.cpp.o" "gcc" "src/traffic/CMakeFiles/bismark_traffic.dir/device_types.cpp.o.d"
+  "/root/repo/src/traffic/domains.cpp" "src/traffic/CMakeFiles/bismark_traffic.dir/domains.cpp.o" "gcc" "src/traffic/CMakeFiles/bismark_traffic.dir/domains.cpp.o.d"
+  "/root/repo/src/traffic/generator.cpp" "src/traffic/CMakeFiles/bismark_traffic.dir/generator.cpp.o" "gcc" "src/traffic/CMakeFiles/bismark_traffic.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

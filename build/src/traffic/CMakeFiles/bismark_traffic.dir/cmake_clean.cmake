@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_traffic.dir/apps.cpp.o"
+  "CMakeFiles/bismark_traffic.dir/apps.cpp.o.d"
+  "CMakeFiles/bismark_traffic.dir/device_types.cpp.o"
+  "CMakeFiles/bismark_traffic.dir/device_types.cpp.o.d"
+  "CMakeFiles/bismark_traffic.dir/domains.cpp.o"
+  "CMakeFiles/bismark_traffic.dir/domains.cpp.o.d"
+  "CMakeFiles/bismark_traffic.dir/generator.cpp.o"
+  "CMakeFiles/bismark_traffic.dir/generator.cpp.o.d"
+  "libbismark_traffic.a"
+  "libbismark_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

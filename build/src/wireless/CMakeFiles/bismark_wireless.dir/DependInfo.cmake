@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wireless/airtime.cpp" "src/wireless/CMakeFiles/bismark_wireless.dir/airtime.cpp.o" "gcc" "src/wireless/CMakeFiles/bismark_wireless.dir/airtime.cpp.o.d"
+  "/root/repo/src/wireless/association.cpp" "src/wireless/CMakeFiles/bismark_wireless.dir/association.cpp.o" "gcc" "src/wireless/CMakeFiles/bismark_wireless.dir/association.cpp.o.d"
+  "/root/repo/src/wireless/band.cpp" "src/wireless/CMakeFiles/bismark_wireless.dir/band.cpp.o" "gcc" "src/wireless/CMakeFiles/bismark_wireless.dir/band.cpp.o.d"
+  "/root/repo/src/wireless/neighbor.cpp" "src/wireless/CMakeFiles/bismark_wireless.dir/neighbor.cpp.o" "gcc" "src/wireless/CMakeFiles/bismark_wireless.dir/neighbor.cpp.o.d"
+  "/root/repo/src/wireless/scanner.cpp" "src/wireless/CMakeFiles/bismark_wireless.dir/scanner.cpp.o" "gcc" "src/wireless/CMakeFiles/bismark_wireless.dir/scanner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

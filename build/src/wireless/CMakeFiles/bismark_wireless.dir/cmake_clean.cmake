@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_wireless.dir/airtime.cpp.o"
+  "CMakeFiles/bismark_wireless.dir/airtime.cpp.o.d"
+  "CMakeFiles/bismark_wireless.dir/association.cpp.o"
+  "CMakeFiles/bismark_wireless.dir/association.cpp.o.d"
+  "CMakeFiles/bismark_wireless.dir/band.cpp.o"
+  "CMakeFiles/bismark_wireless.dir/band.cpp.o.d"
+  "CMakeFiles/bismark_wireless.dir/neighbor.cpp.o"
+  "CMakeFiles/bismark_wireless.dir/neighbor.cpp.o.d"
+  "CMakeFiles/bismark_wireless.dir/scanner.cpp.o"
+  "CMakeFiles/bismark_wireless.dir/scanner.cpp.o.d"
+  "libbismark_wireless.a"
+  "libbismark_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

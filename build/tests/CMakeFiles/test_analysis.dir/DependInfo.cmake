@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/test_capacity_stats.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_capacity_stats.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_capacity_stats.cpp.o.d"
+  "/root/repo/tests/analysis/test_collection_artifacts.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_collection_artifacts.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_collection_artifacts.cpp.o.d"
+  "/root/repo/tests/analysis/test_diurnal.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_diurnal.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_diurnal.cpp.o.d"
+  "/root/repo/tests/analysis/test_downtime.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_downtime.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_downtime.cpp.o.d"
+  "/root/repo/tests/analysis/test_fingerprint.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_fingerprint.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_fingerprint.cpp.o.d"
+  "/root/repo/tests/analysis/test_infrastructure.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_infrastructure.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_infrastructure.cpp.o.d"
+  "/root/repo/tests/analysis/test_timeline_view.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_timeline_view.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_timeline_view.cpp.o.d"
+  "/root/repo/tests/analysis/test_usage.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_usage.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_usage.cpp.o.d"
+  "/root/repo/tests/analysis/test_utilization.cpp" "tests/CMakeFiles/test_analysis.dir/analysis/test_utilization.cpp.o" "gcc" "tests/CMakeFiles/test_analysis.dir/analysis/test_utilization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bismark_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/bismark_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/bismark/CMakeFiles/bismark_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/bismark_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bismark_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

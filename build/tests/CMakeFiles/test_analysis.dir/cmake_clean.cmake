@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_capacity_stats.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_capacity_stats.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_collection_artifacts.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_collection_artifacts.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_diurnal.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_diurnal.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_downtime.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_downtime.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_fingerprint.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_fingerprint.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_infrastructure.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_infrastructure.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_timeline_view.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_timeline_view.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_usage.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_usage.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_utilization.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_utilization.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

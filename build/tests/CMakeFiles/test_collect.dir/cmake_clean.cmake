@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_collect.dir/collect/test_export.cpp.o"
+  "CMakeFiles/test_collect.dir/collect/test_export.cpp.o.d"
+  "CMakeFiles/test_collect.dir/collect/test_import.cpp.o"
+  "CMakeFiles/test_collect.dir/collect/test_import.cpp.o.d"
+  "CMakeFiles/test_collect.dir/collect/test_repository.cpp.o"
+  "CMakeFiles/test_collect.dir/collect/test_repository.cpp.o.d"
+  "CMakeFiles/test_collect.dir/collect/test_server.cpp.o"
+  "CMakeFiles/test_collect.dir/collect/test_server.cpp.o.d"
+  "test_collect"
+  "test_collect.pdb"
+  "test_collect[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_collect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_args.cpp" "tests/CMakeFiles/test_core.dir/core/test_args.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_args.cpp.o.d"
+  "/root/repo/tests/core/test_cdf.cpp" "tests/CMakeFiles/test_core.dir/core/test_cdf.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_cdf.cpp.o.d"
+  "/root/repo/tests/core/test_histogram.cpp" "tests/CMakeFiles/test_core.dir/core/test_histogram.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_histogram.cpp.o.d"
+  "/root/repo/tests/core/test_intervals.cpp" "tests/CMakeFiles/test_core.dir/core/test_intervals.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_intervals.cpp.o.d"
+  "/root/repo/tests/core/test_logging.cpp" "tests/CMakeFiles/test_core.dir/core/test_logging.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_logging.cpp.o.d"
+  "/root/repo/tests/core/test_rng.cpp" "tests/CMakeFiles/test_core.dir/core/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rng.cpp.o.d"
+  "/root/repo/tests/core/test_rng_param.cpp" "tests/CMakeFiles/test_core.dir/core/test_rng_param.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rng_param.cpp.o.d"
+  "/root/repo/tests/core/test_stats.cpp" "tests/CMakeFiles/test_core.dir/core/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_stats.cpp.o.d"
+  "/root/repo/tests/core/test_table_csv.cpp" "tests/CMakeFiles/test_core.dir/core/test_table_csv.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_table_csv.cpp.o.d"
+  "/root/repo/tests/core/test_time.cpp" "tests/CMakeFiles/test_core.dir/core/test_time.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_time.cpp.o.d"
+  "/root/repo/tests/core/test_units.cpp" "tests/CMakeFiles/test_core.dir/core/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bismark_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/bismark_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/bismark/CMakeFiles/bismark_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/bismark_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bismark_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

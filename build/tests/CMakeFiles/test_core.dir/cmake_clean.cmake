@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_args.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_args.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_cdf.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_cdf.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_histogram.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_histogram.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_intervals.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_intervals.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_logging.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_logging.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rng_param.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rng_param.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_table_csv.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_table_csv.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_time.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_time.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_units.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_units.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

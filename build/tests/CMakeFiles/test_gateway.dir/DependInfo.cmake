@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bismark/test_anonymize.cpp" "tests/CMakeFiles/test_gateway.dir/bismark/test_anonymize.cpp.o" "gcc" "tests/CMakeFiles/test_gateway.dir/bismark/test_anonymize.cpp.o.d"
+  "/root/repo/tests/bismark/test_gateway.cpp" "tests/CMakeFiles/test_gateway.dir/bismark/test_gateway.cpp.o" "gcc" "tests/CMakeFiles/test_gateway.dir/bismark/test_gateway.cpp.o.d"
+  "/root/repo/tests/bismark/test_meter.cpp" "tests/CMakeFiles/test_gateway.dir/bismark/test_meter.cpp.o" "gcc" "tests/CMakeFiles/test_gateway.dir/bismark/test_meter.cpp.o.d"
+  "/root/repo/tests/bismark/test_services.cpp" "tests/CMakeFiles/test_gateway.dir/bismark/test_services.cpp.o" "gcc" "tests/CMakeFiles/test_gateway.dir/bismark/test_services.cpp.o.d"
+  "/root/repo/tests/bismark/test_usage_cap.cpp" "tests/CMakeFiles/test_gateway.dir/bismark/test_usage_cap.cpp.o" "gcc" "tests/CMakeFiles/test_gateway.dir/bismark/test_usage_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bismark_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/bismark_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/bismark/CMakeFiles/bismark_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/bismark_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bismark_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

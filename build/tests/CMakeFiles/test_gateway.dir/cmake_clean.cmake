@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gateway.dir/bismark/test_anonymize.cpp.o"
+  "CMakeFiles/test_gateway.dir/bismark/test_anonymize.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/bismark/test_gateway.cpp.o"
+  "CMakeFiles/test_gateway.dir/bismark/test_gateway.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/bismark/test_meter.cpp.o"
+  "CMakeFiles/test_gateway.dir/bismark/test_meter.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/bismark/test_services.cpp.o"
+  "CMakeFiles/test_gateway.dir/bismark/test_services.cpp.o.d"
+  "CMakeFiles/test_gateway.dir/bismark/test_usage_cap.cpp.o"
+  "CMakeFiles/test_gateway.dir/bismark/test_usage_cap.cpp.o.d"
+  "test_gateway"
+  "test_gateway.pdb"
+  "test_gateway[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_home.dir/home/test_availability.cpp.o"
+  "CMakeFiles/test_home.dir/home/test_availability.cpp.o.d"
+  "CMakeFiles/test_home.dir/home/test_availability_param.cpp.o"
+  "CMakeFiles/test_home.dir/home/test_availability_param.cpp.o.d"
+  "CMakeFiles/test_home.dir/home/test_country.cpp.o"
+  "CMakeFiles/test_home.dir/home/test_country.cpp.o.d"
+  "CMakeFiles/test_home.dir/home/test_deployment.cpp.o"
+  "CMakeFiles/test_home.dir/home/test_deployment.cpp.o.d"
+  "CMakeFiles/test_home.dir/home/test_device.cpp.o"
+  "CMakeFiles/test_home.dir/home/test_device.cpp.o.d"
+  "CMakeFiles/test_home.dir/home/test_household.cpp.o"
+  "CMakeFiles/test_home.dir/home/test_household.cpp.o.d"
+  "CMakeFiles/test_home.dir/home/test_household_param.cpp.o"
+  "CMakeFiles/test_home.dir/home/test_household_param.cpp.o.d"
+  "test_home"
+  "test_home.pdb"
+  "test_home[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_home.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

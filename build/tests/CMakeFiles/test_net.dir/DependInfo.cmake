@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_access_link.cpp" "tests/CMakeFiles/test_net.dir/net/test_access_link.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_access_link.cpp.o.d"
+  "/root/repo/tests/net/test_addr.cpp" "tests/CMakeFiles/test_net.dir/net/test_addr.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_addr.cpp.o.d"
+  "/root/repo/tests/net/test_dhcp.cpp" "tests/CMakeFiles/test_net.dir/net/test_dhcp.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_dhcp.cpp.o.d"
+  "/root/repo/tests/net/test_dns.cpp" "tests/CMakeFiles/test_net.dir/net/test_dns.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_dns.cpp.o.d"
+  "/root/repo/tests/net/test_ethernet.cpp" "tests/CMakeFiles/test_net.dir/net/test_ethernet.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_ethernet.cpp.o.d"
+  "/root/repo/tests/net/test_flow.cpp" "tests/CMakeFiles/test_net.dir/net/test_flow.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_flow.cpp.o.d"
+  "/root/repo/tests/net/test_nat.cpp" "tests/CMakeFiles/test_net.dir/net/test_nat.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_nat.cpp.o.d"
+  "/root/repo/tests/net/test_nat_param.cpp" "tests/CMakeFiles/test_net.dir/net/test_nat_param.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_nat_param.cpp.o.d"
+  "/root/repo/tests/net/test_oui.cpp" "tests/CMakeFiles/test_net.dir/net/test_oui.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/test_oui.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/bismark_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/home/CMakeFiles/bismark_home.dir/DependInfo.cmake"
+  "/root/repo/build/src/bismark/CMakeFiles/bismark_gateway.dir/DependInfo.cmake"
+  "/root/repo/build/src/collect/CMakeFiles/bismark_collect.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/bismark_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wireless/CMakeFiles/bismark_wireless.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/bismark_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/bismark_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/bismark_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/test_access_link.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_access_link.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_addr.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_addr.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_dhcp.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_dhcp.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_dns.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_dns.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_ethernet.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_ethernet.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_flow.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_flow.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_nat.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_nat.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_nat_param.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_nat_param.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/test_oui.cpp.o"
+  "CMakeFiles/test_net.dir/net/test_oui.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_packet_path.dir/integration/test_packet_path.cpp.o"
+  "CMakeFiles/test_packet_path.dir/integration/test_packet_path.cpp.o.d"
+  "test_packet_path"
+  "test_packet_path.pdb"
+  "test_packet_path[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_packet_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

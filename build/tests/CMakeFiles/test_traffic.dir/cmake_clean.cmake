@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic.dir/traffic/test_apps.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_apps.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_apps_param.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_apps_param.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_device_types.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_device_types.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_domains.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_domains.cpp.o.d"
+  "CMakeFiles/test_traffic.dir/traffic/test_generator.cpp.o"
+  "CMakeFiles/test_traffic.dir/traffic/test_generator.cpp.o.d"
+  "test_traffic"
+  "test_traffic.pdb"
+  "test_traffic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wireless.dir/wireless/test_airtime.cpp.o"
+  "CMakeFiles/test_wireless.dir/wireless/test_airtime.cpp.o.d"
+  "CMakeFiles/test_wireless.dir/wireless/test_association.cpp.o"
+  "CMakeFiles/test_wireless.dir/wireless/test_association.cpp.o.d"
+  "CMakeFiles/test_wireless.dir/wireless/test_band.cpp.o"
+  "CMakeFiles/test_wireless.dir/wireless/test_band.cpp.o.d"
+  "CMakeFiles/test_wireless.dir/wireless/test_neighbor.cpp.o"
+  "CMakeFiles/test_wireless.dir/wireless/test_neighbor.cpp.o.d"
+  "CMakeFiles/test_wireless.dir/wireless/test_scanner.cpp.o"
+  "CMakeFiles/test_wireless.dir/wireless/test_scanner.cpp.o.d"
+  "test_wireless"
+  "test_wireless.pdb"
+  "test_wireless[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

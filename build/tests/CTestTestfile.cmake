@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_wireless[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_home[1]_include.cmake")
+include("/root/repo/build/tests/test_packet_path[1]_include.cmake")
+include("/root/repo/build/tests/test_gateway[1]_include.cmake")
+include("/root/repo/build/tests/test_collect[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+add_test(full_study_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(full_study_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;108;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(seed_robustness "/root/repo/build/tests/test_seed_robustness")
+set_tests_properties(seed_robustness PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;115;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bismark_study.dir/bismark_study.cpp.o"
+  "CMakeFiles/bismark_study.dir/bismark_study.cpp.o.d"
+  "bismark_study"
+  "bismark_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bismark_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,93 @@
+// Parallel-scaling bench: wall-clock for the sharded deployment runner at
+// roster_scale x {1, 4, 16} and worker counts {1, 2, 4, 8}, plus a
+// determinism cross-check (every configuration must hash identically).
+//
+// Reproduce locally with:
+//   build/bench/bench_parallel_scaling            # all scales
+//   build/bench/bench_parallel_scaling --scale 4  # one scale
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "collect/export.h"
+#include "core/args.h"
+#include "core/table.h"
+#include "core/thread_pool.h"
+#include "home/deployment.h"
+
+using namespace bismark;
+
+namespace {
+
+home::DeploymentOptions ScalingOptions(double roster_scale, int workers) {
+  home::DeploymentOptions options;
+  options.seed = 20131023;
+  // Compressed windows keep the x16 roster tractable while every stage
+  // (heartbeats, passive services, traffic engine) still runs.
+  options.windows = collect::DatasetWindows::Compressed(MakeTime({2012, 10, 1}), 4);
+  options.roster_scale = roster_scale;
+  options.workers = workers;
+  return options;
+}
+
+std::size_t ExportFingerprint(const collect::DataRepository& repo) {
+  std::ostringstream out;
+  collect::ExportHeartbeats(repo, out);
+  collect::ExportUptime(repo, out);
+  collect::ExportCapacity(repo, out);
+  collect::ExportDevices(repo, out);
+  collect::ExportWifi(repo, out);
+  collect::ExportTrafficFlows(repo, out);
+  return std::hash<std::string>{}(out.str());
+}
+
+double RunSeconds(double roster_scale, int workers, std::size_t* fingerprint) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto study = home::Deployment::RunStudy(ScalingOptions(roster_scale, workers));
+  const auto t1 = std::chrono::steady_clock::now();
+  *fingerprint = ExportFingerprint(study->repository());
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+void BenchScale(double roster_scale) {
+  std::printf("\n== roster_scale %.0f (%d hardware threads available) ==\n", roster_scale,
+              ThreadPool::HardwareWorkers());
+  TextTable table({"workers", "wall_s", "speedup", "export_hash"});
+  double serial_s = 0.0;
+  std::size_t serial_fp = 0;
+  for (const int workers : {1, 2, 4, 8}) {
+    std::size_t fp = 0;
+    const double s = RunSeconds(roster_scale, workers, &fp);
+    if (workers == 1) {
+      serial_s = s;
+      serial_fp = fp;
+    }
+    char hash[32];
+    std::snprintf(hash, sizeof(hash), "%016zx%s", fp,
+                  fp == serial_fp ? "" : " MISMATCH!");
+    table.add_row({TextTable::Int(workers), TextTable::Num(s, 2),
+                   TextTable::Num(serial_s / s, 2), hash});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args("bench_parallel_scaling: sharded-runner speedup and determinism");
+  args.add_option("scale", "run only this roster_scale (0 = the full {1,4,16} sweep)", "0");
+  if (!args.parse(argc, argv)) {
+    std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    return 2;
+  }
+  const double only = args.get_double("scale", 0.0);
+  if (only > 0.0) {
+    BenchScale(only);
+  } else {
+    for (const double scale : {1.0, 4.0, 16.0}) BenchScale(scale);
+  }
+  return 0;
+}

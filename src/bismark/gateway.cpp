@@ -5,11 +5,11 @@
 namespace bismark::gateway {
 
 Gateway::Gateway(GatewayConfig config, net::AccessLink& link, const Anonymizer& anonymizer,
-                 collect::DataRepository* repo)
+                 collect::RecordSink* sink)
     : config_(config),
       link_(link),
       anonymizer_(anonymizer),
-      repo_(repo),
+      repo_(sink),
       nat_(config.nat),
       dhcp_(config.lan_prefix, config.lan_prefix.host(1)),
       ethernet_(4),

@@ -43,7 +43,7 @@ struct DeviceUsage {
 class Gateway final : public traffic::TrafficSink {
  public:
   Gateway(GatewayConfig config, net::AccessLink& link, const Anonymizer& anonymizer,
-          collect::DataRepository* repo);
+          collect::RecordSink* sink);
 
   // --- LAN-side plumbing ---
   net::DhcpPool& dhcp() { return dhcp_; }
@@ -62,8 +62,14 @@ class Gateway final : public traffic::TrafficSink {
   void add_rate(net::Direction dir, double bps, TimePoint now) override;
   void remove_rate(net::Direction dir, double bps, TimePoint now) override;
 
-  /// Flush meters and per-device usage into the repository (end of study).
+  /// Flush meters and per-device usage into the record sink (end of study).
   void finalize(TimePoint now);
+
+  /// Repoint where collected records go. The sharded deployment runner
+  /// targets a per-shard staging batch for the traffic window and rebinds
+  /// back to the repository afterwards. Must not be called while traffic
+  /// is flowing through the gateway.
+  void rebind_sink(collect::RecordSink* sink) { repo_ = sink; }
 
   /// Attach the uCap usage manager (Section 3.2.2's cap-management Web
   /// interface). Once attached, every closed flow is charged to its device.
@@ -80,7 +86,7 @@ class Gateway final : public traffic::TrafficSink {
   GatewayConfig config_;
   net::AccessLink& link_;
   const Anonymizer& anonymizer_;
-  collect::DataRepository* repo_;  // may be null (standalone examples)
+  collect::RecordSink* repo_;  // may be null (standalone examples)
 
   net::NatTable nat_;
   net::DhcpPool dhcp_;

@@ -4,16 +4,16 @@
 
 namespace bismark::gateway {
 
-void ReportUptime(collect::DataRepository& repo, collect::HomeId home,
+void ReportUptime(collect::RecordSink& sink, collect::HomeId home,
                   const IntervalSet& router_on, Interval window, Duration interval) {
   for (TimePoint t = window.start; t < window.end; t += interval) {
     const Interval* on = router_on.containing(t);
     if (!on) continue;  // powered off: nothing reports
-    repo.add_uptime(collect::UptimeRecord{home, t, t - on->start});
+    sink.add_uptime(collect::UptimeRecord{home, t, t - on->start});
   }
 }
 
-void ReportCapacity(collect::DataRepository& repo, collect::HomeId home,
+void ReportCapacity(collect::RecordSink& sink, collect::HomeId home,
                     const IntervalSet& online, const net::AccessLink& link, Rng rng,
                     Interval window, Duration interval) {
   for (TimePoint t = window.start; t < window.end; t += interval) {
@@ -23,11 +23,11 @@ void ReportCapacity(collect::DataRepository& repo, collect::HomeId home,
     rec.measured = t;
     rec.downstream = link.probe_capacity(net::Direction::kDownstream, rng);
     rec.upstream = link.probe_capacity(net::Direction::kUpstream, rng);
-    repo.add_capacity(rec);
+    sink.add_capacity(rec);
   }
 }
 
-void ReportDeviceCounts(collect::DataRepository& repo, collect::HomeId home,
+void ReportDeviceCounts(collect::RecordSink& sink, collect::HomeId home,
                         const ClientCensus& census, const IntervalSet& router_on,
                         Interval window, Duration interval) {
   for (TimePoint t = window.start; t < window.end; t += interval) {
@@ -42,11 +42,11 @@ void ReportDeviceCounts(collect::DataRepository& repo, collect::HomeId home,
     rec.unique_24 =
         census.unique_seen_band(wireless::Band::k2_4GHz, window.start, t + interval);
     rec.unique_5 = census.unique_seen_band(wireless::Band::k5GHz, window.start, t + interval);
-    repo.add_device_count(rec);
+    sink.add_device_count(rec);
   }
 }
 
-void ReportWifiScans(collect::DataRepository& repo, collect::HomeId home,
+void ReportWifiScans(collect::RecordSink& sink, collect::HomeId home,
                      const ClientCensus& census, const wireless::Neighborhood& neighborhood,
                      const IntervalSet& router_on, Interval window, Rng rng,
                      const WifiServiceConfig& config) {
@@ -82,7 +82,7 @@ void ReportWifiScans(collect::DataRepository& repo, collect::HomeId home,
       rec.channel = channel;
       rec.visible_aps = seen;
       rec.associated_clients = clients;
-      repo.add_wifi_scan(rec);
+      sink.add_wifi_scan(rec);
 
       const Duration next = clients > 0
                                 ? config.scanner.base_interval * config.scanner.backoff_factor

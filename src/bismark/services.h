@@ -11,6 +11,7 @@
 #pragma once
 
 #include "collect/repository.h"
+#include "collect/sink.h"
 #include "core/intervals.h"
 #include "core/rng.h"
 #include "net/access_link.h"
@@ -36,17 +37,17 @@ class ClientCensus {
 /// Report router uptime every `interval` within `window`; the counter
 /// resets at each power-on, letting analysis tell "powered off" from
 /// "offline".
-void ReportUptime(collect::DataRepository& repo, collect::HomeId home,
+void ReportUptime(collect::RecordSink& sink, collect::HomeId home,
                   const IntervalSet& router_on, Interval window,
                   Duration interval = Hours(12));
 
 /// Run the capacity probe every `interval` while the home is online.
-void ReportCapacity(collect::DataRepository& repo, collect::HomeId home,
+void ReportCapacity(collect::RecordSink& sink, collect::HomeId home,
                     const IntervalSet& online, const net::AccessLink& link, Rng rng,
                     Interval window, Duration interval = Hours(12));
 
 /// Hourly device census while the router is powered.
-void ReportDeviceCounts(collect::DataRepository& repo, collect::HomeId home,
+void ReportDeviceCounts(collect::RecordSink& sink, collect::HomeId home,
                         const ClientCensus& census, const IntervalSet& router_on,
                         Interval window, Duration interval = Hours(1));
 
@@ -63,7 +64,7 @@ struct WifiServiceConfig {
 /// Channel scans on both radios while the router is powered. Scans run at
 /// the base cadence when the radio has no clients and back off by
 /// `scanner.backoff_factor` otherwise.
-void ReportWifiScans(collect::DataRepository& repo, collect::HomeId home,
+void ReportWifiScans(collect::RecordSink& sink, collect::HomeId home,
                      const ClientCensus& census, const wireless::Neighborhood& neighborhood,
                      const IntervalSet& router_on, Interval window, Rng rng,
                      const WifiServiceConfig& config = {});

@@ -3,10 +3,12 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "collect/records.h"
+#include "collect/sink.h"
 #include "core/intervals.h"
 #include "core/time.h"
 
@@ -51,9 +53,46 @@ struct HomeInfo {
   int power_mode{0};  // RouterPowerMode as int to avoid a home/ dependency
 };
 
-/// All collected data. Appending is single-threaded (the simulation loop);
-/// analysis reads are const.
-class DataRepository {
+/// A per-shard staging buffer: the same write API and window clipping as
+/// the repository, but entirely thread-private. A parallel deployment run
+/// gives each shard one batch; the shard's producers write into it without
+/// synchronisation and the runner commits finished batches back into the
+/// DataRepository under a single lock.
+class IngestBatch final : public RecordSink {
+ public:
+  explicit IngestBatch(DatasetWindows windows) : windows_(windows) {}
+
+  void add_heartbeat_run(HeartbeatRun run) override;
+  void add_uptime(UptimeRecord rec) override;
+  void add_capacity(CapacityRecord rec) override;
+  void add_device_count(DeviceCountRecord rec) override;
+  void add_wifi_scan(WifiScanRecord rec) override;
+  void add_flow(TrafficFlowRecord rec) override;
+  void add_throughput_minute(ThroughputMinute rec) override;
+  void add_dns(DnsLogRecord rec) override;
+  void add_device_traffic(DeviceTrafficRecord rec) override;
+
+  [[nodiscard]] std::size_t rows() const;
+
+ private:
+  friend class DataRepository;
+  DatasetWindows windows_;
+  std::vector<HeartbeatRun> heartbeats_;
+  std::vector<UptimeRecord> uptime_;
+  std::vector<CapacityRecord> capacity_;
+  std::vector<DeviceCountRecord> devices_;
+  std::vector<WifiScanRecord> wifi_;
+  std::vector<TrafficFlowRecord> flows_;
+  std::vector<ThroughputMinute> throughput_;
+  std::vector<DnsLogRecord> dns_;
+  std::vector<DeviceTrafficRecord> device_traffic_;
+};
+
+/// All collected data. Appends go through the RecordSink interface and are
+/// single-threaded (the simulation loop); parallel runs stage rows in
+/// IngestBatch objects and `commit()` them (thread-safe). Analysis reads
+/// are const and must only start once ingest is complete.
+class DataRepository final : public RecordSink {
  public:
   explicit DataRepository(DatasetWindows windows);
 
@@ -66,15 +105,30 @@ class DataRepository {
 
   // Appends (window clipping is the caller's duty for runs; point records
   // outside their window are dropped here, mirroring server-side checks).
-  void add_heartbeat_run(HeartbeatRun run);
-  void add_uptime(UptimeRecord rec);
-  void add_capacity(CapacityRecord rec);
-  void add_device_count(DeviceCountRecord rec);
-  void add_wifi_scan(WifiScanRecord rec);
-  void add_flow(TrafficFlowRecord rec);
-  void add_throughput_minute(ThroughputMinute rec);
-  void add_dns(DnsLogRecord rec);
-  void add_device_traffic(DeviceTrafficRecord rec);
+  void add_heartbeat_run(HeartbeatRun run) override;
+  void add_uptime(UptimeRecord rec) override;
+  void add_capacity(CapacityRecord rec) override;
+  void add_device_count(DeviceCountRecord rec) override;
+  void add_wifi_scan(WifiScanRecord rec) override;
+  void add_flow(TrafficFlowRecord rec) override;
+  void add_throughput_minute(ThroughputMinute rec) override;
+  void add_dns(DnsLogRecord rec) override;
+  void add_device_traffic(DeviceTrafficRecord rec) override;
+
+  /// A fresh staging buffer sharing this repository's windows.
+  [[nodiscard]] IngestBatch make_batch() const { return IngestBatch(windows_); }
+
+  /// Append a finished batch's rows. Thread-safe: batches may be committed
+  /// from worker threads as they complete; the commit order only affects
+  /// the pre-`finalize_deterministic_order()` row order.
+  void commit(IngestBatch&& batch);
+
+  /// Impose the canonical record order: every data set stably sorted by
+  /// (timestamp, home id). Per-home generation is deterministic and each
+  /// home lives in exactly one shard, so after this sort the repository
+  /// contents are byte-identical for every worker/shard configuration —
+  /// including the serial path. Call once, after all ingest.
+  void finalize_deterministic_order();
 
   // Data set accessors.
   [[nodiscard]] const std::vector<HeartbeatRun>& heartbeat_runs() const { return heartbeats_; }
@@ -105,6 +159,7 @@ class DataRepository {
 
  private:
   DatasetWindows windows_;
+  std::mutex commit_mu_;
   std::vector<HomeInfo> homes_;
   std::vector<HeartbeatRun> heartbeats_;
   std::vector<UptimeRecord> uptime_;

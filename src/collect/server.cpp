@@ -4,8 +4,8 @@
 
 namespace bismark::collect {
 
-CollectionServer::CollectionServer(DataRepository& repo, HeartbeatPathConfig config)
-    : repo_(repo), config_(config) {}
+CollectionServer::CollectionServer(RecordSink& sink, HeartbeatPathConfig config)
+    : sink_(sink), config_(config) {}
 
 namespace {
 // First heartbeat tick at or after `t`.
@@ -31,7 +31,7 @@ void CollectionServer::ingest_heartbeats(HomeId home, const IntervalSet& online,
     lost_ += expected_lost;
     received_ += static_cast<std::uint64_t>(n) - std::min<std::uint64_t>(
                                                      expected_lost, static_cast<std::uint64_t>(n));
-    repo_.add_heartbeat_run(HeartbeatRun{home, first, iv.end});
+    sink_.add_heartbeat_run(HeartbeatRun{home, first, iv.end});
   }
 }
 
@@ -52,7 +52,7 @@ void CollectionServer::ingest_exact(HomeId home, const Interval& iv, Rng& rng) {
       } else if (consecutive_lost >= threshold_beats) {
         // The gap was long enough to read as downtime: close the previous
         // run and open a new one.
-        repo_.add_heartbeat_run(HeartbeatRun{home, run_start, last_received + config_.period});
+        sink_.add_heartbeat_run(HeartbeatRun{home, run_start, last_received + config_.period});
         run_start = t;
       }
       last_received = t;
@@ -63,7 +63,7 @@ void CollectionServer::ingest_exact(HomeId home, const Interval& iv, Rng& rng) {
     }
   }
   if (in_run) {
-    repo_.add_heartbeat_run(HeartbeatRun{home, run_start, last_received + config_.period});
+    sink_.add_heartbeat_run(HeartbeatRun{home, run_start, last_received + config_.period});
   }
 }
 

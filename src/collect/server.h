@@ -9,6 +9,7 @@
 
 #include "collect/records.h"
 #include "collect/repository.h"
+#include "collect/sink.h"
 #include "core/intervals.h"
 #include "core/rng.h"
 
@@ -24,7 +25,9 @@ struct HeartbeatPathConfig {
 
 class CollectionServer {
  public:
-  CollectionServer(DataRepository& repo, HeartbeatPathConfig config);
+  /// Received runs are written to `sink`: the live repository in serial
+  /// runs, a per-shard IngestBatch in parallel ones.
+  CollectionServer(RecordSink& sink, HeartbeatPathConfig config);
 
   /// Ingest a home's online timeline as received-heartbeat runs.
   ///
@@ -42,7 +45,7 @@ class CollectionServer {
   [[nodiscard]] const HeartbeatPathConfig& config() const { return config_; }
 
  private:
-  DataRepository& repo_;
+  RecordSink& sink_;
   HeartbeatPathConfig config_;
   std::uint64_t received_{0};
   std::uint64_t lost_{0};

@@ -1,0 +1,31 @@
+// Write-side interface to the collection system.
+//
+// Everything that *produces* records — the collection server, the firmware
+// services, the gateway's passive monitor — writes through this interface
+// rather than against the concrete DataRepository. That indirection is what
+// lets the sharded deployment runner point each worker at a private staging
+// buffer (collect::IngestBatch) and merge the shards deterministically
+// afterwards, while single-threaded callers keep handing a DataRepository
+// straight to the producers.
+#pragma once
+
+#include "collect/records.h"
+
+namespace bismark::collect {
+
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+
+  virtual void add_heartbeat_run(HeartbeatRun run) = 0;
+  virtual void add_uptime(UptimeRecord rec) = 0;
+  virtual void add_capacity(CapacityRecord rec) = 0;
+  virtual void add_device_count(DeviceCountRecord rec) = 0;
+  virtual void add_wifi_scan(WifiScanRecord rec) = 0;
+  virtual void add_flow(TrafficFlowRecord rec) = 0;
+  virtual void add_throughput_minute(ThroughputMinute rec) = 0;
+  virtual void add_dns(DnsLogRecord rec) = 0;
+  virtual void add_device_traffic(DeviceTrafficRecord rec) = 0;
+};
+
+}  // namespace bismark::collect

@@ -108,6 +108,10 @@ Rng Rng::fork(std::uint64_t tag) const {
 
 Rng Rng::fork(std::string_view tag) const { return fork(HashString(tag)); }
 
+Rng Rng::Stream(std::uint64_t seed, std::uint64_t salt, std::uint64_t stream) {
+  return Rng(seed ^ salt).fork(stream);
+}
+
 ZipfDistribution::ZipfDistribution(std::size_t n, double alpha) {
   cdf_.reserve(n);
   double total = 0.0;

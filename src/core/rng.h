@@ -50,6 +50,14 @@ class Rng {
   /// Derive a child stream from a string tag (e.g. device name).
   [[nodiscard]] Rng fork(std::string_view tag) const;
 
+  /// A named per-entity stream: deterministic in (seed, salt, stream) and
+  /// nothing else. Equivalent to Rng(seed ^ salt).fork(stream). This is the
+  /// derivation the sharded deployment runner uses per home — any worker,
+  /// on any shard, reconstructs the identical stream from the home id, so
+  /// results cannot depend on thread schedule or shard count.
+  [[nodiscard]] static Rng Stream(std::uint64_t seed, std::uint64_t salt,
+                                  std::uint64_t stream);
+
  private:
   std::uint64_t s_[4];
   std::uint64_t seed_;

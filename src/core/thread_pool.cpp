@@ -1,0 +1,115 @@
+#include "core/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace bismark {
+
+struct ThreadPool::Round {
+  std::size_t count{0};
+  const std::function<void(std::size_t, int)>* fn{nullptr};
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<int> in_flight{0};  // workers currently inside run_tasks
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::condition_variable done_cv;
+  std::mutex done_mu;
+  bool done{false};
+};
+
+ThreadPool::ThreadPool(int workers) : workers_(std::max(1, workers)) {
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+int ThreadPool::HardwareWorkers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::run_tasks(Round& round, int worker_index) {
+  while (true) {
+    // Stop dealing tasks once a task has thrown; in-flight tasks finish.
+    {
+      const std::lock_guard<std::mutex> lock(round.error_mu);
+      if (round.first_error) break;
+    }
+    const std::size_t task = round.cursor.fetch_add(1);
+    if (task >= round.count) break;
+    try {
+      (*round.fn)(task, worker_index);
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(round.error_mu);
+      if (!round.first_error) round.first_error = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::worker_loop(int worker_index) {
+  while (true) {
+    Round* round = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || round_ != nullptr; });
+      if (shutdown_) return;
+      round = round_;
+      round->in_flight.fetch_add(1);
+    }
+    run_tasks(*round, worker_index);
+    if (round->in_flight.fetch_sub(1) == 1) {
+      const std::lock_guard<std::mutex> lock(round->done_mu);
+      round->done = true;
+      round->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t, int)>& fn) {
+  if (count == 0) return;
+  Round round;
+  round.count = count;
+  round.fn = &fn;
+
+  round.in_flight.fetch_add(1);  // the caller works too, as worker 0
+  if (workers_ > 1) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      round_ = &round;
+    }
+    work_cv_.notify_all();
+  }
+
+  run_tasks(round, 0);
+
+  if (workers_ > 1) {
+    // Unpublish first: workers join a round (and bump in_flight) only while
+    // holding mu_ with round_ set, so after this no new participant can
+    // appear and in_flight is monotonically decreasing.
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      round_ = nullptr;
+    }
+    if (round.in_flight.fetch_sub(1) > 1) {
+      std::unique_lock<std::mutex> lock(round.done_mu);
+      round.done_cv.wait(lock, [&round] { return round.done; });
+    }
+  } else {
+    round.in_flight.fetch_sub(1);
+  }
+
+  if (round.first_error) std::rethrow_exception(round.first_error);
+}
+
+}  // namespace bismark

@@ -1,13 +1,32 @@
 #include "home/deployment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "core/logging.h"
+#include "core/thread_pool.h"
 #include "sim/engine.h"
 #include "traffic/generator.h"
 
 namespace bismark::home {
+
+namespace {
+// Stream salts: one label per run stage. Every per-home stream is derived
+// as Rng::Stream(options.seed, salt, f(home id)), so a home's draws are a
+// pure function of (seed, home id) — never of which shard or worker
+// simulated it, or of how many homes exist.
+constexpr std::uint64_t kHeartbeatSalt = 0xBEA7;
+constexpr std::uint64_t kPassiveSalt = 0x5E57;
+constexpr std::uint64_t kTrafficSalt = 0x7AFF1C;
+
+/// Homes per shard. Fixed (not derived from the worker count) so the
+/// partition itself is deterministic; small enough that the handful of
+/// traffic-consented homes spread across several shards and the pool's
+/// dynamic scheduling can balance them.
+constexpr std::size_t kShardHomes = 4;
+}  // namespace
 
 Deployment::Deployment(DeploymentOptions options)
     : options_(options), catalog_(traffic::DomainCatalog::BuildStandard()) {
@@ -96,16 +115,17 @@ void Deployment::build() {
   }
 }
 
-void Deployment::run_heartbeats() {
-  Rng rng(options_.seed ^ 0xBEA7);
+void Deployment::compute_collector_outages() {
   const auto& window = options_.windows.heartbeats;
 
   // Section 3.3: the collection infrastructure itself fails sometimes,
   // silencing every home at once. Those intervals are ground truth here;
   // analysis::DetectCollectionOutages must rediscover them from the data.
+  // Because the process couples all homes it runs before sharding, from a
+  // stream that depends on the seed alone.
   collector_down_ = IntervalSet{};
   if (options_.collector_outages_per_month > 0.0) {
-    Rng outage_rng = rng.fork("collector");
+    Rng outage_rng = Rng(options_.seed ^ kHeartbeatSalt).fork("collector");
     TimePoint t = window.start;
     const double mean_gap_days = 30.0 / options_.collector_outages_per_month;
     while (true) {
@@ -116,78 +136,100 @@ void Deployment::run_heartbeats() {
       collector_down_.add(t, t + Hours(std::max(0.2, dur_h)));
     }
   }
-  IntervalSet collector_up;
+  collector_up_ = IntervalSet{};
   {
     TimePoint cursor = window.start;
     const IntervalSet clipped = collector_down_.clipped(window.start, window.end);
     for (const auto& gap : clipped.intervals()) {
-      if (gap.start > cursor) collector_up.add(cursor, gap.start);
+      if (gap.start > cursor) collector_up_.add(cursor, gap.start);
       cursor = gap.end;
     }
-    if (cursor < window.end) collector_up.add(cursor, window.end);
+    if (cursor < window.end) collector_up_.add(cursor, window.end);
   }
+}
 
-  collect::CollectionServer server(*repo_, options_.heartbeat);
-  for (const auto& home : households_) {
+void Deployment::run_shard_heartbeats(std::size_t lo, std::size_t hi,
+                                      collect::IngestBatch& batch) {
+  const auto& window = options_.windows.heartbeats;
+  collect::CollectionServer server(batch, options_.heartbeat);
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& home = households_[i];
     Interval participation = window;
     if (const auto it = churn_windows_.find(home->id().value); it != churn_windows_.end()) {
       participation = it->second;
     }
     IntervalSet online =
         home->timeline().online().clipped(participation.start, participation.end);
-    if (!collector_down_.empty()) online = online.intersect(collector_up);
-    server.ingest_heartbeats(home->id(), online, rng.fork(home->id().value));
+    if (!collector_down_.empty()) online = online.intersect(collector_up_);
+    server.ingest_heartbeats(
+        home->id(), online,
+        Rng::Stream(options_.seed, kHeartbeatSalt,
+                    static_cast<std::uint64_t>(home->id().value)));
   }
 }
 
-void Deployment::run_passive_services() {
-  Rng rng(options_.seed ^ 0x5E57);
+void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
+                                   collect::IngestBatch& batch) {
   const auto& w = options_.windows;
-  for (const auto& home : households_) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto& home = households_[i];
     // Churn participants never stayed long enough to contribute the
     // passive data sets or scheduled capacity runs.
     if (churn_windows_.contains(home->id().value)) continue;
     const collect::HomeInfo* info = repo_->find_home(home->id());
     const IntervalSet& router_on = home->timeline().router_on;
     const IntervalSet online = home->timeline().online();
+    const auto id = static_cast<std::uint64_t>(home->id().value);
 
     if (info && info->reports_uptime) {
-      gateway::ReportUptime(*repo_, home->id(), router_on, w.uptime);
+      gateway::ReportUptime(batch, home->id(), router_on, w.uptime);
     }
-    gateway::ReportCapacity(*repo_, home->id(), online, home->link(),
-                            rng.fork(home->id().value * 2 + 1), w.capacity);
+    gateway::ReportCapacity(batch, home->id(), online, home->link(),
+                            Rng::Stream(options_.seed, kPassiveSalt, id * 2 + 1),
+                            w.capacity);
     if (info && info->reports_devices) {
-      gateway::ReportDeviceCounts(*repo_, home->id(), *home, router_on, w.devices);
+      gateway::ReportDeviceCounts(batch, home->id(), *home, router_on, w.devices);
     }
     if (info && info->reports_wifi) {
       gateway::WifiServiceConfig wifi_cfg;
       wifi_cfg.channel_24 = home->channel_24();
-      gateway::ReportWifiScans(*repo_, home->id(), *home, home->neighborhood(), router_on,
-                               w.wifi, rng.fork(home->id().value * 2 + 2), wifi_cfg);
+      gateway::ReportWifiScans(batch, home->id(), *home, home->neighborhood(), router_on,
+                               w.wifi, Rng::Stream(options_.seed, kPassiveSalt, id * 2 + 2),
+                               wifi_cfg);
     }
   }
 }
 
-void Deployment::run_traffic_window() {
-  const Interval window = options_.windows.traffic;
-  sim::Engine engine(window.start);
-  Rng rng(options_.seed ^ 0x7AFF1C);
+std::uint64_t Deployment::run_shard_traffic(std::size_t lo, std::size_t hi,
+                                            collect::IngestBatch& batch,
+                                            sim::Engine& engine) {
+  std::vector<Household*> consenting;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (households_[i]->consent() == gateway::ConsentLevel::kFullTraffic) {
+      consenting.push_back(households_[i].get());
+    }
+  }
+  if (consenting.empty()) return 0;
 
-  // Per-home resolvers and generators live for the window.
+  const Interval window = options_.windows.traffic;
+  engine.reset(window.start);
+
+  // Per-home resolvers and generators live for the window. The zone and
+  // domain catalogs are shared across shards but only read.
   std::vector<std::unique_ptr<net::DnsResolver>> resolvers;
   std::vector<std::unique_ptr<traffic::HomeTrafficGenerator>> generators;
 
-  for (const auto& home : households_) {
-    if (home->consent() != gateway::ConsentLevel::kFullTraffic) continue;
+  for (Household* hh : consenting) {
+    const auto id = static_cast<std::uint64_t>(hh->id().value);
+    hh->rebind_sink(&batch);
     auto resolver = std::make_unique<net::DnsResolver>(zones_);
     auto generator = std::make_unique<traffic::HomeTrafficGenerator>(
-        engine, catalog_, *resolver, home->router(), home->tz(),
-        rng.fork(home->id().value));
+        engine, catalog_, *resolver, hh->router(), hh->tz(),
+        Rng::Stream(options_.seed, kTrafficSalt, id));
 
-    Household* hh = home.get();
     // Households differ in how hard they use the network (the paper's
     // Fig. 15 spread from near-idle to saturating homes).
-    Rng intensity_rng = rng.fork(hh->id().value * 977 + 5);
+    Rng intensity_rng = Rng::Stream(options_.seed, kTrafficSalt, id * 977 + 5);
     const double home_intensity = intensity_rng.lognormal(0.0, 0.45);
     for (std::size_t i = 0; i < hh->devices().size(); ++i) {
       const Device& device = hh->devices()[i];
@@ -227,19 +269,55 @@ void Deployment::run_traffic_window() {
 
   engine.run_until(window.end);
 
-  for (const auto& home : households_) {
-    if (home->consent() == gateway::ConsentLevel::kFullTraffic) {
-      home->router().finalize(window.end);
-    }
+  for (Household* hh : consenting) {
+    hh->router().finalize(window.end);
+    hh->rebind_sink(repo_.get());
   }
-  BISMARK_LOG_INFO("deployment", "traffic window complete: %llu events",
-                   static_cast<unsigned long long>(engine.executed()));
+  return engine.executed();
 }
 
 void Deployment::run() {
-  run_heartbeats();
-  run_passive_services();
-  if (options_.run_traffic) run_traffic_window();
+  compute_collector_outages();
+
+  const int workers =
+      options_.workers > 0 ? options_.workers : ThreadPool::HardwareWorkers();
+  const std::size_t n = households_.size();
+  const std::size_t shard_count = (n + kShardHomes - 1) / kShardHomes;
+
+  // One staging batch per shard, pre-built so workers never touch the
+  // repository; per-worker engines are created lazily (traffic only).
+  std::vector<collect::IngestBatch> batches;
+  batches.reserve(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) batches.push_back(repo_->make_batch());
+
+  ThreadPool pool(workers);
+  std::vector<std::unique_ptr<sim::Engine>> engines(
+      static_cast<std::size_t>(pool.workers()));
+  std::atomic<std::uint64_t> traffic_events{0};
+
+  pool.parallel_for(shard_count, [&](std::size_t shard, int worker) {
+    const std::size_t lo = shard * kShardHomes;
+    const std::size_t hi = std::min(n, lo + kShardHomes);
+    collect::IngestBatch& batch = batches[shard];
+    run_shard_heartbeats(lo, hi, batch);
+    run_shard_passive(lo, hi, batch);
+    if (options_.run_traffic) {
+      auto& engine = engines[static_cast<std::size_t>(worker)];
+      if (!engine) engine = std::make_unique<sim::Engine>(options_.windows.traffic.start);
+      traffic_events += run_shard_traffic(lo, hi, batch, *engine);
+    }
+  });
+
+  // Commit in shard order, then impose the canonical (timestamp, home id)
+  // order — together these make the repository bytes independent of the
+  // worker count and of the dynamic shard schedule.
+  for (auto& batch : batches) repo_->commit(std::move(batch));
+  repo_->finalize_deterministic_order();
+
+  if (options_.run_traffic) {
+    BISMARK_LOG_INFO("deployment", "traffic window complete: %llu events across %zu shards",
+                     static_cast<unsigned long long>(traffic_events.load()), shard_count);
+  }
 }
 
 std::unique_ptr<Deployment> Deployment::RunStudy(DeploymentOptions options) {

@@ -12,6 +12,10 @@
 #include "home/household.h"
 #include "traffic/domains.h"
 
+namespace bismark::sim {
+class Engine;
+}
+
 namespace bismark::home {
 
 struct DeploymentOptions {
@@ -37,6 +41,12 @@ struct DeploymentOptions {
   /// consistently; churn homes participate for a brief window and are
   /// dropped by the analysis' >= 25-days-online filter (Section 3.2.2).
   int churn_homes{0};
+  /// Worker threads for run(): the roster is split into fixed-size shards,
+  /// each simulated on its own sim::Engine with per-home RNG streams
+  /// derived from (seed, home id), and merged deterministically. 0 = one
+  /// worker per hardware thread. Repository contents and exports are
+  /// byte-identical for every value.
+  int workers{1};
 };
 
 /// The deployment: households plus the machinery to run the study.
@@ -47,7 +57,11 @@ class Deployment {
   /// Instantiate all households (deterministic in the seed).
   void build();
 
-  /// Run every data collection stage into the repository.
+  /// Run every data collection stage into the repository, on
+  /// `options().workers` threads. The collector-outage pre-pass (which
+  /// couples all homes, Section 3.3) runs first and serially; everything
+  /// per-home runs sharded. Record order afterwards is canonical
+  /// (timestamp, home id) regardless of worker count.
   void run();
 
   [[nodiscard]] const std::vector<std::unique_ptr<Household>>& households() const {
@@ -72,11 +86,18 @@ class Deployment {
   std::unique_ptr<collect::DataRepository> repo_;
   std::vector<std::unique_ptr<Household>> households_;
   IntervalSet collector_down_;
+  IntervalSet collector_up_;
   std::map<int, Interval> churn_windows_;
 
-  void run_heartbeats();
-  void run_passive_services();
-  void run_traffic_window();
+  /// Serial pre-pass: the collector's own outage process, which silences
+  /// every home at once and therefore cannot be sharded.
+  void compute_collector_outages();
+
+  // Per-shard stages over households_[lo, hi), writing into `batch`.
+  void run_shard_heartbeats(std::size_t lo, std::size_t hi, collect::IngestBatch& batch);
+  void run_shard_passive(std::size_t lo, std::size_t hi, collect::IngestBatch& batch);
+  std::uint64_t run_shard_traffic(std::size_t lo, std::size_t hi,
+                                  collect::IngestBatch& batch, sim::Engine& engine);
 };
 
 }  // namespace bismark::home

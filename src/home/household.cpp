@@ -36,7 +36,7 @@ net::AccessLinkConfig DrawLink(const CountryProfile& country, bool bufferbloat_c
 
 Household::Household(collect::HomeId id, const CountryProfile& country, Interval study,
                      const std::vector<Interval>& presence_windows,
-                     const gateway::Anonymizer& anonymizer, collect::DataRepository* repo,
+                     const gateway::Anonymizer& anonymizer, collect::RecordSink* sink,
                      Rng rng, const HouseholdOptions& options)
     : id_(id), country_(&country), tz_{country.utc_offset}, options_(options) {
   Rng avail_rng = rng.fork("availability");
@@ -113,7 +113,7 @@ Household::Household(collect::HomeId id, const CountryProfile& country, Interval
   gw.nat.wan_address = net::Ipv4Address(
       203, 0, static_cast<std::uint8_t>(113 + (id_.value / 250)),
       static_cast<std::uint8_t>(1 + (id_.value % 250)));
-  gateway_ = std::make_unique<gateway::Gateway>(gw, *link_, anonymizer, repo);
+  gateway_ = std::make_unique<gateway::Gateway>(gw, *link_, anonymizer, sink);
 }
 
 int Household::wired_connected(TimePoint t) const {

@@ -14,6 +14,7 @@
 #include "bismark/gateway.h"
 #include "bismark/services.h"
 #include "collect/records.h"
+#include "collect/sink.h"
 #include "home/availability.h"
 #include "home/country.h"
 #include "home/device.h"
@@ -45,7 +46,11 @@ class Household final : public gateway::ClientCensus {
   /// windows, neighbourhood, access link and gateway.
   Household(collect::HomeId id, const CountryProfile& country, Interval study,
             const std::vector<Interval>& presence_windows, const gateway::Anonymizer& anonymizer,
-            collect::DataRepository* repo, Rng rng, const HouseholdOptions& options = {});
+            collect::RecordSink* sink, Rng rng, const HouseholdOptions& options = {});
+
+  /// Redirect the gateway's collected records (used by the sharded runner
+  /// to stage the traffic window into a per-shard batch).
+  void rebind_sink(collect::RecordSink* sink) { gateway_->rebind_sink(sink); }
 
   // --- gateway::ClientCensus ---
   int wired_connected(TimePoint t) const override;

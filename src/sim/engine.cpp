@@ -10,6 +10,13 @@ bool EventHandle::active() const { return cancelled_ && !*cancelled_; }
 
 Engine::Engine(TimePoint start) : now_(start) {}
 
+void Engine::reset(TimePoint start) {
+  queue_ = {};
+  now_ = start;
+  next_seq_ = 0;
+  executed_ = 0;
+}
+
 EventHandle Engine::schedule_at(TimePoint when, std::function<void()> fn) {
   auto cancelled = std::make_shared<bool>(false);
   if (when < now_) when = now_;

@@ -35,6 +35,11 @@ class Engine {
  public:
   explicit Engine(TimePoint start);
 
+  /// Return to a pristine state at `start`: pending events dropped, clocks
+  /// and counters zeroed. Lets a worker thread reuse one engine across many
+  /// shards instead of reallocating the queue each time.
+  void reset(TimePoint start);
+
   [[nodiscard]] TimePoint now() const { return now_; }
 
   /// Schedule `fn` at absolute time `when` (clamped to now if in the past).

@@ -1,0 +1,74 @@
+#include "core/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace bismark {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTaskExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workers(), 4);
+  std::vector<std::atomic<int>> hits(103);
+  pool.parallel_for(hits.size(), [&](std::size_t task, int worker) {
+    ASSERT_GE(worker, 0);
+    ASSERT_LT(worker, 4);
+    hits[task].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineAndInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(10, [&](std::size_t task, int worker) {
+    EXPECT_EQ(worker, 0);
+    order.push_back(task);  // no lock needed: inline serial execution
+  });
+  std::vector<std::size_t> expected(10);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPoolTest, ZeroTasksIsANoop) {
+  ThreadPool pool(3);
+  pool.parallel_for(0, [](std::size_t, int) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossRounds) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for(20, [&](std::size_t, int) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, FirstExceptionPropagatesAndStopsDealing) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(1000, [&](std::size_t task, int) {
+      if (task == 3) throw std::runtime_error("boom");
+      ran.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  // Dealing stops shortly after the throw; well under the full count.
+  EXPECT_LT(ran.load(), 1000);
+}
+
+TEST(ThreadPoolTest, WorkerCountIsClampedToOne) {
+  ThreadPool pool(-2);
+  EXPECT_EQ(pool.workers(), 1);
+  EXPECT_GE(ThreadPool::HardwareWorkers(), 1);
+}
+
+}  // namespace
+}  // namespace bismark

@@ -39,6 +39,7 @@ home::DeploymentOptions OptionsFrom(const ArgParser& args) {
   }
   options.run_traffic = !args.has("no-traffic");
   options.roster_scale = args.get_double("scale", 1.0);
+  options.workers = static_cast<int>(args.get_int("workers", 1));
   return options;
 }
 
@@ -167,6 +168,8 @@ int main(int argc, char** argv) {
   args.add_option("weeks", "compress the study to N weeks (0 = the paper's real windows)",
                   "0");
   args.add_option("scale", "scale the per-country roster (1.0 = 126 homes)", "1.0");
+  args.add_option("workers", "worker threads for the run; 0 = all cores (results are "
+                  "byte-identical for any value)", "1");
   args.add_option("export", "write the public CSVs to this directory");
   args.add_flag("no-traffic", "skip the Traffic window simulation");
   args.add_flag("help", "show this help");

@@ -1,0 +1,78 @@
+// At-least-once upload batches and the collector's idempotent ingest gate.
+//
+// The gateway's store-and-forward uploader (bismark/uploader.h) ships
+// measurement records in batches and retries until it sees an ack. Retries
+// after a lost ack mean the same batch can arrive twice, so the collector
+// dedupes by (home, batch sequence number) before committing anything to a
+// RecordSink. At-least-once delivery + idempotent commit = exactly-once
+// repository contents, which is what preserves the byte-identical export
+// guarantee of the sharded runner under fault injection.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "collect/records.h"
+#include "collect/sink.h"
+
+namespace bismark::collect {
+
+/// Any one measurement record, as spooled and shipped by the uploader.
+using Record = std::variant<HeartbeatRun, UptimeRecord, CapacityRecord, DeviceCountRecord,
+                            WifiScanRecord, TrafficFlowRecord, ThroughputMinute,
+                            DnsLogRecord, DeviceTrafficRecord>;
+
+inline constexpr std::size_t kRecordKinds = std::variant_size_v<Record>;
+
+/// Measurement timestamp of a record — the spool's arrival order and the
+/// uploader's flush-eligibility key. DeviceTrafficRecord is a windowless
+/// registry row and sorts at the epoch (stable sort keeps its insertion
+/// order).
+[[nodiscard]] TimePoint RecordTime(const Record& r);
+
+/// Human label for a variant alternative (drop ledgers, bench tables).
+[[nodiscard]] const char* RecordKindName(std::size_t variant_index);
+
+/// Replay one record into a sink through the matching typed add_*.
+void DeliverRecord(RecordSink& sink, const Record& r);
+
+/// One gateway->collector transfer unit. `seq` increases per home as
+/// batches are first transmitted; a retry resends the same seq, which is
+/// what lets the ingest gate recognise duplicates.
+struct UploadBatch {
+  HomeId home;
+  std::uint64_t seq{0};
+  std::vector<Record> records;
+};
+
+/// Collector-side dedup gate in front of any RecordSink.
+class IdempotentIngest {
+ public:
+  explicit IdempotentIngest(RecordSink& sink) : sink_(&sink) {}
+
+  /// Commit the batch's records unless (home, seq) was already committed.
+  /// Returns true when the records were committed, false on a duplicate.
+  bool deliver(const UploadBatch& batch);
+
+  struct Stats {
+    std::uint64_t batches_committed{0};
+    std::uint64_t batches_deduped{0};
+    std::uint64_t records_committed{0};
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Point subsequent commits at a different sink; dedup state survives,
+  /// mirroring a collector that rotates storage without forgetting what it
+  /// already ingested.
+  void rebind_sink(RecordSink& sink) { sink_ = &sink; }
+
+ private:
+  RecordSink* sink_;
+  std::set<std::pair<int, std::uint64_t>> seen_;  // (home id, batch seq)
+  Stats stats_;
+};
+
+}  // namespace bismark::collect

@@ -20,6 +20,9 @@ namespace {
 constexpr std::uint64_t kHeartbeatSalt = 0xBEA7;
 constexpr std::uint64_t kPassiveSalt = 0x5E57;
 constexpr std::uint64_t kTrafficSalt = 0x7AFF1C;
+// Upload jitter / fault sampling. Streams under this salt derive from the
+// *fault* seed, so fault scenarios vary without touching record content.
+constexpr std::uint64_t kUploadSalt = 0xB10AD;
 
 /// Homes per shard. Fixed (not derived from the worker count) so the
 /// partition itself is deterministic; small enough that the handful of
@@ -146,6 +149,10 @@ void Deployment::compute_collector_outages() {
     }
     if (cursor < window.end) collector_up_.add(cursor, window.end);
   }
+
+  // The same outage windows govern the upload path: batches attempted while
+  // the collector is down fail and back off until it returns.
+  fault_plan_ = net::FaultPlan(options_.upload_faults, collector_down_);
 }
 
 void Deployment::run_shard_heartbeats(std::size_t lo, std::size_t hi,
@@ -169,8 +176,10 @@ void Deployment::run_shard_heartbeats(std::size_t lo, std::size_t hi,
 }
 
 void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
-                                   collect::IngestBatch& batch) {
+                                   collect::IngestBatch& batch, sim::Engine& engine) {
   const auto& w = options_.windows;
+  const std::uint64_t fault_seed =
+      options_.fault_seed != 0 ? options_.fault_seed : options_.seed;
   for (std::size_t i = lo; i < hi; ++i) {
     const auto& home = households_[i];
     // Churn participants never stayed long enough to contribute the
@@ -181,22 +190,49 @@ void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
     const IntervalSet online = home->timeline().online();
     const auto id = static_cast<std::uint64_t>(home->id().value);
 
+    // Every periodic service writes through the home's bounded spool; the
+    // measurement streams are unchanged, so record *content* is identical
+    // to the direct-ingest path — only delivery is now store-and-forward.
+    gateway::UploadSpool spool(options_.upload.spool_capacity);
     if (info && info->reports_uptime) {
-      gateway::ReportUptime(batch, home->id(), router_on, w.uptime);
+      gateway::ReportUptime(spool, home->id(), router_on, w.uptime);
     }
-    gateway::ReportCapacity(batch, home->id(), online, home->link(),
+    gateway::ReportCapacity(spool, home->id(), online, home->link(),
                             Rng::Stream(options_.seed, kPassiveSalt, id * 2 + 1),
                             w.capacity);
     if (info && info->reports_devices) {
-      gateway::ReportDeviceCounts(batch, home->id(), *home, router_on, w.devices);
+      gateway::ReportDeviceCounts(spool, home->id(), *home, router_on, w.devices);
     }
     if (info && info->reports_wifi) {
       gateway::WifiServiceConfig wifi_cfg;
       wifi_cfg.channel_24 = home->channel_24();
-      gateway::ReportWifiScans(batch, home->id(), *home, home->neighborhood(), router_on,
+      gateway::ReportWifiScans(spool, home->id(), *home, home->neighborhood(), router_on,
                                w.wifi, Rng::Stream(options_.seed, kPassiveSalt, id * 2 + 2),
                                wifi_cfg);
     }
+
+    // Replay the collection window on the sim clock: flush batches through
+    // the fault plan into the collector's dedup gate (which commits into
+    // the shard batch), retrying with backoff across outages. The drain
+    // grace past window end lets tail-end batches finish retrying.
+    collect::IdempotentIngest ingest(batch);
+    gateway::Uploader uploader(engine, spool, fault_plan_, ingest, home->id(),
+                               options_.upload, Rng::Stream(fault_seed, kUploadSalt, id));
+    engine.reset(w.heartbeats.start);
+    uploader.start(w.heartbeats);
+    engine.run_until(w.heartbeats.end + options_.upload.drain_grace);
+    uploader.stop();
+
+    const auto& st = uploader.stats();
+    std::lock_guard<std::mutex> lock(upload_stats_mu_);
+    upload_stats_.records_spooled += spool.accepted();
+    upload_stats_.records_delivered += st.records_delivered;
+    upload_stats_.records_dropped += spool.dropped().total;
+    upload_stats_.records_stranded += uploader.stranded();
+    upload_stats_.batches_delivered += st.batches_delivered;
+    upload_stats_.attempts += st.attempts;
+    upload_stats_.retries += st.retries;
+    upload_stats_.duplicate_transmissions += st.duplicates_sent;
   }
 }
 
@@ -277,6 +313,7 @@ std::uint64_t Deployment::run_shard_traffic(std::size_t lo, std::size_t hi,
 }
 
 void Deployment::run() {
+  upload_stats_ = UploadStats{};
   compute_collector_outages();
 
   const int workers =
@@ -299,11 +336,11 @@ void Deployment::run() {
     const std::size_t lo = shard * kShardHomes;
     const std::size_t hi = std::min(n, lo + kShardHomes);
     collect::IngestBatch& batch = batches[shard];
+    auto& engine = engines[static_cast<std::size_t>(worker)];
+    if (!engine) engine = std::make_unique<sim::Engine>(options_.windows.heartbeats.start);
     run_shard_heartbeats(lo, hi, batch);
-    run_shard_passive(lo, hi, batch);
+    run_shard_passive(lo, hi, batch, *engine);
     if (options_.run_traffic) {
-      auto& engine = engines[static_cast<std::size_t>(worker)];
-      if (!engine) engine = std::make_unique<sim::Engine>(options_.windows.traffic.start);
       traffic_events += run_shard_traffic(lo, hi, batch, *engine);
     }
   });

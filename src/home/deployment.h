@@ -5,11 +5,14 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "bismark/uploader.h"
 #include "collect/repository.h"
 #include "collect/server.h"
 #include "home/household.h"
+#include "net/fault_plan.h"
 #include "traffic/domains.h"
 
 namespace bismark::sim {
@@ -41,12 +44,40 @@ struct DeploymentOptions {
   /// consistently; churn homes participate for a brief window and are
   /// dropped by the analysis' >= 25-days-online filter (Section 3.2.2).
   int churn_homes{0};
+  /// Store-and-forward upload pipeline: every periodic measurement service
+  /// writes through a bounded per-home spool; an uploader flushes batches
+  /// on this policy's cadence and retries failures with backoff. Heartbeats
+  /// stay live (they are the liveness signal itself).
+  gateway::UploadPolicy upload;
+  /// Upload-path fault injection: request/ack loss and latency. Collector
+  /// outage windows come from collector_outages_per_month above and apply
+  /// to uploads as well as heartbeats.
+  net::FaultConfig upload_faults;
+  /// Seed for the fault-injection and upload-jitter streams. 0 derives it
+  /// from `seed`, so default runs stay reproducible from one number while
+  /// fault scenarios can be varied without touching measurement content.
+  std::uint64_t fault_seed{0};
   /// Worker threads for run(): the roster is split into fixed-size shards,
   /// each simulated on its own sim::Engine with per-home RNG streams
   /// derived from (seed, home id), and merged deterministically. 0 = one
   /// worker per hardware thread. Repository contents and exports are
   /// byte-identical for every value.
   int workers{1};
+};
+
+/// Aggregate accounting of the upload pipeline across all homes. The
+/// conservation identity `records_spooled == records_delivered +
+/// records_dropped + records_stranded` holds exactly, and every field is
+/// byte-identical across worker counts for a fixed (seed, fault_seed).
+struct UploadStats {
+  std::uint64_t records_spooled{0};
+  std::uint64_t records_delivered{0};
+  std::uint64_t records_dropped{0};    ///< spool overflow (drop-oldest ledger)
+  std::uint64_t records_stranded{0};   ///< undelivered when the drain window closed
+  std::uint64_t batches_delivered{0};
+  std::uint64_t attempts{0};
+  std::uint64_t retries{0};
+  std::uint64_t duplicate_transmissions{0};  ///< resends absorbed by the dedup gate
 };
 
 /// The deployment: households plus the machinery to run the study.
@@ -74,6 +105,10 @@ class Deployment {
   /// Ground truth of the collector's own downtime (for validating the
   /// artifact detector; empty when collector_outages_per_month is 0).
   [[nodiscard]] const IntervalSet& collector_outages() const { return collector_down_; }
+  /// Upload-pipeline accounting for the last run() (all homes summed).
+  [[nodiscard]] const UploadStats& upload_stats() const { return upload_stats_; }
+  /// The fault plan the last run() uploaded through (outages + loss).
+  [[nodiscard]] const net::FaultPlan& fault_plan() const { return fault_plan_; }
 
   /// Convenience: build + run in one call.
   static std::unique_ptr<Deployment> RunStudy(DeploymentOptions options);
@@ -87,6 +122,9 @@ class Deployment {
   std::vector<std::unique_ptr<Household>> households_;
   IntervalSet collector_down_;
   IntervalSet collector_up_;
+  net::FaultPlan fault_plan_;
+  UploadStats upload_stats_;
+  std::mutex upload_stats_mu_;
   std::map<int, Interval> churn_windows_;
 
   /// Serial pre-pass: the collector's own outage process, which silences
@@ -95,7 +133,8 @@ class Deployment {
 
   // Per-shard stages over households_[lo, hi), writing into `batch`.
   void run_shard_heartbeats(std::size_t lo, std::size_t hi, collect::IngestBatch& batch);
-  void run_shard_passive(std::size_t lo, std::size_t hi, collect::IngestBatch& batch);
+  void run_shard_passive(std::size_t lo, std::size_t hi, collect::IngestBatch& batch,
+                         sim::Engine& engine);
   std::uint64_t run_shard_traffic(std::size_t lo, std::size_t hi,
                                   collect::IngestBatch& batch, sim::Engine& engine);
 };

@@ -1,0 +1,24 @@
+#include "net/fault_plan.h"
+
+namespace bismark::net {
+
+DeliveryOutcome FaultPlan::attempt(TimePoint when, Rng& rng) const {
+  if (collector_down_.contains(when)) return DeliveryOutcome::kCollectorDown;
+  if (config_.upload_loss_prob > 0.0 && rng.bernoulli(config_.upload_loss_prob)) {
+    return DeliveryOutcome::kLostRequest;
+  }
+  if (config_.ack_loss_prob > 0.0 && rng.bernoulli(config_.ack_loss_prob)) {
+    return DeliveryOutcome::kLostAck;
+  }
+  return DeliveryOutcome::kDelivered;
+}
+
+Duration FaultPlan::round_trip(Rng& rng) const {
+  Duration rtt = config_.base_latency;
+  if (config_.latency_jitter.ms > 0) {
+    rtt += Millis(rng.uniform_int(0, config_.latency_jitter.ms - 1));
+  }
+  return rtt;
+}
+
+}  // namespace bismark::net

@@ -1,0 +1,107 @@
+// UploadSpool: time-aware arrival replay, bounded drop-oldest overflow,
+// and an exact drop ledger.
+#include <gtest/gtest.h>
+
+#include "bismark/uploader.h"
+
+namespace bismark {
+namespace {
+
+using collect::Record;
+using gateway::UploadSpool;
+
+// Variant alternative indices in collect::Record (ledger keys).
+constexpr std::size_t kUptimeKind = 1;
+constexpr std::size_t kCapacityKind = 2;
+
+collect::UptimeRecord Uptime(int home, double at_hours) {
+  return {collect::HomeId{home}, TimePoint{0} + Hours(at_hours), Hours(1)};
+}
+
+collect::CapacityRecord Capacity(int home, double at_hours) {
+  collect::CapacityRecord rec;
+  rec.home = collect::HomeId{home};
+  rec.measured = TimePoint{0} + Hours(at_hours);
+  return rec;
+}
+
+TEST(UploadSpool, SealImposesGlobalArrivalOrder) {
+  UploadSpool spool(16);
+  // Producers append service-by-service: capacity first, then uptime —
+  // but the uptime record was measured earlier.
+  spool.add_capacity(Capacity(1, 5.0));
+  spool.add_uptime(Uptime(1, 1.0));
+  spool.add_uptime(Uptime(1, 3.0));
+  spool.seal();
+  spool.arrive_until(TimePoint{0} + Hours(10));
+
+  const auto records = spool.take(10);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(collect::RecordTime(records[0]), TimePoint{0} + Hours(1));
+  EXPECT_EQ(collect::RecordTime(records[1]), TimePoint{0} + Hours(3));
+  EXPECT_EQ(collect::RecordTime(records[2]), TimePoint{0} + Hours(5));
+}
+
+TEST(UploadSpool, ArrivalsAreGatedByTimestamp) {
+  UploadSpool spool(16);
+  for (int h = 1; h <= 5; ++h) spool.add_uptime(Uptime(1, h));
+  spool.seal();
+
+  spool.arrive_until(TimePoint{0} + Hours(3));
+  EXPECT_EQ(spool.queued(), 3u);
+  EXPECT_EQ(spool.staged_remaining(), 2u);
+
+  spool.arrive_until(TimePoint{0} + Hours(5));
+  EXPECT_EQ(spool.queued(), 5u);
+  EXPECT_EQ(spool.staged_remaining(), 0u);
+  EXPECT_EQ(spool.accepted(), 5u);
+}
+
+TEST(UploadSpool, DropOldestKeepsLedgerExact) {
+  UploadSpool spool(3);
+  for (int h = 1; h <= 5; ++h) spool.add_uptime(Uptime(1, h));
+  spool.seal();
+  spool.arrive_until(TimePoint{0} + Hours(5));
+
+  EXPECT_EQ(spool.queued(), 3u);
+  EXPECT_EQ(spool.dropped().total, 2u);
+  EXPECT_EQ(spool.dropped().by_kind[kUptimeKind], 2u);
+
+  // The two *oldest* records were sacrificed: hours 1 and 2 are gone.
+  const auto records = spool.take(10);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(collect::RecordTime(records[0]), TimePoint{0} + Hours(3));
+  EXPECT_EQ(collect::RecordTime(records[2]), TimePoint{0} + Hours(5));
+}
+
+TEST(UploadSpool, LedgerCountsPerRecordKind) {
+  UploadSpool spool(2);
+  spool.add_uptime(Uptime(1, 1.0));
+  spool.add_capacity(Capacity(1, 2.0));
+  spool.add_uptime(Uptime(1, 3.0));
+  spool.add_uptime(Uptime(1, 4.0));
+  spool.seal();
+  spool.arrive_until(TimePoint{0} + Hours(4));
+
+  EXPECT_EQ(spool.dropped().total, 2u);
+  EXPECT_EQ(spool.dropped().by_kind[kUptimeKind], 1u);
+  EXPECT_EQ(spool.dropped().by_kind[kCapacityKind], 1u);
+  EXPECT_STREQ(collect::RecordKindName(kUptimeKind), "uptime");
+  EXPECT_STREQ(collect::RecordKindName(kCapacityKind), "capacity");
+}
+
+TEST(UploadSpool, TakeRespectsBatchLimit) {
+  UploadSpool spool(16);
+  for (int h = 1; h <= 5; ++h) spool.add_uptime(Uptime(1, h));
+  spool.seal();
+  spool.arrive_until(TimePoint{0} + Hours(5));
+
+  EXPECT_EQ(spool.take(2).size(), 2u);
+  EXPECT_EQ(spool.queued(), 3u);
+  EXPECT_EQ(spool.take(10).size(), 3u);
+  EXPECT_EQ(spool.queued(), 0u);
+  EXPECT_TRUE(spool.take(10).empty());
+}
+
+}  // namespace
+}  // namespace bismark

@@ -40,6 +40,16 @@ home::DeploymentOptions OptionsFrom(const ArgParser& args) {
   options.run_traffic = !args.has("no-traffic");
   options.roster_scale = args.get_double("scale", 1.0);
   options.workers = static_cast<int>(args.get_int("workers", 1));
+  // Fault injection (Section 3.3's visibility limitations, as knobs).
+  options.collector_outages_per_month =
+      args.get_double("collector-outages-per-month", 0.0);
+  options.heartbeat.loss_prob =
+      args.get_double("heartbeat-loss", options.heartbeat.loss_prob);
+  options.upload_faults.upload_loss_prob = args.get_double("upload-loss", 0.0);
+  options.upload_faults.ack_loss_prob = args.get_double("ack-loss", 0.0);
+  options.upload.spool_capacity = static_cast<std::size_t>(args.get_int(
+      "spool-capacity", static_cast<std::int64_t>(options.upload.spool_capacity)));
+  options.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
   return options;
 }
 
@@ -60,6 +70,24 @@ int CmdRun(const ArgParser& args) {
   table.add_row({"busy minutes", TextTable::Int(static_cast<long long>(counts.throughput_minutes))});
   table.add_row({"dns samples", TextTable::Int(static_cast<long long>(counts.dns))});
   table.print();
+
+  const auto& up = study->upload_stats();
+  std::printf("upload pipeline: %llu records spooled, %llu delivered in %llu batches "
+              "(%llu attempts, %llu retries); %llu resends deduped, %llu dropped, "
+              "%llu stranded\n",
+              static_cast<unsigned long long>(up.records_spooled),
+              static_cast<unsigned long long>(up.records_delivered),
+              static_cast<unsigned long long>(up.batches_delivered),
+              static_cast<unsigned long long>(up.attempts),
+              static_cast<unsigned long long>(up.retries),
+              static_cast<unsigned long long>(up.duplicate_transmissions),
+              static_cast<unsigned long long>(up.records_dropped),
+              static_cast<unsigned long long>(up.records_stranded));
+  if (!study->collector_outages().empty()) {
+    std::printf("collector outages: %zu windows, %s total\n",
+                study->collector_outages().size(),
+                FormatDuration(study->collector_outages().total()).c_str());
+  }
 
   if (const auto dir = args.get("export")) {
     const std::size_t rows = collect::ExportPublicDatasets(study->repository(), *dir);
@@ -171,6 +199,20 @@ int main(int argc, char** argv) {
   args.add_option("workers", "worker threads for the run; 0 = all cores (results are "
                   "byte-identical for any value)", "1");
   args.add_option("export", "write the public CSVs to this directory");
+  args.add_option("collector-outages-per-month",
+                  "inject collector outages at this rate (0 = reliable collector)", "0");
+  args.add_option("heartbeat-loss",
+                  "i.i.d. per-heartbeat loss probability on the path to the collector",
+                  "0.01");
+  args.add_option("upload-loss",
+                  "per-attempt probability an upload batch is lost before the collector",
+                  "0");
+  args.add_option("ack-loss", "per-attempt probability the collector's ack is lost "
+                  "(commits, then forces a deduped resend)", "0");
+  args.add_option("spool-capacity",
+                  "per-home upload spool size in records (overflow drops oldest)", "8192");
+  args.add_option("fault-seed",
+                  "seed for fault/jitter streams (0 = derive from --seed)", "0");
   args.add_flag("no-traffic", "skip the Traffic window simulation");
   args.add_flag("help", "show this help");
 

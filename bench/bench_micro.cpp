@@ -1,14 +1,23 @@
 // Micro-benchmarks (google-benchmark) for the hot substrate paths: NAT
 // translation, DNS resolution, interval arithmetic, throughput metering,
 // the event engine, and the statistics kernels.
+//
+//   build/bench/bench_micro                          # console tables
+//   build/bench/bench_micro --json BENCH_micro.json  # plus JSON artifact
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "bismark/meter.h"
+#include "common.h"
 #include "core/cdf.h"
 #include "core/intervals.h"
 #include "core/rng.h"
 #include "net/dns.h"
 #include "net/nat.h"
+#include "obs/json.h"
 #include "sim/engine.h"
 #include "traffic/domains.h"
 
@@ -186,7 +195,72 @@ void BM_MacAnonymize(benchmark::State& state) {
 }
 BENCHMARK(BM_MacAnonymize);
 
+// Console output as usual, while collecting every per-iteration run for the
+// machine-readable BENCH_micro.json artifact.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    std::int64_t iterations{0};
+    double real_time{0.0};
+    double cpu_time{0.0};
+    std::string time_unit;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      rows_.push_back(Row{run.benchmark_name(),
+                          static_cast<std::int64_t>(run.iterations),
+                          run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                          benchmark::GetTimeUnitString(run.time_unit)});
+    }
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const { return rows_; }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+int WriteJson(const std::string& path, const std::vector<CollectingReporter::Row>& rows) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  obs::JsonWriter json(file);
+  json.begin_object();
+  json.kv("schema", "bismark-bench/v1");
+  json.kv("bench", "micro");
+  json.key("benchmarks");
+  json.begin_array();
+  for (const auto& row : rows) {
+    json.begin_object();
+    json.kv("name", row.name);
+    json.kv("iterations", row.iterations);
+    json.kv("real_time", row.real_time);
+    json.kv("cpu_time", row.cpu_time);
+    json.kv("time_unit", row.time_unit);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::printf("wrote %zu benchmark results to %s\n", rows.size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace bismark
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = bismark::bench::TakeJsonFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bismark::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty()) return bismark::WriteJson(json_path, reporter.rows());
+  return 0;
+}

@@ -5,8 +5,10 @@
 // Reproduce locally with:
 //   build/bench/bench_parallel_scaling            # all scales
 //   build/bench/bench_parallel_scaling --scale 4  # one scale
+//   build/bench/bench_parallel_scaling --scale 1 --json BENCH_parallel.json
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -17,10 +19,20 @@
 #include "core/table.h"
 #include "core/thread_pool.h"
 #include "home/deployment.h"
+#include "obs/json.h"
 
 using namespace bismark;
 
 namespace {
+
+struct ScalePoint {
+  double scale{0.0};
+  int workers{0};
+  double wall_s{0.0};
+  double speedup{1.0};
+  std::size_t export_hash{0};
+  bool matches_serial{true};
+};
 
 home::DeploymentOptions ScalingOptions(double roster_scale, int workers) {
   home::DeploymentOptions options;
@@ -52,7 +64,7 @@ double RunSeconds(double roster_scale, int workers, std::size_t* fingerprint) {
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
-void BenchScale(double roster_scale) {
+void BenchScale(double roster_scale, std::vector<ScalePoint>& out) {
   std::printf("\n== roster_scale %.0f (%d hardware threads available) ==\n", roster_scale,
               ThreadPool::HardwareWorkers());
   TextTable table({"workers", "wall_s", "speedup", "export_hash"});
@@ -70,8 +82,41 @@ void BenchScale(double roster_scale) {
                   fp == serial_fp ? "" : " MISMATCH!");
     table.add_row({TextTable::Int(workers), TextTable::Num(s, 2),
                    TextTable::Num(serial_s / s, 2), hash});
+    out.push_back(ScalePoint{roster_scale, workers, s, serial_s / s, fp,
+                             fp == serial_fp});
   }
   table.print();
+}
+
+int WriteJson(const std::string& path, const std::vector<ScalePoint>& points) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  obs::JsonWriter json(file);
+  json.begin_object();
+  json.kv("schema", "bismark-bench/v1");
+  json.kv("bench", "parallel_scaling");
+  json.kv("hardware_threads", ThreadPool::HardwareWorkers());
+  json.key("results");
+  json.begin_array();
+  for (const auto& p : points) {
+    char hash[20];
+    std::snprintf(hash, sizeof(hash), "%016zx", p.export_hash);
+    json.begin_object();
+    json.kv("scale", p.scale);
+    json.kv("workers", p.workers);
+    json.kv("wall_s", p.wall_s);
+    json.kv("speedup", p.speedup);
+    json.kv("export_hash", hash);
+    json.kv("matches_serial", p.matches_serial);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  std::printf("wrote %zu results to %s\n", points.size(), path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -79,15 +124,18 @@ void BenchScale(double roster_scale) {
 int main(int argc, char** argv) {
   ArgParser args("bench_parallel_scaling: sharded-runner speedup and determinism");
   args.add_option("scale", "run only this roster_scale (0 = the full {1,4,16} sweep)", "0");
+  args.add_option("json", "also write the results as JSON to this file");
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n", args.error().c_str());
     return 2;
   }
+  std::vector<ScalePoint> points;
   const double only = args.get_double("scale", 0.0);
   if (only > 0.0) {
-    BenchScale(only);
+    BenchScale(only, points);
   } else {
-    for (const double scale : {1.0, 4.0, 16.0}) BenchScale(scale);
+    for (const double scale : {1.0, 4.0, 16.0}) BenchScale(scale, points);
   }
+  if (const auto path = args.get("json")) return WriteJson(*path, points);
   return 0;
 }

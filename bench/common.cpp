@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <string_view>
 
 namespace bismark::bench {
 
@@ -40,6 +41,23 @@ void PrintComparison(const std::string& metric, const std::string& paper,
                      const std::string& measured) {
   std::printf("  %-58s paper: %-14s measured: %s\n", metric.c_str(), paper.c_str(),
               measured.c_str());
+}
+
+std::string TakeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--json" && i + 1 < *argc) {
+      path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      path = std::string(arg.substr(7));
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
 }
 
 }  // namespace bismark::bench

@@ -34,4 +34,10 @@ void PrintCdfRows(TextTable& table, const std::string& label, const Cdf& cdf,
 void PrintComparison(const std::string& metric, const std::string& paper,
                      const std::string& measured);
 
+/// Scan argv for `--json FILE` (or `--json=FILE`), strip it, and return
+/// FILE ("" when absent). For bench binaries whose remaining arguments are
+/// parsed by someone else (google-benchmark's Initialize in bench_micro);
+/// the ArgParser-based benches declare the option directly instead.
+std::string TakeJsonFlag(int* argc, char** argv);
+
 }  // namespace bismark::bench

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 namespace bismark {
@@ -11,6 +12,7 @@ struct ThreadPool::Round {
   const std::function<void(std::size_t, int)>* fn{nullptr};
   std::atomic<std::size_t> cursor{0};
   std::atomic<int> in_flight{0};  // workers currently inside run_tasks
+  std::vector<WorkerStats> stats;  // one slot per worker, single-writer each
   std::mutex error_mu;
   std::exception_ptr first_error;
   std::condition_variable done_cv;
@@ -47,12 +49,16 @@ void ThreadPool::run_tasks(Round& round, int worker_index) {
     }
     const std::size_t task = round.cursor.fetch_add(1);
     if (task >= round.count) break;
+    const auto t0 = std::chrono::steady_clock::now();
     try {
       (*round.fn)(task, worker_index);
     } catch (...) {
       const std::lock_guard<std::mutex> lock(round.error_mu);
       if (!round.first_error) round.first_error = std::current_exception();
     }
+    WorkerStats& ws = round.stats[static_cast<std::size_t>(worker_index)];
+    ++ws.tasks;
+    ws.busy_s += std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   }
 }
 
@@ -77,10 +83,14 @@ void ThreadPool::worker_loop(int worker_index) {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t, int)>& fn) {
-  if (count == 0) return;
+  if (count == 0) {
+    last_stats_.assign(static_cast<std::size_t>(workers_), WorkerStats{});
+    return;
+  }
   Round round;
   round.count = count;
   round.fn = &fn;
+  round.stats.assign(static_cast<std::size_t>(workers_), WorkerStats{});
 
   round.in_flight.fetch_add(1);  // the caller works too, as worker 0
   if (workers_ > 1) {
@@ -109,6 +119,7 @@ void ThreadPool::parallel_for(std::size_t count,
     round.in_flight.fetch_sub(1);
   }
 
+  last_stats_ = std::move(round.stats);
   if (round.first_error) std::rethrow_exception(round.first_error);
 }
 

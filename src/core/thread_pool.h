@@ -9,6 +9,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -37,6 +38,17 @@ class ThreadPool {
   /// completes (remaining tasks are skipped, running ones finish).
   void parallel_for(std::size_t count, const std::function<void(std::size_t, int)>& fn);
 
+  /// Per-worker utilization of the last parallel_for round. Dynamic task
+  /// dealing makes these schedule-dependent, so they feed only the
+  /// *volatile* section of run reports — never the deterministic metrics.
+  struct WorkerStats {
+    std::uint64_t tasks{0};
+    double busy_s{0.0};  ///< wall time spent inside task bodies
+  };
+  [[nodiscard]] const std::vector<WorkerStats>& last_round_stats() const {
+    return last_stats_;
+  }
+
   /// std::thread::hardware_concurrency with a sane floor of 1.
   static int HardwareWorkers();
 
@@ -45,6 +57,7 @@ class ThreadPool {
 
   int workers_;
   std::vector<std::thread> threads_;
+  std::vector<WorkerStats> last_stats_;
 
   std::mutex mu_;
   std::condition_variable work_cv_;

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <memory>
+#include <utility>
 
 #include "core/logging.h"
-#include "core/thread_pool.h"
 #include "sim/engine.h"
 #include "traffic/generator.h"
 
@@ -29,6 +30,29 @@ constexpr std::uint64_t kUploadSalt = 0xB10AD;
 /// traffic-consented homes spread across several shards and the pool's
 /// dynamic scheduling can balance them.
 constexpr std::size_t kShardHomes = 4;
+
+/// Per-worker flight-recorder depth: enough to see the tail of a failing
+/// run (a few homes' worth of upload churn) without meaningful memory.
+constexpr std::size_t kRecorderCapacity = 1024;
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+/// The one authoritative translation from the metrics registry to the
+/// UploadStats view the tools and tests consume.
+UploadStats UploadStatsFromMetrics(const obs::MetricsSnapshot& m) {
+  UploadStats s;
+  s.records_spooled = m.counter_or("bismark_upload_records_spooled_total");
+  s.records_delivered = m.counter_or("bismark_upload_records_delivered_total");
+  s.records_dropped = m.counter_or("bismark_upload_records_dropped_total");
+  s.records_stranded = m.counter_or("bismark_upload_records_stranded_total");
+  s.batches_delivered = m.counter_or("bismark_upload_batches_delivered_total");
+  s.attempts = m.counter_or("bismark_upload_attempts_total");
+  s.retries = m.counter_or("bismark_upload_retries_total");
+  s.duplicate_transmissions = m.counter_or("bismark_upload_duplicate_transmissions_total");
+  return s;
+}
 }  // namespace
 
 Deployment::Deployment(DeploymentOptions options)
@@ -156,11 +180,14 @@ void Deployment::compute_collector_outages() {
 }
 
 void Deployment::run_shard_heartbeats(std::size_t lo, std::size_t hi,
-                                      collect::IngestBatch& batch) {
+                                      collect::IngestBatch& batch,
+                                      obs::MetricsShard& metrics) {
   const auto& window = options_.windows.heartbeats;
   collect::CollectionServer server(batch, options_.heartbeat);
+  obs::Counter homes = metrics.counter("bismark_homes_simulated_total");
   for (std::size_t i = lo; i < hi; ++i) {
     const auto& home = households_[i];
+    homes.inc();
     Interval participation = window;
     if (const auto it = churn_windows_.find(home->id().value); it != churn_windows_.end()) {
       participation = it->second;
@@ -176,10 +203,32 @@ void Deployment::run_shard_heartbeats(std::size_t lo, std::size_t hi,
 }
 
 void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
-                                   collect::IngestBatch& batch, sim::Engine& engine) {
+                                   collect::IngestBatch& batch, sim::Engine& engine,
+                                   obs::MetricsShard& metrics,
+                                   obs::FlightRecorder* recorder) {
   const auto& w = options_.windows;
   const std::uint64_t fault_seed =
       options_.fault_seed != 0 ? options_.fault_seed : options_.seed;
+
+  // Coarse once-per-home accounting. These feed home::UploadStats and the
+  // conservation identity, so they stay live under BISMARK_OBS=OFF too;
+  // resolving the handles here keeps the per-home loop map-free.
+  obs::Counter spooled = metrics.counter("bismark_upload_records_spooled_total");
+  obs::Counter delivered = metrics.counter("bismark_upload_records_delivered_total");
+  obs::Counter dropped = metrics.counter("bismark_upload_records_dropped_total");
+  obs::Counter stranded = metrics.counter("bismark_upload_records_stranded_total");
+  obs::Counter batches = metrics.counter("bismark_upload_batches_delivered_total");
+  obs::Counter attempts = metrics.counter("bismark_upload_attempts_total");
+  obs::Counter retries = metrics.counter("bismark_upload_retries_total");
+  obs::Counter duplicates = metrics.counter("bismark_upload_duplicate_transmissions_total");
+  obs::Counter ingest_committed = metrics.counter("bismark_ingest_batches_committed_total");
+  obs::Counter ingest_deduped = metrics.counter("bismark_ingest_batches_deduped_total");
+  obs::Counter ingest_records = metrics.counter("bismark_ingest_records_committed_total");
+  obs::Counter ev_executed = metrics.counter("bismark_engine_events_executed_total");
+  obs::Counter ev_scheduled = metrics.counter("bismark_engine_events_scheduled_total");
+  obs::Counter ev_cancelled = metrics.counter("bismark_engine_events_cancelled_total");
+  obs::Gauge spooled_max = metrics.gauge("bismark_home_records_spooled_max");
+
   for (std::size_t i = lo; i < hi; ++i) {
     const auto& home = households_[i];
     // Churn participants never stayed long enough to contribute the
@@ -218,27 +267,48 @@ void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
     collect::IdempotentIngest ingest(batch);
     gateway::Uploader uploader(engine, spool, fault_plan_, ingest, home->id(),
                                options_.upload, Rng::Stream(fault_seed, kUploadSalt, id));
+    uploader.attach_obs(&metrics, recorder);
     engine.reset(w.heartbeats.start);
     uploader.start(w.heartbeats);
     engine.run_until(w.heartbeats.end + options_.upload.drain_grace);
     uploader.stop();
 
     const auto& st = uploader.stats();
-    std::lock_guard<std::mutex> lock(upload_stats_mu_);
-    upload_stats_.records_spooled += spool.accepted();
-    upload_stats_.records_delivered += st.records_delivered;
-    upload_stats_.records_dropped += spool.dropped().total;
-    upload_stats_.records_stranded += uploader.stranded();
-    upload_stats_.batches_delivered += st.batches_delivered;
-    upload_stats_.attempts += st.attempts;
-    upload_stats_.retries += st.retries;
-    upload_stats_.duplicate_transmissions += st.duplicates_sent;
+    const auto& ig = ingest.stats();
+    spooled.inc(spool.accepted());
+    delivered.inc(st.records_delivered);
+    dropped.inc(spool.dropped().total);
+    stranded.inc(uploader.stranded());
+    batches.inc(st.batches_delivered);
+    attempts.inc(st.attempts);
+    retries.inc(st.retries);
+    duplicates.inc(st.duplicates_sent);
+    ingest_committed.inc(ig.batches_committed);
+    ingest_deduped.inc(ig.batches_deduped);
+    ingest_records.inc(ig.records_committed);
+    spooled_max.observe(static_cast<double>(spool.accepted()));
+    // Per-kind drop ledger: register the labelled series only for kinds
+    // that actually lost records, so clean runs export no empty series.
+    for (std::size_t kind = 0; kind < collect::kRecordKinds; ++kind) {
+      const std::uint64_t lost = spool.dropped().by_kind[kind];
+      if (lost == 0) continue;
+      std::string name = "bismark_spool_dropped_total{kind=\"";
+      name += collect::RecordKindName(kind);
+      name += "\"}";
+      metrics.counter(name).inc(lost);
+    }
+    // Engine counters reset per home (engine.reset above), so the deltas
+    // must be banked before the next home reuses the engine.
+    ev_executed.inc(engine.executed());
+    ev_scheduled.inc(engine.scheduled());
+    ev_cancelled.inc(engine.cancelled());
   }
 }
 
 std::uint64_t Deployment::run_shard_traffic(std::size_t lo, std::size_t hi,
                                             collect::IngestBatch& batch,
-                                            sim::Engine& engine) {
+                                            sim::Engine& engine,
+                                            obs::MetricsShard& metrics) {
   std::vector<Household*> consenting;
   for (std::size_t i = lo; i < hi; ++i) {
     if (households_[i]->consent() == gateway::ConsentLevel::kFullTraffic) {
@@ -309,52 +379,95 @@ std::uint64_t Deployment::run_shard_traffic(std::size_t lo, std::size_t hi,
     hh->router().finalize(window.end);
     hh->rebind_sink(repo_.get());
   }
+  metrics.counter("bismark_traffic_engine_events_total").inc(engine.executed());
+  metrics.counter("bismark_engine_events_executed_total").inc(engine.executed());
+  metrics.counter("bismark_engine_events_scheduled_total").inc(engine.scheduled());
+  metrics.counter("bismark_engine_events_cancelled_total").inc(engine.cancelled());
   return engine.executed();
 }
 
+std::size_t Deployment::shard_count() const {
+  return (households_.size() + kShardHomes - 1) / kShardHomes;
+}
+
 void Deployment::run() {
+  const auto t_run = std::chrono::steady_clock::now();
   upload_stats_ = UploadStats{};
+  metrics_ = obs::MetricsSnapshot{};
+  telemetry_ = RunTelemetry{};
+  recorders_.clear();
+
   compute_collector_outages();
+  telemetry_.wall_outage_prepass_s = SecondsSince(t_run);
 
   const int workers =
       options_.workers > 0 ? options_.workers : ThreadPool::HardwareWorkers();
   const std::size_t n = households_.size();
-  const std::size_t shard_count = (n + kShardHomes - 1) / kShardHomes;
+  const std::size_t shards = shard_count();
 
-  // One staging batch per shard, pre-built so workers never touch the
-  // repository; per-worker engines are created lazily (traffic only).
+  // One staging batch and one metrics shard per *shard* (determinism unit),
+  // one engine and one flight recorder per *worker* (execution unit). The
+  // metrics shards merge in shard-index order below, so their contents are
+  // independent of which worker ran which shard.
   std::vector<collect::IngestBatch> batches;
-  batches.reserve(shard_count);
-  for (std::size_t s = 0; s < shard_count; ++s) batches.push_back(repo_->make_batch());
+  batches.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) batches.push_back(repo_->make_batch());
+  std::vector<obs::MetricsShard> metric_shards(shards);
 
   ThreadPool pool(workers);
   std::vector<std::unique_ptr<sim::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
+  recorders_.reserve(static_cast<std::size_t>(pool.workers()));
+  for (int wkr = 0; wkr < pool.workers(); ++wkr) {
+    recorders_.push_back(std::make_unique<obs::FlightRecorder>(kRecorderCapacity));
+  }
   std::atomic<std::uint64_t> traffic_events{0};
 
-  pool.parallel_for(shard_count, [&](std::size_t shard, int worker) {
+  const auto t_sharded = std::chrono::steady_clock::now();
+  pool.parallel_for(shards, [&](std::size_t shard, int worker) {
     const std::size_t lo = shard * kShardHomes;
     const std::size_t hi = std::min(n, lo + kShardHomes);
     collect::IngestBatch& batch = batches[shard];
+    obs::MetricsShard& metrics = metric_shards[shard];
+    obs::FlightRecorder* recorder = recorders_[static_cast<std::size_t>(worker)].get();
     auto& engine = engines[static_cast<std::size_t>(worker)];
     if (!engine) engine = std::make_unique<sim::Engine>(options_.windows.heartbeats.start);
-    run_shard_heartbeats(lo, hi, batch);
-    run_shard_passive(lo, hi, batch, *engine);
+    engine->set_recorder(recorder);
+    run_shard_heartbeats(lo, hi, batch, metrics);
+    run_shard_passive(lo, hi, batch, *engine, metrics, recorder);
     if (options_.run_traffic) {
-      traffic_events += run_shard_traffic(lo, hi, batch, *engine);
+      traffic_events += run_shard_traffic(lo, hi, batch, *engine, metrics);
     }
   });
+  telemetry_.wall_sharded_run_s = SecondsSince(t_sharded);
+  telemetry_.pool = pool.last_round_stats();
+  telemetry_.workers = pool.workers();
 
   // Commit in shard order, then impose the canonical (timestamp, home id)
   // order — together these make the repository bytes independent of the
-  // worker count and of the dynamic shard schedule.
+  // worker count and of the dynamic shard schedule. The metrics merge
+  // follows the same discipline: shard-index order, canonical name sort.
+  const auto t_commit = std::chrono::steady_clock::now();
   for (auto& batch : batches) repo_->commit(std::move(batch));
   repo_->finalize_deterministic_order();
+  metrics_ = obs::MergeShards(metric_shards);
+  upload_stats_ = UploadStatsFromMetrics(metrics_);
+  telemetry_.wall_commit_s = SecondsSince(t_commit);
+
+  telemetry_.engine_events = metrics_.counter_or("bismark_engine_events_executed_total");
+  telemetry_.wall_total_s = SecondsSince(t_run);
 
   if (options_.run_traffic) {
     BISMARK_LOG_INFO("deployment", "traffic window complete: %llu events across %zu shards",
-                     static_cast<unsigned long long>(traffic_events.load()), shard_count);
+                     static_cast<unsigned long long>(traffic_events.load()), shards);
   }
+}
+
+void Deployment::dump_flight_recorders(std::ostream& out) const {
+  std::vector<const obs::FlightRecorder*> recs;
+  recs.reserve(recorders_.size());
+  for (const auto& r : recorders_) recs.push_back(r.get());
+  obs::DumpMergedFlightRecorders(recs, out);
 }
 
 std::unique_ptr<Deployment> Deployment::RunStudy(DeploymentOptions options) {
@@ -362,6 +475,39 @@ std::unique_ptr<Deployment> Deployment::RunStudy(DeploymentOptions options) {
   deployment->build();
   deployment->run();
   return deployment;
+}
+
+obs::RunReport MakeRunReport(const Deployment& study, std::string tool,
+                             bool include_volatile) {
+  const DeploymentOptions& opt = study.options();
+  const RunTelemetry& tel = study.telemetry();
+
+  obs::RunReport report;
+  report.tool = std::move(tool);
+  report.seed = opt.seed;
+  report.fault_seed = opt.fault_seed != 0 ? opt.fault_seed : opt.seed;
+  report.roster_scale = opt.roster_scale;
+  report.homes = study.households().size();
+  report.shards = study.shard_count();
+  report.traffic = opt.run_traffic;
+  report.metrics = study.metrics();
+  report.conservation = obs::ConservationFromMetrics(study.metrics());
+
+  report.include_volatile = include_volatile;
+  report.wall_total_s = tel.wall_total_s;
+  report.phases = {{"outage_prepass", tel.wall_outage_prepass_s},
+                   {"sharded_run", tel.wall_sharded_run_s},
+                   {"commit", tel.wall_commit_s}};
+  report.workers = tel.workers;
+  for (std::size_t w = 0; w < tel.pool.size(); ++w) {
+    report.pool.push_back(obs::WorkerUtilization{static_cast<int>(w), tel.pool[w].tasks,
+                                                 tel.pool[w].busy_s});
+  }
+  report.engine_events_per_s = tel.wall_sharded_run_s > 0.0
+                                   ? static_cast<double>(tel.engine_events) /
+                                         tel.wall_sharded_run_s
+                                   : 0.0;
+  return report;
 }
 
 }  // namespace bismark::home

@@ -3,16 +3,21 @@
 // data repository — the input to the analysis layer and every bench.
 #pragma once
 
+#include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <string>
 #include <vector>
 
 #include "bismark/uploader.h"
 #include "collect/repository.h"
 #include "collect/server.h"
+#include "core/thread_pool.h"
 #include "home/household.h"
 #include "net/fault_plan.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 #include "traffic/domains.h"
 
 namespace bismark::sim {
@@ -65,10 +70,12 @@ struct DeploymentOptions {
   int workers{1};
 };
 
-/// Aggregate accounting of the upload pipeline across all homes. The
-/// conservation identity `records_spooled == records_delivered +
-/// records_dropped + records_stranded` holds exactly, and every field is
-/// byte-identical across worker counts for a fixed (seed, fault_seed).
+/// Aggregate accounting of the upload pipeline across all homes, sourced
+/// from the obs metrics registry (the `bismark_upload_*_total` counters)
+/// after the per-shard merge — one authoritative place. The conservation
+/// identity `records_spooled == records_delivered + records_dropped +
+/// records_stranded` holds exactly, and every field is byte-identical
+/// across worker counts for a fixed (seed, fault_seed).
 struct UploadStats {
   std::uint64_t records_spooled{0};
   std::uint64_t records_delivered{0};
@@ -78,6 +85,21 @@ struct UploadStats {
   std::uint64_t attempts{0};
   std::uint64_t retries{0};
   std::uint64_t duplicate_transmissions{0};  ///< resends absorbed by the dedup gate
+};
+
+/// Wall-clock and scheduling telemetry of the last run(). All of it is
+/// *volatile* — it varies with machine load and worker count — and feeds
+/// only the run report's "wall" section, never the deterministic metrics.
+struct RunTelemetry {
+  double wall_total_s{0.0};
+  double wall_outage_prepass_s{0.0};
+  double wall_sharded_run_s{0.0};
+  double wall_commit_s{0.0};
+  int workers{0};  ///< resolved worker count (options.workers or hardware)
+  std::vector<ThreadPool::WorkerStats> pool;
+  /// Deterministic total of engine events executed across all shards;
+  /// paired with wall_sharded_run_s it gives the volatile throughput.
+  std::uint64_t engine_events{0};
 };
 
 /// The deployment: households plus the machinery to run the study.
@@ -110,6 +132,19 @@ class Deployment {
   /// The fault plan the last run() uploaded through (outages + loss).
   [[nodiscard]] const net::FaultPlan& fault_plan() const { return fault_plan_; }
 
+  /// Merged metrics of the last run(): per-shard registries combined in
+  /// canonical name order — byte-identical for any worker count.
+  [[nodiscard]] const obs::MetricsSnapshot& metrics() const { return metrics_; }
+  /// Wall-clock/scheduling telemetry of the last run() (volatile).
+  [[nodiscard]] const RunTelemetry& telemetry() const { return telemetry_; }
+  /// Shard count the roster partitions into (fixed by the roster, not by
+  /// the worker count).
+  [[nodiscard]] std::size_t shard_count() const;
+
+  /// Post-mortem: dump every worker's flight recorder, merged and ordered
+  /// by simulated time. Intended for test-failure diagnostics.
+  void dump_flight_recorders(std::ostream& out) const;
+
   /// Convenience: build + run in one call.
   static std::unique_ptr<Deployment> RunStudy(DeploymentOptions options);
 
@@ -124,19 +159,32 @@ class Deployment {
   IntervalSet collector_up_;
   net::FaultPlan fault_plan_;
   UploadStats upload_stats_;
-  std::mutex upload_stats_mu_;
+  obs::MetricsSnapshot metrics_;
+  RunTelemetry telemetry_;
+  std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;  // one per worker
   std::map<int, Interval> churn_windows_;
 
   /// Serial pre-pass: the collector's own outage process, which silences
   /// every home at once and therefore cannot be sharded.
   void compute_collector_outages();
 
-  // Per-shard stages over households_[lo, hi), writing into `batch`.
-  void run_shard_heartbeats(std::size_t lo, std::size_t hi, collect::IngestBatch& batch);
+  // Per-shard stages over households_[lo, hi), writing into `batch` and
+  // counting into `metrics` (owned by this shard — single-writer, lock-free).
+  void run_shard_heartbeats(std::size_t lo, std::size_t hi, collect::IngestBatch& batch,
+                            obs::MetricsShard& metrics);
   void run_shard_passive(std::size_t lo, std::size_t hi, collect::IngestBatch& batch,
-                         sim::Engine& engine);
+                         sim::Engine& engine, obs::MetricsShard& metrics,
+                         obs::FlightRecorder* recorder);
   std::uint64_t run_shard_traffic(std::size_t lo, std::size_t hi,
-                                  collect::IngestBatch& batch, sim::Engine& engine);
+                                  collect::IngestBatch& batch, sim::Engine& engine,
+                                  obs::MetricsShard& metrics);
 };
+
+/// Assemble the machine-readable run report for a completed study.
+/// `tool` names the producing binary (lands in the report's "tool" field);
+/// set include_volatile = false for byte-identical output across worker
+/// counts (the wall-clock section is the only non-deterministic part).
+[[nodiscard]] obs::RunReport MakeRunReport(const Deployment& study, std::string tool,
+                                           bool include_volatile = true);
 
 }  // namespace bismark::home

@@ -1,0 +1,113 @@
+#include "obs/json.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "obs/metrics.h"
+
+namespace bismark::obs {
+
+std::string JsonWriter::Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void JsonWriter::prelude() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key": on the same line
+  }
+  if (stack_.empty()) return;
+  if (stack_.back().has_items) out_ << ',';
+  out_ << '\n';
+  indent();
+  stack_.back().has_items = true;
+}
+
+void JsonWriter::begin_object() {
+  prelude();
+  out_ << '{';
+  stack_.push_back({Ctx::kObject, false});
+}
+
+void JsonWriter::end_object() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << '}';
+  if (stack_.empty()) out_ << '\n';
+}
+
+void JsonWriter::begin_array() {
+  prelude();
+  out_ << '[';
+  stack_.push_back({Ctx::kArray, false});
+}
+
+void JsonWriter::end_array() {
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) {
+    out_ << '\n';
+    indent();
+  }
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  prelude();
+  out_ << '"' << Escape(k) << "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  prelude();
+  out_ << '"' << Escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  prelude();
+  out_ << FormatMetricValue(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prelude();
+  out_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  prelude();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  prelude();
+  out_ << (v ? "true" : "false");
+}
+
+}  // namespace bismark::obs

@@ -1,0 +1,66 @@
+// A small deterministic JSON writer for machine-readable artifacts.
+//
+// Hand-rolled on purpose: the container bakes in no JSON library, the
+// artifacts (run reports, BENCH_*.json) are write-only from our side, and
+// byte-determinism matters — so the writer controls float formatting
+// (FormatMetricValue) and emits keys exactly in call order. Indented
+// two-space output keeps the artifacts diffable in CI.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bismark::obs {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+
+  // One-line conveniences for the common `"key": value` case.
+  template <typename T>
+  void kv(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// JSON string escaping (quotes, backslashes, control characters).
+  [[nodiscard]] static std::string Escape(std::string_view s);
+
+ private:
+  enum class Ctx { kObject, kArray };
+  struct Level {
+    Ctx ctx;
+    bool has_items{false};
+  };
+
+  std::ostream& out_;
+  std::vector<Level> stack_;
+  bool pending_key_{false};
+
+  void prelude();  // comma/newline/indent before an item
+  void indent();
+};
+
+}  // namespace bismark::obs

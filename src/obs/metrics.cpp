@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "core/logging.h"
+
+namespace bismark::obs {
+
+namespace detail {
+
+void HistoCell::observe(double x) {
+  ++count;
+  sum += x;
+  const double width = (spec.hi - spec.lo) / static_cast<double>(spec.buckets);
+  std::size_t bin;
+  if (x >= spec.hi) {
+    bin = spec.buckets;  // overflow
+  } else if (x < spec.lo || width <= 0.0) {
+    bin = 0;
+  } else {
+    bin = static_cast<std::size_t>((x - spec.lo) / width);
+    if (bin >= spec.buckets) bin = spec.buckets - 1;  // fp edge at hi
+  }
+  ++bins[bin];
+}
+
+}  // namespace detail
+
+Counter MetricsShard::counter(std::string_view name) {
+  if (const auto it = counter_index_.find(name); it != counter_index_.end()) {
+    return Counter(it->second);
+  }
+  counters_.push_back(detail::CounterCell{std::string(name), 0});
+  detail::CounterCell* cell = &counters_.back();
+  counter_index_.emplace(cell->name, cell);
+  return Counter(cell);
+}
+
+Gauge MetricsShard::gauge(std::string_view name) {
+  if (const auto it = gauge_index_.find(name); it != gauge_index_.end()) {
+    return Gauge(it->second);
+  }
+  gauges_.push_back(detail::GaugeCell{std::string(name), 0.0, false});
+  detail::GaugeCell* cell = &gauges_.back();
+  gauge_index_.emplace(cell->name, cell);
+  return Gauge(cell);
+}
+
+Histo MetricsShard::histogram(std::string_view name, HistoSpec spec) {
+  if (const auto it = histo_index_.find(name); it != histo_index_.end()) {
+    return Histo(it->second);
+  }
+  if (spec.buckets == 0) spec.buckets = 1;
+  detail::HistoCell cell;
+  cell.name = std::string(name);
+  cell.spec = spec;
+  cell.bins.assign(spec.buckets + 1, 0);
+  histos_.push_back(std::move(cell));
+  detail::HistoCell* stored = &histos_.back();
+  histo_index_.emplace(stored->name, stored);
+  return Histo(stored);
+}
+
+double HistoData::bin_upper(std::size_t i) const {
+  if (i >= spec.buckets) return std::numeric_limits<double>::infinity();
+  const double width = (spec.hi - spec.lo) / static_cast<double>(spec.buckets);
+  return spec.lo + width * static_cast<double>(i + 1);
+}
+
+std::uint64_t MetricsSnapshot::counter_or(std::string_view name,
+                                          std::uint64_t fallback) const {
+  const auto it = counters.find(std::string(name));
+  return it != counters.end() ? it->second : fallback;
+}
+
+MetricsSnapshot MergeShards(std::span<const MetricsShard> shards) {
+  MetricsSnapshot out;
+  for (const MetricsShard& shard : shards) {
+    for (const auto& c : shard.counters()) out.counters[c.name] += c.value;
+    for (const auto& g : shard.gauges()) {
+      if (!g.set) continue;
+      const auto [it, inserted] = out.gauges.emplace(g.name, g.value);
+      if (!inserted && g.value > it->second) it->second = g.value;
+    }
+    for (const auto& h : shard.histograms()) {
+      auto [it, inserted] = out.histograms.try_emplace(h.name);
+      HistoData& merged = it->second;
+      if (inserted) {
+        merged.spec = h.spec;
+        merged.bins.assign(h.spec.buckets + 1, 0);
+      } else if (merged.spec != h.spec) {
+        BISMARK_LOG_WARN("obs", "histogram '%s' registered with conflicting bucket "
+                         "specs; dropping one shard's samples", h.name.c_str());
+        continue;
+      }
+      for (std::size_t i = 0; i < h.bins.size(); ++i) merged.bins[i] += h.bins[i];
+      merged.count += h.count;
+      merged.sum += h.sum;
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+namespace {
+
+/// Base name for TYPE lines: the part before any inline label block.
+std::string_view BaseName(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void TypeLine(std::ostream& out, std::string_view name, const char* type,
+              std::string* last_base) {
+  const std::string_view base = BaseName(name);
+  if (*last_base == base) return;
+  *last_base = std::string(base);
+  out << "# TYPE " << base << ' ' << type << '\n';
+}
+
+}  // namespace
+
+void WritePrometheus(const MetricsSnapshot& snapshot, std::ostream& out) {
+  std::string last_base;
+  for (const auto& [name, value] : snapshot.counters) {
+    TypeLine(out, name, "counter", &last_base);
+    out << name << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    TypeLine(out, name, "gauge", &last_base);
+    out << name << ' ' << FormatMetricValue(value) << '\n';
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    TypeLine(out, name, "histogram", &last_base);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bins.size(); ++i) {
+      cumulative += h.bins[i];
+      const double upper = h.bin_upper(i);
+      out << name << "_bucket{le=\""
+          << (std::isinf(upper) ? std::string("+Inf") : FormatMetricValue(upper))
+          << "\"} " << cumulative << '\n';
+    }
+    out << name << "_sum " << FormatMetricValue(h.sum) << '\n';
+    out << name << "_count " << h.count << '\n';
+  }
+}
+
+}  // namespace bismark::obs

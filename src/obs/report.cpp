@@ -1,0 +1,104 @@
+#include "obs/report.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace bismark::obs {
+
+Conservation ConservationFromMetrics(const MetricsSnapshot& metrics) {
+  Conservation c;
+  c.spooled = metrics.counter_or("bismark_upload_records_spooled_total");
+  c.delivered = metrics.counter_or("bismark_upload_records_delivered_total");
+  c.dropped = metrics.counter_or("bismark_upload_records_dropped_total");
+  c.stranded = metrics.counter_or("bismark_upload_records_stranded_total");
+  return c;
+}
+
+void RunReport::write_json(std::ostream& out) const {
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", kRunReportSchema);
+  w.kv("tool", tool);
+
+  w.key("study");
+  w.begin_object();
+  w.kv("seed", seed);
+  w.kv("fault_seed", fault_seed);
+  w.kv("roster_scale", roster_scale);
+  w.kv("homes", static_cast<std::uint64_t>(homes));
+  w.kv("shards", static_cast<std::uint64_t>(shards));
+  w.kv("traffic", traffic);
+  w.end_object();
+
+  w.key("conservation");
+  w.begin_object();
+  w.kv("spooled", conservation.spooled);
+  w.kv("delivered", conservation.delivered);
+  w.kv("dropped", conservation.dropped);
+  w.kv("stranded", conservation.stranded);
+  w.kv("holds", conservation.holds());
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : metrics.counters) w.kv(name, value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : metrics.gauges) w.kv(name, value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : metrics.histograms) {
+    w.key(name);
+    w.begin_object();
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < h.bins.size(); ++i) {
+      w.begin_array();
+      const double upper = h.bin_upper(i);
+      if (i + 1 == h.bins.size()) {
+        w.value("+Inf");
+      } else {
+        w.value(upper);
+      }
+      w.value(h.bins[i]);
+      w.end_array();
+    }
+    w.end_array();
+    w.kv("sum", h.sum);
+    w.kv("count", h.count);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+
+  if (include_volatile) {
+    w.key("wall");
+    w.begin_object();
+    w.kv("total_s", wall_total_s);
+    w.key("phases");
+    w.begin_object();
+    for (const auto& phase : phases) w.kv(phase.name, phase.wall_s);
+    w.end_object();
+    w.kv("workers", workers);
+    w.key("pool");
+    w.begin_array();
+    for (const auto& u : pool) {
+      w.begin_object();
+      w.kv("worker", u.worker);
+      w.kv("tasks", u.tasks);
+      w.kv("busy_s", u.busy_s);
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("engine_events_per_s", engine_events_per_s);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+}  // namespace bismark::obs

@@ -1,0 +1,79 @@
+// The machine-readable run report: one JSON document describing what a run
+// measured, delivered and lost — the experiment artifact REPETITA-style
+// reproducibility asks for (PAPERS.md).
+//
+// A report has two strata:
+//   * the deterministic section — study parameters, the merged metrics
+//     snapshot, and the upload conservation identity — is a pure function
+//     of (seed, fault seed, roster) and is byte-identical at any worker
+//     count, like the CSV exports;
+//   * the volatile section ("wall") — wall-clock phase timings, worker
+//     count, thread-pool utilization, engine event throughput — varies run
+//     to run by nature. Setting include_volatile = false omits it, which
+//     is what the determinism tests and the CI diff jobs use.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bismark::obs {
+
+inline constexpr const char* kRunReportSchema = "bismark-run-report/v1";
+
+struct PhaseTiming {
+  std::string name;
+  double wall_s{0.0};
+};
+
+struct WorkerUtilization {
+  int worker{0};
+  std::uint64_t tasks{0};
+  double busy_s{0.0};
+};
+
+/// Per-home upload conservation, summed over the deployment:
+/// spooled == delivered + dropped + stranded must hold exactly.
+struct Conservation {
+  std::uint64_t spooled{0};
+  std::uint64_t delivered{0};
+  std::uint64_t dropped{0};
+  std::uint64_t stranded{0};
+
+  [[nodiscard]] bool holds() const {
+    return spooled == delivered + dropped + stranded;
+  }
+};
+
+/// Pull the conservation identity out of the merged metrics (the
+/// `bismark_upload_records_*_total` counters).
+[[nodiscard]] Conservation ConservationFromMetrics(const MetricsSnapshot& metrics);
+
+struct RunReport {
+  std::string tool;  ///< e.g. "bismark_study run"
+
+  // --- deterministic section -------------------------------------------
+  std::uint64_t seed{0};
+  std::uint64_t fault_seed{0};
+  double roster_scale{1.0};
+  std::size_t homes{0};
+  std::size_t shards{0};
+  bool traffic{false};
+  MetricsSnapshot metrics;
+  Conservation conservation;
+
+  // --- volatile section (omitted when include_volatile is false) -------
+  bool include_volatile{true};
+  double wall_total_s{0.0};
+  std::vector<PhaseTiming> phases;
+  int workers{0};
+  std::vector<WorkerUtilization> pool;
+  double engine_events_per_s{0.0};
+
+  void write_json(std::ostream& out) const;
+};
+
+}  // namespace bismark::obs

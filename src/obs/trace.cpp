@@ -1,0 +1,89 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace bismark::obs {
+
+const char* TraceKindName(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kEngineEvent: return "engine_event";
+    case TraceKind::kFlushAttempt: return "flush_attempt";
+    case TraceKind::kBatchDelivered: return "batch_delivered";
+    case TraceKind::kBatchDeduped: return "batch_deduped";
+    case TraceKind::kRetryArmed: return "retry_armed";
+    case TraceKind::kSpoolDrop: return "spool_drop";
+    case TraceKind::kBackoffSpan: return "backoff_span";
+    case TraceKind::kPhase: return "phase";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(std::max<std::size_t>(1, capacity)) {}
+
+void FlightRecorder::record(TraceEvent ev) {
+  ring_[head_] = ev;
+  head_ = (head_ + 1) % ring_.size();
+  if (size_ < ring_.size()) ++size_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> FlightRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest entry sits at head_ once wrapped, at 0 before.
+  const std::size_t start = size_ == ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  head_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+}
+
+namespace {
+
+void PrintEvent(const TraceEvent& ev, std::ostream& out) {
+  out << FormatTime(TimePoint{ev.sim_ms});
+  if (ev.end_ms != ev.sim_ms) {
+    out << " .. " << FormatTime(TimePoint{ev.end_ms});
+  }
+  out << "  " << TraceKindName(ev.kind);
+  if (ev.subject >= 0) out << "  home=" << ev.subject;
+  out << "  a=" << ev.a << " b=" << ev.b << '\n';
+}
+
+}  // namespace
+
+void DumpFlightRecorder(const FlightRecorder& recorder, std::ostream& out) {
+  out << "flight recorder: " << recorder.size() << " of " << recorder.recorded()
+      << " events retained (capacity " << recorder.capacity() << ")\n";
+  for (const TraceEvent& ev : recorder.events()) PrintEvent(ev, out);
+}
+
+void DumpMergedFlightRecorders(std::span<const FlightRecorder* const> recorders,
+                               std::ostream& out) {
+  std::vector<TraceEvent> all;
+  std::uint64_t recorded = 0;
+  for (const FlightRecorder* rec : recorders) {
+    if (rec == nullptr) continue;
+    const auto events = rec->events();
+    all.insert(all.end(), events.begin(), events.end());
+    recorded += rec->recorded();
+  }
+  std::stable_sort(all.begin(), all.end(), [](const TraceEvent& x, const TraceEvent& y) {
+    if (x.sim_ms != y.sim_ms) return x.sim_ms < y.sim_ms;
+    if (x.kind != y.kind) return x.kind < y.kind;
+    return x.subject < y.subject;
+  });
+  out << "flight recorder (merged): " << all.size() << " of " << recorded
+      << " events retained\n";
+  for (const TraceEvent& ev : all) PrintEvent(ev, out);
+}
+
+}  // namespace bismark::obs

@@ -1,0 +1,101 @@
+// Sim-time tracing: a bounded flight recorder for post-mortem dumps.
+//
+// Simulation components record compact events stamped in *simulated* time
+// into a fixed-capacity ring buffer. The ring keeps only the last N events
+// — exactly what a failing test wants to see ("what was the uploader doing
+// right before the conservation audit broke?") without unbounded memory or
+// any I/O on the hot path. Recording is O(1): write a POD into a
+// preallocated slot. Like MetricsShard, a recorder belongs to one worker
+// at a time; merge happens only at dump time, ordered by (sim time, seq).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/time.h"
+#include "obs/metrics.h"  // BISMARK_OBS_ENABLED
+
+namespace bismark::obs {
+
+enum class TraceKind : std::uint16_t {
+  kEngineEvent = 0,   ///< a sim event fired (a = engine seq)
+  kFlushAttempt,      ///< uploader flush tick (a = queued, b = batch seq)
+  kBatchDelivered,    ///< collector committed a batch (a = records, b = seq)
+  kBatchDeduped,      ///< retransmission absorbed by the ingest gate (b = seq)
+  kRetryArmed,        ///< backoff timer armed (a = attempt #, b = delay ms)
+  kSpoolDrop,         ///< bounded spool discarded records (a = dropped total)
+  kBackoffSpan,       ///< span: first failure .. successful delivery (a = attempts)
+  kPhase,             ///< deployment stage marker (a = shard index)
+};
+
+[[nodiscard]] const char* TraceKindName(TraceKind kind);
+
+/// One recorded event. `sim_ms`/`end_ms` are simulated-time stamps;
+/// instants carry sim_ms == end_ms, spans carry their extent.
+struct TraceEvent {
+  std::int64_t sim_ms{0};
+  std::int64_t end_ms{0};
+  TraceKind kind{TraceKind::kEngineEvent};
+  std::int32_t subject{-1};  ///< home id, or -1 when not home-scoped
+  std::uint64_t a{0};
+  std::uint64_t b{0};
+};
+
+/// Fixed-capacity ring buffer of TraceEvents. record() overwrites the
+/// oldest entry once full; events() returns oldest-to-newest.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity);
+
+  void record(TraceEvent ev);
+  void record(TraceKind kind, TimePoint at, std::int32_t subject, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+    record(TraceEvent{at.ms, at.ms, kind, subject, a, b});
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// Total events ever recorded (>= size() once the ring has wrapped).
+  [[nodiscard]] std::uint64_t recorded() const { return recorded_; }
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  void clear();
+
+ private:
+  std::vector<TraceEvent> ring_;
+  std::size_t head_{0};  // next write slot
+  std::size_t size_{0};
+  std::uint64_t recorded_{0};
+};
+
+/// Sim-time span helper: stamp the begin at construction, record one event
+/// covering [begin, end] when closed. Closing twice is a no-op.
+class SimSpan {
+ public:
+  SimSpan(FlightRecorder* recorder, TraceKind kind, TimePoint begin,
+          std::int32_t subject)
+      : recorder_(recorder), kind_(kind), begin_ms_(begin.ms), subject_(subject) {}
+
+  void end(TimePoint at, std::uint64_t a = 0, std::uint64_t b = 0) {
+    if (recorder_ == nullptr) return;
+    recorder_->record(TraceEvent{begin_ms_, at.ms, kind_, subject_, a, b});
+    recorder_ = nullptr;
+  }
+
+ private:
+  FlightRecorder* recorder_;
+  TraceKind kind_;
+  std::int64_t begin_ms_;
+  std::int32_t subject_;
+};
+
+/// Human-readable dump of one recorder (oldest first).
+void DumpFlightRecorder(const FlightRecorder& recorder, std::ostream& out);
+
+/// Merge several recorders (e.g. one per worker) into one chronological
+/// dump, ordered by (sim time, kind, subject). Null entries are skipped.
+void DumpMergedFlightRecorders(std::span<const FlightRecorder* const> recorders,
+                               std::ostream& out);
+
+}  // namespace bismark::obs

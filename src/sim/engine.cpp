@@ -15,11 +15,14 @@ void Engine::reset(TimePoint start) {
   now_ = start;
   next_seq_ = 0;
   executed_ = 0;
+  scheduled_ = 0;
+  cancelled_ = 0;
 }
 
 EventHandle Engine::schedule_at(TimePoint when, std::function<void()> fn) {
   auto cancelled = std::make_shared<bool>(false);
   if (when < now_) when = now_;
+  ++scheduled_;
   queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
   return EventHandle(std::move(cancelled));
 }
@@ -39,10 +42,12 @@ EventHandle Engine::schedule_every(Duration period, std::function<void(TimePoint
     const auto cancel_flag = weak_cancel.lock();
     if (cancel_flag && *cancel_flag) return;
     const TimePoint next = fire + period;
+    ++scheduled_;
     queue_.push(Event{next, next_seq_++, [repeat, next] { (*repeat)(next); },
                       cancel_flag ? cancel_flag : std::make_shared<bool>(false)});
   };
   const TimePoint first = now_ + phase;
+  ++scheduled_;
   queue_.push(Event{first, next_seq_++, [repeat, first] { (*repeat)(first); }, cancelled});
   return EventHandle(std::move(cancelled));
 }
@@ -51,8 +56,16 @@ bool Engine::step() {
   while (!queue_.empty()) {
     Event ev = queue_.top();
     queue_.pop();
-    if (ev.cancelled && *ev.cancelled) continue;
+    if (ev.cancelled && *ev.cancelled) {
+      ++cancelled_;
+      continue;
+    }
     now_ = ev.when;
+#if BISMARK_OBS_ENABLED
+    if (recorder_ != nullptr) {
+      recorder_->record(obs::TraceKind::kEngineEvent, ev.when, -1, ev.seq);
+    }
+#endif
     ev.fn();
     ++executed_;
     return true;

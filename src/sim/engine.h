@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/time.h"
+#include "obs/trace.h"
 
 namespace bismark::sim {
 
@@ -60,6 +61,15 @@ class Engine {
 
   [[nodiscard]] std::size_t pending() const { return queue_.size(); }
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+  /// Events ever enqueued (including schedule_every re-arms).
+  [[nodiscard]] std::uint64_t scheduled() const { return scheduled_; }
+  /// Cancelled events discarded at pop time.
+  [[nodiscard]] std::uint64_t cancelled() const { return cancelled_; }
+
+  /// Attach a flight recorder; every executed event is then traced with
+  /// its simulated fire time. The engine does not own the recorder. The
+  /// per-event recording compiles out entirely under BISMARK_OBS=OFF.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
 
  private:
   struct Event {
@@ -79,6 +89,9 @@ class Engine {
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::uint64_t next_seq_{0};
   std::uint64_t executed_{0};
+  std::uint64_t scheduled_{0};
+  std::uint64_t cancelled_{0};
+  obs::FlightRecorder* recorder_{nullptr};
 };
 
 }  // namespace bismark::sim

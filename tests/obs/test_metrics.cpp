@@ -1,0 +1,184 @@
+// The metrics registry's determinism contract: shards merge into the same
+// snapshot (and the same rendered bytes) no matter how work was spread
+// across them or in what order metrics were registered.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace bismark::obs {
+namespace {
+
+std::string Render(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  WritePrometheus(snapshot, out);
+  return out.str();
+}
+
+TEST(MetricsShardTest, CounterHandlesAccumulate) {
+  MetricsShard shard;
+  Counter c = shard.counter("requests_total");
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same cell.
+  EXPECT_EQ(shard.counter("requests_total").value(), 42u);
+}
+
+TEST(MetricsShardTest, DefaultConstructedHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histo h;
+  c.inc();
+  g.observe(1.0);
+  h.observe(1.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(MetricsShardTest, GaugeKeepsHighWaterMark) {
+  MetricsShard shard;
+  Gauge g = shard.gauge("queue_depth_max");
+  g.observe(3.0);
+  g.observe(9.0);
+  g.observe(4.0);
+  EXPECT_EQ(g.value(), 9.0);
+}
+
+TEST(MetricsShardTest, HandlesStayValidAcrossManyRegistrations) {
+  // Deque storage: cells must not move when later registrations grow the
+  // shard (the whole point of handing out raw cell pointers).
+  MetricsShard shard;
+  Counter first = shard.counter("counter_0");
+  for (int i = 1; i < 200; ++i) {
+    shard.counter("counter_" + std::to_string(i)).inc();
+  }
+  first.inc(7);
+  EXPECT_EQ(shard.counter("counter_0").value(), 7u);
+}
+
+TEST(MetricsMergeTest, CountersSumAcrossShards) {
+  std::vector<MetricsShard> shards(3);
+  shards[0].counter("events_total").inc(10);
+  shards[1].counter("events_total").inc(20);
+  shards[2].counter("events_total").inc(12);
+  shards[2].counter("only_in_last").inc(1);
+
+  const MetricsSnapshot merged = MergeShards(shards);
+  EXPECT_EQ(merged.counter_or("events_total"), 42u);
+  EXPECT_EQ(merged.counter_or("only_in_last"), 1u);
+  EXPECT_EQ(merged.counter_or("absent", 99u), 99u);
+}
+
+TEST(MetricsMergeTest, GaugesMergeByMax) {
+  std::vector<MetricsShard> shards(2);
+  shards[0].gauge("spool_max").observe(5.0);
+  shards[1].gauge("spool_max").observe(3.0);
+  const MetricsSnapshot merged = MergeShards(shards);
+  EXPECT_EQ(merged.gauges.at("spool_max"), 5.0);
+}
+
+TEST(MetricsMergeTest, HistogramBucketsMergeBinwise) {
+  const HistoSpec spec{0.0, 10.0, 5};  // bins of width 2, plus overflow
+  std::vector<MetricsShard> shards(2);
+  Histo a = shards[0].histogram("latency", spec);
+  a.observe(1.0);   // bin 0
+  a.observe(5.0);   // bin 2
+  a.observe(99.0);  // overflow
+  Histo b = shards[1].histogram("latency", spec);
+  b.observe(1.5);  // bin 0
+  b.observe(9.9);  // bin 4
+
+  const MetricsSnapshot merged = MergeShards(shards);
+  const HistoData& h = merged.histograms.at("latency");
+  ASSERT_EQ(h.bins.size(), 6u);
+  EXPECT_EQ(h.bins[0], 2u);
+  EXPECT_EQ(h.bins[2], 1u);
+  EXPECT_EQ(h.bins[4], 1u);
+  EXPECT_EQ(h.bins[5], 1u);  // overflow
+  EXPECT_EQ(h.count, 5u);
+  EXPECT_DOUBLE_EQ(h.sum, 1.0 + 5.0 + 99.0 + 1.5 + 9.9);
+}
+
+TEST(MetricsMergeTest, HistogramClampsBelowRangeIntoFirstBin) {
+  std::vector<MetricsShard> shards(1);
+  Histo h = shards[0].histogram("ratio", HistoSpec{0.0, 1.0, 10});
+  h.observe(-0.5);
+  h.observe(0.0);
+  h.observe(1.0);  // == hi -> overflow
+  const MetricsSnapshot merged = MergeShards(shards);
+  const HistoData& data = merged.histograms.at("ratio");
+  EXPECT_EQ(data.bins[0], 2u);
+  EXPECT_EQ(data.bins.back(), 1u);
+}
+
+TEST(MetricsMergeTest, HistogramSpecMismatchDropsConflictingShard) {
+  std::vector<MetricsShard> shards(2);
+  shards[0].histogram("h", HistoSpec{0.0, 1.0, 10}).observe(0.5);
+  shards[1].histogram("h", HistoSpec{0.0, 2.0, 4}).observe(0.5);
+  const MetricsSnapshot merged = MergeShards(shards);
+  const HistoData& h = merged.histograms.at("h");
+  EXPECT_EQ(h.spec, (HistoSpec{0.0, 1.0, 10}));  // first spec wins
+  EXPECT_EQ(h.count, 1u);                        // conflicting samples dropped
+}
+
+TEST(MetricsMergeTest, RegistrationOrderDoesNotAffectRenderedBytes) {
+  // Two "runs" register the same metrics in different orders and with work
+  // spread differently across shards — the canonical snapshot must render
+  // byte-identically.
+  std::vector<MetricsShard> run_a(2);
+  run_a[0].counter("b_total").inc(5);
+  run_a[0].gauge("z_max").observe(2.0);
+  run_a[1].counter("a_total").inc(1);
+  run_a[1].histogram("m_histo", HistoSpec{0.0, 4.0, 4}).observe(1.0);
+
+  std::vector<MetricsShard> run_b(3);
+  run_b[0].histogram("m_histo", HistoSpec{0.0, 4.0, 4}).observe(1.0);
+  run_b[1].counter("a_total").inc(1);
+  run_b[2].counter("b_total").inc(2);
+  run_b[0].counter("b_total").inc(3);
+  run_b[2].gauge("z_max").observe(2.0);
+  run_b[0].gauge("z_max").observe(1.0);
+
+  EXPECT_EQ(Render(MergeShards(run_a)), Render(MergeShards(run_b)));
+}
+
+TEST(MetricsRenderTest, PrometheusOutputIsCanonical) {
+  std::vector<MetricsShard> shards(1);
+  shards[0].counter("bismark_events_total").inc(3);
+  shards[0].histogram("bismark_delay", HistoSpec{0.0, 2.0, 2}).observe(0.5);
+  const std::string text = Render(MergeShards(shards));
+  EXPECT_NE(text.find("# TYPE bismark_delay histogram"), std::string::npos);
+  EXPECT_NE(text.find("bismark_delay_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("bismark_delay_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("bismark_delay_count 1"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE bismark_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("bismark_events_total 3"), std::string::npos);
+}
+
+TEST(MetricsRenderTest, LabelledCountersShareOneTypeLine) {
+  std::vector<MetricsShard> shards(1);
+  shards[0].counter("drops_total{kind=\"dns\"}").inc(1);
+  shards[0].counter("drops_total{kind=\"wifi_scan\"}").inc(2);
+  const std::string text = Render(MergeShards(shards));
+  // One TYPE line for the base name, both labelled series present.
+  std::size_t first = text.find("# TYPE drops_total counter");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE drops_total counter", first + 1), std::string::npos);
+  EXPECT_NE(text.find("drops_total{kind=\"dns\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("drops_total{kind=\"wifi_scan\"} 2"), std::string::npos);
+}
+
+TEST(MetricsRenderTest, FormatMetricValueIsFixed) {
+  EXPECT_EQ(FormatMetricValue(42.0), "42");
+  EXPECT_EQ(FormatMetricValue(0.0), "0");
+  EXPECT_EQ(FormatMetricValue(-3.0), "-3");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace bismark::obs

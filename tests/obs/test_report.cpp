@@ -1,0 +1,137 @@
+// The run report and its JSON writer: escaping, the two-strata layout, and
+// the conservation identity helper.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+namespace bismark::obs {
+namespace {
+
+std::string Render(const RunReport& report) {
+  std::ostringstream out;
+  report.write_json(out);
+  return out.str();
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  EXPECT_EQ(JsonWriter::Escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::Escape("tab\tnewline\n"), "tab\\tnewline\\n");
+  EXPECT_EQ(JsonWriter::Escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+}
+
+TEST(JsonWriterTest, NestedContainersGetCommasRight) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.value(2);
+  w.end_array();
+  w.kv("b", true);
+  w.end_object();
+  const std::string text = out.str();
+  // Commas between items, none before closers.
+  EXPECT_NE(text.find("\"a\": 1,"), std::string::npos);
+  EXPECT_NE(text.find("1,"), std::string::npos);
+  EXPECT_EQ(text.find(",\n  ]"), std::string::npos);
+  EXPECT_EQ(text.find(",\n}"), std::string::npos);
+  EXPECT_EQ(text.back(), '\n');  // exactly one trailing newline at root close
+}
+
+TEST(ConservationTest, HoldsExactlyWhenBalanced) {
+  Conservation c{100, 80, 15, 5};
+  EXPECT_TRUE(c.holds());
+  c.delivered = 81;
+  EXPECT_FALSE(c.holds());
+}
+
+TEST(ConservationTest, FromMetricsReadsTheUploadCounters) {
+  MetricsSnapshot m;
+  m.counters["bismark_upload_records_spooled_total"] = 10;
+  m.counters["bismark_upload_records_delivered_total"] = 7;
+  m.counters["bismark_upload_records_dropped_total"] = 2;
+  m.counters["bismark_upload_records_stranded_total"] = 1;
+  const Conservation c = ConservationFromMetrics(m);
+  EXPECT_EQ(c.spooled, 10u);
+  EXPECT_EQ(c.delivered, 7u);
+  EXPECT_EQ(c.dropped, 2u);
+  EXPECT_EQ(c.stranded, 1u);
+  EXPECT_TRUE(c.holds());
+}
+
+RunReport SampleReport() {
+  RunReport report;
+  report.tool = "unit_test";
+  report.seed = 42;
+  report.fault_seed = 43;
+  report.roster_scale = 0.5;
+  report.homes = 63;
+  report.shards = 16;
+  report.traffic = false;
+  report.metrics.counters["bismark_events_total"] = 9;
+  report.conservation = Conservation{4, 4, 0, 0};
+  report.wall_total_s = 1.5;
+  report.phases = {{"sharded_run", 1.25}};
+  report.workers = 4;
+  report.pool = {WorkerUtilization{0, 8, 1.0}};
+  report.engine_events_per_s = 1234.5;
+  return report;
+}
+
+TEST(RunReportTest, CarriesSchemaStudyAndMetrics) {
+  const std::string text = Render(SampleReport());
+  EXPECT_NE(text.find("\"schema\": \"bismark-run-report/v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"tool\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(text.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(text.find("\"fault_seed\": 43"), std::string::npos);
+  EXPECT_NE(text.find("\"bismark_events_total\": 9"), std::string::npos);
+  EXPECT_NE(text.find("\"holds\": true"), std::string::npos);
+}
+
+TEST(RunReportTest, VolatileSectionPresentByDefault) {
+  const std::string text = Render(SampleReport());
+  EXPECT_NE(text.find("\"wall\""), std::string::npos);
+  EXPECT_NE(text.find("\"workers\": 4"), std::string::npos);
+  EXPECT_NE(text.find("\"engine_events_per_s\""), std::string::npos);
+}
+
+TEST(RunReportTest, DeterministicModeOmitsEveryVolatileField) {
+  RunReport report = SampleReport();
+  report.include_volatile = false;
+  const std::string text = Render(report);
+  EXPECT_EQ(text.find("\"wall\""), std::string::npos);
+  EXPECT_EQ(text.find("workers"), std::string::npos);
+  EXPECT_EQ(text.find("busy_s"), std::string::npos);
+  EXPECT_EQ(text.find("engine_events_per_s"), std::string::npos);
+  // The deterministic strata survive untouched.
+  EXPECT_NE(text.find("\"conservation\""), std::string::npos);
+  EXPECT_NE(text.find("\"metrics\""), std::string::npos);
+}
+
+TEST(RunReportTest, HistogramBucketsRenderAsUpperCountPairs) {
+  RunReport report;
+  report.tool = "t";
+  HistoData h;
+  h.spec = HistoSpec{0.0, 2.0, 2};
+  h.bins = {3, 1, 2};
+  h.count = 6;
+  h.sum = 5.5;
+  report.metrics.histograms["bismark_delay"] = h;
+  const std::string text = Render(report);
+  EXPECT_NE(text.find("\"bismark_delay\""), std::string::npos);
+  EXPECT_NE(text.find("\"+Inf\""), std::string::npos);
+  EXPECT_NE(text.find("\"sum\": 5.5"), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bismark::obs

@@ -1,0 +1,109 @@
+// Flight recorder: bounded ring semantics, wraparound, and the merged
+// chronological dump the deployment uses for post-mortems.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace bismark::obs {
+namespace {
+
+TimePoint At(std::int64_t ms) { return TimePoint{ms}; }
+
+TEST(FlightRecorderTest, KeepsEventsInOrderBeforeWrap) {
+  FlightRecorder rec(8);
+  for (int i = 0; i < 5; ++i) {
+    rec.record(TraceKind::kEngineEvent, At(i * 100), -1, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(rec.size(), 5u);
+  EXPECT_EQ(rec.recorded(), 5u);
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].sim_ms, i * 100);
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].a, static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(FlightRecorderTest, WraparoundKeepsOnlyTheNewest) {
+  FlightRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(TraceKind::kFlushAttempt, At(i), 7, static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 10u);  // total ever, not just retained
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // The last four events (6, 7, 8, 9), oldest first.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].a, static_cast<std::uint64_t>(6 + i));
+  }
+}
+
+TEST(FlightRecorderTest, ClearEmptiesTheRingButKeepsCapacity) {
+  FlightRecorder rec(4);
+  rec.record(TraceKind::kSpoolDrop, At(1), 1, 1);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.capacity(), 4u);
+  EXPECT_TRUE(rec.events().empty());
+}
+
+TEST(SimSpanTest, RecordsOneSpanningEventOnce) {
+  FlightRecorder rec(4);
+  SimSpan span(&rec, TraceKind::kBackoffSpan, At(100), 3);
+  span.end(At(500), 2, 9);
+  span.end(At(900));  // closing twice is a no-op
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].sim_ms, 100);
+  EXPECT_EQ(events[0].end_ms, 500);
+  EXPECT_EQ(events[0].kind, TraceKind::kBackoffSpan);
+  EXPECT_EQ(events[0].subject, 3);
+  EXPECT_EQ(events[0].a, 2u);
+  EXPECT_EQ(events[0].b, 9u);
+}
+
+TEST(SimSpanTest, NullRecorderIsSafe) {
+  SimSpan span(nullptr, TraceKind::kPhase, At(0), -1);
+  span.end(At(10));  // must not crash
+}
+
+TEST(FlightRecorderDumpTest, MergedDumpInterleavesBySimTime) {
+  FlightRecorder a(8), b(8);
+  a.record(TraceKind::kBatchDelivered, At(300), 1, 10, 0);
+  a.record(TraceKind::kBatchDelivered, At(100), 1, 11, 1);
+  b.record(TraceKind::kRetryArmed, At(200), 2, 1, 60000);
+
+  std::ostringstream out;
+  const std::vector<const FlightRecorder*> recs = {&a, &b, nullptr};
+  DumpMergedFlightRecorders(recs, out);
+  const std::string text = out.str();
+
+  const std::size_t p100 = text.find("batch_delivered");
+  const std::size_t p200 = text.find("retry_armed");
+  ASSERT_NE(p100, std::string::npos);
+  ASSERT_NE(p200, std::string::npos);
+  // t=100 (from a) precedes t=200 (from b) precedes t=300 (from a again).
+  EXPECT_LT(p100, p200);
+  EXPECT_NE(text.find("batch_delivered", p200), std::string::npos);
+}
+
+TEST(FlightRecorderDumpTest, SingleDumpNamesEveryKind) {
+  FlightRecorder rec(16);
+  rec.record(TraceKind::kEngineEvent, At(0), -1);
+  rec.record(TraceKind::kFlushAttempt, At(1), 0);
+  rec.record(TraceKind::kSpoolDrop, At(2), 0, 3);
+  std::ostringstream out;
+  DumpFlightRecorder(rec, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find(TraceKindName(TraceKind::kEngineEvent)), std::string::npos);
+  EXPECT_NE(text.find(TraceKindName(TraceKind::kFlushAttempt)), std::string::npos);
+  EXPECT_NE(text.find(TraceKindName(TraceKind::kSpoolDrop)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bismark::obs

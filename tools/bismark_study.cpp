@@ -10,7 +10,9 @@
 // by `run --export` (or examples/world_deployment) using only the public
 // CSVs.
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <string>
 
 #include "analysis/diurnal.h"
 #include "analysis/downtime.h"
@@ -22,10 +24,41 @@
 #include "core/args.h"
 #include "core/table.h"
 #include "home/deployment.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
 
 using namespace bismark;
 
 namespace {
+
+/// Shared by `run` and `report`: write the Prometheus text exposition
+/// (--metrics-out) and/or the JSON run report (--run-report) for a finished
+/// study. --deterministic-report strips the report's wall-clock section so
+/// the bytes depend only on (seed, fault seed, roster).
+int WriteObsOutputs(const home::Deployment& study, const ArgParser& args,
+                    const char* tool) {
+  if (const auto path = args.get("metrics-out")) {
+    std::ofstream out(*path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", path->c_str());
+      return 1;
+    }
+    obs::WritePrometheus(study.metrics(), out);
+    std::printf("wrote metrics to %s\n", path->c_str());
+  }
+  if (const auto path = args.get("run-report")) {
+    std::ofstream out(*path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", path->c_str());
+      return 1;
+    }
+    const bool volatile_section = !args.has("deterministic-report");
+    home::MakeRunReport(study, tool, volatile_section).write_json(out);
+    std::printf("wrote run report to %s%s\n", path->c_str(),
+                volatile_section ? "" : " (deterministic section only)");
+  }
+  return 0;
+}
 
 home::DeploymentOptions OptionsFrom(const ArgParser& args) {
   home::DeploymentOptions options;
@@ -94,7 +127,7 @@ int CmdRun(const ArgParser& args) {
     std::printf("exported %zu public rows to %s (Traffic withheld, as in the paper)\n", rows,
                 dir->c_str());
   }
-  return 0;
+  return WriteObsOutputs(*study, args, "bismark_study run");
 }
 
 int CmdReport(const ArgParser& args) {
@@ -152,7 +185,7 @@ int CmdReport(const ArgParser& args) {
               domains.by_rank[0].volume_share * 100,
               domains.by_rank[0].conns_by_vol_rank * 100,
               domains.whitelisted_volume_share * 100);
-  return 0;
+  return WriteObsOutputs(*study, args, "bismark_study report");
 }
 
 int CmdAnalyze(const ArgParser& args) {
@@ -213,6 +246,12 @@ int main(int argc, char** argv) {
                   "per-home upload spool size in records (overflow drops oldest)", "8192");
   args.add_option("fault-seed",
                   "seed for fault/jitter streams (0 = derive from --seed)", "0");
+  args.add_option("metrics-out",
+                  "write the merged metrics as Prometheus text to this file "
+                  "(byte-identical for any --workers)");
+  args.add_option("run-report", "write the JSON run report to this file");
+  args.add_flag("deterministic-report",
+                "omit the run report's wall-clock section (for byte-for-byte diffs)");
   args.add_flag("no-traffic", "skip the Traffic window simulation");
   args.add_flag("help", "show this help");
 

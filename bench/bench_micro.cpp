@@ -6,11 +6,16 @@
 //   build/bench/bench_micro --json BENCH_micro.json  # plus JSON artifact
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bismark/meter.h"
+#include "collect/export.h"
+#include "collect/import.h"
+#include "collect/snapshot.h"
 #include "common.h"
 #include "core/cdf.h"
 #include "core/intervals.h"
@@ -186,6 +191,177 @@ void BM_CdfQuantile(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CdfQuantile);
+
+// --- record layer: CSV vs snapshot persistence ------------------------------
+
+/// A ~40k-row repository with every data set represented, shared by the
+/// export/import/snapshot benchmarks below.
+const collect::DataRepository& RecordBenchRepo() {
+  using namespace collect;
+  static const DataRepository* repo = [] {
+    const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+    auto* r = new DataRepository(DatasetWindows{all, all, all, all, all, all});
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+      const auto start = TimePoint{rng.uniform_int(0, 500'000'000)};
+      r->add(HeartbeatRun{HomeId{i % 126}, start, start + Hours(rng.uniform(1.0, 100.0))});
+    }
+    for (int i = 0; i < 10000; ++i) {
+      r->add(UptimeRecord{HomeId{i % 126}, TimePoint{rng.uniform_int(0, 500'000'000)},
+                          Hours(rng.uniform(0.0, 400.0))});
+    }
+    for (int i = 0; i < 2000; ++i) {
+      r->add(CapacityRecord{HomeId{i % 126}, TimePoint{rng.uniform_int(0, 500'000'000)},
+                            Mbps(rng.uniform(1.0, 100.0)), Mbps(rng.uniform(0.5, 10.0))});
+    }
+    for (int i = 0; i < 5000; ++i) {
+      DeviceCountRecord dc;
+      dc.home = HomeId{i % 126};
+      dc.sampled = TimePoint{rng.uniform_int(0, 500'000'000)};
+      dc.wired = static_cast<int>(rng.uniform_int(0, 4));
+      dc.wireless_24 = static_cast<int>(rng.uniform_int(0, 9));
+      dc.unique_total = dc.wired + dc.wireless_24;
+      r->add(dc);
+    }
+    for (int i = 0; i < 5000; ++i) {
+      WifiScanRecord scan;
+      scan.home = HomeId{i % 126};
+      scan.scanned = TimePoint{rng.uniform_int(0, 500'000'000)};
+      scan.band = (i % 3) ? wireless::Band::k2_4GHz : wireless::Band::k5GHz;
+      scan.channel = static_cast<int>(rng.uniform_int(1, 12));
+      scan.visible_aps = static_cast<int>(rng.uniform_int(0, 30));
+      r->add(scan);
+    }
+    for (int i = 0; i < 8000; ++i) {
+      TrafficFlowRecord flow;
+      flow.home = HomeId{i % 126};
+      flow.flow = net::FlowId{static_cast<std::uint64_t>(i)};
+      flow.first_packet = TimePoint{rng.uniform_int(0, 500'000'000)};
+      flow.last_packet = flow.first_packet + Seconds(rng.uniform(0.1, 600.0));
+      flow.protocol = (i % 4) ? net::Protocol::kTcp : net::Protocol::kUdp;
+      flow.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+      flow.device_mac = net::MacAddress::FromParts(0x001EC2, static_cast<std::uint32_t>(i));
+      flow.bytes_up = Bytes{rng.uniform_int(100, 1'000'000)};
+      flow.bytes_down = Bytes{rng.uniform_int(100, 50'000'000)};
+      flow.packets_up = static_cast<std::uint64_t>(rng.uniform_int(1, 1000));
+      flow.packets_down = static_cast<std::uint64_t>(rng.uniform_int(1, 40000));
+      flow.domain = (i % 5) ? "netflix.com" : "anon-3f2a9b";
+      flow.domain_anonymized = (i % 5) == 0;
+      r->add(std::move(flow));
+    }
+    for (int i = 0; i < 5000; ++i) {
+      ThroughputMinute tm;
+      tm.home = HomeId{i % 126};
+      tm.minute_start = TimePoint{rng.uniform_int(0, 500'000'000)};
+      tm.bytes_down = Bytes{rng.uniform_int(0, 100'000'000)};
+      tm.peak_down_bps = rng.uniform(0.0, 2e7);
+      r->add(tm);
+    }
+    for (int i = 0; i < 3000; ++i) {
+      DnsLogRecord dns;
+      dns.home = HomeId{i % 126};
+      dns.when = TimePoint{rng.uniform_int(0, 500'000'000)};
+      dns.device_mac = net::MacAddress::FromParts(0x001EC2, static_cast<std::uint32_t>(i));
+      dns.query = "www.example.com";
+      dns.a_records = 1;
+      r->add(dns);
+    }
+    for (int i = 0; i < 500; ++i) {
+      DeviceTrafficRecord dt;
+      dt.home = HomeId{i % 126};
+      dt.device_mac = net::MacAddress::FromParts(0x001EC2, static_cast<std::uint32_t>(i));
+      dt.bytes_total = Bytes{rng.uniform_int(0, 1'000'000'000)};
+      dt.flows = static_cast<std::uint64_t>(rng.uniform_int(1, 5000));
+      r->add(dt);
+    }
+    r->finalize_deterministic_order();
+    return r;
+  }();
+  return *repo;
+}
+
+/// The full-fidelity CSV text per data set (the import benchmarks' input).
+const std::array<std::string, collect::kRecordKinds>& RecordBenchCsv() {
+  static const auto* corpus = [] {
+    auto* files = new std::array<std::string, collect::kRecordKinds>;
+    collect::ForEachRecordType([&](auto tag) {
+      using T = typename decltype(tag)::type;
+      std::ostringstream out;
+      collect::ExportDatasetCsv<T>(RecordBenchRepo(), out);
+      (*files)[collect::kRecordIndexOf<T>] = out.str();
+    });
+    return files;
+  }();
+  return *corpus;
+}
+
+const std::string& RecordBenchSnapshot() {
+  static const std::string* bytes = [] {
+    std::ostringstream out;
+    collect::SaveSnapshot(RecordBenchRepo(), out);
+    return new std::string(out.str());
+  }();
+  return *bytes;
+}
+
+void BM_CsvExportAllDatasets(benchmark::State& state) {
+  const auto& repo = RecordBenchRepo();
+  for (auto _ : state) {
+    std::size_t rows = 0;
+    collect::ForEachRecordType([&](auto tag) {
+      using T = typename decltype(tag)::type;
+      std::ostringstream out;
+      rows += collect::ExportDatasetCsv<T>(repo, out);
+      benchmark::DoNotOptimize(out);
+    });
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
+}
+BENCHMARK(BM_CsvExportAllDatasets)->Unit(benchmark::kMillisecond);
+
+void BM_CsvImportAllDatasets(benchmark::State& state) {
+  const auto& corpus = RecordBenchCsv();
+  const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+  for (auto _ : state) {
+    collect::DataRepository repo(collect::DatasetWindows{all, all, all, all, all, all});
+    collect::ImportReport report;
+    collect::ForEachRecordType([&](auto tag) {
+      using T = typename decltype(tag)::type;
+      std::istringstream in(corpus[collect::kRecordIndexOf<T>]);
+      collect::ImportDatasetCsv<T>(repo, in, report);
+    });
+    benchmark::DoNotOptimize(repo.total_rows());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
+}
+BENCHMARK(BM_CsvImportAllDatasets)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotSave(benchmark::State& state) {
+  const auto& repo = RecordBenchRepo();
+  for (auto _ : state) {
+    std::ostringstream out;
+    collect::SaveSnapshot(repo, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
+}
+BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  const auto& bytes = RecordBenchSnapshot();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    auto repo = collect::LoadSnapshot(in);
+    benchmark::DoNotOptimize(repo);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
+}
+BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
 
 void BM_MacAnonymize(benchmark::State& state) {
   const auto mac = net::MacAddress::FromParts(0x001EC2, 0x123456);

@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
   const auto report = collect::ImportPublicDatasets(repo, argv[1]);
   std::printf("Imported %zu rows from %s (%zu heartbeat runs, %zu uptime, %zu capacity, "
               "%zu device-census, %zu wifi)\n",
-              report.total_rows(), argv[1], report.heartbeat_runs, report.uptime,
-              report.capacity, report.device_counts, report.wifi_scans);
+              report.total_rows(), argv[1], report.heartbeat_runs(), report.uptime(),
+              report.capacity(), report.device_counts(), report.wifi_scans());
   for (const auto& e : report.errors) std::fprintf(stderr, "  warning: %s\n", e.c_str());
   if (report.total_rows() == 0) {
     std::fprintf(stderr, "nothing imported — is %s a release directory?\n", argv[1]);

@@ -46,15 +46,9 @@ class UploadSpool final : public collect::RecordSink {
   explicit UploadSpool(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
 
   // RecordSink — stages the record (keyed by its measurement timestamp).
-  void add_heartbeat_run(collect::HeartbeatRun run) override { push(run); }
-  void add_uptime(collect::UptimeRecord rec) override { push(rec); }
-  void add_capacity(collect::CapacityRecord rec) override { push(rec); }
-  void add_device_count(collect::DeviceCountRecord rec) override { push(rec); }
-  void add_wifi_scan(collect::WifiScanRecord rec) override { push(rec); }
-  void add_flow(collect::TrafficFlowRecord rec) override { push(std::move(rec)); }
-  void add_throughput_minute(collect::ThroughputMinute rec) override { push(rec); }
-  void add_dns(collect::DnsLogRecord rec) override { push(std::move(rec)); }
-  void add_device_traffic(collect::DeviceTrafficRecord rec) override { push(rec); }
+  // One override covers every record kind; the drop ledger below is sized
+  // by the same typelist, so a new kind cannot miss a ledger slot.
+  void add_record(collect::Record r) override { push(std::move(r)); }
 
   /// Impose the global arrival order on staged records (stable sort by
   /// measurement timestamp — producers append service-by-service, so the

@@ -3,101 +3,113 @@
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "core/csv.h"
 
 namespace bismark::collect {
 
 namespace {
-std::string Ms(TimePoint t) { return std::to_string(t.ms); }
-std::string Num(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.3f", v);
-  return buf;
+/// The release view, generated from Schema<T>::Release() — byte-identical
+/// to the original per-dataset exporters.
+template <typename T>
+std::size_t WriteReleaseCsv(const DataRepository& repo, std::ostream& out) {
+  CsvWriter csv(out);
+  const auto& cols = Schema<T>::Release();
+  std::vector<std::string> cells;
+  cells.reserve(cols.size());
+  for (const auto& c : cols) cells.emplace_back(c.name);
+  csv.write_row(cells);
+  for (const auto& r : repo.rows<T>()) {
+    cells.clear();
+    for (const auto& c : cols) cells.push_back(c.encode(r));
+    csv.write_row(cells);
+  }
+  return csv.rows_written() - 1;
 }
 }  // namespace
 
 std::size_t ExportHeartbeats(const DataRepository& repo, std::ostream& out) {
-  CsvWriter csv(out);
-  csv.write_row({"home", "run_start_ms", "run_end_ms", "heartbeats"});
-  for (const auto& r : repo.heartbeat_runs()) {
-    csv.write_row({std::to_string(r.home.value), Ms(r.start), Ms(r.end),
-                   std::to_string(r.heartbeat_count())});
-  }
-  return csv.rows_written() - 1;
+  return WriteReleaseCsv<HeartbeatRun>(repo, out);
 }
-
 std::size_t ExportUptime(const DataRepository& repo, std::ostream& out) {
-  CsvWriter csv(out);
-  csv.write_row({"home", "reported_ms", "uptime_s"});
-  for (const auto& r : repo.uptime()) {
-    csv.write_row({std::to_string(r.home.value), Ms(r.reported), Num(r.uptime.seconds())});
-  }
-  return csv.rows_written() - 1;
+  return WriteReleaseCsv<UptimeRecord>(repo, out);
 }
-
 std::size_t ExportCapacity(const DataRepository& repo, std::ostream& out) {
-  CsvWriter csv(out);
-  csv.write_row({"home", "measured_ms", "down_mbps", "up_mbps"});
-  for (const auto& r : repo.capacity()) {
-    csv.write_row({std::to_string(r.home.value), Ms(r.measured), Num(r.downstream.mbps()),
-                   Num(r.upstream.mbps())});
-  }
-  return csv.rows_written() - 1;
+  return WriteReleaseCsv<CapacityRecord>(repo, out);
 }
-
 std::size_t ExportDevices(const DataRepository& repo, std::ostream& out) {
-  CsvWriter csv(out);
-  csv.write_row({"home", "sampled_ms", "wired", "wireless_24", "wireless_5", "unique_total",
-                 "unique_24", "unique_5"});
-  for (const auto& r : repo.device_counts()) {
-    csv.write_row({std::to_string(r.home.value), Ms(r.sampled), std::to_string(r.wired),
-                   std::to_string(r.wireless_24), std::to_string(r.wireless_5),
-                   std::to_string(r.unique_total), std::to_string(r.unique_24),
-                   std::to_string(r.unique_5)});
-  }
-  return csv.rows_written() - 1;
+  return WriteReleaseCsv<DeviceCountRecord>(repo, out);
 }
-
 std::size_t ExportWifi(const DataRepository& repo, std::ostream& out) {
-  CsvWriter csv(out);
-  csv.write_row({"home", "scanned_ms", "band", "channel", "visible_aps", "associated"});
-  for (const auto& r : repo.wifi_scans()) {
-    csv.write_row({std::to_string(r.home.value), Ms(r.scanned),
-                   std::string(wireless::BandName(r.band)), std::to_string(r.channel),
-                   std::to_string(r.visible_aps), std::to_string(r.associated_clients)});
-  }
-  return csv.rows_written() - 1;
+  return WriteReleaseCsv<WifiScanRecord>(repo, out);
 }
-
 std::size_t ExportTrafficFlows(const DataRepository& repo, std::ostream& out) {
-  CsvWriter csv(out);
-  csv.write_row({"home", "first_ms", "last_ms", "proto", "dst_port", "device_mac", "bytes_up",
-                 "bytes_down", "domain", "domain_anonymized"});
-  for (const auto& r : repo.flows()) {
-    csv.write_row({std::to_string(r.home.value), Ms(r.first_packet), Ms(r.last_packet),
-                   net::ProtocolName(r.protocol), std::to_string(r.dst_port),
-                   r.device_mac.to_string(), std::to_string(r.bytes_up.count),
-                   std::to_string(r.bytes_down.count), r.domain,
-                   r.domain_anonymized ? "1" : "0"});
-  }
-  return csv.rows_written() - 1;
+  return WriteReleaseCsv<TrafficFlowRecord>(repo, out);
 }
 
 std::size_t ExportPublicDatasets(const DataRepository& repo, const std::string& directory) {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
   std::size_t total = 0;
-  const auto write = [&](const std::string& file, auto exporter) {
-    std::ofstream out(fs::path(directory) / file);
-    if (!out) throw std::runtime_error("cannot open " + file + " for writing");
-    total += exporter(repo, out);
-  };
-  write("heartbeats.csv", ExportHeartbeats);
-  write("uptime.csv", ExportUptime);
-  write("capacity.csv", ExportCapacity);
-  write("devices.csv", ExportDevices);
-  write("wifi.csv", ExportWifi);
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    if constexpr (Schema<T>::kHasRelease && Schema<T>::kPublicRelease) {
+      std::ofstream out(fs::path(directory) / Schema<T>::kCsvFile);
+      if (!out) {
+        throw std::runtime_error(std::string("cannot open ") + Schema<T>::kCsvFile +
+                                 " for writing");
+      }
+      total += WriteReleaseCsv<T>(repo, out);
+    }
+  });
+  return total;
+}
+
+template <typename T>
+std::size_t ExportDatasetCsv(const DataRepository& repo, std::ostream& out) {
+  CsvWriter csv(out);
+  std::vector<std::string> cells;
+  std::apply([&cells](const auto&... field) { (cells.emplace_back(field.name), ...); },
+             Schema<T>::Fields());
+  csv.write_row(cells);
+  for (const auto& r : repo.rows<T>()) {
+    cells.clear();
+    std::apply(
+        [&cells, &r](const auto&... field) {
+          (cells.push_back(CsvEncode(r.*(field.member))), ...);
+        },
+        Schema<T>::Fields());
+    csv.write_row(cells);
+  }
+  return csv.rows_written() - 1;
+}
+
+// One instantiation per registered record kind.
+template std::size_t ExportDatasetCsv<HeartbeatRun>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<UptimeRecord>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<CapacityRecord>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<DeviceCountRecord>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<WifiScanRecord>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<TrafficFlowRecord>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<ThroughputMinute>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<DnsLogRecord>(const DataRepository&, std::ostream&);
+template std::size_t ExportDatasetCsv<DeviceTrafficRecord>(const DataRepository&,
+                                                           std::ostream&);
+
+std::size_t ExportAllDatasets(const DataRepository& repo, const std::string& directory) {
+  namespace fs = std::filesystem;
+  fs::create_directories(directory);
+  std::size_t total = 0;
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    std::ofstream out(fs::path(directory) / Schema<T>::kCsvFile);
+    if (!out) {
+      throw std::runtime_error(std::string("cannot open ") + Schema<T>::kCsvFile +
+                               " for writing");
+    }
+    total += ExportDatasetCsv<T>(repo, out);
+  });
   return total;
 }
 

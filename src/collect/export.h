@@ -1,10 +1,20 @@
-// CSV export of the public (non-PII) data sets.
+// CSV export generated from the schema layer.
 //
-// The paper releases everything except the Traffic data set
-// (Section 3.2): Heartbeats, Uptime, Capacity, Devices and WiFi go out;
-// Traffic stays private. `ExportPublicDatasets` enforces exactly that
-// split; `ExportTrafficDataset` exists for consented internal use and
-// only ever writes the anonymised forms.
+// Two views exist per data set:
+//
+//  * The *release* view (Schema<T>::Release()) — the historical public CSV
+//    formats, byte-identical to the original hand-written exporters. The
+//    paper releases everything except the Traffic data set (Section 3.2):
+//    Heartbeats, Uptime, Capacity, Devices and WiFi go out; Traffic stays
+//    private. `ExportPublicDatasets` enforces exactly that split;
+//    `ExportTrafficFlows` exists for consented internal use and only ever
+//    writes the anonymised forms.
+//
+//  * The *full-fidelity* view (Schema<T>::Fields()) — every field with
+//    lossless codecs, for all nine data sets. `ExportAllDatasets` +
+//    `ImportAllDatasets` reproduce a repository exactly (tested), which is
+//    what archival hand-off between studies uses when the binary snapshot
+//    (collect/snapshot.h) is not wanted.
 #pragma once
 
 #include <ostream>
@@ -14,7 +24,8 @@
 
 namespace bismark::collect {
 
-/// Write one data set as CSV to a stream. Returns rows written.
+/// Write one data set's release view as CSV to a stream. Returns rows
+/// written (excluding the header).
 std::size_t ExportHeartbeats(const DataRepository& repo, std::ostream& out);
 std::size_t ExportUptime(const DataRepository& repo, std::ostream& out);
 std::size_t ExportCapacity(const DataRepository& repo, std::ostream& out);
@@ -27,5 +38,15 @@ std::size_t ExportTrafficFlows(const DataRepository& repo, std::ostream& out);
 /// heartbeats.csv, uptime.csv, capacity.csv, devices.csv, wifi.csv.
 /// Returns total rows written; throws std::runtime_error on I/O failure.
 std::size_t ExportPublicDatasets(const DataRepository& repo, const std::string& directory);
+
+/// Schema-generated full-fidelity export of one data set: every field, in
+/// Schema<T>::Fields() order, with exact codecs. Returns rows written.
+template <typename T>
+std::size_t ExportDatasetCsv(const DataRepository& repo, std::ostream& out);
+
+/// Full-fidelity export of all nine data sets into `directory` (created if
+/// needed), one Schema<T>::kCsvFile per kind. Returns total rows written;
+/// throws std::runtime_error on I/O failure.
+std::size_t ExportAllDatasets(const DataRepository& repo, const std::string& directory);
 
 }  // namespace bismark::collect

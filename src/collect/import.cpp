@@ -1,6 +1,6 @@
 #include "collect/import.h"
 
-#include <charconv>
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 
@@ -16,52 +16,87 @@ void AddError(ImportReport& report, const std::string& file, std::size_t line,
   }
 }
 
-bool ParseI64(const std::string& s, std::int64_t& out) {
-  const char* begin = s.data();
-  const char* end = begin + s.size();
-  const auto [ptr, ec] = std::from_chars(begin, end, out);
-  return ec == std::errc() && ptr == end;
+std::size_t CountQuotes(const std::string& s) {
+  return static_cast<std::size_t>(std::count(s.begin(), s.end(), '"'));
 }
 
-bool ParseDouble(const std::string& s, double& out) {
-  try {
-    std::size_t pos = 0;
-    out = std::stod(s, &pos);
-    return pos == s.size();
-  } catch (...) {
-    return false;
-  }
-}
-
-/// Generic line-by-line driver: checks the header then hands each data row
-/// (already split into fields) to `row_fn`, which returns false on a
+/// Generic record-by-record driver: checks the header then hands each data
+/// row (already split into fields) to `row_fn`, which returns false on a
 /// malformed row.
 template <typename RowFn>
 std::size_t Drive(std::istream& in, const std::string& file, const std::string& expected_header,
                   ImportReport& report, RowFn row_fn) {
-  std::string line;
-  if (!std::getline(in, line)) {
+  std::string record;
+  if (!ReadCsvRecord(in, record)) {
     AddError(report, file, 0, "empty file");
     return 0;
   }
-  if (line != expected_header) {
-    AddError(report, file, 1, "unexpected header: " + line);
+  if (record != expected_header) {
+    AddError(report, file, 1, "unexpected header: " + record);
     return 0;
   }
   std::size_t imported = 0;
   std::size_t line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    if (row_fn(ParseCsvLine(line))) {
+  while (ReadCsvRecord(in, record)) {
+    const std::size_t first_line = line_no + 1;
+    line_no = first_line + static_cast<std::size_t>(
+                               std::count(record.begin(), record.end(), '\n'));
+    if (record.empty()) continue;
+    if (row_fn(ParseCsvLine(record))) {
       ++imported;
     } else {
-      AddError(report, file, line_no, "malformed row");
+      AddError(report, file, first_line, "malformed row");
     }
   }
   return imported;
 }
+
+/// Release-view import generated from Schema<T>::Release().
+template <typename T>
+std::size_t DriveReleaseCsv(DataRepository& repo, std::istream& in, ImportReport& report) {
+  const auto& cols = Schema<T>::Release();
+  std::string header;
+  for (const auto& c : cols) {
+    if (!header.empty()) header += ',';
+    header += c.name;
+  }
+  const std::size_t n =
+      Drive(in, Schema<T>::kCsvFile, header, report, [&](const std::vector<std::string>& f) {
+        if (f.size() != cols.size()) return false;
+        T rec{};
+        for (std::size_t i = 0; i < cols.size(); ++i) {
+          if (!cols[i].decode(f[i], rec)) return false;
+        }
+        repo.add(std::move(rec));
+        return true;
+      });
+  report.by_kind[kRecordIndexOf<T>] += n;
+  return n;
+}
 }  // namespace
+
+bool ReadCsvRecord(std::istream& in, std::string& record) {
+  record.clear();
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  // RFC 4180 files terminate lines with CRLF; getline leaves the CR.
+  const auto strip_cr = [](std::string& s) {
+    if (!s.empty() && s.back() == '\r') s.pop_back();
+  };
+  strip_cr(line);
+  record = std::move(line);
+  // An odd number of quote characters means a quoted field is still open
+  // across a line break (quotes only appear as field delimiters or doubled
+  // escapes), so keep consuming physical lines.
+  std::size_t quotes = CountQuotes(record);
+  while (quotes % 2 == 1 && std::getline(in, line)) {
+    strip_cr(line);
+    record += '\n';
+    record += line;
+    quotes += CountQuotes(line);
+  }
+  return true;
+}
 
 std::vector<std::string> ParseCsvLine(const std::string& line) {
   std::vector<std::string> fields;
@@ -94,133 +129,100 @@ std::vector<std::string> ParseCsvLine(const std::string& line) {
 }
 
 std::size_t ImportHeartbeats(DataRepository& repo, std::istream& in, ImportReport& report) {
-  const std::size_t n = Drive(
-      in, "heartbeats.csv", "home,run_start_ms,run_end_ms,heartbeats", report,
-      [&](const std::vector<std::string>& f) {
-        std::int64_t home, start, end, beats;
-        if (f.size() != 4 || !ParseI64(f[0], home) || !ParseI64(f[1], start) ||
-            !ParseI64(f[2], end) || !ParseI64(f[3], beats) || end <= start) {
-          return false;
-        }
-        repo.add_heartbeat_run(
-            HeartbeatRun{HomeId{static_cast<int>(home)}, TimePoint{start}, TimePoint{end}});
-        return true;
-      });
-  report.heartbeat_runs += n;
-  return n;
+  return DriveReleaseCsv<HeartbeatRun>(repo, in, report);
 }
-
 std::size_t ImportUptime(DataRepository& repo, std::istream& in, ImportReport& report) {
-  const std::size_t n =
-      Drive(in, "uptime.csv", "home,reported_ms,uptime_s", report,
-            [&](const std::vector<std::string>& f) {
-              std::int64_t home, reported;
-              double uptime_s;
-              if (f.size() != 3 || !ParseI64(f[0], home) || !ParseI64(f[1], reported) ||
-                  !ParseDouble(f[2], uptime_s) || uptime_s < 0) {
-                return false;
-              }
-              repo.add_uptime(UptimeRecord{HomeId{static_cast<int>(home)},
-                                           TimePoint{reported}, Seconds(uptime_s)});
-              return true;
-            });
-  report.uptime += n;
-  return n;
+  return DriveReleaseCsv<UptimeRecord>(repo, in, report);
 }
-
 std::size_t ImportCapacity(DataRepository& repo, std::istream& in, ImportReport& report) {
-  const std::size_t n =
-      Drive(in, "capacity.csv", "home,measured_ms,down_mbps,up_mbps", report,
-            [&](const std::vector<std::string>& f) {
-              std::int64_t home, measured;
-              double down, up;
-              if (f.size() != 4 || !ParseI64(f[0], home) || !ParseI64(f[1], measured) ||
-                  !ParseDouble(f[2], down) || !ParseDouble(f[3], up)) {
-                return false;
-              }
-              repo.add_capacity(CapacityRecord{HomeId{static_cast<int>(home)},
-                                               TimePoint{measured}, Mbps(down), Mbps(up)});
-              return true;
-            });
-  report.capacity += n;
-  return n;
+  return DriveReleaseCsv<CapacityRecord>(repo, in, report);
 }
-
 std::size_t ImportDevices(DataRepository& repo, std::istream& in, ImportReport& report) {
+  return DriveReleaseCsv<DeviceCountRecord>(repo, in, report);
+}
+std::size_t ImportWifi(DataRepository& repo, std::istream& in, ImportReport& report) {
+  return DriveReleaseCsv<WifiScanRecord>(repo, in, report);
+}
+std::size_t ImportTrafficFlows(DataRepository& repo, std::istream& in, ImportReport& report) {
+  return DriveReleaseCsv<TrafficFlowRecord>(repo, in, report);
+}
+
+template <typename T>
+std::size_t ImportDatasetCsv(DataRepository& repo, std::istream& in, ImportReport& report) {
   const std::size_t n = Drive(
-      in, "devices.csv",
-      "home,sampled_ms,wired,wireless_24,wireless_5,unique_total,unique_24,unique_5", report,
-      [&](const std::vector<std::string>& f) {
-        std::int64_t home, sampled, wired, w24, w5, ut, u24, u5;
-        if (f.size() != 8 || !ParseI64(f[0], home) || !ParseI64(f[1], sampled) ||
-            !ParseI64(f[2], wired) || !ParseI64(f[3], w24) || !ParseI64(f[4], w5) ||
-            !ParseI64(f[5], ut) || !ParseI64(f[6], u24) || !ParseI64(f[7], u5)) {
-          return false;
-        }
-        DeviceCountRecord rec;
-        rec.home = HomeId{static_cast<int>(home)};
-        rec.sampled = TimePoint{sampled};
-        rec.wired = static_cast<int>(wired);
-        rec.wireless_24 = static_cast<int>(w24);
-        rec.wireless_5 = static_cast<int>(w5);
-        rec.unique_total = static_cast<int>(ut);
-        rec.unique_24 = static_cast<int>(u24);
-        rec.unique_5 = static_cast<int>(u5);
-        repo.add_device_count(rec);
+      in, Schema<T>::kCsvFile, CsvHeader<T>(), report, [&](const std::vector<std::string>& f) {
+        constexpr std::size_t kFields = std::tuple_size_v<decltype(Schema<T>::Fields())>;
+        if (f.size() != kFields) return false;
+        T rec{};
+        bool ok = true;
+        std::size_t i = 0;
+        std::apply(
+            [&](const auto&... field) {
+              ((ok = ok && CsvDecode(f[i++], rec.*(field.member))), ...);
+            },
+            Schema<T>::Fields());
+        if (!ok) return false;
+        repo.add(std::move(rec));
         return true;
       });
-  report.device_counts += n;
+  report.by_kind[kRecordIndexOf<T>] += n;
   return n;
 }
 
-std::size_t ImportWifi(DataRepository& repo, std::istream& in, ImportReport& report) {
-  const std::size_t n = Drive(
-      in, "wifi.csv", "home,scanned_ms,band,channel,visible_aps,associated", report,
-      [&](const std::vector<std::string>& f) {
-        std::int64_t home, scanned, channel, aps, associated;
-        if (f.size() != 6 || !ParseI64(f[0], home) || !ParseI64(f[1], scanned) ||
-            !ParseI64(f[3], channel) || !ParseI64(f[4], aps) || !ParseI64(f[5], associated)) {
-          return false;
-        }
-        wireless::Band band;
-        if (f[2] == "2.4 GHz") {
-          band = wireless::Band::k2_4GHz;
-        } else if (f[2] == "5 GHz") {
-          band = wireless::Band::k5GHz;
-        } else {
-          return false;
-        }
-        WifiScanRecord rec;
-        rec.home = HomeId{static_cast<int>(home)};
-        rec.scanned = TimePoint{scanned};
-        rec.band = band;
-        rec.channel = static_cast<int>(channel);
-        rec.visible_aps = static_cast<int>(aps);
-        rec.associated_clients = static_cast<int>(associated);
-        repo.add_wifi_scan(rec);
-        return true;
-      });
-  report.wifi_scans += n;
-  return n;
+// One instantiation per registered record kind.
+template std::size_t ImportDatasetCsv<HeartbeatRun>(DataRepository&, std::istream&,
+                                                    ImportReport&);
+template std::size_t ImportDatasetCsv<UptimeRecord>(DataRepository&, std::istream&,
+                                                    ImportReport&);
+template std::size_t ImportDatasetCsv<CapacityRecord>(DataRepository&, std::istream&,
+                                                      ImportReport&);
+template std::size_t ImportDatasetCsv<DeviceCountRecord>(DataRepository&, std::istream&,
+                                                         ImportReport&);
+template std::size_t ImportDatasetCsv<WifiScanRecord>(DataRepository&, std::istream&,
+                                                      ImportReport&);
+template std::size_t ImportDatasetCsv<TrafficFlowRecord>(DataRepository&, std::istream&,
+                                                         ImportReport&);
+template std::size_t ImportDatasetCsv<ThroughputMinute>(DataRepository&, std::istream&,
+                                                        ImportReport&);
+template std::size_t ImportDatasetCsv<DnsLogRecord>(DataRepository&, std::istream&,
+                                                    ImportReport&);
+template std::size_t ImportDatasetCsv<DeviceTrafficRecord>(DataRepository&, std::istream&,
+                                                           ImportReport&);
+
+namespace {
+template <typename ImportFn>
+void ImportFileInto(ImportReport& report, const std::string& directory, const char* file,
+                    ImportFn import_fn) {
+  namespace fs = std::filesystem;
+  const fs::path path = fs::path(directory) / file;
+  std::ifstream in(path);
+  if (!in) {
+    AddError(report, file, 0, "cannot open " + path.string());
+    return;
+  }
+  import_fn(in);
 }
+}  // namespace
 
 ImportReport ImportPublicDatasets(DataRepository& repo, const std::string& directory) {
-  namespace fs = std::filesystem;
   ImportReport report;
-  const auto import_file = [&](const char* file, auto importer) {
-    const fs::path path = fs::path(directory) / file;
-    std::ifstream in(path);
-    if (!in) {
-      AddError(report, file, 0, "cannot open " + path.string());
-      return;
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    if constexpr (Schema<T>::kHasRelease && Schema<T>::kPublicRelease) {
+      ImportFileInto(report, directory, Schema<T>::kCsvFile,
+                     [&](std::istream& in) { DriveReleaseCsv<T>(repo, in, report); });
     }
-    importer(repo, in, report);
-  };
-  import_file("heartbeats.csv", ImportHeartbeats);
-  import_file("uptime.csv", ImportUptime);
-  import_file("capacity.csv", ImportCapacity);
-  import_file("devices.csv", ImportDevices);
-  import_file("wifi.csv", ImportWifi);
+  });
+  return report;
+}
+
+ImportReport ImportAllDatasets(DataRepository& repo, const std::string& directory) {
+  ImportReport report;
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    ImportFileInto(report, directory, Schema<T>::kCsvFile,
+                   [&](std::istream& in) { ImportDatasetCsv<T>(repo, in, report); });
+  });
   return report;
 }
 

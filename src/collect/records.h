@@ -37,6 +37,8 @@ struct HeartbeatRun {
   [[nodiscard]] std::int64_t heartbeat_count() const {
     return std::max<std::int64_t>(0, (end - start).ms / 60000);
   }
+
+  friend bool operator==(const HeartbeatRun&, const HeartbeatRun&) = default;
 };
 
 /// Router uptime report, sent every 12 hours (Section 3.2.2 "Uptime").
@@ -46,6 +48,8 @@ struct UptimeRecord {
   HomeId home;
   TimePoint reported;
   Duration uptime{0};
+
+  friend bool operator==(const UptimeRecord&, const UptimeRecord&) = default;
 };
 
 /// ShaperProbe-style capacity measurement, every 12 hours.
@@ -54,6 +58,8 @@ struct CapacityRecord {
   TimePoint measured;
   BitRate downstream;
   BitRate upstream;
+
+  friend bool operator==(const CapacityRecord&, const CapacityRecord&) = default;
 };
 
 /// Hourly device census (Section 3.2.2 "Devices"). The firmware also
@@ -72,6 +78,8 @@ struct DeviceCountRecord {
 
   [[nodiscard]] int wireless_total() const { return wireless_24 + wireless_5; }
   [[nodiscard]] int total() const { return wired + wireless_total(); }
+
+  friend bool operator==(const DeviceCountRecord&, const DeviceCountRecord&) = default;
 };
 
 /// One WiFi scan result (Section 3.2.2 "WiFi").
@@ -82,6 +90,8 @@ struct WifiScanRecord {
   int channel{0};
   int visible_aps{0};
   int associated_clients{0};
+
+  friend bool operator==(const WifiScanRecord&, const WifiScanRecord&) = default;
 };
 
 /// A flow record in the Traffic data set: anonymised per Section 3.2.2 —
@@ -102,6 +112,8 @@ struct TrafficFlowRecord {
   bool domain_anonymized{false};
 
   [[nodiscard]] Bytes total_bytes() const { return bytes_up + bytes_down; }
+
+  friend bool operator==(const TrafficFlowRecord&, const TrafficFlowRecord&) = default;
 };
 
 /// Per-minute throughput summary for the utilisation analysis (Section
@@ -113,6 +125,8 @@ struct ThroughputMinute {
   Bytes bytes_down;
   double peak_up_bps{0.0};
   double peak_down_bps{0.0};
+
+  friend bool operator==(const ThroughputMinute&, const ThroughputMinute&) = default;
 };
 
 /// A sampled DNS response (A/CNAME records; Section 3.2.2 "DNS responses").
@@ -124,6 +138,8 @@ struct DnsLogRecord {
   bool anonymized{false};
   int a_records{0};
   int cname_records{0};
+
+  friend bool operator==(const DnsLogRecord&, const DnsLogRecord&) = default;
 };
 
 /// Per-device registry entry seen in the Traffic data set (drives Fig. 12
@@ -134,6 +150,8 @@ struct DeviceTrafficRecord {
   net::VendorClass vendor{net::VendorClass::kUnknown};
   Bytes bytes_total;
   std::uint64_t flows{0};
+
+  friend bool operator==(const DeviceTrafficRecord&, const DeviceTrafficRecord&) = default;
 };
 
 }  // namespace bismark::collect

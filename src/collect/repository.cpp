@@ -1,21 +1,8 @@
 #include "collect/repository.h"
 
 #include <algorithm>
-#include <iterator>
-#include <tuple>
 
 namespace bismark::collect {
-
-namespace {
-// Window clipping shared between the repository and the staging batches so
-// serial and sharded ingest drop exactly the same rows.
-template <typename Vec>
-void ClipHeartbeat(const DatasetWindows& w, Vec& out, HeartbeatRun run) {
-  run.start = std::max(run.start, w.heartbeats.start);
-  run.end = std::min(run.end, w.heartbeats.end);
-  if (run.end > run.start) out.push_back(run);
-}
-}  // namespace
 
 DatasetWindows DatasetWindows::Paper() {
   DatasetWindows w;
@@ -41,54 +28,6 @@ DatasetWindows DatasetWindows::Compressed(TimePoint start, int heartbeat_weeks) 
   return w;
 }
 
-// --- IngestBatch -----------------------------------------------------------
-
-void IngestBatch::add_heartbeat_run(HeartbeatRun run) {
-  ClipHeartbeat(windows_, heartbeats_, run);
-}
-
-void IngestBatch::add_uptime(UptimeRecord rec) {
-  if (windows_.uptime.contains(rec.reported)) uptime_.push_back(rec);
-}
-
-void IngestBatch::add_capacity(CapacityRecord rec) {
-  if (windows_.capacity.contains(rec.measured)) capacity_.push_back(rec);
-}
-
-void IngestBatch::add_device_count(DeviceCountRecord rec) {
-  if (windows_.devices.contains(rec.sampled)) devices_.push_back(rec);
-}
-
-void IngestBatch::add_wifi_scan(WifiScanRecord rec) {
-  if (windows_.wifi.contains(rec.scanned)) wifi_.push_back(rec);
-}
-
-void IngestBatch::add_flow(TrafficFlowRecord rec) {
-  if (windows_.traffic.contains(rec.first_packet)) flows_.push_back(std::move(rec));
-}
-
-void IngestBatch::add_throughput_minute(ThroughputMinute rec) {
-  if (windows_.traffic.contains(rec.minute_start)) throughput_.push_back(rec);
-}
-
-void IngestBatch::add_dns(DnsLogRecord rec) {
-  if (windows_.traffic.contains(rec.when)) dns_.push_back(std::move(rec));
-}
-
-void IngestBatch::add_device_traffic(DeviceTrafficRecord rec) {
-  device_traffic_.push_back(rec);
-}
-
-std::size_t IngestBatch::rows() const {
-  return heartbeats_.size() + uptime_.size() + capacity_.size() + devices_.size() +
-         wifi_.size() + flows_.size() + throughput_.size() + dns_.size() +
-         device_traffic_.size();
-}
-
-// --- DataRepository --------------------------------------------------------
-
-DataRepository::DataRepository(DatasetWindows windows) : windows_(windows) {}
-
 void DataRepository::register_home(HomeInfo info) { homes_.push_back(std::move(info)); }
 
 const HomeInfo* DataRepository::find_home(HomeId id) const {
@@ -98,87 +37,9 @@ const HomeInfo* DataRepository::find_home(HomeId id) const {
   return nullptr;
 }
 
-void DataRepository::add_heartbeat_run(HeartbeatRun run) {
-  ClipHeartbeat(windows_, heartbeats_, run);
-}
-
-void DataRepository::add_uptime(UptimeRecord rec) {
-  if (windows_.uptime.contains(rec.reported)) uptime_.push_back(rec);
-}
-
-void DataRepository::add_capacity(CapacityRecord rec) {
-  if (windows_.capacity.contains(rec.measured)) capacity_.push_back(rec);
-}
-
-void DataRepository::add_device_count(DeviceCountRecord rec) {
-  if (windows_.devices.contains(rec.sampled)) devices_.push_back(rec);
-}
-
-void DataRepository::add_wifi_scan(WifiScanRecord rec) {
-  if (windows_.wifi.contains(rec.scanned)) wifi_.push_back(rec);
-}
-
-void DataRepository::add_flow(TrafficFlowRecord rec) {
-  if (windows_.traffic.contains(rec.first_packet)) flows_.push_back(std::move(rec));
-}
-
-void DataRepository::add_throughput_minute(ThroughputMinute rec) {
-  if (windows_.traffic.contains(rec.minute_start)) throughput_.push_back(rec);
-}
-
-void DataRepository::add_dns(DnsLogRecord rec) {
-  if (windows_.traffic.contains(rec.when)) dns_.push_back(std::move(rec));
-}
-
-void DataRepository::add_device_traffic(DeviceTrafficRecord rec) {
-  device_traffic_.push_back(rec);
-}
-
 void DataRepository::commit(IngestBatch&& batch) {
   const std::lock_guard<std::mutex> lock(commit_mu_);
-  const auto absorb = [](auto& dst, auto& src) {
-    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
-               std::make_move_iterator(src.end()));
-    src.clear();
-  };
-  absorb(heartbeats_, batch.heartbeats_);
-  absorb(uptime_, batch.uptime_);
-  absorb(capacity_, batch.capacity_);
-  absorb(devices_, batch.devices_);
-  absorb(wifi_, batch.wifi_);
-  absorb(flows_, batch.flows_);
-  absorb(throughput_, batch.throughput_);
-  absorb(dns_, batch.dns_);
-  absorb(device_traffic_, batch.device_traffic_);
-}
-
-void DataRepository::finalize_deterministic_order() {
-  const auto sort_by = [](auto& vec, auto key) {
-    std::stable_sort(vec.begin(), vec.end(),
-                     [&key](const auto& a, const auto& b) { return key(a) < key(b); });
-  };
-  sort_by(heartbeats_,
-          [](const HeartbeatRun& r) { return std::tuple(r.start.ms, r.home.value); });
-  sort_by(uptime_,
-          [](const UptimeRecord& r) { return std::tuple(r.reported.ms, r.home.value); });
-  sort_by(capacity_,
-          [](const CapacityRecord& r) { return std::tuple(r.measured.ms, r.home.value); });
-  sort_by(devices_,
-          [](const DeviceCountRecord& r) { return std::tuple(r.sampled.ms, r.home.value); });
-  sort_by(wifi_,
-          [](const WifiScanRecord& r) { return std::tuple(r.scanned.ms, r.home.value); });
-  sort_by(flows_, [](const TrafficFlowRecord& r) {
-    return std::tuple(r.first_packet.ms, r.home.value);
-  });
-  sort_by(throughput_, [](const ThroughputMinute& r) {
-    return std::tuple(r.minute_start.ms, r.home.value);
-  });
-  sort_by(dns_, [](const DnsLogRecord& r) { return std::tuple(r.when.ms, r.home.value); });
-  // Device registry rows carry no timestamp; their canonical key is the
-  // (home, anonymised MAC) identity itself.
-  sort_by(device_traffic_, [](const DeviceTrafficRecord& r) {
-    return std::tuple(r.home.value, r.device_mac);
-  });
+  store_.append(std::move(batch.store_));
 }
 
 namespace {
@@ -193,25 +54,27 @@ std::vector<T> FilterByHome(const std::vector<T>& rows, HomeId id) {
 }  // namespace
 
 std::vector<HeartbeatRun> DataRepository::heartbeat_runs_for(HomeId id) const {
-  return FilterByHome(heartbeats_, id);
+  return FilterByHome(rows<HeartbeatRun>(), id);
 }
 std::vector<DeviceCountRecord> DataRepository::device_counts_for(HomeId id) const {
-  return FilterByHome(devices_, id);
+  return FilterByHome(rows<DeviceCountRecord>(), id);
 }
 std::vector<TrafficFlowRecord> DataRepository::flows_for(HomeId id) const {
-  return FilterByHome(flows_, id);
+  return FilterByHome(rows<TrafficFlowRecord>(), id);
 }
 std::vector<ThroughputMinute> DataRepository::throughput_for(HomeId id) const {
-  return FilterByHome(throughput_, id);
+  return FilterByHome(rows<ThroughputMinute>(), id);
 }
 std::vector<CapacityRecord> DataRepository::capacity_for(HomeId id) const {
-  return FilterByHome(capacity_, id);
+  return FilterByHome(rows<CapacityRecord>(), id);
 }
 
 DataRepository::Counts DataRepository::counts() const {
-  return Counts{heartbeats_.size(), uptime_.size(),     capacity_.size(),
-                devices_.size(),    wifi_.size(),       flows_.size(),
-                throughput_.size(), dns_.size(),        device_traffic_.size()};
+  return Counts{rows<HeartbeatRun>().size(),    rows<UptimeRecord>().size(),
+                rows<CapacityRecord>().size(),  rows<DeviceCountRecord>().size(),
+                rows<WifiScanRecord>().size(),  rows<TrafficFlowRecord>().size(),
+                rows<ThroughputMinute>().size(), rows<DnsLogRecord>().size(),
+                rows<DeviceTrafficRecord>().size()};
 }
 
 }  // namespace bismark::collect

@@ -1,34 +1,23 @@
 // The central data repository: everything the deployment reported,
-// organised as the six data sets of Table 2.
+// organised as the six data sets of Table 2 (plus extensions).
+//
+// Storage, window clipping, and the canonical order are all derived from
+// the schema layer (collect/schema.h + collect/store.h): both the
+// thread-private IngestBatch and the merged DataRepository are one
+// RecordStore plus bookkeeping.
 #pragma once
 
-#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "collect/records.h"
 #include "collect/sink.h"
+#include "collect/store.h"
 #include "core/intervals.h"
 #include "core/time.h"
 
 namespace bismark::collect {
-
-/// Collection windows per data set (Table 2). Defaults reproduce the
-/// paper's dates.
-struct DatasetWindows {
-  Interval heartbeats;  // Oct 1 2012 – Apr 15 2013
-  Interval uptime;      // Mar 6 – Apr 15 2013
-  Interval capacity;    // Apr 1 – Apr 15 2013
-  Interval devices;     // Mar 6 – Apr 15 2013
-  Interval wifi;        // Nov 1 – Nov 15 2012
-  Interval traffic;     // Apr 1 – Apr 15 2013
-
-  static DatasetWindows Paper();
-  /// A compressed variant for fast tests: same relative structure over a
-  /// `scale`-week heartbeat window starting at `start`.
-  static DatasetWindows Compressed(TimePoint start, int heartbeat_weeks);
-};
 
 /// Per-home metadata the analysis layer keys on.
 struct HomeInfo {
@@ -51,6 +40,8 @@ struct HomeInfo {
   double true_down_mbps{0.0};
   double true_up_mbps{0.0};
   int power_mode{0};  // RouterPowerMode as int to avoid a home/ dependency
+
+  friend bool operator==(const HomeInfo&, const HomeInfo&) = default;
 };
 
 /// A per-shard staging buffer: the same write API and window clipping as
@@ -62,30 +53,14 @@ class IngestBatch final : public RecordSink {
  public:
   explicit IngestBatch(DatasetWindows windows) : windows_(windows) {}
 
-  void add_heartbeat_run(HeartbeatRun run) override;
-  void add_uptime(UptimeRecord rec) override;
-  void add_capacity(CapacityRecord rec) override;
-  void add_device_count(DeviceCountRecord rec) override;
-  void add_wifi_scan(WifiScanRecord rec) override;
-  void add_flow(TrafficFlowRecord rec) override;
-  void add_throughput_minute(ThroughputMinute rec) override;
-  void add_dns(DnsLogRecord rec) override;
-  void add_device_traffic(DeviceTrafficRecord rec) override;
+  void add_record(Record r) override { store_.add(windows_, std::move(r)); }
 
-  [[nodiscard]] std::size_t rows() const;
+  [[nodiscard]] std::size_t rows() const { return store_.total_rows(); }
 
  private:
   friend class DataRepository;
   DatasetWindows windows_;
-  std::vector<HeartbeatRun> heartbeats_;
-  std::vector<UptimeRecord> uptime_;
-  std::vector<CapacityRecord> capacity_;
-  std::vector<DeviceCountRecord> devices_;
-  std::vector<WifiScanRecord> wifi_;
-  std::vector<TrafficFlowRecord> flows_;
-  std::vector<ThroughputMinute> throughput_;
-  std::vector<DnsLogRecord> dns_;
-  std::vector<DeviceTrafficRecord> device_traffic_;
+  RecordStore store_;
 };
 
 /// All collected data. Appends go through the RecordSink interface and are
@@ -94,7 +69,7 @@ class IngestBatch final : public RecordSink {
 /// are const and must only start once ingest is complete.
 class DataRepository final : public RecordSink {
  public:
-  explicit DataRepository(DatasetWindows windows);
+  explicit DataRepository(DatasetWindows windows) : windows_(windows) {}
 
   [[nodiscard]] const DatasetWindows& windows() const { return windows_; }
 
@@ -103,17 +78,9 @@ class DataRepository final : public RecordSink {
   [[nodiscard]] const std::vector<HomeInfo>& homes() const { return homes_; }
   [[nodiscard]] const HomeInfo* find_home(HomeId id) const;
 
-  // Appends (window clipping is the caller's duty for runs; point records
-  // outside their window are dropped here, mirroring server-side checks).
-  void add_heartbeat_run(HeartbeatRun run) override;
-  void add_uptime(UptimeRecord rec) override;
-  void add_capacity(CapacityRecord rec) override;
-  void add_device_count(DeviceCountRecord rec) override;
-  void add_wifi_scan(WifiScanRecord rec) override;
-  void add_flow(TrafficFlowRecord rec) override;
-  void add_throughput_minute(ThroughputMinute rec) override;
-  void add_dns(DnsLogRecord rec) override;
-  void add_device_traffic(DeviceTrafficRecord rec) override;
+  /// Append one record. Window clipping/rejection comes from the record's
+  /// Schema<>::Admit, mirroring server-side checks.
+  void add_record(Record r) override { store_.add(windows_, std::move(r)); }
 
   /// A fresh staging buffer sharing this repository's windows.
   [[nodiscard]] IngestBatch make_batch() const { return IngestBatch(windows_); }
@@ -124,23 +91,42 @@ class DataRepository final : public RecordSink {
   void commit(IngestBatch&& batch);
 
   /// Impose the canonical record order: every data set stably sorted by
-  /// (timestamp, home id). Per-home generation is deterministic and each
-  /// home lives in exactly one shard, so after this sort the repository
-  /// contents are byte-identical for every worker/shard configuration —
-  /// including the serial path. Call once, after all ingest.
-  void finalize_deterministic_order();
+  /// its Schema<>::SortKey — (timestamp, home id) for timestamped sets.
+  /// Per-home generation is deterministic and each home lives in exactly
+  /// one shard, so after this sort the repository contents are
+  /// byte-identical for every worker/shard configuration — including the
+  /// serial path. Call once, after all ingest.
+  void finalize_deterministic_order() { store_.sort_canonical(); }
 
-  // Data set accessors.
-  [[nodiscard]] const std::vector<HeartbeatRun>& heartbeat_runs() const { return heartbeats_; }
-  [[nodiscard]] const std::vector<UptimeRecord>& uptime() const { return uptime_; }
-  [[nodiscard]] const std::vector<CapacityRecord>& capacity() const { return capacity_; }
-  [[nodiscard]] const std::vector<DeviceCountRecord>& device_counts() const { return devices_; }
-  [[nodiscard]] const std::vector<WifiScanRecord>& wifi_scans() const { return wifi_; }
-  [[nodiscard]] const std::vector<TrafficFlowRecord>& flows() const { return flows_; }
-  [[nodiscard]] const std::vector<ThroughputMinute>& throughput() const { return throughput_; }
-  [[nodiscard]] const std::vector<DnsLogRecord>& dns() const { return dns_; }
+  /// Generic data set accessor: `repo.rows<WifiScanRecord>()`.
+  template <typename T>
+  [[nodiscard]] const std::vector<T>& rows() const {
+    return store_.rows<T>();
+  }
+
+  // Named accessors kept for the analysis layer's readability.
+  [[nodiscard]] const std::vector<HeartbeatRun>& heartbeat_runs() const {
+    return rows<HeartbeatRun>();
+  }
+  [[nodiscard]] const std::vector<UptimeRecord>& uptime() const { return rows<UptimeRecord>(); }
+  [[nodiscard]] const std::vector<CapacityRecord>& capacity() const {
+    return rows<CapacityRecord>();
+  }
+  [[nodiscard]] const std::vector<DeviceCountRecord>& device_counts() const {
+    return rows<DeviceCountRecord>();
+  }
+  [[nodiscard]] const std::vector<WifiScanRecord>& wifi_scans() const {
+    return rows<WifiScanRecord>();
+  }
+  [[nodiscard]] const std::vector<TrafficFlowRecord>& flows() const {
+    return rows<TrafficFlowRecord>();
+  }
+  [[nodiscard]] const std::vector<ThroughputMinute>& throughput() const {
+    return rows<ThroughputMinute>();
+  }
+  [[nodiscard]] const std::vector<DnsLogRecord>& dns() const { return rows<DnsLogRecord>(); }
   [[nodiscard]] const std::vector<DeviceTrafficRecord>& device_traffic() const {
-    return device_traffic_;
+    return rows<DeviceTrafficRecord>();
   }
 
   // Filtered views (copies) used throughout the analysis layer.
@@ -149,6 +135,9 @@ class DataRepository final : public RecordSink {
   [[nodiscard]] std::vector<TrafficFlowRecord> flows_for(HomeId id) const;
   [[nodiscard]] std::vector<ThroughputMinute> throughput_for(HomeId id) const;
   [[nodiscard]] std::vector<CapacityRecord> capacity_for(HomeId id) const;
+
+  /// Rows across every data set.
+  [[nodiscard]] std::size_t total_rows() const { return store_.total_rows(); }
 
   /// Summary row counts per data set (the Table 2 bench prints these).
   struct Counts {
@@ -161,15 +150,7 @@ class DataRepository final : public RecordSink {
   DatasetWindows windows_;
   std::mutex commit_mu_;
   std::vector<HomeInfo> homes_;
-  std::vector<HeartbeatRun> heartbeats_;
-  std::vector<UptimeRecord> uptime_;
-  std::vector<CapacityRecord> capacity_;
-  std::vector<DeviceCountRecord> devices_;
-  std::vector<WifiScanRecord> wifi_;
-  std::vector<TrafficFlowRecord> flows_;
-  std::vector<ThroughputMinute> throughput_;
-  std::vector<DnsLogRecord> dns_;
-  std::vector<DeviceTrafficRecord> device_traffic_;
+  RecordStore store_;
 };
 
 }  // namespace bismark::collect

@@ -7,9 +7,16 @@
 // buffer (collect::IngestBatch) and merge the shards deterministically
 // afterwards, while single-threaded callers keep handing a DataRepository
 // straight to the producers.
+//
+// There is exactly one virtual dispatch point, add_record(Record), so a
+// sink implementation covers every record kind by construction — a new
+// entry in RecordTypes reaches every sink without touching them. The named
+// add_* entry points are non-virtual conveniences over it.
 #pragma once
 
-#include "collect/records.h"
+#include <utility>
+
+#include "collect/schema.h"
 
 namespace bismark::collect {
 
@@ -17,15 +24,28 @@ class RecordSink {
  public:
   virtual ~RecordSink() = default;
 
-  virtual void add_heartbeat_run(HeartbeatRun run) = 0;
-  virtual void add_uptime(UptimeRecord rec) = 0;
-  virtual void add_capacity(CapacityRecord rec) = 0;
-  virtual void add_device_count(DeviceCountRecord rec) = 0;
-  virtual void add_wifi_scan(WifiScanRecord rec) = 0;
-  virtual void add_flow(TrafficFlowRecord rec) = 0;
-  virtual void add_throughput_minute(ThroughputMinute rec) = 0;
-  virtual void add_dns(DnsLogRecord rec) = 0;
-  virtual void add_device_traffic(DeviceTrafficRecord rec) = 0;
+  /// The single dispatch point: every producer path funnels through here.
+  virtual void add_record(Record r) = 0;
+
+  /// Typed convenience: wraps the record into the variant.
+  template <typename T>
+  void add(T rec) {
+    add_record(Record(std::in_place_type<T>, std::move(rec)));
+  }
+
+  // Named entry points kept for producer-code readability.
+  void add_heartbeat_run(HeartbeatRun run) { add(std::move(run)); }
+  void add_uptime(UptimeRecord rec) { add(std::move(rec)); }
+  void add_capacity(CapacityRecord rec) { add(std::move(rec)); }
+  void add_device_count(DeviceCountRecord rec) { add(std::move(rec)); }
+  void add_wifi_scan(WifiScanRecord rec) { add(std::move(rec)); }
+  void add_flow(TrafficFlowRecord rec) { add(std::move(rec)); }
+  void add_throughput_minute(ThroughputMinute rec) { add(std::move(rec)); }
+  void add_dns(DnsLogRecord rec) { add(std::move(rec)); }
+  void add_device_traffic(DeviceTrafficRecord rec) { add(std::move(rec)); }
 };
+
+/// Replay one record into a sink.
+inline void DeliverRecord(RecordSink& sink, const Record& r) { sink.add_record(r); }
 
 }  // namespace bismark::collect

@@ -1,0 +1,56 @@
+// Versioned binary snapshot of a DataRepository.
+//
+// Large runs persist and reload a repository without the CSV round-trip
+// cost (formatting and parsing dominate the text path; see bench_micro's
+// snapshot vs import entries). The row layout is derived from the same
+// Schema<T>::Fields() lists as the CSV paths, so the snapshot cannot drift
+// from the record definitions.
+//
+// Format (all integers little-endian):
+//
+//   magic    "BSMKSNAP"                                    8 bytes
+//   version  u32 (kSnapshotVersion)
+//   windows  6 intervals × 2 × i64 ms
+//   homes    u32 count, then per home the HomeInfo fields
+//   kinds    u32 count (kRecordKinds), then per kind:
+//              kind name (length-prefixed string)
+//              u32 field count, then each field name
+//              u64 row count, then rows field-by-field (schema order)
+//
+// Versioning rules: the header is self-describing — the loader verifies
+// magic, version, kind names, and per-kind field names, and refuses a
+// snapshot whose schema does not match the build reading it. Additive
+// schema growth (a new kind appended to RecordTypes, a new field appended
+// to a Fields() list) bumps kSnapshotVersion; readers stay strict — a
+// snapshot is a cache of a deterministic run, never an archival format,
+// so regeneration beats migration.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "collect/repository.h"
+
+namespace bismark::collect {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr char kSnapshotMagic[8] = {'B', 'S', 'M', 'K', 'S', 'N', 'A', 'P'};
+
+/// Write the repository (windows, homes, every data set) to a stream.
+/// Returns false and fills `error` on I/O failure.
+bool SaveSnapshot(const DataRepository& repo, std::ostream& out, std::string* error = nullptr);
+bool SaveSnapshotFile(const DataRepository& repo, const std::string& path,
+                      std::string* error = nullptr);
+
+/// Read a snapshot back into a fresh repository. Returns nullptr and fills
+/// `error` on malformed input, a version mismatch, or schema drift between
+/// the snapshot and this build.
+std::unique_ptr<DataRepository> LoadSnapshot(std::istream& in, std::string* error = nullptr);
+std::unique_ptr<DataRepository> LoadSnapshotFile(const std::string& path,
+                                                 std::string* error = nullptr);
+
+}  // namespace bismark::collect

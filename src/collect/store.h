@@ -1,0 +1,89 @@
+// Generic dataset store derived from the schema typelist.
+//
+// One std::vector per registered record kind, held in a tuple. This is the
+// storage both IngestBatch (thread-private staging) and DataRepository (the
+// merged study corpus) are built on — replacing nine hand-written vector
+// members, add_* overloads, and per-set sort calls in each. Window
+// admission, the canonical sort key, and the kind set itself all come from
+// Schema<T>, so a new data set gets storage, merging, and deterministic
+// ordering without touching this file.
+#pragma once
+
+#include <algorithm>
+#include <iterator>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "collect/schema.h"
+
+namespace bismark::collect {
+
+template <typename... Ts>
+class StoreOf {
+ public:
+  template <typename T>
+  [[nodiscard]] const std::vector<T>& rows() const {
+    return std::get<std::vector<T>>(data_);
+  }
+  template <typename T>
+  [[nodiscard]] std::vector<T>& rows() {
+    return std::get<std::vector<T>>(data_);
+  }
+
+  /// Window-gated append: Schema<T>::Admit clips or rejects the record.
+  /// Returns whether the record was kept.
+  template <typename T>
+  bool add(const DatasetWindows& windows, T rec) {
+    if (!Schema<T>::Admit(windows, rec)) return false;
+    rows<T>().push_back(std::move(rec));
+    return true;
+  }
+  bool add(const DatasetWindows& windows, Record&& r) {
+    return std::visit([&](auto&& rec) { return add(windows, std::move(rec)); }, std::move(r));
+  }
+
+  /// Move-append every data set of `other`, which is left empty.
+  void append(StoreOf&& other) { (absorb_one<Ts>(other), ...); }
+
+  /// Canonical per-dataset order: stable sort by Schema<T>::SortKey.
+  /// Per-home generation is deterministic and each home lives in exactly
+  /// one shard, so after this sort the contents are identical for every
+  /// worker/shard configuration.
+  void sort_canonical() { (sort_one<Ts>(), ...); }
+
+  [[nodiscard]] std::size_t total_rows() const { return (rows<Ts>().size() + ...); }
+
+ private:
+  template <typename T>
+  void absorb_one(StoreOf& other) {
+    auto& dst = rows<T>();
+    auto& src = other.rows<T>();
+    dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+               std::make_move_iterator(src.end()));
+    src.clear();
+  }
+  template <typename T>
+  void sort_one() {
+    auto& vec = rows<T>();
+    std::stable_sort(vec.begin(), vec.end(), [](const T& a, const T& b) {
+      return Schema<T>::SortKey(a) < Schema<T>::SortKey(b);
+    });
+  }
+
+  std::tuple<std::vector<Ts>...> data_;
+};
+
+namespace schema_detail {
+template <typename List>
+struct StoreOfList;
+template <typename... Ts>
+struct StoreOfList<TypeList<Ts...>> {
+  using type = StoreOf<Ts...>;
+};
+}  // namespace schema_detail
+
+/// The store over every registered record kind.
+using RecordStore = schema_detail::StoreOfList<RecordTypes>::type;
+
+}  // namespace bismark::collect

@@ -2,53 +2,6 @@
 
 namespace bismark::collect {
 
-namespace {
-template <class... Fs>
-struct Overloaded : Fs... {
-  using Fs::operator()...;
-};
-template <class... Fs>
-Overloaded(Fs...) -> Overloaded<Fs...>;
-}  // namespace
-
-TimePoint RecordTime(const Record& r) {
-  return std::visit(
-      Overloaded{
-          [](const HeartbeatRun& v) { return v.start; },
-          [](const UptimeRecord& v) { return v.reported; },
-          [](const CapacityRecord& v) { return v.measured; },
-          [](const DeviceCountRecord& v) { return v.sampled; },
-          [](const WifiScanRecord& v) { return v.scanned; },
-          [](const TrafficFlowRecord& v) { return v.first_packet; },
-          [](const ThroughputMinute& v) { return v.minute_start; },
-          [](const DnsLogRecord& v) { return v.when; },
-          [](const DeviceTrafficRecord&) { return TimePoint{0}; },
-      },
-      r);
-}
-
-const char* RecordKindName(std::size_t variant_index) {
-  static constexpr const char* kNames[kRecordKinds] = {
-      "heartbeat_run", "uptime",     "capacity",       "device_count",  "wifi_scan",
-      "traffic_flow",  "throughput", "dns",            "device_traffic"};
-  return variant_index < kRecordKinds ? kNames[variant_index] : "unknown";
-}
-
-void DeliverRecord(RecordSink& sink, const Record& r) {
-  std::visit(Overloaded{
-                 [&](const HeartbeatRun& v) { sink.add_heartbeat_run(v); },
-                 [&](const UptimeRecord& v) { sink.add_uptime(v); },
-                 [&](const CapacityRecord& v) { sink.add_capacity(v); },
-                 [&](const DeviceCountRecord& v) { sink.add_device_count(v); },
-                 [&](const WifiScanRecord& v) { sink.add_wifi_scan(v); },
-                 [&](const TrafficFlowRecord& v) { sink.add_flow(v); },
-                 [&](const ThroughputMinute& v) { sink.add_throughput_minute(v); },
-                 [&](const DnsLogRecord& v) { sink.add_dns(v); },
-                 [&](const DeviceTrafficRecord& v) { sink.add_device_traffic(v); },
-             },
-             r);
-}
-
 bool IdempotentIngest::deliver(const UploadBatch& batch) {
   const auto [it, fresh] = seen_.emplace(batch.home.value, batch.seq);
   if (!fresh) {

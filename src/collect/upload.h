@@ -7,37 +7,21 @@
 // RecordSink. At-least-once delivery + idempotent commit = exactly-once
 // repository contents, which is what preserves the byte-identical export
 // guarantee of the sharded runner under fault injection.
+//
+// The Record variant itself, RecordTime, and RecordKindName are derived
+// from the schema typelist (collect/schema.h); record delivery is the
+// sink's single add_record dispatch point (collect/sink.h).
 #pragma once
 
 #include <cstdint>
 #include <set>
 #include <utility>
-#include <variant>
 #include <vector>
 
-#include "collect/records.h"
+#include "collect/schema.h"
 #include "collect/sink.h"
 
 namespace bismark::collect {
-
-/// Any one measurement record, as spooled and shipped by the uploader.
-using Record = std::variant<HeartbeatRun, UptimeRecord, CapacityRecord, DeviceCountRecord,
-                            WifiScanRecord, TrafficFlowRecord, ThroughputMinute,
-                            DnsLogRecord, DeviceTrafficRecord>;
-
-inline constexpr std::size_t kRecordKinds = std::variant_size_v<Record>;
-
-/// Measurement timestamp of a record — the spool's arrival order and the
-/// uploader's flush-eligibility key. DeviceTrafficRecord is a windowless
-/// registry row and sorts at the epoch (stable sort keeps its insertion
-/// order).
-[[nodiscard]] TimePoint RecordTime(const Record& r);
-
-/// Human label for a variant alternative (drop ledgers, bench tables).
-[[nodiscard]] const char* RecordKindName(std::size_t variant_index);
-
-/// Replay one record into a sink through the matching typed add_*.
-void DeliverRecord(RecordSink& sink, const Record& r);
 
 /// One gateway->collector transfer unit. `seq` increases per home as
 /// batches are first transmitted; a retry resends the same seq, which is

@@ -289,6 +289,10 @@ void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
     spooled_max.observe(static_cast<double>(spool.accepted()));
     // Per-kind drop ledger: register the labelled series only for kinds
     // that actually lost records, so clean runs export no empty series.
+    // The labels come from the schema typelist, so a new record kind gets
+    // its metric series without touching this loop.
+    static_assert(collect::kRecordKindNames.size() == collect::kRecordKinds,
+                  "spool-drop counter labels must cover every record kind");
     for (std::size_t kind = 0; kind < collect::kRecordKinds; ++kind) {
       const std::uint64_t lost = spool.dropped().by_kind[kind];
       if (lost == 0) continue;

@@ -15,15 +15,7 @@ using gateway::UploadSpool;
 /// Minimal sink counting committed rows (the repository stand-in).
 class CountingSink final : public collect::RecordSink {
  public:
-  void add_heartbeat_run(collect::HeartbeatRun) override { ++rows; }
-  void add_uptime(collect::UptimeRecord) override { ++rows; }
-  void add_capacity(collect::CapacityRecord) override { ++rows; }
-  void add_device_count(collect::DeviceCountRecord) override { ++rows; }
-  void add_wifi_scan(collect::WifiScanRecord) override { ++rows; }
-  void add_flow(collect::TrafficFlowRecord) override { ++rows; }
-  void add_throughput_minute(collect::ThroughputMinute) override { ++rows; }
-  void add_dns(collect::DnsLogRecord) override { ++rows; }
-  void add_device_traffic(collect::DeviceTrafficRecord) override { ++rows; }
+  void add_record(collect::Record) override { ++rows; }
   std::uint64_t rows{0};
 };
 

@@ -89,5 +89,60 @@ TEST_F(ExportTest, EmptyRepositoryExportsHeadersOnly) {
   EXPECT_FALSE(out.str().empty());  // header still present
 }
 
+// Byte-level golden for the release format. These literals are the public
+// contract of the released CSVs: any refactor of the export path must keep
+// producing exactly these bytes for these rows.
+TEST(ExportGoldenBytes, ReleaseViewsMatchHistoricalFormat) {
+  const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+  DataRepository repo(DatasetWindows{all, all, all, all, all, all});
+  repo.add(HeartbeatRun{HomeId{3}, TimePoint{60000}, TimePoint{240000}});
+  repo.add(UptimeRecord{HomeId{4}, TimePoint{1000}, Seconds(4521.5)});
+  repo.add(CapacityRecord{HomeId{5}, TimePoint{2000}, Mbps(19.5), Mbps(4.5)});
+
+  std::ostringstream out;
+  ExportHeartbeats(repo, out);
+  EXPECT_EQ(out.str(),
+            "home,run_start_ms,run_end_ms,heartbeats\n"
+            "3,60000,240000,3\n");
+
+  out.str("");
+  ExportUptime(repo, out);
+  EXPECT_EQ(out.str(),
+            "home,reported_ms,uptime_s\n"
+            "4,1000,4521.500\n");
+
+  out.str("");
+  ExportCapacity(repo, out);
+  EXPECT_EQ(out.str(),
+            "home,measured_ms,down_mbps,up_mbps\n"
+            "5,2000,19.500,4.500\n");
+}
+
+TEST(ExportGoldenBytes, FullFidelityViewUsesExactCodecs) {
+  const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+  DataRepository repo(DatasetWindows{all, all, all, all, all, all});
+  repo.add(CapacityRecord{HomeId{5}, TimePoint{2000}, Mbps(19.5), Mbps(4.5)});
+
+  std::ostringstream out;
+  ExportDatasetCsv<CapacityRecord>(repo, out);
+  // %.17g keeps the exact double (19.5 Mbps = 19500000 bps exactly).
+  EXPECT_EQ(out.str(),
+            "home,measured_ms,down_bps,up_bps\n"
+            "5,2000,19500000,4500000\n");
+}
+
+TEST(ExportGoldenBytes, HostileFieldsAreRfc4180Quoted) {
+  const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+  DataRepository repo(DatasetWindows{all, all, all, all, all, all});
+  DnsLogRecord dns;
+  dns.home = HomeId{1};
+  dns.when = TimePoint{5};
+  dns.query = "a,\"b\"";
+  repo.add(dns);
+  std::ostringstream out;
+  ExportDatasetCsv<DnsLogRecord>(repo, out);
+  EXPECT_NE(out.str().find("\"a,\"\"b\"\"\""), std::string::npos) << out.str();
+}
+
 }  // namespace
 }  // namespace bismark::collect

@@ -32,6 +32,74 @@ TEST(ParseCsvLineTest, EmptyFields) {
   for (const auto& field : f) EXPECT_TRUE(field.empty());
 }
 
+TEST(ParseCsvLineTest, QuotedFieldWithEmbeddedNewline) {
+  // ReadCsvRecord joins the physical lines; the parser then sees one
+  // logical record with a literal newline inside the quoted field.
+  const auto f = ParseCsvLine("a,\"two\nlines\",c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "two\nlines");
+}
+
+TEST(ParseCsvLineTest, AdjacentQuotedAndBareText) {
+  const auto f = ParseCsvLine("\"a\"b,\"\",x\"y\"");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "ab");  // RFC 4180 doesn't allow this; we concatenate
+  EXPECT_EQ(f[1], "");
+  EXPECT_EQ(f[2], "xy");
+}
+
+TEST(ParseCsvLineTest, OnlyDoubledQuotesInsideQuotes) {
+  const auto f = ParseCsvLine("\"\"\"quoted\"\"\"");
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], "\"quoted\"");
+}
+
+TEST(ReadCsvRecordTest, StripsTrailingCarriageReturn) {
+  std::istringstream in("a,b\r\nc,d\r\n");
+  std::string record;
+  ASSERT_TRUE(ReadCsvRecord(in, record));
+  EXPECT_EQ(record, "a,b");
+  ASSERT_TRUE(ReadCsvRecord(in, record));
+  EXPECT_EQ(record, "c,d");
+  EXPECT_FALSE(ReadCsvRecord(in, record));
+}
+
+TEST(ReadCsvRecordTest, JoinsQuotedMultiLineFields) {
+  // One logical record spanning three physical lines; CRLF inside the
+  // quoted field is normalised to LF (we strip the CR per physical line).
+  std::istringstream in("a,\"first\r\nsecond\nthird\",z\nnext,row\n");
+  std::string record;
+  ASSERT_TRUE(ReadCsvRecord(in, record));
+  EXPECT_EQ(record, "a,\"first\nsecond\nthird\",z");
+  const auto f = ParseCsvLine(record);
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[1], "first\nsecond\nthird");
+  ASSERT_TRUE(ReadCsvRecord(in, record));
+  EXPECT_EQ(record, "next,row");
+}
+
+TEST(ReadCsvRecordTest, UnterminatedQuoteConsumesToEof) {
+  std::istringstream in("a,\"open\nstill open");
+  std::string record;
+  ASSERT_TRUE(ReadCsvRecord(in, record));
+  EXPECT_EQ(record, "a,\"open\nstill open");
+  EXPECT_FALSE(ReadCsvRecord(in, record));
+}
+
+TEST(ReadCsvRecordTest, CrlfReleaseFileImportsCleanly) {
+  // A release CSV saved with Windows line endings must import unchanged.
+  std::string csv = "home,reported_ms,uptime_s\r\n1,1000,3600.000\r\n2,2000,7200.000\r\n";
+  std::istringstream in(csv);
+  ImportReport report;
+  DataRepository repo(DatasetWindows{
+      {}, {TimePoint{0}, TimePoint{1000000}}, {}, {}, {}, {}});
+  ImportUptime(repo, in, report);
+  EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
+  EXPECT_EQ(report.uptime(), 2u);
+  ASSERT_EQ(repo.uptime().size(), 2u);
+  EXPECT_EQ(repo.uptime()[1].uptime, Seconds(7200));
+}
+
 class ImportTest : public ::testing::Test {
  protected:
   ImportTest() : source_(DatasetWindows::Paper()), target_(DatasetWindows::Paper()) {
@@ -96,7 +164,7 @@ TEST_F(ImportTest, RoundTripThroughStreams) {
     ImportWifi(target_, s, report);
   }
   EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
-  EXPECT_EQ(report.heartbeat_runs, 3u);
+  EXPECT_EQ(report.heartbeat_runs(), 3u);
 
   // Heartbeat runs identical.
   ASSERT_EQ(target_.heartbeat_runs().size(), source_.heartbeat_runs().size());
@@ -174,7 +242,7 @@ TEST_F(ImportTest, MalformedRowsSkippedAndReported) {
   DataRepository repo(DatasetWindows{
       {TimePoint{0}, TimePoint{1000000}}, {}, {}, {}, {}, {}});
   ImportHeartbeats(repo, s, report);
-  EXPECT_EQ(report.heartbeat_runs, 1u);
+  EXPECT_EQ(report.heartbeat_runs(), 1u);
   EXPECT_EQ(report.errors.size(), 2u);
 }
 
@@ -183,7 +251,7 @@ TEST_F(ImportTest, WrongHeaderRejected) {
   s << "totally,wrong,header\n1,2,3\n";
   ImportReport report;
   ImportUptime(target_, s, report);
-  EXPECT_EQ(report.uptime, 0u);
+  EXPECT_EQ(report.uptime(), 0u);
   ASSERT_FALSE(report.errors.empty());
   EXPECT_NE(report.errors[0].find("unexpected header"), std::string::npos);
 }
@@ -209,9 +277,9 @@ TEST(ImportDeploymentScaleTest, FullStudyReleaseRoundTrips) {
   for (const auto& info : source.homes()) imported.register_home(info);
   const auto report = ImportPublicDatasets(imported, dir);
   EXPECT_TRUE(report.ok()) << (report.errors.empty() ? "" : report.errors[0]);
-  EXPECT_EQ(report.heartbeat_runs, source.heartbeat_runs().size());
-  EXPECT_EQ(report.device_counts, source.device_counts().size());
-  EXPECT_EQ(report.wifi_scans, source.wifi_scans().size());
+  EXPECT_EQ(report.heartbeat_runs(), source.heartbeat_runs().size());
+  EXPECT_EQ(report.device_counts(), source.device_counts().size());
+  EXPECT_EQ(report.wifi_scans(), source.wifi_scans().size());
 
   const auto original = analysis::AnalyzeAvailability(source, {Minutes(10), 10.0});
   const auto roundtrip = analysis::AnalyzeAvailability(imported, {Minutes(10), 10.0});

@@ -1,0 +1,203 @@
+// Binary snapshots: exact repository round-trip, strict rejection of
+// corrupt or drifted inputs.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "collect/snapshot.h"
+
+namespace bismark::collect {
+namespace {
+
+DatasetWindows WideWindows() {
+  const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+  return DatasetWindows{all, all, all, all, all, all};
+}
+
+/// Fill a repository with at least one row in every data set and values
+/// that exercise every codec (doubles, MACs, enums, strings, bools).
+void Populate(DataRepository& repo) {
+
+  HomeInfo info;
+  info.id = HomeId{7};
+  info.country_code = "US";
+  info.developed = true;
+  info.utc_offset = Hours(-5);
+  info.reports_uptime = true;
+  info.consented_traffic = true;
+  info.true_down_mbps = 19.75;
+  repo.register_home(info);
+
+  repo.add(HeartbeatRun{HomeId{7}, TimePoint{60000}, TimePoint{360000}});
+  repo.add(UptimeRecord{HomeId{7}, TimePoint{120000}, Hours(13)});
+  repo.add(CapacityRecord{HomeId{7}, TimePoint{180000}, Mbps(19.993), Mbps(4.111)});
+  DeviceCountRecord dc;
+  dc.home = HomeId{7};
+  dc.sampled = TimePoint{240000};
+  dc.wired = 2;
+  dc.wireless_24 = 5;
+  dc.unique_total = 11;
+  repo.add(dc);
+  WifiScanRecord scan;
+  scan.home = HomeId{7};
+  scan.scanned = TimePoint{300000};
+  scan.band = wireless::Band::k5GHz;
+  scan.channel = 36;
+  scan.visible_aps = 4;
+  repo.add(scan);
+  TrafficFlowRecord flow;
+  flow.home = HomeId{7};
+  flow.flow = net::FlowId{0xdeadbeef01ull};
+  flow.first_packet = TimePoint{360000};
+  flow.last_packet = TimePoint{420000};
+  flow.protocol = net::Protocol::kUdp;
+  flow.dst_port = 443;
+  flow.device_mac = net::MacAddress({0x02, 0x11, 0x22, 0x33, 0x44, 0x55});
+  flow.bytes_up = Bytes{1234};
+  flow.bytes_down = Bytes{56789};
+  flow.packets_up = 12;
+  flow.packets_down = 48;
+  flow.domain = "anon-3f2a";
+  flow.domain_anonymized = true;
+  repo.add(flow);
+  ThroughputMinute tm;
+  tm.home = HomeId{7};
+  tm.minute_start = TimePoint{480000};
+  tm.bytes_down = Bytes{999};
+  tm.peak_down_bps = 1.5e6;
+  repo.add(tm);
+  DnsLogRecord dns;
+  dns.home = HomeId{7};
+  dns.when = TimePoint{540000};
+  dns.device_mac = net::MacAddress({0x02, 0xaa, 0xbb, 0xcc, 0xdd, 0xee});
+  dns.query = "netflix.com";
+  dns.a_records = 2;
+  repo.add(dns);
+  DeviceTrafficRecord dt;
+  dt.home = HomeId{7};
+  dt.device_mac = net::MacAddress({0x02, 0x01, 0x02, 0x03, 0x04, 0x05});
+  dt.vendor = net::VendorClass::kUnknown;
+  dt.bytes_total = Bytes{777777};
+  dt.flows = 42;
+  repo.add(dt);
+}
+
+template <typename T>
+void ExpectSameRows(const DataRepository& a, const DataRepository& b) {
+  ASSERT_EQ(a.rows<T>().size(), b.rows<T>().size()) << Schema<T>::kKindName;
+  EXPECT_EQ(a.rows<T>(), b.rows<T>()) << Schema<T>::kKindName;
+}
+
+TEST(Snapshot, RoundTripReproducesEveryDatasetExactly) {
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  std::stringstream buf;
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(repo, buf, &error)) << error;
+
+  const auto loaded = LoadSnapshot(buf, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    ExpectSameRows<T>(repo, *loaded);
+  });
+  ASSERT_EQ(loaded->homes().size(), 1u);
+  EXPECT_EQ(loaded->homes()[0], repo.homes()[0]);
+  EXPECT_EQ(loaded->windows().heartbeats.start, repo.windows().heartbeats.start);
+  EXPECT_EQ(loaded->windows().traffic.end, repo.windows().traffic.end);
+  EXPECT_EQ(loaded->total_rows(), repo.total_rows());
+}
+
+TEST(Snapshot, EmptyRepositoryRoundTrips) {
+  const DataRepository repo(WideWindows());
+  std::stringstream buf;
+  ASSERT_TRUE(SaveSnapshot(repo, buf));
+  std::string error;
+  const auto loaded = LoadSnapshot(buf, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->total_rows(), 0u);
+  EXPECT_TRUE(loaded->homes().empty());
+}
+
+std::string SnapshotBytes() {
+  std::stringstream buf;
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  SaveSnapshot(repo, buf);
+  return buf.str();
+}
+
+std::unique_ptr<DataRepository> LoadFrom(const std::string& bytes, std::string& error) {
+  std::stringstream in(bytes);
+  return LoadSnapshot(in, &error);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  std::string bytes = SnapshotBytes();
+  bytes[0] = 'X';
+  std::string error;
+  EXPECT_EQ(LoadFrom(bytes, error), nullptr);
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+}
+
+TEST(Snapshot, RejectsFutureVersion) {
+  std::string bytes = SnapshotBytes();
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);  // little-endian u32
+  std::string error;
+  EXPECT_EQ(LoadFrom(bytes, error), nullptr);
+  EXPECT_NE(error.find("unsupported version"), std::string::npos) << error;
+}
+
+TEST(Snapshot, RejectsKindNameDrift) {
+  // Corrupt the first kind's name in place: the loader must refuse rather
+  // than misinterpret rows (this is what catches schema drift on disk).
+  std::string bytes = SnapshotBytes();
+  const auto pos = bytes.find("heartbeat_run");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'X';
+  std::string error;
+  EXPECT_EQ(LoadFrom(bytes, error), nullptr);
+  EXPECT_NE(error.find("kind name mismatch"), std::string::npos) << error;
+}
+
+TEST(Snapshot, RejectsFieldNameDrift) {
+  std::string bytes = SnapshotBytes();
+  const auto pos = bytes.find("run_start_ms");
+  ASSERT_NE(pos, std::string::npos);
+  bytes[pos] = 'X';
+  std::string error;
+  EXPECT_EQ(LoadFrom(bytes, error), nullptr);
+  EXPECT_NE(error.find("field name mismatch"), std::string::npos) << error;
+}
+
+TEST(Snapshot, RejectsTruncationAndTrailingBytes) {
+  const std::string bytes = SnapshotBytes();
+  std::string error;
+  EXPECT_EQ(LoadFrom(bytes.substr(0, bytes.size() - 3), error), nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+  EXPECT_EQ(LoadFrom(bytes + "junk", error), nullptr);
+  EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+}
+
+TEST(Snapshot, FileRoundTripAndMissingFileError) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bismark_snapshot_test.bin").string();
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  std::string error;
+  ASSERT_TRUE(SaveSnapshotFile(repo, path, &error)) << error;
+  const auto loaded = LoadSnapshotFile(path, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->total_rows(), repo.total_rows());
+  std::filesystem::remove(path);
+
+  EXPECT_EQ(LoadSnapshotFile("/nonexistent/snap.bin", &error), nullptr);
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bismark::collect

@@ -10,7 +10,9 @@
 // by `run --export` (or examples/world_deployment) using only the public
 // CSVs.
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -21,6 +23,7 @@
 #include "analysis/utilization.h"
 #include "collect/export.h"
 #include "collect/import.h"
+#include "collect/snapshot.h"
 #include "core/args.h"
 #include "core/table.h"
 #include "home/deployment.h"
@@ -127,6 +130,19 @@ int CmdRun(const ArgParser& args) {
     std::printf("exported %zu public rows to %s (Traffic withheld, as in the paper)\n", rows,
                 dir->c_str());
   }
+  if (const auto dir = args.get("export-full")) {
+    const std::size_t rows = collect::ExportAllDatasets(study->repository(), *dir);
+    std::printf("exported %zu rows (every data set, full fidelity) to %s\n", rows,
+                dir->c_str());
+  }
+  if (const auto path = args.get("snapshot-out")) {
+    std::string error;
+    if (!collect::SaveSnapshotFile(study->repository(), *path, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("wrote binary snapshot to %s\n", path->c_str());
+  }
   return WriteObsOutputs(*study, args, "bismark_study run");
 }
 
@@ -190,33 +206,48 @@ int CmdReport(const ArgParser& args) {
 
 int CmdAnalyze(const ArgParser& args) {
   if (args.positional().size() < 2) {
-    std::fprintf(stderr, "usage: bismark_study analyze <release-dir>\n");
+    std::fprintf(stderr, "usage: bismark_study analyze <release-dir|snapshot-file>\n");
     return 2;
   }
-  const std::string dir = args.positional()[1];
-  collect::DataRepository repo(collect::DatasetWindows::Paper());
-  const auto report = collect::ImportPublicDatasets(repo, dir);
-  std::printf("imported %zu rows from %s\n", report.total_rows(), dir.c_str());
-  for (const auto& e : report.errors) std::fprintf(stderr, "warning: %s\n", e.c_str());
-  if (report.total_rows() == 0) return 1;
+  const std::string path = args.positional()[1];
 
-  std::set<int> ids;
-  for (const auto& run : repo.heartbeat_runs()) ids.insert(run.home.value);
-  for (const auto& rec : repo.device_counts()) ids.insert(rec.home.value);
-  for (int id : ids) {
-    collect::HomeInfo info;
-    info.id = collect::HomeId{id};
-    info.country_code = "??";
-    info.reports_devices = true;
-    repo.register_home(info);
+  // A regular file is a binary snapshot (homes and windows included); a
+  // directory is a public CSV release that needs bare home registration.
+  std::unique_ptr<collect::DataRepository> repo;
+  if (std::filesystem::is_regular_file(path)) {
+    std::string error;
+    repo = collect::LoadSnapshotFile(path, &error);
+    if (!repo) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("loaded snapshot %s (%zu rows, %zu homes)\n", path.c_str(),
+                repo->total_rows(), repo->homes().size());
+  } else {
+    repo = std::make_unique<collect::DataRepository>(collect::DatasetWindows::Paper());
+    const auto report = collect::ImportPublicDatasets(*repo, path);
+    std::printf("imported %zu rows from %s\n", report.total_rows(), path.c_str());
+    for (const auto& e : report.errors) std::fprintf(stderr, "warning: %s\n", e.c_str());
+    if (report.total_rows() == 0) return 1;
+
+    std::set<int> ids;
+    for (const auto& run : repo->heartbeat_runs()) ids.insert(run.home.value);
+    for (const auto& rec : repo->device_counts()) ids.insert(rec.home.value);
+    for (int id : ids) {
+      collect::HomeInfo info;
+      info.id = collect::HomeId{id};
+      info.country_code = "??";
+      info.reports_devices = true;
+      repo->register_home(info);
+    }
   }
 
-  const auto homes = analysis::AnalyzeAvailability(repo, {Minutes(10), 25.0});
+  const auto homes = analysis::AnalyzeAvailability(*repo, {Minutes(10), 25.0});
   Cdf downtimes;
   for (const auto& h : homes) downtimes.add(h.downtimes_per_day());
   std::printf("homes: %zu qualifying\n", homes.size());
   std::printf("downtimes/day: %s\n", Summarize(downtimes).c_str());
-  std::printf("devices/home: %s\n", Summarize(analysis::UniqueDevicesCdf(repo)).c_str());
+  std::printf("devices/home: %s\n", Summarize(analysis::UniqueDevicesCdf(*repo)).c_str());
   return 0;
 }
 
@@ -232,6 +263,10 @@ int main(int argc, char** argv) {
   args.add_option("workers", "worker threads for the run; 0 = all cores (results are "
                   "byte-identical for any value)", "1");
   args.add_option("export", "write the public CSVs to this directory");
+  args.add_option("export-full",
+                  "write every data set (including private traffic) to this directory "
+                  "in full-fidelity CSV");
+  args.add_option("snapshot-out", "write a binary snapshot of the repository to this file");
   args.add_option("collector-outages-per-month",
                   "inject collector outages at this rate (0 = reliable collector)", "0");
   args.add_option("heartbeat-loss",

@@ -32,6 +32,12 @@ struct ScalePoint {
   double speedup{1.0};
   std::size_t export_hash{0};
   bool matches_serial{true};
+  /// Hardware threads available when this row was measured. Rows with
+  /// workers > hardware_threads are oversubscribed: their wall_s measures
+  /// scheduling overhead, not parallel speedup, and must not be read as a
+  /// scaling regression.
+  int hardware_threads{0};
+  bool oversubscribed{false};
 };
 
 home::DeploymentOptions ScalingOptions(double roster_scale, int workers) {
@@ -65,12 +71,19 @@ double RunSeconds(double roster_scale, int workers, std::size_t* fingerprint) {
 }
 
 void BenchScale(double roster_scale, std::vector<ScalePoint>& out) {
-  std::printf("\n== roster_scale %.0f (%d hardware threads available) ==\n", roster_scale,
-              ThreadPool::HardwareWorkers());
+  const int hw = ThreadPool::HardwareWorkers();
+  std::printf("\n== roster_scale %.0f (%d hardware threads available) ==\n", roster_scale, hw);
   TextTable table({"workers", "wall_s", "speedup", "export_hash"});
   double serial_s = 0.0;
   std::size_t serial_fp = 0;
   for (const int workers : {1, 2, 4, 8}) {
+    if (workers > hw) {
+      std::fprintf(stderr,
+                   "warning: %d workers on a %d-hardware-thread machine; the "
+                   "wall_s/speedup of this row measures oversubscription, not "
+                   "parallel scaling\n",
+                   workers, hw);
+    }
     std::size_t fp = 0;
     const double s = RunSeconds(roster_scale, workers, &fp);
     if (workers == 1) {
@@ -83,7 +96,7 @@ void BenchScale(double roster_scale, std::vector<ScalePoint>& out) {
     table.add_row({TextTable::Int(workers), TextTable::Num(s, 2),
                    TextTable::Num(serial_s / s, 2), hash});
     out.push_back(ScalePoint{roster_scale, workers, s, serial_s / s, fp,
-                             fp == serial_fp});
+                             fp == serial_fp, hw, workers > hw});
   }
   table.print();
 }
@@ -111,6 +124,8 @@ int WriteJson(const std::string& path, const std::vector<ScalePoint>& points) {
     json.kv("speedup", p.speedup);
     json.kv("export_hash", hash);
     json.kv("matches_serial", p.matches_serial);
+    json.kv("hardware_threads", p.hardware_threads);
+    json.kv("oversubscribed", p.oversubscribed);
     json.end_object();
   }
   json.end_array();
@@ -125,6 +140,11 @@ int main(int argc, char** argv) {
   ArgParser args("bench_parallel_scaling: sharded-runner speedup and determinism");
   args.add_option("scale", "run only this roster_scale (0 = the full {1,4,16} sweep)", "0");
   args.add_option("json", "also write the results as JSON to this file");
+  args.add_flag("strict", "fail (exit 3) if any row ran more workers than hardware threads");
+  args.add_option("gate-speedup",
+                  "fail (exit 4) unless every workers=4 row reaches this speedup; "
+                  "requires >= 4 hardware threads (0 = no gate)",
+                  "0");
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n", args.error().c_str());
     return 2;
@@ -136,6 +156,41 @@ int main(int argc, char** argv) {
   } else {
     for (const double scale : {1.0, 4.0, 16.0}) BenchScale(scale, points);
   }
-  if (const auto path = args.get("json")) return WriteJson(*path, points);
+  if (const auto path = args.get("json")) {
+    if (const int rc = WriteJson(*path, points)) return rc;
+  }
+  if (args.has("strict")) {
+    for (const auto& p : points) {
+      if (p.oversubscribed) {
+        std::fprintf(stderr,
+                     "strict: %d workers exceeded the %d hardware threads; these "
+                     "numbers do not measure parallel scaling\n",
+                     p.workers, p.hardware_threads);
+        return 3;
+      }
+    }
+  }
+  if (const double gate = args.get_double("gate-speedup", 0.0); gate > 0.0) {
+    const int hw = ThreadPool::HardwareWorkers();
+    if (hw < 4) {
+      std::fprintf(stderr,
+                   "gate-speedup: needs >= 4 hardware threads to certify the "
+                   "4-worker speedup, this machine has %d\n",
+                   hw);
+      return 4;
+    }
+    for (const auto& p : points) {
+      if (p.workers != 4) continue;
+      if (p.speedup < gate) {
+        std::fprintf(stderr,
+                     "gate-speedup: scale %.0f at 4 workers reached %.2fx, gate "
+                     "is %.2fx\n",
+                     p.scale, p.speedup, gate);
+        return 4;
+      }
+      std::printf("gate-speedup: scale %.0f at 4 workers %.2fx >= %.2fx ok\n", p.scale,
+                  p.speedup, gate);
+    }
+  }
   return 0;
 }

@@ -55,6 +55,11 @@ class IngestBatch final : public RecordSink {
 
   void add_record(Record r) override { store_.add(windows_, std::move(r)); }
 
+  /// Bulk staging: the whole batch lands with a single virtual dispatch.
+  void add_records(std::vector<Record> records) override {
+    for (Record& r : records) store_.add(windows_, std::move(r));
+  }
+
   [[nodiscard]] std::size_t rows() const { return store_.total_rows(); }
 
  private:
@@ -81,6 +86,12 @@ class DataRepository final : public RecordSink {
   /// Append one record. Window clipping/rejection comes from the record's
   /// Schema<>::Admit, mirroring server-side checks.
   void add_record(Record r) override { store_.add(windows_, std::move(r)); }
+
+  /// Bulk append (single virtual dispatch). Like add_record, single-
+  /// threaded by contract; parallel runs stage through IngestBatch.
+  void add_records(std::vector<Record> records) override {
+    for (Record& r : records) store_.add(windows_, std::move(r));
+  }
 
   /// A fresh staging buffer sharing this repository's windows.
   [[nodiscard]] IngestBatch make_batch() const { return IngestBatch(windows_); }

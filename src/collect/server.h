@@ -50,7 +50,7 @@ class CollectionServer {
   std::uint64_t received_{0};
   std::uint64_t lost_{0};
 
-  void ingest_exact(HomeId home, const Interval& iv, Rng& rng);
+  void ingest_exact(HomeId home, const Interval& iv, Rng& rng, std::vector<Record>& staged);
 };
 
 }  // namespace bismark::collect

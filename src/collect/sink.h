@@ -8,13 +8,15 @@
 // afterwards, while single-threaded callers keep handing a DataRepository
 // straight to the producers.
 //
-// There is exactly one virtual dispatch point, add_record(Record), so a
-// sink implementation covers every record kind by construction — a new
-// entry in RecordTypes reaches every sink without touching them. The named
-// add_* entry points are non-virtual conveniences over it.
+// The dispatch surface is add_record(Record) plus a bulk add_records()
+// that defaults to it, so a sink implementation covers every record kind
+// by construction — a new entry in RecordTypes reaches every sink without
+// touching them. The named add_* entry points are non-virtual
+// conveniences over add_record.
 #pragma once
 
 #include <utility>
+#include <vector>
 
 #include "collect/schema.h"
 
@@ -26,6 +28,15 @@ class RecordSink {
 
   /// The single dispatch point: every producer path funnels through here.
   virtual void add_record(Record r) = 0;
+
+  /// Bulk entry point for staged producers (the collection server's
+  /// heartbeat runs, the collector's ingest gate): one virtual dispatch
+  /// per batch instead of one per record. The default forwards
+  /// record-by-record; sinks with native bulk storage (IngestBatch,
+  /// DataRepository) override it.
+  virtual void add_records(std::vector<Record> records) {
+    for (Record& r : records) add_record(std::move(r));
+  }
 
   /// Typed convenience: wraps the record into the variant.
   template <typename T>

@@ -8,7 +8,10 @@ bool IdempotentIngest::deliver(const UploadBatch& batch) {
     ++stats_.batches_deduped;
     return false;
   }
-  for (const Record& r : batch.records) DeliverRecord(*sink_, r);
+  // The batch stays owned by the uploader (it may need to retransmit a
+  // lost ack), so the sink gets a copy — but committed in bulk, one
+  // virtual dispatch for the whole batch.
+  sink_->add_records(batch.records);
   ++stats_.batches_committed;
   stats_.records_committed += batch.records.size();
   return true;

@@ -13,7 +13,8 @@ struct ThreadPool::Round {
   std::atomic<std::size_t> cursor{0};
   std::atomic<int> in_flight{0};  // workers currently inside run_tasks
   std::vector<WorkerStats> stats;  // one slot per worker, single-writer each
-  std::mutex error_mu;
+  std::atomic<bool> failed{false};  // lock-free per-task check
+  std::mutex error_mu;              // guards first_error only
   std::exception_ptr first_error;
   std::condition_variable done_cv;
   std::mutex done_mu;
@@ -43,10 +44,7 @@ int ThreadPool::HardwareWorkers() {
 void ThreadPool::run_tasks(Round& round, int worker_index) {
   while (true) {
     // Stop dealing tasks once a task has thrown; in-flight tasks finish.
-    {
-      const std::lock_guard<std::mutex> lock(round.error_mu);
-      if (round.first_error) break;
-    }
+    if (round.failed.load(std::memory_order_relaxed)) break;
     const std::size_t task = round.cursor.fetch_add(1);
     if (task >= round.count) break;
     const auto t0 = std::chrono::steady_clock::now();
@@ -55,6 +53,7 @@ void ThreadPool::run_tasks(Round& round, int worker_index) {
     } catch (...) {
       const std::lock_guard<std::mutex> lock(round.error_mu);
       if (!round.first_error) round.first_error = std::current_exception();
+      round.failed.store(true, std::memory_order_relaxed);
     }
     WorkerStats& ws = round.stats[static_cast<std::size_t>(worker_index)];
     ++ws.tasks;
@@ -63,13 +62,23 @@ void ThreadPool::run_tasks(Round& round, int worker_index) {
 }
 
 void ThreadPool::worker_loop(int worker_index) {
+  // Each round gets one visit per worker. Without the sequence check, a
+  // worker that drained the cursor would see round_ still published (the
+  // caller is busy running tasks of its own), re-join instantly, find no
+  // work, and spin through the mutex until the round ends — a hot loop
+  // that starves the workers still doing real work and is a big part of
+  // why sharded runs used to lose to serial.
+  std::uint64_t seen_seq = 0;
   while (true) {
     Round* round = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || round_ != nullptr; });
+      work_cv_.wait(lock, [this, seen_seq] {
+        return shutdown_ || (round_ != nullptr && round_seq_ != seen_seq);
+      });
       if (shutdown_) return;
       round = round_;
+      seen_seq = round_seq_;
       round->in_flight.fetch_add(1);
     }
     run_tasks(*round, worker_index);
@@ -97,6 +106,7 @@ void ThreadPool::parallel_for(std::size_t count,
     {
       const std::lock_guard<std::mutex> lock(mu_);
       round_ = &round;
+      ++round_seq_;
     }
     work_cv_.notify_all();
   }

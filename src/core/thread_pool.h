@@ -62,6 +62,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;
   Round* round_{nullptr};  // non-null while a round is being executed
+  std::uint64_t round_seq_{0};  // guards against re-joining a drained round
   bool shutdown_{false};
 
   void worker_loop(int worker_index);

@@ -25,10 +25,13 @@ constexpr std::uint64_t kTrafficSalt = 0x7AFF1C;
 // *fault* seed, so fault scenarios vary without touching record content.
 constexpr std::uint64_t kUploadSalt = 0xB10AD;
 
-/// Homes per shard. Fixed (not derived from the worker count) so the
-/// partition itself is deterministic; small enough that the handful of
-/// traffic-consented homes spread across several shards and the pool's
-/// dynamic scheduling can balance them.
+/// Homes per shard for homes *without* traffic consent. Fixed (not derived
+/// from the worker count) so the partition itself is deterministic. The
+/// consented homes — each of which runs the full traffic window on the
+/// event engine and costs an order of magnitude more — get singleton
+/// shards instead (see Deployment::shard_plan), so the pool's dynamic
+/// cursor can steal them individually rather than dragging a whole
+/// 4-home block behind the heaviest member.
 constexpr std::size_t kShardHomes = 4;
 
 /// Per-worker flight-recorder depth: enough to see the tail of a failing
@@ -227,6 +230,9 @@ void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
   obs::Counter ev_executed = metrics.counter("bismark_engine_events_executed_total");
   obs::Counter ev_scheduled = metrics.counter("bismark_engine_events_scheduled_total");
   obs::Counter ev_cancelled = metrics.counter("bismark_engine_events_cancelled_total");
+  obs::Counter cb_inline = metrics.counter("bismark_engine_callbacks_inline_total");
+  obs::Counter cb_heap = metrics.counter("bismark_engine_callbacks_heap_total");
+  obs::Gauge queue_peak = metrics.gauge("bismark_engine_queue_peak");
   obs::Gauge spooled_max = metrics.gauge("bismark_home_records_spooled_max");
 
   for (std::size_t i = lo; i < hi; ++i) {
@@ -302,10 +308,15 @@ void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
       metrics.counter(name).inc(lost);
     }
     // Engine counters reset per home (engine.reset above), so the deltas
-    // must be banked before the next home reuses the engine.
+    // must be banked before the next home reuses the engine. All of them
+    // are per-home deterministic (the arena slab high-water is the one
+    // worker-dependent figure, and it stays out of the registry).
     ev_executed.inc(engine.executed());
     ev_scheduled.inc(engine.scheduled());
     ev_cancelled.inc(engine.cancelled());
+    cb_inline.inc(engine.callbacks_inline());
+    cb_heap.inc(engine.callbacks_heap());
+    queue_peak.observe(static_cast<double>(engine.queue_peak()));
   }
 }
 
@@ -387,11 +398,35 @@ std::uint64_t Deployment::run_shard_traffic(std::size_t lo, std::size_t hi,
   metrics.counter("bismark_engine_events_executed_total").inc(engine.executed());
   metrics.counter("bismark_engine_events_scheduled_total").inc(engine.scheduled());
   metrics.counter("bismark_engine_events_cancelled_total").inc(engine.cancelled());
+  metrics.counter("bismark_engine_callbacks_inline_total").inc(engine.callbacks_inline());
+  metrics.counter("bismark_engine_callbacks_heap_total").inc(engine.callbacks_heap());
+  metrics.gauge("bismark_engine_queue_peak").observe(static_cast<double>(engine.queue_peak()));
   return engine.executed();
 }
 
-std::size_t Deployment::shard_count() const {
-  return (households_.size() + kShardHomes - 1) / kShardHomes;
+std::vector<Deployment::ShardSpan> Deployment::shard_plan() const {
+  std::vector<ShardSpan> heavy;
+  std::vector<ShardSpan> light;
+  const std::size_t n = households_.size();
+  std::size_t run_start = 0;
+  const auto flush_light = [&](std::size_t end) {
+    for (std::size_t lo = run_start; lo < end; lo += kShardHomes) {
+      light.push_back(ShardSpan{lo, std::min(end, lo + kShardHomes)});
+    }
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (households_[i]->consent() == gateway::ConsentLevel::kFullTraffic) {
+      flush_light(i);
+      heavy.push_back(ShardSpan{i, i + 1});
+      run_start = i + 1;
+    }
+  }
+  flush_light(n);
+  // Heavy singletons first: the dynamic cursor deals tasks in index order,
+  // so the long-pole shards start immediately and the cheap blocks fill
+  // the stragglers' idle time.
+  heavy.insert(heavy.end(), light.begin(), light.end());
+  return heavy;
 }
 
 void Deployment::run() {
@@ -406,8 +441,8 @@ void Deployment::run() {
 
   const int workers =
       options_.workers > 0 ? options_.workers : ThreadPool::HardwareWorkers();
-  const std::size_t n = households_.size();
-  const std::size_t shards = shard_count();
+  const std::vector<ShardSpan> plan = shard_plan();
+  const std::size_t shards = plan.size();
 
   // One staging batch and one metrics shard per *shard* (determinism unit),
   // one engine and one flight recorder per *worker* (execution unit). The
@@ -429,8 +464,8 @@ void Deployment::run() {
 
   const auto t_sharded = std::chrono::steady_clock::now();
   pool.parallel_for(shards, [&](std::size_t shard, int worker) {
-    const std::size_t lo = shard * kShardHomes;
-    const std::size_t hi = std::min(n, lo + kShardHomes);
+    const std::size_t lo = plan[shard].lo;
+    const std::size_t hi = plan[shard].hi;
     collect::IngestBatch& batch = batches[shard];
     obs::MetricsShard& metrics = metric_shards[shard];
     obs::FlightRecorder* recorder = recorders_[static_cast<std::size_t>(worker)].get();

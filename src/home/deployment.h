@@ -127,6 +127,20 @@ class Deployment {
   /// Ground truth of the collector's own downtime (for validating the
   /// artifact detector; empty when collector_outages_per_month is 0).
   [[nodiscard]] const IntervalSet& collector_outages() const { return collector_down_; }
+  /// One contiguous run of homes simulated as a unit (a determinism unit:
+  /// one IngestBatch, one MetricsShard).
+  struct ShardSpan {
+    std::size_t lo{0};
+    std::size_t hi{0};
+  };
+  /// The shard partition: each traffic-consented home is its own shard
+  /// (they cost an order of magnitude more than the rest), listed first so
+  /// the pool's dynamic cursor deals the heavy work out early; everyone
+  /// else is grouped into small fixed blocks. A pure function of the
+  /// roster — never of the worker count — so the merge order, and with it
+  /// every export byte, is identical at any --workers value.
+  [[nodiscard]] std::vector<ShardSpan> shard_plan() const;
+
   /// Upload-pipeline accounting for the last run() (all homes summed).
   [[nodiscard]] const UploadStats& upload_stats() const { return upload_stats_; }
   /// The fault plan the last run() uploaded through (outages + loss).
@@ -139,7 +153,7 @@ class Deployment {
   [[nodiscard]] const RunTelemetry& telemetry() const { return telemetry_; }
   /// Shard count the roster partitions into (fixed by the roster, not by
   /// the worker count).
-  [[nodiscard]] std::size_t shard_count() const;
+  [[nodiscard]] std::size_t shard_count() const { return shard_plan().size(); }
 
   /// Post-mortem: dump every worker's flight recorder, merged and ordered
   /// by simulated time. Intended for test-failure diagnostics.

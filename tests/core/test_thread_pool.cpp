@@ -64,6 +64,39 @@ TEST(ThreadPoolTest, FirstExceptionPropagatesAndStopsDealing) {
   EXPECT_LT(ran.load(), 1000);
 }
 
+// After a task throws, the remaining tasks are skipped (not run against a
+// half-failed round) and the pool stays usable for the next round — the
+// deployment runner reuses one pool across heartbeat/passive/traffic stages.
+TEST(ThreadPoolTest, PoolIsReusableAfterException) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  try {
+    pool.parallel_for(500, [&](std::size_t task, int) {
+      if (task == 2) throw std::runtime_error("boom");
+      ran.fetch_add(1);
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_LT(ran.load(), 500);  // the failure skipped the remaining tasks
+  std::atomic<int> total{0};
+  pool.parallel_for(50, [&](std::size_t, int) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 50);
+}
+
+// Rapid small rounds: each worker repeatedly drains the cursor and must
+// park until the *next* round is published, not re-join the drained one.
+// Every task runs exactly once per round.
+TEST(ThreadPoolTest, ManyShortRoundsRunEachTaskOnce) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> hits{0};
+    pool.parallel_for(7, [&](std::size_t, int) { hits.fetch_add(1); });
+    ASSERT_EQ(hits.load(), 7) << "round " << round;
+  }
+}
+
 TEST(ThreadPoolTest, WorkerCountIsClampedToOne) {
   ThreadPool pool(-2);
   EXPECT_EQ(pool.workers(), 1);

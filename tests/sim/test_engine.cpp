@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
 #include <vector>
 
 #include "core/rng.h"
@@ -150,6 +152,126 @@ TEST(EngineTest, ExecutedCounter) {
   engine.run_until(t0 + Minutes(1));
   EXPECT_EQ(engine.executed(), 7u);
   EXPECT_EQ(engine.pending(), 0u);
+}
+
+// Regression: the old engine only checked the *top* event's deadline, then
+// step()ed — which skipped cancelled tombstones and ran the next live event
+// even when it lay past the horizon. A cancelled early event must never
+// open the gate for a later one.
+TEST(EngineTest, RunUntilDoesNotExecutePastHorizon) {
+  Engine engine(t0);
+  int fired = 0;
+  EventHandle early = engine.schedule_at(t0 + Seconds(5), [&] { ++fired; });
+  engine.schedule_at(t0 + Seconds(15), [&] { ++fired; });
+  early.cancel();
+  engine.run_until(t0 + Seconds(10));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(engine.now(), t0 + Seconds(10));
+  EXPECT_EQ(engine.cancelled(), 1u);
+  EXPECT_EQ(engine.pending(), 1u);
+  engine.run_until(t0 + Seconds(20));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, CancelledEventsLeaveTheQueue) {
+  Engine engine(t0);
+  EventHandle a = engine.schedule_at(t0 + Seconds(1), [] {});
+  EventHandle b = engine.schedule_at(t0 + Seconds(2), [] {});
+  EXPECT_EQ(engine.pending(), 2u);
+  a.cancel();
+  EXPECT_EQ(engine.pending(), 1u);
+  b.cancel();
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_FALSE(engine.step());
+  EXPECT_EQ(engine.cancelled(), 2u);
+}
+
+// A handle that already fired is stale: cancelling it must be a no-op even
+// when its arena slot has since been handed to a new event.
+TEST(EngineTest, CancelAfterFireIsNoOp) {
+  Engine engine(t0);
+  int fired_a = 0;
+  int fired_b = 0;
+  EventHandle a = engine.schedule_at(t0 + Seconds(1), [&] { ++fired_a; });
+  engine.run_until(t0 + Seconds(2));
+  EXPECT_EQ(fired_a, 1);
+  EXPECT_FALSE(a.active());
+  // The freed slot is at the head of the free list, so b reuses it.
+  EventHandle b = engine.schedule_at(t0 + Seconds(5), [&] { ++fired_b; });
+  a.cancel();
+  EXPECT_TRUE(b.active());
+  engine.run_until(t0 + Seconds(10));
+  EXPECT_EQ(fired_b, 1);
+  EXPECT_EQ(engine.cancelled(), 0u);
+}
+
+// Regression: the old schedule_every closure held a shared_ptr to its own
+// control block, so cancelled repeating events leaked their captures until
+// engine teardown. The arena re-arms in place: one closure for the life of
+// the event, destroyed the moment it is cancelled.
+TEST(EngineTest, CancelledRepeatingClosureStateIsDestroyed) {
+  Engine engine(t0);
+  auto state = std::make_shared<int>(0);
+  EventHandle h = engine.schedule_every(Minutes(1), [state](TimePoint) { ++*state; });
+  EXPECT_EQ(state.use_count(), 2);
+  engine.run_until(t0 + Minutes(3));
+  EXPECT_EQ(*state, 4);  // 0, 1, 2, 3 minutes
+  EXPECT_EQ(state.use_count(), 2);  // re-armed in place, no closure copies
+  h.cancel();
+  EXPECT_EQ(state.use_count(), 1);  // capture released immediately
+}
+
+TEST(EngineTest, OneShotClosureStateDestroyedAfterFire) {
+  Engine engine(t0);
+  auto state = std::make_shared<int>(0);
+  engine.schedule_at(t0 + Seconds(1), [state] { ++*state; });
+  EXPECT_EQ(state.use_count(), 2);
+  engine.run_until(t0 + Seconds(2));
+  EXPECT_EQ(*state, 1);
+  EXPECT_EQ(state.use_count(), 1);
+}
+
+// The sharded runner drives many homes through one engine via reset():
+// stale handles from before the reset must be inert, counters must read
+// fresh, and the retained arena must serve new events.
+TEST(EngineTest, ResetReusesArenaAcrossShards) {
+  Engine engine(t0);
+  int fired = 0;
+  EventHandle h = engine.schedule_every(Minutes(1), [&](TimePoint) { ++fired; });
+  engine.schedule_at(t0 + Hours(2), [&] { ++fired; });  // never reached
+  engine.run_until(t0 + Minutes(2));
+  EXPECT_EQ(fired, 3);
+
+  const TimePoint t1 = MakeTime({2013, 5, 1});
+  engine.reset(t1);
+  EXPECT_EQ(engine.now(), t1);
+  EXPECT_EQ(engine.pending(), 0u);
+  EXPECT_EQ(engine.executed(), 0u);
+  EXPECT_EQ(engine.scheduled(), 0u);
+  EXPECT_EQ(engine.cancelled(), 0u);
+  EXPECT_FALSE(h.active());
+
+  int fired2 = 0;
+  engine.schedule_at(t1 + Seconds(1), [&] { ++fired2; });
+  h.cancel();  // stale generation: must not touch the slot's new tenant
+  engine.run_until(t1 + Seconds(10));
+  EXPECT_EQ(fired2, 1);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(engine.cancelled(), 0u);
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+TEST(EngineTest, LargeCallbacksSpillToHeap) {
+  Engine engine(t0);
+  std::array<char, 128> big{};
+  big[0] = 1;
+  int fired = 0;
+  engine.schedule_at(t0 + Seconds(1), [&fired, big] { fired += big[0]; });
+  EXPECT_GE(engine.callbacks_heap(), 1u);
+  engine.schedule_at(t0 + Seconds(2), [&fired] { ++fired; });
+  EXPECT_GE(engine.callbacks_inline(), 1u);
+  engine.run_until(t0 + Seconds(5));
+  EXPECT_EQ(fired, 2);
 }
 
 TEST(EngineTest, HeavyLoadStaysOrdered) {

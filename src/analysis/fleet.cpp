@@ -1,0 +1,116 @@
+#include "analysis/fleet.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <vector>
+
+namespace bismark::analysis {
+
+namespace {
+
+/// Per-home scalar state for the per-home distributions. Indexed by home
+/// id, which the deployment mints densely from the roster index.
+struct HomeAgg {
+  double covered_ms{0.0};
+  std::uint32_t heartbeat_runs{0};
+  int max_unique_devices{-1};
+};
+
+}  // namespace
+
+FleetSummary SummarizeFleet(const collect::DataRepository& repo) {
+  FleetSummary out;
+  out.homes = repo.homes().size();
+  out.rows = repo.total_rows();
+
+  int max_id = -1;
+  for (const collect::HomeInfo& info : repo.homes()) {
+    max_id = std::max(max_id, info.id.value);
+  }
+  std::vector<HomeAgg> agg(static_cast<std::size_t>(max_id + 1));
+  const auto slot = [&agg, max_id](collect::HomeId id) -> HomeAgg* {
+    if (id.value < 0 || id.value > max_id) return nullptr;
+    return &agg[static_cast<std::size_t>(id.value)];
+  };
+
+  repo.for_each_row<collect::HeartbeatRun>([&](const collect::HeartbeatRun& run) {
+    if (HomeAgg* a = slot(run.home)) {
+      a->covered_ms += static_cast<double>((run.end - run.start).ms);
+      ++a->heartbeat_runs;
+    }
+  });
+  repo.for_each_row<collect::DeviceCountRecord>([&](const collect::DeviceCountRecord& rec) {
+    if (HomeAgg* a = slot(rec.home)) {
+      a->max_unique_devices = std::max(a->max_unique_devices, rec.unique_total);
+    }
+  });
+  repo.for_each_row<collect::CapacityRecord>([&](const collect::CapacityRecord& rec) {
+    out.capacity_down_mbps.add(rec.downstream.mbps());
+    out.capacity_up_mbps.add(rec.upstream.mbps());
+  });
+  repo.for_each_row<collect::WifiScanRecord>([&](const collect::WifiScanRecord& rec) {
+    out.visible_aps.add(static_cast<double>(rec.visible_aps));
+    out.associated_clients.add(static_cast<double>(rec.associated_clients));
+  });
+  repo.for_each_row<collect::ThroughputMinute>([&](const collect::ThroughputMinute& rec) {
+    out.throughput_down_mbps.add(rec.peak_down_bps / 1e6);
+  });
+  repo.for_each_row<collect::TrafficFlowRecord>([&](const collect::TrafficFlowRecord& rec) {
+    out.flow_kbytes.add(rec.total_bytes().kb());
+  });
+
+  const Interval hb = repo.windows().heartbeats;
+  const double window_ms = static_cast<double>((hb.end - hb.start).ms);
+  const double window_days = window_ms / (24.0 * 3600.0 * 1000.0);
+  for (const collect::HomeInfo& info : repo.homes()) {
+    const HomeAgg& a = agg[static_cast<std::size_t>(info.id.value)];
+    if (info.reports_uptime && window_ms > 0.0) {
+      out.availability_fraction.add(std::min(1.0, a.covered_ms / window_ms));
+      if (a.heartbeat_runs > 0 && window_days > 0.0) {
+        out.downtimes_per_day.add(static_cast<double>(a.heartbeat_runs - 1) / window_days);
+      }
+    }
+    if (info.reports_devices && a.max_unique_devices >= 0) {
+      out.unique_devices.add(static_cast<double>(a.max_unique_devices));
+    }
+  }
+  return out;
+}
+
+void WriteFleetSummary(const FleetSummary& summary, std::ostream& out) {
+  out << "Fleet summary: " << summary.homes << " homes, " << summary.rows
+      << " rows (streaming sketches, eps "
+      << summary.availability_fraction.eps() << ")\n";
+  out << "  " << std::left << std::setw(26) << "distribution" << std::right
+      << std::setw(9) << "samples";
+  for (const char* col : {"p10", "p50", "p90", "p99", "max"}) {
+    out << ' ' << std::setw(10) << col;
+  }
+  out << '\n';
+  const auto row = [&out](const char* name, const QuantileSketch& s) {
+    out << "  " << std::left << std::setw(26) << name << std::right
+        << std::setw(9) << s.count() << std::fixed << std::setprecision(2);
+    if (s.empty()) {
+      for (int i = 0; i < 5; ++i) out << ' ' << std::setw(10) << "-";
+    } else {
+      for (const double v : {s.quantile(0.10), s.quantile(0.50), s.quantile(0.90),
+                             s.quantile(0.99), s.max()}) {
+        out << ' ' << std::setw(10) << v;
+      }
+    }
+    out.unsetf(std::ios::fixed);
+    out << std::setprecision(6) << '\n';
+  };
+  row("availability fraction", summary.availability_fraction);
+  row("downtimes / day", summary.downtimes_per_day);
+  row("unique devices", summary.unique_devices);
+  row("capacity down (Mbps)", summary.capacity_down_mbps);
+  row("capacity up (Mbps)", summary.capacity_up_mbps);
+  row("visible APs / scan", summary.visible_aps);
+  row("assoc clients / scan", summary.associated_clients);
+  row("peak minute down (Mbps)", summary.throughput_down_mbps);
+  row("flow size (KB)", summary.flow_kbytes);
+}
+
+}  // namespace bismark::analysis

@@ -1,0 +1,54 @@
+// Streaming fleet analysis: the Figures 3-20 headline distributions,
+// computed from one pass over each record stream with Greenwald-Khanna
+// quantile sketches (core/stats.h) instead of resident row vectors.
+//
+// This is the analysis path that works at fleet scale: the repository may
+// be spill-backed (collect/spill.h), in which case `for_each_row` streams
+// segment files and nothing here ever holds a full data set. Per-home
+// scalar accumulators are the only O(homes) state (a few dozen bytes per
+// home); every distribution is an eps-bounded sketch.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "collect/repository.h"
+#include "core/stats.h"
+
+namespace bismark::analysis {
+
+/// Headline distributions of a deployment, each a streaming quantile
+/// sketch (rank error <= eps, default 0.5 %).
+struct FleetSummary {
+  std::size_t homes{0};
+  std::uint64_t rows{0};
+
+  // --- Per-home samples (one value per contributing home) ---
+  /// Fraction of the heartbeat window the home was reachable (Figs 3-4).
+  QuantileSketch availability_fraction;
+  /// Heartbeat-run boundaries per day, the downtime-rate proxy (Fig. 4).
+  QuantileSketch downtimes_per_day;
+  /// Distinct devices ever seen in the Devices window (Figs 7, 10).
+  QuantileSketch unique_devices;
+
+  // --- Per-row samples ---
+  /// ShaperProbe capacity, one sample per probe (Figs 5, 11).
+  QuantileSketch capacity_down_mbps;
+  QuantileSketch capacity_up_mbps;
+  /// Visible neighbour APs per WiFi scan (Fig. 9).
+  QuantileSketch visible_aps;
+  /// Associated clients per scan (Fig. 13's instantaneous view).
+  QuantileSketch associated_clients;
+  /// Downstream throughput per busy minute, Mbit/s (Figs 14-15).
+  QuantileSketch throughput_down_mbps;
+  /// Flow sizes, kilobytes (Figs 17-20's volume distributions).
+  QuantileSketch flow_kbytes;
+};
+
+/// One streaming pass per data set over `repo` (resident or spilled).
+[[nodiscard]] FleetSummary SummarizeFleet(const collect::DataRepository& repo);
+
+/// Render the summary as a fixed-width quantile table (p10/p50/p90/p99).
+void WriteFleetSummary(const FleetSummary& summary, std::ostream& out);
+
+}  // namespace bismark::analysis

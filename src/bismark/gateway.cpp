@@ -53,7 +53,14 @@ void Gateway::on_flow_open(const traffic::FlowOpen& open) {
   syn.direction = net::Direction::kUpstream;
   syn.lan_mac = open.device_mac;
   nat_.translate_outbound(syn);
-  open_flows_[open.id] = open.lan_tuple;
+  const auto it = std::lower_bound(open_flow_ids_.begin(), open_flow_ids_.end(), open.id);
+  if (it != open_flow_ids_.end() && *it == open.id) {
+    open_flow_tuples_[static_cast<std::size_t>(it - open_flow_ids_.begin())] = open.lan_tuple;
+  } else {
+    const auto pos = it - open_flow_ids_.begin();
+    open_flow_ids_.insert(it, open.id);
+    open_flow_tuples_.insert(open_flow_tuples_.begin() + pos, open.lan_tuple);
+  }
   maybe_gc_nat(open.opened);
 
   // Let the LAN-side learning tables see the device.
@@ -62,13 +69,19 @@ void Gateway::on_flow_open(const traffic::FlowOpen& open) {
   radio5_.touch(open.device_mac, open.opened);
 }
 
+std::size_t Gateway::find_open_flow(net::FlowId id) const {
+  const auto it = std::lower_bound(open_flow_ids_.begin(), open_flow_ids_.end(), id);
+  if (it == open_flow_ids_.end() || !(*it == id)) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(it - open_flow_ids_.begin());
+}
+
 void Gateway::on_chunk(const traffic::FlowChunk& chunk) {
   // Keep the conntrack entry warm, as continuing packets would.
-  const auto it = open_flows_.find(chunk.id);
-  if (it != open_flows_.end()) {
+  const std::size_t pos = find_open_flow(chunk.id);
+  if (pos != static_cast<std::size_t>(-1)) {
     net::Packet pkt;
     pkt.timestamp = chunk.start;
-    pkt.tuple = it->second;
+    pkt.tuple = open_flow_tuples_[pos];
     pkt.size = B(1500);
     pkt.direction = net::Direction::kUpstream;
     nat_.translate_outbound(pkt);
@@ -76,7 +89,10 @@ void Gateway::on_chunk(const traffic::FlowChunk& chunk) {
 }
 
 void Gateway::on_flow_close(const net::FlowRecord& record) {
-  open_flows_.erase(record.id);
+  if (const std::size_t pos = find_open_flow(record.id); pos != static_cast<std::size_t>(-1)) {
+    open_flow_ids_.erase(open_flow_ids_.begin() + static_cast<std::ptrdiff_t>(pos));
+    open_flow_tuples_.erase(open_flow_tuples_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
 
   // Per-device accounting feeds Figs 12/17/20 regardless of consent; it
   // leaves the home only in anonymised, aggregate form.

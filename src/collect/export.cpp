@@ -20,11 +20,11 @@ std::size_t WriteReleaseCsv(const DataRepository& repo, std::ostream& out) {
   cells.reserve(cols.size());
   for (const auto& c : cols) cells.emplace_back(c.name);
   csv.write_row(cells);
-  for (const auto& r : repo.rows<T>()) {
+  repo.for_each_row<T>([&](const T& r) {
     cells.clear();
     for (const auto& c : cols) cells.push_back(c.encode(r));
     csv.write_row(cells);
-  }
+  });
   return csv.rows_written() - 1;
 }
 }  // namespace
@@ -73,7 +73,7 @@ std::size_t ExportDatasetCsv(const DataRepository& repo, std::ostream& out) {
   std::apply([&cells](const auto&... field) { (cells.emplace_back(field.name), ...); },
              Schema<T>::Fields());
   csv.write_row(cells);
-  for (const auto& r : repo.rows<T>()) {
+  repo.for_each_row<T>([&](const T& r) {
     cells.clear();
     std::apply(
         [&cells, &r](const auto&... field) {
@@ -81,7 +81,7 @@ std::size_t ExportDatasetCsv(const DataRepository& repo, std::ostream& out) {
         },
         Schema<T>::Fields());
     csv.write_row(cells);
-  }
+  });
   return csv.rows_written() - 1;
 }
 

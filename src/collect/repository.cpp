@@ -28,7 +28,12 @@ DatasetWindows DatasetWindows::Compressed(TimePoint start, int heartbeat_weeks) 
   return w;
 }
 
-void DataRepository::register_home(HomeInfo info) { homes_.push_back(std::move(info)); }
+void DataRepository::register_home(HomeInfo info) {
+  // Fleet runs register homes from worker threads as shards complete;
+  // finalize_deterministic_order() restores the canonical (id) order.
+  const std::lock_guard<std::mutex> lock(commit_mu_);
+  homes_.push_back(std::move(info));
+}
 
 const HomeInfo* DataRepository::find_home(HomeId id) const {
   for (const auto& h : homes_) {
@@ -38,8 +43,71 @@ const HomeInfo* DataRepository::find_home(HomeId id) const {
 }
 
 void DataRepository::commit(IngestBatch&& batch) {
+  if (batch.spilling()) {
+    // Rows already live in segment sections; write out the remainder. The
+    // section registry is thread-safe, so no commit lock is needed.
+    batch.flush_spill();
+    return;
+  }
   const std::lock_guard<std::mutex> lock(commit_mu_);
   store_.append(std::move(batch.store_));
+}
+
+void DataRepository::enable_spill(SpillConfig config) {
+  if (config.workers == 0) config.workers = 1;
+  spill_ = std::make_unique<SpillDir>(std::move(config));
+}
+
+void DataRepository::finalize_deterministic_order() {
+  std::sort(homes_.begin(), homes_.end(),
+            [](const HomeInfo& a, const HomeInfo& b) { return a.id.value < b.id.value; });
+  store_.sort_canonical();
+  if (spill_ != nullptr) spill_->sync_all();
+}
+
+void IngestBatch::attach_spill(SpillDir* dir, std::uint32_t shard, std::size_t worker) {
+  spill_ = dir;
+  log_ = &dir->log_for_worker(worker);
+  shard_ = shard;
+  flush_threshold_ = dir->config().flush_threshold();
+  staged_bytes_ = 0;
+}
+
+void IngestBatch::flush_spill() {
+  if (spill_ == nullptr) return;
+  BinWriter row_w;
+  std::string body;
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    auto& vec = store_.rows<T>();
+    if (vec.empty()) return;
+    // Each section is one stable-sorted run: within a shard, runs are
+    // flushed in chronological append order, which is exactly the residual
+    // tie order the in-RAM stable sort preserves (see spill.h).
+    std::stable_sort(vec.begin(), vec.end(), [](const T& a, const T& b) {
+      return Schema<T>::SortKey(a) < Schema<T>::SortKey(b);
+    });
+    body.clear();
+    for (const T& row : vec) {
+      row_w.clear();
+      EncodeRow(row_w, row);
+      const auto len = static_cast<std::uint32_t>(row_w.size());
+      char prefix[4];
+      for (std::size_t i = 0; i < 4; ++i) {
+        prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+      }
+      body.append(prefix, 4);
+      body.append(row_w.buffer());
+    }
+    constexpr std::size_t kKind = kRecordIndexOf<T>;
+    const SectionRef ref = log_->append(shard_, runs_[kKind]++, vec.size(), body);
+    spill_->register_section(kKind, ref);
+    // Deallocate rather than clear(): the runner keeps every shard's batch
+    // object alive until the run ends, so retained capacity across
+    // thousands of committed batches would pin the whole dataset in RAM.
+    std::vector<T>().swap(vec);
+  });
+  staged_bytes_ = 0;
 }
 
 namespace {
@@ -70,11 +138,11 @@ std::vector<CapacityRecord> DataRepository::capacity_for(HomeId id) const {
 }
 
 DataRepository::Counts DataRepository::counts() const {
-  return Counts{rows<HeartbeatRun>().size(),    rows<UptimeRecord>().size(),
-                rows<CapacityRecord>().size(),  rows<DeviceCountRecord>().size(),
-                rows<WifiScanRecord>().size(),  rows<TrafficFlowRecord>().size(),
-                rows<ThroughputMinute>().size(), rows<DnsLogRecord>().size(),
-                rows<DeviceTrafficRecord>().size()};
+  return Counts{row_count<HeartbeatRun>(),    row_count<UptimeRecord>(),
+                row_count<CapacityRecord>(),  row_count<DeviceCountRecord>(),
+                row_count<WifiScanRecord>(),  row_count<TrafficFlowRecord>(),
+                row_count<ThroughputMinute>(), row_count<DnsLogRecord>(),
+                row_count<DeviceTrafficRecord>()};
 }
 
 }  // namespace bismark::collect

@@ -7,12 +7,16 @@
 // RecordStore plus bookkeeping.
 #pragma once
 
+#include <array>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "collect/records.h"
 #include "collect/sink.h"
+#include "collect/spill.h"
 #include "collect/store.h"
 #include "core/intervals.h"
 #include "core/time.h"
@@ -53,19 +57,55 @@ class IngestBatch final : public RecordSink {
  public:
   explicit IngestBatch(DatasetWindows windows) : windows_(windows) {}
 
-  void add_record(Record r) override { store_.add(windows_, std::move(r)); }
+  void add_record(Record r) override {
+    std::visit([this](auto&& rec) { this->add_one(std::move(rec)); }, std::move(r));
+  }
 
   /// Bulk staging: the whole batch lands with a single virtual dispatch.
   void add_records(std::vector<Record> records) override {
-    for (Record& r : records) store_.add(windows_, std::move(r));
+    for (Record& r : records) add_record(std::move(r));
   }
 
   [[nodiscard]] std::size_t rows() const { return store_.total_rows(); }
 
+  /// Route this batch through the spill dir: rows past the flush threshold
+  /// are stable-sorted and appended to the worker's segment log instead of
+  /// accumulating. Called by the runner before the shard task writes
+  /// anything; `shard` is the shard-plan index (the canonical tie order)
+  /// and `worker` picks the exclusively-owned segment log.
+  void attach_spill(SpillDir* dir, std::uint32_t shard, std::size_t worker);
+
+  [[nodiscard]] bool spilling() const { return spill_ != nullptr; }
+
+  /// Write out every staged row (every kind) as sorted sections. Called at
+  /// shard end — commit() also invokes it, so no rows can be stranded.
+  void flush_spill();
+
  private:
   friend class DataRepository;
+
+  template <typename T>
+  void add_one(T rec) {
+    if (!Schema<T>::Admit(windows_, rec)) return;
+    if (spill_ != nullptr) {
+      staged_bytes_ += ApproxRowBytes(rec);
+      store_.rows<T>().push_back(std::move(rec));
+      if (staged_bytes_ >= flush_threshold_) flush_spill();
+      return;
+    }
+    store_.rows<T>().push_back(std::move(rec));
+  }
+
   DatasetWindows windows_;
   RecordStore store_;
+
+  // Spill wiring (null when the batch stages in RAM until commit).
+  SpillDir* spill_{nullptr};
+  SegmentLog* log_{nullptr};
+  std::uint32_t shard_{0};
+  std::size_t flush_threshold_{0};
+  std::size_t staged_bytes_{0};
+  std::array<std::uint32_t, kRecordKinds> runs_{};  // flush sequence per kind
 };
 
 /// All collected data. Appends go through the RecordSink interface and are
@@ -101,18 +141,51 @@ class DataRepository final : public RecordSink {
   /// the pre-`finalize_deterministic_order()` row order.
   void commit(IngestBatch&& batch);
 
+  /// Route record storage through a spill-to-disk segment directory
+  /// (collect/spill.h). Must be called before any ingest; batches made
+  /// after this stage to disk once past the flush threshold and `rows<T>()`
+  /// stays empty — readers use `for_each_row<T>()` instead. The in-RAM and
+  /// spilled paths produce byte-identical canonical row orders.
+  void enable_spill(SpillConfig config);
+  [[nodiscard]] bool spilling() const { return spill_ != nullptr; }
+  [[nodiscard]] SpillDir* spill() const { return spill_.get(); }
+
   /// Impose the canonical record order: every data set stably sorted by
   /// its Schema<>::SortKey — (timestamp, home id) for timestamped sets.
   /// Per-home generation is deterministic and each home lives in exactly
   /// one shard, so after this sort the repository contents are
   /// byte-identical for every worker/shard configuration — including the
-  /// serial path. Call once, after all ingest.
-  void finalize_deterministic_order() { store_.sort_canonical(); }
+  /// serial path. Call once, after all ingest. Homes are ordered by id for
+  /// the same reason: fleet runs register them from worker threads.
+  void finalize_deterministic_order();
 
-  /// Generic data set accessor: `repo.rows<WifiScanRecord>()`.
+  /// Generic data set accessor: `repo.rows<WifiScanRecord>()`. Empty when
+  /// spilling — fleet-scale readers stream with for_each_row instead.
   template <typename T>
   [[nodiscard]] const std::vector<T>& rows() const {
     return store_.rows<T>();
+  }
+
+  /// Stream every row of kind T in canonical order, resident or spilled.
+  /// The only repository read path that works at fleet scale; export and
+  /// the snapshot writer are built on it. Requires
+  /// finalize_deterministic_order() first on the in-RAM path.
+  template <typename T, typename Fn>
+  void for_each_row(Fn&& fn) const {
+    if (spill_ != nullptr) {
+      ForEachSpilledRow<T>(*spill_, std::function<void(const T&)>(std::forward<Fn>(fn)));
+      return;
+    }
+    for (const T& row : store_.rows<T>()) fn(row);
+  }
+
+  /// Row count of kind T, resident or spilled.
+  template <typename T>
+  [[nodiscard]] std::size_t row_count() const {
+    if (spill_ != nullptr) {
+      return static_cast<std::size_t>(spill_->rows_of_kind(kRecordIndexOf<T>));
+    }
+    return store_.rows<T>().size();
   }
 
   // Named accessors kept for the analysis layer's readability.
@@ -147,8 +220,11 @@ class DataRepository final : public RecordSink {
   [[nodiscard]] std::vector<ThroughputMinute> throughput_for(HomeId id) const;
   [[nodiscard]] std::vector<CapacityRecord> capacity_for(HomeId id) const;
 
-  /// Rows across every data set.
-  [[nodiscard]] std::size_t total_rows() const { return store_.total_rows(); }
+  /// Rows across every data set, resident or spilled.
+  [[nodiscard]] std::size_t total_rows() const {
+    if (spill_ != nullptr) return static_cast<std::size_t>(spill_->total_rows());
+    return store_.total_rows();
+  }
 
   /// Summary row counts per data set (the Table 2 bench prints these).
   struct Counts {
@@ -162,6 +238,8 @@ class DataRepository final : public RecordSink {
   std::mutex commit_mu_;
   std::vector<HomeInfo> homes_;
   RecordStore store_;
+  // Mutable: merge passes write scratch sections during const reads.
+  mutable std::unique_ptr<SpillDir> spill_;
 };
 
 }  // namespace bismark::collect

@@ -1,160 +1,33 @@
 #include "collect/snapshot.h"
 
-#include <array>
 #include <cstring>
 #include <fstream>
 #include <iterator>
 #include <tuple>
 #include <utility>
 
+#include "collect/binio.h"
+
 namespace bismark::collect {
 
 namespace {
 
-// --- binary writer ----------------------------------------------------------
+// The writer/reader live in collect/binio.h, shared with the spill segment
+// layer; this file only keeps the snapshot-specific framing.
 
-class Writer {
- public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
-  void u16(std::uint16_t v) { fixed(v); }
-  void u32(std::uint32_t v) { fixed(v); }
-  void u64(std::uint64_t v) { fixed(v); }
-  void i32(std::int32_t v) { fixed(static_cast<std::uint32_t>(v)); }
-  void i64(std::int64_t v) { fixed(static_cast<std::uint64_t>(v)); }
-  void f64(double v) {
-    std::uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    fixed(bits);
-  }
-  void str(const std::string& s) {
-    u32(static_cast<std::uint32_t>(s.size()));
-    buf_.append(s);
-  }
-  void raw(const char* data, std::size_t n) { buf_.append(data, n); }
-
-  // Field-value overloads, one per reflected member type.
-  void value(bool v) { u8(v ? 1 : 0); }
-  void value(int v) { i32(v); }
-  void value(std::uint16_t v) { u16(v); }
-  void value(std::uint64_t v) { u64(v); }
-  void value(double v) { f64(v); }
-  void value(const std::string& v) { str(v); }
-  void value(HomeId v) { i32(v.value); }
-  void value(TimePoint v) { i64(v.ms); }
-  void value(Duration v) { i64(v.ms); }
-  void value(Bytes v) { i64(v.count); }
-  void value(BitRate v) { f64(v.bps); }
-  void value(net::FlowId v) { u64(v.value); }
-  void value(net::MacAddress v) {
-    for (const auto octet : v.octets()) u8(octet);
-  }
-  void value(net::Protocol v) { u8(static_cast<std::uint8_t>(v)); }
-  void value(wireless::Band v) { u8(static_cast<std::uint8_t>(v)); }
-  void value(net::VendorClass v) { i32(static_cast<int>(v)); }
-
-  [[nodiscard]] const std::string& buffer() const { return buf_; }
-
- private:
-  template <typename U>
-  void fixed(U v) {
-    // Little-endian, byte by byte (host-endianness independent).
-    for (std::size_t i = 0; i < sizeof(U); ++i) {
-      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-  std::string buf_;
-};
-
-// --- binary reader ----------------------------------------------------------
-
-class Reader {
- public:
-  Reader(const char* data, std::size_t size) : p_(data), end_(data + size) {}
-
-  [[nodiscard]] bool failed() const { return failed_; }
-  [[nodiscard]] bool at_end() const { return p_ == end_; }
-
-  std::uint8_t u8() {
-    if (!need(1)) return 0;
-    return static_cast<std::uint8_t>(*p_++);
-  }
-  std::uint16_t u16() { return fixed<std::uint16_t>(); }
-  std::uint32_t u32() { return fixed<std::uint32_t>(); }
-  std::uint64_t u64() { return fixed<std::uint64_t>(); }
-  std::int32_t i32() { return static_cast<std::int32_t>(fixed<std::uint32_t>()); }
-  std::int64_t i64() { return static_cast<std::int64_t>(fixed<std::uint64_t>()); }
-  double f64() {
-    const std::uint64_t bits = fixed<std::uint64_t>();
-    double v = 0.0;
-    std::memcpy(&v, &bits, sizeof(v));
-    return v;
-  }
-  std::string str() {
-    const std::uint32_t n = u32();
-    if (!need(n)) return {};
-    std::string s(p_, n);
-    p_ += n;
-    return s;
-  }
-
-  void value(bool& v) { v = u8() != 0; }
-  void value(int& v) { v = i32(); }
-  void value(std::uint16_t& v) { v = u16(); }
-  void value(std::uint64_t& v) { v = u64(); }
-  void value(double& v) { v = f64(); }
-  void value(std::string& v) { v = str(); }
-  void value(HomeId& v) { v.value = i32(); }
-  void value(TimePoint& v) { v.ms = i64(); }
-  void value(Duration& v) { v.ms = i64(); }
-  void value(Bytes& v) { v.count = i64(); }
-  void value(BitRate& v) { v.bps = f64(); }
-  void value(net::FlowId& v) { v.value = u64(); }
-  void value(net::MacAddress& v) {
-    std::array<std::uint8_t, 6> octets{};
-    for (auto& octet : octets) octet = u8();
-    v = net::MacAddress(octets);
-  }
-  void value(net::Protocol& v) { v = static_cast<net::Protocol>(u8()); }
-  void value(wireless::Band& v) { v = static_cast<wireless::Band>(u8()); }
-  void value(net::VendorClass& v) { v = static_cast<net::VendorClass>(i32()); }
-
- private:
-  template <typename U>
-  U fixed() {
-    if (!need(sizeof(U))) return 0;
-    U v = 0;
-    for (std::size_t i = 0; i < sizeof(U); ++i) {
-      v |= static_cast<U>(static_cast<std::uint8_t>(p_[i])) << (8 * i);
-    }
-    p_ += sizeof(U);
-    return v;
-  }
-  bool need(std::size_t n) {
-    if (failed_ || static_cast<std::size_t>(end_ - p_) < n) {
-      failed_ = true;
-      return false;
-    }
-    return true;
-  }
-
-  const char* p_;
-  const char* end_;
-  bool failed_{false};
-};
-
-void PutInterval(Writer& w, const Interval& ival) {
+void PutInterval(BinWriter& w, const Interval& ival) {
   w.i64(ival.start.ms);
   w.i64(ival.end.ms);
 }
 
-Interval GetInterval(Reader& r) {
+Interval GetInterval(BinReader& r) {
   Interval ival;
   ival.start.ms = r.i64();
   ival.end.ms = r.i64();
   return ival;
 }
 
-void PutHome(Writer& w, const HomeInfo& h) {
+void PutHome(BinWriter& w, const HomeInfo& h) {
   w.i32(h.id.value);
   w.str(h.country_code);
   w.value(h.developed);
@@ -170,7 +43,7 @@ void PutHome(Writer& w, const HomeInfo& h) {
   w.i32(h.power_mode);
 }
 
-HomeInfo GetHome(Reader& r) {
+HomeInfo GetHome(BinReader& r) {
   HomeInfo h;
   h.id.value = r.i32();
   h.country_code = r.str();
@@ -196,7 +69,15 @@ bool Fail(std::string* error, const std::string& reason) {
 }  // namespace
 
 bool SaveSnapshot(const DataRepository& repo, std::ostream& out, std::string* error) {
-  Writer w;
+  // Streamed in chunks: a spilled fleet-scale repository never has a full
+  // data set resident, so neither may its snapshot writer.
+  constexpr std::size_t kChunkBytes = 1 << 20;
+  BinWriter w;
+  const auto drain = [&] {
+    out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+    w.clear();
+  };
+
   w.raw(kSnapshotMagic, sizeof(kSnapshotMagic));
   w.u32(kSnapshotVersion);
 
@@ -209,7 +90,10 @@ bool SaveSnapshot(const DataRepository& repo, std::ostream& out, std::string* er
   PutInterval(w, windows.traffic);
 
   w.u32(static_cast<std::uint32_t>(repo.homes().size()));
-  for (const auto& home : repo.homes()) PutHome(w, home);
+  for (const auto& home : repo.homes()) {
+    PutHome(w, home);
+    if (w.size() >= kChunkBytes) drain();
+  }
 
   w.u32(static_cast<std::uint32_t>(kRecordKinds));
   ForEachRecordType([&](auto tag) {
@@ -218,15 +102,14 @@ bool SaveSnapshot(const DataRepository& repo, std::ostream& out, std::string* er
     constexpr std::uint32_t kFields = std::tuple_size_v<decltype(Schema<T>::Fields())>;
     w.u32(kFields);
     std::apply([&w](const auto&... field) { (w.str(field.name), ...); }, Schema<T>::Fields());
-    const auto& rows = repo.rows<T>();
-    w.u64(rows.size());
-    for (const auto& r : rows) {
-      std::apply([&w, &r](const auto&... field) { (w.value(r.*(field.member)), ...); },
-                 Schema<T>::Fields());
-    }
+    w.u64(repo.row_count<T>());
+    repo.for_each_row<T>([&](const T& r) {
+      EncodeRow(w, r);
+      if (w.size() >= kChunkBytes) drain();
+    });
   });
 
-  out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
+  drain();
   if (!out) return Fail(error, "write failed");
   return true;
 }
@@ -240,7 +123,7 @@ bool SaveSnapshotFile(const DataRepository& repo, const std::string& path, std::
 std::unique_ptr<DataRepository> LoadSnapshot(std::istream& in, std::string* error) {
   const std::string data((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
-  Reader r(data.data(), data.size());
+  BinReader r(data.data(), data.size());
 
   char magic[sizeof(kSnapshotMagic)] = {};
   for (auto& c : magic) c = static_cast<char>(r.u8());

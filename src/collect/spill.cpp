@@ -1,0 +1,292 @@
+#include "collect/spill.h"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace bismark::collect {
+
+// --- SegmentLog -------------------------------------------------------------
+
+void SegmentLog::ensure_open() {
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::binary | std::ios::trunc);
+    if (!out_) throw std::runtime_error("spill: cannot open segment file " + path_);
+  }
+}
+
+SectionRef SegmentLog::append(std::uint32_t shard, std::uint32_t run, std::uint64_t rows,
+                              const std::string& bytes) {
+  begin_section();
+  write(bytes.data(), bytes.size());
+  return end_section(shard, run, rows);
+}
+
+void SegmentLog::begin_section() {
+  ensure_open();
+  section_start_ = offset_;
+}
+
+void SegmentLog::write(const char* data, std::size_t n) {
+  out_.write(data, static_cast<std::streamsize>(n));
+  if (!out_) throw std::runtime_error("spill: write failed on " + path_);
+  offset_ += n;
+}
+
+SectionRef SegmentLog::end_section(std::uint32_t shard, std::uint32_t run, std::uint64_t rows) {
+  SectionRef ref;
+  ref.file = index_;
+  ref.offset = section_start_;
+  ref.bytes = offset_ - section_start_;
+  ref.rows = rows;
+  ref.shard = shard;
+  ref.run = run;
+  return ref;
+}
+
+void SegmentLog::sync() {
+  if (out_.is_open()) out_.flush();
+}
+
+// --- SpillDir ---------------------------------------------------------------
+
+SpillDir::SpillDir(SpillConfig config) : config_(std::move(config)) {
+  std::filesystem::create_directories(config_.dir);
+  const std::size_t workers = config_.workers ? config_.workers : 1;
+  logs_.reserve(workers + 1);
+  for (std::size_t i = 0; i < workers; ++i) {
+    logs_.push_back(std::make_unique<SegmentLog>(
+        config_.dir + "/seg-" + std::to_string(i) + ".bsmkseg", static_cast<std::uint32_t>(i)));
+  }
+  logs_.push_back(std::make_unique<SegmentLog>(config_.dir + "/seg-merge.bsmkseg",
+                                               static_cast<std::uint32_t>(workers)));
+}
+
+SegmentLog& SpillDir::log_for_worker(std::size_t worker) {
+  return *logs_[worker < logs_.size() - 1 ? worker : 0];
+}
+
+void SpillDir::register_section(std::size_t kind, SectionRef ref) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rows_[kind] += ref.rows;
+  sections_[kind].push_back(ref);
+}
+
+std::uint64_t SpillDir::total_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto n : rows_) total += n;
+  return total;
+}
+
+std::vector<SectionRef> SpillDir::sections_of_kind(std::size_t kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sections_[kind];
+}
+
+std::uint64_t SpillDir::sections_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& v : sections_) total += v.size();
+  return total;
+}
+
+void SpillDir::sync_all() {
+  for (const auto& log : logs_) log->sync();
+}
+
+std::uint64_t SpillDir::bytes_spilled() const {
+  std::uint64_t total = 0;
+  for (const auto& log : logs_) total += log->bytes_written();
+  return total;
+}
+
+// --- section cursor ---------------------------------------------------------
+
+namespace {
+
+/// Sequential decoder over one section: a small read-ahead buffer refilled
+/// from the segment file, so a merge holds O(fan_in × buffer) memory no
+/// matter how large the sections are.
+class SectionCursor {
+ public:
+  static constexpr std::size_t kBufferBytes = 64 * 1024;
+
+  SectionCursor(const std::string& path, const SectionRef& ref) : ref_(ref) {
+    in_.open(path, std::ios::binary);
+    if (!in_) throw std::runtime_error("spill: cannot reopen segment file " + path);
+    in_.seekg(static_cast<std::streamoff>(ref.offset));
+    remaining_file_ = ref.bytes;
+  }
+
+  /// Frame the next row; returns an empty view at section end.
+  [[nodiscard]] std::pair<const char*, std::size_t> next_row() {
+    if (rows_read_ == ref_.rows) return {nullptr, 0};
+    ensure(4);
+    std::uint32_t len = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf_[pos_ + i])) << (8 * i);
+    }
+    pos_ += 4;
+    ensure(len);
+    const char* row = buf_.data() + pos_;
+    pos_ += len;
+    ++rows_read_;
+    return {row, len};
+  }
+
+ private:
+  void ensure(std::size_t n) {
+    if (buf_.size() - pos_ >= n) return;
+    buf_.erase(0, pos_);
+    pos_ = 0;
+    const std::size_t have = buf_.size();
+    std::size_t read_more = kBufferBytes;
+    if (have + read_more < n) read_more = n - have;  // oversized row (long string)
+    if (read_more > remaining_file_) read_more = static_cast<std::size_t>(remaining_file_);
+    buf_.resize(have + read_more);
+    in_.read(buf_.data() + have, static_cast<std::streamsize>(read_more));
+    if (static_cast<std::size_t>(in_.gcount()) != read_more) {
+      throw std::runtime_error("spill: short read in section");
+    }
+    remaining_file_ -= read_more;
+    if (buf_.size() < n) throw std::runtime_error("spill: truncated section");
+  }
+
+  SectionRef ref_;
+  std::ifstream in_;
+  std::string buf_;
+  std::size_t pos_{0};
+  std::uint64_t rows_read_{0};
+  std::uint64_t remaining_file_{0};  // section bytes not yet buffered
+};
+
+/// Canonical order of section *streams*: ties between rows with equal sort
+/// keys resolve by the shard-plan index, then by flush sequence.
+bool StreamOrder(const SectionRef& a, const SectionRef& b) {
+  if (a.shard != b.shard) return a.shard < b.shard;
+  return a.run < b.run;
+}
+
+/// Merge a run of sections (already in canonical stream order) into `emit`,
+/// called once per row in merged order.
+template <typename T>
+void MergeGroup(SpillDir& dir, const std::vector<SectionRef>& sections, std::size_t begin,
+                std::size_t end, const std::function<void(const T&)>& emit) {
+  struct Head {
+    T row;
+    decltype(Schema<T>::SortKey(std::declval<const T&>())) key;
+    std::size_t order;  // position in the canonical stream order
+  };
+  struct HeadGreater {
+    bool operator()(const Head& a, const Head& b) const {
+      if (a.key != b.key) return b.key < a.key;
+      return a.order > b.order;
+    }
+  };
+
+  std::vector<std::unique_ptr<SectionCursor>> cursors;
+  cursors.reserve(end - begin);
+  std::priority_queue<Head, std::vector<Head>, HeadGreater> heap;
+  const auto advance = [&](std::size_t order) {
+    auto [data, len] = cursors[order]->next_row();
+    if (data == nullptr) return;
+    Head head;
+    BinReader r(data, len);
+    DecodeRow(r, head.row);
+    if (r.failed() || !r.at_end()) throw std::runtime_error("spill: corrupt row");
+    head.key = Schema<T>::SortKey(head.row);
+    head.order = order;
+    heap.push(std::move(head));
+  };
+
+  for (std::size_t i = begin; i < end; ++i) {
+    const SectionRef& ref = sections[i];
+    cursors.push_back(
+        std::make_unique<SectionCursor>(dir.log(ref.file).path(), ref));
+    advance(cursors.size() - 1);
+  }
+  while (!heap.empty()) {
+    Head head = heap.top();
+    heap.pop();
+    emit(head.row);
+    advance(head.order);
+  }
+}
+
+}  // namespace
+
+// --- hierarchical merge -----------------------------------------------------
+
+template <typename T>
+void ForEachSpilledRow(SpillDir& dir, const std::function<void(const T&)>& fn) {
+  std::vector<SectionRef> sections = dir.sections_of_kind(kRecordIndexOf<T>);
+  if (sections.empty()) return;
+  std::sort(sections.begin(), sections.end(), StreamOrder);
+
+  // Merge passes share the scratch log; exports are serial, but hold the
+  // lock so concurrent readers cannot interleave scratch sections.
+  std::lock_guard<std::mutex> lock(dir.merge_mutex());
+  dir.sync_all();  // make every log's buffered tail visible to cursors
+
+  const std::size_t fan_in = dir.config().merge_fan_in < 2 ? 2 : dir.config().merge_fan_in;
+  std::uint32_t level = 0;
+  while (sections.size() > fan_in) {
+    // Reduce one level: merge adjacent groups of fan_in sections into single
+    // scratch sections. Groups partition the canonical stream order into
+    // contiguous ranges, so tagging each output with its group index keeps
+    // ties ordered at the next level.
+    std::vector<SectionRef> next;
+    next.reserve(sections.size() / fan_in + 1);
+    SegmentLog& scratch = dir.scratch_log();
+    for (std::size_t begin = 0; begin < sections.size(); begin += fan_in) {
+      const std::size_t end = std::min(begin + fan_in, sections.size());
+      scratch.begin_section();
+      std::uint64_t rows = 0;
+      BinWriter row_w;
+      std::string chunk;
+      const std::function<void(const T&)> spool = [&](const T& row) {
+        row_w.clear();
+        EncodeRow(row_w, row);
+        std::uint32_t len = static_cast<std::uint32_t>(row_w.size());
+        char prefix[4];
+        for (std::size_t i = 0; i < 4; ++i) prefix[i] = static_cast<char>((len >> (8 * i)) & 0xff);
+        chunk.append(prefix, 4);
+        chunk.append(row_w.buffer());
+        ++rows;
+        if (chunk.size() >= 1 << 20) {
+          scratch.write(chunk.data(), chunk.size());
+          chunk.clear();
+        }
+      };
+      MergeGroup<T>(dir, sections, begin, end, spool);
+      if (!chunk.empty()) scratch.write(chunk.data(), chunk.size());
+      SectionRef ref =
+          scratch.end_section(static_cast<std::uint32_t>(begin / fan_in), /*run=*/level, rows);
+      next.push_back(ref);
+    }
+    scratch.sync();
+    sections = std::move(next);
+    ++level;
+  }
+  MergeGroup<T>(dir, sections, 0, sections.size(), fn);
+}
+
+// One instantiation per registered record kind.
+#define BISMARK_SPILL_INSTANTIATE(T) \
+  template void ForEachSpilledRow<T>(SpillDir&, const std::function<void(const T&)>&);
+BISMARK_SPILL_INSTANTIATE(HeartbeatRun)
+BISMARK_SPILL_INSTANTIATE(UptimeRecord)
+BISMARK_SPILL_INSTANTIATE(CapacityRecord)
+BISMARK_SPILL_INSTANTIATE(DeviceCountRecord)
+BISMARK_SPILL_INSTANTIATE(WifiScanRecord)
+BISMARK_SPILL_INSTANTIATE(TrafficFlowRecord)
+BISMARK_SPILL_INSTANTIATE(ThroughputMinute)
+BISMARK_SPILL_INSTANTIATE(DnsLogRecord)
+BISMARK_SPILL_INSTANTIATE(DeviceTrafficRecord)
+#undef BISMARK_SPILL_INSTANTIATE
+
+}  // namespace bismark::collect

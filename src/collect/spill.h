@@ -1,0 +1,147 @@
+// Spill-to-disk segment layer: bounded-memory record storage at fleet scale.
+//
+// At 100k+ homes the all-in-RAM RecordStore needs tens of gigabytes, so a
+// budgeted run streams records to disk instead. Each worker owns one
+// append-only segment file; an IngestBatch that crosses its memory budget
+// stable-sorts what it holds (per kind, by Schema<T>::SortKey) and appends
+// it as one *section* — a sorted run tagged (shard, run sequence). Readers
+// never load a data set whole: ForEachSpilledRow k-way-merges the sections
+// back into the exact canonical order the in-RAM path produces.
+//
+// Why the merge is byte-exact (DESIGN §11): the in-RAM repository order is
+// a stable sort of rows committed in shard-plan order, i.e. ties resolve by
+// (shard index, append position). Flush chronology partitions each shard's
+// appends into runs with strictly increasing positions, so merging sorted
+// runs with the comparator (SortKey, shard, run) — streaming within a run —
+// reproduces that order exactly. No per-row position is stored on disk.
+//
+// Scale: a 100k-home run makes ~25k shards, so a kind can have tens of
+// thousands of sections. The merge is hierarchical with a bounded fan-in:
+// adjacent (in canonical order) sections are merged in groups into scratch
+// sections until one level fits, keeping open files and buffers bounded
+// regardless of N.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "collect/binio.h"
+
+namespace bismark::collect {
+
+struct SpillConfig {
+  /// Directory for segment files; created on demand. The caller owns the
+  /// directory's lifetime — segment files are scratch, not an archive.
+  std::string dir;
+  /// Total record-staging budget across all workers. 0 disables spill.
+  std::size_t budget_bytes{0};
+  std::size_t workers{1};
+  /// Max sections opened concurrently by one merge level.
+  std::size_t merge_fan_in{256};
+
+  /// Per-batch flush threshold: half the per-worker share, so one staging
+  /// batch plus one in-flight flush stay inside the worker's slice.
+  [[nodiscard]] std::size_t flush_threshold() const {
+    const std::size_t per_worker = budget_bytes / (2 * (workers ? workers : 1));
+    return per_worker > 4096 ? per_worker : 4096;
+  }
+};
+
+/// One sorted run of rows of a single kind inside a segment file.
+struct SectionRef {
+  std::uint32_t file{0};    ///< index into the SpillDir's segment logs
+  std::uint64_t offset{0};  ///< byte offset of the first row
+  std::uint64_t bytes{0};
+  std::uint64_t rows{0};
+  std::uint32_t shard{0};  ///< shard-plan index: the canonical tie order
+  std::uint32_t run{0};    ///< flush sequence within (shard, kind)
+};
+
+/// An append-only segment file. Owned exclusively by one worker while its
+/// shard task runs (or by the merge scratch path, serialised by SpillDir).
+/// Rows are u32-length-prefixed EncodeRow payloads so cursors can frame
+/// them without schema-dependent sizes.
+class SegmentLog {
+ public:
+  SegmentLog(std::string path, std::uint32_t index) : path_(std::move(path)), index_(index) {}
+
+  /// One-shot append of a fully-encoded section body.
+  SectionRef append(std::uint32_t shard, std::uint32_t run, std::uint64_t rows,
+                    const std::string& bytes);
+
+  /// Streaming append for merge intermediates (bodies can exceed RAM).
+  void begin_section();
+  void write(const char* data, std::size_t n);
+  SectionRef end_section(std::uint32_t shard, std::uint32_t run, std::uint64_t rows);
+
+  [[nodiscard]] std::uint32_t index() const { return index_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return offset_; }
+
+  /// Flush buffered writes so cursors can read what was appended.
+  void sync();
+
+ private:
+  void ensure_open();
+
+  std::string path_;
+  std::uint32_t index_;
+  std::uint64_t offset_{0};
+  std::uint64_t section_start_{0};
+  std::ofstream out_;  // opened lazily on first append
+};
+
+/// Shared spill state: the segment directory, one log per worker plus a
+/// scratch log for merge intermediates, and the per-kind section tables.
+class SpillDir {
+ public:
+  explicit SpillDir(SpillConfig config);
+
+  [[nodiscard]] const SpillConfig& config() const { return config_; }
+
+  /// The worker's exclusive segment log (no locking: one worker, one log).
+  SegmentLog& log_for_worker(std::size_t worker);
+  /// The merge-scratch log. Callers must hold merge_mutex().
+  SegmentLog& scratch_log() { return *logs_.back(); }
+  SegmentLog& log(std::uint32_t file_index) { return *logs_[file_index]; }
+
+  /// Record a flushed section (thread-safe; workers flush concurrently).
+  void register_section(std::size_t kind, SectionRef ref);
+
+  [[nodiscard]] std::uint64_t rows_of_kind(std::size_t kind) const { return rows_[kind]; }
+  [[nodiscard]] std::uint64_t total_rows() const;
+  /// Copy of the kind's section table (callers sort it for merging).
+  [[nodiscard]] std::vector<SectionRef> sections_of_kind(std::size_t kind) const;
+
+  [[nodiscard]] std::uint64_t sections_written() const;
+  [[nodiscard]] std::uint64_t bytes_spilled() const;
+
+  /// Serialises merge passes (they share the scratch log).
+  [[nodiscard]] std::mutex& merge_mutex() { return merge_mu_; }
+
+  /// Flush every log's buffered writes so cursors see all appended rows.
+  void sync_all();
+
+ private:
+  SpillConfig config_;
+  std::vector<std::unique_ptr<SegmentLog>> logs_;  // workers, then scratch
+  std::array<std::vector<SectionRef>, kRecordKinds> sections_;
+  std::array<std::uint64_t, kRecordKinds> rows_{};
+  mutable std::mutex mu_;
+  std::mutex merge_mu_;
+};
+
+/// Stream every row of kind T in canonical repository order — exactly the
+/// sequence `rows<T>()` holds after `finalize_deterministic_order()` on the
+/// in-RAM path. Bounded memory: at most `merge_fan_in` open sections and
+/// one scratch section per merge group at a time.
+template <typename T>
+void ForEachSpilledRow(SpillDir& dir, const std::function<void(const T&)>& fn);
+
+}  // namespace bismark::collect

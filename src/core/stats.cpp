@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 
 namespace bismark {
 
@@ -88,6 +89,167 @@ double Correlation(std::span<const double> x, std::span<const double> y) {
   }
   if (sxx <= 0.0 || syy <= 0.0) return 0.0;
   return sxy / std::sqrt(sxx * syy);
+}
+
+QuantileSketch::QuantileSketch(double eps) : eps_(std::clamp(eps, 1e-6, 0.5)) {}
+
+void QuantileSketch::add(double v) {
+  // Find insertion point: first tuple with value >= v.
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), v,
+                             [](const Tuple& t, double x) { return t.v < x; });
+  Tuple fresh{v, 1, 0};
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insert: the successor may carry mass folded up from values
+    // below v, so the new tuple inherits that rank uncertainty. Extremes
+    // (new min/max) are exact, which keeps min()/max() precise.
+    fresh.delta = it->g + it->delta - 1;
+  }
+  tuples_.insert(it, fresh);
+  ++n_;
+  // Amortize compression: every 1/(2 eps) inserts keeps the invariant
+  // g + delta <= 2 eps n while touching the array O(1) amortized.
+  if (++since_compress_ >= static_cast<std::size_t>(1.0 / (2.0 * eps_))) {
+    compress();
+    since_compress_ = 0;
+  }
+}
+
+void QuantileSketch::compress() {
+  if (tuples_.size() < 3) return;
+  const auto cap = static_cast<std::uint64_t>(2.0 * eps_ * static_cast<double>(n_));
+  // Fold each tuple into its successor when the combined slack fits; the
+  // first and last tuples are kept so min/max stay exact.
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  std::uint64_t carry = 0;
+  out.push_back(tuples_.front());
+  for (std::size_t i = 1; i < tuples_.size(); ++i) {
+    Tuple t = tuples_[i];
+    t.g += carry;
+    carry = 0;
+    const bool last = (i + 1 == tuples_.size());
+    if (!last && t.g + tuples_[i + 1].g + tuples_[i + 1].delta < cap) {
+      carry = t.g;  // fold this tuple into its successor
+    } else {
+      out.push_back(t);
+    }
+  }
+  tuples_ = std::move(out);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Standard GK merge: interleave the tuple lists by value; each side's
+  // rank uncertainty adds, so the result honours eps_a + eps_b.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(), other.tuples_.end(),
+             std::back_inserter(merged),
+             [](const Tuple& a, const Tuple& b) { return a.v < b.v; });
+  tuples_ = std::move(merged);
+  n_ += other.n_;
+  eps_ = std::min(eps_ + other.eps_, 0.5);
+  compress();
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (tuples_.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q == 0.0) return tuples_.front().v;  // extremes are kept exact
+  if (q == 1.0) return tuples_.back().v;
+  // Canonical GK query: target 1-based rank r; return the value of the last
+  // tuple whose maximum possible rank still fits under r + eps*n. Together
+  // with the g + delta <= 2*eps*n invariant this bounds rank error by eps*n.
+  const double target = 1.0 + q * static_cast<double>(n_ - 1);
+  const double limit = target + eps_ * static_cast<double>(n_);
+  std::uint64_t r_min = tuples_.front().g;
+  for (std::size_t i = 1; i < tuples_.size(); ++i) {
+    if (static_cast<double>(r_min + tuples_[i].g + tuples_[i].delta) > limit) {
+      return tuples_[i - 1].v;
+    }
+    r_min += tuples_[i].g;
+  }
+  return tuples_.back().v;
+}
+
+double QuantileSketch::min() const { return tuples_.empty() ? 0.0 : tuples_.front().v; }
+
+double QuantileSketch::max() const { return tuples_.empty() ? 0.0 : tuples_.back().v; }
+
+P2Quantile::P2Quantile(double q) : q_(std::clamp(q, 0.0, 1.0)) {
+  desired_[0] = 1.0;
+  desired_[1] = 1.0 + 2.0 * q_;
+  desired_[2] = 1.0 + 4.0 * q_;
+  desired_[3] = 3.0 + 2.0 * q_;
+  desired_[4] = 5.0;
+  increments_[0] = 0.0;
+  increments_[1] = q_ / 2.0;
+  increments_[2] = q_;
+  increments_[3] = (1.0 + q_) / 2.0;
+  increments_[4] = 1.0;
+}
+
+void P2Quantile::add(double v) {
+  if (n_ < 5) {
+    heights_[n_] = v;
+    ++n_;
+    if (n_ == 5) {
+      std::sort(heights_, heights_ + 5);
+      for (int i = 0; i < 5; ++i) positions_[i] = static_cast<double>(i + 1);
+    }
+    return;
+  }
+  // Locate the cell containing v and clamp the extreme markers.
+  int k;
+  if (v < heights_[0]) {
+    heights_[0] = v;
+    k = 0;
+  } else if (v >= heights_[4]) {
+    heights_[4] = v;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && v >= heights_[k + 1]) ++k;
+  }
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) desired_[i] += increments_[i];
+  ++n_;
+  // Adjust interior markers toward their desired positions (parabolic, with
+  // linear fallback when the parabola would break monotonicity).
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const double below = positions_[i] - positions_[i - 1];
+    const double above = positions_[i + 1] - positions_[i];
+    if ((d >= 1.0 && above > 1.0) || (d <= -1.0 && below > 1.0)) {
+      const double s = d >= 1.0 ? 1.0 : -1.0;
+      const double hp =
+          heights_[i] + s / (positions_[i + 1] - positions_[i - 1]) *
+                            ((below + s) * (heights_[i + 1] - heights_[i]) / above +
+                             (above - s) * (heights_[i] - heights_[i - 1]) / below);
+      if (heights_[i - 1] < hp && hp < heights_[i + 1]) {
+        heights_[i] = hp;
+      } else {
+        const int j = i + static_cast<int>(s);
+        heights_[i] += s * (heights_[j] - heights_[i]) / (positions_[j] - positions_[i]);
+      }
+      positions_[i] += s;
+    }
+  }
+}
+
+double P2Quantile::value() const {
+  if (n_ == 0) return 0.0;
+  if (n_ < 5) {
+    double copy[5];
+    std::copy(heights_, heights_ + n_, copy);
+    std::sort(copy, copy + n_);
+    return QuantileSorted(std::span<const double>(copy, n_), q_);
+  }
+  return heights_[2];
 }
 
 void Sample::ensure_sorted() const {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -43,6 +44,74 @@ class RunningStats {
 
 /// Pearson correlation coefficient; 0 if either side is constant.
 [[nodiscard]] double Correlation(std::span<const double> x, std::span<const double> y);
+
+/// Greenwald–Khanna streaming quantile sketch.
+///
+/// Holds O((1/eps) * log(eps * n)) tuples instead of the full sample and
+/// answers any quantile query with rank error at most eps * n: the value
+/// returned for quantile q is an element whose true rank r satisfies
+/// |r - q * n| <= eps * n. This is what lets `analyze` compute the paper's
+/// distribution figures from a fleet-scale record stream without the full
+/// dataset resident (DESIGN §11).
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double eps = 0.005);
+
+  void add(double v);
+  /// Fold another sketch in (per-shard sketches merged post-run). The
+  /// merged sketch keeps the rank-error bound eps_a + eps_b, so merging
+  /// same-eps sketches doubles the tolerance — budget eps accordingly.
+  void merge(const QuantileSketch& other);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double eps() const { return eps_; }
+  /// Tuples currently held (memory footprint; grows ~ (1/eps) log(eps n)).
+  [[nodiscard]] std::size_t tuples() const { return tuples_.size(); }
+
+  /// Value at quantile q in [0, 1], within eps * n rank error.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  /// One GK tuple: value v covers ranks [r_min, r_min + delta], where
+  /// r_min is the sum of g over this and all preceding tuples.
+  struct Tuple {
+    double v;
+    std::uint64_t g;
+    std::uint64_t delta;
+  };
+  void compress();
+
+  double eps_;
+  std::size_t n_{0};
+  std::size_t since_compress_{0};
+  std::vector<Tuple> tuples_;  // sorted by v
+};
+
+/// P² (Jain/Chlamtac) single-quantile estimator: five markers, O(1) memory,
+/// no rank-error guarantee but excellent accuracy on smooth distributions.
+/// Used where one fixed percentile is tracked per key (e.g. per-home p95
+/// utilisation) and even a GK sketch per key would be too heavy.
+class P2Quantile {
+ public:
+  explicit P2Quantile(double q);
+
+  void add(double v);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  /// Current estimate; exact while n <= 5.
+  [[nodiscard]] double value() const;
+
+ private:
+  double q_;
+  std::size_t n_{0};
+  double heights_[5]{};
+  double positions_[5]{};
+  double desired_[5]{};
+  double increments_[5]{};
+};
 
 /// Convenience: collect values, then answer quantile queries repeatedly.
 class Sample {

@@ -34,6 +34,11 @@ constexpr std::uint64_t kUploadSalt = 0xB10AD;
 /// 4-home block behind the heaviest member.
 constexpr std::size_t kShardHomes = 4;
 
+/// Fleet-mode block size (see Deployment::shard_plan): big enough that a
+/// 100k-home run stays near ~3k shards, small enough that ephemeral
+/// household state never exceeds a few dozen homes per worker.
+constexpr std::size_t kFleetShardHomes = 32;
+
 /// Per-worker flight-recorder depth: enough to see the tail of a failing
 /// run (a few homes' worth of upload churn) without meaningful memory.
 constexpr std::size_t kRecorderCapacity = 1024;
@@ -70,79 +75,111 @@ void Deployment::build() {
   Rng root(options_.seed);
   const auto& windows = options_.windows;
   const Interval study = windows.heartbeats;
-  // Devices need presence wherever a passive data set samples them.
-  const std::vector<Interval> presence_windows = {windows.wifi, windows.devices};
 
-  // Roster assembly: per-country homes, ids assigned in roster order.
-  int next_id = 0;
-  struct Pending {
-    const CountryProfile* country;
-    int index_in_country;
-  };
-  std::vector<Pending> slots;
-  for (const auto& country : StandardRoster()) {
-    const int n = std::max(
-        1, static_cast<int>(std::lround(country.router_count * options_.roster_scale)));
-    for (int i = 0; i < n; ++i) slots.push_back(Pending{&country, i});
+  // Roster assembly: per-country home counts, ids assigned in roster order.
+  const auto& roster = StandardRoster();
+  std::vector<int> counts(roster.size(), 0);
+  if (options_.homes > 0) {
+    // Exact-N roster: largest-remainder apportionment over the Table 1
+    // country mix, in integer arithmetic so --homes 126 reproduces the
+    // default roster bit-for-bit and ties resolve in roster order.
+    const auto target = static_cast<long long>(options_.homes);
+    const auto total = static_cast<long long>(TotalRouters());
+    long long assigned = 0;
+    std::vector<std::pair<long long, std::size_t>> by_remainder;
+    for (std::size_t c = 0; c < roster.size(); ++c) {
+      const long long scaled = target * roster[c].router_count;
+      counts[c] = static_cast<int>(scaled / total);
+      assigned += counts[c];
+      by_remainder.emplace_back(-(scaled % total), c);
+    }
+    std::stable_sort(by_remainder.begin(), by_remainder.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (long long k = 0; k < target - assigned; ++k) {
+      ++counts[by_remainder[static_cast<std::size_t>(k)].second];
+    }
+  } else {
+    for (std::size_t c = 0; c < roster.size(); ++c) {
+      counts[c] = std::max(1, static_cast<int>(std::lround(roster[c].router_count *
+                                                           options_.roster_scale)));
+    }
+  }
+  slots_.clear();
+  for (std::size_t c = 0; c < roster.size(); ++c) {
+    for (int i = 0; i < counts[c]; ++i) slots_.push_back(Slot{&roster[c], {}, false});
   }
 
   // Traffic consent: the first `traffic_homes` US homes; the first
-  // `bufferbloat_homes` of those are the Fig. 16 case studies.
+  // `bufferbloat_homes` of those are the Fig. 16 case studies. Consent is
+  // a property of the household regardless of whether the traffic window
+  // is actually simulated this run.
   int us_seen = 0;
-  for (const auto& slot : slots) {
-    const collect::HomeId id{next_id++};
-    HouseholdOptions opts;
-    const bool is_us = slot.country->code == "US";
-    // Consent is a property of the household regardless of whether the
-    // traffic window is actually simulated this run.
-    if (is_us && us_seen < options_.traffic_homes) {
-      opts.consent = gateway::ConsentLevel::kFullTraffic;
-      opts.min_devices = 3;  // Section 6.3: every traffic home has >= 3
-      opts.bufferbloat_case = us_seen < options_.bufferbloat_homes;
-      opts.bufferbloat_flavor = us_seen;  // 16a constant, 16b diurnal bursts
-      ++us_seen;
-    }
-    Rng home_rng = root.fork(static_cast<std::uint64_t>(id.value) + 1000);
-    auto household = std::make_unique<Household>(id, *slot.country, study, presence_windows,
-                                                 *anonymizer_, repo_.get(), home_rng, opts);
-
-    collect::HomeInfo info = household->make_info();
-    // Table 2 sub-population flags: 113 homes report uptime/devices, 93
-    // report WiFi. Spread the drops across the roster deterministically.
-    const int idx = id.value;
-    info.reports_uptime = !(idx % 10 == 9 || idx == 125);
-    info.reports_devices = info.reports_uptime;
-    info.reports_wifi = (idx % 4 != 1) && idx != 122;
-    // Firmware-side Table 5 computation (PII never leaves the home).
-    info.has_always_wired = household->has_always_connected(true, windows.devices);
-    info.has_always_wireless = household->has_always_connected(false, windows.devices);
-    repo_->register_home(info);
-    households_.push_back(std::move(household));
+  for (auto& slot : slots_) {
+    if (slot.country->code != "US" || us_seen >= options_.traffic_homes) continue;
+    slot.opts.consent = gateway::ConsentLevel::kFullTraffic;
+    slot.opts.min_devices = 3;  // Section 6.3: every traffic home has >= 3
+    slot.opts.bufferbloat_case = us_seen < options_.bufferbloat_homes;
+    slot.opts.bufferbloat_flavor = us_seen;  // 16a constant, 16b diurnal bursts
+    ++us_seen;
   }
 
   // Churn participants: recruited late or departed early, never reaching
   // the 25-days-online bar. They contribute heartbeats only (no passive
   // data sets, no consent), like the paper's briefly-reporting routers.
+  // Their country and window come from one serial stream.
   Rng churn_rng = root.fork("churn");
   for (int i = 0; i < options_.churn_homes; ++i) {
-    const collect::HomeId id{next_id++};
-    const auto& roster = StandardRoster();
+    const int id_value = static_cast<int>(slots_.size());
     const auto& country = roster[static_cast<std::size_t>(
         churn_rng.uniform_int(0, static_cast<std::int64_t>(roster.size()) - 1))];
-    Rng home_rng = root.fork(static_cast<std::uint64_t>(id.value) + 1000);
-    auto household = std::make_unique<Household>(id, country, study, presence_windows,
-                                                 *anonymizer_, repo_.get(), home_rng,
-                                                 HouseholdOptions{});
-    collect::HomeInfo info = household->make_info();
     // Participation window: 3-20 days somewhere inside the study.
     const double window_days = (study.end - study.start).days();
     const double span = churn_rng.uniform(3.0, std::min(20.0, window_days * 0.8));
     const double start_day = churn_rng.uniform(0.0, std::max(0.1, window_days - span));
-    churn_windows_[id.value] =
+    churn_windows_[id_value] =
         Interval{study.start + Days(start_day), study.start + Days(start_day + span)};
-    repo_->register_home(info);
+    slots_.push_back(Slot{&country, {}, true});
+  }
+
+  // Fleet mode never materialises the roster: each shard task constructs
+  // its households from slots_, registers their HomeInfo, and drops them.
+  if (fleet_mode()) return;
+
+  households_.reserve(slots_.size());
+  for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
+    auto household = make_household(idx, repo_.get());
+    repo_->register_home(home_info_for(*household, idx));
     households_.push_back(std::move(household));
   }
+}
+
+std::unique_ptr<Household> Deployment::make_household(std::size_t idx,
+                                                      collect::RecordSink* sink) const {
+  const Slot& slot = slots_[idx];
+  const collect::HomeId id{static_cast<int>(idx)};
+  const auto& windows = options_.windows;
+  // Devices need presence wherever a passive data set samples them.
+  const std::vector<Interval> presence_windows = {windows.wifi, windows.devices};
+  Rng home_rng = Rng(options_.seed).fork(static_cast<std::uint64_t>(id.value) + 1000);
+  return std::make_unique<Household>(id, *slot.country, windows.heartbeats, presence_windows,
+                                     *anonymizer_, sink, home_rng, slot.opts);
+}
+
+collect::HomeInfo Deployment::home_info_for(const Household& hh, std::size_t idx) const {
+  collect::HomeInfo info = hh.make_info();
+  // Churn homes keep the bare make_info() view: they are outside every
+  // Table 2 sub-population.
+  if (slots_[idx].churn) return info;
+  // Table 2 sub-population flags: 113 homes report uptime/devices, 93
+  // report WiFi. Spread the drops across the roster deterministically.
+  const int i = static_cast<int>(idx);
+  info.reports_uptime = !(i % 10 == 9 || i == 125);
+  info.reports_devices = info.reports_uptime;
+  info.reports_wifi = (i % 4 != 1) && i != 122;
+  // Firmware-side Table 5 computation (PII never leaves the home).
+  info.has_always_wired = hh.has_always_connected(true, options_.windows.devices);
+  info.has_always_wireless = hh.has_always_connected(false, options_.windows.devices);
+  return info;
 }
 
 void Deployment::compute_collector_outages() {
@@ -182,14 +219,14 @@ void Deployment::compute_collector_outages() {
   fault_plan_ = net::FaultPlan(options_.upload_faults, collector_down_);
 }
 
-void Deployment::run_shard_heartbeats(std::size_t lo, std::size_t hi,
+void Deployment::run_shard_heartbeats(const std::vector<ShardHome>& span,
                                       collect::IngestBatch& batch,
                                       obs::MetricsShard& metrics) {
   const auto& window = options_.windows.heartbeats;
   collect::CollectionServer server(batch, options_.heartbeat);
   obs::Counter homes = metrics.counter("bismark_homes_simulated_total");
-  for (std::size_t i = lo; i < hi; ++i) {
-    const auto& home = households_[i];
+  for (const ShardHome& sh : span) {
+    Household* home = sh.hh;
     homes.inc();
     Interval participation = window;
     if (const auto it = churn_windows_.find(home->id().value); it != churn_windows_.end()) {
@@ -205,7 +242,7 @@ void Deployment::run_shard_heartbeats(std::size_t lo, std::size_t hi,
   }
 }
 
-void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
+void Deployment::run_shard_passive(const std::vector<ShardHome>& span,
                                    collect::IngestBatch& batch, sim::Engine& engine,
                                    obs::MetricsShard& metrics,
                                    obs::FlightRecorder* recorder) {
@@ -235,12 +272,12 @@ void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
   obs::Gauge queue_peak = metrics.gauge("bismark_engine_queue_peak");
   obs::Gauge spooled_max = metrics.gauge("bismark_home_records_spooled_max");
 
-  for (std::size_t i = lo; i < hi; ++i) {
-    const auto& home = households_[i];
+  for (const ShardHome& sh : span) {
+    Household* home = sh.hh;
     // Churn participants never stayed long enough to contribute the
     // passive data sets or scheduled capacity runs.
     if (churn_windows_.contains(home->id().value)) continue;
-    const collect::HomeInfo* info = repo_->find_home(home->id());
+    const collect::HomeInfo* info = sh.info;
     const IntervalSet& router_on = home->timeline().router_on;
     const IntervalSet online = home->timeline().online();
     const auto id = static_cast<std::uint64_t>(home->id().value);
@@ -320,14 +357,14 @@ void Deployment::run_shard_passive(std::size_t lo, std::size_t hi,
   }
 }
 
-std::uint64_t Deployment::run_shard_traffic(std::size_t lo, std::size_t hi,
+std::uint64_t Deployment::run_shard_traffic(const std::vector<ShardHome>& span,
                                             collect::IngestBatch& batch,
                                             sim::Engine& engine,
                                             obs::MetricsShard& metrics) {
   std::vector<Household*> consenting;
-  for (std::size_t i = lo; i < hi; ++i) {
-    if (households_[i]->consent() == gateway::ConsentLevel::kFullTraffic) {
-      consenting.push_back(households_[i].get());
+  for (const ShardHome& sh : span) {
+    if (sh.hh->consent() == gateway::ConsentLevel::kFullTraffic) {
+      consenting.push_back(sh.hh);
     }
   }
   if (consenting.empty()) return 0;
@@ -407,15 +444,21 @@ std::uint64_t Deployment::run_shard_traffic(std::size_t lo, std::size_t hi,
 std::vector<Deployment::ShardSpan> Deployment::shard_plan() const {
   std::vector<ShardSpan> heavy;
   std::vector<ShardSpan> light;
-  const std::size_t n = households_.size();
+  const std::size_t n = slots_.size();
+  // Light-home block size. Fleet runs use bigger blocks so the per-shard
+  // overheads (metrics shard, batch, segment sections) grow as homes/32
+  // rather than homes/4. The block size cannot change any exported byte:
+  // every SortKey carries the home id, so equal keys only collide within
+  // one home, and a home never splits across shards.
+  const std::size_t block = fleet_mode() ? kFleetShardHomes : kShardHomes;
   std::size_t run_start = 0;
   const auto flush_light = [&](std::size_t end) {
-    for (std::size_t lo = run_start; lo < end; lo += kShardHomes) {
-      light.push_back(ShardSpan{lo, std::min(end, lo + kShardHomes)});
+    for (std::size_t lo = run_start; lo < end; lo += block) {
+      light.push_back(ShardSpan{lo, std::min(end, lo + block)});
     }
   };
   for (std::size_t i = 0; i < n; ++i) {
-    if (households_[i]->consent() == gateway::ConsentLevel::kFullTraffic) {
+    if (slots_[i].opts.consent == gateway::ConsentLevel::kFullTraffic) {
       flush_light(i);
       heavy.push_back(ShardSpan{i, i + 1});
       run_start = i + 1;
@@ -441,6 +484,13 @@ void Deployment::run() {
 
   const int workers =
       options_.workers > 0 ? options_.workers : ThreadPool::HardwareWorkers();
+  if (fleet_mode() && !repo_->spilling()) {
+    collect::SpillConfig scfg;
+    scfg.dir = options_.spill_dir.empty() ? "bsmk-segments" : options_.spill_dir;
+    scfg.budget_bytes = options_.memory_budget_bytes;
+    scfg.workers = static_cast<std::size_t>(workers);
+    repo_->enable_spill(scfg);
+  }
   const std::vector<ShardSpan> plan = shard_plan();
   const std::size_t shards = plan.size();
 
@@ -462,20 +512,59 @@ void Deployment::run() {
   }
   std::atomic<std::uint64_t> traffic_events{0};
 
+  const bool fleet = fleet_mode();
   const auto t_sharded = std::chrono::steady_clock::now();
   pool.parallel_for(shards, [&](std::size_t shard, int worker) {
     const std::size_t lo = plan[shard].lo;
     const std::size_t hi = plan[shard].hi;
     collect::IngestBatch& batch = batches[shard];
+    if (repo_->spilling()) {
+      batch.attach_spill(repo_->spill(), static_cast<std::uint32_t>(shard),
+                         static_cast<std::size_t>(worker));
+    }
     obs::MetricsShard& metrics = metric_shards[shard];
     obs::FlightRecorder* recorder = recorders_[static_cast<std::size_t>(worker)].get();
     auto& engine = engines[static_cast<std::size_t>(worker)];
     if (!engine) engine = std::make_unique<sim::Engine>(options_.windows.heartbeats.start);
     engine->set_recorder(recorder);
-    run_shard_heartbeats(lo, hi, batch, metrics);
-    run_shard_passive(lo, hi, batch, *engine, metrics, recorder);
+
+    // Assemble the shard's homes. Fleet shards own their households only
+    // for the duration of this task: construct from the slot metadata
+    // (byte-identical to a build()-time construction — every stream is a
+    // pure function of (seed, home id)), simulate, register, drop.
+    std::vector<std::unique_ptr<Household>> ephemeral;
+    std::vector<collect::HomeInfo> fleet_infos;
+    std::vector<ShardHome> span;
+    span.reserve(hi - lo);
+    if (fleet) {
+      ephemeral.reserve(hi - lo);
+      fleet_infos.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        ephemeral.push_back(make_household(i, &batch));
+        fleet_infos.push_back(home_info_for(*ephemeral.back(), i));
+      }
+      for (std::size_t k = 0; k < ephemeral.size(); ++k) {
+        span.push_back(ShardHome{ephemeral[k].get(), &fleet_infos[k]});
+      }
+    } else {
+      for (std::size_t i = lo; i < hi; ++i) {
+        span.push_back(ShardHome{households_[i].get(),
+                                 repo_->find_home(households_[i]->id())});
+      }
+    }
+
+    run_shard_heartbeats(span, batch, metrics);
+    run_shard_passive(span, batch, *engine, metrics, recorder);
     if (options_.run_traffic) {
-      traffic_events += run_shard_traffic(lo, hi, batch, *engine, metrics);
+      traffic_events += run_shard_traffic(span, batch, *engine, metrics);
+    }
+    if (fleet) {
+      // Incremental commit: flush the batch's residue to its segment log
+      // now so staging memory stays bounded by (threshold x workers), and
+      // register the homes (thread-safe; canonical order is restored by
+      // finalize_deterministic_order below).
+      for (auto& info : fleet_infos) repo_->register_home(std::move(info));
+      repo_->commit(std::move(batch));
     }
   });
   telemetry_.wall_sharded_run_s = SecondsSince(t_sharded);
@@ -526,7 +615,7 @@ obs::RunReport MakeRunReport(const Deployment& study, std::string tool,
   report.seed = opt.seed;
   report.fault_seed = opt.fault_seed != 0 ? opt.fault_seed : opt.seed;
   report.roster_scale = opt.roster_scale;
-  report.homes = study.households().size();
+  report.homes = study.roster_size();
   report.shards = study.shard_count();
   report.traffic = opt.run_traffic;
   report.metrics = study.metrics();

@@ -39,6 +39,19 @@ struct DeploymentOptions {
   bool run_traffic{true};
   /// Scale factor on per-country router counts (1.0 = the full 126).
   double roster_scale{1.0};
+  /// Exact roster size (0 = use roster_scale). Homes are apportioned over
+  /// the Table 1 country mix by largest remainder in integer arithmetic,
+  /// so --homes 126 reproduces the default roster bit-for-bit.
+  int homes{0};
+  /// Fleet mode: > 0 bounds record-staging memory. Shard batches spill
+  /// sorted segment runs to disk past the budget (collect/spill.h) and
+  /// households are constructed ephemerally inside their shard task
+  /// instead of being held resident for the whole run. Record content is
+  /// a pure function of (seed, home id), so exports stay byte-identical
+  /// to the in-RAM path.
+  std::size_t memory_budget_bytes{0};
+  /// Segment-file directory for fleet mode ("" = "bsmk-segments").
+  std::string spill_dir;
   /// Collection-infrastructure outages (Section 3.3): the central server
   /// itself goes down this many times per month, silencing *every* home's
   /// heartbeats at once. 0 = perfectly reliable collector.
@@ -107,8 +120,18 @@ class Deployment {
  public:
   explicit Deployment(DeploymentOptions options);
 
-  /// Instantiate all households (deterministic in the seed).
+  /// Assemble the roster (deterministic in the seed). Outside fleet mode
+  /// this also instantiates every household; fleet runs defer household
+  /// construction to the owning shard task in run().
   void build();
+
+  /// True when run() streams through the spill path with ephemeral
+  /// households (memory_budget_bytes > 0). households() stays empty.
+  [[nodiscard]] bool fleet_mode() const { return options_.memory_budget_bytes > 0; }
+
+  /// Roster size (homes simulated by run()), valid after build() in every
+  /// mode — fleet runs never materialise households().
+  [[nodiscard]] std::size_t roster_size() const { return slots_.size(); }
 
   /// Run every data collection stage into the repository, on
   /// `options().workers` threads. The collector-outage pre-pass (which
@@ -117,6 +140,8 @@ class Deployment {
   /// (timestamp, home id) regardless of worker count.
   void run();
 
+  /// Resident households (empty in fleet mode, where shards own their
+  /// households only for the duration of the shard task).
   [[nodiscard]] const std::vector<std::unique_ptr<Household>>& households() const {
     return households_;
   }
@@ -178,18 +203,44 @@ class Deployment {
   std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;  // one per worker
   std::map<int, Interval> churn_windows_;
 
+  /// One roster position: everything needed to (re)construct its household
+  /// deterministically. Fleet shard tasks build households from this on
+  /// the fly; the default path builds them all once in build().
+  struct Slot {
+    const CountryProfile* country{nullptr};
+    HouseholdOptions opts;
+    bool churn{false};
+  };
+  std::vector<Slot> slots_;
+
+  /// A shard-local view of one home: the household plus its registry entry
+  /// (which, in fleet mode, is not yet in the repository).
+  struct ShardHome {
+    Household* hh{nullptr};
+    const collect::HomeInfo* info{nullptr};
+  };
+
+  /// Construct the household for roster slot `idx` writing into `sink`.
+  /// Rng::fork is a pure function of (seed, tag), so a household rebuilt
+  /// inside a fleet shard gets exactly the draws build() would have made.
+  [[nodiscard]] std::unique_ptr<Household> make_household(std::size_t idx,
+                                                          collect::RecordSink* sink) const;
+  /// The registry entry for slot `idx`, including the Table 2
+  /// sub-population flags and the firmware-side Table 5 booleans.
+  [[nodiscard]] collect::HomeInfo home_info_for(const Household& hh, std::size_t idx) const;
+
   /// Serial pre-pass: the collector's own outage process, which silences
   /// every home at once and therefore cannot be sharded.
   void compute_collector_outages();
 
-  // Per-shard stages over households_[lo, hi), writing into `batch` and
+  // Per-shard stages over one shard's homes, writing into `batch` and
   // counting into `metrics` (owned by this shard — single-writer, lock-free).
-  void run_shard_heartbeats(std::size_t lo, std::size_t hi, collect::IngestBatch& batch,
+  void run_shard_heartbeats(const std::vector<ShardHome>& span, collect::IngestBatch& batch,
                             obs::MetricsShard& metrics);
-  void run_shard_passive(std::size_t lo, std::size_t hi, collect::IngestBatch& batch,
+  void run_shard_passive(const std::vector<ShardHome>& span, collect::IngestBatch& batch,
                          sim::Engine& engine, obs::MetricsShard& metrics,
                          obs::FlightRecorder* recorder);
-  std::uint64_t run_shard_traffic(std::size_t lo, std::size_t hi,
+  std::uint64_t run_shard_traffic(const std::vector<ShardHome>& span,
                                   collect::IngestBatch& batch, sim::Engine& engine,
                                   obs::MetricsShard& metrics);
 };

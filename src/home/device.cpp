@@ -8,46 +8,67 @@ namespace bismark::home {
 using traffic::DeviceType;
 using wireless::Band;
 
-Device::Device(DeviceSpec spec, std::vector<PresenceInterval> presence)
-    : spec_(spec), presence_(std::move(presence)) {
-  std::sort(presence_.begin(), presence_.end(),
+Device::Device(DeviceSpec spec, std::vector<PresenceInterval> presence) : spec_(spec) {
+  std::sort(presence.begin(), presence.end(),
             [](const PresenceInterval& a, const PresenceInterval& b) {
               return a.when.start < b.when.start;
             });
-  for (const auto& p : presence_) {
+  when_.reserve(presence.size());
+  band_.reserve(presence.size());
+  for (const auto& p : presence) {
+    when_.push_back(p.when);
+    band_.push_back(static_cast<std::uint8_t>(p.band));
     all_.add(p.when);
-    if (!spec_.wired) {
-      (p.band == Band::k2_4GHz ? band24_ : band5_).add(p.when);
-    }
   }
+}
+
+std::vector<PresenceInterval> Device::presence() const {
+  std::vector<PresenceInterval> out;
+  out.reserve(when_.size());
+  for (std::size_t i = 0; i < when_.size(); ++i) {
+    out.push_back(PresenceInterval{when_[i], static_cast<Band>(band_[i])});
+  }
+  return out;
 }
 
 bool Device::wants_online(TimePoint t) const { return all_.contains(t); }
 
 std::optional<Band> Device::band_at(TimePoint t) const {
   if (spec_.wired) return std::nullopt;
-  for (const auto& p : presence_) {
-    if (p.when.contains(t)) return p.band;
-    if (p.when.start > t) break;
+  // First containing interval wins (earlier-start bands take precedence
+  // during overlap), exactly as the AoS scan did.
+  for (std::size_t i = 0; i < when_.size(); ++i) {
+    if (when_[i].contains(t)) return static_cast<Band>(band_[i]);
+    if (when_[i].start > t) break;
   }
   return std::nullopt;
 }
 
 bool Device::ever_on_band(Band band) const {
   if (spec_.wired) return false;
-  return std::any_of(presence_.begin(), presence_.end(),
-                     [band](const PresenceInterval& p) { return p.band == band; });
+  const auto b = static_cast<std::uint8_t>(band);
+  return std::any_of(band_.begin(), band_.end(), [b](std::uint8_t x) { return x == b; });
 }
 
 double Device::presence_fraction(TimePoint lo, TimePoint hi) const {
   if (hi <= lo) return 0.0;
   Duration covered{0};
-  for (const auto& p : presence_) {
-    const TimePoint s = std::max(p.when.start, lo);
-    const TimePoint e = std::min(p.when.end, hi);
+  for (const auto& w : when_) {
+    const TimePoint s = std::max(w.start, lo);
+    const TimePoint e = std::min(w.end, hi);
     if (e > s) covered += e - s;
   }
   return static_cast<double>(covered.ms) / static_cast<double>((hi - lo).ms);
+}
+
+IntervalSet Device::presence_on_band(Band band) const {
+  IntervalSet out;
+  if (spec_.wired) return out;
+  const auto b = static_cast<std::uint8_t>(band);
+  for (std::size_t i = 0; i < when_.size(); ++i) {
+    if (band_[i] == b) out.add(when_[i]);
+  }
+  return out;
 }
 
 DeviceSpec DeviceFactory::DrawSpec(bool developed, double always_on_scale, Rng& rng) {

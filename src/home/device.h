@@ -7,6 +7,7 @@
 // device is only actually connected while the router is also powered.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -39,12 +40,23 @@ struct PresenceInterval {
 };
 
 /// Per-device presence schedule over a study window.
+///
+/// The schedule is stored as a structure of arrays — interval spans in one
+/// contiguous array, per-interval bands in a parallel byte array — plus the
+/// merged union for point queries. A fleet-scale run holds hundreds of
+/// thousands of these schedules, so the former layout (an AoS interval
+/// vector *and* three redundant IntervalSets) was the single biggest
+/// per-home allocation; the SoA form stores each interval once.
 class Device {
  public:
   Device(DeviceSpec spec, std::vector<PresenceInterval> presence);
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
-  [[nodiscard]] const std::vector<PresenceInterval>& presence() const { return presence_; }
+  /// AoS view of the schedule, materialised on demand (tests/diagnostics;
+  /// hot paths read the SoA arrays).
+  [[nodiscard]] std::vector<PresenceInterval> presence() const;
+  /// Number of presence intervals.
+  [[nodiscard]] std::size_t presence_count() const { return when_.size(); }
 
   /// Does the device want to be on the network at `t`?
   [[nodiscard]] bool wants_online(TimePoint t) const;
@@ -55,18 +67,19 @@ class Device {
   /// Fraction of [lo, hi) the device wants to be online.
   [[nodiscard]] double presence_fraction(TimePoint lo, TimePoint hi) const;
 
-  /// Presence as interval sets (all media / per band) for fast queries.
+  /// Merged presence across all media, for fast point/coverage queries.
   [[nodiscard]] const IntervalSet& presence_set() const { return all_; }
-  [[nodiscard]] const IntervalSet& presence_on_band(wireless::Band band) const {
-    return band == wireless::Band::k2_4GHz ? band24_ : band5_;
-  }
+  /// Presence restricted to one band, derived from the SoA schedule on
+  /// demand (empty for wired devices).
+  [[nodiscard]] IntervalSet presence_on_band(wireless::Band band) const;
 
  private:
   DeviceSpec spec_;
-  std::vector<PresenceInterval> presence_;  // sorted by start
-  IntervalSet all_;
-  IntervalSet band24_;
-  IntervalSet band5_;
+  // SoA schedule, sorted by interval start; band_[i] is the
+  // wireless::Band of when_[i] (unused when the device is wired).
+  std::vector<Interval> when_;
+  std::vector<std::uint8_t> band_;
+  IntervalSet all_;  // merged union of when_
 };
 
 /// Generates devices for households.

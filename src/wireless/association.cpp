@@ -1,39 +1,66 @@
 #include "wireless/association.h"
 
+#include <algorithm>
+
 namespace bismark::wireless {
+
+namespace {
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+}  // namespace
+
+std::size_t AssociationTable::find(net::MacAddress mac) const {
+  const auto it = std::lower_bound(macs_.begin(), macs_.end(), mac);
+  if (it == macs_.end() || !(*it == mac)) return kNpos;
+  return static_cast<std::size_t>(it - macs_.begin());
+}
 
 bool AssociationTable::associate(net::MacAddress mac, TimePoint now) {
   if (!config_.enabled) return false;
-  auto it = clients_.find(mac);
-  if (it == clients_.end()) {
-    clients_.emplace(mac, Association{mac, now, now});
-  } else {
-    it->second.last_activity = now;
+  const auto it = std::lower_bound(macs_.begin(), macs_.end(), mac);
+  if (it != macs_.end() && *it == mac) {
+    last_activity_[static_cast<std::size_t>(it - macs_.begin())] = now;
+    return true;
   }
+  const auto pos = static_cast<std::size_t>(it - macs_.begin());
+  macs_.insert(it, mac);
+  associated_at_.insert(associated_at_.begin() + static_cast<std::ptrdiff_t>(pos), now);
+  last_activity_.insert(last_activity_.begin() + static_cast<std::ptrdiff_t>(pos), now);
   return true;
 }
 
-void AssociationTable::disassociate(net::MacAddress mac) { clients_.erase(mac); }
-
-void AssociationTable::clear() { clients_.clear(); }
-
-void AssociationTable::touch(net::MacAddress mac, TimePoint now) {
-  const auto it = clients_.find(mac);
-  if (it != clients_.end()) it->second.last_activity = now;
+void AssociationTable::disassociate(net::MacAddress mac) {
+  const std::size_t pos = find(mac);
+  if (pos == kNpos) return;
+  macs_.erase(macs_.begin() + static_cast<std::ptrdiff_t>(pos));
+  associated_at_.erase(associated_at_.begin() + static_cast<std::ptrdiff_t>(pos));
+  last_activity_.erase(last_activity_.begin() + static_cast<std::ptrdiff_t>(pos));
 }
 
-bool AssociationTable::is_associated(net::MacAddress mac) const { return clients_.contains(mac); }
+void AssociationTable::clear() {
+  macs_.clear();
+  associated_at_.clear();
+  last_activity_.clear();
+}
+
+void AssociationTable::touch(net::MacAddress mac, TimePoint now) {
+  const std::size_t pos = find(mac);
+  if (pos != kNpos) last_activity_[pos] = now;
+}
+
+bool AssociationTable::is_associated(net::MacAddress mac) const { return find(mac) != kNpos; }
 
 std::vector<Association> AssociationTable::clients() const {
   std::vector<Association> out;
-  out.reserve(clients_.size());
-  for (const auto& [mac, assoc] : clients_) out.push_back(assoc);
+  out.reserve(macs_.size());
+  for (std::size_t i = 0; i < macs_.size(); ++i) {
+    out.push_back(Association{macs_[i], associated_at_[i], last_activity_[i]});
+  }
   return out;
 }
 
 void AssociationTable::set_enabled(bool enabled) {
   config_.enabled = enabled;
-  if (!enabled) clients_.clear();
+  if (!enabled) clear();
 }
 
 }  // namespace bismark::wireless

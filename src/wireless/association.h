@@ -1,7 +1,6 @@
 // Client association state for one radio of the home AP.
 #pragma once
 
-#include <map>
 #include <vector>
 
 #include "core/time.h"
@@ -20,6 +19,11 @@ struct Association {
 /// Tracks which client MACs are associated with a radio. The Devices
 /// dataset's hourly "associated clients per frequency" counts (Section
 /// 3.2.2) are read directly from two of these.
+///
+/// Stored as parallel arrays sorted by MAC (a structure of arrays rather
+/// than a node-based map): a radio holds at most a dozen clients, and a
+/// fleet run holds two tables per home, so the flat layout trades
+/// per-entry node/pointer overhead for a cache-resident binary search.
 class AssociationTable {
  public:
   explicit AssociationTable(RadioConfig config) : config_(config) {}
@@ -35,14 +39,21 @@ class AssociationTable {
   void touch(net::MacAddress mac, TimePoint now);
 
   [[nodiscard]] bool is_associated(net::MacAddress mac) const;
-  [[nodiscard]] std::size_t client_count() const { return clients_.size(); }
+  [[nodiscard]] std::size_t client_count() const { return macs_.size(); }
+  /// AoS view in MAC order (the former map's iteration order).
   [[nodiscard]] std::vector<Association> clients() const;
   [[nodiscard]] const RadioConfig& config() const { return config_; }
   void set_enabled(bool enabled);
 
  private:
+  /// Index of `mac` in the sorted arrays, or npos.
+  [[nodiscard]] std::size_t find(net::MacAddress mac) const;
+
   RadioConfig config_;
-  std::map<net::MacAddress, Association> clients_;
+  // Parallel arrays sorted by MAC.
+  std::vector<net::MacAddress> macs_;
+  std::vector<TimePoint> associated_at_;
+  std::vector<TimePoint> last_activity_;
 };
 
 }  // namespace bismark::wireless

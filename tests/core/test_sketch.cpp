@@ -1,0 +1,149 @@
+// Property tests for the streaming quantile estimators: the GK sketch's
+// rank-error guarantee against exact order statistics, merge error
+// budgeting, and the P² single-quantile estimator on smooth input.
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace bismark {
+namespace {
+
+// The GK guarantee: quantile(q) returns a stream element whose true rank r
+// satisfies |r - q*n| <= eps*n. With duplicates the returned value owns a
+// rank *range*; the guarantee holds if any rank in that range qualifies.
+void ExpectWithinRankError(const QuantileSketch& sketch, std::vector<double> data,
+                           double eps_budget) {
+  std::sort(data.begin(), data.end());
+  const double n = static_cast<double>(data.size());
+  const double slack = eps_budget * n + 1.0;  // +1: rank discretisation
+  for (const double q : {0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    const double v = sketch.quantile(q);
+    const auto lo = std::lower_bound(data.begin(), data.end(), v);
+    const auto hi = std::upper_bound(data.begin(), data.end(), v);
+    ASSERT_NE(lo, hi) << "quantile(" << q << ") returned " << v
+                      << ", which is not a stream element";
+    // 1-based rank range occupied by v in the sorted sample.
+    const double r_lo = static_cast<double>(lo - data.begin()) + 1.0;
+    const double r_hi = static_cast<double>(hi - data.begin());
+    const double target = q * n;
+    const double dist = target < r_lo ? r_lo - target : (target > r_hi ? target - r_hi : 0.0);
+    EXPECT_LE(dist, slack) << "quantile(" << q << ") = " << v << " has rank ["
+                           << r_lo << ", " << r_hi << "], target " << target;
+  }
+}
+
+TEST(QuantileSketch, UniformStreamWithinRankError) {
+  Rng rng(7001);
+  QuantileSketch sketch(0.005);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.uniform(0.0, 1000.0);
+    data.push_back(v);
+    sketch.add(v);
+  }
+  EXPECT_EQ(sketch.count(), data.size());
+  ExpectWithinRankError(sketch, data, sketch.eps());
+}
+
+TEST(QuantileSketch, HeavyTailedStreamWithinRankError) {
+  Rng rng(7002);
+  QuantileSketch sketch(0.005);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.pareto(1.0, 1.2);  // flow-size-like tail
+    data.push_back(v);
+    sketch.add(v);
+  }
+  ExpectWithinRankError(sketch, data, sketch.eps());
+}
+
+TEST(QuantileSketch, SortedAndReversedStreams) {
+  for (const bool reversed : {false, true}) {
+    QuantileSketch sketch(0.01);
+    std::vector<double> data;
+    for (int i = 0; i < 20000; ++i) {
+      const double v = reversed ? 20000.0 - i : static_cast<double>(i);
+      data.push_back(v);
+      sketch.add(v);
+    }
+    ExpectWithinRankError(sketch, data, sketch.eps());
+  }
+}
+
+TEST(QuantileSketch, ManyDuplicates) {
+  Rng rng(7003);
+  QuantileSketch sketch(0.01);
+  std::vector<double> data;
+  for (int i = 0; i < 30000; ++i) {
+    // Device-count-like integers: a handful of distinct values.
+    const double v = std::floor(rng.uniform(0.0, 8.0));
+    data.push_back(v);
+    sketch.add(v);
+  }
+  ExpectWithinRankError(sketch, data, sketch.eps());
+}
+
+TEST(QuantileSketch, SketchStaysSublinear) {
+  Rng rng(7004);
+  QuantileSketch sketch(0.005);
+  for (int i = 0; i < 200000; ++i) sketch.add(rng.uniform(0.0, 1.0));
+  // O((1/eps) log(eps n)) tuples: generous ceiling far below the stream.
+  EXPECT_LT(sketch.tuples(), 4000u);
+  EXPECT_EQ(sketch.count(), 200000u);
+}
+
+TEST(QuantileSketch, MergeKeepsSummedErrorBudget) {
+  Rng rng(7005);
+  QuantileSketch a(0.005);
+  QuantileSketch b(0.005);
+  std::vector<double> data;
+  for (int i = 0; i < 40000; ++i) {
+    const double v = rng.exponential(10.0);
+    data.push_back(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), data.size());
+  // Merging same-eps sketches doubles the rank tolerance (eps_a + eps_b).
+  ExpectWithinRankError(a, data, 0.011);
+}
+
+TEST(QuantileSketch, MinMaxExact) {
+  QuantileSketch sketch(0.01);
+  Rng rng(7006);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.normal(50.0, 20.0);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    sketch.add(v);
+  }
+  EXPECT_DOUBLE_EQ(sketch.min(), lo);
+  EXPECT_DOUBLE_EQ(sketch.max(), hi);
+}
+
+TEST(P2Quantile, TracksSmoothDistribution) {
+  Rng rng(7007);
+  P2Quantile p95(0.95);
+  std::vector<double> data;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.uniform(0.0, 1.0);
+    data.push_back(v);
+    p95.add(v);
+  }
+  EXPECT_NEAR(p95.value(), Quantile(data, 0.95), 0.01);
+}
+
+TEST(P2Quantile, ExactForTinySamples) {
+  P2Quantile median(0.5);
+  for (const double v : {5.0, 1.0, 3.0}) median.add(v);
+  EXPECT_DOUBLE_EQ(median.value(), 3.0);
+}
+
+}  // namespace
+}  // namespace bismark

@@ -12,12 +12,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <set>
 #include <string>
 
 #include "analysis/diurnal.h"
 #include "analysis/downtime.h"
+#include "analysis/fleet.h"
 #include "analysis/infrastructure.h"
 #include "analysis/usage.h"
 #include "analysis/utilization.h"
@@ -75,6 +77,10 @@ home::DeploymentOptions OptionsFrom(const ArgParser& args) {
   }
   options.run_traffic = !args.has("no-traffic");
   options.roster_scale = args.get_double("scale", 1.0);
+  options.homes = static_cast<int>(args.get_int("homes", 0));
+  options.memory_budget_bytes =
+      static_cast<std::size_t>(args.get_int("memory-budget-mb", 0)) << 20;
+  if (const auto dir = args.get("spill-dir")) options.spill_dir = *dir;
   options.workers = static_cast<int>(args.get_int("workers", 1));
   // Fault injection (Section 3.3's visibility limitations, as knobs).
   options.collector_outages_per_month =
@@ -91,8 +97,10 @@ home::DeploymentOptions OptionsFrom(const ArgParser& args) {
 
 int CmdRun(const ArgParser& args) {
   const auto options = OptionsFrom(args);
-  std::printf("simulating %d-home deployment (seed %llu)...\n", home::TotalRouters(),
-              static_cast<unsigned long long>(options.seed));
+  const int roster_homes = options.homes > 0 ? options.homes : home::TotalRouters();
+  std::printf("simulating %d-home deployment (seed %llu%s)...\n", roster_homes,
+              static_cast<unsigned long long>(options.seed),
+              options.memory_budget_bytes > 0 ? ", fleet mode" : "");
   const auto study = home::Deployment::RunStudy(options);
   const auto counts = study->repository().counts();
 
@@ -125,6 +133,12 @@ int CmdRun(const ArgParser& args) {
                 FormatDuration(study->collector_outages().total()).c_str());
   }
 
+  if (options.memory_budget_bytes > 0) {
+    // Fleet mode: rows live in spill segments, so the headline
+    // distributions come from one streaming sketch pass per data set.
+    analysis::WriteFleetSummary(analysis::SummarizeFleet(study->repository()), std::cout);
+  }
+
   if (const auto dir = args.get("export")) {
     const std::size_t rows = collect::ExportPublicDatasets(study->repository(), *dir);
     std::printf("exported %zu public rows to %s (Traffic withheld, as in the paper)\n", rows,
@@ -150,6 +164,15 @@ int CmdReport(const ArgParser& args) {
   const auto options = OptionsFrom(args);
   const auto study = home::Deployment::RunStudy(options);
   const auto& repo = study->repository();
+
+  if (options.memory_budget_bytes > 0) {
+    // The Section 4-6 analyses below read resident row vectors, which are
+    // empty when records live in spill segments; fleet mode reports the
+    // streaming-sketch distributions instead.
+    PrintBanner("Fleet distributions (streaming)");
+    analysis::WriteFleetSummary(analysis::SummarizeFleet(repo), std::cout);
+    return WriteObsOutputs(*study, args, "bismark_study report");
+  }
 
   PrintBanner("Availability (Section 4)");
   const auto homes = analysis::AnalyzeAvailability(repo, {Minutes(10), 25.0});
@@ -260,6 +283,13 @@ int main(int argc, char** argv) {
   args.add_option("weeks", "compress the study to N weeks (0 = the paper's real windows)",
                   "0");
   args.add_option("scale", "scale the per-country roster (1.0 = 126 homes)", "1.0");
+  args.add_option("homes", "exact roster size, apportioned over the Table 1 country mix "
+                  "(overrides --scale; 126 = the default roster)");
+  args.add_option("memory-budget-mb",
+                  "fleet mode: bound record-staging memory to this many MiB by spilling "
+                  "sorted segment runs to disk (0 = keep everything in RAM)", "0");
+  args.add_option("spill-dir",
+                  "segment-file directory for --memory-budget-mb (default bsmk-segments)");
   args.add_option("workers", "worker threads for the run; 0 = all cores (results are "
                   "byte-identical for any value)", "1");
   args.add_option("export", "write the public CSVs to this directory");
@@ -294,6 +324,22 @@ int main(int argc, char** argv) {
     if (!args.error().empty()) std::fprintf(stderr, "error: %s\n\n", args.error().c_str());
     std::fputs(args.help("bismark_study <run|report|analyze>").c_str(), stderr);
     return args.has("help") ? 0 : 2;
+  }
+
+  // Scale-axis validation: a zero/negative/garbled --homes or a negative
+  // budget is a usage error, not a 0-home run.
+  if (const auto homes = args.get("homes")) {
+    if (args.get_int("homes", -1) <= 0) {
+      std::fprintf(stderr, "error: --homes must be a positive integer (got '%s')\n\n",
+                   homes->c_str());
+      std::fputs(args.help("bismark_study <run|report|analyze>").c_str(), stderr);
+      return 2;
+    }
+  }
+  if (args.get_int("memory-budget-mb", -1) < 0) {
+    std::fprintf(stderr, "error: --memory-budget-mb must be a non-negative integer\n\n");
+    std::fputs(args.help("bismark_study <run|report|analyze>").c_str(), stderr);
+    return 2;
   }
 
   const std::string& command = args.positional()[0];

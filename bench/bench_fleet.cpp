@@ -10,6 +10,7 @@
 //   build/bench/bench_fleet                             # N = 1k/10k/100k
 //   build/bench/bench_fleet --homes 1000,10000 --json BENCH_fleet.json
 //   build/bench/bench_fleet --gate-bytes-per-home 65536 --gate-records-per-sec 100000
+//   build/bench/bench_fleet --checksum-overhead-homes 1000 --gate-checksum-overhead-pct 5
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -53,7 +54,8 @@ struct FleetPoint {
 };
 
 home::DeploymentOptions FleetOptions(int homes, int weeks, int workers, int budget_mb,
-                                     const std::string& spill_dir) {
+                                     const std::string& spill_dir,
+                                     bool verify_checksums = true) {
   home::DeploymentOptions options;
   options.seed = 20131023;
   options.windows = collect::DatasetWindows::Compressed(MakeTime({2012, 10, 1}), weeks);
@@ -61,6 +63,7 @@ home::DeploymentOptions FleetOptions(int homes, int weeks, int workers, int budg
   options.workers = workers;
   options.memory_budget_bytes = static_cast<std::size_t>(budget_mb) << 20;
   options.spill_dir = spill_dir;
+  options.spill_verify_checksums = verify_checksums;
   return options;
 }
 
@@ -177,6 +180,80 @@ bool BenchOne(int homes, int weeks, int workers, int budget_mb, long baseline_rs
   return true;
 }
 
+struct ChecksumOverhead {
+  int homes{0};
+  std::uint64_t rows{0};
+  double wall_on_s{0.0};
+  double wall_off_s{0.0};
+  double rps_on{0.0};
+  double rps_off{0.0};
+  double overhead_pct{0.0};
+};
+
+/// Run the same study + full export with CRC verification on vs off on the
+/// merge read path and report the throughput cost of verification.
+/// Exporting is what re-merges every spilled section, so the child streams
+/// all rows to make the verify path the thing being measured. Each mode
+/// takes the best of three runs: the CRC cost is deterministic compute,
+/// while single-sample wall times on a shared runner carry several percent
+/// of scheduler noise — min-of-K isolates the former.
+bool MeasureChecksumOverhead(int homes, int weeks, int workers, int budget_mb,
+                             ChecksumOverhead* out) {
+  const auto one = [&](bool verify, std::uint64_t* rows, double* wall_s) {
+    const auto spill = std::filesystem::temp_directory_path() /
+                       ("bsmk-fleet-crc-" + std::string(verify ? "on" : "off") + "-" +
+                        std::to_string(getpid()));
+    std::filesystem::remove_all(spill);
+    std::string line;
+    long rss = 0;
+    const bool ok = RunInChild(
+        [&](int fd) {
+          const auto t0 = std::chrono::steady_clock::now();
+          const auto study = home::Deployment::RunStudy(
+              FleetOptions(homes, weeks, workers, budget_mb, spill.string(), verify));
+          const std::size_t hash = ExportFingerprint(study->repository());
+          const auto t1 = std::chrono::steady_clock::now();
+          dprintf(fd, "rows=%llu wall_s=%.6f hash=%016zx\n",
+                  static_cast<unsigned long long>(study->repository().total_rows()),
+                  std::chrono::duration<double>(t1 - t0).count(), hash);
+        },
+        &line, &rss);
+    std::filesystem::remove_all(spill);
+    if (!ok) return false;
+    unsigned long long r = 0;
+    if (std::sscanf(line.c_str(), "rows=%llu wall_s=%lf", &r, wall_s) != 2) {
+      std::fprintf(stderr, "error: bad checksum-overhead result line: %s\n", line.c_str());
+      return false;
+    }
+    *rows = r;
+    return true;
+  };
+  out->homes = homes;
+  std::uint64_t rows_off = 0;
+  out->wall_on_s = 0.0;
+  out->wall_off_s = 0.0;
+  constexpr int kRepeats = 3;
+  for (int i = 0; i < kRepeats; ++i) {
+    double on_s = 0.0;
+    double off_s = 0.0;
+    if (!one(true, &out->rows, &on_s)) return false;
+    if (!one(false, &rows_off, &off_s)) return false;
+    if (out->wall_on_s == 0.0 || on_s < out->wall_on_s) out->wall_on_s = on_s;
+    if (out->wall_off_s == 0.0 || off_s < out->wall_off_s) out->wall_off_s = off_s;
+  }
+  if (rows_off != out->rows) {
+    std::fprintf(stderr, "error: checksum on/off runs disagree on row count\n");
+    return false;
+  }
+  out->rps_on = out->wall_on_s > 0.0 ? static_cast<double>(out->rows) / out->wall_on_s : 0.0;
+  out->rps_off =
+      out->wall_off_s > 0.0 ? static_cast<double>(out->rows) / out->wall_off_s : 0.0;
+  out->overhead_pct = out->wall_off_s > 0.0
+                          ? 100.0 * (out->wall_on_s - out->wall_off_s) / out->wall_off_s
+                          : 0.0;
+  return true;
+}
+
 /// Paper-scale determinism anchor: 126 homes through the spill path must
 /// export the same bytes as the in-RAM golden. Returns true on match.
 bool CheckGolden(int workers, std::size_t* hash_out) {
@@ -216,7 +293,7 @@ std::vector<int> ParseHomesList(const std::string& spec) {
 
 int WriteJson(const std::string& path, const std::vector<FleetPoint>& points, int weeks,
               int workers, int budget_mb, long baseline_rss, std::size_t golden_hash,
-              bool golden_ok) {
+              bool golden_ok, const ChecksumOverhead* crc) {
   std::ofstream file(path, std::ios::binary);
   if (!file) {
     std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
@@ -239,6 +316,18 @@ int WriteJson(const std::string& path, const std::vector<FleetPoint>& points, in
   json.kv("export_hash", hash);
   json.kv("matches_golden", golden_ok);
   json.end_object();
+  if (crc != nullptr) {
+    json.key("checksum_overhead");
+    json.begin_object();
+    json.kv("homes", crc->homes);
+    json.kv("rows", static_cast<std::int64_t>(crc->rows));
+    json.kv("wall_verify_on_s", crc->wall_on_s);
+    json.kv("wall_verify_off_s", crc->wall_off_s);
+    json.kv("records_per_sec_verify_on", crc->rps_on);
+    json.kv("records_per_sec_verify_off", crc->rps_off);
+    json.kv("overhead_pct", crc->overhead_pct);
+    json.end_object();
+  }
   json.key("results");
   json.begin_array();
   for (const auto& p : points) {
@@ -274,6 +363,11 @@ int main(int argc, char** argv) {
   args.add_option("gate-records-per-sec",
                   "fail (exit 6) if any row ingests slower than this (0 = no gate)",
                   "0");
+  args.add_option("checksum-overhead-homes",
+                  "roster size for the CRC-verify on/off comparison (0 = skip)", "1000");
+  args.add_option("gate-checksum-overhead-pct",
+                  "fail (exit 7) if CRC verification slows the run by more than this "
+                  "percentage (0 = no gate)", "0");
   args.add_flag("skip-golden", "skip the 126-home export-hash determinism anchor");
   if (!args.parse(argc, argv)) {
     std::fprintf(stderr, "error: %s\n", args.error().c_str());
@@ -315,9 +409,21 @@ int main(int argc, char** argv) {
   }
   table.print();
 
+  const int crc_homes = static_cast<int>(args.get_int("checksum-overhead-homes", 1000));
+  ChecksumOverhead crc;
+  bool have_crc = false;
+  if (crc_homes > 0) {
+    if (!MeasureChecksumOverhead(crc_homes, weeks, workers, budget_mb, &crc)) return 1;
+    have_crc = true;
+    std::printf(
+        "checksum overhead (%d homes, run + full export): verify-on %.0f records/s, "
+        "verify-off %.0f records/s, overhead %.1f%%\n",
+        crc.homes, crc.rps_on, crc.rps_off, crc.overhead_pct);
+  }
+
   if (const auto path = args.get("json")) {
     if (const int rc = WriteJson(*path, points, weeks, workers, budget_mb, baseline_rss,
-                                 golden_hash, golden_ok)) {
+                                 golden_hash, golden_ok, have_crc ? &crc : nullptr)) {
       return rc;
     }
   }
@@ -347,6 +453,18 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("gate-records-per-sec: all rows above %.0f records/s\n", gate);
+  }
+  if (const double gate = args.get_double("gate-checksum-overhead-pct", 0.0);
+      gate > 0.0 && have_crc) {
+    if (crc.overhead_pct > gate) {
+      std::fprintf(stderr,
+                   "gate-checksum-overhead-pct: CRC verification cost %.1f%%, gate is "
+                   "%.1f%%\n",
+                   crc.overhead_pct, gate);
+      return 7;
+    }
+    std::printf("gate-checksum-overhead-pct: %.1f%% within the %.1f%% gate\n",
+                crc.overhead_pct, gate);
   }
   return 0;
 }

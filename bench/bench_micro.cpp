@@ -7,17 +7,23 @@
 #include <benchmark/benchmark.h>
 
 #include <array>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bismark/meter.h"
 #include "collect/export.h"
 #include "collect/import.h"
+#include "collect/repository.h"
 #include "collect/snapshot.h"
+#include "collect/spill.h"
 #include "common.h"
 #include "core/cdf.h"
+#include "core/crc32c.h"
 #include "core/intervals.h"
 #include "core/rng.h"
 #include "net/dns.h"
@@ -362,6 +368,87 @@ void BM_SnapshotLoad(benchmark::State& state) {
                           static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
 }
 BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
+
+// --- crash safety: segment checksums and the verifying merge path -----------
+
+/// CRC32C throughput over a section-sized buffer — the per-byte cost every
+/// spilled section pays once on write and once per merge pass.
+void BM_SegmentChecksum(benchmark::State& state) {
+  std::string buf(1 << 20, '\0');
+  Rng rng(11);
+  for (char& c : buf) c = static_cast<char>(rng.uniform_int(0, 255));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Crc32c(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size()));
+  state.SetLabel(core::Crc32cHardwareActive() ? "hw" : "sw");
+}
+BENCHMARK(BM_SegmentChecksum);
+
+/// The portable fallback, for comparison on hardware-CRC machines.
+void BM_SegmentChecksumSoftware(benchmark::State& state) {
+  std::string buf(1 << 20, '\0');
+  Rng rng(11);
+  for (char& c : buf) c = static_cast<char>(rng.uniform_int(0, 255));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::Crc32cSoftware(buf.data(), buf.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_SegmentChecksumSoftware);
+
+/// A small spill-backed repository whose sections the verify benchmark
+/// re-merges; built once, so the bench times the read path only.
+const collect::DataRepository& SpilledBenchRepo() {
+  using namespace collect;
+  static const DataRepository* repo = [] {
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("bsmk-bench-spill-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+    const DatasetWindows w{all, all, all, all, all, all};
+    auto* r = new DataRepository(w);
+    SpillConfig cfg;
+    cfg.dir = dir.string();
+    cfg.budget_bytes = 64 << 10;  // force many sections per kind
+    cfg.workers = 2;
+    r->enable_spill(cfg);
+    Rng rng(13);
+    constexpr int kShards = 8;
+    for (int shard = 0; shard < kShards; ++shard) {
+      IngestBatch batch = r->make_batch();
+      batch.attach_spill(r->spill(), static_cast<std::uint32_t>(shard),
+                         static_cast<std::size_t>(shard % 2));
+      for (int i = 0; i < 4000; ++i) {
+        ThroughputMinute tm;
+        tm.home = HomeId{shard * 4 + i % 4};
+        tm.minute_start = TimePoint{rng.uniform_int(0, 500'000'000)};
+        tm.bytes_down = Bytes{rng.uniform_int(0, 100'000'000)};
+        tm.peak_down_bps = rng.uniform(0.0, 2e7);
+        batch.add_throughput_minute(tm);
+      }
+      r->commit(std::move(batch));
+    }
+    r->finalize_deterministic_order();
+    return r;
+  }();
+  return *repo;
+}
+
+/// Stream a spilled data set through the k-way merge with CRC verification
+/// on every section — the exact read path a resumed fleet run takes.
+void BM_SectionVerify(benchmark::State& state) {
+  const auto& repo = SpilledBenchRepo();
+  for (auto _ : state) {
+    std::size_t rows = 0;
+    repo.for_each_row<collect::ThroughputMinute>(
+        [&](const collect::ThroughputMinute&) { ++rows; });
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(repo.total_rows()));
+}
+BENCHMARK(BM_SectionVerify)->Unit(benchmark::kMillisecond);
 
 void BM_MacAnonymize(benchmark::State& state) {
   const auto mac = net::MacAddress::FromParts(0x001EC2, 0x123456);

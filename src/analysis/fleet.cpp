@@ -5,6 +5,8 @@
 #include <ostream>
 #include <vector>
 
+#include "collect/binio.h"
+
 namespace bismark::analysis {
 
 namespace {
@@ -111,6 +113,66 @@ void WriteFleetSummary(const FleetSummary& summary, std::ostream& out) {
   row("assoc clients / scan", summary.associated_clients);
   row("peak minute down (Mbps)", summary.throughput_down_mbps);
   row("flow size (KB)", summary.flow_kbytes);
+}
+
+namespace {
+
+constexpr char kSummaryMagic[4] = {'F', 'L', 'S', '1'};
+
+/// The nine sketches in one fixed order, shared by both codec directions so
+/// they cannot drift.
+template <typename S, typename Fn>
+void ForEachSketch(S& summary, Fn&& fn) {
+  fn(summary.availability_fraction);
+  fn(summary.downtimes_per_day);
+  fn(summary.unique_devices);
+  fn(summary.capacity_down_mbps);
+  fn(summary.capacity_up_mbps);
+  fn(summary.visible_aps);
+  fn(summary.associated_clients);
+  fn(summary.throughput_down_mbps);
+  fn(summary.flow_kbytes);
+}
+
+}  // namespace
+
+std::string SerializeFleetSummary(const FleetSummary& summary) {
+  collect::BinWriter w;
+  w.raw(kSummaryMagic, sizeof(kSummaryMagic));
+  w.u64(static_cast<std::uint64_t>(summary.homes));
+  w.u64(summary.rows);
+  ForEachSketch(summary, [&w](const QuantileSketch& s) { w.str(s.Serialize()); });
+  return w.buffer();
+}
+
+bool DeserializeFleetSummary(const std::string& blob, FleetSummary* out,
+                             std::string* error) {
+  const auto fail = [error](const std::string& reason) {
+    if (error) *error = "fleet summary: " + reason;
+    return false;
+  };
+  collect::BinReader r(blob.data(), blob.size());
+  char magic[sizeof(kSummaryMagic)] = {};
+  for (auto& c : magic) c = static_cast<char>(r.u8());
+  if (r.failed() || std::string_view(magic, sizeof(magic)) !=
+                        std::string_view(kSummaryMagic, sizeof(kSummaryMagic))) {
+    return fail("bad magic");
+  }
+  FleetSummary summary;
+  summary.homes = static_cast<std::size_t>(r.u64());
+  summary.rows = r.u64();
+  bool ok = true;
+  ForEachSketch(summary, [&](QuantileSketch& s) {
+    if (!ok || r.failed()) {
+      ok = false;
+      return;
+    }
+    ok = QuantileSketch::Deserialize(r.str(), &s);
+  });
+  if (!ok || r.failed()) return fail("malformed sketch blob");
+  if (!r.at_end()) return fail("trailing bytes");
+  *out = std::move(summary);
+  return true;
 }
 
 }  // namespace bismark::analysis

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "collect/manifest.h"
+
 namespace bismark::collect {
 
 DatasetWindows DatasetWindows::Paper() {
@@ -58,11 +60,19 @@ void DataRepository::enable_spill(SpillConfig config) {
   spill_ = std::make_unique<SpillDir>(std::move(config));
 }
 
+void DataRepository::enable_spill_recovered(SpillConfig config, const SpillRecovery& recovered) {
+  if (config.workers == 0) config.workers = 1;
+  spill_ = std::make_unique<SpillDir>(std::move(config), recovered);
+  // Completed shards' homes come from the manifest, not a re-run;
+  // finalize_deterministic_order() restores the canonical order later.
+  for (const HomeInfo& home : recovered.homes) register_home(home);
+}
+
 void DataRepository::finalize_deterministic_order() {
   std::sort(homes_.begin(), homes_.end(),
             [](const HomeInfo& a, const HomeInfo& b) { return a.id.value < b.id.value; });
   store_.sort_canonical();
-  if (spill_ != nullptr) spill_->sync_all();
+  if (spill_ != nullptr) spill_->flush_all();
 }
 
 void IngestBatch::attach_spill(SpillDir* dir, std::uint32_t shard, std::size_t worker) {
@@ -100,7 +110,8 @@ void IngestBatch::flush_spill() {
       body.append(row_w.buffer());
     }
     constexpr std::size_t kKind = kRecordIndexOf<T>;
-    const SectionRef ref = log_->append(shard_, runs_[kKind]++, vec.size(), body);
+    const SectionRef ref = log_->append(static_cast<std::uint32_t>(kKind), shard_,
+                                        runs_[kKind]++, vec.size(), body);
     spill_->register_section(kKind, ref);
     // Deallocate rather than clear(): the runner keeps every shard's batch
     // object alive until the run ends, so retained capacity across

@@ -147,6 +147,10 @@ class DataRepository final : public RecordSink {
   /// stays empty — readers use `for_each_row<T>()` instead. The in-RAM and
   /// spilled paths produce byte-identical canonical row orders.
   void enable_spill(SpillConfig config);
+  /// Resume variant: adopt a recovered spill directory's committed sections
+  /// and register the homes its completed shards contributed
+  /// (collect/manifest.h).
+  void enable_spill_recovered(SpillConfig config, const SpillRecovery& recovered);
   [[nodiscard]] bool spilling() const { return spill_ != nullptr; }
   [[nodiscard]] SpillDir* spill() const { return spill_.get(); }
 

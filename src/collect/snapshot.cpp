@@ -3,10 +3,13 @@
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <streambuf>
 #include <tuple>
 #include <utility>
 
 #include "collect/binio.h"
+#include "core/crc32c.h"
+#include "core/io.h"
 
 namespace bismark::collect {
 
@@ -66,6 +69,27 @@ bool Fail(std::string* error, const std::string& reason) {
   return false;
 }
 
+// std::ostream shim over core::CheckedFile so SaveSnapshot's streaming body
+// writes through the injectable Io seam. A latched CheckedFile error turns
+// into badbit here; the caller reports file.error() for the real diagnostic.
+class CheckedFileBuf final : public std::streambuf {
+ public:
+  explicit CheckedFileBuf(core::CheckedFile& f) : f_(f) {}
+
+ protected:
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return f_.write(s, static_cast<std::size_t>(n)) ? n : 0;
+  }
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return traits_type::not_eof(ch);
+    const char c = traits_type::to_char_type(ch);
+    return f_.write(&c, 1) ? ch : traits_type::eof();
+  }
+
+ private:
+  core::CheckedFile& f_;
+};
+
 }  // namespace
 
 bool SaveSnapshot(const DataRepository& repo, std::ostream& out, std::string* error) {
@@ -73,7 +97,9 @@ bool SaveSnapshot(const DataRepository& repo, std::ostream& out, std::string* er
   // data set resident, so neither may its snapshot writer.
   constexpr std::size_t kChunkBytes = 1 << 20;
   BinWriter w;
+  std::uint32_t crc = 0;
   const auto drain = [&] {
+    crc = core::Crc32c(w.buffer().data(), w.buffer().size(), crc);
     out.write(w.buffer().data(), static_cast<std::streamsize>(w.buffer().size()));
     w.clear();
   };
@@ -110,33 +136,82 @@ bool SaveSnapshot(const DataRepository& repo, std::ostream& out, std::string* er
   });
 
   drain();
+  // Trailing whole-file CRC32C (not covered by itself).
+  char trailer[4];
+  for (std::size_t i = 0; i < 4; ++i) {
+    trailer[i] = static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+  out.write(trailer, 4);
   if (!out) return Fail(error, "write failed");
   return true;
 }
 
 bool SaveSnapshotFile(const DataRepository& repo, const std::string& path, std::string* error) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Fail(error, "cannot open " + path + " for writing");
-  return SaveSnapshot(repo, out, error);
+  core::CheckedFile file;
+  if (!file.open(path)) {
+    return Fail(error, "cannot open " + path + " for writing: " + file.error());
+  }
+  CheckedFileBuf buf(file);
+  std::ostream out(&buf);
+  std::string inner;
+  const bool saved = SaveSnapshot(repo, out, &inner);
+  // sync + close even after a failed save so the fd is released; the first
+  // latched error owns the diagnostic. A full disk — real or injected —
+  // surfaces its errno here instead of leaving a silently truncated file.
+  file.sync();
+  file.close();
+  if (!file.ok()) return Fail(error, file.error());
+  if (!saved) {
+    if (error) *error = inner;
+    return false;
+  }
+  return true;
 }
 
 std::unique_ptr<DataRepository> LoadSnapshot(std::istream& in, std::string* error) {
   const std::string data((std::istreambuf_iterator<char>(in)),
                          std::istreambuf_iterator<char>());
-  BinReader r(data.data(), data.size());
 
-  char magic[sizeof(kSnapshotMagic)] = {};
-  for (auto& c : magic) c = static_cast<char>(r.u8());
-  if (r.failed() || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+  // Check order: magic, version, whole-file CRC32C, then parse. Nothing
+  // past the version field is decoded until the checksum proves the bytes
+  // are the ones the writer committed.
+  if (data.size() < sizeof(kSnapshotMagic) ||
+      std::memcmp(data.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
     Fail(error, "bad magic");
     return nullptr;
   }
-  const std::uint32_t version = r.u32();
+  constexpr std::size_t kHeaderBytes = sizeof(kSnapshotMagic) + sizeof(std::uint32_t);
+  std::uint32_t version = 0;
+  if (data.size() >= kHeaderBytes) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      version |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(data[sizeof(kSnapshotMagic) + i]))
+                 << (8 * i);
+    }
+  }
   if (version != kSnapshotVersion) {
     Fail(error, "unsupported version " + std::to_string(version) + " (want " +
                     std::to_string(kSnapshotVersion) + ")");
     return nullptr;
   }
+  if (data.size() < kHeaderBytes + sizeof(std::uint32_t)) {
+    Fail(error, "truncated input (missing trailing CRC32C)");
+    return nullptr;
+  }
+  const std::size_t body_bytes = data.size() - sizeof(std::uint32_t);
+  std::uint32_t stored_crc = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[body_bytes + i]))
+                  << (8 * i);
+  }
+  if (stored_crc != core::Crc32c(data.data(), body_bytes)) {
+    Fail(error, "CRC32C mismatch (snapshot corrupted or truncated)");
+    return nullptr;
+  }
+
+  BinReader r(data.data(), body_bytes);
+  for (std::size_t i = 0; i < sizeof(kSnapshotMagic); ++i) (void)r.u8();
+  (void)r.u32();  // version, validated above
 
   DatasetWindows windows;
   windows.heartbeats = GetInterval(r);

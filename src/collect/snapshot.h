@@ -16,6 +16,7 @@
 //              kind name (length-prefixed string)
 //              u32 field count, then each field name
 //              u64 row count, then rows field-by-field (schema order)
+//   crc      u32 CRC32C of every preceding byte (v2, DESIGN §12)
 //
 // Versioning rules: the header is self-describing — the loader verifies
 // magic, version, kind names, and per-kind field names, and refuses a
@@ -24,6 +25,12 @@
 // to a Fields() list) bumps kSnapshotVersion; readers stay strict — a
 // snapshot is a cache of a deterministic run, never an archival format,
 // so regeneration beats migration.
+//
+// The loader checks magic, then version, then the trailing CRC32C before
+// parsing anything else: a flipped bit or truncated tail fails closed with
+// a checksum diagnostic instead of being decoded into plausible rows.
+// SaveSnapshotFile writes through the injectable core::Io seam, so a full
+// disk (real or injected) aborts with the errno instead of exiting 0.
 #pragma once
 
 #include <array>
@@ -37,7 +44,7 @@
 
 namespace bismark::collect {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 inline constexpr char kSnapshotMagic[8] = {'B', 'S', 'M', 'K', 'S', 'N', 'A', 'P'};
 
 /// Write the repository (windows, homes, every data set) to a stream.

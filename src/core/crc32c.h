@@ -1,0 +1,33 @@
+// CRC32C (Castagnoli, reflected polynomial 0x82F63B78) — the checksum that
+// frames every spill section, manifest record, and snapshot (DESIGN §12).
+//
+// Chosen over CRC32 (IEEE) because x86 carries it in silicon: SSE 4.2's
+// crc32 instruction retires 8 bytes/cycle, so checksumming the fleet spill
+// stream costs well under the 5% throughput budget the bench gate enforces.
+// Dispatch happens once at startup; the software slice-by-8 fallback keeps
+// the format identical on machines without the instruction.
+//
+// Convention: Crc32c(data, n) is the standard finalized CRC32C (matches the
+// iSCSI/RFC 3720 test vectors). To checksum a stream incrementally, thread
+// the previous return value through `seed`:
+//   crc = Crc32c(a, na);
+//   crc = Crc32c(b, nb, crc);   // == Crc32c(concat(a, b))
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace bismark::core {
+
+/// CRC32C of `n` bytes, chained from `seed` (0 for a fresh stream).
+[[nodiscard]] std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed = 0);
+
+/// Portable slice-by-8 implementation; exposed so tests can pin the
+/// hardware path against it byte-for-byte.
+[[nodiscard]] std::uint32_t Crc32cSoftware(const void* data, std::size_t n,
+                                           std::uint32_t seed = 0);
+
+/// True when the running CPU dispatches to the hardware instruction.
+[[nodiscard]] bool Crc32cHardwareActive();
+
+}  // namespace bismark::core

@@ -2,9 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iterator>
 
 namespace bismark {
+
+namespace {
+
+// Little-endian scalar codec for the sketch checkpoint blobs. Kept local:
+// core cannot depend on collect's BinWriter, and the blobs are opaque to
+// everything but these two classes.
+void PutU64(std::string& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(b, 8);
+}
+
+void PutF64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  PutU64(out, bits);
+}
+
+struct BlobReader {
+  const char* p;
+  std::size_t left;
+
+  bool u64(std::uint64_t* v) {
+    if (left < 8) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) {
+      *v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+    }
+    p += 8;
+    left -= 8;
+    return true;
+  }
+
+  bool f64(double* v) {
+    std::uint64_t bits;
+    if (!u64(&bits)) return false;
+    std::memcpy(v, &bits, 8);
+    return true;
+  }
+
+  bool tag(const char* magic) {
+    if (left < 4 || std::memcmp(p, magic, 4) != 0) return false;
+    p += 4;
+    left -= 4;
+    return true;
+  }
+};
+
+}  // namespace
 
 void RunningStats::add(double x) {
   if (n_ == 0) {
@@ -176,6 +226,47 @@ double QuantileSketch::quantile(double q) const {
   return tuples_.back().v;
 }
 
+std::string QuantileSketch::Serialize() const {
+  std::string out;
+  out.reserve(36 + 24 * tuples_.size());
+  out.append("GKS1", 4);
+  PutF64(out, eps_);
+  PutU64(out, n_);
+  PutU64(out, since_compress_);
+  PutU64(out, tuples_.size());
+  for (const Tuple& t : tuples_) {
+    PutF64(out, t.v);
+    PutU64(out, t.g);
+    PutU64(out, t.delta);
+  }
+  return out;
+}
+
+bool QuantileSketch::Deserialize(const std::string& blob, QuantileSketch* out) {
+  BlobReader r{blob.data(), blob.size()};
+  if (!r.tag("GKS1")) return false;
+  QuantileSketch sketch;
+  std::uint64_t n = 0, since = 0, count = 0;
+  if (!r.f64(&sketch.eps_) || !r.u64(&n) || !r.u64(&since) || !r.u64(&count)) return false;
+  if (!(sketch.eps_ >= 1e-6 && sketch.eps_ <= 0.5)) return false;  // rejects NaN too
+  if (count > blob.size() / 24 + 1) return false;
+  sketch.n_ = static_cast<std::size_t>(n);
+  sketch.since_compress_ = static_cast<std::size_t>(since);
+  sketch.tuples_.reserve(static_cast<std::size_t>(count));
+  std::uint64_t mass = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Tuple t{};
+    if (!r.f64(&t.v) || !r.u64(&t.g) || !r.u64(&t.delta)) return false;
+    if (t.g == 0 || std::isnan(t.v)) return false;
+    if (!sketch.tuples_.empty() && t.v < sketch.tuples_.back().v) return false;
+    mass += t.g;
+    sketch.tuples_.push_back(t);
+  }
+  if (r.left != 0 || mass != n) return false;  // trailing bytes / rank-mass mismatch
+  *out = std::move(sketch);
+  return true;
+}
+
 double QuantileSketch::min() const { return tuples_.empty() ? 0.0 : tuples_.front().v; }
 
 double QuantileSketch::max() const { return tuples_.empty() ? 0.0 : tuples_.back().v; }
@@ -250,6 +341,44 @@ double P2Quantile::value() const {
     return QuantileSorted(std::span<const double>(copy, n_), q_);
   }
   return heights_[2];
+}
+
+std::string P2Quantile::Serialize() const {
+  std::string out;
+  out.reserve(180);
+  out.append("P2Q1", 4);
+  PutF64(out, q_);
+  PutU64(out, n_);
+  for (double h : heights_) PutF64(out, h);
+  for (double p : positions_) PutF64(out, p);
+  for (double d : desired_) PutF64(out, d);
+  for (double i : increments_) PutF64(out, i);
+  return out;
+}
+
+bool P2Quantile::Deserialize(const std::string& blob, P2Quantile* out) {
+  BlobReader r{blob.data(), blob.size()};
+  if (!r.tag("P2Q1")) return false;
+  P2Quantile est(0.5);
+  std::uint64_t n = 0;
+  if (!r.f64(&est.q_) || !r.u64(&n)) return false;
+  if (!(est.q_ >= 0.0 && est.q_ <= 1.0)) return false;  // rejects NaN too
+  est.n_ = static_cast<std::size_t>(n);
+  for (double& h : est.heights_) {
+    if (!r.f64(&h)) return false;
+  }
+  for (double& p : est.positions_) {
+    if (!r.f64(&p)) return false;
+  }
+  for (double& d : est.desired_) {
+    if (!r.f64(&d)) return false;
+  }
+  for (double& i : est.increments_) {
+    if (!r.f64(&i)) return false;
+  }
+  if (r.left != 0) return false;
+  *out = est;
+  return true;
 }
 
 void Sample::ensure_sorted() const {

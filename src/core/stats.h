@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
 namespace bismark {
@@ -75,6 +76,16 @@ class QuantileSketch {
   [[nodiscard]] double min() const;
   [[nodiscard]] double max() const;
 
+  /// Self-contained little-endian blob of the full sketch state; a
+  /// deserialized sketch answers every query — and absorbs every future
+  /// add/merge — exactly like the original. Used by checkpoint/resume
+  /// (DESIGN §12).
+  [[nodiscard]] std::string Serialize() const;
+  /// Rebuild from Serialize() output. Fails closed: returns false on any
+  /// malformed blob (bad length, unsorted tuples, mass/count mismatch)
+  /// leaving *out untouched.
+  static bool Deserialize(const std::string& blob, QuantileSketch* out);
+
  private:
   /// One GK tuple: value v covers ranks [r_min, r_min + delta], where
   /// r_min is the sum of g over this and all preceding tuples.
@@ -103,6 +114,10 @@ class P2Quantile {
   [[nodiscard]] std::size_t count() const { return n_; }
   /// Current estimate; exact while n <= 5.
   [[nodiscard]] double value() const;
+
+  /// Marker-state blob; same contract as QuantileSketch::Serialize.
+  [[nodiscard]] std::string Serialize() const;
+  static bool Deserialize(const std::string& blob, P2Quantile* out);
 
  private:
   double q_;

@@ -5,9 +5,12 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
+#include "collect/manifest.h"
 #include "core/logging.h"
+#include "home/resume.h"
 #include "sim/engine.h"
 #include "traffic/generator.h"
 
@@ -70,6 +73,8 @@ Deployment::Deployment(DeploymentOptions options)
       catalog_, gateway::AnonymizerConfig{options_.seed ^ 0xA17Full, "anon-"});
   repo_ = std::make_unique<collect::DataRepository>(options_.windows);
 }
+
+Deployment::~Deployment() = default;
 
 void Deployment::build() {
   Rng root(options_.seed);
@@ -484,15 +489,68 @@ void Deployment::run() {
 
   const int workers =
       options_.workers > 0 ? options_.workers : ThreadPool::HardwareWorkers();
+  const std::vector<ShardSpan> plan = shard_plan();
+  const std::size_t shards = plan.size();
+
+  // Shards whose rows and homes were recovered from the manifest and must
+  // not be re-run (resume only; always all-zero on a fresh run).
+  std::vector<char> shard_recovered(shards, 0);
+  recovery_.reset();
+  sim_clock_high_water_ms_ = 0;
+
+  if (options_.resume && !fleet_mode()) {
+    throw std::runtime_error("resume requires fleet mode (a memory budget and spill dir)");
+  }
   if (fleet_mode() && !repo_->spilling()) {
     collect::SpillConfig scfg;
     scfg.dir = options_.spill_dir.empty() ? "bsmk-segments" : options_.spill_dir;
     scfg.budget_bytes = options_.memory_budget_bytes;
     scfg.workers = static_cast<std::size_t>(workers);
-    repo_->enable_spill(scfg);
+    scfg.verify_checksums = options_.spill_verify_checksums;
+    if (options_.resume) {
+      auto recovered = std::make_unique<collect::SpillRecovery>();
+      std::string err;
+      if (!collect::RecoverSpillDir(scfg.dir, recovered.get(), &err)) {
+        throw std::runtime_error("resume: " + err);
+      }
+      if (recovered->has_config) {
+        // The blob pins every content-determining option, so equality here
+        // guarantees the recovered sections merge byte-identically with the
+        // shards this run regenerates.
+        if (recovered->config.options_blob != EncodeResumableOptions(options_)) {
+          throw std::runtime_error(
+              "resume: options do not match the run recorded in " + scfg.dir +
+              " (seed/windows/roster/fault knobs must be identical; pass --resume "
+              "alone and let the manifest supply them)");
+        }
+        if (recovered->config.shard_count != shards) {
+          throw std::runtime_error(
+              "resume: shard plan mismatch (manifest has " +
+              std::to_string(recovered->config.shard_count) + " shards, this run plans " +
+              std::to_string(shards) + ")");
+        }
+      }
+      for (const std::uint32_t s : recovered->done_shards) {
+        if (s < shards) shard_recovered[s] = 1;
+      }
+      sim_clock_high_water_ms_ =
+          recovered->has_checkpoint ? recovered->checkpoint.sim_clock_ms : 0;
+      repo_->enable_spill_recovered(scfg, *recovered);
+      recovery_ = std::move(recovered);
+    } else {
+      repo_->enable_spill(scfg);
+    }
+    // WAL: the run-config record is fsynced before any section or
+    // shard-done record can reference it.
+    collect::ManifestConfig mcfg;
+    mcfg.schema_fingerprint = collect::SchemaFingerprint();
+    mcfg.budget_bytes = options_.memory_budget_bytes;
+    mcfg.workers = static_cast<std::uint32_t>(workers);
+    mcfg.generation = repo_->spill()->generation();
+    mcfg.shard_count = static_cast<std::uint32_t>(shards);
+    mcfg.options_blob = EncodeResumableOptions(options_);
+    repo_->spill()->write_run_config(mcfg);
   }
-  const std::vector<ShardSpan> plan = shard_plan();
-  const std::size_t shards = plan.size();
 
   // One staging batch and one metrics shard per *shard* (determinism unit),
   // one engine and one flight recorder per *worker* (execution unit). The
@@ -501,7 +559,9 @@ void Deployment::run() {
   std::vector<collect::IngestBatch> batches;
   batches.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) batches.push_back(repo_->make_batch());
-  std::vector<obs::MetricsShard> metric_shards(shards);
+  // One extra shard for the recovery counters, appended only on resume so a
+  // fresh run's merged registry (and with it every golden) is untouched.
+  std::vector<obs::MetricsShard> metric_shards(shards + (recovery_ ? 1 : 0));
 
   ThreadPool pool(workers);
   std::vector<std::unique_ptr<sim::Engine>> engines(
@@ -511,10 +571,14 @@ void Deployment::run() {
     recorders_.push_back(std::make_unique<obs::FlightRecorder>(kRecorderCapacity));
   }
   std::atomic<std::uint64_t> traffic_events{0};
+  std::atomic<std::uint64_t> committed_shards{
+      recovery_ ? static_cast<std::uint64_t>(recovery_->done_shards.size()) : 0};
+  std::atomic<std::int64_t> clock_high_water{sim_clock_high_water_ms_};
 
   const bool fleet = fleet_mode();
   const auto t_sharded = std::chrono::steady_clock::now();
   pool.parallel_for(shards, [&](std::size_t shard, int worker) {
+    if (shard_recovered[shard]) return;  // rows + homes adopted from the manifest
     const std::size_t lo = plan[shard].lo;
     const std::size_t hi = plan[shard].hi;
     collect::IngestBatch& batch = batches[shard];
@@ -560,13 +624,31 @@ void Deployment::run() {
     }
     if (fleet) {
       // Incremental commit: flush the batch's residue to its segment log
-      // now so staging memory stays bounded by (threshold x workers), and
-      // register the homes (thread-safe; canonical order is restored by
+      // now so staging memory stays bounded by (threshold x workers). WAL
+      // order: sections reach the OS inside commit(), *then* the shard-done
+      // record makes the shard recoverable, then the homes register
+      // (thread-safe; canonical order is restored by
       // finalize_deterministic_order below).
-      for (auto& info : fleet_infos) repo_->register_home(std::move(info));
       repo_->commit(std::move(batch));
+      repo_->spill()->record_shard_done(static_cast<std::uint32_t>(shard), fleet_infos);
+      for (auto& info : fleet_infos) repo_->register_home(std::move(info));
+
+      std::int64_t clock = engine->now().ms;
+      std::int64_t seen = clock_high_water.load(std::memory_order_relaxed);
+      while (clock > seen &&
+             !clock_high_water.compare_exchange_weak(seen, clock, std::memory_order_relaxed)) {
+      }
+      const std::uint64_t done = committed_shards.fetch_add(1) + 1;
+      if (options_.checkpoint_every != 0 && done % options_.checkpoint_every == 0) {
+        collect::ManifestCheckpoint ckpt;
+        ckpt.sim_clock_ms = clock_high_water.load(std::memory_order_relaxed);
+        ckpt.shards_done = done;
+        repo_->spill()->write_checkpoint(ckpt);
+        recorder->record(obs::TraceKind::kCheckpoint, TimePoint{ckpt.sim_clock_ms}, -1, done);
+      }
     }
   });
+  sim_clock_high_water_ms_ = clock_high_water.load();
   telemetry_.wall_sharded_run_s = SecondsSince(t_sharded);
   telemetry_.pool = pool.last_round_stats();
   telemetry_.workers = pool.workers();
@@ -578,6 +660,19 @@ void Deployment::run() {
   const auto t_commit = std::chrono::steady_clock::now();
   for (auto& batch : batches) repo_->commit(std::move(batch));
   repo_->finalize_deterministic_order();
+  if (recovery_) {
+    obs::MetricsShard& rs = metric_shards[shards];
+    rs.counter("bismark_recovery_sections_verified_total").inc(recovery_->sections_verified);
+    rs.counter("bismark_recovery_sections_quarantined_total")
+        .inc(recovery_->sections_quarantined);
+    rs.counter("bismark_recovery_shards_recovered_total")
+        .inc(static_cast<std::uint64_t>(recovery_->done_shards.size()));
+    rs.counter("bismark_recovery_shards_dropped_total").inc(recovery_->shards_dropped);
+    rs.counter("bismark_recovery_manifest_bytes_truncated_total")
+        .inc(recovery_->manifest_bytes_truncated);
+    rs.counter("bismark_recovery_segment_bytes_truncated_total")
+        .inc(recovery_->segment_bytes_truncated);
+  }
   metrics_ = obs::MergeShards(metric_shards);
   upload_stats_ = UploadStatsFromMetrics(metrics_);
   telemetry_.wall_commit_s = SecondsSince(t_commit);
@@ -589,6 +684,27 @@ void Deployment::run() {
     BISMARK_LOG_INFO("deployment", "traffic window complete: %llu events across %zu shards",
                      static_cast<unsigned long long>(traffic_events.load()), shards);
   }
+}
+
+std::string Deployment::recovered_fleet_summary_blob() const {
+  if (!recovery_ || !recovery_->has_checkpoint) return {};
+  const std::size_t shards = shard_count();
+  // Only a provably-complete, provably-clean directory may serve a cached
+  // summary: every shard recovered, nothing quarantined, and the checkpoint
+  // written after the last shard committed.
+  if (recovery_->done_shards.size() != shards) return {};
+  if (recovery_->sections_quarantined != 0 || recovery_->shards_dropped != 0) return {};
+  if (recovery_->checkpoint.shards_done != shards) return {};
+  return recovery_->checkpoint.sketch_blob;
+}
+
+void Deployment::save_fleet_summary_checkpoint(const std::string& sketch_blob) {
+  if (!repo_->spilling()) return;
+  collect::ManifestCheckpoint ckpt;
+  ckpt.sim_clock_ms = sim_clock_high_water_ms_;
+  ckpt.shards_done = shard_count();
+  ckpt.sketch_blob = sketch_blob;
+  repo_->spill()->write_checkpoint(ckpt);
 }
 
 void Deployment::dump_flight_recorders(std::ostream& out) const {

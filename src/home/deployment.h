@@ -52,6 +52,20 @@ struct DeploymentOptions {
   std::size_t memory_budget_bytes{0};
   /// Segment-file directory for fleet mode ("" = "bsmk-segments").
   std::string spill_dir;
+  /// Fleet mode: write a durable checkpoint (fsync every segment log + the
+  /// manifest, then append a checkpoint record) every K committed shards.
+  /// 0 = checkpoints only where durability demands them (the run config
+  /// and each shard-done record are still write-ahead logged).
+  std::uint64_t checkpoint_every{0};
+  /// Resume an interrupted fleet run from spill_dir: recover the manifest
+  /// (truncating torn tails, quarantining corrupt sections), adopt every
+  /// completed shard's rows and homes, and re-run only the rest. The
+  /// content-determining options above must match the recorded run —
+  /// run() refuses a mismatching resume. Requires memory_budget_bytes > 0.
+  bool resume{false};
+  /// Read-side segment CRC verification. The checksum-overhead bench is
+  /// the only caller that turns this off; every production path keeps it on.
+  bool spill_verify_checksums{true};
   /// Collection-infrastructure outages (Section 3.3): the central server
   /// itself goes down this many times per month, silencing *every* home's
   /// heartbeats at once. 0 = perfectly reliable collector.
@@ -119,6 +133,7 @@ struct RunTelemetry {
 class Deployment {
  public:
   explicit Deployment(DeploymentOptions options);
+  ~Deployment();  // out-of-line: recovery_ holds an incomplete type here
 
   /// Assemble the roster (deterministic in the seed). Outside fleet mode
   /// this also instantiates every household; fleet runs defer household
@@ -180,6 +195,22 @@ class Deployment {
   /// the worker count).
   [[nodiscard]] std::size_t shard_count() const { return shard_plan().size(); }
 
+  /// What resume recovered from the spill directory (null unless the last
+  /// run() had options.resume set). Counts, truncations, and one
+  /// diagnostic line per recovery action.
+  [[nodiscard]] const collect::SpillRecovery* recovery() const { return recovery_.get(); }
+
+  /// The recovered checkpoint's sketch blob, but only when it provably
+  /// describes the *complete* run: every shard recovered clean, nothing
+  /// quarantined, and the checkpoint itself covered all shards. Empty
+  /// otherwise — a stale summary is worse than a recomputed one.
+  [[nodiscard]] std::string recovered_fleet_summary_blob() const;
+
+  /// Append a final checkpoint carrying `sketch_blob` (the serialized fleet
+  /// summary) so a later --resume of the finished run can skip the
+  /// streaming summary pass. No-op outside fleet mode.
+  void save_fleet_summary_checkpoint(const std::string& sketch_blob);
+
   /// Post-mortem: dump every worker's flight recorder, merged and ordered
   /// by simulated time. Intended for test-failure diagnostics.
   void dump_flight_recorders(std::ostream& out) const;
@@ -202,6 +233,8 @@ class Deployment {
   RunTelemetry telemetry_;
   std::vector<std::unique_ptr<obs::FlightRecorder>> recorders_;  // one per worker
   std::map<int, Interval> churn_windows_;
+  std::unique_ptr<collect::SpillRecovery> recovery_;  // set by a resumed run()
+  std::int64_t sim_clock_high_water_ms_{0};           // checkpointed engine clock
 
   /// One roster position: everything needed to (re)construct its household
   /// deterministically. Fleet shard tasks build households from this on

@@ -15,6 +15,7 @@ const char* TraceKindName(TraceKind kind) {
     case TraceKind::kSpoolDrop: return "spool_drop";
     case TraceKind::kBackoffSpan: return "backoff_span";
     case TraceKind::kPhase: return "phase";
+    case TraceKind::kCheckpoint: return "checkpoint";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class TraceKind : std::uint16_t {
   kSpoolDrop,         ///< bounded spool discarded records (a = dropped total)
   kBackoffSpan,       ///< span: first failure .. successful delivery (a = attempts)
   kPhase,             ///< deployment stage marker (a = shard index)
+  kCheckpoint,        ///< fleet checkpoint made durable (a = shards committed)
 };
 
 [[nodiscard]] const char* TraceKindName(TraceKind kind);

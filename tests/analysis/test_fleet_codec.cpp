@@ -1,0 +1,73 @@
+// Fleet-summary checkpoint codec: the nine sketches plus scalar counts
+// round-trip exactly, and damaged blobs fail closed (a resume recomputes
+// rather than trusting a bad checkpoint).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/fleet.h"
+#include "core/rng.h"
+
+namespace bismark::analysis {
+namespace {
+
+FleetSummary MakeSummary() {
+  Rng rng(20131023);
+  FleetSummary s;
+  s.homes = 126;
+  s.rows = 987654;
+  for (int i = 0; i < 2000; ++i) {
+    s.availability_fraction.add(rng.uniform());
+    s.downtimes_per_day.add(rng.exponential(0.4));
+    s.unique_devices.add(static_cast<double>(rng.uniform_int(1, 30)));
+    s.capacity_down_mbps.add(rng.lognormal(2.5, 0.8));
+    s.capacity_up_mbps.add(rng.lognormal(1.0, 0.7));
+    s.visible_aps.add(static_cast<double>(rng.uniform_int(0, 25)));
+    s.associated_clients.add(static_cast<double>(rng.uniform_int(0, 12)));
+    s.throughput_down_mbps.add(rng.uniform(0.0, 40.0));
+    s.flow_kbytes.add(rng.pareto(1.0, 1.2));
+  }
+  return s;
+}
+
+TEST(FleetSummaryCodec, RoundTripPreservesEveryDistribution) {
+  const FleetSummary original = MakeSummary();
+  FleetSummary loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeFleetSummary(SerializeFleetSummary(original), &loaded, &error))
+      << error;
+  EXPECT_EQ(loaded.homes, original.homes);
+  EXPECT_EQ(loaded.rows, original.rows);
+  const auto same = [](const QuantileSketch& a, const QuantileSketch& b) {
+    ASSERT_EQ(a.count(), b.count());
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << q;
+    }
+  };
+  same(loaded.availability_fraction, original.availability_fraction);
+  same(loaded.downtimes_per_day, original.downtimes_per_day);
+  same(loaded.unique_devices, original.unique_devices);
+  same(loaded.capacity_down_mbps, original.capacity_down_mbps);
+  same(loaded.capacity_up_mbps, original.capacity_up_mbps);
+  same(loaded.visible_aps, original.visible_aps);
+  same(loaded.associated_clients, original.associated_clients);
+  same(loaded.throughput_down_mbps, original.throughput_down_mbps);
+  same(loaded.flow_kbytes, original.flow_kbytes);
+}
+
+TEST(FleetSummaryCodec, FailsClosedOnDamage) {
+  const std::string blob = SerializeFleetSummary(MakeSummary());
+  FleetSummary out;
+  std::string error;
+  EXPECT_FALSE(DeserializeFleetSummary("", &out, &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+  EXPECT_FALSE(DeserializeFleetSummary(blob.substr(0, blob.size() / 3), &out, &error));
+  EXPECT_FALSE(DeserializeFleetSummary(blob + "tail", &out, &error));
+  EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+  std::string bent = blob;
+  bent[1] = 'X';
+  EXPECT_FALSE(DeserializeFleetSummary(bent, &out, &error));
+}
+
+}  // namespace
+}  // namespace bismark::analysis

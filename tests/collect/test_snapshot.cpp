@@ -8,9 +8,22 @@
 #include <string>
 
 #include "collect/snapshot.h"
+#include "core/crc32c.h"
 
 namespace bismark::collect {
 namespace {
+
+/// Recompute the trailing whole-file CRC32C after a deliberate body
+/// mutation, so tests reach the parse-layer error they target instead of
+/// tripping the v2 integrity check first.
+void FixupCrc(std::string& bytes) {
+  ASSERT_GE(bytes.size(), 4u);
+  const std::uint32_t crc = core::Crc32c(bytes.data(), bytes.size() - 4);
+  for (int i = 0; i < 4; ++i) {
+    bytes[bytes.size() - 4 + static_cast<std::size_t>(i)] =
+        static_cast<char>((crc >> (8 * i)) & 0xff);
+  }
+}
 
 DatasetWindows WideWindows() {
   const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
@@ -159,6 +172,7 @@ TEST(Snapshot, RejectsKindNameDrift) {
   const auto pos = bytes.find("heartbeat_run");
   ASSERT_NE(pos, std::string::npos);
   bytes[pos] = 'X';
+  FixupCrc(bytes);
   std::string error;
   EXPECT_EQ(LoadFrom(bytes, error), nullptr);
   EXPECT_NE(error.find("kind name mismatch"), std::string::npos) << error;
@@ -169,6 +183,7 @@ TEST(Snapshot, RejectsFieldNameDrift) {
   const auto pos = bytes.find("run_start_ms");
   ASSERT_NE(pos, std::string::npos);
   bytes[pos] = 'X';
+  FixupCrc(bytes);
   std::string error;
   EXPECT_EQ(LoadFrom(bytes, error), nullptr);
   EXPECT_NE(error.find("field name mismatch"), std::string::npos) << error;
@@ -179,8 +194,28 @@ TEST(Snapshot, RejectsTruncationAndTrailingBytes) {
   std::string error;
   EXPECT_EQ(LoadFrom(bytes.substr(0, bytes.size() - 3), error), nullptr);
   EXPECT_NE(error.find("truncated"), std::string::npos) << error;
-  EXPECT_EQ(LoadFrom(bytes + "junk", error), nullptr);
+  // Junk appended after the body: with the trailing CRC re-fixed-up the
+  // parser itself must reject the extra bytes (schema-drift safety net).
+  std::string padded = bytes + "junk";
+  FixupCrc(padded);
+  EXPECT_EQ(LoadFrom(padded, error), nullptr);
   EXPECT_NE(error.find("trailing bytes"), std::string::npos) << error;
+}
+
+TEST(Snapshot, RejectsBodyCorruptionViaTrailingCrc) {
+  // Any single flipped body bit must be caught by the v2 whole-file CRC32C
+  // before field-level parsing ever sees the damage.
+  std::string bytes = SnapshotBytes();
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  std::string error;
+  EXPECT_EQ(LoadFrom(bytes, error), nullptr);
+  EXPECT_NE(error.find("CRC32C mismatch"), std::string::npos) << error;
+
+  // Chopping the trailer entirely is reported as a missing CRC, not a parse
+  // error deep inside some data set.
+  const std::string headerish = SnapshotBytes().substr(0, 13);
+  EXPECT_EQ(LoadFrom(headerish, error), nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
 }
 
 TEST(Snapshot, FileRoundTripAndMissingFileError) {

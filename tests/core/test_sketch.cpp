@@ -145,5 +145,72 @@ TEST(P2Quantile, ExactForTinySamples) {
   EXPECT_DOUBLE_EQ(median.value(), 3.0);
 }
 
+TEST(QuantileSketch, SerializeRoundTripAnswersIdentically) {
+  Rng rng(7010);
+  QuantileSketch sketch(0.01);
+  for (int i = 0; i < 20000; ++i) sketch.add(rng.lognormal(2.0, 1.5));
+
+  QuantileSketch loaded;
+  ASSERT_TRUE(QuantileSketch::Deserialize(sketch.Serialize(), &loaded));
+  EXPECT_EQ(loaded.count(), sketch.count());
+  EXPECT_DOUBLE_EQ(loaded.eps(), sketch.eps());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(loaded.quantile(q), sketch.quantile(q)) << q;
+  }
+
+  // A resumed sketch must keep absorbing adds exactly like the original
+  // (checkpoint/resume continues streaming into restored sketches).
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.uniform(0.0, 100.0);
+    sketch.add(v);
+    loaded.add(v);
+  }
+  for (const double q : {0.1, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(loaded.quantile(q), sketch.quantile(q)) << q;
+  }
+
+  QuantileSketch empty(0.005);
+  QuantileSketch empty_loaded;
+  ASSERT_TRUE(QuantileSketch::Deserialize(empty.Serialize(), &empty_loaded));
+  EXPECT_TRUE(empty_loaded.empty());
+}
+
+TEST(QuantileSketch, DeserializeFailsClosedOnDamage) {
+  QuantileSketch sketch(0.01);
+  for (int i = 0; i < 1000; ++i) sketch.add(static_cast<double>(i));
+  const std::string blob = sketch.Serialize();
+
+  QuantileSketch out(0.5);
+  EXPECT_FALSE(QuantileSketch::Deserialize("", &out));
+  EXPECT_FALSE(QuantileSketch::Deserialize(blob.substr(0, blob.size() / 2), &out));
+  EXPECT_FALSE(QuantileSketch::Deserialize(blob + "x", &out));
+  std::string bent = blob;
+  bent[0] = static_cast<char>(bent[0] ^ 0x7);  // magic
+  EXPECT_FALSE(QuantileSketch::Deserialize(bent, &out));
+  // A failed load leaves *out untouched.
+  EXPECT_DOUBLE_EQ(out.eps(), 0.5);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(P2Quantile, SerializeRoundTripContinuesIdentically) {
+  Rng rng(7011);
+  P2Quantile p95(0.95);
+  for (int i = 0; i < 10000; ++i) p95.add(rng.normal(10.0, 3.0));
+
+  P2Quantile loaded(0.5);
+  ASSERT_TRUE(P2Quantile::Deserialize(p95.Serialize(), &loaded));
+  EXPECT_EQ(loaded.count(), p95.count());
+  EXPECT_DOUBLE_EQ(loaded.value(), p95.value());
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(0.0, 20.0);
+    p95.add(v);
+    loaded.add(v);
+  }
+  EXPECT_DOUBLE_EQ(loaded.value(), p95.value());
+
+  P2Quantile out(0.5);
+  EXPECT_FALSE(P2Quantile::Deserialize("junk", &out));
+}
+
 }  // namespace
 }  // namespace bismark

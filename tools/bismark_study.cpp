@@ -25,10 +25,13 @@
 #include "analysis/utilization.h"
 #include "collect/export.h"
 #include "collect/import.h"
+#include "collect/manifest.h"
 #include "collect/snapshot.h"
 #include "core/args.h"
+#include "core/io.h"
 #include "core/table.h"
 #include "home/deployment.h"
+#include "home/resume.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 
@@ -92,16 +95,85 @@ home::DeploymentOptions OptionsFrom(const ArgParser& args) {
   options.upload.spool_capacity = static_cast<std::size_t>(args.get_int(
       "spool-capacity", static_cast<std::int64_t>(options.upload.spool_capacity)));
   options.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
+  options.checkpoint_every = static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
   return options;
 }
 
+/// --resume: the manifest's config record supplies every content-determining
+/// option; only execution knobs (workers, checkpoint cadence) come from the
+/// command line.
+bool OptionsFromManifest(const std::string& dir, const ArgParser& args,
+                         home::DeploymentOptions* out, std::string* error) {
+  collect::ManifestConfig cfg;
+  if (!collect::ReadManifestConfig(dir, &cfg, error)) return false;
+  if (!home::DecodeResumableOptions(cfg.options_blob, out, error)) return false;
+  out->memory_budget_bytes = static_cast<std::size_t>(cfg.budget_bytes);
+  out->spill_dir = dir;
+  out->resume = true;
+  out->workers = static_cast<int>(args.get_int("workers", 1));
+  out->checkpoint_every = static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  return true;
+}
+
+/// Resolve run options for `run`/`report`: from the manifest on --resume,
+/// from the flags otherwise. Returns false after printing a usage error.
+bool ResolveRunOptions(const ArgParser& args, home::DeploymentOptions* out) {
+  if (const auto resume_dir = args.get("resume")) {
+    std::string error;
+    if (!OptionsFromManifest(*resume_dir, args, out, &error)) {
+      std::fprintf(stderr, "error: cannot resume from %s: %s\n", resume_dir->c_str(),
+                   error.c_str());
+      return false;
+    }
+    return true;
+  }
+  *out = OptionsFrom(args);
+  return true;
+}
+
+/// One line of recovery accounting, plus a stderr line per action the
+/// operator should know about (truncated tails, quarantined sections).
+void PrintRecovery(const home::Deployment& study) {
+  const collect::SpillRecovery* rec = study.recovery();
+  if (rec == nullptr) return;
+  std::printf("resumed from %s: %zu/%zu shards recovered, %llu sections verified, "
+              "%llu quarantined, %llu manifest + %llu segment bytes truncated\n",
+              study.options().spill_dir.c_str(), rec->done_shards.size(),
+              study.shard_count(),
+              static_cast<unsigned long long>(rec->sections_verified),
+              static_cast<unsigned long long>(rec->sections_quarantined),
+              static_cast<unsigned long long>(rec->manifest_bytes_truncated),
+              static_cast<unsigned long long>(rec->segment_bytes_truncated));
+  for (const auto& line : rec->diagnostics) {
+    std::fprintf(stderr, "recovery: %s\n", line.c_str());
+  }
+}
+
+/// Fleet summary with the checkpoint sketch cache: a resumed, already-clean
+/// run reloads the serialized sketches instead of re-streaming every
+/// segment; a computed summary is checkpointed for the next resume.
+void PrintFleetSummary(home::Deployment& study) {
+  analysis::FleetSummary summary;
+  const std::string cached = study.recovered_fleet_summary_blob();
+  if (!cached.empty() && analysis::DeserializeFleetSummary(cached, &summary)) {
+    std::printf("fleet summary restored from checkpoint sketches\n");
+  } else {
+    summary = analysis::SummarizeFleet(study.repository());
+    study.save_fleet_summary_checkpoint(analysis::SerializeFleetSummary(summary));
+  }
+  analysis::WriteFleetSummary(summary, std::cout);
+}
+
 int CmdRun(const ArgParser& args) {
-  const auto options = OptionsFrom(args);
+  home::DeploymentOptions options;
+  if (!ResolveRunOptions(args, &options)) return 2;
   const int roster_homes = options.homes > 0 ? options.homes : home::TotalRouters();
-  std::printf("simulating %d-home deployment (seed %llu%s)...\n", roster_homes,
+  std::printf("simulating %d-home deployment (seed %llu%s%s)...\n", roster_homes,
               static_cast<unsigned long long>(options.seed),
-              options.memory_budget_bytes > 0 ? ", fleet mode" : "");
+              options.memory_budget_bytes > 0 ? ", fleet mode" : "",
+              options.resume ? ", resuming" : "");
   const auto study = home::Deployment::RunStudy(options);
+  PrintRecovery(*study);
   const auto counts = study->repository().counts();
 
   TextTable table({"dataset", "rows"});
@@ -135,8 +207,9 @@ int CmdRun(const ArgParser& args) {
 
   if (options.memory_budget_bytes > 0) {
     // Fleet mode: rows live in spill segments, so the headline
-    // distributions come from one streaming sketch pass per data set.
-    analysis::WriteFleetSummary(analysis::SummarizeFleet(study->repository()), std::cout);
+    // distributions come from one streaming sketch pass per data set (or
+    // the checkpointed sketches of an already-complete resumed run).
+    PrintFleetSummary(*study);
   }
 
   if (const auto dir = args.get("export")) {
@@ -161,8 +234,10 @@ int CmdRun(const ArgParser& args) {
 }
 
 int CmdReport(const ArgParser& args) {
-  const auto options = OptionsFrom(args);
+  home::DeploymentOptions options;
+  if (!ResolveRunOptions(args, &options)) return 2;
   const auto study = home::Deployment::RunStudy(options);
+  PrintRecovery(*study);
   const auto& repo = study->repository();
 
   if (options.memory_budget_bytes > 0) {
@@ -170,7 +245,7 @@ int CmdReport(const ArgParser& args) {
     // empty when records live in spill segments; fleet mode reports the
     // streaming-sketch distributions instead.
     PrintBanner("Fleet distributions (streaming)");
-    analysis::WriteFleetSummary(analysis::SummarizeFleet(repo), std::cout);
+    PrintFleetSummary(*study);
     return WriteObsOutputs(*study, args, "bismark_study report");
   }
 
@@ -290,6 +365,14 @@ int main(int argc, char** argv) {
                   "sorted segment runs to disk (0 = keep everything in RAM)", "0");
   args.add_option("spill-dir",
                   "segment-file directory for --memory-budget-mb (default bsmk-segments)");
+  args.add_option("checkpoint-every",
+                  "fleet mode: make the run durable (fsync segments + manifest, append a "
+                  "checkpoint record) every K committed shards (0 = only the write-ahead "
+                  "records)", "0");
+  args.add_option("resume",
+                  "resume an interrupted fleet run from this spill directory; run options "
+                  "come from the recorded manifest (combine only with --workers, "
+                  "--checkpoint-every and output flags)");
   args.add_option("workers", "worker threads for the run; 0 = all cores (results are "
                   "byte-identical for any value)", "1");
   args.add_option("export", "write the public CSVs to this directory");
@@ -341,11 +424,97 @@ int main(int argc, char** argv) {
     std::fputs(args.help("bismark_study <run|report|analyze>").c_str(), stderr);
     return 2;
   }
+  const auto usage_error = [&args](const std::string& message) {
+    std::fprintf(stderr, "error: %s\n\n", message.c_str());
+    std::fputs(args.help("bismark_study <run|report|analyze>").c_str(), stderr);
+    return 2;
+  };
+  // Crash-safety knobs (DESIGN §12): a malformed cadence, a --resume that
+  // contradicts the manifest-owned options, or an unusable spill directory
+  // is a usage error at startup, never a failure half-way into a run.
+  if (args.get_int("checkpoint-every", 0) < 0 ||
+      (args.has("checkpoint-every") && args.get_int("checkpoint-every", -1) < 0)) {
+    return usage_error("--checkpoint-every must be a non-negative integer");
+  }
+  if (args.get_int("checkpoint-every", 0) > 0 && args.get_int("memory-budget-mb", 0) <= 0 &&
+      !args.has("resume")) {
+    return usage_error(
+        "--checkpoint-every requires fleet mode (--memory-budget-mb > 0 or --resume)");
+  }
+  if (args.has("spill-dir") && args.get_int("memory-budget-mb", 0) <= 0) {
+    return usage_error("--spill-dir requires fleet mode (--memory-budget-mb > 0)");
+  }
+  if (args.has("resume")) {
+    if (args.get("resume")->empty()) {
+      return usage_error("--resume needs the spill directory of the interrupted run");
+    }
+    static constexpr const char* kManifestOwned[] = {
+        "seed",        "weeks",      "scale",      "homes",      "memory-budget-mb",
+        "spill-dir",   "collector-outages-per-month", "heartbeat-loss",
+        "upload-loss", "ack-loss",   "spool-capacity",           "fault-seed",
+        "no-traffic"};
+    for (const char* name : kManifestOwned) {
+      if (args.has(name)) {
+        return usage_error(std::string("--") + name +
+                           " conflicts with --resume (the spill manifest supplies it)");
+      }
+    }
+  }
+  // The spill directory must be a writable directory before any work runs.
+  {
+    std::string dir;
+    if (const auto resume_dir = args.get("resume")) {
+      dir = *resume_dir;
+    } else if (args.get_int("memory-budget-mb", 0) > 0) {
+      dir = args.get_or("spill-dir", "bsmk-segments");
+    }
+    if (!dir.empty()) {
+      namespace fs = std::filesystem;
+      std::error_code ec;
+      if (fs::exists(dir, ec) && !fs::is_directory(dir, ec)) {
+        return usage_error("spill dir " + dir + " exists and is not a directory");
+      }
+      fs::create_directories(dir, ec);
+      if (ec) {
+        return usage_error("cannot create spill dir " + dir + ": " + ec.message());
+      }
+      // Writability probe via plain ofstream: deliberately outside the Io
+      // fault seam, so an injected fault plan exercises the run, not the
+      // startup validation.
+      const std::string probe = dir + "/.probe.tmp";
+      std::ofstream f(probe, std::ios::binary);
+      f << "probe";
+      f.flush();
+      const bool writable = static_cast<bool>(f);
+      f.close();
+      fs::remove(probe, ec);
+      if (!writable) {
+        return usage_error("spill dir " + dir + " is not writable");
+      }
+    }
+  }
+
+  // Injected I/O faults (BISMARK_IO_FAULT) arm before any durable write.
+  {
+    std::string error;
+    if (!core::InstallIoFaultPlanFromEnv(&error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+  }
 
   const std::string& command = args.positional()[0];
-  if (command == "run") return CmdRun(args);
-  if (command == "report") return CmdReport(args);
-  if (command == "analyze") return CmdAnalyze(args);
+  try {
+    if (command == "run") return CmdRun(args);
+    if (command == "report") return CmdReport(args);
+    if (command == "analyze") return CmdAnalyze(args);
+  } catch (const std::exception& e) {
+    // I/O failures on the durable paths (full disk, failed fsync, corrupt
+    // segments) throw with a precise diagnostic; a crash-safe tool turns
+    // them into a clear nonzero exit, never a truncated-but-successful run.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::fprintf(stderr, "unknown command '%s' (expected run, report or analyze)\n",
                command.c_str());
   return 2;

@@ -1,0 +1,104 @@
+#include "analysis/cgn.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace bismark::analysis {
+
+namespace {
+/// Linear-interpolated percentile of a sorted sample (q in [0, 1]).
+double Percentile(const std::vector<std::uint32_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted[hi]) * frac;
+}
+}  // namespace
+
+CgnSummary SummarizeCgn(const collect::DataRepository& repo) {
+  CgnSummary s;
+  std::vector<std::uint32_t> peaks;
+  // Ordered so per_cgn comes out sorted by id without a second pass.
+  std::map<int, CgnInstanceSummary> by_cgn;
+
+  repo.for_each_row<collect::CgnEventRecord>([&](const collect::CgnEventRecord& r) {
+    ++s.homes;
+    s.translations_out += r.translations_out;
+    s.translations_in += r.translations_in;
+    s.exhaustion_drops += r.exhaustion_drops;
+    s.inbound_drops += r.inbound_drops;
+    s.blocks_allocated += r.port_blocks_allocated;
+    if (r.exhaustion_drops > 0) ++s.homes_exhausted;
+    peaks.push_back(static_cast<std::uint32_t>(r.ports_peak));
+
+    CgnInstanceSummary& inst = by_cgn[r.cgn_id];
+    inst.cgn_id = r.cgn_id;
+    ++inst.homes;
+    inst.translations_out += r.translations_out;
+    inst.translations_in += r.translations_in;
+    inst.exhaustion_drops += r.exhaustion_drops;
+    inst.inbound_drops += r.inbound_drops;
+    inst.blocks_allocated += r.port_blocks_allocated;
+    inst.ports_peak_max =
+        std::max(inst.ports_peak_max, static_cast<std::uint32_t>(r.ports_peak));
+  });
+
+  s.cgns = static_cast<int>(by_cgn.size());
+  s.per_cgn.reserve(by_cgn.size());
+  for (auto& [id, inst] : by_cgn) s.per_cgn.push_back(inst);
+
+  const std::uint64_t out_attempts = s.translations_out + s.exhaustion_drops;
+  if (out_attempts > 0) {
+    s.exhaustion_drop_rate =
+        static_cast<double>(s.exhaustion_drops) / static_cast<double>(out_attempts);
+  }
+  const std::uint64_t in_arrivals = s.translations_in + s.inbound_drops;
+  if (in_arrivals > 0) {
+    s.inbound_drop_rate =
+        static_cast<double>(s.inbound_drops) / static_cast<double>(in_arrivals);
+  }
+
+  if (!peaks.empty()) {
+    std::sort(peaks.begin(), peaks.end());
+    s.ports_peak_min = peaks.front();
+    s.ports_peak_max = peaks.back();
+    std::uint64_t sum = 0;
+    for (const std::uint32_t p : peaks) sum += p;
+    s.ports_peak_mean = static_cast<double>(sum) / static_cast<double>(peaks.size());
+    s.ports_peak_median = Percentile(peaks, 0.5);
+    s.ports_peak_p90 = Percentile(peaks, 0.9);
+  }
+  return s;
+}
+
+void WriteCgnSummary(const CgnSummary& s, std::ostream& out) {
+  out << "Carrier-grade NAT (NAT444) summary\n";
+  if (s.homes == 0) {
+    out << "  no CGN activity recorded\n";
+    return;
+  }
+  out << "  active homes:        " << s.homes << " across " << s.cgns << " CGN(s)\n";
+  out << "  translations:        " << s.translations_out << " out, " << s.translations_in
+      << " in\n";
+  out << "  port blocks granted: " << s.blocks_allocated << "\n";
+  out << "  ports/home peak:     min " << s.ports_peak_min << ", median "
+      << s.ports_peak_median << ", p90 " << s.ports_peak_p90 << ", max "
+      << s.ports_peak_max << " (mean " << s.ports_peak_mean << ")\n";
+  out << "  exhaustion drops:    " << s.exhaustion_drops << " ("
+      << s.exhaustion_drop_rate * 100.0 << "% of outbound attempts; "
+      << s.homes_exhausted << " home(s) affected)\n";
+  out << "  inbound drops:       " << s.inbound_drops << " ("
+      << s.inbound_drop_rate * 100.0 << "% of inbound arrivals)\n";
+  for (const CgnInstanceSummary& inst : s.per_cgn) {
+    out << "  cgn " << inst.cgn_id << ": " << inst.homes << " home(s), "
+        << inst.translations_out << " out, " << inst.blocks_allocated << " block(s), "
+        << "busiest peak " << inst.ports_peak_max << " port(s), "
+        << inst.exhaustion_drops << " exhaustion drop(s)\n";
+  }
+}
+
+}  // namespace bismark::analysis

@@ -1,0 +1,68 @@
+// Carrier-grade NAT analysis: what living behind a NAT444 tier costs a
+// home. Summarises the CgnEventRecord dataset (one accounting row per
+// home that touched its CGN) into the figures the Richter et al. line of
+// work reports: ports actually used per subscriber, how often the
+// deterministic port-block slice or the state cap ran out, and how much
+// unsolicited inbound traffic the carrier tier absorbed.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "collect/repository.h"
+
+namespace bismark::analysis {
+
+/// One CGN instance's aggregate, rebuilt from its subscribers' rows.
+struct CgnInstanceSummary {
+  int cgn_id{0};
+  int homes{0};  // subscribers that produced any CGN activity
+  std::uint64_t translations_out{0};
+  std::uint64_t translations_in{0};
+  std::uint64_t exhaustion_drops{0};
+  std::uint64_t inbound_drops{0};
+  std::uint64_t blocks_allocated{0};
+  std::uint32_t ports_peak_max{0};  // busiest subscriber's peak ports
+};
+
+/// Fleet-wide NAT444 summary.
+struct CgnSummary {
+  int homes{0};  // homes with CGN activity (== CgnEventRecord rows)
+  int cgns{0};   // distinct CGN instances those homes hang off
+
+  std::uint64_t translations_out{0};
+  std::uint64_t translations_in{0};
+  std::uint64_t exhaustion_drops{0};
+  std::uint64_t inbound_drops{0};
+  std::uint64_t blocks_allocated{0};
+
+  /// Outbound packets dropped because the subscriber's slice or state cap
+  /// was spent, as a fraction of outbound attempts.
+  double exhaustion_drop_rate{0.0};
+  /// Unsolicited/unmapped inbound as a fraction of inbound arrivals — the
+  /// reachability cost of the carrier tier.
+  double inbound_drop_rate{0.0};
+  /// Homes that experienced at least one exhaustion drop.
+  int homes_exhausted{0};
+
+  /// Distribution of per-home peak concurrent CGN ports (the RFC 7422
+  /// sizing question: how big do the blocks actually need to be?).
+  std::uint32_t ports_peak_min{0};
+  std::uint32_t ports_peak_max{0};
+  double ports_peak_mean{0.0};
+  double ports_peak_median{0.0};
+  double ports_peak_p90{0.0};
+
+  /// Per-instance aggregates, ordered by cgn_id.
+  std::vector<CgnInstanceSummary> per_cgn;
+};
+
+/// Stream the CgnEventRecord dataset (resident or spilled) into a summary.
+/// Returns an all-zero summary when the run had no CGN tier.
+[[nodiscard]] CgnSummary SummarizeCgn(const collect::DataRepository& repo);
+
+/// Human-readable rendering (the study tool prints this under --cgn).
+void WriteCgnSummary(const CgnSummary& summary, std::ostream& out);
+
+}  // namespace bismark::analysis

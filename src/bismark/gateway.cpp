@@ -1,6 +1,10 @@
 #include "bismark/gateway.h"
 
 #include <algorithm>
+#include <array>
+#include <span>
+
+#include "net/wire.h"
 
 namespace bismark::gateway {
 
@@ -11,6 +15,13 @@ Gateway::Gateway(GatewayConfig config, net::AccessLink& link, const Anonymizer& 
       anonymizer_(anonymizer),
       repo_(sink),
       nat_(config.nat),
+      cgn_(config.cgn.enabled ? std::make_unique<net::CgnTable>(config.cgn.config) : nullptr),
+      // Locally-administered MACs, deterministic per home / per CGN: these
+      // appear in pcap frames, never in exported datasets.
+      wan_mac_(net::MacAddress::FromParts(0x02b15a,
+                                          static_cast<std::uint32_t>(config.home.value))),
+      isp_mac_(net::MacAddress::FromParts(0x02157e,
+                                          static_cast<std::uint32_t>(config.cgn.cgn_id))),
       dhcp_(config.lan_prefix, config.lan_prefix.host(1)),
       ethernet_(4),
       radio24_(wireless::RadioConfig{wireless::Band::k2_4GHz,
@@ -43,6 +54,26 @@ void Gateway::on_dns(const net::DnsResponse& response, net::MacAddress device, T
   repo_->add_dns(std::move(rec));
 }
 
+bool Gateway::process_outbound(net::Packet& pkt) {
+  if (cgn_ == nullptr && pcap_ == nullptr) {
+    // Struct fast path — byte-identical behaviour to the pre-wire gateway.
+    return nat_.translate_outbound(pkt);
+  }
+  // Wire path: the packet becomes a real Ethernet frame once, and both NAT
+  // tiers translate it by editing bytes (cached-delta checksum updates).
+  std::array<std::byte, net::wire::kMaxFrameBytes> buf;
+  const std::size_t len = net::wire::EncodeFrame(pkt, wan_mac_, isp_mac_, buf);
+  const std::span<std::byte> frame(buf.data(), len);
+  if (!nat_.translate_outbound_wire(frame, pkt.timestamp, pkt.lan_mac)) return false;
+  if (cgn_ != nullptr &&
+      !cgn_->translate_outbound_wire(config_.cgn.subscriber_index, frame, pkt.timestamp)) {
+    return false;  // CGN port exhaustion: the packet never reaches the WAN
+  }
+  if (pcap_ != nullptr) pcap_->capture(pkt.timestamp, config_.home.value, frame);
+  if (const auto t = net::wire::ExtractTuple(frame)) pkt.tuple = *t;
+  return true;
+}
+
 void Gateway::on_flow_open(const traffic::FlowOpen& open) {
   // Push the first packet of the flow through the NAT so a WAN mapping
   // exists for the whole transfer — the same path a real SYN takes.
@@ -52,7 +83,7 @@ void Gateway::on_flow_open(const traffic::FlowOpen& open) {
   syn.size = B(64);
   syn.direction = net::Direction::kUpstream;
   syn.lan_mac = open.device_mac;
-  nat_.translate_outbound(syn);
+  process_outbound(syn);
   const auto it = std::lower_bound(open_flow_ids_.begin(), open_flow_ids_.end(), open.id);
   if (it != open_flow_ids_.end() && *it == open.id) {
     open_flow_tuples_[static_cast<std::size_t>(it - open_flow_ids_.begin())] = open.lan_tuple;
@@ -84,7 +115,7 @@ void Gateway::on_chunk(const traffic::FlowChunk& chunk) {
     pkt.tuple = open_flow_tuples_[pos];
     pkt.size = B(1500);
     pkt.direction = net::Direction::kUpstream;
-    nat_.translate_outbound(pkt);
+    process_outbound(pkt);
   }
 }
 
@@ -154,6 +185,7 @@ void Gateway::remove_rate(net::Direction dir, double bps, TimePoint now) {
 void Gateway::maybe_gc_nat(TimePoint now) {
   if ((now - last_nat_gc_) >= config_.nat_gc_interval) {
     nat_.expire_idle(now);
+    if (cgn_) cgn_->expire_idle(now);
     last_nat_gc_ = now;
   }
 }
@@ -169,6 +201,30 @@ void Gateway::finalize(TimePoint now) {
     rec.bytes_total = usage.bytes_total;
     rec.flows = usage.flows;
     repo_->add_device_traffic(rec);
+  }
+  // One CGN accounting row per home that actually touched its CGN; homes
+  // with no CGN (or no traffic through it) contribute nothing, so CGN-off
+  // runs keep every export stream byte-identical.
+  if (cgn_ != nullptr) {
+    const std::uint32_t sub = config_.cgn.subscriber_index;
+    const net::CgnSubscriberStats& ss = cgn_->subscriber_stats(sub);
+    if (ss.translations_out + ss.translations_in + ss.exhaustion_drops + ss.inbound_drops >
+        0) {
+      collect::CgnEventRecord rec;
+      rec.home = config_.home;
+      rec.when = now;
+      rec.cgn_id = config_.cgn.cgn_id;
+      rec.port_block = cgn_->slice_base_port(sub);
+      rec.port_block_size = cgn_->config().port_block_size;
+      rec.port_blocks_allocated = ss.blocks_allocated;
+      rec.ports_peak = ss.ports_peak;
+      rec.port_capacity = cgn_->subscriber_port_capacity(sub);
+      rec.translations_out = ss.translations_out;
+      rec.translations_in = ss.translations_in;
+      rec.exhaustion_drops = ss.exhaustion_drops;
+      rec.inbound_drops = ss.inbound_drops;
+      repo_->add_cgn_event(rec);
+    }
   }
 }
 

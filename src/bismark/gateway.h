@@ -17,18 +17,33 @@
 #include "bismark/usage_cap.h"
 #include "collect/repository.h"
 #include "net/access_link.h"
+#include "net/cgn.h"
 #include "net/dhcp.h"
 #include "net/ethernet.h"
 #include "net/nat.h"
+#include "net/pcap.h"
 #include "traffic/generator.h"
 #include "wireless/association.h"
 
 namespace bismark::gateway {
 
+/// Where this home sits in the ISP's NAT444 topology. When enabled, every
+/// outbound packet is translated twice — home NAT, then the carrier-grade
+/// tier — through the byte-level wire path (DESIGN §13).
+struct CgnPlacement {
+  bool enabled{false};
+  net::CgnConfig config;
+  /// This home's subscriber slot on its CGN (owns a disjoint port slice).
+  std::uint32_t subscriber_index{0};
+  /// Which CGN instance serves the home (reported in CgnEventRecord).
+  int cgn_id{0};
+};
+
 struct GatewayConfig {
   collect::HomeId home;
   ConsentLevel consent{ConsentLevel::kBasic};
   net::NatConfig nat;
+  CgnPlacement cgn;
   net::Ipv4Cidr lan_prefix{net::Ipv4Address(192, 168, 1, 0), 24};
   /// NAT conntrack GC cadence.
   Duration nat_gc_interval{Minutes(10).ms};
@@ -78,6 +93,16 @@ class Gateway final : public traffic::TrafficSink {
   void attach_usage_caps(UsageCapManager* caps) { caps_ = caps; }
   [[nodiscard]] UsageCapManager* usage_caps() const { return caps_; }
 
+  /// Attach a WAN-egress capture buffer (the deployment's per-shard pcap
+  /// staging). While attached — or whenever a CGN tier is configured —
+  /// outbound packets travel the byte-level wire path: encoded once as a
+  /// real Ethernet frame, then translated in place by incremental checksum
+  /// rewrites. Pass nullptr to detach. Not owned.
+  void attach_pcap(net::PcapBuffer* buf) { pcap_ = buf; }
+
+  /// The carrier-grade tier in front of this home, or nullptr (NAT44 only).
+  [[nodiscard]] net::CgnTable* cgn() { return cgn_.get(); }
+
   [[nodiscard]] const std::map<net::MacAddress, DeviceUsage>& device_usage() const {
     return usage_;
   }
@@ -90,6 +115,10 @@ class Gateway final : public traffic::TrafficSink {
   collect::RecordSink* repo_;  // may be null (standalone examples)
 
   net::NatTable nat_;
+  std::unique_ptr<net::CgnTable> cgn_;  // non-null iff config.cgn.enabled
+  net::PcapBuffer* pcap_{nullptr};
+  net::MacAddress wan_mac_;  // the gateway's WAN-side source MAC
+  net::MacAddress isp_mac_;  // next-hop (ISP edge) MAC on captured frames
   net::DhcpPool dhcp_;
   net::EthernetSwitch ethernet_;
   wireless::AssociationTable radio24_;
@@ -116,6 +145,10 @@ class Gateway final : public traffic::TrafficSink {
     return config_.consent == ConsentLevel::kFullTraffic;
   }
   void maybe_gc_nat(TimePoint now);
+  /// Outbound translation dispatch: the struct fast path when no CGN/pcap
+  /// is configured, else the byte-level wire path (encode → NAT rewrite →
+  /// CGN rewrite → capture). Returns false when the packet is dropped.
+  bool process_outbound(net::Packet& pkt);
 };
 
 }  // namespace bismark::gateway

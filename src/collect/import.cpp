@@ -188,6 +188,8 @@ template std::size_t ImportDatasetCsv<DnsLogRecord>(DataRepository&, std::istrea
                                                     ImportReport&);
 template std::size_t ImportDatasetCsv<DeviceTrafficRecord>(DataRepository&, std::istream&,
                                                            ImportReport&);
+template std::size_t ImportDatasetCsv<CgnEventRecord>(DataRepository&, std::istream&,
+                                                      ImportReport&);
 
 namespace {
 template <typename ImportFn>

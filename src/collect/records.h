@@ -154,4 +154,25 @@ struct DeviceTrafficRecord {
   friend bool operator==(const DeviceTrafficRecord&, const DeviceTrafficRecord&) = default;
 };
 
+/// Per-home carrier-grade NAT accounting for one traffic window (DESIGN
+/// §13): the subscriber's port-block footprint on its CGN and the drops it
+/// experienced. Emitted only when the study runs with --cgn, so legacy
+/// exports carry zero rows and stay byte-identical.
+struct CgnEventRecord {
+  HomeId home;
+  TimePoint when;            // end of the traffic window the stats cover
+  int cgn_id{0};             // which CGN instance serves this subscriber
+  std::uint64_t port_block{0};        // base port of the subscriber's slice
+  std::uint64_t port_block_size{0};   // ports per allocation block
+  std::uint64_t port_blocks_allocated{0};
+  std::uint64_t ports_peak{0};        // max concurrently active ports
+  std::uint64_t port_capacity{0};     // min(slice ports, per-subscriber cap)
+  std::uint64_t translations_out{0};
+  std::uint64_t translations_in{0};
+  std::uint64_t exhaustion_drops{0};
+  std::uint64_t inbound_drops{0};
+
+  friend bool operator==(const CgnEventRecord&, const CgnEventRecord&) = default;
+};
+
 }  // namespace bismark::collect

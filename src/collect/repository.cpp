@@ -153,7 +153,7 @@ DataRepository::Counts DataRepository::counts() const {
                 row_count<CapacityRecord>(),  row_count<DeviceCountRecord>(),
                 row_count<WifiScanRecord>(),  row_count<TrafficFlowRecord>(),
                 row_count<ThroughputMinute>(), row_count<DnsLogRecord>(),
-                row_count<DeviceTrafficRecord>()};
+                row_count<DeviceTrafficRecord>(), row_count<CgnEventRecord>()};
 }
 
 }  // namespace bismark::collect

@@ -216,6 +216,9 @@ class DataRepository final : public RecordSink {
   [[nodiscard]] const std::vector<DeviceTrafficRecord>& device_traffic() const {
     return rows<DeviceTrafficRecord>();
   }
+  [[nodiscard]] const std::vector<CgnEventRecord>& cgn_events() const {
+    return rows<CgnEventRecord>();
+  }
 
   // Filtered views (copies) used throughout the analysis layer.
   [[nodiscard]] std::vector<HeartbeatRun> heartbeat_runs_for(HomeId id) const;
@@ -233,7 +236,7 @@ class DataRepository final : public RecordSink {
   /// Summary row counts per data set (the Table 2 bench prints these).
   struct Counts {
     std::size_t heartbeat_runs, uptime, capacity, device_counts, wifi_scans, flows,
-        throughput_minutes, dns, device_traffic;
+        throughput_minutes, dns, device_traffic, cgn_events;
   };
   [[nodiscard]] Counts counts() const;
 

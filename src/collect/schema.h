@@ -59,7 +59,8 @@ struct TypeTag {
 /// metric labels), so this list is append-only.
 using RecordTypes =
     TypeList<HeartbeatRun, UptimeRecord, CapacityRecord, DeviceCountRecord, WifiScanRecord,
-             TrafficFlowRecord, ThroughputMinute, DnsLogRecord, DeviceTrafficRecord>;
+             TrafficFlowRecord, ThroughputMinute, DnsLogRecord, DeviceTrafficRecord,
+             CgnEventRecord>;
 
 namespace schema_detail {
 template <typename List>
@@ -613,6 +614,35 @@ struct Schema<DeviceTrafficRecord> {
   static bool Admit(const DatasetWindows&, const R&) { return true; }
 };
 
+template <>
+struct Schema<CgnEventRecord> {
+  using R = CgnEventRecord;
+  static constexpr const char* kKindName = "cgn_event";
+  static constexpr const char* kCsvFile = "cgn_events.csv";
+  static constexpr bool kHasRelease = false;
+  static constexpr bool kPublicRelease = false;
+
+  static constexpr auto Fields() {
+    return std::tuple{Field{"home", &R::home},
+                      Field{"when_ms", &R::when},
+                      Field{"cgn_id", &R::cgn_id},
+                      Field{"port_block", &R::port_block},
+                      Field{"port_block_size", &R::port_block_size},
+                      Field{"port_blocks_allocated", &R::port_blocks_allocated},
+                      Field{"ports_peak", &R::ports_peak},
+                      Field{"port_capacity", &R::port_capacity},
+                      Field{"translations_out", &R::translations_out},
+                      Field{"translations_in", &R::translations_in},
+                      Field{"exhaustion_drops", &R::exhaustion_drops},
+                      Field{"inbound_drops", &R::inbound_drops}};
+  }
+  [[nodiscard]] static TimePoint Time(const R& r) { return r.when; }
+  [[nodiscard]] static auto SortKey(const R& r) { return std::tuple(r.when.ms, r.home.value); }
+  /// CGN accounting is not window-clipped: rows exist only when --cgn is
+  /// on, and they summarise whatever traffic the run generated.
+  static bool Admit(const DatasetWindows&, const R&) { return true; }
+};
+
 // --- Derived names and drift guards -----------------------------------------
 
 namespace schema_detail {
@@ -655,7 +685,8 @@ static_assert(schema_detail::KindNamesNonEmptyAndDistinct(),
 // these positions. Appending new kinds is fine; reordering is not.
 static_assert(kRecordIndexOf<HeartbeatRun> == 0 && kRecordIndexOf<UptimeRecord> == 1 &&
                   kRecordIndexOf<CapacityRecord> == 2 &&
-                  kRecordIndexOf<DeviceTrafficRecord> == kRecordKinds - 1,
+                  kRecordIndexOf<DeviceTrafficRecord> == 8 &&
+                  kRecordIndexOf<CgnEventRecord> == kRecordKinds - 1,
               "RecordTypes is append-only: existing variant indices are wire format");
 
 /// Human label for a variant alternative (drop ledgers, bench tables).

@@ -54,6 +54,7 @@ class RecordSink {
   void add_throughput_minute(ThroughputMinute rec) { add(std::move(rec)); }
   void add_dns(DnsLogRecord rec) { add(std::move(rec)); }
   void add_device_traffic(DeviceTrafficRecord rec) { add(std::move(rec)); }
+  void add_cgn_event(CgnEventRecord rec) { add(std::move(rec)); }
 };
 
 /// Replay one record into a sink.

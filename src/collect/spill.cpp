@@ -481,6 +481,7 @@ BISMARK_SPILL_INSTANTIATE(TrafficFlowRecord)
 BISMARK_SPILL_INSTANTIATE(ThroughputMinute)
 BISMARK_SPILL_INSTANTIATE(DnsLogRecord)
 BISMARK_SPILL_INSTANTIATE(DeviceTrafficRecord)
+BISMARK_SPILL_INSTANTIATE(CgnEventRecord)
 #undef BISMARK_SPILL_INSTANTIATE
 
 }  // namespace bismark::collect

@@ -46,6 +46,12 @@ constexpr std::size_t kFleetShardHomes = 32;
 /// run (a few homes' worth of upload churn) without meaningful memory.
 constexpr std::size_t kRecorderCapacity = 1024;
 
+/// NAT444 topology: homes per carrier-grade NAT, assigned in roster order.
+/// Each subscriber slot owns a disjoint slice of the CGN's external port
+/// range (RFC 7422), so a home's CGN state is a pure function of its
+/// roster index — shard-local, worker-count independent.
+constexpr std::size_t kCgnSubscribersPerCgn = 64;
+
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 }
@@ -144,6 +150,26 @@ void Deployment::build() {
     churn_windows_[id_value] =
         Interval{study.start + Days(start_day), study.start + Days(start_day + span)};
     slots_.push_back(Slot{&country, {}, true});
+  }
+
+  // NAT444 placement: every home (churn included) sits behind a CGN.
+  // Grouping and slicing derive from the roster index alone, so the
+  // placement — like everything else about a home — survives fleet-mode
+  // reconstruction inside an arbitrary shard task.
+  if (options_.cgn) {
+    for (std::size_t idx = 0; idx < slots_.size(); ++idx) {
+      gateway::CgnPlacement& placement = slots_[idx].opts.cgn;
+      placement.enabled = true;
+      placement.cgn_id = static_cast<int>(idx / kCgnSubscribersPerCgn);
+      placement.subscriber_index =
+          static_cast<std::uint32_t>(idx % kCgnSubscribersPerCgn);
+      placement.config.subscriber_count = kCgnSubscribersPerCgn;
+      placement.config.port_block_size = options_.cgn_port_block;
+      placement.config.max_ports_per_subscriber = options_.cgn_max_ports_per_home;
+      // One public address per CGN instance (TEST-NET-2, RFC 5737).
+      placement.config.external_address = net::Ipv4Address(
+          198, 51, 100, static_cast<std::uint8_t>(1 + placement.cgn_id % 250));
+    }
   }
 
   // Fleet mode never materialises the roster: each shard task constructs
@@ -365,7 +391,8 @@ void Deployment::run_shard_passive(const std::vector<ShardHome>& span,
 std::uint64_t Deployment::run_shard_traffic(const std::vector<ShardHome>& span,
                                             collect::IngestBatch& batch,
                                             sim::Engine& engine,
-                                            obs::MetricsShard& metrics) {
+                                            obs::MetricsShard& metrics,
+                                            net::PcapBuffer* pcap) {
   std::vector<Household*> consenting;
   for (const ShardHome& sh : span) {
     if (sh.hh->consent() == gateway::ConsentLevel::kFullTraffic) {
@@ -385,6 +412,10 @@ std::uint64_t Deployment::run_shard_traffic(const std::vector<ShardHome>& span,
   for (Household* hh : consenting) {
     const auto id = static_cast<std::uint64_t>(hh->id().value);
     hh->rebind_sink(&batch);
+    // WAN-egress capture: outbound packets travel the byte-level wire
+    // path into this shard's staging buffer (merged canonically at the
+    // end of run(), so the file is worker-count independent).
+    hh->router().attach_pcap(pcap);
     auto resolver = std::make_unique<net::DnsResolver>(zones_);
     auto generator = std::make_unique<traffic::HomeTrafficGenerator>(
         engine, catalog_, *resolver, hh->router(), hh->tz(),
@@ -434,6 +465,7 @@ std::uint64_t Deployment::run_shard_traffic(const std::vector<ShardHome>& span,
 
   for (Household* hh : consenting) {
     hh->router().finalize(window.end);
+    hh->router().attach_pcap(nullptr);
     hh->rebind_sink(repo_.get());
   }
   metrics.counter("bismark_traffic_engine_events_total").inc(engine.executed());
@@ -501,6 +533,11 @@ void Deployment::run() {
   if (options_.resume && !fleet_mode()) {
     throw std::runtime_error("resume requires fleet mode (a memory budget and spill dir)");
   }
+  if (options_.resume && !options_.pcap_out.empty()) {
+    // Recovered shards never re-run their traffic window, so a resumed
+    // capture would silently miss their frames.
+    throw std::runtime_error("--pcap-out cannot be combined with --resume");
+  }
   if (fleet_mode() && !repo_->spilling()) {
     collect::SpillConfig scfg;
     scfg.dir = options_.spill_dir.empty() ? "bsmk-segments" : options_.spill_dir;
@@ -563,6 +600,13 @@ void Deployment::run() {
   // fresh run's merged registry (and with it every golden) is untouched.
   std::vector<obs::MetricsShard> metric_shards(shards + (recovery_ ? 1 : 0));
 
+  // One capture buffer per shard (the determinism unit, like the batches):
+  // gateways append frames in simulation order, and the writer merges all
+  // buffers into the canonical (timestamp, home) order at the end.
+  std::vector<net::PcapBuffer> pcap_buffers;
+  const bool capture = !options_.pcap_out.empty();
+  if (capture) pcap_buffers.resize(shards);
+
   ThreadPool pool(workers);
   std::vector<std::unique_ptr<sim::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
@@ -620,7 +664,8 @@ void Deployment::run() {
     run_shard_heartbeats(span, batch, metrics);
     run_shard_passive(span, batch, *engine, metrics, recorder);
     if (options_.run_traffic) {
-      traffic_events += run_shard_traffic(span, batch, *engine, metrics);
+      traffic_events += run_shard_traffic(span, batch, *engine, metrics,
+                                          capture ? &pcap_buffers[shard] : nullptr);
     }
     if (fleet) {
       // Incremental commit: flush the batch's residue to its segment log
@@ -675,6 +720,22 @@ void Deployment::run() {
   }
   metrics_ = obs::MergeShards(metric_shards);
   upload_stats_ = UploadStatsFromMetrics(metrics_);
+
+  pcap_frames_captured_ = 0;
+  pcap_bytes_written_ = 0;
+  if (capture) {
+    std::vector<const net::PcapBuffer*> bufs;
+    bufs.reserve(pcap_buffers.size());
+    for (const net::PcapBuffer& b : pcap_buffers) {
+      pcap_frames_captured_ += b.frame_count();
+      bufs.push_back(&b);
+    }
+    pcap_bytes_written_ = net::WritePcapFile(options_.pcap_out, bufs);
+    BISMARK_LOG_INFO("deployment", "pcap: wrote %llu frames (%llu bytes) to %s",
+                     static_cast<unsigned long long>(pcap_frames_captured_),
+                     static_cast<unsigned long long>(pcap_bytes_written_),
+                     options_.pcap_out.c_str());
+  }
   telemetry_.wall_commit_s = SecondsSince(t_commit);
 
   telemetry_.engine_events = metrics_.counter_or("bismark_engine_events_executed_total");

@@ -95,6 +95,22 @@ struct DeploymentOptions {
   /// worker per hardware thread. Repository contents and exports are
   /// byte-identical for every value.
   int workers{1};
+  /// NAT444: place every home behind a carrier-grade NAT tier. Homes are
+  /// grouped 64 to a CGN in roster order; each subscriber owns a disjoint
+  /// slice of the CGN's external port range (RFC 7422 deterministic
+  /// port-block allocation), so per-home state stays shard-local and
+  /// exports stay byte-identical across worker counts. Off by default —
+  /// CGN-off runs reproduce the pre-CGN golden exports exactly.
+  bool cgn{false};
+  /// Ports handed to a subscriber per block grant (RFC 7422).
+  std::uint16_t cgn_port_block{512};
+  /// Hard per-subscriber cap on concurrently-mapped CGN ports.
+  std::uint32_t cgn_max_ports_per_home{2048};
+  /// Write every WAN-egress frame (post home-NAT, post CGN when enabled)
+  /// to this classic-pcap file ("" = no capture). Frames are staged in
+  /// per-shard buffers and merged in canonical (timestamp, home) order, so
+  /// the file is byte-identical for every worker count.
+  std::string pcap_out;
 };
 
 /// Aggregate accounting of the upload pipeline across all homes, sourced
@@ -183,6 +199,9 @@ class Deployment {
 
   /// Upload-pipeline accounting for the last run() (all homes summed).
   [[nodiscard]] const UploadStats& upload_stats() const { return upload_stats_; }
+  /// Pcap capture accounting for the last run() (0 when pcap_out is "").
+  [[nodiscard]] std::uint64_t pcap_frames_captured() const { return pcap_frames_captured_; }
+  [[nodiscard]] std::uint64_t pcap_bytes_written() const { return pcap_bytes_written_; }
   /// The fault plan the last run() uploaded through (outages + loss).
   [[nodiscard]] const net::FaultPlan& fault_plan() const { return fault_plan_; }
 
@@ -235,6 +254,8 @@ class Deployment {
   std::map<int, Interval> churn_windows_;
   std::unique_ptr<collect::SpillRecovery> recovery_;  // set by a resumed run()
   std::int64_t sim_clock_high_water_ms_{0};           // checkpointed engine clock
+  std::uint64_t pcap_frames_captured_{0};
+  std::uint64_t pcap_bytes_written_{0};
 
   /// One roster position: everything needed to (re)construct its household
   /// deterministically. Fleet shard tasks build households from this on
@@ -275,7 +296,7 @@ class Deployment {
                          obs::FlightRecorder* recorder);
   std::uint64_t run_shard_traffic(const std::vector<ShardHome>& span,
                                   collect::IngestBatch& batch, sim::Engine& engine,
-                                  obs::MetricsShard& metrics);
+                                  obs::MetricsShard& metrics, net::PcapBuffer* pcap);
 };
 
 /// Assemble the machine-readable run report for a completed study.

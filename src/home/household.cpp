@@ -109,10 +109,21 @@ Household::Household(collect::HomeId id, const CountryProfile& country, Interval
   gateway::GatewayConfig gw;
   gw.home = id_;
   gw.consent = options.consent;
-  // Give each home a distinct WAN address so NAT tables are per-home.
-  gw.nat.wan_address = net::Ipv4Address(
-      203, 0, static_cast<std::uint8_t>(113 + (id_.value / 250)),
-      static_cast<std::uint8_t>(1 + (id_.value % 250)));
+  gw.cgn = options.cgn;
+  if (options.cgn.enabled) {
+    // Behind a carrier-grade NAT the home's WAN address is ISP-internal
+    // shared space (RFC 6598, 100.64/10) — the CGN, not the home, owns the
+    // public address. Still distinct per home so NAT tables stay per-home.
+    gw.nat.wan_address = net::Ipv4Address(
+        100, static_cast<std::uint8_t>(64 + (id_.value / 62500)),
+        static_cast<std::uint8_t>((id_.value / 250) % 250),
+        static_cast<std::uint8_t>(1 + (id_.value % 250)));
+  } else {
+    // Give each home a distinct WAN address so NAT tables are per-home.
+    gw.nat.wan_address = net::Ipv4Address(
+        203, 0, static_cast<std::uint8_t>(113 + (id_.value / 250)),
+        static_cast<std::uint8_t>(1 + (id_.value % 250)));
+  }
   gateway_ = std::make_unique<gateway::Gateway>(gw, *link_, anonymizer, sink);
 }
 

@@ -36,6 +36,10 @@ struct HouseholdOptions {
   /// (the scientific-data uploader, 16a), 1 = diurnal bursts (16b).
   int bufferbloat_flavor{0};
   gateway::ConsentLevel consent{gateway::ConsentLevel::kBasic};
+  /// NAT444 placement (disabled by default). Filled in by the deployment
+  /// from its --cgn knobs; when enabled the home's WAN address comes from
+  /// the CGN inside space (100.64/10, RFC 6598) instead of public space.
+  gateway::CgnPlacement cgn;
 };
 
 /// A fully-assembled home network.

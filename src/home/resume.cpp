@@ -7,7 +7,11 @@ namespace bismark::home {
 namespace {
 
 constexpr char kBlobMagic[4] = {'B', 'S', 'O', 'P'};
-constexpr std::uint32_t kBlobVersion = 1;
+// v2: appended the NAT444 knobs (cgn, cgn_port_block,
+// cgn_max_ports_per_home) — they shape the CgnEventRecord stream, so a
+// resumed run must pin them. pcap_out stays out of the blob: it is an
+// output destination, not record content (and resume rejects it anyway).
+constexpr std::uint32_t kBlobVersion = 2;
 
 void PutInterval(collect::BinWriter& w, const Interval& ival) {
   w.i64(ival.start.ms);
@@ -70,6 +74,10 @@ std::string EncodeResumableOptions(const DeploymentOptions& o) {
   w.i64(o.upload_faults.base_latency.ms);
   w.i64(o.upload_faults.latency_jitter.ms);
 
+  w.value(o.cgn);
+  w.u32(o.cgn_port_block);
+  w.u32(o.cgn_max_ports_per_home);
+
   return w.buffer();
 }
 
@@ -124,6 +132,10 @@ bool DecodeResumableOptions(const std::string& blob, DeploymentOptions* out,
   o.upload_faults.ack_loss_prob = r.f64();
   o.upload_faults.base_latency.ms = r.i64();
   o.upload_faults.latency_jitter.ms = r.i64();
+
+  r.value(o.cgn);
+  o.cgn_port_block = static_cast<std::uint16_t>(r.u32());
+  o.cgn_max_ports_per_home = r.u32();
 
   if (r.failed()) return Fail(error, "truncated blob");
   if (!r.at_end()) return Fail(error, "trailing bytes (written by a newer build?)");

@@ -1,0 +1,157 @@
+// Carrier-grade NAT (NAT444) — the ISP-side translator in front of homes.
+//
+// Richter et al. (PAPERS.md) measure that a large share of home deployments
+// sit behind a second, carrier-grade NAT. We model the deployment style
+// their ISP traces show: deterministic *port-block* allocation (RFC 7422) —
+// each subscriber owns a disjoint, statically computable slice of the
+// external port range, so logging one block assignment identifies the
+// subscriber for any port, and (for us) per-subscriber state is independent
+// of every other subscriber, which keeps sharded simulation deterministic
+// at any worker count.
+//
+// Within its slice a subscriber's blocks are activated lazily, ports are
+// recycled on idle expiry, and allocation fails — an exhaustion drop — when
+// the slice or the per-subscriber port cap is spent. Those drops, and the
+// ports-per-subscriber peaks, are what the new analysis summary and the
+// CgnEventRecord dataset report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/time.h"
+#include "net/addr.h"
+#include "net/packet.h"
+#include "net/wire.h"
+
+namespace bismark::net {
+
+/// Shape of one CGN instance.
+struct CgnConfig {
+  Ipv4Address external_address{Ipv4Address(198, 51, 100, 1)};
+  std::uint16_t port_range_lo{1024};
+  std::uint16_t port_range_hi{65535};
+  /// Ports per allocation block (RFC 7422 deterministic NAT block size).
+  std::uint16_t port_block_size{512};
+  /// Hard cap on concurrently active ports per subscriber (state limit).
+  std::uint32_t max_ports_per_subscriber{2048};
+  /// Subscribers sharing this CGN; the port range is partitioned evenly
+  /// (and disjointly) across them.
+  std::uint32_t subscriber_count{64};
+  Duration tcp_idle_timeout{Hours(2).ms};
+  Duration udp_idle_timeout{Minutes(5).ms};
+  Duration icmp_idle_timeout{Seconds(30).ms};
+};
+
+/// One active CGN translation.
+struct CgnMapping {
+  FiveTuple inside_tuple;  // post-home-NAT tuple (home WAN addr + port)
+  std::uint16_t external_port{0};
+  std::uint32_t subscriber{0};
+  TimePoint last_activity;
+  std::uint64_t packets{0};
+  wire::SourceRewrite out_rewrite;  // inside src -> (external addr, port)
+  wire::SourceRewrite in_rewrite;   // (external addr, port) -> inside src
+};
+
+/// Aggregate counters for one CGN instance.
+struct CgnStats {
+  std::uint64_t translations_out{0};
+  std::uint64_t translations_in{0};
+  std::uint64_t mappings_created{0};
+  std::uint64_t mappings_expired{0};
+  std::uint64_t port_exhaustion_drops{0};
+  std::uint64_t unknown_inbound_drops{0};
+};
+
+/// Per-subscriber accounting — the unit the paper-style analysis wants
+/// (ports per home, exhaustion experienced by a home).
+struct CgnSubscriberStats {
+  std::uint32_t blocks_allocated{0};
+  std::uint32_t ports_in_use{0};
+  std::uint32_t ports_peak{0};
+  std::uint64_t translations_out{0};
+  std::uint64_t translations_in{0};
+  std::uint64_t exhaustion_drops{0};
+  std::uint64_t inbound_drops{0};
+};
+
+/// NAT444 translator with deterministic per-subscriber port blocks.
+class CgnTable {
+ public:
+  explicit CgnTable(CgnConfig config);
+
+  /// Total blocks in the external port range.
+  [[nodiscard]] std::uint32_t total_blocks() const;
+  /// Blocks each subscriber's slice holds (disjoint, deterministic).
+  [[nodiscard]] std::uint32_t blocks_per_subscriber() const;
+  /// First external port of `subscriber`'s slice (the logged block base).
+  [[nodiscard]] std::uint16_t slice_base_port(std::uint32_t subscriber) const;
+  /// Ports a subscriber can ever hold: min(slice, max_ports_per_subscriber).
+  [[nodiscard]] std::uint32_t subscriber_port_capacity(std::uint32_t subscriber) const;
+
+  /// Translate an outbound packet already translated by the home NAT: the
+  /// source (home WAN addr + port) becomes the CGN external address and a
+  /// port from the subscriber's block slice. Returns false (drop) when the
+  /// slice or the per-subscriber cap is exhausted.
+  bool translate_outbound(std::uint32_t subscriber, Packet& packet);
+
+  /// Inbound: external (addr, port) back to the inside (home WAN) endpoint.
+  /// Port-restricted, like the home NAT. Returns false on no mapping.
+  bool translate_inbound(Packet& packet);
+
+  /// Wire-path variants: edit frame bytes in place with cached deltas.
+  bool translate_outbound_wire(std::uint32_t subscriber, std::span<std::byte> frame,
+                               TimePoint now);
+  bool translate_inbound_wire(std::span<std::byte> frame, TimePoint now);
+
+  /// Expire idle mappings; expired ports return to their subscriber's free
+  /// list (block recycling). Returns how many mappings were removed.
+  std::size_t expire_idle(TimePoint now);
+
+  [[nodiscard]] const CgnStats& stats() const { return stats_; }
+  [[nodiscard]] const CgnSubscriberStats& subscriber_stats(std::uint32_t s) const {
+    return subscribers_[s].stats;
+  }
+  [[nodiscard]] std::size_t active_mappings() const { return by_inside_.size(); }
+  [[nodiscard]] const CgnConfig& config() const { return config_; }
+
+ private:
+  struct ExternalKey {
+    std::uint16_t port;
+    Protocol proto;
+    auto operator<=>(const ExternalKey&) const = default;
+  };
+  struct ExternalKeyHash {
+    [[nodiscard]] std::size_t operator()(const ExternalKey& k) const noexcept {
+      return static_cast<std::size_t>(HashMix64(
+          static_cast<std::uint64_t>(k.port) << 8 | static_cast<std::uint64_t>(k.proto)));
+    }
+  };
+
+  struct Subscriber {
+    /// Ports recycled by expiry, reused LIFO before fresh cursor advance.
+    std::vector<std::uint16_t> free_ports;
+    /// Next never-used offset within the slice; crossing a block boundary
+    /// lazily "allocates" the next block.
+    std::uint32_t cursor{0};
+    CgnSubscriberStats stats;
+  };
+
+  CgnConfig config_;
+  std::vector<Subscriber> subscribers_;
+  std::unordered_map<FiveTuple, CgnMapping, FiveTupleHash> by_inside_;
+  std::unordered_map<ExternalKey, FiveTuple, ExternalKeyHash> by_external_;
+  CgnStats stats_;
+
+  [[nodiscard]] Duration timeout_for(Protocol proto) const;
+  std::optional<std::uint16_t> allocate_port(std::uint32_t subscriber);
+  CgnMapping* outbound_mapping(std::uint32_t subscriber, const FiveTuple& tuple, TimePoint now);
+  CgnMapping* inbound_mapping(const FiveTuple& tuple);
+};
+
+}  // namespace bismark::net

@@ -1,5 +1,7 @@
 #include "net/nat.h"
 
+#include <algorithm>
+
 namespace bismark::net {
 
 NatTable::NatTable(NatConfig config)
@@ -15,43 +17,74 @@ Duration NatTable::timeout_for(Protocol proto) const {
 }
 
 std::optional<std::uint16_t> NatTable::allocate_port(Protocol proto) {
-  const std::uint32_t range = static_cast<std::uint32_t>(config_.port_range_hi) -
-                              config_.port_range_lo + 1;
-  for (std::uint32_t attempts = 0; attempts < range; ++attempts) {
+  // O(1) exhaustion check: when every port in the range is active for this
+  // protocol, fail immediately instead of probing the whole range per
+  // packet (the pre-fix behaviour scanned all 64k candidates on every
+  // translate attempt once the table filled).
+  const std::uint32_t range = port_range_size();
+  if (ports_in_use_[ProtoIndex(proto)] >= range) return std::nullopt;
+  // A free port exists, so the probe terminates; the counter above bounds
+  // the scan to the exhaustion-free case.
+  for (;;) {
     const std::uint16_t candidate = next_port_;
     next_port_ = next_port_ >= config_.port_range_hi ? config_.port_range_lo
                                                      : static_cast<std::uint16_t>(next_port_ + 1);
-    if (!by_wan_.contains(WanKey{candidate, proto})) return candidate;
+    if (!by_wan_.contains(WanKey{candidate, proto})) {
+      ++ports_in_use_[ProtoIndex(proto)];
+      return candidate;
+    }
   }
-  return std::nullopt;
 }
 
-bool NatTable::translate_outbound(Packet& packet) {
-  auto it = by_lan_.find(packet.tuple);
+NatMapping* NatTable::outbound_mapping(const FiveTuple& tuple, TimePoint now,
+                                       MacAddress lan_mac) {
+  auto it = by_lan_.find(tuple);
   if (it == by_lan_.end()) {
-    const auto port = allocate_port(packet.tuple.protocol);
+    const auto port = allocate_port(tuple.protocol);
     if (!port) {
       ++stats_.port_exhaustion_drops;
-      return false;
+      return nullptr;
     }
     NatMapping mapping;
-    mapping.lan_tuple = packet.tuple;
+    mapping.lan_tuple = tuple;
     mapping.wan_port = *port;
-    mapping.device_mac = packet.lan_mac;
-    mapping.last_activity = packet.timestamp;
-    auto [inserted, ok] = by_lan_.emplace(packet.tuple, mapping);
+    mapping.device_mac = lan_mac;
+    mapping.last_activity = now;
+    mapping.out_rewrite =
+        wire::SourceRewrite::Make(tuple.src_ip, tuple.src_port, config_.wan_address, *port);
+    mapping.in_rewrite =
+        wire::SourceRewrite::Make(config_.wan_address, *port, tuple.src_ip, tuple.src_port);
+    auto [inserted, ok] = by_lan_.emplace(tuple, mapping);
     (void)ok;
-    by_wan_.emplace(WanKey{*port, packet.tuple.protocol}, packet.tuple);
+    by_wan_.emplace(WanKey{*port, tuple.protocol}, tuple);
     ++stats_.mappings_created;
     it = inserted;
   }
-
   NatMapping& m = it->second;
-  m.last_activity = packet.timestamp;
+  m.last_activity = now;
   ++m.packets;
+  return &m;
+}
 
+NatMapping* NatTable::inbound_mapping(const FiveTuple& tuple) {
+  const auto wan_it = by_wan_.find(WanKey{tuple.dst_port, tuple.protocol});
+  if (wan_it == by_wan_.end()) return nullptr;
+  auto lan_it = by_lan_.find(wan_it->second);
+  if (lan_it == by_lan_.end()) return nullptr;
+  NatMapping& m = lan_it->second;
+  // Port-restricted cone: only the remote endpoint the mapping was created
+  // toward may send back through it.
+  if (tuple.src_ip != m.lan_tuple.dst_ip || tuple.src_port != m.lan_tuple.dst_port) {
+    return nullptr;
+  }
+  return &m;
+}
+
+bool NatTable::translate_outbound(Packet& packet) {
+  NatMapping* m = outbound_mapping(packet.tuple, packet.timestamp, packet.lan_mac);
+  if (m == nullptr) return false;
   packet.tuple.src_ip = config_.wan_address;
-  packet.tuple.src_port = m.wan_port;
+  packet.tuple.src_port = m->wan_port;
   ++stats_.translations_out;
   return true;
 }
@@ -61,31 +94,45 @@ bool NatTable::translate_inbound(Packet& packet) {
     ++stats_.unknown_inbound_drops;
     return false;
   }
-  const auto wan_it = by_wan_.find(WanKey{packet.tuple.dst_port, packet.tuple.protocol});
-  if (wan_it == by_wan_.end()) {
+  NatMapping* m = inbound_mapping(packet.tuple);
+  if (m == nullptr) {
     ++stats_.unknown_inbound_drops;
     return false;
   }
-  auto lan_it = by_lan_.find(wan_it->second);
-  if (lan_it == by_lan_.end()) {
+  m->last_activity = packet.timestamp;
+  ++m->packets;
+  packet.tuple.dst_ip = m->lan_tuple.src_ip;
+  packet.tuple.dst_port = m->lan_tuple.src_port;
+  packet.lan_mac = m->device_mac;
+  ++stats_.translations_in;
+  return true;
+}
+
+bool NatTable::translate_outbound_wire(std::span<std::byte> frame, TimePoint now,
+                                       MacAddress lan_mac) {
+  const auto tuple = wire::ExtractTuple(frame);
+  if (!tuple) return false;
+  NatMapping* m = outbound_mapping(*tuple, now, lan_mac);
+  if (m == nullptr) return false;
+  wire::ApplySourceRewrite(frame, m->out_rewrite);
+  ++stats_.translations_out;
+  return true;
+}
+
+bool NatTable::translate_inbound_wire(std::span<std::byte> frame, TimePoint now) {
+  const auto tuple = wire::ExtractTuple(frame);
+  if (!tuple || tuple->dst_ip != config_.wan_address) {
     ++stats_.unknown_inbound_drops;
     return false;
   }
-  NatMapping& m = lan_it->second;
-
-  // Port-restricted cone: only the remote endpoint the mapping was created
-  // toward may send back through it.
-  if (packet.tuple.src_ip != m.lan_tuple.dst_ip || packet.tuple.src_port != m.lan_tuple.dst_port) {
+  NatMapping* m = inbound_mapping(*tuple);
+  if (m == nullptr) {
     ++stats_.unknown_inbound_drops;
     return false;
   }
-
-  m.last_activity = packet.timestamp;
-  ++m.packets;
-
-  packet.tuple.dst_ip = m.lan_tuple.src_ip;
-  packet.tuple.dst_port = m.lan_tuple.src_port;
-  packet.lan_mac = m.device_mac;
+  m->last_activity = now;
+  ++m->packets;
+  wire::ApplyDestRewrite(frame, m->in_rewrite);
   ++stats_.translations_in;
   return true;
 }
@@ -96,6 +143,7 @@ std::size_t NatTable::expire_idle(TimePoint now) {
     const NatMapping& m = it->second;
     if (now - m.last_activity > timeout_for(m.lan_tuple.protocol)) {
       by_wan_.erase(WanKey{m.wan_port, m.lan_tuple.protocol});
+      --ports_in_use_[ProtoIndex(m.lan_tuple.protocol)];
       it = by_lan_.erase(it);
       ++removed;
       ++stats_.mappings_expired;
@@ -118,6 +166,9 @@ std::vector<NatMapping> NatTable::snapshot() const {
   std::vector<NatMapping> out;
   out.reserve(by_lan_.size());
   for (const auto& [tuple, mapping] : by_lan_) out.push_back(mapping);
+  std::sort(out.begin(), out.end(), [](const NatMapping& a, const NatMapping& b) {
+    return a.lan_tuple < b.lan_tuple;
+  });
   return out;
 }
 

@@ -6,16 +6,27 @@
 // possible at all. We implement a full port-restricted NAT44: per-flow
 // mappings, WAN port allocation, idle expiry with protocol-specific
 // timeouts, inbound translation back to the owning device, and counters.
+//
+// Two translation entry points share one mapping table: the struct path
+// (`translate_outbound`, the historical hot path) and the wire path
+// (`translate_outbound_wire`), which edits a real Ethernet frame in place —
+// fixed-offset tuple extraction, hash lookup, then an 8-byte rewrite plus
+// two incremental checksum updates using deltas cached on the mapping when
+// it was created (the fast-path header cache).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <optional>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/time.h"
 #include "net/addr.h"
 #include "net/packet.h"
+#include "net/wire.h"
 
 namespace bismark::net {
 
@@ -29,13 +40,17 @@ struct NatConfig {
   Duration icmp_idle_timeout{Seconds(30).ms};
 };
 
-/// One active translation entry.
+/// One active translation entry. The two SourceRewrite caches are computed
+/// once at mapping creation so per-packet byte translation never touches
+/// checksum arithmetic beyond one fold.
 struct NatMapping {
   FiveTuple lan_tuple;        // original LAN five-tuple
   std::uint16_t wan_port{0};  // allocated external source port
   MacAddress device_mac;      // LAN device owning the flow
   TimePoint last_activity;
   std::uint64_t packets{0};
+  wire::SourceRewrite out_rewrite;  // LAN src -> (WAN addr, wan_port)
+  wire::SourceRewrite in_rewrite;   // (WAN addr, wan_port) -> LAN src
 };
 
 /// Counters exposed for tests and the NAT micro-benchmark.
@@ -48,6 +63,16 @@ struct NatStats {
   std::uint64_t unknown_inbound_drops{0};
   [[nodiscard]] std::uint64_t active() const { return mappings_created - mappings_expired; }
 };
+
+/// Index for per-protocol counters: tcp, udp, icmp.
+[[nodiscard]] constexpr std::size_t ProtoIndex(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return 0;
+    case Protocol::kUdp: return 1;
+    case Protocol::kIcmp: return 2;
+  }
+  return 1;
+}
 
 /// Port-restricted cone NAT44.
 class NatTable {
@@ -65,6 +90,16 @@ class NatTable {
   /// no matching mapping (unsolicited inbound — dropped, as a NAT does).
   bool translate_inbound(Packet& packet);
 
+  /// Wire-path outbound translation: edit an Ethernet frame's bytes in
+  /// place (source address/port + incremental IP/L4 checksum updates).
+  /// `lan_mac` attributes a newly created mapping to its device. Returns
+  /// false on malformed frames or port exhaustion.
+  bool translate_outbound_wire(std::span<std::byte> frame, TimePoint now, MacAddress lan_mac);
+
+  /// Wire-path inbound translation: destination rewrite back to the LAN
+  /// endpoint with the same cached-delta arithmetic.
+  bool translate_inbound_wire(std::span<std::byte> frame, TimePoint now);
+
   /// Expire idle mappings as of `now`. Returns how many were removed.
   std::size_t expire_idle(TimePoint now);
 
@@ -76,7 +111,9 @@ class NatTable {
   [[nodiscard]] std::size_t active_mappings() const { return by_lan_.size(); }
   [[nodiscard]] const NatConfig& config() const { return config_; }
 
-  /// Snapshot of current mappings (for the NAT walkthrough example).
+  /// Snapshot of current mappings, sorted by LAN five-tuple. The backing
+  /// tables are hash maps, so determinism comes from sorting here, not
+  /// from iteration order.
   [[nodiscard]] std::vector<NatMapping> snapshot() const;
 
  private:
@@ -85,15 +122,32 @@ class NatTable {
     Protocol proto;
     auto operator<=>(const WanKey&) const = default;
   };
+  struct WanKeyHash {
+    [[nodiscard]] std::size_t operator()(const WanKey& k) const noexcept {
+      return static_cast<std::size_t>(HashMix64(
+          static_cast<std::uint64_t>(k.port) << 8 | static_cast<std::uint64_t>(k.proto)));
+    }
+  };
 
   NatConfig config_;
-  std::map<FiveTuple, NatMapping> by_lan_;
-  std::map<WanKey, FiveTuple> by_wan_;
+  std::unordered_map<FiveTuple, NatMapping, FiveTupleHash> by_lan_;
+  std::unordered_map<WanKey, FiveTuple, WanKeyHash> by_wan_;
   std::uint16_t next_port_;
+  /// Active allocations per protocol — makes full-range exhaustion an O(1)
+  /// check instead of a 64k-probe scan on every packet.
+  std::array<std::uint32_t, 3> ports_in_use_{};
   NatStats stats_;
 
   [[nodiscard]] Duration timeout_for(Protocol proto) const;
+  [[nodiscard]] std::uint32_t port_range_size() const {
+    return static_cast<std::uint32_t>(config_.port_range_hi) - config_.port_range_lo + 1;
+  }
   std::optional<std::uint16_t> allocate_port(Protocol proto);
+  /// Find-or-create the mapping for an outbound tuple; nullptr on
+  /// exhaustion (the drop counter is bumped here, once per attempt).
+  NatMapping* outbound_mapping(const FiveTuple& tuple, TimePoint now, MacAddress lan_mac);
+  /// Inbound lookup + port-restricted-cone check; nullptr on no match.
+  NatMapping* inbound_mapping(const FiveTuple& tuple);
 };
 
 }  // namespace bismark::net

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <compare>
+#include <cstddef>
 #include <cstdint>
 
 #include "core/time.h"
@@ -37,6 +38,28 @@ struct FiveTuple {
   /// The tuple as seen from the reply direction.
   [[nodiscard]] constexpr FiveTuple reversed() const {
     return {dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+};
+
+/// splitmix64-style finalizer: a full-avalanche 64-bit mix for hashing
+/// tuple-like keys into unordered containers.
+[[nodiscard]] constexpr std::uint64_t HashMix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Hasher for unordered_map<FiveTuple, ...> (the NAT/CGN flow tables).
+struct FiveTupleHash {
+  [[nodiscard]] std::size_t operator()(const FiveTuple& t) const noexcept {
+    const auto addrs = static_cast<std::uint64_t>(t.src_ip.value()) << 32 | t.dst_ip.value();
+    const auto rest = static_cast<std::uint64_t>(t.src_port) << 24 |
+                      static_cast<std::uint64_t>(t.dst_port) << 8 |
+                      static_cast<std::uint64_t>(t.protocol);
+    return static_cast<std::size_t>(HashMix64(addrs ^ HashMix64(rest)));
   }
 };
 

@@ -1,0 +1,94 @@
+#include "net/pcap.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/io.h"
+
+namespace bismark::net {
+namespace {
+
+void PutLe16(std::span<std::byte> out, std::size_t off, std::uint16_t v) {
+  out[off] = static_cast<std::byte>(v & 0xff);
+  out[off + 1] = static_cast<std::byte>(v >> 8);
+}
+
+void PutLe32(std::span<std::byte> out, std::size_t off, std::uint32_t v) {
+  out[off] = static_cast<std::byte>(v & 0xff);
+  out[off + 1] = static_cast<std::byte>(v >> 8 & 0xff);
+  out[off + 2] = static_cast<std::byte>(v >> 16 & 0xff);
+  out[off + 3] = static_cast<std::byte>(v >> 24);
+}
+
+}  // namespace
+
+void PcapBuffer::capture(TimePoint ts, int home, std::span<const std::byte> frame) {
+  PcapRecord rec;
+  rec.timestamp = ts;
+  rec.home = home;
+  rec.seq = next_seq_++;
+  rec.offset = static_cast<std::uint32_t>(bytes_.size());
+  rec.length = static_cast<std::uint32_t>(frame.size());
+  bytes_.insert(bytes_.end(), frame.begin(), frame.end());
+  records_.push_back(rec);
+}
+
+void EncodePcapFileHeader(std::span<std::byte> out) {
+  PutLe32(out, 0, kPcapMagic);
+  PutLe16(out, 4, kPcapVersionMajor);
+  PutLe16(out, 6, kPcapVersionMinor);
+  PutLe32(out, 8, 0);   // thiszone
+  PutLe32(out, 12, 0);  // sigfigs
+  PutLe32(out, 16, kPcapSnapLen);
+  PutLe32(out, 20, kPcapLinkTypeEthernet);
+}
+
+void EncodePcapRecordHeader(std::span<std::byte> out, TimePoint ts,
+                            std::uint32_t frame_bytes) {
+  PutLe32(out, 0, static_cast<std::uint32_t>(ts.ms / 1000));
+  PutLe32(out, 4, static_cast<std::uint32_t>(ts.ms % 1000) * 1000);  // µs
+  PutLe32(out, 8, frame_bytes);   // incl_len: whole frames are captured
+  PutLe32(out, 12, frame_bytes);  // orig_len
+}
+
+std::size_t WritePcapFile(const std::string& path,
+                          std::span<const PcapBuffer* const> shard_buffers) {
+  // Gather (shard, record) pairs and impose the canonical order. A stable
+  // sort on (timestamp, home, shard, seq) makes the output independent of
+  // which worker ran which shard, exactly like the record merge.
+  struct Entry {
+    const PcapBuffer* buf;
+    const PcapRecord* rec;
+    std::size_t shard;
+  };
+  std::vector<Entry> entries;
+  for (std::size_t s = 0; s < shard_buffers.size(); ++s) {
+    const PcapBuffer* buf = shard_buffers[s];
+    if (buf == nullptr) continue;
+    for (const PcapRecord& rec : buf->records()) entries.push_back({buf, &rec, s});
+  }
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.rec->timestamp.ms, a.rec->home, a.shard, a.rec->seq) <
+           std::tie(b.rec->timestamp.ms, b.rec->home, b.shard, b.rec->seq);
+  });
+
+  core::CheckedFile file;
+  if (!file.open(path)) throw std::runtime_error("pcap: " + file.error());
+  std::byte header[kPcapFileHeaderBytes];
+  EncodePcapFileHeader(header);
+  file.write(header, sizeof header);
+  for (const Entry& e : entries) {
+    std::byte rec_header[kPcapRecordHeaderBytes];
+    EncodePcapRecordHeader(rec_header, e.rec->timestamp, e.rec->length);
+    file.write(rec_header, sizeof rec_header);
+    auto frame = e.buf->frame_bytes(*e.rec);
+    file.write(frame.data(), frame.size());
+  }
+  if (!file.close()) throw std::runtime_error("pcap: " + file.error());
+  std::size_t body = 0;
+  for (const Entry& e : entries) body += kPcapRecordHeaderBytes + e.rec->length;
+  return kPcapFileHeaderBytes + body;
+}
+
+}  // namespace bismark::net

@@ -1,0 +1,76 @@
+// Deterministic libpcap-format capture of simulated traffic.
+//
+// Classic pcap (the libpcap 2.4 file format, not pcapng), written with no
+// external dependencies so a study run can emit a capture that tcpdump and
+// tshark read directly. Frames are staged per shard in PcapBuffer objects
+// while workers run, then merged in canonical (timestamp, home, seq) order
+// by WritePcapFile — the same discipline the record pipeline uses — so the
+// capture is byte-identical at any --workers count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/time.h"
+
+namespace bismark::net {
+
+/// File magic for microsecond-resolution classic pcap, written in native
+/// (little-endian) byte order as the format specifies.
+inline constexpr std::uint32_t kPcapMagic = 0xa1b2c3d4;
+inline constexpr std::uint16_t kPcapVersionMajor = 2;
+inline constexpr std::uint16_t kPcapVersionMinor = 4;
+inline constexpr std::uint32_t kPcapSnapLen = 65535;
+inline constexpr std::uint32_t kPcapLinkTypeEthernet = 1;  // LINKTYPE_EN10MB
+inline constexpr std::size_t kPcapFileHeaderBytes = 24;
+inline constexpr std::size_t kPcapRecordHeaderBytes = 16;
+
+/// One captured frame plus the keys the merge sorts on. `home` is the
+/// HomeId value — kept as a plain int so net does not depend on collect.
+struct PcapRecord {
+  TimePoint timestamp;
+  int home{0};
+  std::uint64_t seq{0};  ///< capture order within (shard, timestamp, home)
+  std::uint32_t offset{0};
+  std::uint32_t length{0};
+};
+
+/// A per-shard staging buffer: frames append in simulation order; bytes
+/// live in one contiguous arena.
+class PcapBuffer {
+ public:
+  /// Record one frame captured at `ts` on `home`'s WAN side.
+  void capture(TimePoint ts, int home, std::span<const std::byte> frame);
+
+  [[nodiscard]] std::size_t frame_count() const { return records_.size(); }
+  [[nodiscard]] std::size_t byte_count() const { return bytes_.size(); }
+  [[nodiscard]] const std::vector<PcapRecord>& records() const { return records_; }
+  [[nodiscard]] std::span<const std::byte> frame_bytes(const PcapRecord& r) const {
+    return std::span<const std::byte>(bytes_).subspan(r.offset, r.length);
+  }
+
+ private:
+  std::vector<PcapRecord> records_;
+  std::vector<std::byte> bytes_;
+  std::uint64_t next_seq_{0};
+};
+
+/// Serialise the pcap global header into `out` (little-endian fields).
+void EncodePcapFileHeader(std::span<std::byte> out);
+
+/// Serialise one record header: timestamps from simulated milliseconds,
+/// incl_len == orig_len == `frame_bytes` (whole frames are materialised).
+void EncodePcapRecordHeader(std::span<std::byte> out, TimePoint ts,
+                            std::uint32_t frame_bytes);
+
+/// Merge the per-shard buffers (given in shard-index order) into canonical
+/// (timestamp, home, shard, seq) order and write a classic pcap file.
+/// Returns the total bytes written. Throws std::runtime_error on I/O
+/// failure (via the checked-file seam).
+std::size_t WritePcapFile(const std::string& path,
+                          std::span<const PcapBuffer* const> shard_buffers);
+
+}  // namespace bismark::net

@@ -1,0 +1,428 @@
+#include "net/wire.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bismark::net::wire {
+namespace {
+
+/// L4 header size for a protocol (all three are fixed-size here).
+constexpr std::size_t L4HeaderBytes(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return kTcpHeaderBytes;
+    case Protocol::kUdp: return kUdpHeaderBytes;
+    case Protocol::kIcmp: return kIcmpHeaderBytes;
+  }
+  return 0;
+}
+
+/// Ones'-complement accumulator for the TCP/UDP pseudo-header
+/// (RFC 793 / RFC 768): src, dst, zero+proto, L4 length.
+constexpr std::uint32_t PseudoHeaderSum(Ipv4Address src, Ipv4Address dst, Protocol proto,
+                                        std::uint16_t l4_length) {
+  const std::uint32_t s = src.value();
+  const std::uint32_t d = dst.value();
+  return (s >> 16) + (s & 0xffff) + (d >> 16) + (d & 0xffff) +
+         static_cast<std::uint32_t>(proto) + l4_length;
+}
+
+void PutMac(std::span<std::byte> buf, std::size_t off, MacAddress mac) {
+  for (std::size_t i = 0; i < 6; ++i) buf[off + i] = static_cast<std::byte>(mac.octets()[i]);
+}
+
+MacAddress GetMac(std::span<const std::byte> buf, std::size_t off) {
+  std::array<std::uint8_t, 6> o{};
+  for (std::size_t i = 0; i < 6; ++i) o[i] = static_cast<std::uint8_t>(buf[off + i]);
+  return MacAddress(o);
+}
+
+}  // namespace
+
+std::uint32_t ChecksumAccumulate(std::span<const std::byte> data, std::uint32_t sum) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(GetU16(data, i));
+  }
+  if (i < data.size()) sum += static_cast<std::uint32_t>(data[i]) << 8;
+  return sum;
+}
+
+std::size_t EncodeEthernet(const EthernetHeader& h, std::span<std::byte> out) {
+  PutMac(out, 0, h.dst);
+  PutMac(out, 6, h.src);
+  PutU16(out, 12, h.ether_type);
+  return kEthernetHeaderBytes;
+}
+
+std::size_t EncodeIpv4(const Ipv4Header& h, std::span<std::byte> out) {
+  out[0] = static_cast<std::byte>(0x45);  // version 4, ihl 5
+  out[1] = static_cast<std::byte>(h.tos);
+  PutU16(out, 2, h.total_length);
+  PutU16(out, 4, h.identification);
+  PutU16(out, 6, 0x4000);  // DF, fragment offset 0
+  out[8] = static_cast<std::byte>(h.ttl);
+  out[9] = static_cast<std::byte>(h.protocol);
+  PutU16(out, 10, 0);  // checksum placeholder
+  PutU32(out, 12, h.src.value());
+  PutU32(out, 16, h.dst.value());
+  const std::uint16_t csum = InternetChecksum(out.first(kIpv4HeaderBytes));
+  PutU16(out, 10, csum);
+  return kIpv4HeaderBytes;
+}
+
+std::size_t EncodeTcp(const TcpHeader& h, std::span<std::byte> out) {
+  PutU16(out, 0, h.src_port);
+  PutU16(out, 2, h.dst_port);
+  PutU32(out, 4, h.seq);
+  PutU32(out, 8, h.ack);
+  out[12] = static_cast<std::byte>(0x50);  // data offset 5, reserved 0
+  out[13] = static_cast<std::byte>(h.flags);
+  PutU16(out, 14, h.window);
+  PutU16(out, 16, h.checksum);
+  PutU16(out, 18, 0);  // urgent pointer
+  return kTcpHeaderBytes;
+}
+
+std::size_t EncodeUdp(const UdpHeader& h, std::span<std::byte> out) {
+  PutU16(out, 0, h.src_port);
+  PutU16(out, 2, h.dst_port);
+  PutU16(out, 4, h.length);
+  PutU16(out, 6, h.checksum);
+  return kUdpHeaderBytes;
+}
+
+std::size_t EncodeIcmp(const IcmpHeader& h, std::span<std::byte> out) {
+  out[0] = static_cast<std::byte>(h.type);
+  out[1] = static_cast<std::byte>(h.code);
+  PutU16(out, 2, h.checksum);
+  PutU16(out, 4, h.id);
+  PutU16(out, 6, h.seq);
+  return kIcmpHeaderBytes;
+}
+
+std::optional<EthernetHeader> ParseEthernet(std::span<const std::byte> buf) {
+  if (buf.size() < kEthernetHeaderBytes) return std::nullopt;
+  EthernetHeader h;
+  h.dst = GetMac(buf, 0);
+  h.src = GetMac(buf, 6);
+  h.ether_type = GetU16(buf, 12);
+  return h;
+}
+
+std::optional<Ipv4Header> ParseIpv4(std::span<const std::byte> buf) {
+  if (buf.size() < kIpv4HeaderBytes) return std::nullopt;
+  const auto ver_ihl = static_cast<std::uint8_t>(buf[0]);
+  if (ver_ihl != 0x45) return std::nullopt;  // v4 with no options only
+  Ipv4Header h;
+  h.tos = static_cast<std::uint8_t>(buf[1]);
+  h.total_length = GetU16(buf, 2);
+  if (h.total_length < kIpv4HeaderBytes) return std::nullopt;
+  h.identification = GetU16(buf, 4);
+  h.ttl = static_cast<std::uint8_t>(buf[8]);
+  const auto proto = static_cast<std::uint8_t>(buf[9]);
+  switch (proto) {
+    case 6: h.protocol = Protocol::kTcp; break;
+    case 17: h.protocol = Protocol::kUdp; break;
+    case 1: h.protocol = Protocol::kIcmp; break;
+    default: return std::nullopt;
+  }
+  h.checksum = GetU16(buf, 10);
+  h.src = Ipv4Address(GetU32(buf, 12));
+  h.dst = Ipv4Address(GetU32(buf, 16));
+  // A zero verification sum means the stored checksum is consistent with
+  // the header contents (RFC 1071 §4.1).
+  if (InternetChecksum(buf.first(kIpv4HeaderBytes)) != 0) return std::nullopt;
+  return h;
+}
+
+std::optional<TcpHeader> ParseTcp(std::span<const std::byte> buf) {
+  if (buf.size() < kTcpHeaderBytes) return std::nullopt;
+  const auto data_offset = static_cast<std::uint8_t>(buf[12]) >> 4;
+  if (data_offset != 5) return std::nullopt;  // no options in this dataplane
+  TcpHeader h;
+  h.src_port = GetU16(buf, 0);
+  h.dst_port = GetU16(buf, 2);
+  h.seq = GetU32(buf, 4);
+  h.ack = GetU32(buf, 8);
+  h.flags = static_cast<std::uint8_t>(buf[13]);
+  h.window = GetU16(buf, 14);
+  h.checksum = GetU16(buf, 16);
+  return h;
+}
+
+std::optional<UdpHeader> ParseUdp(std::span<const std::byte> buf) {
+  if (buf.size() < kUdpHeaderBytes) return std::nullopt;
+  UdpHeader h;
+  h.src_port = GetU16(buf, 0);
+  h.dst_port = GetU16(buf, 2);
+  h.length = GetU16(buf, 4);
+  if (h.length < kUdpHeaderBytes) return std::nullopt;
+  h.checksum = GetU16(buf, 6);
+  return h;
+}
+
+std::optional<IcmpHeader> ParseIcmp(std::span<const std::byte> buf) {
+  if (buf.size() < kIcmpHeaderBytes) return std::nullopt;
+  IcmpHeader h;
+  h.type = static_cast<std::uint8_t>(buf[0]);
+  if (h.type != 0 && h.type != 8) return std::nullopt;  // echo reply / request
+  h.code = static_cast<std::uint8_t>(buf[1]);
+  if (h.code != 0) return std::nullopt;
+  h.checksum = GetU16(buf, 2);
+  h.id = GetU16(buf, 4);
+  h.seq = GetU16(buf, 6);
+  return h;
+}
+
+FiveTuple DecodedFrame::tuple() const {
+  FiveTuple t;
+  t.src_ip = ip.src;
+  t.dst_ip = ip.dst;
+  t.protocol = ip.protocol;
+  switch (ip.protocol) {
+    case Protocol::kTcp:
+      t.src_port = tcp.src_port;
+      t.dst_port = tcp.dst_port;
+      break;
+    case Protocol::kUdp:
+      t.src_port = udp.src_port;
+      t.dst_port = udp.dst_port;
+      break;
+    case Protocol::kIcmp:
+      // Echo requests carry the NAT-relevant identifier as the "source
+      // port"; replies as the "destination port" (the side a WAN-port
+      // lookup matches against).
+      if (icmp.type == 8) {
+        t.src_port = icmp.id;
+        t.dst_port = 0;
+      } else {
+        t.src_port = 0;
+        t.dst_port = icmp.id;
+      }
+      break;
+  }
+  return t;
+}
+
+std::size_t EncodeFrame(const Packet& packet, MacAddress src_mac, MacAddress dst_mac,
+                        std::span<std::byte> out) {
+  const std::size_t l4_bytes = L4HeaderBytes(packet.tuple.protocol);
+  const std::size_t header_bytes = kEthernetHeaderBytes + kIpv4HeaderBytes + l4_bytes;
+  const auto wanted = static_cast<std::size_t>(std::max<std::int64_t>(packet.size.count, 0));
+  const std::size_t frame_bytes = std::clamp(wanted, header_bytes, kMaxFrameBytes);
+  const auto total_length = static_cast<std::uint16_t>(frame_bytes - kEthernetHeaderBytes);
+  const auto l4_length = static_cast<std::uint16_t>(total_length - kIpv4HeaderBytes);
+
+  EthernetHeader eth{.dst = dst_mac, .src = src_mac, .ether_type = kEtherTypeIpv4};
+  EncodeEthernet(eth, out);
+
+  Ipv4Header ip;
+  ip.total_length = total_length;
+  // A deterministic, flow-distinguishing IP id: fold the tuple ports with
+  // the timestamp so consecutive packets of one flow differ.
+  ip.identification = static_cast<std::uint16_t>(
+      (packet.tuple.src_port ^ packet.tuple.dst_port) + packet.timestamp.ms);
+  ip.protocol = packet.tuple.protocol;
+  ip.src = packet.tuple.src_ip;
+  ip.dst = packet.tuple.dst_ip;
+  EncodeIpv4(ip, out.subspan(kIpOffset));
+
+  // Zero the payload first: a zero payload contributes nothing to the
+  // ones'-complement sum, so the L4 checksum below stays exact without
+  // summing the padding.
+  std::memset(out.data() + header_bytes, 0, frame_bytes - header_bytes);
+
+  auto l4 = out.subspan(kL4Offset);
+  switch (packet.tuple.protocol) {
+    case Protocol::kTcp: {
+      TcpHeader tcp;
+      tcp.src_port = packet.tuple.src_port;
+      tcp.dst_port = packet.tuple.dst_port;
+      tcp.seq = static_cast<std::uint32_t>(packet.timestamp.ms);
+      tcp.flags = l4_length > kTcpHeaderBytes ? 0x18 : 0x02;  // PSH|ACK : SYN
+      EncodeTcp(tcp, l4);
+      const std::uint16_t csum = InternetChecksum(
+          l4.first(kTcpHeaderBytes),
+          PseudoHeaderSum(ip.src, ip.dst, Protocol::kTcp, l4_length));
+      PutU16(l4, 16, csum);
+      break;
+    }
+    case Protocol::kUdp: {
+      UdpHeader udp;
+      udp.src_port = packet.tuple.src_port;
+      udp.dst_port = packet.tuple.dst_port;
+      udp.length = l4_length;
+      EncodeUdp(udp, l4);
+      std::uint16_t csum = InternetChecksum(
+          l4.first(kUdpHeaderBytes),
+          PseudoHeaderSum(ip.src, ip.dst, Protocol::kUdp, l4_length));
+      if (csum == 0) csum = 0xffff;  // RFC 768: 0 on the wire means "none"
+      PutU16(l4, 6, csum);
+      break;
+    }
+    case Protocol::kIcmp: {
+      IcmpHeader icmp;
+      icmp.type = packet.direction == Direction::kUpstream ? 8 : 0;
+      icmp.id = packet.direction == Direction::kUpstream ? packet.tuple.src_port
+                                                         : packet.tuple.dst_port;
+      EncodeIcmp(icmp, l4);
+      // ICMP checksums cover the message with no pseudo-header.
+      const std::uint16_t csum = InternetChecksum(l4.first(kIcmpHeaderBytes));
+      PutU16(l4, 2, csum);
+      break;
+    }
+  }
+  return frame_bytes;
+}
+
+std::optional<DecodedFrame> ParseFrame(std::span<const std::byte> frame) {
+  auto eth = ParseEthernet(frame);
+  if (!eth || eth->ether_type != kEtherTypeIpv4) return std::nullopt;
+  auto ip = ParseIpv4(frame.subspan(kEthernetHeaderBytes));
+  if (!ip) return std::nullopt;
+  // The captured frame must hold the whole datagram the IP header claims.
+  if (frame.size() < kEthernetHeaderBytes + ip->total_length) return std::nullopt;
+  const std::size_t l4_avail = ip->total_length - kIpv4HeaderBytes;
+  if (l4_avail < L4HeaderBytes(ip->protocol)) return std::nullopt;
+
+  DecodedFrame out;
+  out.eth = *eth;
+  out.ip = *ip;
+  out.frame_bytes = kEthernetHeaderBytes + ip->total_length;
+  auto l4 = frame.subspan(kL4Offset, l4_avail);
+  switch (ip->protocol) {
+    case Protocol::kTcp: {
+      auto tcp = ParseTcp(l4);
+      if (!tcp) return std::nullopt;
+      out.tcp = *tcp;
+      break;
+    }
+    case Protocol::kUdp: {
+      auto udp = ParseUdp(l4);
+      if (!udp || udp->length != l4_avail) return std::nullopt;
+      out.udp = *udp;
+      break;
+    }
+    case Protocol::kIcmp: {
+      auto icmp = ParseIcmp(l4);
+      if (!icmp) return std::nullopt;
+      out.icmp = *icmp;
+      break;
+    }
+  }
+  return out;
+}
+
+std::optional<FiveTuple> ExtractTuple(std::span<const std::byte> frame) {
+  if (frame.size() < kL4Offset + kUdpHeaderBytes) return std::nullopt;
+  if (GetU16(frame, 12) != kEtherTypeIpv4) return std::nullopt;
+  if (static_cast<std::uint8_t>(frame[kIpOffset]) != 0x45) return std::nullopt;
+  FiveTuple t;
+  t.src_ip = Ipv4Address(GetU32(frame, kIpSrcOffset));
+  t.dst_ip = Ipv4Address(GetU32(frame, kIpDstOffset));
+  switch (static_cast<std::uint8_t>(frame[kIpProtoOffset])) {
+    case 6:
+      if (frame.size() < kL4Offset + kTcpHeaderBytes) return std::nullopt;
+      t.protocol = Protocol::kTcp;
+      t.src_port = GetU16(frame, kL4Offset);
+      t.dst_port = GetU16(frame, kL4Offset + 2);
+      break;
+    case 17:
+      t.protocol = Protocol::kUdp;
+      t.src_port = GetU16(frame, kL4Offset);
+      t.dst_port = GetU16(frame, kL4Offset + 2);
+      break;
+    case 1: {
+      t.protocol = Protocol::kIcmp;
+      const auto type = static_cast<std::uint8_t>(frame[kL4Offset]);
+      if (type != 0 && type != 8) return std::nullopt;
+      const std::uint16_t id = GetU16(frame, kIcmpIdOffset);
+      if (type == 8) t.src_port = id; else t.dst_port = id;
+      break;
+    }
+    default:
+      return std::nullopt;
+  }
+  return t;
+}
+
+Packet PacketFromFrame(const DecodedFrame& frame, TimePoint timestamp, Direction direction) {
+  Packet p;
+  p.timestamp = timestamp;
+  p.tuple = frame.tuple();
+  p.size = Bytes{static_cast<std::int64_t>(frame.frame_bytes)};
+  p.direction = direction;
+  p.lan_mac = direction == Direction::kUpstream ? frame.eth.src : frame.eth.dst;
+  return p;
+}
+
+SourceRewrite SourceRewrite::Make(Ipv4Address old_ip, std::uint16_t old_port,
+                                  Ipv4Address new_ip, std::uint16_t new_port) {
+  SourceRewrite rw;
+  rw.new_ip = new_ip;
+  rw.new_port = new_port;
+  rw.ip_csum_delta = ChecksumDelta32(old_ip.value(), new_ip.value());
+  // TCP/UDP checksums cover the pseudo-header, so the address change
+  // contributes the same delta there, plus the port-word change.
+  rw.l4_csum_delta = rw.ip_csum_delta + ChecksumDelta(old_port, new_port);
+  return rw;
+}
+
+namespace {
+
+/// Shared core of the source/dest rewrites: `ip_field_off`/`port_off`
+/// select which (address, port) pair is edited.
+void ApplyRewrite(std::span<std::byte> frame, const SourceRewrite& rw,
+                  std::size_t ip_field_off, bool rewrite_src_port) {
+  const Protocol proto = [&] {
+    switch (static_cast<std::uint8_t>(frame[kIpProtoOffset])) {
+      case 17: return Protocol::kUdp;
+      case 1: return Protocol::kIcmp;
+      default: return Protocol::kTcp;
+    }
+  }();
+
+  PutU32(frame, ip_field_off, rw.new_ip.value());
+  PutU16(frame, kIpChecksumOffset,
+         ChecksumApply(GetU16(frame, kIpChecksumOffset), rw.ip_csum_delta));
+
+  switch (proto) {
+    case Protocol::kTcp: {
+      PutU16(frame, rewrite_src_port ? kL4Offset : kL4Offset + 2, rw.new_port);
+      PutU16(frame, kTcpChecksumOffset,
+             ChecksumApply(GetU16(frame, kTcpChecksumOffset), rw.l4_csum_delta));
+      break;
+    }
+    case Protocol::kUdp: {
+      PutU16(frame, rewrite_src_port ? kL4Offset : kL4Offset + 2, rw.new_port);
+      // A zero UDP checksum means "not computed" — leave it alone (RFC 3022 §4.1).
+      const std::uint16_t csum = GetU16(frame, kUdpChecksumOffset);
+      if (csum != 0) {
+        PutU16(frame, kUdpChecksumOffset, ChecksumApply(csum, rw.l4_csum_delta));
+      }
+      break;
+    }
+    case Protocol::kIcmp: {
+      // ICMP rewrites the identifier; its checksum has no pseudo-header,
+      // so only the id-word component of the delta applies.
+      const std::uint16_t old_id = GetU16(frame, kIcmpIdOffset);
+      PutU16(frame, kIcmpIdOffset, rw.new_port);
+      PutU16(frame, kIcmpChecksumOffset,
+             ChecksumApply(GetU16(frame, kIcmpChecksumOffset),
+                           ChecksumDelta(old_id, rw.new_port)));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void ApplySourceRewrite(std::span<std::byte> frame, const SourceRewrite& rw) {
+  ApplyRewrite(frame, rw, kIpSrcOffset, /*rewrite_src_port=*/true);
+}
+
+void ApplyDestRewrite(std::span<std::byte> frame, const SourceRewrite& rw) {
+  ApplyRewrite(frame, rw, kIpDstOffset, /*rewrite_src_port=*/false);
+}
+
+}  // namespace bismark::net::wire

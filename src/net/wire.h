@@ -1,0 +1,270 @@
+// Byte-level wire formats: Ethernet/IPv4/TCP/UDP/ICMP over std::byte spans.
+//
+// Everything upstream of here treats a packet as an abstract struct; this
+// header is where those structs become real network bytes — big-endian
+// fields at their RFC offsets, RFC 1071 internet checksums, and the
+// RFC 1624 incremental-update arithmetic that lets a NAT rewrite an
+// address/port pair by editing ten bytes and two checksums instead of
+// re-serialising the frame. The encoders materialise full frames
+// (headers + zeroed payload up to the simulated size), so a pcap written
+// from these bytes validates cleanly under tcpdump/tshark: IP header
+// checksums, TCP/UDP pseudo-header checksums and ICMP checksums are all
+// exact (a zero payload contributes nothing to a ones'-complement sum).
+//
+// Layout reference (all offsets from the start of the Ethernet frame):
+//   0  dst MAC    6  src MAC   12 ethertype
+//   14 ver/ihl    15 tos       16 total_len  18 id  20 flags/frag
+//   22 ttl        23 proto     24 ip csum    26 src ip   30 dst ip
+//   34 L4: TCP 20B / UDP 8B / ICMP echo 8B
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/time.h"
+#include "net/addr.h"
+#include "net/packet.h"
+
+namespace bismark::net::wire {
+
+inline constexpr std::size_t kEthernetHeaderBytes = 14;
+inline constexpr std::size_t kIpv4HeaderBytes = 20;  // no options
+inline constexpr std::size_t kTcpHeaderBytes = 20;   // no options
+inline constexpr std::size_t kUdpHeaderBytes = 8;
+inline constexpr std::size_t kIcmpHeaderBytes = 8;   // echo request/reply
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+/// Largest frame the codec emits: standard Ethernet MTU plus the header.
+inline constexpr std::size_t kMaxFrameBytes = kEthernetHeaderBytes + 1500;
+
+// Fixed offsets into an Ethernet+IPv4 frame (no IP options, ihl = 5).
+inline constexpr std::size_t kIpOffset = kEthernetHeaderBytes;
+inline constexpr std::size_t kIpTotalLenOffset = kIpOffset + 2;
+inline constexpr std::size_t kIpProtoOffset = kIpOffset + 9;
+inline constexpr std::size_t kIpChecksumOffset = kIpOffset + 10;
+inline constexpr std::size_t kIpSrcOffset = kIpOffset + 12;
+inline constexpr std::size_t kIpDstOffset = kIpOffset + 16;
+inline constexpr std::size_t kL4Offset = kIpOffset + kIpv4HeaderBytes;
+inline constexpr std::size_t kTcpChecksumOffset = kL4Offset + 16;
+inline constexpr std::size_t kUdpChecksumOffset = kL4Offset + 6;
+inline constexpr std::size_t kIcmpChecksumOffset = kL4Offset + 2;
+inline constexpr std::size_t kIcmpIdOffset = kL4Offset + 4;
+
+// --- Big-endian scalar access ----------------------------------------------
+
+[[nodiscard]] constexpr std::uint16_t GetU16(std::span<const std::byte> buf,
+                                             std::size_t off) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(buf[off]) << 8 |
+                                    static_cast<std::uint16_t>(buf[off + 1]));
+}
+
+[[nodiscard]] constexpr std::uint32_t GetU32(std::span<const std::byte> buf,
+                                             std::size_t off) {
+  return static_cast<std::uint32_t>(buf[off]) << 24 |
+         static_cast<std::uint32_t>(buf[off + 1]) << 16 |
+         static_cast<std::uint32_t>(buf[off + 2]) << 8 |
+         static_cast<std::uint32_t>(buf[off + 3]);
+}
+
+constexpr void PutU16(std::span<std::byte> buf, std::size_t off, std::uint16_t v) {
+  buf[off] = static_cast<std::byte>(v >> 8);
+  buf[off + 1] = static_cast<std::byte>(v & 0xff);
+}
+
+constexpr void PutU32(std::span<std::byte> buf, std::size_t off, std::uint32_t v) {
+  buf[off] = static_cast<std::byte>(v >> 24);
+  buf[off + 1] = static_cast<std::byte>(v >> 16 & 0xff);
+  buf[off + 2] = static_cast<std::byte>(v >> 8 & 0xff);
+  buf[off + 3] = static_cast<std::byte>(v & 0xff);
+}
+
+// --- RFC 1071 checksum and RFC 1624 incremental update ----------------------
+
+/// Sum `data` into a ones'-complement accumulator (not yet folded or
+/// inverted). Odd lengths pad with a zero byte, per RFC 1071 §4.1.
+[[nodiscard]] std::uint32_t ChecksumAccumulate(std::span<const std::byte> data,
+                                               std::uint32_t sum = 0);
+
+/// Fold a 32-bit accumulator to 16 bits and invert: the value that goes on
+/// the wire.
+[[nodiscard]] constexpr std::uint16_t ChecksumFinish(std::uint32_t sum) {
+  while (sum >> 16 != 0) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+/// The RFC 1071 internet checksum of `data` (optionally seeded with a
+/// pseudo-header accumulator).
+[[nodiscard]] inline std::uint16_t InternetChecksum(std::span<const std::byte> data,
+                                                    std::uint32_t seed = 0) {
+  return ChecksumFinish(ChecksumAccumulate(data, seed));
+}
+
+/// Additive delta for changing one 16-bit header word from `old16` to
+/// `new16` (RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m')). Deltas for several
+/// word changes compose by addition, which is what lets a NAT precompute
+/// one delta per mapping and apply it per packet.
+[[nodiscard]] constexpr std::uint32_t ChecksumDelta(std::uint16_t old16,
+                                                    std::uint16_t new16) {
+  return static_cast<std::uint32_t>(static_cast<std::uint16_t>(~old16)) + new16;
+}
+
+/// Delta for a 32-bit field change (an IPv4 address), as two word deltas.
+[[nodiscard]] constexpr std::uint32_t ChecksumDelta32(std::uint32_t old32,
+                                                      std::uint32_t new32) {
+  return ChecksumDelta(static_cast<std::uint16_t>(old32 >> 16),
+                       static_cast<std::uint16_t>(new32 >> 16)) +
+         ChecksumDelta(static_cast<std::uint16_t>(old32 & 0xffff),
+                       static_cast<std::uint16_t>(new32 & 0xffff));
+}
+
+/// Apply an accumulated delta to a wire checksum value.
+[[nodiscard]] constexpr std::uint16_t ChecksumApply(std::uint16_t csum,
+                                                    std::uint32_t delta) {
+  std::uint32_t sum = static_cast<std::uint16_t>(~csum) + delta;
+  while (sum >> 16 != 0) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+// --- Header structs and their codecs ----------------------------------------
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ether_type{kEtherTypeIpv4};
+
+  friend bool operator==(const EthernetHeader&, const EthernetHeader&) = default;
+};
+
+struct Ipv4Header {
+  std::uint8_t tos{0};
+  std::uint16_t total_length{kIpv4HeaderBytes};
+  std::uint16_t identification{0};
+  std::uint8_t ttl{64};
+  Protocol protocol{Protocol::kTcp};
+  Ipv4Address src;
+  Ipv4Address dst;
+  std::uint16_t checksum{0};  ///< filled by Encode, verified by Parse
+
+  friend bool operator==(const Ipv4Header&, const Ipv4Header&) = default;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint8_t flags{0x02};  // SYN by default: the first packet of a flow
+  std::uint16_t window{65535};
+  std::uint16_t checksum{0};
+
+  friend bool operator==(const TcpHeader&, const TcpHeader&) = default;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint16_t length{kUdpHeaderBytes};
+  std::uint16_t checksum{0};
+
+  friend bool operator==(const UdpHeader&, const UdpHeader&) = default;
+};
+
+struct IcmpHeader {
+  std::uint8_t type{8};  // echo request
+  std::uint8_t code{0};
+  std::uint16_t id{0};
+  std::uint16_t seq{0};
+  std::uint16_t checksum{0};
+
+  friend bool operator==(const IcmpHeader&, const IcmpHeader&) = default;
+};
+
+/// Serialise one header at the front of `out` (which must be large enough);
+/// returns bytes written. Checksums that need payload/pseudo-header context
+/// are computed by EncodeFrame, not by these single-header encoders.
+std::size_t EncodeEthernet(const EthernetHeader& h, std::span<std::byte> out);
+std::size_t EncodeIpv4(const Ipv4Header& h, std::span<std::byte> out);
+std::size_t EncodeTcp(const TcpHeader& h, std::span<std::byte> out);
+std::size_t EncodeUdp(const UdpHeader& h, std::span<std::byte> out);
+std::size_t EncodeIcmp(const IcmpHeader& h, std::span<std::byte> out);
+
+/// Parse one header from the front of `buf`. Returns nullopt on truncated
+/// or malformed input — never reads past `buf.size()`.
+[[nodiscard]] std::optional<EthernetHeader> ParseEthernet(std::span<const std::byte> buf);
+[[nodiscard]] std::optional<Ipv4Header> ParseIpv4(std::span<const std::byte> buf);
+[[nodiscard]] std::optional<TcpHeader> ParseTcp(std::span<const std::byte> buf);
+[[nodiscard]] std::optional<UdpHeader> ParseUdp(std::span<const std::byte> buf);
+[[nodiscard]] std::optional<IcmpHeader> ParseIcmp(std::span<const std::byte> buf);
+
+// --- Frame codec: Packet <-> Ethernet frame ---------------------------------
+
+/// A fully-parsed frame: link/network headers plus whichever L4 header the
+/// IP protocol selected.
+struct DecodedFrame {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  TcpHeader tcp;    // valid when ip.protocol == kTcp
+  UdpHeader udp;    // valid when ip.protocol == kUdp
+  IcmpHeader icmp;  // valid when ip.protocol == kIcmp
+  std::size_t frame_bytes{0};
+
+  /// The transport five-tuple the NAT keys on. ICMP echoes key on the
+  /// identifier: requests carry it as the source port, replies as the
+  /// destination port (matching the NAT's WAN-port lookup direction).
+  [[nodiscard]] FiveTuple tuple() const;
+};
+
+/// Materialise `packet` as an Ethernet frame in `out` (which must hold
+/// kMaxFrameBytes): real headers, zeroed payload padding the frame to the
+/// simulated size (clamped to [headers, MTU]), every checksum exact.
+/// Returns the frame length in bytes.
+std::size_t EncodeFrame(const Packet& packet, MacAddress src_mac, MacAddress dst_mac,
+                        std::span<std::byte> out);
+
+/// Parse an Ethernet frame. Verifies structural invariants (lengths,
+/// version, ihl) and the IPv4 header checksum; returns nullopt on any
+/// violation. Never reads outside `frame`.
+[[nodiscard]] std::optional<DecodedFrame> ParseFrame(std::span<const std::byte> frame);
+
+/// Rebuild the abstract Packet a frame encodes (`timestamp` is not on the
+/// wire and must be supplied; `size` is the frame length).
+[[nodiscard]] Packet PacketFromFrame(const DecodedFrame& frame, TimePoint timestamp,
+                                     Direction direction);
+
+/// Fast-path tuple extraction for the NAT hot path: fixed-offset reads
+/// with minimal structural checks (length, ethertype, version/ihl, known
+/// protocol) and NO checksum verification. Use ParseFrame for untrusted
+/// input; this is for frames the dataplane itself encoded.
+[[nodiscard]] std::optional<FiveTuple> ExtractTuple(std::span<const std::byte> frame);
+
+// --- NAT rewrite: edit bytes, not structs -----------------------------------
+
+/// A precomputed source-rewrite: the new (address, port) plus the checksum
+/// deltas their substitution induces. Computed once per NAT mapping,
+/// applied per packet — the fast-path header cache that keeps byte-level
+/// translation at struct-path speed.
+struct SourceRewrite {
+  Ipv4Address new_ip;
+  std::uint16_t new_port{0};
+  std::uint32_t ip_csum_delta{0};  ///< for the IPv4 header checksum
+  std::uint32_t l4_csum_delta{0};  ///< for the TCP/UDP/ICMP checksum
+
+  /// Build the rewrite old -> new. The L4 delta folds the pseudo-header
+  /// address change and the port change together; ICMP (whose checksum has
+  /// no pseudo-header) uses only the identifier-change component, which
+  /// Apply selects by protocol.
+  static SourceRewrite Make(Ipv4Address old_ip, std::uint16_t old_port,
+                            Ipv4Address new_ip, std::uint16_t new_port);
+};
+
+/// Apply a source rewrite to a frame in place: 4 address bytes, 2 port
+/// bytes, and incremental updates to the IP and L4 checksums. The frame
+/// must have passed ParseFrame (fixed offsets are assumed valid).
+void ApplySourceRewrite(std::span<std::byte> frame, const SourceRewrite& rw);
+
+/// The mirror image for inbound traffic: rewrite the *destination*
+/// (address, port) with the same cached-delta arithmetic.
+void ApplyDestRewrite(std::span<std::byte> frame, const SourceRewrite& rw);
+
+}  // namespace bismark::net::wire

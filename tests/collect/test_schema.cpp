@@ -23,8 +23,9 @@ TEST(SchemaTypelist, WireOrderIsStable) {
   EXPECT_EQ(kRecordIndexOf<TrafficFlowRecord>, 5u);
   EXPECT_EQ(kRecordIndexOf<ThroughputMinute>, 6u);
   EXPECT_EQ(kRecordIndexOf<DnsLogRecord>, 7u);
-  EXPECT_EQ(kRecordIndexOf<DeviceTrafficRecord>, kRecordKinds - 1);
-  EXPECT_EQ(kRecordKinds, 9u);
+  EXPECT_EQ(kRecordIndexOf<DeviceTrafficRecord>, 8u);
+  EXPECT_EQ(kRecordIndexOf<CgnEventRecord>, kRecordKinds - 1);
+  EXPECT_EQ(kRecordKinds, 10u);
 }
 
 TEST(SchemaTypelist, KindNamesMatchCommittedLabels) {
@@ -39,6 +40,7 @@ TEST(SchemaTypelist, KindNamesMatchCommittedLabels) {
   EXPECT_STREQ(RecordKindName(6), "throughput");
   EXPECT_STREQ(RecordKindName(7), "dns");
   EXPECT_STREQ(RecordKindName(8), "device_traffic");
+  EXPECT_STREQ(RecordKindName(9), "cgn_event");
   EXPECT_STREQ(RecordKindName(kRecordKinds), "unknown");
 }
 

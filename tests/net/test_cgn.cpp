@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "net/cgn.h"
+#include "net/packet.h"
+#include "net/wire.h"
+
+namespace bismark::net {
+namespace {
+
+// Home WAN addresses as the home NAT hands them to the CGN tier: RFC 6598
+// shared address space.
+constexpr Ipv4Address kHomeWan(100, 64, 0, 1);
+constexpr Ipv4Address kOtherHomeWan(100, 64, 0, 2);
+constexpr Ipv4Address kRemote(93, 184, 216, 34);
+
+class CgnTest : public ::testing::Test {
+ protected:
+  /// Small, hand-checkable shape: 1024 external ports, 8-port blocks,
+  /// 4 subscribers -> 32 blocks (256 ports) per disjoint slice.
+  static CgnConfig MakeConfig() {
+    CgnConfig config;
+    config.port_range_lo = 1024;
+    config.port_range_hi = 2047;
+    config.port_block_size = 8;
+    config.subscriber_count = 4;
+    return config;
+  }
+
+  static Packet MakeOutbound(Ipv4Address src, std::uint16_t sport, std::uint16_t dport,
+                             TimePoint t, Protocol proto = Protocol::kUdp) {
+    Packet p;
+    p.timestamp = t;
+    p.tuple = {src, kRemote, sport, dport, proto};
+    p.size = Bytes{128};
+    p.direction = Direction::kUpstream;
+    p.lan_mac = MacAddress::FromParts(0x001EC2, 1);
+    return p;
+  }
+
+  TimePoint t0_ = MakeTime({2013, 4, 1});
+};
+
+TEST_F(CgnTest, PortSliceIsDeterministicAndDisjoint) {
+  const CgnTable cgn(MakeConfig());
+  EXPECT_EQ(cgn.total_blocks(), 128u);
+  EXPECT_EQ(cgn.blocks_per_subscriber(), 32u);
+  // Each subscriber's slice starts exactly where the previous one ends:
+  // statically computable from the subscriber index alone (RFC 7422).
+  for (std::uint32_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(cgn.slice_base_port(s), 1024 + s * 256);
+    EXPECT_EQ(cgn.subscriber_port_capacity(s), 256u);
+  }
+}
+
+TEST_F(CgnTest, CapacityIsCappedByPerSubscriberLimit) {
+  CgnConfig config = MakeConfig();
+  config.max_ports_per_subscriber = 10;
+  const CgnTable cgn(config);
+  EXPECT_EQ(cgn.subscriber_port_capacity(0), 10u);  // min(slice=256, cap=10)
+}
+
+TEST_F(CgnTest, OutboundAllocatesFromSubscriberSlice) {
+  CgnTable cgn(MakeConfig());
+  Packet a = MakeOutbound(kHomeWan, 30000, 443, t0_);
+  Packet b = MakeOutbound(kOtherHomeWan, 30000, 443, t0_);
+  ASSERT_TRUE(cgn.translate_outbound(0, a));
+  ASSERT_TRUE(cgn.translate_outbound(1, b));
+
+  EXPECT_EQ(a.tuple.src_ip, cgn.config().external_address);
+  EXPECT_EQ(b.tuple.src_ip, cgn.config().external_address);
+  // First port of each subscriber's own slice — never a shared pool.
+  EXPECT_EQ(a.tuple.src_port, cgn.slice_base_port(0));
+  EXPECT_EQ(b.tuple.src_port, cgn.slice_base_port(1));
+  EXPECT_EQ(cgn.stats().translations_out, 2u);
+  EXPECT_EQ(cgn.active_mappings(), 2u);
+
+  // Same flow again: mapping reused, no new port.
+  Packet again = MakeOutbound(kHomeWan, 30000, 443, t0_ + Seconds(1));
+  ASSERT_TRUE(cgn.translate_outbound(0, again));
+  EXPECT_EQ(again.tuple.src_port, cgn.slice_base_port(0));
+  EXPECT_EQ(cgn.active_mappings(), 2u);
+  EXPECT_EQ(cgn.subscriber_stats(0).ports_in_use, 1u);
+}
+
+TEST_F(CgnTest, BlocksActivateLazilyAsTheCursorCrossesThem) {
+  CgnTable cgn(MakeConfig());  // 8-port blocks
+  for (std::uint16_t i = 0; i < 8; ++i) {
+    Packet p = MakeOutbound(kHomeWan, static_cast<std::uint16_t>(20000 + i), 443, t0_);
+    ASSERT_TRUE(cgn.translate_outbound(0, p));
+  }
+  EXPECT_EQ(cgn.subscriber_stats(0).blocks_allocated, 1u);  // first block covers 8 ports
+  Packet ninth = MakeOutbound(kHomeWan, 20008, 443, t0_);
+  ASSERT_TRUE(cgn.translate_outbound(0, ninth));
+  EXPECT_EQ(cgn.subscriber_stats(0).blocks_allocated, 2u);  // 9th port opens block 2
+  EXPECT_EQ(cgn.subscriber_stats(0).ports_in_use, 9u);
+  EXPECT_EQ(cgn.subscriber_stats(0).ports_peak, 9u);
+}
+
+TEST_F(CgnTest, SliceExhaustionDropsAndCounts) {
+  // Shrink the range so a subscriber's whole slice is 16 ports: 64 ports,
+  // 16-port blocks, 4 subscribers -> 1 block each.
+  CgnConfig config = MakeConfig();
+  config.port_range_lo = 1024;
+  config.port_range_hi = 1087;
+  config.port_block_size = 16;
+  CgnTable cgn(config);
+  ASSERT_EQ(cgn.subscriber_port_capacity(0), 16u);
+
+  std::set<std::uint16_t> ports;
+  for (std::uint16_t i = 0; i < 16; ++i) {
+    Packet p = MakeOutbound(kHomeWan, static_cast<std::uint16_t>(20000 + i), 443, t0_);
+    ASSERT_TRUE(cgn.translate_outbound(0, p)) << "flow " << i;
+    ports.insert(p.tuple.src_port);
+  }
+  EXPECT_EQ(ports.size(), 16u);  // all distinct, the full slice
+
+  // The 17th distinct flow must drop, and every retry counts one drop.
+  for (int attempt = 1; attempt <= 3; ++attempt) {
+    Packet p = MakeOutbound(kHomeWan, static_cast<std::uint16_t>(30000 + attempt), 443, t0_);
+    EXPECT_FALSE(cgn.translate_outbound(0, p));
+    EXPECT_EQ(cgn.stats().port_exhaustion_drops, static_cast<std::uint64_t>(attempt));
+    EXPECT_EQ(cgn.subscriber_stats(0).exhaustion_drops, static_cast<std::uint64_t>(attempt));
+  }
+  // Exhaustion is per-slice: subscriber 1 still allocates fine.
+  Packet other = MakeOutbound(kOtherHomeWan, 30000, 443, t0_);
+  EXPECT_TRUE(cgn.translate_outbound(1, other));
+}
+
+TEST_F(CgnTest, PerSubscriberCapDropsBeforeSliceIsSpent) {
+  CgnConfig config = MakeConfig();
+  config.max_ports_per_subscriber = 3;
+  CgnTable cgn(config);
+  for (std::uint16_t i = 0; i < 3; ++i) {
+    Packet p = MakeOutbound(kHomeWan, static_cast<std::uint16_t>(20000 + i), 443, t0_);
+    ASSERT_TRUE(cgn.translate_outbound(0, p));
+  }
+  Packet fourth = MakeOutbound(kHomeWan, 20003, 443, t0_);
+  EXPECT_FALSE(cgn.translate_outbound(0, fourth));
+  EXPECT_EQ(cgn.stats().port_exhaustion_drops, 1u);
+}
+
+TEST_F(CgnTest, ExpiredPortsRecycleWithoutNewBlocks) {
+  CgnTable cgn(MakeConfig());
+  Packet p = MakeOutbound(kHomeWan, 30000, 443, t0_, Protocol::kUdp);
+  ASSERT_TRUE(cgn.translate_outbound(0, p));
+  const std::uint16_t first_port = p.tuple.src_port;
+  EXPECT_EQ(cgn.subscriber_stats(0).blocks_allocated, 1u);
+
+  // Idle past the UDP timeout: the mapping expires and the port frees.
+  const TimePoint later = t0_ + cgn.config().udp_idle_timeout + Seconds(1);
+  EXPECT_EQ(cgn.expire_idle(later), 1u);
+  EXPECT_EQ(cgn.active_mappings(), 0u);
+  EXPECT_EQ(cgn.subscriber_stats(0).ports_in_use, 0u);
+  EXPECT_EQ(cgn.stats().mappings_expired, 1u);
+
+  // A brand-new flow reuses the recycled port (LIFO) instead of advancing
+  // the cursor — no second block activation.
+  Packet q = MakeOutbound(kHomeWan, 31000, 80, later, Protocol::kUdp);
+  ASSERT_TRUE(cgn.translate_outbound(0, q));
+  EXPECT_EQ(q.tuple.src_port, first_port);
+  EXPECT_EQ(cgn.subscriber_stats(0).blocks_allocated, 1u);
+}
+
+TEST_F(CgnTest, InboundIsPortRestricted) {
+  CgnTable cgn(MakeConfig());
+  Packet out = MakeOutbound(kHomeWan, 30000, 443, t0_, Protocol::kTcp);
+  ASSERT_TRUE(cgn.translate_outbound(0, out));
+  const std::uint16_t ext_port = out.tuple.src_port;
+
+  // Reply from the contacted endpoint: translated back to the home WAN.
+  Packet reply = MakeOutbound(kRemote, 443, ext_port, t0_ + Seconds(1), Protocol::kTcp);
+  reply.tuple.dst_ip = cgn.config().external_address;
+  reply.direction = Direction::kDownstream;
+  ASSERT_TRUE(cgn.translate_inbound(reply));
+  EXPECT_EQ(reply.tuple.dst_ip, kHomeWan);
+  EXPECT_EQ(reply.tuple.dst_port, 30000);
+  EXPECT_EQ(cgn.stats().translations_in, 1u);
+
+  // Same external port, different remote source port: rejected.
+  Packet stranger = MakeOutbound(kRemote, 9999, ext_port, t0_ + Seconds(2), Protocol::kTcp);
+  stranger.tuple.dst_ip = cgn.config().external_address;
+  EXPECT_FALSE(cgn.translate_inbound(stranger));
+  EXPECT_EQ(cgn.stats().unknown_inbound_drops, 1u);
+
+  // Unsolicited port with no mapping at all: rejected.
+  Packet unsolicited = MakeOutbound(kRemote, 443, 2040, t0_ + Seconds(2), Protocol::kTcp);
+  unsolicited.tuple.dst_ip = cgn.config().external_address;
+  EXPECT_FALSE(cgn.translate_inbound(unsolicited));
+  EXPECT_EQ(cgn.stats().unknown_inbound_drops, 2u);
+}
+
+TEST_F(CgnTest, WirePathMatchesPacketPath) {
+  // Two tables with identical config: one driven through Packet structs,
+  // one through encoded frames. They must allocate identical ports and
+  // count identical stats, and the frame checksums must stay exact.
+  CgnTable struct_path(MakeConfig());
+  CgnTable wire_path(MakeConfig());
+
+  for (const Protocol proto : {Protocol::kTcp, Protocol::kUdp, Protocol::kIcmp}) {
+    const auto sport = static_cast<std::uint16_t>(20000 + static_cast<int>(proto));
+    Packet p = MakeOutbound(kHomeWan, sport, 443, t0_, proto);
+    Packet via_struct = p;
+    ASSERT_TRUE(struct_path.translate_outbound(0, via_struct));
+
+    std::array<std::byte, wire::kMaxFrameBytes> buf{};
+    const std::size_t len =
+        wire::EncodeFrame(p, MacAddress::FromParts(2, 1), MacAddress::FromParts(2, 2), buf);
+    const std::span<std::byte> frame(buf.data(), len);
+    ASSERT_TRUE(wire_path.translate_outbound_wire(0, frame, t0_));
+
+    const auto decoded = wire::ParseFrame(frame);  // IP checksum re-verified here
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->ip.src, via_struct.tuple.src_ip);
+    EXPECT_EQ(decoded->tuple().src_port, via_struct.tuple.src_port);
+  }
+  EXPECT_EQ(struct_path.stats().translations_out, wire_path.stats().translations_out);
+  EXPECT_EQ(struct_path.subscriber_stats(0).ports_in_use,
+            wire_path.subscriber_stats(0).ports_in_use);
+  EXPECT_EQ(struct_path.subscriber_stats(0).blocks_allocated,
+            wire_path.subscriber_stats(0).blocks_allocated);
+}
+
+TEST_F(CgnTest, WireInboundRewritesBackToHomeWan) {
+  CgnTable cgn(MakeConfig());
+  Packet out = MakeOutbound(kHomeWan, 30000, 443, t0_, Protocol::kTcp);
+  std::array<std::byte, wire::kMaxFrameBytes> buf{};
+  const std::size_t out_len =
+      wire::EncodeFrame(out, MacAddress::FromParts(2, 1), MacAddress::FromParts(2, 2), buf);
+  ASSERT_TRUE(cgn.translate_outbound_wire(0, std::span<std::byte>(buf.data(), out_len), t0_));
+  const auto translated = wire::ExtractTuple(std::span<const std::byte>(buf.data(), out_len));
+  ASSERT_TRUE(translated.has_value());
+
+  // Encode the reply the remote host would send to the external endpoint.
+  Packet reply;
+  reply.timestamp = t0_ + Seconds(1);
+  reply.tuple = translated->reversed();
+  reply.size = Bytes{128};
+  reply.direction = Direction::kDownstream;
+  reply.lan_mac = MacAddress::FromParts(2, 1);
+  std::array<std::byte, wire::kMaxFrameBytes> rbuf{};
+  const std::size_t in_len =
+      wire::EncodeFrame(reply, MacAddress::FromParts(2, 2), MacAddress::FromParts(2, 1), rbuf);
+  const std::span<std::byte> rframe(rbuf.data(), in_len);
+  ASSERT_TRUE(cgn.translate_inbound_wire(rframe, reply.timestamp));
+
+  const auto decoded = wire::ParseFrame(rframe);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ip.dst, kHomeWan);
+  EXPECT_EQ(decoded->tuple().dst_port, 30000);
+}
+
+TEST_F(CgnTest, UnknownSubscriberIsRejected) {
+  CgnTable cgn(MakeConfig());
+  Packet p = MakeOutbound(kHomeWan, 30000, 443, t0_);
+  EXPECT_FALSE(cgn.translate_outbound(99, p));
+  EXPECT_EQ(cgn.subscriber_port_capacity(99), 0u);
+}
+
+}  // namespace
+}  // namespace bismark::net

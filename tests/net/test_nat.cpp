@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+
 #include "net/nat.h"
+#include "net/wire.h"
 
 namespace bismark::net {
 namespace {
@@ -223,6 +227,127 @@ TEST_F(NatTest, SnapshotReflectsMappings) {
   nat.translate_outbound(p2);
   const auto snapshot = nat.snapshot();
   ASSERT_EQ(snapshot.size(), 2u);
+}
+
+TEST_F(NatTest, FullRangeExhaustionWithSixteenPorts) {
+  // Regression for the allocate_port scan bug: with the whole range in use
+  // the probe used to wrap forever instead of failing. 16 ports make the
+  // full wrap cheap to exercise.
+  NatConfig cfg = MakeConfig();
+  cfg.port_range_lo = 1024;
+  cfg.port_range_hi = 1039;  // exactly 16 ports
+  NatTable nat(cfg);
+  for (int i = 0; i < 16; ++i) {
+    Packet p = MakeOutbound(kLanA, static_cast<std::uint16_t>(30000 + i), kRemote, 443, mac_a_,
+                            t0_);
+    ASSERT_TRUE(nat.translate_outbound(p)) << "flow " << i;
+    EXPECT_GE(p.tuple.src_port, 1024);
+    EXPECT_LE(p.tuple.src_port, 1039);
+  }
+  EXPECT_EQ(nat.active_mappings(), 16u);
+
+  // Every further attempt terminates, drops, and counts exactly one drop.
+  for (int attempt = 1; attempt <= 4; ++attempt) {
+    Packet p = MakeOutbound(kLanA, static_cast<std::uint16_t>(31000 + attempt), kRemote, 443,
+                            mac_a_, t0_);
+    EXPECT_FALSE(nat.translate_outbound(p));
+    EXPECT_EQ(nat.stats().port_exhaustion_drops, static_cast<std::uint64_t>(attempt));
+  }
+  // Existing flows keep translating through an exhausted table.
+  Packet existing = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_ + Seconds(1));
+  EXPECT_TRUE(nat.translate_outbound(existing));
+}
+
+TEST_F(NatTest, ExhaustionIsPerProtocol) {
+  // The in-use counter is per protocol: filling the range with TCP flows
+  // must not starve UDP of the same numeric ports.
+  NatConfig cfg = MakeConfig();
+  cfg.port_range_lo = 1024;
+  cfg.port_range_hi = 1027;
+  NatTable nat(cfg);
+  for (int i = 0; i < 4; ++i) {
+    Packet p = MakeOutbound(kLanA, static_cast<std::uint16_t>(30000 + i), kRemote, 443, mac_a_,
+                            t0_, Protocol::kTcp);
+    ASSERT_TRUE(nat.translate_outbound(p));
+  }
+  Packet tcp_more = MakeOutbound(kLanA, 30100, kRemote, 443, mac_a_, t0_, Protocol::kTcp);
+  EXPECT_FALSE(nat.translate_outbound(tcp_more));
+  Packet udp = MakeOutbound(kLanA, 30100, kRemote, 53, mac_a_, t0_, Protocol::kUdp);
+  EXPECT_TRUE(nat.translate_outbound(udp));
+}
+
+TEST_F(NatTest, ExhaustedPortsRecoverAfterExpiry) {
+  NatConfig cfg = MakeConfig();
+  cfg.port_range_lo = 1024;
+  cfg.port_range_hi = 1039;
+  cfg.tcp_idle_timeout = Minutes(1);
+  NatTable nat(cfg);
+  for (int i = 0; i < 16; ++i) {
+    Packet p = MakeOutbound(kLanA, static_cast<std::uint16_t>(30000 + i), kRemote, 443, mac_a_,
+                            t0_);
+    ASSERT_TRUE(nat.translate_outbound(p));
+  }
+  EXPECT_EQ(nat.expire_idle(t0_ + Minutes(2)), 16u);
+  // The counter went back down: a fresh flow allocates again.
+  Packet fresh = MakeOutbound(kLanA, 32000, kRemote, 443, mac_a_, t0_ + Minutes(2));
+  EXPECT_TRUE(nat.translate_outbound(fresh));
+}
+
+TEST_F(NatTest, SnapshotIsSortedByLanTuple) {
+  // The backing tables are hash maps; snapshot() owes its callers (state
+  // export, debugging) a deterministic order.
+  NatTable nat(MakeConfig());
+  for (int d = 9; d >= 0; --d) {  // insert in descending address order
+    Packet p = MakeOutbound(Ipv4Address(192, 168, 1, static_cast<std::uint8_t>(10 + d)),
+                            static_cast<std::uint16_t>(30000 + d), kRemote, 443,
+                            MacAddress::FromParts(0x001EC2, 100u + d), t0_);
+    ASSERT_TRUE(nat.translate_outbound(p));
+  }
+  const auto snapshot = nat.snapshot();
+  ASSERT_EQ(snapshot.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(
+      snapshot.begin(), snapshot.end(),
+      [](const NatMapping& a, const NatMapping& b) { return a.lan_tuple < b.lan_tuple; }));
+}
+
+TEST_F(NatTest, WirePathSharesStateWithStructPath) {
+  // One table, both entry points: a flow opened on the wire path must be
+  // visible to the struct path (and vice versa) with identical mappings.
+  NatTable nat(MakeConfig());
+  Packet p = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_);
+  std::array<std::byte, wire::kMaxFrameBytes> buf{};
+  const std::size_t len =
+      wire::EncodeFrame(p, mac_a_, MacAddress::FromParts(0x02157e, 0), buf);
+  const std::span<std::byte> frame(buf.data(), len);
+  ASSERT_TRUE(nat.translate_outbound_wire(frame, t0_, mac_a_));
+
+  const auto on_wire = wire::ExtractTuple(frame);
+  ASSERT_TRUE(on_wire.has_value());
+  EXPECT_EQ(on_wire->src_ip, kWan);
+
+  Packet same_flow = MakeOutbound(kLanA, 30000, kRemote, 443, mac_a_, t0_ + Seconds(1));
+  ASSERT_TRUE(nat.translate_outbound(same_flow));
+  EXPECT_EQ(same_flow.tuple.src_port, on_wire->src_port);  // one shared mapping
+  EXPECT_EQ(nat.active_mappings(), 1u);
+  EXPECT_EQ(nat.stats().translations_out, 2u);
+
+  // Inbound reply on the wire path lands on the owning LAN endpoint with
+  // checksums still exact.
+  Packet reply;
+  reply.timestamp = t0_ + Seconds(2);
+  reply.tuple = on_wire->reversed();
+  reply.size = B(1400);
+  reply.direction = Direction::kDownstream;
+  reply.lan_mac = mac_a_;
+  std::array<std::byte, wire::kMaxFrameBytes> rbuf{};
+  const std::size_t rlen =
+      wire::EncodeFrame(reply, MacAddress::FromParts(0x02157e, 0), mac_a_, rbuf);
+  const std::span<std::byte> rframe(rbuf.data(), rlen);
+  ASSERT_TRUE(nat.translate_inbound_wire(rframe, reply.timestamp));
+  const auto decoded = wire::ParseFrame(rframe);  // re-verifies the IP checksum
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->ip.dst, kLanA);
+  EXPECT_EQ(decoded->tuple().dst_port, 30000);
 }
 
 TEST_F(NatTest, ManyDevicesCollapseOntoOneAddress) {

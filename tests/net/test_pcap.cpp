@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "net/pcap.h"
+#include "net/wire.h"
+
+namespace bismark::net {
+namespace {
+
+std::uint16_t ReadLe16(const std::vector<std::byte>& b, std::size_t off) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(b[off]) |
+                                    static_cast<std::uint16_t>(b[off + 1]) << 8);
+}
+
+std::uint32_t ReadLe32(const std::vector<std::byte>& b, std::size_t off) {
+  return static_cast<std::uint32_t>(b[off]) | static_cast<std::uint32_t>(b[off + 1]) << 8 |
+         static_cast<std::uint32_t>(b[off + 2]) << 16 |
+         static_cast<std::uint32_t>(b[off + 3]) << 24;
+}
+
+std::vector<std::byte> MakeFrame(std::uint8_t fill, std::size_t length) {
+  std::vector<std::byte> frame(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    frame[i] = static_cast<std::byte>(fill + i);
+  }
+  return frame;
+}
+
+std::vector<std::byte> ReadAll(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> bytes(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) bytes[i] = static_cast<std::byte>(raw[i]);
+  return bytes;
+}
+
+std::filesystem::path TempPath(const char* name) {
+  return std::filesystem::temp_directory_path() / name;
+}
+
+TEST(Pcap, FileHeaderIsClassicLittleEndianPcap) {
+  std::vector<std::byte> hdr(kPcapFileHeaderBytes);
+  EncodePcapFileHeader(hdr);
+  // Little-endian magic: the file literally starts d4 c3 b2 a1.
+  EXPECT_EQ(static_cast<std::uint8_t>(hdr[0]), 0xd4);
+  EXPECT_EQ(static_cast<std::uint8_t>(hdr[1]), 0xc3);
+  EXPECT_EQ(static_cast<std::uint8_t>(hdr[2]), 0xb2);
+  EXPECT_EQ(static_cast<std::uint8_t>(hdr[3]), 0xa1);
+  EXPECT_EQ(ReadLe32(hdr, 0), kPcapMagic);
+  EXPECT_EQ(ReadLe16(hdr, 4), kPcapVersionMajor);
+  EXPECT_EQ(ReadLe16(hdr, 6), kPcapVersionMinor);
+  EXPECT_EQ(ReadLe32(hdr, 8), 0u);   // thiszone
+  EXPECT_EQ(ReadLe32(hdr, 12), 0u);  // sigfigs
+  EXPECT_EQ(ReadLe32(hdr, 16), kPcapSnapLen);
+  EXPECT_EQ(ReadLe32(hdr, 20), kPcapLinkTypeEthernet);
+}
+
+TEST(Pcap, RecordHeaderSplitsMillisecondsIntoSecUsec) {
+  std::vector<std::byte> hdr(kPcapRecordHeaderBytes);
+  const TimePoint ts = MakeTime({2013, 4, 1}, 12, 30, 15) + Millis(250);
+  EncodePcapRecordHeader(hdr, ts, 96);
+  EXPECT_EQ(ReadLe32(hdr, 0), static_cast<std::uint32_t>(ts.ms / 1000));
+  EXPECT_EQ(ReadLe32(hdr, 4), 250000u);  // 250 ms -> 250,000 us, < 1e6
+  EXPECT_EQ(ReadLe32(hdr, 8), 96u);      // incl_len
+  EXPECT_EQ(ReadLe32(hdr, 12), 96u);     // orig_len (whole frame captured)
+}
+
+TEST(Pcap, BufferStoresFramesInCaptureOrder) {
+  PcapBuffer buf;
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  const auto f1 = MakeFrame(0x10, 60);
+  const auto f2 = MakeFrame(0x80, 90);
+  buf.capture(t0, 3, f1);
+  buf.capture(t0 + Millis(5), 3, f2);
+
+  ASSERT_EQ(buf.frame_count(), 2u);
+  EXPECT_EQ(buf.byte_count(), 150u);
+  const auto& recs = buf.records();
+  EXPECT_EQ(recs[0].seq, 0u);
+  EXPECT_EQ(recs[1].seq, 1u);  // tie-break key increments per capture
+  EXPECT_EQ(recs[0].length, 60u);
+  EXPECT_EQ(recs[1].length, 90u);
+  const auto stored = buf.frame_bytes(recs[1]);
+  ASSERT_EQ(stored.size(), f2.size());
+  EXPECT_TRUE(std::equal(stored.begin(), stored.end(), f2.begin()));
+}
+
+TEST(Pcap, WriteMergesShardsIntoTimestampOrder) {
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  // Shard 0 captures homes 0 and 2; shard 1 captures home 1. Frames arrive
+  // interleaved in time across shards.
+  PcapBuffer shard0;
+  PcapBuffer shard1;
+  shard0.capture(t0 + Millis(10), 0, MakeFrame(0x01, 64));
+  shard1.capture(t0 + Millis(5), 1, MakeFrame(0x02, 72));
+  shard0.capture(t0 + Millis(20), 2, MakeFrame(0x03, 80));
+  shard1.capture(t0 + Millis(20), 1, MakeFrame(0x04, 66));
+
+  const auto path = TempPath("bismark_pcap_merge_test.pcap");
+  const std::array<const PcapBuffer*, 2> shards{&shard0, &shard1};
+  const std::size_t written = WritePcapFile(path.string(), shards);
+
+  const std::size_t expected =
+      kPcapFileHeaderBytes + 4 * kPcapRecordHeaderBytes + (64 + 72 + 80 + 66);
+  EXPECT_EQ(written, expected);
+
+  const auto bytes = ReadAll(path);
+  ASSERT_EQ(bytes.size(), expected);
+  // Walk the records: lengths must come out in (timestamp, home, shard)
+  // order: 5ms/home1, 10ms/home0, 20ms/home1(shard1 > home2? no — home
+  // sorts before shard) ...
+  std::vector<std::uint32_t> lengths;
+  std::vector<std::uint32_t> ts_sec;
+  std::uint32_t prev_sec = 0;
+  std::uint32_t prev_usec = 0;
+  std::size_t off = kPcapFileHeaderBytes;
+  while (off < bytes.size()) {
+    const std::uint32_t sec = ReadLe32(bytes, off);
+    const std::uint32_t usec = ReadLe32(bytes, off + 4);
+    const std::uint32_t incl = ReadLe32(bytes, off + 8);
+    EXPECT_EQ(incl, ReadLe32(bytes, off + 12));
+    EXPECT_LT(usec, 1000000u);
+    EXPECT_TRUE(sec > prev_sec || (sec == prev_sec && usec >= prev_usec))
+        << "timestamps must be monotone after the merge";
+    prev_sec = sec;
+    prev_usec = usec;
+    lengths.push_back(incl);
+    ts_sec.push_back(sec);
+    off += kPcapRecordHeaderBytes + incl;
+  }
+  EXPECT_EQ(off, bytes.size());
+  // 5ms frame first, then 10ms, then the two 20ms frames with home 1
+  // before home 2.
+  EXPECT_EQ(lengths, (std::vector<std::uint32_t>{72, 64, 66, 80}));
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, OutputIsIdenticalRegardlessOfShardAssignment) {
+  // The same logical captures, staged under two different worker layouts,
+  // must serialise to byte-identical files — the determinism contract that
+  // lets CI compare --workers 1 against --workers 4.
+  const TimePoint t0 = MakeTime({2013, 4, 1});
+  struct Cap {
+    Duration at;
+    int home;
+    std::uint8_t fill;
+    std::size_t len;
+  };
+  const std::vector<Cap> caps{
+      {Millis(3), 0, 0x11, 60},  {Millis(3), 1, 0x22, 61},  {Millis(7), 2, 0x33, 62},
+      {Millis(9), 0, 0x44, 63},  {Millis(9), 3, 0x55, 64},  {Millis(12), 1, 0x66, 65},
+  };
+
+  // Layout A: one shard holds everything.
+  PcapBuffer all;
+  for (const Cap& c : caps) all.capture(t0 + c.at, c.home, MakeFrame(c.fill, c.len));
+
+  // Layout B: homes striped across three shards (home % 3).
+  std::array<PcapBuffer, 3> striped;
+  for (const Cap& c : caps) {
+    striped[static_cast<std::size_t>(c.home % 3)].capture(t0 + c.at, c.home,
+                                                          MakeFrame(c.fill, c.len));
+  }
+
+  const auto path_a = TempPath("bismark_pcap_det_a.pcap");
+  const auto path_b = TempPath("bismark_pcap_det_b.pcap");
+  const std::array<const PcapBuffer*, 1> shards_a{&all};
+  const std::array<const PcapBuffer*, 3> shards_b{&striped[0], &striped[1], &striped[2]};
+  WritePcapFile(path_a.string(), shards_a);
+  WritePcapFile(path_b.string(), shards_b);
+
+  EXPECT_EQ(ReadAll(path_a), ReadAll(path_b));
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
+}
+
+TEST(Pcap, EmptyCaptureWritesHeaderOnlyFile) {
+  const auto path = TempPath("bismark_pcap_empty.pcap");
+  const std::array<const PcapBuffer*, 0> shards{};
+  EXPECT_EQ(WritePcapFile(path.string(), shards), kPcapFileHeaderBytes);
+  const auto bytes = ReadAll(path);
+  ASSERT_EQ(bytes.size(), kPcapFileHeaderBytes);
+  EXPECT_EQ(ReadLe32(bytes, 0), kPcapMagic);
+  std::filesystem::remove(path);
+}
+
+TEST(Pcap, WriteFailureThrows) {
+  PcapBuffer buf;
+  buf.capture(MakeTime({2013, 4, 1}), 0, MakeFrame(0x01, 60));
+  const std::array<const PcapBuffer*, 1> shards{&buf};
+  EXPECT_THROW(WritePcapFile("/nonexistent-dir/out.pcap", shards), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace bismark::net

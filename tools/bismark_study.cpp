@@ -17,6 +17,7 @@
 #include <set>
 #include <string>
 
+#include "analysis/cgn.h"
 #include "analysis/diurnal.h"
 #include "analysis/downtime.h"
 #include "analysis/fleet.h"
@@ -96,6 +97,12 @@ home::DeploymentOptions OptionsFrom(const ArgParser& args) {
       "spool-capacity", static_cast<std::int64_t>(options.upload.spool_capacity)));
   options.fault_seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 0));
   options.checkpoint_every = static_cast<std::uint64_t>(args.get_int("checkpoint-every", 0));
+  // NAT444 tier + wire capture (DESIGN §13).
+  options.cgn = args.has("cgn");
+  options.cgn_port_block = static_cast<std::uint16_t>(args.get_int("cgn-port-block", 512));
+  options.cgn_max_ports_per_home =
+      static_cast<std::uint32_t>(args.get_int("cgn-max-ports-per-home", 2048));
+  if (const auto path = args.get("pcap-out")) options.pcap_out = *path;
   return options;
 }
 
@@ -185,7 +192,21 @@ int CmdRun(const ArgParser& args) {
   table.add_row({"traffic flows", TextTable::Int(static_cast<long long>(counts.flows))});
   table.add_row({"busy minutes", TextTable::Int(static_cast<long long>(counts.throughput_minutes))});
   table.add_row({"dns samples", TextTable::Int(static_cast<long long>(counts.dns))});
+  // Only a NAT444 run grows the table: CGN-off output stays byte-identical.
+  if (options.cgn) {
+    table.add_row({"cgn events", TextTable::Int(static_cast<long long>(counts.cgn_events))});
+  }
   table.print();
+
+  if (options.cgn) {
+    analysis::WriteCgnSummary(analysis::SummarizeCgn(study->repository()), std::cout);
+  }
+  if (!options.pcap_out.empty()) {
+    std::printf("wrote pcap capture: %llu frames, %llu bytes to %s\n",
+                static_cast<unsigned long long>(study->pcap_frames_captured()),
+                static_cast<unsigned long long>(study->pcap_bytes_written()),
+                options.pcap_out.c_str());
+  }
 
   const auto& up = study->upload_stats();
   std::printf("upload pipeline: %llu records spooled, %llu delivered in %llu batches "
@@ -394,6 +415,15 @@ int main(int argc, char** argv) {
                   "per-home upload spool size in records (overflow drops oldest)", "8192");
   args.add_option("fault-seed",
                   "seed for fault/jitter streams (0 = derive from --seed)", "0");
+  args.add_flag("cgn", "place every home behind a carrier-grade NAT tier (NAT444, "
+                "deterministic RFC 7422 port blocks; 64 homes per CGN)");
+  args.add_option("cgn-port-block",
+                  "ports granted per CGN allocation block (requires --cgn)", "512");
+  args.add_option("cgn-max-ports-per-home",
+                  "cap on concurrently mapped CGN ports per home (requires --cgn)", "2048");
+  args.add_option("pcap-out",
+                  "capture every WAN-egress frame (post-NAT, post-CGN) to this classic "
+                  "pcap file; byte-identical for any --workers");
   args.add_option("metrics-out",
                   "write the merged metrics as Prometheus text to this file "
                   "(byte-identical for any --workers)");
@@ -444,6 +474,26 @@ int main(int argc, char** argv) {
   if (args.has("spill-dir") && args.get_int("memory-budget-mb", 0) <= 0) {
     return usage_error("--spill-dir requires fleet mode (--memory-budget-mb > 0)");
   }
+  // NAT444 knobs: the sub-options only mean something with the tier on, and
+  // a malformed block size is a usage error before any simulation starts.
+  if (args.has("cgn-port-block")) {
+    if (!args.has("cgn")) return usage_error("--cgn-port-block requires --cgn");
+    const auto block = args.get_int("cgn-port-block", -1);
+    if (block <= 0 || block > 65535) {
+      return usage_error("--cgn-port-block must be a positive integer (max 65535)");
+    }
+  }
+  if (args.has("cgn-max-ports-per-home")) {
+    if (!args.has("cgn")) return usage_error("--cgn-max-ports-per-home requires --cgn");
+    if (args.get_int("cgn-max-ports-per-home", -1) <= 0) {
+      return usage_error("--cgn-max-ports-per-home must be a positive integer");
+    }
+  }
+  if (args.has("pcap-out") && args.has("resume")) {
+    // Recovered shards skip their traffic window; the capture would be
+    // silently partial.
+    return usage_error("--pcap-out conflicts with --resume");
+  }
   if (args.has("resume")) {
     if (args.get("resume")->empty()) {
       return usage_error("--resume needs the spill directory of the interrupted run");
@@ -452,7 +502,7 @@ int main(int argc, char** argv) {
         "seed",        "weeks",      "scale",      "homes",      "memory-budget-mb",
         "spill-dir",   "collector-outages-per-month", "heartbeat-loss",
         "upload-loss", "ack-loss",   "spool-capacity",           "fault-seed",
-        "no-traffic"};
+        "no-traffic",  "cgn",        "cgn-port-block", "cgn-max-ports-per-home"};
     for (const char* name : kManifestOwned) {
       if (args.has(name)) {
         return usage_error(std::string("--") + name +

@@ -306,6 +306,10 @@ int WriteJson(const std::string& path, const std::vector<FleetPoint>& points, in
   json.kv("hardware_threads", ThreadPool::HardwareWorkers());
   json.kv("weeks", weeks);
   json.kv("workers", workers);
+  // Same convention as bench_parallel_scaling: a run asking for more
+  // workers than the machine has threads measures contention, not scaling,
+  // and consumers must not read its timings as throughput claims.
+  json.kv("oversubscribed", workers > ThreadPool::HardwareWorkers());
   json.kv("budget_mb", budget_mb);
   json.kv("baseline_rss_bytes", baseline_rss);
   char hash[20];
@@ -381,6 +385,12 @@ int main(int argc, char** argv) {
   const int weeks = static_cast<int>(args.get_int("weeks", 1));
   const int workers = static_cast<int>(args.get_int("workers", 0));
   const int budget_mb = static_cast<int>(args.get_int("budget-mb", 64));
+
+  if (workers > ThreadPool::HardwareWorkers()) {
+    std::printf("note: %d workers on %d hardware threads — timings measure "
+                "oversubscription, not scaling (rows are marked in the JSON)\n",
+                workers, ThreadPool::HardwareWorkers());
+  }
 
   const long baseline_rss = BaselineRss();
   std::printf("baseline process RSS: %.1f MiB; budget %d MiB, %d-week windows\n",

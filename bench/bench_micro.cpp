@@ -16,7 +16,9 @@
 
 #include <unistd.h>
 
+#include "analysis/fleet.h"
 #include "bismark/meter.h"
+#include "collect/column_snapshot.h"
 #include "collect/export.h"
 #include "collect/import.h"
 #include "collect/repository.h"
@@ -276,13 +278,26 @@ BENCHMARK(BM_CdfQuantile);
 
 // --- record layer: CSV vs snapshot persistence ------------------------------
 
-/// A ~40k-row repository with every data set represented, shared by the
+/// A ~140k-row repository with every data set represented (DNS largest by
+/// far, as in a real deployment), shared by the
 /// export/import/snapshot benchmarks below.
 const collect::DataRepository& RecordBenchRepo() {
   using namespace collect;
   static const DataRepository* repo = [] {
     const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
     auto* r = new DataRepository(DatasetWindows{all, all, all, all, all, all});
+    // A roster so the analyze benchmarks exercise the per-home and
+    // per-country aggregation, not just the per-row sketches.
+    static const char* kCountries[] = {"US", "CA", "GB", "FR", "BR", "IN", "ZA", "JP"};
+    for (int i = 0; i < 126; ++i) {
+      HomeInfo info;
+      info.id = HomeId{i};
+      info.country_code = kCountries[i % 8];
+      info.developed = (i % 3) != 0;
+      info.reports_uptime = true;
+      info.reports_devices = true;
+      r->register_home(info);
+    }
     Rng rng(7);
     for (int i = 0; i < 2000; ++i) {
       const auto start = TimePoint{rng.uniform_int(0, 500'000'000)};
@@ -339,12 +354,15 @@ const collect::DataRepository& RecordBenchRepo() {
       tm.peak_down_bps = rng.uniform(0.0, 2e7);
       r->add(tm);
     }
-    for (int i = 0; i < 3000; ++i) {
+    // DNS is the largest data set in a real deployment (every lookup from
+    // every device); size it accordingly so persistence benchmarks see a
+    // realistic kind mix.
+    for (int i = 0; i < 100000; ++i) {
       DnsLogRecord dns;
       dns.home = HomeId{i % 126};
       dns.when = TimePoint{rng.uniform_int(0, 500'000'000)};
       dns.device_mac = net::MacAddress::FromParts(0x001EC2, static_cast<std::uint32_t>(i));
-      dns.query = "www.example.com";
+      dns.query = (i % 3) ? "www.example.com" : "cdn.netflix.com";
       dns.a_records = 1;
       r->add(dns);
     }
@@ -444,6 +462,87 @@ void BM_SnapshotLoad(benchmark::State& state) {
                           static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
 }
 BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
+
+// --- columnar snapshot substrate (DESIGN §14) -------------------------------
+
+/// A v3 columnar snapshot of RecordBenchRepo(), written once per process.
+const std::string& RecordBenchColumnDir() {
+  static const std::string* dir = [] {
+    auto* d = new std::string(
+        (std::filesystem::temp_directory_path() /
+         ("bsmk-bench-colsnap-" + std::to_string(::getpid())))
+            .string());
+    std::filesystem::remove_all(*d);
+    std::string error;
+    if (!collect::SaveColumnSnapshot(RecordBenchRepo(), *d, &error)) {
+      std::fprintf(stderr, "bench: SaveColumnSnapshot failed: %s\n", error.c_str());
+      std::abort();
+    }
+    return d;
+  }();
+  return *dir;
+}
+
+/// Stream one kind (10k UptimeRecord rows) out of an already-open columnar
+/// snapshot — the mmap + per-column decode cost with no file-open overhead.
+void BM_SnapshotScanColumnar(benchmark::State& state) {
+  auto repo = collect::OpenColumnSnapshot(RecordBenchColumnDir(), nullptr);
+  if (!repo) state.SkipWithError("OpenColumnSnapshot failed");
+  for (auto _ : state) {
+    double hours = 0;
+    repo->for_each_row<collect::UptimeRecord>(
+        [&](const collect::UptimeRecord& u) { hours += u.uptime.hours(); });
+    benchmark::DoNotOptimize(hours);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SnapshotScanColumnar);
+
+/// The same scan over the resident row store, for the decode-overhead ratio.
+void BM_SnapshotScanRowStore(benchmark::State& state) {
+  const auto& repo = RecordBenchRepo();
+  for (auto _ : state) {
+    double hours = 0;
+    repo.for_each_row<collect::UptimeRecord>(
+        [&](const collect::UptimeRecord& u) { hours += u.uptime.hours(); });
+    benchmark::DoNotOptimize(hours);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SnapshotScanRowStore);
+
+/// Cold-start analysis from a v3 columnar snapshot: open the directory
+/// (meta only — column files map lazily per kind) and run the full fleet
+/// summary. The analyze CLI's `analyze <snapshot-dir>` path.
+void BM_AnalyzeFromSnapshot(benchmark::State& state) {
+  const auto& dir = RecordBenchColumnDir();
+  for (auto _ : state) {
+    auto repo = collect::OpenColumnSnapshot(dir, nullptr);
+    if (!repo) state.SkipWithError("OpenColumnSnapshot failed");
+    auto summary = analysis::SummarizeFleet(*repo, 1);
+    benchmark::DoNotOptimize(summary.rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
+}
+BENCHMARK(BM_AnalyzeFromSnapshot)->Unit(benchmark::kMillisecond);
+
+/// The pre-columnar equivalent: deserialize a whole v2 row snapshot into
+/// RAM, then run the same summary. The 3x+ gap is the cost the columnar
+/// substrate removes (no full-corpus materialisation before analysis).
+void BM_AnalyzeFromSnapshotV2(benchmark::State& state) {
+  const auto& bytes = RecordBenchSnapshot();
+  for (auto _ : state) {
+    std::istringstream in(bytes);
+    auto repo = collect::LoadSnapshot(in);
+    if (!repo) state.SkipWithError("LoadSnapshot failed");
+    auto summary = analysis::SummarizeFleet(*repo);
+    benchmark::DoNotOptimize(summary.rows);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(RecordBenchRepo().total_rows()));
+}
+BENCHMARK(BM_AnalyzeFromSnapshotV2)->Unit(benchmark::kMillisecond);
 
 // --- crash safety: segment checksums and the verifying merge path -----------
 

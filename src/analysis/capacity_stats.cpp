@@ -8,10 +8,10 @@ namespace bismark::analysis {
 
 std::vector<HomeCapacitySummary> SummarizeCapacity(const collect::DataRepository& repo) {
   std::map<int, std::pair<std::vector<double>, std::vector<double>>> samples;
-  for (const auto& rec : repo.capacity()) {
+  repo.for_each_row<collect::CapacityRecord>([&](const collect::CapacityRecord& rec) {
     samples[rec.home.value].first.push_back(rec.downstream.mbps());
     samples[rec.home.value].second.push_back(rec.upstream.mbps());
-  }
+  });
 
   std::vector<HomeCapacitySummary> out;
   for (const auto& [home, pair] : samples) {

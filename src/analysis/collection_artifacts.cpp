@@ -13,14 +13,14 @@ CollectionOutageReport DetectCollectionOutages(const collect::DataRepository& re
   // the period the home can be expected to report at all).
   std::map<int, IntervalSet> online_by_home;
   std::map<int, Interval> span_by_home;
-  for (const auto& run : repo.heartbeat_runs()) {
+  repo.for_each_row<collect::HeartbeatRun>([&](const collect::HeartbeatRun& run) {
     online_by_home[run.home.value].add(run.start, run.end);
     auto [it, inserted] = span_by_home.try_emplace(run.home.value, Interval{run.start, run.end});
     if (!inserted) {
       it->second.start = std::min(it->second.start, run.start);
       it->second.end = std::max(it->second.end, run.end);
     }
-  }
+  });
   report.reporting_homes = static_cast<int>(online_by_home.size());
   if (report.reporting_homes == 0) return report;
 

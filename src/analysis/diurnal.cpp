@@ -27,16 +27,16 @@ DiurnalProfile WirelessDiurnalProfile(const collect::DataRepository& repo) {
   // means rather than matching individual scans: for each (band, hour,
   // day-class) we average the client counts, then add the bands.
   BinnedMean wd24(24), wd5(24), we24(24), we5(24);
-  for (const auto& scan : repo.wifi_scans()) {
+  repo.for_each_row<collect::WifiScanRecord>([&](const collect::WifiScanRecord& scan) {
     const auto* info = repo.find_home(scan.home);
-    if (!info) continue;
+    if (!info) return;
     const TimeZone tz{info->utc_offset};
     const int hour = tz.local_hour(scan.scanned);
     const bool weekend = IsWeekend(tz.local_weekday(scan.scanned));
     BinnedMean& bins = scan.band == wireless::Band::k2_4GHz ? (weekend ? we24 : wd24)
                                                             : (weekend ? we5 : wd5);
     bins.add(static_cast<std::size_t>(hour), scan.associated_clients);
-  }
+  });
   DiurnalProfile profile;
   for (std::size_t h = 0; h < 24; ++h) {
     profile.weekday[h] = wd24.mean(h) + wd5.mean(h);
@@ -47,14 +47,14 @@ DiurnalProfile WirelessDiurnalProfile(const collect::DataRepository& repo) {
 
 DiurnalProfile CensusDiurnalProfile(const collect::DataRepository& repo) {
   BinnedMean wd(24), we(24);
-  for (const auto& rec : repo.device_counts()) {
+  repo.for_each_row<collect::DeviceCountRecord>([&](const collect::DeviceCountRecord& rec) {
     const auto* info = repo.find_home(rec.home);
-    if (!info) continue;
+    if (!info) return;
     const TimeZone tz{info->utc_offset};
     const int hour = tz.local_hour(rec.sampled);
     const bool weekend = IsWeekend(tz.local_weekday(rec.sampled));
     (weekend ? we : wd).add(static_cast<std::size_t>(hour), rec.wireless_total());
-  }
+  });
   DiurnalProfile profile;
   for (std::size_t h = 0; h < 24; ++h) {
     profile.weekday[h] = wd.mean(h);

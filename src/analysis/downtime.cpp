@@ -37,7 +37,9 @@ std::vector<HomeAvailability> AnalyzeAvailability(const collect::DataRepository&
                                                   const DowntimeOptions& options) {
   const Interval window = repo.windows().heartbeats;
   std::map<int, std::vector<collect::HeartbeatRun>> runs_by_home;
-  for (const auto& run : repo.heartbeat_runs()) runs_by_home[run.home.value].push_back(run);
+  repo.for_each_row<collect::HeartbeatRun>([&](const collect::HeartbeatRun& run) {
+    runs_by_home[run.home.value].push_back(run);
+  });
 
   std::vector<HomeAvailability> out;
   for (const auto& info : repo.homes()) {

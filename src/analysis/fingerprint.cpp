@@ -28,13 +28,13 @@ DeviceFeatures ExtractDeviceFeatures(const collect::DataRepository& repo,
   std::map<std::string, double> by_domain;
   double total = 0.0;
   double streaming = 0.0;
-  for (const auto& flow : repo.flows()) {
-    if (flow.device_mac != anonymized_mac) continue;
+  repo.for_each_row<collect::TrafficFlowRecord>([&](const collect::TrafficFlowRecord& flow) {
+    if (flow.device_mac != anonymized_mac) return;
     const double bytes = static_cast<double>(flow.total_bytes().count);
     ++features.flows;
     total += bytes;
     by_domain[flow.domain] += bytes;
-  }
+  });
   for (const auto& [domain, bytes] : by_domain) {
     if (IsStreamingDomain(catalog, domain)) streaming += bytes;
   }
@@ -56,11 +56,16 @@ DeviceFeatures ExtractDeviceFeatures(const collect::DataRepository& repo,
 std::vector<DeviceFeatures> ExtractAllDeviceFeatures(const collect::DataRepository& repo,
                                                      const traffic::DomainCatalog& catalog,
                                                      Bytes min_bytes) {
+  // Collect the qualifying devices first so the flow scans below are not
+  // nested inside another repository stream.
+  std::vector<net::MacAddress> macs;
+  repo.for_each_row<collect::DeviceTrafficRecord>([&](const collect::DeviceTrafficRecord& rec) {
+    if (rec.bytes_total < min_bytes) return;
+    macs.push_back(rec.device_mac);
+  });
   std::vector<DeviceFeatures> out;
-  for (const auto& rec : repo.device_traffic()) {
-    if (rec.bytes_total < min_bytes) continue;
-    out.push_back(ExtractDeviceFeatures(repo, catalog, rec.device_mac));
-  }
+  out.reserve(macs.size());
+  for (const auto& mac : macs) out.push_back(ExtractDeviceFeatures(repo, catalog, mac));
   std::sort(out.begin(), out.end(), [](const DeviceFeatures& a, const DeviceFeatures& b) {
     return a.total_bytes > b.total_bytes;
   });

@@ -11,11 +11,24 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <string>
 
 #include "collect/repository.h"
 #include "core/stats.h"
 
 namespace bismark::analysis {
+
+/// Capacity distribution of one country's homes (the §4.2 regional
+/// breakdown at fleet scale, where per-home medians no longer fit in RAM:
+/// every ShaperProbe sample lands in its country's sketch instead).
+struct CountryCapacity {
+  /// Registered homes carrying this country code (roster count, present
+  /// even when none of them ran a capacity probe).
+  std::size_t homes{0};
+  QuantileSketch down_mbps;
+  QuantileSketch up_mbps;
+};
 
 /// Headline distributions of a deployment, each a streaming quantile
 /// sketch (rank error <= eps, default 0.5 %).
@@ -43,10 +56,23 @@ struct FleetSummary {
   QuantileSketch throughput_down_mbps;
   /// Flow sizes, kilobytes (Figs 17-20's volume distributions).
   QuantileSketch flow_kbytes;
+
+  /// Per-country capacity distributions, keyed by HomeInfo::country_code.
+  std::map<std::string, CountryCapacity> capacity_by_country;
 };
 
 /// One streaming pass per data set over `repo` (resident or spilled).
 [[nodiscard]] FleetSummary SummarizeFleet(const collect::DataRepository& repo);
+
+/// Parallel variant. On a column-backed repository (collect/
+/// column_snapshot.h) every (kind, stripe) pair becomes one task on a
+/// `workers`-thread pool and the per-stripe partial sketches are merged in
+/// stripe index order — the stripe partition is a property of the snapshot,
+/// not of the worker count, so the result is bit-identical for any
+/// `workers` (the CI analyze diff gates on this). Falls back to the serial
+/// pass on in-RAM or spill-backed repositories.
+[[nodiscard]] FleetSummary SummarizeFleet(const collect::DataRepository& repo,
+                                          std::size_t workers);
 
 /// Render the summary as a fixed-width quantile table (p10/p50/p90/p99).
 void WriteFleetSummary(const FleetSummary& summary, std::ostream& out);

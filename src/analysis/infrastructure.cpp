@@ -22,7 +22,7 @@ struct HomeCensus {
 
 std::map<int, HomeCensus> CollectCensus(const collect::DataRepository& repo) {
   std::map<int, HomeCensus> by_home;
-  for (const auto& rec : repo.device_counts()) {
+  repo.for_each_row<collect::DeviceCountRecord>([&](const collect::DeviceCountRecord& rec) {
     HomeCensus& c = by_home[rec.home.value];
     c.wired.add(rec.wired);
     c.wireless.add(rec.wireless_total());
@@ -33,7 +33,7 @@ std::map<int, HomeCensus> CollectCensus(const collect::DataRepository& repo) {
     c.max_unique_5 = std::max(c.max_unique_5, rec.unique_5);
     if (rec.wired >= 4) ++c.samples_all_ports;
     ++c.samples;
-  }
+  });
   return by_home;
 }
 
@@ -94,10 +94,10 @@ BandCdfs UniqueDevicesPerBand(const collect::DataRepository& repo) {
 namespace {
 NeighborApCdfs NeighborApsOnBand(const collect::DataRepository& repo, wireless::Band band) {
   std::map<int, std::vector<double>> aps_by_home;
-  for (const auto& scan : repo.wifi_scans()) {
-    if (scan.band != band) continue;
+  repo.for_each_row<collect::WifiScanRecord>([&](const collect::WifiScanRecord& scan) {
+    if (scan.band != band) return;
     aps_by_home[scan.home.value].push_back(scan.visible_aps);
-  }
+  });
   NeighborApCdfs cdfs;
   for (const auto& [home, values] : aps_by_home) {
     const auto* info = repo.find_home(collect::HomeId{home});

@@ -37,9 +37,9 @@ collect::HomeId FindArchetype(const collect::DataRepository& repo,
   const double window_days = (window.end - window.start).days();
 
   std::map<int, IntervalSet> online_by_home;
-  for (const auto& run : repo.heartbeat_runs()) {
+  repo.for_each_row<collect::HeartbeatRun>([&](const collect::HeartbeatRun& run) {
     online_by_home[run.home.value].add(run.start, run.end);
-  }
+  });
 
   collect::HomeId best{0};
   double best_score = -1.0;

@@ -8,11 +8,11 @@ namespace bismark::analysis {
 std::vector<VendorCount> VendorHistogram(const collect::DataRepository& repo, Bytes min_bytes,
                                          bool exclude_gateways) {
   std::map<int, int> counts;  // vendor class -> devices
-  for (const auto& rec : repo.device_traffic()) {
-    if (rec.bytes_total < min_bytes) continue;
-    if (exclude_gateways && rec.vendor == net::VendorClass::kGateway) continue;
+  repo.for_each_row<collect::DeviceTrafficRecord>([&](const collect::DeviceTrafficRecord& rec) {
+    if (rec.bytes_total < min_bytes) return;
+    if (exclude_gateways && rec.vendor == net::VendorClass::kGateway) return;
     ++counts[static_cast<int>(rec.vendor)];
-  }
+  });
   std::vector<VendorCount> out;
   for (const auto& [vendor, devices] : counts) {
     out.push_back(VendorCount{static_cast<net::VendorClass>(vendor), devices});
@@ -26,10 +26,10 @@ DeviceConcentration DeviceUsageShares(const collect::DataRepository& repo,
                                       std::size_t max_rank) {
   // Per home: bytes per device, descending; accumulate share-by-rank.
   std::map<int, std::map<std::uint64_t, double>> per_home;  // home -> mac -> bytes
-  for (const auto& rec : repo.device_traffic()) {
+  repo.for_each_row<collect::DeviceTrafficRecord>([&](const collect::DeviceTrafficRecord& rec) {
     per_home[rec.home.value][rec.device_mac.as_u64()] +=
         static_cast<double>(rec.bytes_total.count);
-  }
+  });
 
   DeviceConcentration result;
   result.share_by_rank.assign(max_rank, 0.0);
@@ -70,7 +70,7 @@ struct HomeDomains {
 
 std::map<int, HomeDomains> CollectDomains(const collect::DataRepository& repo) {
   std::map<int, HomeDomains> out;
-  for (const auto& flow : repo.flows()) {
+  repo.for_each_row<collect::TrafficFlowRecord>([&](const collect::TrafficFlowRecord& flow) {
     HomeDomains& h = out[flow.home.value];
     const double bytes = static_cast<double>(flow.total_bytes().count);
     h.total_bytes += bytes;
@@ -78,7 +78,7 @@ std::map<int, HomeDomains> CollectDomains(const collect::DataRepository& repo) {
     auto& d = h.domains[flow.domain];
     d.bytes += bytes;
     d.conns += 1.0;
-  }
+  });
   return out;
 }
 
@@ -179,12 +179,12 @@ std::vector<DeviceDomainShare> DeviceDomainProfile(const collect::DataRepository
                                                    std::size_t max_domains) {
   std::map<std::string, double> bytes_by_domain;
   double total = 0.0;
-  for (const auto& flow : repo.flows()) {
-    if (flow.device_mac != anonymized_mac) continue;
+  repo.for_each_row<collect::TrafficFlowRecord>([&](const collect::TrafficFlowRecord& flow) {
+    if (flow.device_mac != anonymized_mac) return;
     const double b = static_cast<double>(flow.total_bytes().count);
     bytes_by_domain[flow.domain] += b;
     total += b;
-  }
+  });
   std::vector<DeviceDomainShare> out;
   if (total <= 0.0) return out;
   for (const auto& [domain, b] : bytes_by_domain) {
@@ -201,13 +201,13 @@ net::MacAddress FindDeviceByVendor(const collect::DataRepository& repo,
                                    net::VendorClass vendor) {
   net::MacAddress best;
   Bytes best_bytes{0};
-  for (const auto& rec : repo.device_traffic()) {
-    if (rec.vendor != vendor) continue;
+  repo.for_each_row<collect::DeviceTrafficRecord>([&](const collect::DeviceTrafficRecord& rec) {
+    if (rec.vendor != vendor) return;
     if (rec.bytes_total > best_bytes) {
       best_bytes = rec.bytes_total;
       best = rec.device_mac;
     }
-  }
+  });
   return best;
 }
 

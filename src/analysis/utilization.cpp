@@ -16,10 +16,10 @@ struct HomeCapacity {
 
 std::map<int, HomeCapacity> MedianCapacities(const collect::DataRepository& repo) {
   std::map<int, std::pair<std::vector<double>, std::vector<double>>> samples;
-  for (const auto& rec : repo.capacity()) {
+  repo.for_each_row<collect::CapacityRecord>([&](const collect::CapacityRecord& rec) {
     samples[rec.home.value].first.push_back(rec.downstream.mbps());
     samples[rec.home.value].second.push_back(rec.upstream.mbps());
-  }
+  });
   std::map<int, HomeCapacity> out;
   for (auto& [home, pair] : samples) {
     HomeCapacity cap;
@@ -36,10 +36,10 @@ std::vector<SaturationPoint> LinkSaturation(const collect::DataRepository& repo,
                                             const SaturationOptions& options) {
   const auto capacities = MedianCapacities(repo);
   std::map<int, std::pair<std::vector<double>, std::vector<double>>> peaks;
-  for (const auto& minute : repo.throughput()) {
+  repo.for_each_row<collect::ThroughputMinute>([&](const collect::ThroughputMinute& minute) {
     peaks[minute.home.value].first.push_back(minute.peak_down_bps / 1e6);
     peaks[minute.home.value].second.push_back(minute.peak_up_bps / 1e6);
-  }
+  });
 
   std::vector<SaturationPoint> out;
   for (const auto& [home, pair] : peaks) {
@@ -82,8 +82,8 @@ UtilizationSeries UtilizationTimeseries(const collect::DataRepository& repo,
     series.buckets[static_cast<std::size_t>(i)].start = window.start + bucket * i;
   }
 
-  for (const auto& minute : repo.throughput()) {
-    if (minute.home != home) continue;
+  repo.for_each_row<collect::ThroughputMinute>([&](const collect::ThroughputMinute& minute) {
+    if (minute.home != home) return;
     const std::int64_t idx =
         std::clamp<std::int64_t>((minute.minute_start - window.start).ms / bucket.ms, 0,
                                  n_buckets - 1);
@@ -92,7 +92,7 @@ UtilizationSeries UtilizationTimeseries(const collect::DataRepository& repo,
     b.max_down_mbps = std::max(b.max_down_mbps, minute.peak_down_bps / 1e6);
     b.bytes_up_mb += minute.bytes_up.mb();
     b.bytes_down_mb += minute.bytes_down.mb();
-  }
+  });
   return series;
 }
 

@@ -1,0 +1,508 @@
+#include "collect/column_snapshot.h"
+
+#include <filesystem>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "collect/binio.h"
+#include "collect/snapshot.h"
+#include "core/crc32c.h"
+#include "core/thread_pool.h"
+
+namespace bismark::collect {
+
+namespace {
+
+using coldetail::LoadLe;
+using coldetail::StoreLe;
+
+// The meta file shares the v2 snapshot's framing for windows and homes;
+// the Put/Get pairs are private to each format, so they are restated here.
+
+void PutInterval(BinWriter& w, const Interval& ival) {
+  w.i64(ival.start.ms);
+  w.i64(ival.end.ms);
+}
+
+Interval GetInterval(BinReader& r) {
+  Interval ival;
+  ival.start.ms = r.i64();
+  ival.end.ms = r.i64();
+  return ival;
+}
+
+void PutHome(BinWriter& w, const HomeInfo& h) {
+  w.i32(h.id.value);
+  w.str(h.country_code);
+  w.value(h.developed);
+  w.i64(h.utc_offset.ms);
+  w.value(h.reports_uptime);
+  w.value(h.reports_devices);
+  w.value(h.reports_wifi);
+  w.value(h.consented_traffic);
+  w.value(h.has_always_wired);
+  w.value(h.has_always_wireless);
+  w.f64(h.true_down_mbps);
+  w.f64(h.true_up_mbps);
+  w.i32(h.power_mode);
+}
+
+HomeInfo GetHome(BinReader& r) {
+  HomeInfo h;
+  h.id.value = r.i32();
+  h.country_code = r.str();
+  r.value(h.developed);
+  h.utc_offset.ms = r.i64();
+  r.value(h.reports_uptime);
+  r.value(h.reports_devices);
+  r.value(h.reports_wifi);
+  r.value(h.consented_traffic);
+  r.value(h.has_always_wired);
+  r.value(h.has_always_wireless);
+  h.true_down_mbps = r.f64();
+  h.true_up_mbps = r.f64();
+  h.power_mode = r.i32();
+  return h;
+}
+
+[[noreturn]] void Throw(const std::string& why) { throw std::runtime_error("snapshot: " + why); }
+
+/// One stripe's worth of buffered columns for kind T. `primary` holds the
+/// raw fixed-width values (or the u32 cumulative end offsets for string
+/// fields, whose payloads accumulate in `blob`). This is the writer's only
+/// O(data) state, bounded by the stripe limits.
+template <typename T>
+struct StripeBuilder {
+  static constexpr std::size_t kNumFields = TableView<T>::kNumFields;
+
+  std::array<std::string, kNumFields> primary;
+  std::array<std::string, kNumFields> blob;
+  std::uint64_t rows{0};
+  std::size_t bytes{0};
+
+  void add(const T& row) {
+    std::size_t f = 0;
+    std::apply([&](const auto&... field) { (add_field(f++, row.*(field.member)), ...); },
+               Schema<T>::Fields());
+    ++rows;
+  }
+
+  template <typename V>
+  void add_field(std::size_t f, const V& v) {
+    if constexpr (std::is_same_v<V, std::string>) {
+      blob[f].append(v);
+      StoreLe<4>(primary[f], static_cast<std::uint32_t>(blob[f].size()));
+      bytes += v.size() + 4;
+    } else {
+      ColumnCodec<V>::Store(primary[f], v);
+      bytes += ColumnCodec<V>::kWidth;
+    }
+  }
+
+  /// Frame and append every buffered column as one stripe of sections,
+  /// then reset. `offset` tracks the file write position.
+  ColumnStripeMeta flush_to(core::CheckedFile& file, std::uint64_t& offset,
+                            std::size_t stripe_index) {
+    ColumnStripeMeta sm;
+    sm.rows = rows;
+    const auto encodings = ColumnEncodings<T>();
+    for (std::size_t f = 0; f < kNumFields; ++f) {
+      std::string head;
+      StoreLe<4>(head, kColumnSectionMagic);
+      StoreLe<4>(head, static_cast<std::uint32_t>(f));
+      StoreLe<4>(head, static_cast<std::uint32_t>(stripe_index));
+      StoreLe<4>(head, encodings[f]);
+      file.write(head);
+      offset += head.size();
+
+      ColumnSectionMeta sec;
+      sec.body_offset = offset;
+      sec.body_bytes = primary[f].size() + blob[f].size();
+      sec.encoding = encodings[f];
+      std::uint32_t crc = core::Crc32c(primary[f].data(), primary[f].size());
+      crc = core::Crc32c(blob[f].data(), blob[f].size(), crc);
+      sec.crc = crc;
+      file.write(primary[f]);
+      file.write(blob[f]);
+      offset += sec.body_bytes;
+
+      std::string foot;
+      StoreLe<8>(foot, rows);
+      StoreLe<8>(foot, sec.body_bytes);
+      StoreLe<4>(foot, crc);
+      StoreLe<4>(foot, kColumnSectionEndMagic);
+      file.write(foot);
+      offset += foot.size();
+
+      const std::size_t pad = (8 - (offset % 8)) % 8;
+      if (pad != 0) {
+        static const char kZeros[8] = {};
+        file.write(kZeros, pad);
+        offset += pad;
+      }
+      primary[f].clear();
+      blob[f].clear();
+      sm.sections.push_back(sec);
+    }
+    rows = 0;
+    bytes = 0;
+    if (!file.ok()) Throw(file.error());
+    return sm;
+  }
+};
+
+/// Stream kind T out of `repo` into <dir>/<kind>.bsmkcol. Throws
+/// std::runtime_error on any I/O failure (the parallel driver rethrows).
+template <typename T>
+ColumnKindMeta WriteKindColumns(const DataRepository& repo, const std::string& dir) {
+  ColumnKindMeta meta;
+  meta.rows = repo.row_count<T>();
+  if (meta.rows == 0) return meta;
+  meta.file = std::string(Schema<T>::kKindName) + kColumnFileSuffix;
+
+  core::CheckedFile file;
+  if (!file.open(dir + "/" + meta.file)) Throw(file.error());
+
+  std::string header;
+  StoreLe<4>(header, kColumnFileMagic);
+  StoreLe<4>(header, static_cast<std::uint32_t>(kRecordIndexOf<T>));
+  StoreLe<4>(header, static_cast<std::uint32_t>(TableView<T>::kNumFields));
+  StoreLe<4>(header, 0);
+  file.write(header);
+  std::uint64_t offset = header.size();
+
+  StripeBuilder<T> builder;
+  repo.for_each_row<T>([&](const T& row) {
+    builder.add(row);
+    if (builder.rows >= kColumnStripeRows || builder.bytes >= kColumnStripeBytes) {
+      meta.stripes.push_back(builder.flush_to(file, offset, meta.stripes.size()));
+    }
+  });
+  if (builder.rows > 0) {
+    meta.stripes.push_back(builder.flush_to(file, offset, meta.stripes.size()));
+  }
+  if (!file.sync() || !file.close()) Throw(file.error());
+  return meta;
+}
+
+}  // namespace
+
+bool SaveColumnSnapshot(const DataRepository& repo, const std::string& dir,
+                        std::string* error, std::size_t workers) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why.rfind("snapshot: ", 0) == 0 ? why : "snapshot: " + why;
+    return false;
+  };
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return fail("cannot create " + dir + ": " + ec.message());
+
+  // One task per kind; each owns its file, so output bytes are identical
+  // at any worker count.
+  std::array<ColumnKindMeta, kRecordKinds> kinds;
+  std::vector<std::function<void()>> tasks;
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    tasks.push_back([&kinds, &repo, &dir] {
+      kinds[kRecordIndexOf<T>] = WriteKindColumns<T>(repo, dir);
+    });
+  });
+  try {
+    bismark::ThreadPool pool(static_cast<int>(workers));
+    pool.parallel_for(tasks.size(), [&tasks](std::size_t i, int) { tasks[i](); });
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+
+  BinWriter w;
+  w.raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  w.u32(kColumnSnapshotVersion);
+  const DatasetWindows& windows = repo.windows();
+  PutInterval(w, windows.heartbeats);
+  PutInterval(w, windows.uptime);
+  PutInterval(w, windows.capacity);
+  PutInterval(w, windows.devices);
+  PutInterval(w, windows.wifi);
+  PutInterval(w, windows.traffic);
+  w.u32(static_cast<std::uint32_t>(repo.homes().size()));
+  for (const HomeInfo& home : repo.homes()) PutHome(w, home);
+  w.u32(static_cast<std::uint32_t>(kRecordKinds));
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    w.str(Schema<T>::kKindName);
+    constexpr std::uint32_t kFields = std::tuple_size_v<decltype(Schema<T>::Fields())>;
+    w.u32(kFields);
+    std::apply([&w](const auto&... field) { (w.str(field.name), ...); }, Schema<T>::Fields());
+    const ColumnKindMeta& km = kinds[kRecordIndexOf<T>];
+    w.u64(km.rows);
+    w.str(km.file);
+    w.u32(static_cast<std::uint32_t>(km.stripes.size()));
+    for (const ColumnStripeMeta& sm : km.stripes) {
+      w.u64(sm.rows);
+      for (const ColumnSectionMeta& sec : sm.sections) {
+        w.u64(sec.body_offset);
+        w.u64(sec.body_bytes);
+        w.u32(sec.crc);
+        w.u32(sec.encoding);
+      }
+    }
+  });
+  const std::uint32_t crc = core::Crc32c(w.buffer().data(), w.buffer().size());
+
+  // Meta last, fsynced: a directory with a valid meta file is complete.
+  core::CheckedFile file;
+  if (!file.open(dir + "/" + kColumnMetaFile)) return fail(file.error());
+  file.write(w.buffer());
+  std::string trailer;
+  StoreLe<4>(trailer, crc);
+  file.write(trailer);
+  if (!file.sync() || !file.close()) return fail(file.error());
+  return true;
+}
+
+bool IsColumnSnapshotDir(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_directory(path, ec) &&
+         std::filesystem::is_regular_file(path + "/" + kColumnMetaFile, ec);
+}
+
+std::shared_ptr<const ColumnSnapshot> ColumnSnapshot::Open(const std::string& dir,
+                                                           std::string* error) {
+  const auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = "snapshot: " + why;
+    return std::shared_ptr<const ColumnSnapshot>();
+  };
+
+  core::MappedFile meta;
+  std::string io_error;
+  if (!meta.open(dir + "/" + kColumnMetaFile, &io_error)) return fail(io_error);
+  const char* data = meta.data();
+  const std::size_t size = meta.size();
+
+  if (size < sizeof(kSnapshotMagic) ||
+      std::memcmp(data, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    return fail("bad magic");
+  }
+  constexpr std::size_t kHeaderBytes = sizeof(kSnapshotMagic) + sizeof(std::uint32_t);
+  if (size < kHeaderBytes + sizeof(std::uint32_t)) return fail("truncated meta file");
+  const std::uint32_t version = static_cast<std::uint32_t>(LoadLe<4>(data + sizeof(kSnapshotMagic)));
+  if (version != kColumnSnapshotVersion) {
+    return fail("unsupported version " + std::to_string(version) + " (want " +
+                std::to_string(kColumnSnapshotVersion) + ")");
+  }
+  const std::size_t body_bytes = size - sizeof(std::uint32_t);
+  const std::uint32_t stored_crc = static_cast<std::uint32_t>(LoadLe<4>(data + body_bytes));
+  if (stored_crc != core::Crc32c(data, body_bytes)) {
+    return fail("meta CRC32C mismatch (snapshot corrupted or truncated)");
+  }
+
+  std::shared_ptr<ColumnSnapshot> snap(new ColumnSnapshot());
+  snap->dir_ = dir;
+
+  BinReader r(data, body_bytes);
+  for (std::size_t i = 0; i < kHeaderBytes; ++i) (void)r.u8();  // magic + version
+
+  snap->windows_.heartbeats = GetInterval(r);
+  snap->windows_.uptime = GetInterval(r);
+  snap->windows_.capacity = GetInterval(r);
+  snap->windows_.devices = GetInterval(r);
+  snap->windows_.wifi = GetInterval(r);
+  snap->windows_.traffic = GetInterval(r);
+
+  const std::uint32_t home_count = r.u32();
+  for (std::uint32_t i = 0; i < home_count && !r.failed(); ++i) {
+    snap->homes_.push_back(GetHome(r));
+  }
+
+  const std::uint32_t kind_count = r.u32();
+  if (r.failed() || kind_count != kRecordKinds) {
+    return fail("kind count mismatch: snapshot has " + std::to_string(kind_count) +
+                ", build has " + std::to_string(kRecordKinds));
+  }
+
+  bool ok = true;
+  std::string why;
+  const auto bad = [&ok, &why](const std::string& reason) {
+    if (ok) {
+      ok = false;
+      why = reason;
+    }
+  };
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    if (!ok || r.failed()) return;
+    const std::string kind = r.str();
+    if (kind != Schema<T>::kKindName) {
+      bad("kind name mismatch: snapshot has '" + kind + "', build has '" +
+          Schema<T>::kKindName + "'");
+      return;
+    }
+    constexpr std::uint32_t kFields = std::tuple_size_v<decltype(Schema<T>::Fields())>;
+    if (r.u32() != kFields) {
+      bad(std::string("field count mismatch for ") + Schema<T>::kKindName);
+      return;
+    }
+    std::apply(
+        [&](const auto&... field) {
+          const auto check = [&](const char* want) {
+            if (!ok) return;
+            if (r.str() != want) {
+              bad(std::string("field name mismatch for ") + Schema<T>::kKindName);
+            }
+          };
+          (check(field.name), ...);
+        },
+        Schema<T>::Fields());
+    if (!ok) return;
+
+    KindState& ks = snap->kinds_[kRecordIndexOf<T>];
+    ks.meta.rows = r.u64();
+    ks.meta.file = r.str();
+    const std::uint32_t stripe_count = r.u32();
+    const auto encodings = ColumnEncodings<T>();
+    std::uint64_t rows_seen = 0;
+    for (std::uint32_t s = 0; s < stripe_count && !r.failed() && ok; ++s) {
+      ColumnStripeMeta sm;
+      sm.rows = r.u64();
+      rows_seen += sm.rows;
+      for (std::uint32_t f = 0; f < kFields && !r.failed(); ++f) {
+        ColumnSectionMeta sec;
+        sec.body_offset = r.u64();
+        sec.body_bytes = r.u64();
+        sec.crc = r.u32();
+        sec.encoding = r.u32();
+        if (sec.encoding != encodings[f]) {
+          bad(std::string("column encoding mismatch for ") + Schema<T>::kKindName);
+          break;
+        }
+        const std::uint64_t want = sec.encoding == 0
+                                       ? 4 * sm.rows  // offsets; blob length is free
+                                       : sm.rows * sec.encoding;
+        if (sec.encoding != 0 ? sec.body_bytes != want : sec.body_bytes < want) {
+          bad(std::string("column size mismatch for ") + Schema<T>::kKindName);
+          break;
+        }
+        sm.sections.push_back(sec);
+      }
+      ks.meta.stripes.push_back(std::move(sm));
+    }
+    if (ok && rows_seen != ks.meta.rows) {
+      bad(std::string("stripe row total mismatch for ") + Schema<T>::kKindName);
+    }
+    if (ok && ks.meta.rows > 0 && ks.meta.file.empty()) {
+      bad(std::string("missing column file name for ") + Schema<T>::kKindName);
+    }
+    snap->total_rows_ += ks.meta.rows;
+  });
+
+  if (!ok) return fail(why);
+  if (r.failed()) return fail("truncated meta file");
+  if (!r.at_end()) return fail("trailing bytes in meta file");
+  return snap;
+}
+
+void ColumnSnapshot::ensure_kind_open(std::size_t kind) const {
+  const KindState& ks = kinds_[kind];
+  if (ks.opened.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(open_mu_);
+  if (ks.opened.load(std::memory_order_relaxed)) return;
+
+  const std::string path = dir_ + "/" + ks.meta.file;
+  const auto corrupt = [&path](std::size_t stripe, std::size_t field, const std::string& why) {
+    Throw("corrupt " + path + " stripe " + std::to_string(stripe) + " field " +
+          std::to_string(field) + ": " + why);
+  };
+
+  std::string io_error;
+  if (!ks.map.open(path, &io_error)) Throw(io_error);
+  const char* data = ks.map.data();
+  const std::size_t size = ks.map.size();
+
+  if (size < kColumnFileHeaderBytes) Throw("corrupt " + path + ": truncated file header");
+  if (LoadLe<4>(data) != kColumnFileMagic) Throw("corrupt " + path + ": bad file magic");
+  if (LoadLe<4>(data + 4) != kind) Throw("corrupt " + path + ": kind index mismatch");
+  const std::uint64_t field_count = LoadLe<4>(data + 8);
+
+  std::uint64_t end = kColumnFileHeaderBytes;
+  for (std::size_t s = 0; s < ks.meta.stripes.size(); ++s) {
+    const ColumnStripeMeta& sm = ks.meta.stripes[s];
+    if (sm.sections.size() != field_count) corrupt(s, 0, "field count mismatch");
+    for (std::size_t f = 0; f < sm.sections.size(); ++f) {
+      const ColumnSectionMeta& sec = sm.sections[f];
+      if (sec.body_offset < kColumnFileHeaderBytes + kColumnSectionHeaderBytes ||
+          sec.body_offset + sec.body_bytes + kColumnSectionFooterBytes > size) {
+        corrupt(s, f, "section out of bounds (truncated file?)");
+      }
+      const char* head = data + sec.body_offset - kColumnSectionHeaderBytes;
+      if (LoadLe<4>(head) != kColumnSectionMagic) corrupt(s, f, "bad section magic");
+      if (LoadLe<4>(head + 4) != f) corrupt(s, f, "field index mismatch");
+      if (LoadLe<4>(head + 8) != s) corrupt(s, f, "stripe index mismatch");
+      if (LoadLe<4>(head + 12) != sec.encoding) corrupt(s, f, "encoding mismatch");
+      const char* foot = data + sec.body_offset + sec.body_bytes;
+      if (LoadLe<8>(foot) != sm.rows) corrupt(s, f, "row count mismatch");
+      if (LoadLe<8>(foot + 8) != sec.body_bytes) corrupt(s, f, "body size mismatch");
+      if (LoadLe<4>(foot + 20) != kColumnSectionEndMagic) corrupt(s, f, "bad end magic");
+      const std::uint32_t crc = core::Crc32c(data + sec.body_offset, sec.body_bytes);
+      if (crc != sec.crc || crc != static_cast<std::uint32_t>(LoadLe<4>(foot + 16))) {
+        corrupt(s, f, "CRC32C mismatch");
+      }
+      if (sec.encoding == 0 && sm.rows > 0) {
+        // String section: the final cumulative offset must equal the blob
+        // length, or views would run off the mapped bytes.
+        const std::uint64_t blob_bytes = sec.body_bytes - 4 * sm.rows;
+        const std::uint64_t last = LoadLe<4>(data + sec.body_offset + 4 * (sm.rows - 1));
+        if (last != blob_bytes) corrupt(s, f, "string offsets inconsistent with blob");
+      }
+      std::uint64_t section_end = sec.body_offset + sec.body_bytes + kColumnSectionFooterBytes;
+      section_end += (8 - (section_end % 8)) % 8;
+      if (section_end > end) end = section_end;
+    }
+  }
+  if (end != size) Throw("corrupt " + path + ": trailing bytes past last section");
+
+  ks.opened.store(true, std::memory_order_release);
+}
+
+std::unique_ptr<DataRepository> OpenColumnSnapshot(const std::string& dir,
+                                                   std::string* error) {
+  std::shared_ptr<const ColumnSnapshot> snap = ColumnSnapshot::Open(dir, error);
+  if (snap == nullptr) return nullptr;
+  auto repo = std::make_unique<DataRepository>(snap->windows());
+  for (const HomeInfo& home : snap->homes()) repo->register_home(home);
+  repo->attach_columns(std::move(snap));
+  return repo;
+}
+
+// --- repository streaming seam ----------------------------------------------
+
+template <typename T>
+void ForEachColumnRow(const ColumnSnapshot& snap, const std::function<void(const T&)>& fn) {
+  snap.for_each_row<T>(fn);
+}
+
+std::size_t ColumnRowCount(const ColumnSnapshot& snap, std::size_t kind) {
+  return static_cast<std::size_t>(snap.rows_of_kind(kind));
+}
+
+std::size_t ColumnTotalRows(const ColumnSnapshot& snap) {
+  return static_cast<std::size_t>(snap.total_rows());
+}
+
+#define BISMARK_COLUMN_INSTANTIATE(T) \
+  template void ForEachColumnRow<T>(const ColumnSnapshot&, const std::function<void(const T&)>&);
+
+BISMARK_COLUMN_INSTANTIATE(HeartbeatRun)
+BISMARK_COLUMN_INSTANTIATE(UptimeRecord)
+BISMARK_COLUMN_INSTANTIATE(CapacityRecord)
+BISMARK_COLUMN_INSTANTIATE(DeviceCountRecord)
+BISMARK_COLUMN_INSTANTIATE(WifiScanRecord)
+BISMARK_COLUMN_INSTANTIATE(TrafficFlowRecord)
+BISMARK_COLUMN_INSTANTIATE(ThroughputMinute)
+BISMARK_COLUMN_INSTANTIATE(DnsLogRecord)
+BISMARK_COLUMN_INSTANTIATE(DeviceTrafficRecord)
+BISMARK_COLUMN_INSTANTIATE(CgnEventRecord)
+
+#undef BISMARK_COLUMN_INSTANTIATE
+
+}  // namespace bismark::collect

@@ -1,11 +1,14 @@
 #include "collect/export.h"
 
+#include <array>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <stdexcept>
 #include <vector>
 
 #include "core/csv.h"
+#include "core/thread_pool.h"
 
 namespace bismark::collect {
 
@@ -48,22 +51,42 @@ std::size_t ExportTrafficFlows(const DataRepository& repo, std::ostream& out) {
   return WriteReleaseCsv<TrafficFlowRecord>(repo, out);
 }
 
-std::size_t ExportPublicDatasets(const DataRepository& repo, const std::string& directory) {
+namespace {
+/// Run one file-writing task per kind on `workers` threads and sum the row
+/// counts in fixed slot order. Each kind owns its output file, so the bytes
+/// on disk are identical at any worker count; parallel_for rethrows the
+/// first exception, preserving the throw-on-open-failure contract.
+std::size_t RunExportTasks(std::vector<std::function<std::size_t()>>& tasks,
+                           std::size_t workers) {
+  std::array<std::size_t, kRecordKinds> counts{};
+  ThreadPool pool(static_cast<int>(workers));
+  pool.parallel_for(tasks.size(),
+                    [&](std::size_t i, int) { counts[i] = tasks[i](); });
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < tasks.size(); ++i) total += counts[i];
+  return total;
+}
+}  // namespace
+
+std::size_t ExportPublicDatasets(const DataRepository& repo, const std::string& directory,
+                                 std::size_t workers) {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
-  std::size_t total = 0;
+  std::vector<std::function<std::size_t()>> tasks;
   ForEachRecordType([&](auto tag) {
     using T = typename decltype(tag)::type;
     if constexpr (Schema<T>::kHasRelease && Schema<T>::kPublicRelease) {
-      std::ofstream out(fs::path(directory) / Schema<T>::kCsvFile);
-      if (!out) {
-        throw std::runtime_error(std::string("cannot open ") + Schema<T>::kCsvFile +
-                                 " for writing");
-      }
-      total += WriteReleaseCsv<T>(repo, out);
+      tasks.emplace_back([&repo, &directory]() -> std::size_t {
+        std::ofstream out(fs::path(directory) / Schema<T>::kCsvFile);
+        if (!out) {
+          throw std::runtime_error(std::string("cannot open ") + Schema<T>::kCsvFile +
+                                   " for writing");
+        }
+        return WriteReleaseCsv<T>(repo, out);
+      });
     }
   });
-  return total;
+  return RunExportTasks(tasks, workers);
 }
 
 template <typename T>
@@ -97,20 +120,23 @@ template std::size_t ExportDatasetCsv<DnsLogRecord>(const DataRepository&, std::
 template std::size_t ExportDatasetCsv<DeviceTrafficRecord>(const DataRepository&,
                                                            std::ostream&);
 
-std::size_t ExportAllDatasets(const DataRepository& repo, const std::string& directory) {
+std::size_t ExportAllDatasets(const DataRepository& repo, const std::string& directory,
+                              std::size_t workers) {
   namespace fs = std::filesystem;
   fs::create_directories(directory);
-  std::size_t total = 0;
+  std::vector<std::function<std::size_t()>> tasks;
   ForEachRecordType([&](auto tag) {
     using T = typename decltype(tag)::type;
-    std::ofstream out(fs::path(directory) / Schema<T>::kCsvFile);
-    if (!out) {
-      throw std::runtime_error(std::string("cannot open ") + Schema<T>::kCsvFile +
-                               " for writing");
-    }
-    total += ExportDatasetCsv<T>(repo, out);
+    tasks.emplace_back([&repo, &directory]() -> std::size_t {
+      std::ofstream out(fs::path(directory) / Schema<T>::kCsvFile);
+      if (!out) {
+        throw std::runtime_error(std::string("cannot open ") + Schema<T>::kCsvFile +
+                                 " for writing");
+      }
+      return ExportDatasetCsv<T>(repo, out);
+    });
   });
-  return total;
+  return RunExportTasks(tasks, workers);
 }
 
 }  // namespace bismark::collect

@@ -37,16 +37,22 @@ std::size_t ExportTrafficFlows(const DataRepository& repo, std::ostream& out);
 /// Write the five public data sets into `directory` (created if needed) as
 /// heartbeats.csv, uptime.csv, capacity.csv, devices.csv, wifi.csv.
 /// Returns total rows written; throws std::runtime_error on I/O failure.
-std::size_t ExportPublicDatasets(const DataRepository& repo, const std::string& directory);
+/// `workers` > 1 exports kinds in parallel (each kind owns its file, and a
+/// spilled repository reduces one kind into scratch at a time under the
+/// merge lock, so the per-file bytes are identical at any worker count).
+std::size_t ExportPublicDatasets(const DataRepository& repo, const std::string& directory,
+                                 std::size_t workers = 1);
 
 /// Schema-generated full-fidelity export of one data set: every field, in
 /// Schema<T>::Fields() order, with exact codecs. Returns rows written.
 template <typename T>
 std::size_t ExportDatasetCsv(const DataRepository& repo, std::ostream& out);
 
-/// Full-fidelity export of all nine data sets into `directory` (created if
-/// needed), one Schema<T>::kCsvFile per kind. Returns total rows written;
-/// throws std::runtime_error on I/O failure.
-std::size_t ExportAllDatasets(const DataRepository& repo, const std::string& directory);
+/// Full-fidelity export of all registered data sets into `directory`
+/// (created if needed), one Schema<T>::kCsvFile per kind. Returns total
+/// rows written; throws std::runtime_error on I/O failure. `workers` > 1
+/// exports kinds in parallel with byte-identical per-file output.
+std::size_t ExportAllDatasets(const DataRepository& repo, const std::string& directory,
+                              std::size_t workers = 1);
 
 }  // namespace bismark::collect

@@ -122,30 +122,32 @@ void IngestBatch::flush_spill() {
 }
 
 namespace {
+// Streams rather than copies the backing vector so the filtered views work
+// on spilled and column-backed repositories too, not just the in-RAM store.
 template <typename T>
-std::vector<T> FilterByHome(const std::vector<T>& rows, HomeId id) {
+std::vector<T> FilterByHome(const DataRepository& repo, HomeId id) {
   std::vector<T> out;
-  for (const auto& r : rows) {
+  repo.for_each_row<T>([&](const T& r) {
     if (r.home == id) out.push_back(r);
-  }
+  });
   return out;
 }
 }  // namespace
 
 std::vector<HeartbeatRun> DataRepository::heartbeat_runs_for(HomeId id) const {
-  return FilterByHome(rows<HeartbeatRun>(), id);
+  return FilterByHome<HeartbeatRun>(*this, id);
 }
 std::vector<DeviceCountRecord> DataRepository::device_counts_for(HomeId id) const {
-  return FilterByHome(rows<DeviceCountRecord>(), id);
+  return FilterByHome<DeviceCountRecord>(*this, id);
 }
 std::vector<TrafficFlowRecord> DataRepository::flows_for(HomeId id) const {
-  return FilterByHome(rows<TrafficFlowRecord>(), id);
+  return FilterByHome<TrafficFlowRecord>(*this, id);
 }
 std::vector<ThroughputMinute> DataRepository::throughput_for(HomeId id) const {
-  return FilterByHome(rows<ThroughputMinute>(), id);
+  return FilterByHome<ThroughputMinute>(*this, id);
 }
 std::vector<CapacityRecord> DataRepository::capacity_for(HomeId id) const {
-  return FilterByHome(rows<CapacityRecord>(), id);
+  return FilterByHome<CapacityRecord>(*this, id);
 }
 
 DataRepository::Counts DataRepository::counts() const {

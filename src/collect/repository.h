@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,6 +23,17 @@
 #include "core/time.h"
 
 namespace bismark::collect {
+
+class ColumnSnapshot;
+
+/// Stream every row of kind T from an opened v3 columnar snapshot in
+/// canonical order. Declared here (defined + explicitly instantiated in
+/// column_snapshot.cpp, mirroring ForEachSpilledRow) so this header does
+/// not pull in the columnar reader.
+template <typename T>
+void ForEachColumnRow(const ColumnSnapshot& snap, const std::function<void(const T&)>& fn);
+[[nodiscard]] std::size_t ColumnRowCount(const ColumnSnapshot& snap, std::size_t kind);
+[[nodiscard]] std::size_t ColumnTotalRows(const ColumnSnapshot& snap);
 
 /// Per-home metadata the analysis layer keys on.
 struct HomeInfo {
@@ -154,6 +166,18 @@ class DataRepository final : public RecordSink {
   [[nodiscard]] bool spilling() const { return spill_ != nullptr; }
   [[nodiscard]] SpillDir* spill() const { return spill_.get(); }
 
+  /// Back this repository with an opened v3 columnar snapshot
+  /// (collect/column_snapshot.h): reads stream zero-copy from the mapped
+  /// kind files and `rows<T>()` stays empty, exactly like the spill path.
+  /// Mutually exclusive with ingest and with enable_spill.
+  void attach_columns(std::shared_ptr<const ColumnSnapshot> columns) {
+    columns_ = std::move(columns);
+  }
+  [[nodiscard]] bool column_backed() const { return columns_ != nullptr; }
+  /// The backing snapshot (nullptr unless column-backed). Analysis code
+  /// that wants per-stripe parallel scans reaches through this.
+  [[nodiscard]] const ColumnSnapshot* columns() const { return columns_.get(); }
+
   /// Impose the canonical record order: every data set stably sorted by
   /// its Schema<>::SortKey — (timestamp, home id) for timestamped sets.
   /// Per-home generation is deterministic and each home lives in exactly
@@ -176,6 +200,10 @@ class DataRepository final : public RecordSink {
   /// finalize_deterministic_order() first on the in-RAM path.
   template <typename T, typename Fn>
   void for_each_row(Fn&& fn) const {
+    if (columns_ != nullptr) {
+      ForEachColumnRow<T>(*columns_, std::function<void(const T&)>(std::forward<Fn>(fn)));
+      return;
+    }
     if (spill_ != nullptr) {
       ForEachSpilledRow<T>(*spill_, std::function<void(const T&)>(std::forward<Fn>(fn)));
       return;
@@ -183,9 +211,10 @@ class DataRepository final : public RecordSink {
     for (const T& row : store_.rows<T>()) fn(row);
   }
 
-  /// Row count of kind T, resident or spilled.
+  /// Row count of kind T, resident, spilled, or column-backed.
   template <typename T>
   [[nodiscard]] std::size_t row_count() const {
+    if (columns_ != nullptr) return ColumnRowCount(*columns_, kRecordIndexOf<T>);
     if (spill_ != nullptr) {
       return static_cast<std::size_t>(spill_->rows_of_kind(kRecordIndexOf<T>));
     }
@@ -227,8 +256,9 @@ class DataRepository final : public RecordSink {
   [[nodiscard]] std::vector<ThroughputMinute> throughput_for(HomeId id) const;
   [[nodiscard]] std::vector<CapacityRecord> capacity_for(HomeId id) const;
 
-  /// Rows across every data set, resident or spilled.
+  /// Rows across every data set, resident, spilled, or column-backed.
   [[nodiscard]] std::size_t total_rows() const {
+    if (columns_ != nullptr) return ColumnTotalRows(*columns_);
     if (spill_ != nullptr) return static_cast<std::size_t>(spill_->total_rows());
     return store_.total_rows();
   }
@@ -247,6 +277,7 @@ class DataRepository final : public RecordSink {
   RecordStore store_;
   // Mutable: merge passes write scratch sections during const reads.
   mutable std::unique_ptr<SpillDir> spill_;
+  std::shared_ptr<const ColumnSnapshot> columns_;
 };
 
 }  // namespace bismark::collect

@@ -189,24 +189,30 @@ std::unique_ptr<DataRepository> LoadSnapshot(std::istream& in, std::string* erro
                  << (8 * i);
     }
   }
-  if (version != kSnapshotVersion) {
+  // v1 is the pre-CRC format: the identical body with no trailer. It still
+  // loads (archived snapshots stay readable) but gets no corruption check —
+  // only v2+ carries the checksum.
+  if (version != kSnapshotVersion && version != 1) {
     Fail(error, "unsupported version " + std::to_string(version) + " (want " +
-                    std::to_string(kSnapshotVersion) + ")");
+                    std::to_string(kSnapshotVersion) + " or 1)");
     return nullptr;
   }
-  if (data.size() < kHeaderBytes + sizeof(std::uint32_t)) {
-    Fail(error, "truncated input (missing trailing CRC32C)");
-    return nullptr;
-  }
-  const std::size_t body_bytes = data.size() - sizeof(std::uint32_t);
-  std::uint32_t stored_crc = 0;
-  for (std::size_t i = 0; i < 4; ++i) {
-    stored_crc |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[body_bytes + i]))
-                  << (8 * i);
-  }
-  if (stored_crc != core::Crc32c(data.data(), body_bytes)) {
-    Fail(error, "CRC32C mismatch (snapshot corrupted or truncated)");
-    return nullptr;
+  std::size_t body_bytes = data.size();
+  if (version == kSnapshotVersion) {
+    if (data.size() < kHeaderBytes + sizeof(std::uint32_t)) {
+      Fail(error, "truncated input (missing trailing CRC32C)");
+      return nullptr;
+    }
+    body_bytes = data.size() - sizeof(std::uint32_t);
+    std::uint32_t stored_crc = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      stored_crc |= static_cast<std::uint32_t>(static_cast<unsigned char>(data[body_bytes + i]))
+                    << (8 * i);
+    }
+    if (stored_crc != core::Crc32c(data.data(), body_bytes)) {
+      Fail(error, "CRC32C mismatch (snapshot corrupted or truncated)");
+      return nullptr;
+    }
   }
 
   BinReader r(data.data(), body_bytes);

@@ -22,15 +22,18 @@
 // magic, version, kind names, and per-kind field names, and refuses a
 // snapshot whose schema does not match the build reading it. Additive
 // schema growth (a new kind appended to RecordTypes, a new field appended
-// to a Fields() list) bumps kSnapshotVersion; readers stay strict — a
-// snapshot is a cache of a deterministic run, never an archival format,
-// so regeneration beats migration.
+// to a Fields() list) bumps kSnapshotVersion; readers stay strict about
+// schema but keep every shipped version loadable: v1 (the pre-CRC format,
+// same body with no trailer) and v2 both load here, and v3 — the columnar
+// directory layout analyze prefers (collect/column_snapshot.h, DESIGN §14)
+// — has its own reader.
 //
-// The loader checks magic, then version, then the trailing CRC32C before
-// parsing anything else: a flipped bit or truncated tail fails closed with
-// a checksum diagnostic instead of being decoded into plausible rows.
-// SaveSnapshotFile writes through the injectable core::Io seam, so a full
-// disk (real or injected) aborts with the errno instead of exiting 0.
+// The loader checks magic, then version, then (v2) the trailing CRC32C
+// before parsing anything else: a flipped bit or truncated tail fails
+// closed with a checksum diagnostic instead of being decoded into
+// plausible rows. SaveSnapshotFile writes through the injectable core::Io
+// seam, so a full disk (real or injected) aborts with the errno instead of
+// exiting 0.
 #pragma once
 
 #include <array>

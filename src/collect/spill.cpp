@@ -422,9 +422,13 @@ void ForEachSpilledRow(SpillDir& dir, const std::function<void(const T&)>& fn) {
   if (sections.empty()) return;
   std::sort(sections.begin(), sections.end(), StreamOrder);
 
-  // Merge passes share the scratch log; exports are serial, but hold the
-  // lock so concurrent readers cannot interleave scratch sections.
-  std::lock_guard<std::mutex> lock(dir.merge_mutex());
+  // Merge passes share the scratch log, so the flush and any hierarchical
+  // reduce happen under the merge lock — but the *final* merge below reads
+  // committed, immutable section bytes through private cursors, so the lock
+  // is dropped first. That is what lets the parallel per-kind export and
+  // snapshot writers stream different kinds concurrently: at most one kind
+  // reduces into scratch at a time, then they all merge in parallel.
+  std::unique_lock<std::mutex> lock(dir.merge_mutex());
   dir.flush_all();  // make every log's buffered tail visible to cursors
 
   const std::size_t fan_in = dir.config().merge_fan_in < 2 ? 2 : dir.config().merge_fan_in;
@@ -466,6 +470,9 @@ void ForEachSpilledRow(SpillDir& dir, const std::function<void(const T&)>& fn) {
     sections = std::move(next);
     ++level;
   }
+  // Committed sections never move once flushed (scratch appends only), so
+  // the k-way merge itself needs no lock.
+  lock.unlock();
   MergeGroup<T>(dir, sections, 0, sections.size(), fn);
 }
 

@@ -1,6 +1,8 @@
 #include "core/io.h"
 
 #include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -8,6 +10,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <utility>
 
 namespace bismark::core {
 
@@ -311,6 +314,125 @@ bool CheckedFile::close() {
   Io::Active().close(fd_);
   fd_ = -1;
   return error_.empty();
+}
+
+// --- read-side seam ---------------------------------------------------------
+
+namespace {
+
+struct ReadState {
+  std::mutex mu;
+  std::vector<std::string> paths;
+  std::atomic<std::uint64_t> files{0};
+  std::atomic<std::uint64_t> bytes{0};
+  std::atomic<bool> force_buffered{false};
+};
+
+ReadState& Reads() {
+  static ReadState state;
+  return state;
+}
+
+void RecordRead(const std::string& path, std::size_t bytes) {
+  ReadState& s = Reads();
+  s.files.fetch_add(1, std::memory_order_relaxed);
+  s.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.paths.push_back(path);
+}
+
+}  // namespace
+
+IoReadStats CurrentIoReadStats() {
+  const ReadState& s = Reads();
+  IoReadStats out;
+  out.files_opened = s.files.load(std::memory_order_relaxed);
+  out.bytes_mapped = s.bytes.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<std::string> IoReadPaths() {
+  ReadState& s = Reads();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.paths;
+}
+
+void ResetIoReadStats() {
+  ReadState& s = Reads();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.paths.clear();
+  s.files.store(0, std::memory_order_relaxed);
+  s.bytes.store(0, std::memory_order_relaxed);
+}
+
+void ForceBufferedReadsForTest(bool on) {
+  Reads().force_buffered.store(on, std::memory_order_relaxed);
+}
+
+MappedFile::~MappedFile() { close(); }
+
+bool MappedFile::open(const std::string& path, std::string* error) {
+  close();
+  int fd = -1;
+  do {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (error != nullptr) *error = Errno(path, "open", errno);
+    return false;
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    if (error != nullptr) *error = Errno(path, "fstat", errno);
+    ::close(fd);
+    return false;
+  }
+  path_ = path;
+  size_ = static_cast<std::size_t>(st.st_size);
+  // Empty files have nothing to map; mmap would fail with EINVAL anyway.
+  if (size_ > 0 && !Reads().force_buffered.load(std::memory_order_relaxed)) {
+    void* mapped = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapped != MAP_FAILED) {
+      data_ = static_cast<const char*>(mapped);
+      mmapped_ = true;
+    }
+  }
+  if (!mmapped_ && size_ > 0) {
+    fallback_.resize(size_);
+    std::size_t got = 0;
+    while (got < size_) {
+      const ssize_t n = ::read(fd, fallback_.data() + got, size_ - got);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (error != nullptr) *error = Errno(path, "read", errno);
+        ::close(fd);
+        fallback_.clear();
+        size_ = 0;
+        return false;
+      }
+      if (n == 0) break;  // truncated under us: expose the shorter view
+      got += static_cast<std::size_t>(n);
+    }
+    size_ = got;
+    data_ = fallback_.data();
+  }
+  ::close(fd);
+  open_ = true;
+  RecordRead(path_, size_);
+  return true;
+}
+
+void MappedFile::close() {
+  if (mmapped_ && data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+  fallback_.clear();
+  fallback_.shrink_to_fit();
+  data_ = nullptr;
+  size_ = 0;
+  mmapped_ = false;
+  open_ = false;
+  path_.clear();
 }
 
 }  // namespace bismark::core

@@ -31,6 +31,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace bismark::core {
 
@@ -122,6 +123,62 @@ class CheckedFile {
   std::string error_;
   std::uint64_t accepted_{0};
   int fd_{-1};
+};
+
+// --- Read-side seam ---------------------------------------------------------
+//
+// The columnar snapshot (DESIGN §14) promises that a single-figure query
+// touches only the kind segments the figure needs. That promise is only
+// testable if reads are observable, so every MappedFile open records its
+// path and byte count here — the I/O-seam read counter the selectivity
+// tests assert against.
+
+/// Counters over every MappedFile opened since the last reset.
+struct IoReadStats {
+  std::uint64_t files_opened{0};
+  std::uint64_t bytes_mapped{0};
+};
+[[nodiscard]] IoReadStats CurrentIoReadStats();
+/// Paths opened by MappedFile since the last ResetIoReadStats(), in open
+/// order (duplicates preserved).
+[[nodiscard]] std::vector<std::string> IoReadPaths();
+void ResetIoReadStats();
+
+/// Force MappedFile onto its buffered-read fallback so both code paths are
+/// testable on any platform. Affects subsequent open() calls only.
+void ForceBufferedReadsForTest(bool on);
+
+/// Read-only whole-file view: mmap(2) when the kernel grants it, falling
+/// back to one buffered read into heap memory (empty files, filesystems
+/// without mmap support, or the test override above). Either way data() /
+/// size() expose the same contiguous bytes, so the columnar reader never
+/// needs to know which path it got.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map (or read) all of `path`. On failure returns false with a
+  /// "<path>: <op> failed: <why>" message in *error.
+  bool open(const std::string& path, std::string* error);
+  void close();
+
+  [[nodiscard]] bool is_open() const { return open_; }
+  [[nodiscard]] const char* data() const { return data_; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  /// True when the bytes come from a live mapping (false: heap fallback).
+  [[nodiscard]] bool mmapped() const { return mmapped_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::string fallback_;
+  const char* data_{nullptr};
+  std::size_t size_{0};
+  bool mmapped_{false};
+  bool open_{false};
 };
 
 }  // namespace bismark::core

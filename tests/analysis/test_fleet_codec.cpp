@@ -27,6 +27,16 @@ FleetSummary MakeSummary() {
     s.throughput_down_mbps.add(rng.uniform(0.0, 40.0));
     s.flow_kbytes.add(rng.pareto(1.0, 1.2));
   }
+  for (const char* code : {"US", "BR", "IN"}) {
+    CountryCapacity& cc = s.capacity_by_country[code];
+    cc.homes = 42;
+    for (int i = 0; i < 200; ++i) {
+      cc.down_mbps.add(rng.lognormal(2.5, 0.8));
+      cc.up_mbps.add(rng.lognormal(1.0, 0.7));
+    }
+  }
+  // One rosters-only country: registered homes, no capacity probes yet.
+  s.capacity_by_country["ZA"].homes = 3;
   return s;
 }
 
@@ -53,6 +63,42 @@ TEST(FleetSummaryCodec, RoundTripPreservesEveryDistribution) {
   same(loaded.associated_clients, original.associated_clients);
   same(loaded.throughput_down_mbps, original.throughput_down_mbps);
   same(loaded.flow_kbytes, original.flow_kbytes);
+
+  ASSERT_EQ(loaded.capacity_by_country.size(), original.capacity_by_country.size());
+  for (const auto& [code, cc] : original.capacity_by_country) {
+    const auto it = loaded.capacity_by_country.find(code);
+    ASSERT_NE(it, loaded.capacity_by_country.end()) << code;
+    EXPECT_EQ(it->second.homes, cc.homes) << code;
+    same(it->second.down_mbps, cc.down_mbps);
+    same(it->second.up_mbps, cc.up_mbps);
+  }
+}
+
+TEST(FleetSummaryCodec, V1BlobWithoutCountryTableStillLoads) {
+  // FLS1 checkpoints predate the per-country capacity table; a resume of an
+  // old fleet run must reload the nine sketches and simply recompute the
+  // regional breakdown.
+  FleetSummary original = MakeSummary();
+  original.capacity_by_country.clear();
+  std::string blob = SerializeFleetSummary(original);
+  ASSERT_EQ(blob.compare(0, 4, "FLS2"), 0);
+  blob[3] = '1';                    // rewrite the magic to FLS1...
+  blob.resize(blob.size() - 4);     // ...and drop the empty country count
+  FleetSummary loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeFleetSummary(blob, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.homes, original.homes);
+  EXPECT_EQ(loaded.rows, original.rows);
+  EXPECT_EQ(loaded.flow_kbytes.count(), original.flow_kbytes.count());
+  EXPECT_TRUE(loaded.capacity_by_country.empty());
+}
+
+TEST(FleetSummaryCodec, FailsClosedOnMalformedCountryTable) {
+  const std::string blob = SerializeFleetSummary(MakeSummary());
+  FleetSummary out;
+  std::string error;
+  // Chop inside the country table: a truncated entry must not half-load.
+  EXPECT_FALSE(DeserializeFleetSummary(blob.substr(0, blob.size() - 9), &out, &error));
 }
 
 TEST(FleetSummaryCodec, FailsClosedOnDamage) {

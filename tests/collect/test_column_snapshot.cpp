@@ -1,0 +1,408 @@
+// BSMKSNAP v3 columnar snapshots: exact round-trips (string edge cases
+// included), kind-selective reads proven through the I/O seam, fail-closed
+// behaviour under bit flips and truncation, and bit-identical parallel
+// analysis at any worker count.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/fleet.h"
+#include "collect/column_snapshot.h"
+#include "collect/repository.h"
+#include "core/io.h"
+#include "core/rng.h"
+
+namespace bismark::collect {
+namespace {
+
+namespace fs = std::filesystem;
+
+DatasetWindows WideWindows() {
+  const Interval all{TimePoint{0}, TimePoint{1'000'000'000}};
+  return DatasetWindows{all, all, all, all, all, all};
+}
+
+/// Per-process scratch dir (ctest runs suite cases as concurrent processes)
+/// plus the buffered-read override reset, so every case sees a clean seam.
+class ColumnSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ForceBufferedReadsForTest(false);
+    core::ResetIoReadStats();
+    dir_ = fs::temp_directory_path() /
+           ("bismark_colsnap_test-" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    core::ForceBufferedReadsForTest(false);
+    fs::remove_all(dir_);
+  }
+
+  std::string snap_dir(const char* name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+/// At least one row in every data set, with string values that stress the
+/// offsets+blob column codec: empty, embedded NUL, and multi-byte UTF-8.
+void Populate(DataRepository& repo) {
+  HomeInfo info;
+  info.id = HomeId{7};
+  info.country_code = "US";
+  info.developed = true;
+  info.utc_offset = Hours(-5);
+  info.reports_uptime = true;
+  info.consented_traffic = true;
+  info.true_down_mbps = 19.75;
+  repo.register_home(info);
+
+  repo.add(HeartbeatRun{HomeId{7}, TimePoint{60000}, TimePoint{360000}});
+  repo.add(UptimeRecord{HomeId{7}, TimePoint{120000}, Hours(13)});
+  repo.add(CapacityRecord{HomeId{7}, TimePoint{180000}, Mbps(19.993), Mbps(4.111)});
+  DeviceCountRecord dc;
+  dc.home = HomeId{7};
+  dc.sampled = TimePoint{240000};
+  dc.wired = 2;
+  dc.wireless_24 = 5;
+  dc.unique_total = 11;
+  repo.add(dc);
+  WifiScanRecord scan;
+  scan.home = HomeId{7};
+  scan.scanned = TimePoint{300000};
+  scan.band = wireless::Band::k5GHz;
+  scan.channel = 36;
+  scan.visible_aps = 4;
+  repo.add(scan);
+  const std::string kEdgeStrings[] = {
+      "",                                  // empty value, non-empty neighbours
+      std::string("a\0b", 3),              // embedded NUL survives the blob
+      "caf\xc3\xa9.\xe4\xbe\x8b.jp",       // multi-byte UTF-8
+      "plain.example.com",
+  };
+  for (int i = 0; i < 4; ++i) {
+    TrafficFlowRecord flow;
+    flow.home = HomeId{7};
+    flow.flow = net::FlowId{0xdeadbeef00ull + static_cast<std::uint64_t>(i)};
+    flow.first_packet = TimePoint{360000 + i};
+    flow.last_packet = TimePoint{420000 + i};
+    flow.protocol = net::Protocol::kUdp;
+    flow.dst_port = 443;
+    flow.device_mac = net::MacAddress({0x02, 0x11, 0x22, 0x33, 0x44, 0x55});
+    flow.bytes_up = Bytes{1234};
+    flow.bytes_down = Bytes{56789};
+    flow.packets_up = 12;
+    flow.packets_down = 48;
+    flow.domain = kEdgeStrings[i];
+    flow.domain_anonymized = (i == 1);
+    repo.add(std::move(flow));
+  }
+  ThroughputMinute tm;
+  tm.home = HomeId{7};
+  tm.minute_start = TimePoint{480000};
+  tm.bytes_down = Bytes{999};
+  tm.peak_down_bps = 1.5e6;
+  repo.add(tm);
+  DnsLogRecord dns;
+  dns.home = HomeId{7};
+  dns.when = TimePoint{540000};
+  dns.device_mac = net::MacAddress({0x02, 0xaa, 0xbb, 0xcc, 0xdd, 0xee});
+  dns.query = "netflix.com";
+  dns.a_records = 2;
+  repo.add(dns);
+  DeviceTrafficRecord dt;
+  dt.home = HomeId{7};
+  dt.device_mac = net::MacAddress({0x02, 0x01, 0x02, 0x03, 0x04, 0x05});
+  dt.vendor = net::VendorClass::kUnknown;
+  dt.bytes_total = Bytes{777777};
+  dt.flows = 42;
+  repo.add(dt);
+  repo.finalize_deterministic_order();
+}
+
+template <typename T>
+std::vector<T> CollectRows(const DataRepository& repo) {
+  std::vector<T> rows;
+  repo.for_each_row<T>([&](const T& r) { rows.push_back(r); });
+  return rows;
+}
+
+void ExpectSameRepo(const DataRepository& expected, const DataRepository& actual) {
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    EXPECT_EQ(CollectRows<T>(expected), CollectRows<T>(actual)) << Schema<T>::kKindName;
+  });
+  EXPECT_EQ(expected.total_rows(), actual.total_rows());
+  ASSERT_EQ(expected.homes().size(), actual.homes().size());
+  for (std::size_t i = 0; i < expected.homes().size(); ++i) {
+    EXPECT_EQ(expected.homes()[i], actual.homes()[i]);
+  }
+}
+
+TEST_F(ColumnSnapshotTest, RoundTripReproducesEveryDatasetExactly) {
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  const std::string dir = snap_dir("full");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+  ASSERT_TRUE(IsColumnSnapshotDir(dir));
+
+  const auto loaded = OpenColumnSnapshot(dir, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_TRUE(loaded->column_backed());
+  ExpectSameRepo(repo, *loaded);
+  EXPECT_EQ(loaded->windows().heartbeats.start, repo.windows().heartbeats.start);
+  EXPECT_EQ(loaded->windows().traffic.end, repo.windows().traffic.end);
+}
+
+TEST_F(ColumnSnapshotTest, RoundTripThroughBufferedReadFallback) {
+  // The heap fallback must expose byte-identical data to the mmap path.
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  const std::string dir = snap_dir("buffered");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+
+  core::ForceBufferedReadsForTest(true);
+  const auto loaded = OpenColumnSnapshot(dir, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  ExpectSameRepo(repo, *loaded);
+}
+
+TEST_F(ColumnSnapshotTest, EmptyRepositoryRoundTrips) {
+  const DataRepository repo(WideWindows());
+  const std::string dir = snap_dir("empty");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+
+  // No rows -> no kind files, just the meta.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    EXPECT_EQ(e.path().filename().string(), kColumnMetaFile);
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+
+  const auto loaded = OpenColumnSnapshot(dir, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+  EXPECT_EQ(loaded->total_rows(), 0u);
+  EXPECT_TRUE(loaded->homes().empty());
+}
+
+TEST_F(ColumnSnapshotTest, ParallelWritersProduceIdenticalBytes) {
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, snap_dir("w1"), &error, 1)) << error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, snap_dir("w4"), &error, 4)) << error;
+
+  const auto bytes_of = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  std::size_t compared = 0;
+  for (const auto& e : fs::directory_iterator(snap_dir("w1"))) {
+    const auto name = e.path().filename();
+    EXPECT_EQ(bytes_of(e.path()), bytes_of(fs::path(snap_dir("w4")) / name)) << name;
+    ++compared;
+  }
+  EXPECT_GT(compared, 1u);
+}
+
+TEST_F(ColumnSnapshotTest, AnalyzeReadsOnlyQueriedKindSegments) {
+  // The product guarantee of DESIGN §14: a single-figure query maps only
+  // its own kind files. Proven through the core::IoReadStats seam rather
+  // than asserted from code structure.
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  const std::string dir = snap_dir("selective");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+
+  const auto loaded = OpenColumnSnapshot(dir, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  core::ResetIoReadStats();
+  double down = 0;
+  loaded->for_each_row<CapacityRecord>(
+      [&](const CapacityRecord& c) { down += c.downstream.mbps(); });
+  EXPECT_GT(down, 0.0);
+
+  const auto paths = core::IoReadPaths();
+  ASSERT_EQ(paths.size(), 1u) << "capacity scan must map exactly one kind file";
+  EXPECT_NE(paths[0].find("capacity"), std::string::npos) << paths[0];
+  EXPECT_NE(paths[0].find(kColumnFileSuffix), std::string::npos) << paths[0];
+  EXPECT_EQ(core::CurrentIoReadStats().files_opened, 1u);
+
+  // A second scan of the same kind re-uses the mapping: no new opens.
+  loaded->for_each_row<CapacityRecord>([&](const CapacityRecord&) {});
+  EXPECT_EQ(core::CurrentIoReadStats().files_opened, 1u);
+}
+
+// --- fail closed: bit flips and truncation ----------------------------------
+
+/// Streams every kind; the reader verifies a kind file's frames and CRCs on
+/// first touch, so damage anywhere surfaces as std::runtime_error here.
+bool StreamsCleanly(const std::string& dir, const DataRepository& expected) {
+  std::string error;
+  const auto loaded = OpenColumnSnapshot(dir, &error);
+  if (loaded == nullptr) return false;
+  bool same = true;
+  try {
+    ForEachRecordType([&](auto tag) {
+      using T = typename decltype(tag)::type;
+      if (CollectRows<T>(expected) != CollectRows<T>(*loaded)) same = false;
+    });
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+  return same;
+}
+
+TEST_F(ColumnSnapshotTest, BitFlipsInColumnFileFailClosedOrDecodeIdentically) {
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  const std::string dir = snap_dir("fuzz");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+
+  const fs::path victim = fs::path(dir) / "traffic_flow.bsmkcol";
+  ASSERT_TRUE(fs::exists(victim)) << "expected a flow kind file";
+  std::string pristine;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    pristine.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(pristine.size(), kColumnFileHeaderBytes);
+
+  std::size_t rejected = 0, total = 0;
+  for (std::size_t pos = 0; pos < pristine.size(); pos += 7) {
+    std::string bent = pristine;
+    bent[pos] = static_cast<char>(bent[pos] ^ 0x20);
+    {
+      std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+      out.write(bent.data(), static_cast<std::streamsize>(bent.size()));
+    }
+    ++total;
+    if (!StreamsCleanly(dir, repo)) ++rejected;
+    // Flips landing in inter-section zero padding are outside every CRC and
+    // may legitimately decode identically; anything else must be caught.
+  }
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(pristine.data(), static_cast<std::streamsize>(pristine.size()));
+  }
+  EXPECT_TRUE(StreamsCleanly(dir, repo)) << "restored file must verify again";
+  EXPECT_GT(total, 20u);
+  EXPECT_GE(rejected * 10, total * 9)
+      << "expected >=90% of bit flips rejected (" << rejected << "/" << total << ")";
+}
+
+TEST_F(ColumnSnapshotTest, TruncatedColumnFileFailsClosed) {
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  const std::string dir = snap_dir("trunc");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+
+  const fs::path victim = fs::path(dir) / "uptime.bsmkcol";
+  ASSERT_TRUE(fs::exists(victim));
+  const auto full = fs::file_size(victim);
+  for (const std::uintmax_t keep :
+       {std::uintmax_t{0}, std::uintmax_t{7}, full / 2, full - 1}) {
+    fs::resize_file(victim, keep);
+    EXPECT_FALSE(StreamsCleanly(dir, repo)) << "kept " << keep << " of " << full;
+  }
+}
+
+TEST_F(ColumnSnapshotTest, DamagedMetaFailsClosed) {
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  const std::string dir = snap_dir("metafuzz");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+
+  const fs::path meta = fs::path(dir) / kColumnMetaFile;
+  std::string pristine;
+  {
+    std::ifstream in(meta, std::ios::binary);
+    pristine.assign((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  }
+  for (const std::size_t pos :
+       {std::size_t{0}, std::size_t{4}, pristine.size() / 2, pristine.size() - 2}) {
+    std::string bent = pristine;
+    bent[pos] = static_cast<char>(bent[pos] ^ 0x01);
+    std::ofstream(meta, std::ios::binary | std::ios::trunc)
+        .write(bent.data(), static_cast<std::streamsize>(bent.size()));
+    EXPECT_EQ(OpenColumnSnapshot(dir, &error), nullptr) << "flip at " << pos;
+  }
+  // Truncated meta: the directory no longer parses; fail closed, not crash.
+  std::ofstream(meta, std::ios::binary | std::ios::trunc)
+      .write(pristine.data(), static_cast<std::streamsize>(pristine.size() / 3));
+  EXPECT_EQ(OpenColumnSnapshot(dir, &error), nullptr);
+  // A directory without the meta file is simply not a snapshot dir.
+  fs::remove(meta);
+  EXPECT_FALSE(IsColumnSnapshotDir(dir));
+}
+
+// --- parallel analysis determinism ------------------------------------------
+
+TEST_F(ColumnSnapshotTest, ParallelAnalyzeIsBitIdenticalAcrossWorkerCounts) {
+  // Enough capacity rows to span multiple stripes would need 64Ki+ rows;
+  // what matters here is that the per-(kind,stripe) partials merge in
+  // stripe order regardless of which worker ran them, so worker counts
+  // 1/2/4 must serialize to byte-identical summaries.
+  DataRepository repo(WideWindows());
+  Rng rng(20131023);
+  static const char* kCountries[] = {"US", "BR", "IN"};
+  for (int h = 0; h < 30; ++h) {
+    HomeInfo info;
+    info.id = HomeId{h};
+    info.country_code = kCountries[h % 3];
+    info.reports_uptime = true;
+    info.reports_devices = true;
+    repo.register_home(info);
+    repo.add(HeartbeatRun{HomeId{h}, TimePoint{0}, TimePoint{0} + Days(30)});
+    for (int i = 0; i < 40; ++i) {
+      repo.add(CapacityRecord{HomeId{h}, TimePoint{1000 * i},
+                              Mbps(rng.lognormal(2.5, 0.8)), Mbps(rng.lognormal(1.0, 0.7))});
+      WifiScanRecord scan;
+      scan.home = HomeId{h};
+      scan.scanned = TimePoint{2000 * i};
+      scan.visible_aps = static_cast<int>(rng.uniform_int(0, 20));
+      repo.add(scan);
+    }
+  }
+  repo.finalize_deterministic_order();
+  const std::string dir = snap_dir("det");
+  std::string error;
+  ASSERT_TRUE(SaveColumnSnapshot(repo, dir, &error)) << error;
+  const auto loaded = OpenColumnSnapshot(dir, &error);
+  ASSERT_NE(loaded, nullptr) << error;
+
+  const std::string one =
+      analysis::SerializeFleetSummary(analysis::SummarizeFleet(*loaded, 1));
+  const std::string two =
+      analysis::SerializeFleetSummary(analysis::SummarizeFleet(*loaded, 2));
+  const std::string four =
+      analysis::SerializeFleetSummary(analysis::SummarizeFleet(*loaded, 4));
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, four);
+
+  analysis::FleetSummary summary;
+  ASSERT_TRUE(analysis::DeserializeFleetSummary(one, &summary, &error)) << error;
+  ASSERT_EQ(summary.capacity_by_country.size(), 3u);
+  EXPECT_EQ(summary.capacity_by_country.at("US").homes, 10u);
+  EXPECT_EQ(summary.capacity_by_country.at("BR").down_mbps.count(), 400u);
+}
+
+}  // namespace
+}  // namespace bismark::collect

@@ -218,6 +218,24 @@ TEST(Snapshot, RejectsBodyCorruptionViaTrailingCrc) {
   EXPECT_NE(error.find("truncated"), std::string::npos) << error;
 }
 
+TEST(Snapshot, V1SnapshotWithoutTrailingCrcStillLoads) {
+  // v1 is the pre-CRC format: the identical body, version 1, no trailer.
+  // Archived snapshots from that era must stay readable forever.
+  std::string bytes = SnapshotBytes();
+  bytes.resize(bytes.size() - 4);  // drop the v2 whole-file CRC32C
+  bytes[8] = 1;                    // little-endian u32 version field
+  std::string error;
+  const auto loaded = LoadFrom(bytes, error);
+  ASSERT_NE(loaded, nullptr) << error;
+  DataRepository repo(WideWindows());
+  Populate(repo);
+  EXPECT_EQ(loaded->total_rows(), repo.total_rows());
+  ForEachRecordType([&](auto tag) {
+    using T = typename decltype(tag)::type;
+    ExpectSameRows<T>(repo, *loaded);
+  });
+}
+
 TEST(Snapshot, FileRoundTripAndMissingFileError) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "bismark_snapshot_test.bin").string();

@@ -176,6 +176,90 @@ TEST_F(IoFaultTest, ClearRestoresRealIoAndCounters) {
   EXPECT_EQ(SizeOf(path("y.bin")), 5u);
 }
 
+// --- MappedFile: the columnar reader's byte source ---------------------------
+
+class MappedFileTest : public IoFaultTest {
+ protected:
+  void SetUp() override {
+    IoFaultTest::SetUp();
+    ForceBufferedReadsForTest(false);
+    ResetIoReadStats();
+  }
+  void TearDown() override {
+    ForceBufferedReadsForTest(false);
+    IoFaultTest::TearDown();
+  }
+
+  std::string WriteFile(const char* name, const std::string& contents) {
+    const std::string p = path(name);
+    std::ofstream out(p, std::ios::binary);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    return p;
+  }
+};
+
+TEST_F(MappedFileTest, MmapAndBufferedPathsExposeIdenticalBytes) {
+  const std::string contents = "column bytes\0with a NUL" + std::string(4096, 'z');
+  const std::string p = WriteFile("col.bin", contents);
+
+  MappedFile mapped;
+  std::string error;
+  ASSERT_TRUE(mapped.open(p, &error)) << error;
+  EXPECT_TRUE(mapped.is_open());
+  ASSERT_EQ(mapped.size(), contents.size());
+  EXPECT_EQ(std::string(mapped.data(), mapped.size()), contents);
+  EXPECT_EQ(mapped.path(), p);
+
+  ForceBufferedReadsForTest(true);
+  MappedFile buffered;
+  ASSERT_TRUE(buffered.open(p, &error)) << error;
+  EXPECT_FALSE(buffered.mmapped());
+  ASSERT_EQ(buffered.size(), contents.size());
+  EXPECT_EQ(std::string(buffered.data(), buffered.size()), contents);
+}
+
+TEST_F(MappedFileTest, EmptyFileOpensWithZeroSize) {
+  const std::string p = WriteFile("empty.bin", "");
+  MappedFile f;
+  std::string error;
+  ASSERT_TRUE(f.open(p, &error)) << error;  // mmap(0) is invalid; fallback
+  EXPECT_TRUE(f.is_open());
+  EXPECT_EQ(f.size(), 0u);
+}
+
+TEST_F(MappedFileTest, MissingFileFailsWithPathInError) {
+  MappedFile f;
+  std::string error;
+  EXPECT_FALSE(f.open(path("nonexistent.bin"), &error));
+  EXPECT_FALSE(f.is_open());
+  EXPECT_NE(error.find("nonexistent.bin"), std::string::npos) << error;
+}
+
+TEST_F(MappedFileTest, ReadStatsRecordEveryOpenInOrder) {
+  const std::string a = WriteFile("a.bin", "aaaa");
+  const std::string b = WriteFile("b.bin", "bbbbbbbb");
+  ResetIoReadStats();
+
+  MappedFile fa, fb, fa2;
+  std::string error;
+  ASSERT_TRUE(fa.open(a, &error));
+  ASSERT_TRUE(fb.open(b, &error));
+  ASSERT_TRUE(fa2.open(a, &error));  // duplicates preserved
+
+  const auto stats = CurrentIoReadStats();
+  EXPECT_EQ(stats.files_opened, 3u);
+  EXPECT_EQ(stats.bytes_mapped, 4u + 8u + 4u);
+  const auto paths = IoReadPaths();
+  ASSERT_EQ(paths.size(), 3u);
+  EXPECT_EQ(paths[0], a);
+  EXPECT_EQ(paths[1], b);
+  EXPECT_EQ(paths[2], a);
+
+  ResetIoReadStats();
+  EXPECT_EQ(CurrentIoReadStats().files_opened, 0u);
+  EXPECT_TRUE(IoReadPaths().empty());
+}
+
 TEST_F(IoFaultTest, CheckedFileAppendAndReopen) {
   {
     CheckedFile f;

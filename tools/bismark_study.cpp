@@ -24,6 +24,7 @@
 #include "analysis/infrastructure.h"
 #include "analysis/usage.h"
 #include "analysis/utilization.h"
+#include "collect/column_snapshot.h"
 #include "collect/export.h"
 #include "collect/import.h"
 #include "collect/manifest.h"
@@ -31,6 +32,7 @@
 #include "core/args.h"
 #include "core/io.h"
 #include "core/table.h"
+#include "core/thread_pool.h"
 #include "home/deployment.h"
 #include "home/resume.h"
 #include "obs/metrics.h"
@@ -233,23 +235,29 @@ int CmdRun(const ArgParser& args) {
     PrintFleetSummary(*study);
   }
 
+  const std::size_t workers = options.workers > 0
+                                  ? static_cast<std::size_t>(options.workers)
+                                  : static_cast<std::size_t>(ThreadPool::HardwareWorkers());
   if (const auto dir = args.get("export")) {
-    const std::size_t rows = collect::ExportPublicDatasets(study->repository(), *dir);
+    const std::size_t rows = collect::ExportPublicDatasets(study->repository(), *dir, workers);
     std::printf("exported %zu public rows to %s (Traffic withheld, as in the paper)\n", rows,
                 dir->c_str());
   }
   if (const auto dir = args.get("export-full")) {
-    const std::size_t rows = collect::ExportAllDatasets(study->repository(), *dir);
+    const std::size_t rows = collect::ExportAllDatasets(study->repository(), *dir, workers);
     std::printf("exported %zu rows (every data set, full fidelity) to %s\n", rows,
                 dir->c_str());
   }
   if (const auto path = args.get("snapshot-out")) {
+    // Columnar v3 directory: streamed kind-by-kind through for_each_row, so
+    // this works from spill segments under --memory-budget-mb without ever
+    // materialising the repository in RAM.
     std::string error;
-    if (!collect::SaveSnapshotFile(study->repository(), *path, &error)) {
+    if (!collect::SaveColumnSnapshot(study->repository(), *path, &error, workers)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 1;
     }
-    std::printf("wrote binary snapshot to %s\n", path->c_str());
+    std::printf("wrote columnar snapshot to %s/\n", path->c_str());
   }
   return WriteObsOutputs(*study, args, "bismark_study run");
 }
@@ -325,15 +333,30 @@ int CmdReport(const ArgParser& args) {
 
 int CmdAnalyze(const ArgParser& args) {
   if (args.positional().size() < 2) {
-    std::fprintf(stderr, "usage: bismark_study analyze <release-dir|snapshot-file>\n");
+    std::fprintf(stderr,
+                 "usage: bismark_study analyze <release-dir|snapshot-file|snapshot-dir>\n");
     return 2;
   }
   const std::string path = args.positional()[1];
+  const auto workers_arg = args.get_int("workers", 1);
+  const std::size_t workers = workers_arg > 0
+                                  ? static_cast<std::size_t>(workers_arg)
+                                  : static_cast<std::size_t>(ThreadPool::HardwareWorkers());
 
-  // A regular file is a binary snapshot (homes and windows included); a
+  // A columnar snapshot directory maps per-kind segments lazily; a regular
+  // file is a v1/v2 binary snapshot (homes and windows included); any other
   // directory is a public CSV release that needs bare home registration.
   std::unique_ptr<collect::DataRepository> repo;
-  if (std::filesystem::is_regular_file(path)) {
+  if (collect::IsColumnSnapshotDir(path)) {
+    std::string error;
+    repo = collect::OpenColumnSnapshot(path, &error);
+    if (!repo) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("opened columnar snapshot %s (%zu rows, %zu homes)\n", path.c_str(),
+                repo->total_rows(), repo->homes().size());
+  } else if (std::filesystem::is_regular_file(path)) {
     std::string error;
     repo = collect::LoadSnapshotFile(path, &error);
     if (!repo) {
@@ -367,6 +390,11 @@ int CmdAnalyze(const ArgParser& args) {
   std::printf("homes: %zu qualifying\n", homes.size());
   std::printf("downtimes/day: %s\n", Summarize(downtimes).c_str());
   std::printf("devices/home: %s\n", Summarize(analysis::UniqueDevicesCdf(*repo)).c_str());
+  if (repo->column_backed()) {
+    // Per-stripe parallel sketch pass: bit-identical for any --workers
+    // (partials merge in stripe index order).
+    analysis::WriteFleetSummary(analysis::SummarizeFleet(*repo, workers), std::cout);
+  }
   return 0;
 }
 
@@ -400,7 +428,9 @@ int main(int argc, char** argv) {
   args.add_option("export-full",
                   "write every data set (including private traffic) to this directory "
                   "in full-fidelity CSV");
-  args.add_option("snapshot-out", "write a binary snapshot of the repository to this file");
+  args.add_option("snapshot-out",
+                  "write a columnar (v3) snapshot of the repository to this directory; "
+                  "streamed kind-by-kind, so it works under --memory-budget-mb");
   args.add_option("collector-outages-per-month",
                   "inject collector outages at this rate (0 = reliable collector)", "0");
   args.add_option("heartbeat-loss",
